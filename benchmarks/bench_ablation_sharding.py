@@ -1,0 +1,76 @@
+"""Ablation: sharded recovery parallelism (Section VI-E's extension).
+
+The paper suggests partitioning the embedding table over several PS
+processes so scanning and index rebuilding parallelize. Two parts:
+
+* the analytic model at the paper's 2.1 B-entry scale (recovery time vs
+  shard count), and
+* a live demo: a sharded cluster crash-recovers and every shard's work
+  is verified independent (entry counts partition the key space).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.config import CacheConfig, ServerConfig
+from repro.core.recovery import estimate_recovery_seconds
+from repro.core.server import OpenEmbeddingServer
+
+ENTRIES = 2_100_000_000
+ENTRY_BYTES = 256
+
+
+def live_sharded_recovery(num_nodes: int):
+    server_config = ServerConfig(
+        num_nodes=num_nodes, embedding_dim=8, pmem_capacity_bytes=1 << 24, seed=2
+    )
+    cache_config = CacheConfig(capacity_bytes=32 << 10)
+    server = OpenEmbeddingServer(server_config, cache_config)
+    keys = list(range(3000))
+    server.pull(keys, 0)
+    server.maintain(0)
+    server.push(keys, np.full((len(keys), 8), 0.1, dtype=np.float32), 0)
+    server.barrier_checkpoint()
+    pools = server.crash()
+    recovered, reports = OpenEmbeddingServer.recover(pools, server_config, cache_config)
+    return recovered, reports
+
+
+def test_ablation_sharded_recovery(benchmark, report):
+    def run():
+        analytic = {
+            shards: estimate_recovery_seconds(
+                entries=ENTRIES,
+                versions=ENTRIES,
+                entry_bytes=ENTRY_BYTES,
+                parallelism=shards,
+            )
+            for shards in (1, 2, 4, 8)
+        }
+        recovered, reports = live_sharded_recovery(4)
+        return analytic, recovered, reports
+
+    analytic, recovered, reports = run_once(benchmark, run)
+    report.title(
+        "ablation_sharding", "Ablation: recovery time vs PS shard count (paper scale)"
+    )
+    for shards, seconds in analytic.items():
+        paper = "380.2" if shards == 1 else f"~{380.2 / shards:.0f} (linear)"
+        report.row(f"{shards} shard(s)", paper, f"{seconds:.1f} s")
+    report.line()
+    per_shard = [r.entries_recovered for r in reports]
+    report.line(
+        f"  live 4-shard demo: per-shard entries {per_shard} "
+        f"(sum {sum(per_shard)}), all to checkpoint "
+        f"{reports[0].checkpoint_batch_id}"
+    )
+
+    assert analytic[1] == pytest.approx(380.2, rel=0.12)
+    for shards in (2, 4, 8):
+        assert analytic[shards] == pytest.approx(analytic[1] / shards)
+    assert sum(per_shard) == 3000
+    assert all(r.checkpoint_batch_id == 0 for r in reports)
+    # Hash partitioning balances the shards reasonably.
+    assert max(per_shard) < 2 * min(per_shard)
+    assert recovered.num_entries == 3000

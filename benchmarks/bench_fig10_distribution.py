@@ -1,0 +1,51 @@
+"""Figure 10: workload fitting and distribution adjustment.
+
+Sorts features by access frequency, fits the exponential-decay model
+``freq = a * exp(-b * rank/N)`` (the paper's fit), and generates the
+more-/less-skewed variants used by Figure 11, keeping total accesses
+fixed while the decay rate changes.
+"""
+
+from benchmarks.conftest import run_once
+from repro.simulation.profiles import DEFAULT_PROFILE
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.trace import AccessTraceAnalyzer
+
+SKEWS = {"less skew": 0.85, "original": 1.0, "more skew": 1.15}
+
+
+def test_fig10_distribution_fit(benchmark, report):
+    profile = DEFAULT_PROFILE
+
+    def run():
+        fits = {}
+        for name, temperature in SKEWS.items():
+            generator = WorkloadGenerator(profile.workload_config(temperature))
+            stream = generator.access_stream(num_batches=150, batch_size=256)
+            analyzer = AccessTraceAnalyzer(stream)
+            a, b = analyzer.fit_exponential()
+            fits[name] = (a, b, analyzer.total_accesses)
+        return fits
+
+    fits = run_once(benchmark, run)
+    report.title(
+        "fig10_distribution",
+        "Figure 10: exponential fit freq = a*exp(-b*rank/N) per skew variant",
+    )
+    for name, (a, b, total) in fits.items():
+        report.row(
+            name,
+            "exp decay",
+            f"a={a:9.1f} b={b:6.1f}",
+            note=f"({total} accesses)",
+        )
+
+    # Total access volume is held constant across variants (the paper
+    # adjusts the distribution "while keeping the total amount of
+    # accesses the same").
+    totals = {total for *_, total in fits.values()}
+    assert len(totals) == 1
+    # More skew -> faster decay (larger b).
+    assert fits["more skew"][1] > fits["original"][1] > fits["less skew"][1]
+    # The head dominates: fitted a (head frequency) far exceeds the tail.
+    assert fits["original"][0] > 50

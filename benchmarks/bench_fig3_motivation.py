@@ -1,0 +1,56 @@
+"""Figure 3: penalty of a naive fine-grained hybrid cache / PMem hash.
+
+The motivation experiment: replacing the DRAM parameter server with (a)
+a fine-grained DRAM-PMem cache maintained inline (the Ori-Cache
+construction) or (b) a PMem-native concurrent hash, degrades training
+— and degrades *worse* as GPU workers multiply.
+
+Paper numbers (training-time ratio to DRAM-PS at the same GPU count):
+  hybrid cache: 1.24 (4), 1.558 (8), 2.27 (16)
+  PMem-Hash:    2.16 (4), 2.85 (8),  4.17 (16)
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once, simulate_epoch
+from repro.simulation.cluster import SystemKind
+
+PAPER_HYBRID = {4: 1.24, 8: 1.558, 16: 2.27}
+PAPER_HASH = {4: 2.16, 8: 2.85, 16: 4.17}
+
+
+def test_fig3_motivation(benchmark, report):
+    def run():
+        rows = {}
+        for workers in (4, 8, 16):
+            dram = simulate_epoch(SystemKind.DRAM_PS, workers).sim_seconds
+            hybrid = simulate_epoch(SystemKind.ORI_CACHE, workers).sim_seconds
+            pmem_hash = simulate_epoch(SystemKind.PMEM_HASH, workers).sim_seconds
+            rows[workers] = (hybrid / dram, pmem_hash / dram)
+        return rows
+
+    rows = run_once(benchmark, run)
+    report.title(
+        "fig3_motivation",
+        "Figure 3: naive hybrid & PMem-Hash training time vs DRAM-PS",
+    )
+    for workers, (hybrid, pmem_hash) in rows.items():
+        report.row(
+            f"hybrid cache @ {workers} GPUs",
+            f"{PAPER_HYBRID[workers]:.2f}x",
+            f"{hybrid:.2f}x",
+        )
+        report.row(
+            f"PMem-Hash    @ {workers} GPUs",
+            f"{PAPER_HASH[workers]:.2f}x",
+            f"{pmem_hash:.2f}x",
+        )
+
+    # Shape assertions: both penalties exist and grow with worker count.
+    hybrids = [rows[w][0] for w in (4, 8, 16)]
+    hashes = [rows[w][1] for w in (4, 8, 16)]
+    assert hybrids[0] > 1.05 and hashes[0] > 1.5
+    assert hybrids == sorted(hybrids)
+    assert hashes == sorted(hashes)
+    assert hybrids[2] == pytest.approx(PAPER_HYBRID[16], rel=0.25)
+    assert hashes[2] == pytest.approx(PAPER_HASH[16], rel=0.25)

@@ -1,0 +1,43 @@
+"""Figure 8: impact of DRAM cache size (16 GPUs).
+
+Sweeps the cache from the 10 MB-equivalent to the 20 GB-equivalent of a
+500 GB model. Paper: training time falls 14.4/18/24.9/32.2/38.2 % by
+2 GB, then flattens (20 GB is only ~1 % better than 2 GB) — the skew
+means a small cache already captures the hot set.
+"""
+
+from benchmarks.conftest import run_once, simulate_epoch
+from repro.simulation.cluster import SystemKind
+from repro.simulation.profiles import DEFAULT_PROFILE
+
+#: paper-normalised training time at each cache size (10 MB = 1.0)
+PAPER = {10: 1.0, 20: 0.856, 40: 0.82, 100: 0.751, 400: 0.678, 2048: 0.618, 20480: 0.612}
+
+
+def test_fig8_cache_size(benchmark, report):
+    def run():
+        rows = {}
+        for paper_mb in PAPER:
+            cache = DEFAULT_PROFILE.cache_config(paper_mb=paper_mb)
+            rows[paper_mb] = simulate_epoch(SystemKind.PMEM_OE, 16, cache=cache)
+        return rows
+
+    rows = run_once(benchmark, run)
+    base = rows[10].sim_seconds
+    report.title("fig8_cache_size", "Figure 8: cache-size sweep (normalised to 10 MB)")
+    for paper_mb, result in rows.items():
+        measured = result.sim_seconds / base
+        report.row(
+            f"{paper_mb:>6} MB-equivalent",
+            f"{PAPER[paper_mb]:.3f}",
+            f"{measured:.3f}",
+            note=f"miss rate {result.miss_rate:.1%}",
+        )
+
+    ratios = [rows[mb].sim_seconds / base for mb in PAPER]
+    # Monotone improvement with diminishing returns past 2 GB.
+    assert all(a >= b - 1e-9 for a, b in zip(ratios, ratios[1:]))
+    assert ratios[-2] < 0.75  # 2 GB well below the 10 MB baseline
+    assert ratios[-2] - ratios[-1] < 0.06  # 2 GB -> 20 GB nearly flat
+    misses = [rows[mb].miss_rate for mb in PAPER]
+    assert all(a >= b for a, b in zip(misses, misses[1:]))

@@ -1,0 +1,52 @@
+"""Figure 9: individual improvement of cache and pipeline (16 GPUs).
+
+Four PMem-OE configurations (2 GB-equivalent cache where enabled):
+both disabled / cache only / pipeline only / both enabled. Paper:
+cache alone cuts 42.1 % of training time, the pipeline on top of the
+cache cuts another 54.9 %, and together they remove 73.9 %.
+"""
+
+from benchmarks.conftest import run_once, simulate_epoch
+from repro.simulation.cluster import SystemKind
+
+PAPER_CACHE_ONLY = 1 - 0.421  # 0.579 of the all-disabled time
+PAPER_BOTH = 1 - 0.739  # 0.261
+
+
+def test_fig9_cache_pipeline_ablation(benchmark, report):
+    def run():
+        return {
+            "none": simulate_epoch(
+                SystemKind.PMEM_OE, 16, use_cache=False, pipelined=False
+            ).sim_seconds,
+            "cache_only": simulate_epoch(
+                SystemKind.PMEM_OE, 16, use_cache=True, pipelined=False
+            ).sim_seconds,
+            "pipeline_only": simulate_epoch(
+                SystemKind.PMEM_OE, 16, use_cache=False, pipelined=True
+            ).sim_seconds,
+            "both": simulate_epoch(
+                SystemKind.PMEM_OE, 16, use_cache=True, pipelined=True
+            ).sim_seconds,
+        }
+
+    times = run_once(benchmark, run)
+    base = times["none"]
+    report.title("fig9_ablation", "Figure 9: cache x pipeline ablation (norm. to both-off)")
+    report.row("cache + pipeline disabled", "1.000", "1.000")
+    report.row("cache only", f"{PAPER_CACHE_ONLY:.3f}", f"{times['cache_only'] / base:.3f}")
+    report.row("pipeline only", "(not quoted)", f"{times['pipeline_only'] / base:.3f}")
+    report.row("cache + pipeline", f"{PAPER_BOTH:.3f}", f"{times['both'] / base:.3f}")
+    cache_cut = 1 - times["cache_only"] / base
+    pipeline_cut = 1 - times["both"] / times["cache_only"]
+    total_cut = 1 - times["both"] / base
+    report.line()
+    report.row("reduction from cache", "42.1%", f"{cache_cut:.1%}")
+    report.row("reduction from pipeline", "54.9%", f"{pipeline_cut:.1%}")
+    report.row("combined reduction", "73.9%", f"{total_cut:.1%}")
+
+    assert times["both"] < times["cache_only"] < base
+    assert times["both"] < times["pipeline_only"] < base
+    assert 0.2 < cache_cut < 0.6
+    assert 0.3 < pipeline_cut < 0.7
+    assert 0.55 < total_cut < 0.85

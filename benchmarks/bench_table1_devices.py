@@ -1,0 +1,53 @@
+"""Table I: performance comparison of DRAM / PMem / flash SSD.
+
+Regenerates the table from the device models by measuring effective
+bandwidth over large sequential transfers and per-op latency on tiny
+accesses — the same quantities the paper's microbenchmarks report.
+"""
+
+from benchmarks.conftest import run_once
+from repro.simulation.device import DRAM_SPEC, GB, MemoryDevice, PMEM_SPEC, SSD_SPEC
+
+PAPER = {
+    "DRAM": ("115 / 79", "81 / 86"),
+    "PMem": ("39 / 14", "305 / 94"),
+    "Flash SSD": ("2~3 / 1~2", ">10000"),
+}
+
+
+def measure(spec):
+    device = MemoryDevice(spec)
+    big = 4 * GB
+    read_bw = big / device.read(big)
+    write_elapsed = device.write(big)
+    write_bw = big / write_elapsed
+    read_latency_ns = spec.read_time(0) * 1e9
+    write_latency_ns = spec.write_time(0) * 1e9
+    return read_bw / GB, write_bw / GB, read_latency_ns, write_latency_ns
+
+
+def test_table1_device_comparison(benchmark, report):
+    rows = run_once(
+        benchmark,
+        lambda: {spec.name: measure(spec) for spec in (DRAM_SPEC, PMEM_SPEC, SSD_SPEC)},
+    )
+    report.title("table1_devices", "Table I: device bandwidth (GB/s) and latency (ns)")
+    for name, (r_bw, w_bw, r_lat, w_lat) in rows.items():
+        paper_bw, paper_lat = PAPER[name]
+        report.row(
+            f"{name} bandwidth R/W", paper_bw, f"{r_bw:.0f} / {w_bw:.0f}"
+        )
+        report.row(
+            f"{name} latency R/W", paper_lat, f"{r_lat:.0f} / {w_lat:.0f}"
+        )
+    dram = rows["DRAM"]
+    pmem = rows["PMem"]
+    report.line()
+    report.row(
+        "PMem/DRAM read throughput", "~1/3", f"1/{dram[0] / pmem[0]:.1f}"
+    )
+    report.row(
+        "PMem/DRAM write throughput", "~1/5", f"1/{dram[1] / pmem[1]:.1f}"
+    )
+    assert 2.5 < dram[0] / pmem[0] < 3.5
+    assert 4.5 < dram[1] / pmem[1] < 6.5

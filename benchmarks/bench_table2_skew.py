@@ -1,0 +1,38 @@
+"""Table II: access-pattern skew of the DLRM workload.
+
+Generates the synthetic workload trace and reports what share of
+accesses the hottest 0.05 % / 0.1 % / 1 % of the key space receives —
+the paper's 85.7 % / 89.5 % / 95.7 %.
+"""
+
+from benchmarks.conftest import run_once
+from repro.simulation.profiles import DEFAULT_PROFILE
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.trace import AccessTraceAnalyzer
+
+PAPER = {0.0005: 0.857, 0.001: 0.895, 0.01: 0.957}
+
+
+def test_table2_access_skew(benchmark, report):
+    profile = DEFAULT_PROFILE
+
+    def run():
+        generator = WorkloadGenerator(profile.workload_config())
+        stream = generator.access_stream(num_batches=200, batch_size=256)
+        analyzer = AccessTraceAnalyzer(stream)
+        return analyzer.skew_report(
+            key_fractions=tuple(PAPER), of_keyspace=profile.num_keys
+        )
+
+    skew = run_once(benchmark, run)
+    report.title("table2_skew", "Table II: share of accesses to top entries")
+    report.line(f"  trace: {skew.total_accesses} accesses, "
+                f"{skew.distinct_keys} distinct of {profile.num_keys} keys")
+    for fraction, paper_share in PAPER.items():
+        measured = skew.top_shares[fraction]
+        report.row(
+            f"top {fraction:.2%} of entries",
+            f"{paper_share:.1%}",
+            f"{measured:.1%}",
+        )
+        assert abs(measured - paper_share) < 0.02

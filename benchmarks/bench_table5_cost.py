@@ -1,0 +1,83 @@
+"""Table V: price of the parameter servers.
+
+Reproduces the deployment sizing (2 DRAM machines vs 1 PMem machine for
+500 GB), the hourly PS price, and the cost per epoch. Machine counts and
+$/hour come from the pricing model; epoch hours combine the paper's
+DRAM-PS baseline with OUR measured relative epoch times, so the
+$-per-epoch column is a genuine model output, not a transcription.
+"""
+
+from benchmarks.conftest import run_once, simulate_epoch
+from repro.config import CheckpointConfig, CheckpointMode
+from repro.cost.pricing import (
+    R6E_13XLARGE,
+    RE6P_13XLARGE,
+    cost_per_epoch,
+    deployment_for_model,
+)
+from repro.simulation.cluster import SystemKind
+from repro.simulation.trainer_sim import TrainingSimulator
+
+GB = 1 << 30
+PAPER = {
+    "DRAM-PS": (2, 6.07, 5.75, 34.9),
+    "PMem-OE": (1, 3.80, 5.33, 20.3),
+    "Ori-Cache": (1, 3.80, 7.01, 26.6),
+}
+PAPER_DRAM_EPOCH_HOURS = 5.75
+
+
+def test_table5_ps_cost(benchmark, report):
+    def run():
+        base = simulate_epoch(SystemKind.DRAM_PS, 4)
+        interval = TrainingSimulator.interval_for_epoch_fraction(
+            base.sim_seconds, 20, PAPER_DRAM_EPOCH_HOURS
+        )
+        dram = simulate_epoch(
+            SystemKind.DRAM_PS, 4,
+            checkpoint=CheckpointConfig(CheckpointMode.INCREMENTAL, interval),
+        ).sim_seconds
+        oe = simulate_epoch(
+            SystemKind.PMEM_OE, 4,
+            checkpoint=CheckpointConfig(CheckpointMode.BATCH_AWARE, interval),
+        ).sim_seconds
+        ori = simulate_epoch(
+            SystemKind.ORI_CACHE, 4,
+            checkpoint=CheckpointConfig(CheckpointMode.INCREMENTAL, interval),
+        ).sim_seconds
+        hours = {
+            "DRAM-PS": PAPER_DRAM_EPOCH_HOURS,
+            "PMem-OE": PAPER_DRAM_EPOCH_HOURS * oe / dram,
+            "Ori-Cache": PAPER_DRAM_EPOCH_HOURS * ori / dram,
+        }
+        deployments = {
+            "DRAM-PS": deployment_for_model(500 * GB, R6E_13XLARGE, "DRAM-PS"),
+            "PMem-OE": deployment_for_model(500 * GB, RE6P_13XLARGE, "PMem-OE"),
+            "Ori-Cache": deployment_for_model(500 * GB, RE6P_13XLARGE, "Ori-Cache"),
+        }
+        return hours, deployments
+
+    hours, deployments = run_once(benchmark, run)
+    report.title("table5_cost", "Table V: parameter-server cost for the 500 GB model")
+    for name, (paper_machines, paper_rate, paper_hours, paper_epoch) in PAPER.items():
+        deployment = deployments[name]
+        epoch_cost = cost_per_epoch(deployment, hours[name])
+        report.row(f"{name} machines", paper_machines, deployment.machines)
+        report.row(
+            f"{name} $/hour", f"{paper_rate:.2f}", f"{deployment.dollars_per_hour:.2f}"
+        )
+        report.row(
+            f"{name} epoch hours", f"{paper_hours:.2f}", f"{hours[name]:.2f}"
+        )
+        report.row(f"{name} $/epoch", f"{paper_epoch:.1f}", f"{epoch_cost:.1f}")
+        assert deployment.machines == paper_machines
+        assert abs(deployment.dollars_per_hour - paper_rate) < 0.01
+
+    oe_cost = cost_per_epoch(deployments["PMem-OE"], hours["PMem-OE"])
+    dram_cost = cost_per_epoch(deployments["DRAM-PS"], hours["DRAM-PS"])
+    ori_cost = cost_per_epoch(deployments["Ori-Cache"], hours["Ori-Cache"])
+    report.line()
+    report.row("PMem-OE saving vs DRAM-PS", "42%", f"{1 - oe_cost / dram_cost:.0%}")
+    report.row("PMem-OE saving vs Ori-Cache", "24%", f"{1 - oe_cost / ori_cost:.0%}")
+    assert 0.30 < 1 - oe_cost / dram_cost < 0.50
+    assert 0.05 < 1 - oe_cost / ori_cost < 0.35

@@ -1,0 +1,116 @@
+"""Shared benchmark infrastructure.
+
+Every bench reproduces one table or figure of the paper:
+
+* the experiment runs exactly once inside ``benchmark.pedantic`` (the
+  simulated experiment is deterministic; re-running it only burns time),
+* the paper-vs-measured comparison is printed AND written to
+  ``benchmarks/results/<name>.txt`` so it survives pytest's output
+  capture.
+
+All benches share one scaled operating point
+(:data:`repro.simulation.profiles.DEFAULT_PROFILE`); see that module's
+docstring for the scaling rules.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.config import CacheConfig, CheckpointConfig
+from repro.simulation.cluster import SystemKind
+from repro.simulation.profiles import DEFAULT_PROFILE
+from repro.simulation.trainer_sim import TrainingRunResult, TrainingSimulator
+from repro.workload.generator import WorkloadGenerator
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return DEFAULT_PROFILE
+
+
+@pytest.fixture
+def report():
+    """Collects report lines; prints and persists them on exit."""
+
+    class Report:
+        def __init__(self):
+            self.lines: list[str] = []
+            self.name = "report"
+
+        def title(self, name: str, text: str) -> None:
+            self.name = name
+            self.lines.append(f"=== {text} ===")
+
+        def line(self, text: str = "") -> None:
+            self.lines.append(text)
+
+        def row(self, label: str, paper, measured, note: str = "") -> None:
+            self.lines.append(
+                f"  {label:<28} paper: {paper:<14} measured: {measured:<14} {note}"
+            )
+
+        def flush(self) -> None:
+            text = "\n".join(self.lines)
+            print("\n" + text)
+            RESULTS_DIR.mkdir(exist_ok=True)
+            (RESULTS_DIR / f"{self.name}.txt").write_text(text + "\n")
+
+    rep = Report()
+    yield rep
+    rep.flush()
+
+
+def bench_iterations(workers: int) -> int:
+    """Iterations for one simulated epoch at benchmark scale.
+
+    Proportional to 1/workers (fixed total samples per epoch) so
+    epoch-time scaling across worker counts is meaningful, shortened 4x
+    from the profile's full epoch to keep the suite fast.
+    """
+    return max(40, DEFAULT_PROFILE.epoch_worker_iterations // (workers * 4))
+
+
+def simulate_epoch(
+    system: SystemKind,
+    workers: int,
+    *,
+    cache: CacheConfig | None = None,
+    checkpoint: CheckpointConfig | None = None,
+    skew: float = 1.0,
+    use_cache: bool = True,
+    pipelined: bool = True,
+    iterations: int | None = None,
+    record_trace: bool = False,
+) -> TrainingRunResult:
+    """One simulated training epoch at the shared operating point."""
+    profile = DEFAULT_PROFILE
+    cache = cache or profile.cache_config(paper_mb=2048)
+    if not pipelined and cache.pipelined:
+        cache = CacheConfig(
+            capacity_bytes=cache.capacity_bytes,
+            pipelined=False,
+            maintainer_threads=cache.maintainer_threads,
+            track_dirty=cache.track_dirty,
+            policy=cache.policy,
+        )
+    simulator = TrainingSimulator(
+        system,
+        profile.cluster_config(workers),
+        profile.server_config(),
+        cache,
+        checkpoint or CheckpointConfig.none(),
+        WorkloadGenerator(profile.workload_config(skew)),
+        use_cache=use_cache,
+        record_trace=record_trace,
+    )
+    return simulator.run(iterations or bench_iterations(workers))
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its value."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

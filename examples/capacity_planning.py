@@ -1,0 +1,86 @@
+"""Capacity and reliability planning for a DLRM deployment.
+
+Answers the questions an operator sizing a 500 GB DLRM parameter server
+would ask, with the paper's numbers:
+
+1. How many machines of each type hold the model, and what does an
+   epoch cost? (Table V)
+2. What checkpoint interval does Young's formula recommend given the
+   measured checkpoint cost and fleet MTTF, and what does each strategy
+   lose to a failure? (Sections VI-A, VI-D, VI-E)
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.cost.pricing import (
+    R6E_13XLARGE,
+    RE6P_13XLARGE,
+    cost_per_epoch,
+    deployment_for_model,
+)
+from repro.core.recovery import estimate_recovery_seconds
+from repro.failure.mttf import (
+    expected_total_overhead_seconds,
+    young_interval_seconds,
+)
+
+GB = 1 << 30
+
+MODEL_BYTES = 500 * GB
+ENTRIES = 2_100_000_000  # the paper's production workload
+ENTRY_BYTES = 256  # dim 64 float32
+EPOCH_HOURS = {"DRAM-PS": 5.75, "PMem-OE": 5.33, "Ori-Cache": 7.01}
+MTTF_HOURS = 12.0  # Facebook-scale fleet failure rate
+
+
+def main() -> None:
+    print(f"model: {MODEL_BYTES / GB:.0f} GB, {ENTRIES / 1e9:.1f} B entries\n")
+
+    print("== deployment sizing & cost (Table V) ==")
+    dram = deployment_for_model(MODEL_BYTES, R6E_13XLARGE, "DRAM-PS")
+    pmem = deployment_for_model(MODEL_BYTES, RE6P_13XLARGE, "PMem-OE")
+    ori = deployment_for_model(MODEL_BYTES, RE6P_13XLARGE, "Ori-Cache")
+    for deployment in (dram, pmem, ori):
+        hours = EPOCH_HOURS[deployment.name]
+        print(
+            f"  {deployment.name:>9}: {deployment.machines} x "
+            f"{deployment.instance.name:<14} ${deployment.dollars_per_hour:5.2f}/h, "
+            f"epoch {hours:.2f} h -> ${cost_per_epoch(deployment, hours):5.1f}/epoch"
+        )
+    saving = 1 - cost_per_epoch(pmem, EPOCH_HOURS["PMem-OE"]) / cost_per_epoch(
+        dram, EPOCH_HOURS["DRAM-PS"]
+    )
+    print(f"  PMem-OE saves {saving:.0%} per epoch vs DRAM-PS\n")
+
+    print("== checkpoint interval (Young's formula) ==")
+    mttf_s = MTTF_HOURS * 3600
+    recovery_s = estimate_recovery_seconds(
+        entries=ENTRIES, versions=ENTRIES, entry_bytes=ENTRY_BYTES
+    )
+    for name, ckpt_cost in (("batch-aware (PMem-OE)", 15.0), ("incremental", 240.0)):
+        interval = young_interval_seconds(ckpt_cost, mttf_s)
+        overhead = expected_total_overhead_seconds(
+            run_seconds=24 * 3600,
+            interval_seconds=interval,
+            checkpoint_cost_seconds=ckpt_cost,
+            mttf_seconds=mttf_s,
+            recovery_seconds=recovery_s,
+        )
+        print(
+            f"  {name:>22}: cost/ckpt {ckpt_cost:5.0f} s -> optimal interval "
+            f"{interval / 60:5.1f} min; expected overhead {overhead / 60:5.1f} "
+            f"min/day"
+        )
+
+    print("\n== recovery time (Figure 14) ==")
+    print(f"  PMem-OE scan + index rebuild: {recovery_s:7.1f} s")
+    for shards in (2, 4, 8):
+        sharded = estimate_recovery_seconds(
+            entries=ENTRIES, versions=ENTRIES, entry_bytes=ENTRY_BYTES,
+            parallelism=shards,
+        )
+        print(f"  ... partitioned over {shards} PS processes: {sharded:7.1f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,132 @@
+"""Scratch calibration harness: tune Calibration constants so the
+simulated figure shapes match the paper. Not part of the library."""
+
+import time
+
+from repro.config import (
+    CacheConfig,
+    CheckpointConfig,
+    ClusterConfig,
+    ServerConfig,
+    WorkloadConfig,
+)
+from repro.simulation.calibration import Calibration
+from repro.simulation.cluster import SystemKind
+from repro.simulation.trainer_sim import TrainingSimulator
+from repro.workload import WorkloadGenerator
+
+from repro.simulation.profiles import DEFAULT_PROFILE as P
+NUM_KEYS = P.num_keys
+server = P.server_config()
+MODEL_BYTES = P.model_bytes
+cache = P.cache_config(2048)
+BATCH = P.batch_size
+TOTAL_WORKER_ITERS = P.epoch_worker_iterations
+
+
+def epoch(system, workers, cal, cache_cfg=cache, ckpt=None, skew=1.0, use_cache=True,
+          pipelined=True):
+    wcfg = P.workload_config(skew)
+    cc = cache_cfg
+    if not pipelined:
+        cc = CacheConfig(capacity_bytes=cache_cfg.capacity_bytes, pipelined=False)
+    cl = P.cluster_config(workers)
+    sim = TrainingSimulator(
+        system, cl, server, cc, ckpt or CheckpointConfig.none(),
+        WorkloadGenerator(wcfg), cal, use_cache=use_cache,
+    )
+    return sim.run(TOTAL_WORKER_ITERS // workers)
+
+
+def fig7(cal):
+    print("== Fig 7 (no ckpt) ratios to DRAM-PS; targets OE 1.01/1.04/1.09, "
+          "Ori 1.24/1.56/2.27 | Fig3 PH 2.16/2.85/4.17")
+    for w in (4, 8, 16):
+        d = epoch(SystemKind.DRAM_PS, w, cal)
+        oe = epoch(SystemKind.PMEM_OE, w, cal)
+        ori = epoch(SystemKind.ORI_CACHE, w, cal)
+        ph = epoch(SystemKind.PMEM_HASH, w, cal)
+        print(f"  {w:2d} GPUs dram={d.sim_seconds:7.3f}s OE={oe.sim_seconds/d.sim_seconds:5.3f} "
+              f"Ori={ori.sim_seconds/d.sim_seconds:5.3f} PH={ph.sim_seconds/d.sim_seconds:5.3f} "
+              f"missOE={oe.miss_rate:.3f}")
+
+
+def fig8(cal):
+    print("== Fig 8 cache sweep @16 GPUs (norm to 10MB); paper: 1.0/.856/.82/.751/.678/.618/~.612")
+    base = None
+    for mb in (10, 20, 40, 100, 400, 2048, 20480):
+        frac = mb / (500 * 1024)  # of a 500 GB model
+        cc = CacheConfig(capacity_bytes=P.cache_bytes_for_paper_mb(mb))
+        r = epoch(SystemKind.PMEM_OE, 16, cal, cache_cfg=cc)
+        if base is None:
+            base = r.sim_seconds
+        print(f"  {mb:6d}MB-eq ratio={r.sim_seconds/base:.3f} miss={r.miss_rate:.3f}")
+
+
+def fig9(cal):
+    print("== Fig 9 ablation @16 GPUs (norm to no-cache,no-pipe); paper cache-only .579, both .261")
+    none_ = epoch(SystemKind.PMEM_OE, 16, cal, use_cache=False, pipelined=False)
+    cache_only = epoch(SystemKind.PMEM_OE, 16, cal, use_cache=True, pipelined=False)
+    pipe_only = epoch(SystemKind.PMEM_OE, 16, cal, use_cache=False, pipelined=True)
+    both = epoch(SystemKind.PMEM_OE, 16, cal, use_cache=True, pipelined=True)
+    b = none_.sim_seconds
+    print(f"  none=1.0 cache={cache_only.sim_seconds/b:.3f} pipe={pipe_only.sim_seconds/b:.3f} "
+          f"both={both.sim_seconds/b:.3f}")
+
+
+def fig11(cal):
+    print("== Fig 11 skew: miss targets 13.63/10.04/17.08; gap OE vs DRAM 9%->7%, Ori +20% at less skew")
+    for name, t in (("orig", 1.0), ("more", 1.6), ("less", 0.62)):
+        d = epoch(SystemKind.DRAM_PS, 16, cal, skew=t)
+        oe = epoch(SystemKind.PMEM_OE, 16, cal, skew=t)
+        ori = epoch(SystemKind.ORI_CACHE, 16, cal, skew=t)
+        print(f"  {name}: miss={oe.miss_rate:.4f} OE/D={oe.sim_seconds/d.sim_seconds:.3f} "
+              f"Ori/D={ori.sim_seconds/d.sim_seconds:.3f}")
+
+
+if __name__ == "__main__":
+    cal = Calibration()
+    t0 = time.time()
+    fig7(cal)
+    fig8(cal)
+    fig9(cal)
+    fig11(cal)
+    print(f"wall {time.time()-t0:.1f}s")
+
+
+def fig12(cal):
+    from repro.config import CheckpointMode
+    print("== Fig12/13 ckpt overhead @16GPUs vs no-ckpt; paper OE 2.4/1.2(20min)/0.8/0.6%, "
+          "Inc 21.4/19.6/17.6/16.5%, sparse ~0")
+    base = epoch(SystemKind.PMEM_OE, 16, cal)
+    ep = base.sim_seconds
+    for mins in (10, 20, 30, 40):
+        interval = TrainingSimulator.interval_for_epoch_fraction(ep, mins, 5.33)
+        oe = epoch(SystemKind.PMEM_OE, 16, cal,
+                   ckpt=CheckpointConfig(CheckpointMode.BATCH_AWARE, interval))
+        sp = epoch(SystemKind.PMEM_OE, 16, cal,
+                   ckpt=CheckpointConfig(CheckpointMode.SPARSE_ONLY, interval, include_dense=False))
+        inc = epoch(SystemKind.PMEM_OE, 16, cal,
+                    ckpt=CheckpointConfig(CheckpointMode.INCREMENTAL, interval))
+        print(f"  {mins}min-eq: OE +{(oe.sim_seconds/ep-1)*100:5.2f}%  sparse +{(sp.sim_seconds/ep-1)*100:5.2f}%  "
+              f"inc +{(inc.sim_seconds/ep-1)*100:5.2f}%  (ckpts {oe.checkpoints_completed})")
+
+
+def fig6(cal):
+    from repro.config import CheckpointMode
+    print("== Fig 6 overall w/ ckpt; targets: OE 7.2/6.4/5.6% faster than DRAM-PS; 23.8/36.9/53.8% vs Ori")
+    for w in (4, 8, 16):
+        base = epoch(SystemKind.PMEM_OE, w, cal)
+        interval = TrainingSimulator.interval_for_epoch_fraction(base.sim_seconds, 20, 5.33)
+        oe = epoch(SystemKind.PMEM_OE, w, cal, ckpt=CheckpointConfig(CheckpointMode.BATCH_AWARE, interval))
+        d = epoch(SystemKind.DRAM_PS, w, cal, ckpt=CheckpointConfig(CheckpointMode.INCREMENTAL, interval))
+        ori = epoch(SystemKind.ORI_CACHE, w, cal, ckpt=CheckpointConfig(CheckpointMode.INCREMENTAL, interval))
+        print(f"  {w:2d} GPUs: OE vs DRAM {(1-oe.sim_seconds/d.sim_seconds)*100:5.1f}% faster; "
+              f"OE vs Ori {(1-oe.sim_seconds/ori.sim_seconds)*100:5.1f}% faster")
+
+
+def fig11_temps(cal):
+    print("== skew temp sweep for Fig11 (want miss ~0.10 and ~0.17 around orig 0.076... paper 13.6/10.0/17.1)")
+    for t in (0.75, 0.8, 0.85, 1.15, 1.25, 1.4):
+        r = epoch(SystemKind.PMEM_OE, 16, cal, skew=t)
+        print(f"  temp={t}: miss={r.miss_rate:.4f}")

@@ -1,0 +1,179 @@
+"""Check-N-Run-style quantized incremental checkpointing.
+
+The paper's reliability discussion builds on Check-N-Run (Eisenman et
+al., NSDI'22), Facebook's DLRM checkpointing system, which shrinks
+checkpoints with (a) incremental dumps and (b) per-entry uniform
+quantization. OpenEmbedding calls that work *complementary* — it
+targets remote backup storage while OpenEmbedding persists locally.
+This module implements the quantized variant so the size/accuracy
+trade-off is measurable in this codebase.
+
+Quantization: each entry's float32 vector is stored as uint8 codes with
+a per-entry (min, scale) pair — 4 bytes/dim down to ~1 byte/dim. The
+restore error per weight is bounded by ``scale / 2``; tests check the
+bound and the size accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import RecoveryError
+from repro.pmem.persistence import Transaction
+from repro.pmem.pool import PmemPool
+
+_CKPT_BATCH_FIELD = "cnr_ckpt_batch_id"
+_LEVELS = 255
+
+
+@dataclass(frozen=True)
+class QuantizedEntry:
+    """One entry's quantized snapshot."""
+
+    codes: np.ndarray  # uint8[dim]
+    minimum: float
+    scale: float
+
+    @property
+    def nbytes(self) -> int:
+        # codes + the two float32 dequantization parameters
+        return self.codes.nbytes + 8
+
+    def dequantize(self) -> np.ndarray:
+        return (
+            self.codes.astype(np.float32) * self.scale + self.minimum
+        ).astype(np.float32)
+
+
+def quantize(weights: np.ndarray) -> QuantizedEntry:
+    """Uniform 8-bit quantization with per-entry range.
+
+    A constant vector quantizes exactly (scale 0); otherwise the max
+    absolute reconstruction error is ``scale / 2``.
+    """
+    weights = np.asarray(weights, dtype=np.float32)
+    minimum = float(weights.min())
+    spread = float(weights.max()) - minimum
+    scale = spread / _LEVELS
+    if scale == 0.0:
+        # Constant vector, or a spread so tiny the step underflows:
+        # store as constant (error still bounded by the spread itself).
+        return QuantizedEntry(
+            codes=np.zeros(weights.shape, dtype=np.uint8), minimum=minimum, scale=0.0
+        )
+    codes = np.clip(np.round((weights - minimum) / scale), 0, _LEVELS)
+    return QuantizedEntry(codes=codes.astype(np.uint8), minimum=minimum, scale=scale)
+
+
+@dataclass(frozen=True)
+class QuantizedCheckpointStats:
+    """Footprint of one quantized incremental checkpoint."""
+
+    batch_id: int
+    entries_written: int
+    bytes_written: int
+    full_precision_bytes: int
+    sim_seconds: float
+
+    @property
+    def compression_ratio(self) -> float:
+        if self.bytes_written == 0:
+            return 1.0
+        return self.full_precision_bytes / self.bytes_written
+
+
+class CheckNRunCheckpointer:
+    """Incremental + quantized checkpoint dumps (Check-N-Run style).
+
+    Same dirty-set protocol as
+    :class:`~repro.baselines.incremental.IncrementalCheckpointer`, but
+    each entry is stored quantized — roughly 3.5-4x smaller dumps at a
+    bounded precision cost.
+    """
+
+    def __init__(
+        self,
+        pool: PmemPool,
+        dim: int,
+        read_state: Callable[[Iterable[int]], dict[int, np.ndarray]],
+    ):
+        self.pool = pool
+        self.dim = dim
+        self.read_state = read_state
+        self._dirty: set[int] = set()
+        #: volatile cache of dequant params; rebuilt on restore
+        self._params: dict[int, tuple[float, float]] = {}
+        self.stats_history: list[QuantizedCheckpointStats] = []
+
+    def mark_dirty(self, keys: Iterable[int]) -> None:
+        self._dirty.update(int(k) for k in keys)
+
+    @property
+    def dirty_count(self) -> int:
+        return len(self._dirty)
+
+    def checkpoint(self, batch_id: int) -> QuantizedCheckpointStats:
+        """Quantize and dump the dirty set as of ``batch_id``."""
+        dirty = sorted(self._dirty)
+        snapshot = self.read_state(dirty)
+        elapsed = 0.0
+        written = 0
+        with Transaction(self.pool) as tx:
+            for key in dirty:
+                quantized = quantize(snapshot[key])
+                elapsed += tx.write(
+                    ("cnr", key), quantized.codes, nbytes=quantized.nbytes
+                )
+                self.pool.root.set(
+                    f"cnr_min_{key}", int(np.float32(quantized.minimum).view(np.int32))
+                )
+                self.pool.root.set(
+                    f"cnr_scale_{key}", int(np.float32(quantized.scale).view(np.int32))
+                )
+                self._params[key] = (quantized.minimum, quantized.scale)
+                written += quantized.nbytes
+        self.pool.root.set(_CKPT_BATCH_FIELD, batch_id)
+        self._dirty.clear()
+        stats = QuantizedCheckpointStats(
+            batch_id=batch_id,
+            entries_written=len(dirty),
+            bytes_written=written,
+            full_precision_bytes=len(dirty) * self.dim * 4,
+            sim_seconds=elapsed,
+        )
+        self.stats_history.append(stats)
+        return stats
+
+    def restore(self) -> tuple[int, dict[int, np.ndarray]]:
+        """Load and dequantize the latest checkpoint.
+
+        Raises:
+            RecoveryError: no checkpoint committed.
+        """
+        try:
+            batch_id = self.pool.root.get(_CKPT_BATCH_FIELD)
+        except KeyError:
+            raise RecoveryError("no quantized checkpoint committed") from None
+        state: dict[int, np.ndarray] = {}
+        for pool_key, codes in self.pool.items():
+            if not (isinstance(pool_key, tuple) and pool_key[0] == "cnr"):
+                continue
+            key = pool_key[1]
+            minimum = np.int32(self.pool.root.get(f"cnr_min_{key}")).view(np.float32)
+            scale = np.int32(self.pool.root.get(f"cnr_scale_{key}")).view(np.float32)
+            entry = QuantizedEntry(
+                codes=np.asarray(codes, dtype=np.uint8),
+                minimum=float(minimum),
+                scale=float(scale),
+            )
+            state[key] = entry.dequantize()
+        return batch_id, state
+
+    @classmethod
+    def restore_from_pool(cls, pool: PmemPool, dim: int):
+        """Restore without a live checkpointer (post-crash path)."""
+        dummy = cls(pool, dim, read_state=lambda keys: {})
+        return dummy.restore()

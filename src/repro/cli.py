@@ -1,0 +1,301 @@
+"""Command-line interface.
+
+Five subcommands::
+
+    repro simulate  --system pmem_oe --workers 16 ...   # one simulated epoch
+    repro train     --batches 200 --crash-at 120 ...    # functional DeepFM demo
+    repro plan      --model-gb 500 --mttf-hours 12      # sizing & intervals
+    repro workload  --keys 500000 ...                   # Table II skew check
+    repro reproduce fig7 table2 ...                     # run paper experiments
+
+Run ``python -m repro.cli <subcommand> --help`` for options.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.config import (
+    CacheConfig,
+    CheckpointConfig,
+    CheckpointMode,
+    ServerConfig,
+)
+from repro.simulation.cluster import SystemKind
+from repro.simulation.profiles import DEFAULT_PROFILE
+from repro.simulation.trainer_sim import TrainingSimulator
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.trace import AccessTraceAnalyzer
+
+GB = 1 << 30
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    profile = DEFAULT_PROFILE
+    system = SystemKind(args.system)
+    checkpoint = CheckpointConfig.none()
+    if args.checkpoint != "none":
+        mode = CheckpointMode(args.checkpoint)
+        # A provisional interval from the profile's nominal epoch; the
+        # simulator scales intervals in simulated seconds.
+        checkpoint = CheckpointConfig(mode, interval_seconds=args.interval_seconds)
+    simulator = TrainingSimulator(
+        system,
+        profile.cluster_config(args.workers),
+        profile.server_config(),
+        profile.cache_config(paper_mb=args.cache_mb),
+        checkpoint,
+        WorkloadGenerator(profile.workload_config(args.skew)),
+    )
+    iterations = args.iterations or profile.iterations(args.workers)
+    result = simulator.run(iterations)
+    print(f"system            : {system.value}")
+    print(f"workers           : {args.workers}")
+    print(f"iterations        : {result.iterations}")
+    print(f"simulated epoch   : {result.sim_seconds:.3f} s")
+    print(f"per iteration     : {result.seconds_per_iteration * 1e3:.2f} ms")
+    print(f"cache miss rate   : {result.miss_rate:.2%}")
+    print(f"checkpoints       : {result.checkpoints_completed}")
+    print(f"checkpoint pause  : {result.checkpoint_pause_seconds:.3f} s")
+    print(f"gpu / net / pull / push (s): "
+          f"{result.gpu_seconds:.2f} / {result.net_seconds:.2f} / "
+          f"{result.pull_service_seconds:.2f} / {result.push_service_seconds:.2f}")
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from repro.core.optimizers import PSAdagrad
+    from repro.core.server import OpenEmbeddingServer
+    from repro.dlrm.criteo import CriteoSynthetic
+    from repro.dlrm.deepfm import DeepFM
+    from repro.dlrm.optimizers import Adam
+    from repro.dlrm.trainer import SynchronousTrainer
+
+    dataset = CriteoSynthetic(
+        num_fields=args.fields, vocab_per_field=args.vocab, seed=args.seed
+    )
+    server_config = ServerConfig(
+        num_nodes=args.nodes,
+        embedding_dim=args.dim,
+        pmem_capacity_bytes=1 << 30,
+        seed=args.seed,
+    )
+    cache_config = CacheConfig(capacity_bytes=args.cache_kb << 10)
+
+    def build():
+        server = OpenEmbeddingServer(server_config, cache_config, PSAdagrad(lr=0.05))
+        model = DeepFM(
+            args.fields, args.dim, hidden=(64, 32), use_first_order=False,
+            seed=args.seed,
+        )
+        return SynchronousTrainer(
+            server, model, dataset,
+            num_workers=args.workers, batch_size=args.batch_size,
+            dense_optimizer=Adam(2e-3), checkpoint_every=args.checkpoint_every,
+        )
+
+    trainer = build()
+    crash_at = args.crash_at if args.crash_at and args.crash_at < args.batches else None
+    first_leg = crash_at or args.batches
+    for result in trainer.train(first_leg):
+        if result.batch_id % 20 == 0:
+            print(f"batch {result.batch_id:5d}  loss {result.loss:.4f}")
+    if crash_at is not None:
+        from repro.errors import RecoveryError
+
+        print(f"-- injected crash after batch {crash_at}; recovering ...")
+        pools, __, dense = trainer.crash()
+        model = DeepFM(
+            args.fields, args.dim, hidden=(64, 32), use_first_order=False,
+            seed=args.seed,
+        )
+        try:
+            trainer = SynchronousTrainer.recover(
+                pools, dense, model=model, dataset=dataset,
+                server_config=server_config, cache_config=cache_config,
+                ps_optimizer=PSAdagrad(lr=0.05),
+                num_workers=args.workers, batch_size=args.batch_size,
+                dense_optimizer=Adam(2e-3), checkpoint_every=args.checkpoint_every,
+            )
+            print(f"-- resumed from checkpoint of batch {trainer.next_batch - 1}")
+        except RecoveryError:
+            print("-- no completed checkpoint yet; restarting from scratch")
+            trainer = build()
+        for result in trainer.train(args.batches - trainer.next_batch):
+            if result.batch_id % 20 == 0:
+                print(f"batch {result.batch_id:5d}  loss {result.loss:.4f}")
+    losses = trainer.loss_history
+    print(f"final: {trainer.server.num_entries} entries, "
+          f"mean loss last 20 batches {np.mean(losses[-20:]):.4f}")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    from repro.core.recovery import estimate_recovery_seconds
+    from repro.cost.pricing import (
+        R6E_13XLARGE,
+        RE6P_13XLARGE,
+        cost_per_epoch,
+        deployment_for_model,
+    )
+    from repro.failure.mttf import young_interval_seconds
+
+    model_bytes = int(args.model_gb * GB)
+    entries = model_bytes // (args.dim * 4)
+    print(f"model: {args.model_gb:.0f} GB, ~{entries / 1e9:.2f} B entries (dim {args.dim})")
+    for instance, name in ((R6E_13XLARGE, "DRAM-PS"), (RE6P_13XLARGE, "PMem-OE")):
+        deployment = deployment_for_model(model_bytes, instance, name)
+        print(f"  {name:>8}: {deployment.machines} x {instance.name} "
+              f"= ${deployment.dollars_per_hour:.2f}/h "
+              f"(${cost_per_epoch(deployment, args.epoch_hours):.1f}/epoch "
+              f"at {args.epoch_hours:.2f} h)")
+    recovery = estimate_recovery_seconds(
+        entries=entries, versions=entries, entry_bytes=args.dim * 4
+    )
+    interval = young_interval_seconds(args.ckpt_cost_s, args.mttf_hours * 3600)
+    print(f"  PMem-OE recovery estimate: {recovery:.0f} s")
+    print(f"  Young-optimal checkpoint interval: {interval / 60:.1f} min "
+          f"(ckpt cost {args.ckpt_cost_s:.0f} s, MTTF {args.mttf_hours:.0f} h)")
+    return 0
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    from repro.config import WorkloadConfig
+
+    generator = WorkloadGenerator(
+        WorkloadConfig(
+            num_keys=args.keys,
+            features_per_sample=args.features,
+            skew=args.skew,
+            seed=args.seed,
+        )
+    )
+    stream = generator.access_stream(args.batches, args.batch_size)
+    analyzer = AccessTraceAnalyzer(stream)
+    report = analyzer.skew_report(of_keyspace=args.keys)
+    print(f"{report.total_accesses} accesses, {report.distinct_keys} distinct keys")
+    for fraction, share in report.top_shares.items():
+        print(f"  top {fraction:.2%} of key space -> {share:.1%} of accesses")
+    a, b = analyzer.fit_exponential()
+    print(f"  exponential fit: freq = {a:.1f} * exp(-{b:.1f} * rank/N)")
+    return 0
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    """Run the named experiments' benchmarks via pytest."""
+    import pathlib
+
+    import pytest as pytest_module
+
+    bench_dir = pathlib.Path(__file__).resolve().parents[2] / "benchmarks"
+    if not bench_dir.is_dir():
+        print(
+            "error: benchmarks/ not found next to the package; "
+            "`repro reproduce` needs the repository checkout",
+            file=sys.stderr,
+        )
+        return 2
+    available = sorted(
+        path.name[len("bench_"):-len(".py")]
+        for path in bench_dir.glob("bench_*.py")
+    )
+    if args.list or not args.experiments:
+        print("available experiments:")
+        for name in available:
+            print(f"  {name}")
+        return 0
+    targets = []
+    for experiment in args.experiments:
+        matches = [name for name in available if name.startswith(experiment)]
+        if not matches:
+            print(f"error: no experiment matches {experiment!r}; "
+                  f"try `repro reproduce --list`", file=sys.stderr)
+            return 2
+        targets.extend(str(bench_dir / f"bench_{name}.py") for name in matches)
+    code = pytest_module.main([*dict.fromkeys(targets), "--benchmark-only", "-q"])
+    results_dir = bench_dir / "results"
+    if results_dir.is_dir():
+        print(f"\nreports written under {results_dir}")
+    return int(code)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="OpenEmbedding reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    simulate = sub.add_parser("simulate", help="run one simulated training epoch")
+    simulate.add_argument(
+        "--system",
+        choices=[s.value for s in SystemKind],
+        default=SystemKind.PMEM_OE.value,
+    )
+    simulate.add_argument("--workers", type=int, default=16)
+    simulate.add_argument("--iterations", type=int, default=None)
+    simulate.add_argument("--cache-mb", type=float, default=2048.0,
+                          help="paper-equivalent cache size (MB of a 500 GB model)")
+    simulate.add_argument("--skew", type=float, default=1.0)
+    simulate.add_argument(
+        "--checkpoint",
+        choices=["none", "batch_aware", "incremental", "sparse_only"],
+        default="none",
+    )
+    simulate.add_argument("--interval-seconds", type=float, default=1.0)
+    simulate.set_defaults(handler=_cmd_simulate)
+
+    train = sub.add_parser("train", help="functional DeepFM training demo")
+    train.add_argument("--batches", type=int, default=100)
+    train.add_argument("--workers", type=int, default=2)
+    train.add_argument("--batch-size", type=int, default=32)
+    train.add_argument("--fields", type=int, default=8)
+    train.add_argument("--vocab", type=int, default=400)
+    train.add_argument("--dim", type=int, default=16)
+    train.add_argument("--nodes", type=int, default=2)
+    train.add_argument("--cache-kb", type=int, default=64)
+    train.add_argument("--checkpoint-every", type=int, default=20)
+    train.add_argument("--crash-at", type=int, default=None,
+                       help="inject a crash after this batch and recover")
+    train.add_argument("--seed", type=int, default=7)
+    train.set_defaults(handler=_cmd_train)
+
+    plan = sub.add_parser("plan", help="deployment sizing and reliability planning")
+    plan.add_argument("--model-gb", type=float, default=500.0)
+    plan.add_argument("--dim", type=int, default=64)
+    plan.add_argument("--epoch-hours", type=float, default=5.33)
+    plan.add_argument("--mttf-hours", type=float, default=12.0)
+    plan.add_argument("--ckpt-cost-s", type=float, default=15.0)
+    plan.set_defaults(handler=_cmd_plan)
+
+    workload = sub.add_parser("workload", help="access-skew statistics (Table II)")
+    workload.add_argument("--keys", type=int, default=500_000)
+    workload.add_argument("--features", type=int, default=4)
+    workload.add_argument("--skew", type=float, default=1.0)
+    workload.add_argument("--batches", type=int, default=100)
+    workload.add_argument("--batch-size", type=int, default=256)
+    workload.add_argument("--seed", type=int, default=1)
+    workload.set_defaults(handler=_cmd_workload)
+
+    reproduce = sub.add_parser(
+        "reproduce", help="re-run paper experiments (tables/figures/ablations)"
+    )
+    reproduce.add_argument(
+        "experiments", nargs="*",
+        help="experiment name prefixes, e.g. fig7 table2 ablation",
+    )
+    reproduce.add_argument("--list", action="store_true", help="list experiments")
+    reproduce.set_defaults(handler=_cmd_reproduce)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

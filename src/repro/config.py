@@ -1,0 +1,234 @@
+"""Configuration objects for every subsystem.
+
+All configs are frozen dataclasses: construct once, validate eagerly in
+``__post_init__``, and pass around freely. Sizes are in bytes and times
+in (simulated) seconds unless a field name says otherwise.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+FLOAT_BYTES = 4
+"""Embedding weights are float32, as in the paper (vectors of floats)."""
+
+
+class CheckpointMode(enum.Enum):
+    """Checkpoint strategies evaluated in the paper (Table IV)."""
+
+    NONE = "none"
+    #: The paper's batch-aware checkpoint co-designed with cache replacement.
+    BATCH_AWARE = "batch_aware"
+    #: CheckFreq-style incremental checkpoint (state of the art baseline).
+    INCREMENTAL = "incremental"
+    #: Batch-aware for sparse features only, dense checkpoint disabled.
+    SPARSE_ONLY = "sparse_only"
+
+
+class EvictionPolicy(enum.Enum):
+    """Cache replacement policies. The paper uses LRU throughout;
+    FIFO and CLOCK (second chance) are ablation alternatives."""
+
+    LRU = "lru"
+    FIFO = "fifo"
+    CLOCK = "clock"
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """DRAM cache in front of PMem (Section V-A/V-B).
+
+    Attributes:
+        capacity_bytes: DRAM budget for cached embedding entries. The
+            paper sweeps 10 MB .. 20 GB (Figure 8); 2 GB is the default
+            operating point.
+        pipelined: when True, LRU maintenance / replacement / PMem flush
+            costs are charged overlapped with GPU compute (the paper's
+            pipeline); when False they sit on the request critical path.
+        maintainer_threads: number of dedicated cache-maintainer threads
+            consuming the access queue (Figure 5).
+        track_dirty: skip the PMem write when evicting a clean entry.
+            The paper always writes back; dirty tracking is an ablation.
+        policy: replacement policy, LRU in all paper experiments.
+        admission_threshold: TinyLFU-style admission filter (extension
+            beyond the paper): a missed key is only promoted to DRAM
+            after being seen this many times. 0 (the paper's behaviour)
+            admits every miss.
+    """
+
+    capacity_bytes: int = 2 << 30
+    pipelined: bool = True
+    maintainer_threads: int = 4
+    track_dirty: bool = False
+    policy: EvictionPolicy = EvictionPolicy.LRU
+    admission_threshold: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ConfigError(f"cache capacity must be positive, got {self.capacity_bytes}")
+        if self.maintainer_threads <= 0:
+            raise ConfigError("maintainer_threads must be >= 1")
+        if self.admission_threshold < 0:
+            raise ConfigError("admission_threshold must be non-negative")
+
+    def capacity_entries(self, entry_bytes: int) -> int:
+        """How many entries of ``entry_bytes`` fit in the cache (>= 1)."""
+        if entry_bytes <= 0:
+            raise ConfigError(f"entry_bytes must be positive, got {entry_bytes}")
+        return max(1, self.capacity_bytes // entry_bytes)
+
+
+@dataclass(frozen=True)
+class CheckpointConfig:
+    """Checkpoint scheduling (Section VI-D).
+
+    Attributes:
+        mode: strategy from Table IV.
+        interval_seconds: period of the automatic checkpoint thread. The
+            paper's default is 20 minutes, chosen via Young's formula
+            from Facebook's reported MTTF.
+        include_dense: whether the dense (MLP) part is checkpointed via
+            the framework's own mechanism ('Sparse Only' disables it).
+    """
+
+    mode: CheckpointMode = CheckpointMode.BATCH_AWARE
+    interval_seconds: float = 20 * 60.0
+    include_dense: bool = True
+
+    def __post_init__(self) -> None:
+        if self.interval_seconds <= 0:
+            raise ConfigError("checkpoint interval must be positive")
+
+    @classmethod
+    def none(cls) -> "CheckpointConfig":
+        return cls(mode=CheckpointMode.NONE, include_dense=False)
+
+    @classmethod
+    def sparse_only(cls, interval_seconds: float = 20 * 60.0) -> "CheckpointConfig":
+        return cls(
+            mode=CheckpointMode.SPARSE_ONLY,
+            interval_seconds=interval_seconds,
+            include_dense=False,
+        )
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """A distributed OpenEmbedding deployment.
+
+    Attributes:
+        num_nodes: number of PS shards; keys are hash-partitioned.
+        embedding_dim: floats per embedding entry (paper default 64).
+        pmem_capacity_bytes: persistent pool size per node.
+        initializer_scale: uniform(-s, s) initialisation for new entries.
+        seed: base RNG seed; node ``i`` derives ``seed + i``.
+        auto_create: initialise unseen keys on first pull (Algorithm 1
+            lines 6-12); when False unseen keys raise KeyNotFoundError.
+    """
+
+    num_nodes: int = 1
+    embedding_dim: int = 64
+    pmem_capacity_bytes: int = 756 << 30
+    initializer_scale: float = 0.01
+    seed: int = 0
+    auto_create: bool = True
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigError("num_nodes must be >= 1")
+        if self.embedding_dim <= 0:
+            raise ConfigError("embedding_dim must be >= 1")
+        if self.pmem_capacity_bytes <= 0:
+            raise ConfigError("pmem_capacity_bytes must be positive")
+
+    @property
+    def entry_bytes(self) -> int:
+        """Size of one embedding entry's weights in bytes."""
+        return self.embedding_dim * FLOAT_BYTES
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Cluster interconnect (the paper: 30 Gb intranet, RDMA-style RPC).
+
+    Attributes:
+        bandwidth_bytes_per_s: link bandwidth shared by all workers.
+        rpc_latency_s: one-way per-message latency.
+    """
+
+    bandwidth_bytes_per_s: float = 30e9 / 8
+    rpc_latency_s: float = 20e-6
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigError("bandwidth must be positive")
+        if self.rpc_latency_s < 0:
+            raise ConfigError("rpc latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Training cluster shape (Section VI-A hardware setup).
+
+    Attributes:
+        num_workers: total GPU workers (the paper scales 4 -> 16, four
+            V100s per machine).
+        batch_size: per-worker training batch size (paper default 4096).
+        gpu_batch_time_s: simulated GPU forward+backward time for one
+            batch of the dense model. Calibrated in
+            ``repro.simulation.calibration``.
+        ps_threads_per_node: request-handler threads on each PS node.
+        network: interconnect model.
+    """
+
+    num_workers: int = 4
+    batch_size: int = 4096
+    gpu_batch_time_s: float = 0.040
+    ps_threads_per_node: int = 16
+    network: NetworkConfig = dataclasses.field(default_factory=NetworkConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ConfigError("num_workers must be >= 1")
+        if self.batch_size <= 0:
+            raise ConfigError("batch_size must be >= 1")
+        if self.gpu_batch_time_s < 0:
+            raise ConfigError("gpu_batch_time_s must be non-negative")
+        if self.ps_threads_per_node <= 0:
+            raise ConfigError("ps_threads_per_node must be >= 1")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Synthetic DLRM access workload (Section III).
+
+    The real trace has 2.1 B embedding entries with exponential-decay
+    access skew (Figure 10); we scale the key count down and keep the
+    skew. ``features_per_sample`` is the number of embedding lookups one
+    training sample performs.
+
+    Attributes:
+        num_keys: distinct embedding ids in the model.
+        features_per_sample: sparse-feature lookups per sample.
+        skew: exponential-decay rate of the access distribution; larger
+            means more skewed. ``1.0`` matches the paper's original
+            workload; Figure 11 uses more/less skewed variants.
+        seed: RNG seed for reproducible traces.
+    """
+
+    num_keys: int = 1_000_000
+    features_per_sample: int = 26
+    skew: float = 1.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_keys <= 0:
+            raise ConfigError("num_keys must be >= 1")
+        if self.features_per_sample <= 0:
+            raise ConfigError("features_per_sample must be >= 1")
+        if self.skew <= 0:
+            raise ConfigError("skew must be positive")

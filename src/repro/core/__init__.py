@@ -1,0 +1,50 @@
+"""OpenEmbedding core: the PMem-aware parameter server.
+
+This package implements the paper's primary contribution:
+
+* :mod:`repro.core.cache` — the pipelined DRAM cache with co-designed
+  batch-aware checkpointing (Algorithms 1 and 2);
+* :mod:`repro.core.ps_node` — a single PS node: pull / push / update on
+  top of the cache, PMem store and PS-side optimizer;
+* :mod:`repro.core.server` — the distributed facade that hash-partitions
+  keys over PS nodes;
+* :mod:`repro.core.checkpoint` / :mod:`repro.core.recovery` — checkpoint
+  scheduling and crash recovery.
+"""
+
+from repro.core.cache import MaintainResult, PipelinedCache, PullResult
+from repro.core.checkpoint import CheckpointCoordinator
+from repro.core.entry import EmbeddingEntry, Location, pack_handle, unpack_handle
+from repro.core.hash_index import HashIndex
+from repro.core.lru import LRUList
+from repro.core.optimizers import PSAdagrad, PSOptimizer, PSSGD
+from repro.core.ps_node import PSNode
+from repro.core.queues import AccessQueue, CheckpointRequestQueue
+from repro.core.recovery import RecoveryReport, recover_node
+from repro.core.replication import ReplicatedPSNode
+from repro.core.server import OpenEmbeddingServer
+from repro.core.sharding import HashPartitioner
+
+__all__ = [
+    "EmbeddingEntry",
+    "Location",
+    "pack_handle",
+    "unpack_handle",
+    "HashIndex",
+    "LRUList",
+    "AccessQueue",
+    "CheckpointRequestQueue",
+    "PipelinedCache",
+    "PullResult",
+    "MaintainResult",
+    "CheckpointCoordinator",
+    "PSNode",
+    "PSOptimizer",
+    "PSSGD",
+    "PSAdagrad",
+    "OpenEmbeddingServer",
+    "HashPartitioner",
+    "RecoveryReport",
+    "recover_node",
+    "ReplicatedPSNode",
+]

@@ -1,0 +1,112 @@
+"""Cache admission control (extension beyond the paper).
+
+The paper's cache admits every miss into DRAM. Under the DLRM skew
+most tail keys are seen once or twice per epoch (Section III: "most of
+the features appear only a few times during the whole training
+process"), so admitting them evicts warmer entries and generates PMem
+write-back churn for data that will not be reused.
+
+:class:`FrequencyAdmission` is a TinyLFU-style filter: a count-min
+sketch estimates each key's access frequency and a key is only promoted
+to DRAM once it has been seen ``threshold`` times. ``threshold=0``
+disables the filter (the paper's behaviour). The sketch halves itself
+periodically so estimates track the recent window rather than all of
+history.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.sharding import mix64
+from repro.errors import ConfigError
+
+
+class CountMinSketch:
+    """A count-min sketch over integer keys.
+
+    Args:
+        width: counters per row (power of two recommended).
+        depth: independent hash rows.
+        seed: hash seed.
+
+    Estimates never under-count; over-counting is bounded by collisions
+    (~``total_adds / width`` per row, min over rows).
+    """
+
+    def __init__(self, width: int = 4096, depth: int = 4, seed: int = 0):
+        if width <= 0 or depth <= 0:
+            raise ConfigError("sketch width and depth must be positive")
+        self.width = width
+        self.depth = depth
+        self._rows = np.zeros((depth, width), dtype=np.uint32)
+        self._seeds = [mix64((seed << 8) | row) for row in range(depth)]
+        self.total_adds = 0
+
+    def _indices(self, key: int) -> list[int]:
+        return [mix64(key ^ s) % self.width for s in self._seeds]
+
+    def add(self, key: int, count: int = 1) -> None:
+        """Record ``count`` occurrences of ``key``."""
+        for row, index in enumerate(self._indices(key)):
+            self._rows[row, index] += count
+        self.total_adds += count
+
+    def estimate(self, key: int) -> int:
+        """Upper-biased frequency estimate for ``key``."""
+        return int(min(self._rows[row, index] for row, index in
+                       enumerate(self._indices(key))))
+
+    def halve(self) -> None:
+        """Age all counters (the TinyLFU reset), keeping recency."""
+        self._rows >>= 1
+        self.total_adds //= 2
+
+
+class FrequencyAdmission:
+    """Admit a key to the DRAM cache after ``threshold`` sightings.
+
+    Args:
+        threshold: sightings required before promotion; 1 admits on the
+            second access, 0 always admits.
+        sketch_width / sketch_depth: count-min sizing.
+        halve_every: age the sketch after this many recorded accesses
+            (keeps the estimate windowed).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 1,
+        sketch_width: int = 4096,
+        sketch_depth: int = 4,
+        halve_every: int = 100_000,
+        seed: int = 0,
+    ):
+        if threshold < 0:
+            raise ConfigError("threshold must be non-negative")
+        if halve_every <= 0:
+            raise ConfigError("halve_every must be positive")
+        self.threshold = threshold
+        self.halve_every = halve_every
+        self.sketch = CountMinSketch(sketch_width, sketch_depth, seed)
+        self.admitted = 0
+        self.bypassed = 0
+
+    def should_admit(self, key: int) -> bool:
+        """Record one access of ``key``; True when it may enter DRAM."""
+        if self.threshold == 0:
+            self.admitted += 1
+            return True
+        self.sketch.add(key)
+        if self.sketch.total_adds % self.halve_every == 0:
+            self.sketch.halve()
+        if self.sketch.estimate(key) > self.threshold:
+            self.admitted += 1
+            return True
+        self.bypassed += 1
+        return False
+
+    @property
+    def bypass_rate(self) -> float:
+        total = self.admitted + self.bypassed
+        return self.bypassed / total if total else 0.0

@@ -1,0 +1,512 @@
+"""The pipelined DRAM cache with co-designed checkpointing.
+
+This module is the paper's core: Algorithm 1 (*Pull Weights*) and
+Algorithm 2 (*Cache Replacement & Checkpoint*), plus the update path.
+
+The functional contract (independent of timing):
+
+* ``pull(keys, n)`` serves weights from DRAM or PMem and enqueues the
+  accessed entries on the access queue — it never mutates the LRU list
+  or moves data between tiers (that is deferred, the "pipeline").
+* ``maintain(n)`` is one cache-maintainer round for batch ``n``: flush
+  entries whose version is covered by an outstanding checkpoint, advance
+  versions, reorder the LRU, load missed entries into DRAM and evict
+  victims — completing the on-going checkpoint when the victim's version
+  has moved past it (Algorithm 2 lines 22-28).
+* ``update(keys, grads, n)`` applies pushed gradients via the PS-side
+  optimizer.
+
+Whether the *time* of ``maintain`` overlaps GPU compute is decided by
+the performance model (``CacheConfig.pipelined``); the functional
+behaviour — and therefore the trained weights — is identical either
+way, which tests assert.
+
+The cache supports a **metadata-only mode** (``initializer=None``) where
+entries carry no weight arrays: all bookkeeping, versioning, eviction
+and checkpoint logic runs identically, but pulls return None. The
+performance benchmarks run in this mode to simulate billions-scale
+models cheaply.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.config import CacheConfig, EvictionPolicy
+from repro.core.admission import FrequencyAdmission
+from repro.core.checkpoint import CheckpointCoordinator
+from repro.core.entry import EmbeddingEntry, Location
+from repro.core.hash_index import HashIndex
+from repro.core.lru import LRUList
+from repro.core.optimizers import PSOptimizer, PSSGD
+from repro.core.queues import AccessQueue
+from repro.errors import KeyNotFoundError, ServerError
+from repro.pmem.space import VersionedEntryStore
+from repro.simulation.metrics import Metrics
+
+
+@dataclass(frozen=True)
+class PullResult:
+    """Outcome of one pull request (Algorithm 1)."""
+
+    weights: np.ndarray | None
+    hits: int
+    misses: int
+    created: int
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses + self.created
+
+
+@dataclass(frozen=True)
+class MaintainResult:
+    """Outcome of one maintenance round (Algorithm 2)."""
+
+    processed: int
+    loads: int
+    flushes: int
+    evictions: int
+    checkpoints_completed: int
+
+
+class PipelinedCache:
+    """DRAM cache over a versioned PMem store (Figures 4 and 5).
+
+    Args:
+        config: capacity / policy / pipelining flags.
+        store: the PMem-side versioned entry store.
+        coordinator: checkpoint request/completion tracking.
+        dim: embedding dimension.
+        initializer: ``key -> float32[dim]`` for new entries; None puts
+            the cache in metadata-only mode.
+        optimizer: PS-side update rule (default plain SGD).
+        metrics: statistics sink (a fresh one is created if omitted).
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        store: VersionedEntryStore,
+        coordinator: CheckpointCoordinator,
+        dim: int,
+        initializer: Callable[[int], np.ndarray] | None = None,
+        optimizer: PSOptimizer | None = None,
+        metrics: Metrics | None = None,
+        auto_create: bool = True,
+    ):
+        self.config = config
+        self.store = store
+        self.coordinator = coordinator
+        self.dim = dim
+        self.initializer = initializer
+        self.optimizer = optimizer or PSSGD()
+        self.metrics = metrics or Metrics()
+        self.auto_create = auto_create
+        self.index = HashIndex()
+        self.lru = LRUList()
+        self.access_queue = AccessQueue()
+        self.capacity_entries = config.capacity_entries(self._stored_bytes())
+        self.admission = (
+            FrequencyAdmission(config.admission_threshold)
+            if config.admission_threshold > 0
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: pull
+    # ------------------------------------------------------------------
+
+    def pull(self, keys: Sequence[int], batch_id: int) -> PullResult:
+        """Serve a pull request for ``keys`` at batch ``batch_id``.
+
+        Weights are copied out of DRAM or PMem as found; accessed
+        entries are appended to the access queue for the maintainer
+        (Algorithm 1 line 17). New keys are initialised in DRAM
+        (lines 6-12).
+
+        Raises:
+            KeyNotFoundError: unseen key with ``auto_create`` disabled.
+        """
+        value_mode = self.initializer is not None
+        out = (
+            np.empty((len(keys), self.dim), dtype=np.float32) if value_mode else None
+        )
+        entries: list[EmbeddingEntry] = []
+        hits = misses = created = 0
+        for i, key in enumerate(keys):
+            entry = self.index.find(key)
+            if entry is None:
+                if not self.auto_create:
+                    raise KeyNotFoundError(key)
+                entry = self._create_entry(key, batch_id)
+                created += 1
+            elif entry.in_dram:
+                hits += 1
+            else:
+                misses += 1
+            if out is not None:
+                out[i] = self._read_weights(entry)
+            entries.append(entry)
+        self.access_queue.append(batch_id, entries)
+        self.metrics.pulls += len(keys)
+        self.metrics.cache.hits += hits
+        self.metrics.cache.misses += misses
+        self.metrics.entries_created += created
+        return PullResult(weights=out, hits=hits, misses=misses, created=created)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2: deferred cache maintenance + checkpointing
+    # ------------------------------------------------------------------
+
+    def maintain(self, batch_id: int) -> MaintainResult:
+        """Run the cache-maintainer round for batch ``batch_id``.
+
+        Must be called after all pulls of the batch completed and before
+        the batch's updates are applied — the write lock in Algorithm 2
+        enforces exactly this ordering in the real system.
+        """
+        entries = self.access_queue.pop_batch(batch_id)
+        loads = flushes = evictions = completed = 0
+        for entry in entries:
+            flush_barrier = self.coordinator.max_pending()
+            if entry.in_dram:
+                if flush_barrier is not None and entry.version <= flush_barrier:
+                    # The entry's current weights are the state the
+                    # on-going checkpoint must capture; persist them
+                    # before the version advances (Alg. 2 lines 13-15).
+                    self._flush(entry)
+                    flushes += 1
+                entry.version = batch_id
+                self._reorder(entry)
+            else:
+                if self.admission is not None and not self.admission.should_admit(
+                    entry.key
+                ):
+                    # Admission filter (extension): a cold key stays in
+                    # PMem — its durable copy remains authoritative and
+                    # its version does not advance, so checkpoint
+                    # bookkeeping is untouched.
+                    continue
+                self._load_to_dram(entry)
+                loads += 1
+                entry.version = batch_id
+                self._reorder(entry)
+            ev, fl, done = self._evict_to_capacity()
+            evictions += ev
+            flushes += fl
+            completed += done
+        return MaintainResult(
+            processed=len(entries),
+            loads=loads,
+            flushes=flushes,
+            evictions=evictions,
+            checkpoints_completed=completed,
+        )
+
+    # ------------------------------------------------------------------
+    # update (push) path
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        keys: Sequence[int],
+        grads: np.ndarray | None,
+        batch_id: int,
+    ) -> int:
+        """Apply pushed gradients for batch ``batch_id``.
+
+        Duplicate keys within one push have their gradients summed
+        before a single optimizer application — standard sparse-gradient
+        aggregation. Returns the number of distinct entries updated.
+
+        Raises:
+            KeyNotFoundError: a key that was never pulled.
+            ServerError: gradient shape mismatch.
+        """
+        value_mode = self.initializer is not None
+        if value_mode:
+            if grads is None:
+                raise ServerError("value-mode cache requires gradients on update")
+            if grads.shape != (len(keys), self.dim):
+                raise ServerError(
+                    f"gradient shape {grads.shape} != ({len(keys)}, {self.dim})"
+                )
+        aggregated = self._aggregate(keys, grads if value_mode else None)
+        for key, grad in aggregated.items():
+            entry = self.index.find(key)
+            if entry is None:
+                raise KeyNotFoundError(key)
+            if entry.in_dram:
+                if value_mode:
+                    self.optimizer.apply(entry.weights, entry.opt_state, grad)
+                entry.dirty = True
+            else:
+                # Not expected in the normal pull -> maintain -> update
+                # order (maintenance loads every accessed entry), but
+                # kept for robustness: read-modify-write through the
+                # store, which retains checkpoint-protected versions.
+                self._update_in_pmem(entry, grad, batch_id, value_mode)
+        self.metrics.updates += len(keys)
+        return len(aggregated)
+
+    # ------------------------------------------------------------------
+    # barriers / draining
+    # ------------------------------------------------------------------
+
+    def flush_all(self) -> int:
+        """Durably flush every cached entry at its current version.
+
+        Used at training barriers (epoch end, clean shutdown). Returns
+        the number of entries flushed.
+        """
+        flushed = 0
+        for entry in self.lru:
+            self._flush(entry)
+            flushed += 1
+        return flushed
+
+    def complete_pending_checkpoints(self) -> list[int]:
+        """Flush the cache and complete every queued checkpoint.
+
+        The paper's system completes checkpoints opportunistically via
+        evictions; at a barrier (or in tests) we force completion: after
+        ``flush_all`` every pending snapshot is durable, so all queued
+        requests can finish.
+        """
+        if self.coordinator.head() is None:
+            return []
+        self.flush_all()
+        return self.coordinator.complete_all_pending()
+
+    def drop_cache(self) -> int:
+        """Flush and evict everything (leaves an empty, consistent cache)."""
+        dropped = 0
+        while len(self.lru) > 0:
+            victim = self.lru.pop_victim()
+            self._flush(victim)
+            self._demote(victim)
+            dropped += 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def cached_entries(self) -> int:
+        return len(self.lru)
+
+    def cached_keys(self) -> list[int]:
+        """Keys currently DRAM-resident, MRU first."""
+        return [entry.key for entry in self.lru]
+
+    def read_current_weights(self, key: int) -> np.ndarray:
+        """The live weights of ``key`` regardless of tier (testing aid).
+
+        Raises:
+            KeyNotFoundError: unknown key.
+        """
+        entry = self.index.find(key)
+        if entry is None:
+            raise KeyNotFoundError(key)
+        return np.array(self._read_weights(entry), copy=True)
+
+    def validate(self) -> None:
+        """Check cross-structure invariants; used by tests."""
+        self.index.validate()
+        self.lru.validate(
+            check_version_order=self.config.policy == EvictionPolicy.LRU
+        )
+        for entry in self.lru:
+            if not entry.in_dram:
+                raise ServerError(f"listed entry {entry.key} marked PMEM")
+        dram_count = sum(1 for e in self.index.entries() if e.in_dram)
+        if dram_count != len(self.lru):
+            raise ServerError(
+                f"{dram_count} DRAM entries but {len(self.lru)} listed in LRU"
+            )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _stored_bytes(self) -> int:
+        """Bytes one entry occupies (weights + optimizer state)."""
+        width = self.dim + self.optimizer.state_width(self.dim)
+        return max(1, width) * 4
+
+    def _create_entry(self, key: int, batch_id: int) -> EmbeddingEntry:
+        entry = EmbeddingEntry(key, version=batch_id)
+        if self.initializer is not None:
+            weights = np.asarray(self.initializer(key), dtype=np.float32)
+            if weights.shape != (self.dim,):
+                raise ServerError(
+                    f"initializer returned shape {weights.shape}, want ({self.dim},)"
+                )
+            entry.weights = weights
+            entry.opt_state = self.optimizer.init_state(self.dim)
+        entry.location = Location.DRAM
+        entry.dirty = True
+        self.index.insert(entry)
+        return entry
+
+    def _read_weights(self, entry: EmbeddingEntry) -> np.ndarray | None:
+        if entry.in_dram:
+            return entry.weights
+        __, stored = self.store.read_latest(entry.key)
+        if stored is None:
+            return None
+        return stored[: self.dim]
+
+    def _reorder(self, entry: EmbeddingEntry) -> None:
+        if self.config.policy == EvictionPolicy.LRU:
+            self.lru.move_to_front(entry)
+            return
+        # FIFO / CLOCK: insertion order only. CLOCK marks RE-accessed
+        # entries referenced so eviction grants them a second chance;
+        # fresh insertions start unreferenced (standard CLOCK), which is
+        # what makes one-hit scan keys leave before warm entries.
+        if not entry.in_lru:
+            self.lru.push_front(entry)
+            entry.referenced = False
+        elif self.config.policy == EvictionPolicy.CLOCK:
+            entry.referenced = True
+
+    def _flush(self, entry: EmbeddingEntry) -> None:
+        """Persist the entry's current state under its current version."""
+        if not entry.in_dram:
+            raise ServerError(f"cannot flush non-resident entry {entry.key}")
+        self.store.put(entry.key, entry.version, self._pack(entry))
+        entry.dirty = False
+        self.metrics.pmem_flush_entries += 1
+        self.metrics.cache.flushes += 1
+
+    def _load_to_dram(self, entry: EmbeddingEntry) -> None:
+        """Algorithm 2 ``loadToDRAM``: promote the newest PMem version."""
+        if entry.in_dram:
+            raise ServerError(f"entry {entry.key} already resident")
+        __, stored = self.store.read_latest(entry.key)
+        self._unpack(entry, stored)
+        self.index.set_location(entry, Location.DRAM)
+        entry.dirty = False
+        self.metrics.pmem_load_entries += 1
+        self.metrics.cache.loads += 1
+
+    def _demote(self, entry: EmbeddingEntry) -> None:
+        self.index.set_location(entry, Location.PMEM)
+        entry.weights = None
+        entry.opt_state = None
+
+    def _evict_to_capacity(self) -> tuple[int, int, int]:
+        """Evict victims until within capacity.
+
+        Returns (evictions, flushes, checkpoints_completed). The
+        checkpoint-completion test of Algorithm 2 lines 23-28 runs on
+        every victim: once the oldest cached version has moved past the
+        on-going checkpoint's batch id, every entry the checkpoint needs
+        is durable, so the *Checkpointed Batch ID* is persisted and the
+        request dequeued.
+
+        The paper's one-comparison completion test (victim.version > cp)
+        is sound ONLY under LRU, where list order equals version order
+        and the victim carries the cache's minimum version. FIFO and
+        CLOCK keep insertion order, so a re-accessed tail entry can have
+        a high version while a middle entry still holds pre-checkpoint
+        state — for those policies the completion check scans for the
+        true minimum cached version instead.
+        """
+        evictions = flushes = completed = 0
+        while len(self.lru) > self.capacity_entries:
+            victim = self._select_victim()
+            head = self.coordinator.head()
+            if head is not None and victim.version > head:
+                floor = (
+                    victim.version
+                    if self.config.policy == EvictionPolicy.LRU
+                    else self._min_cached_version()
+                )
+                while head is not None and floor > head:
+                    self.coordinator.complete_head()
+                    self.metrics.checkpoints_completed += 1
+                    completed += 1
+                    head = self.coordinator.head()
+            self.lru.remove(victim)
+            if victim.dirty or not self.config.track_dirty:
+                self._flush(victim)
+                flushes += 1
+            self._demote(victim)
+            evictions += 1
+            self.metrics.cache.evictions += 1
+        return evictions, flushes, completed
+
+    def _select_victim(self) -> EmbeddingEntry:
+        """The entry to evict under the configured policy."""
+        if self.config.policy != EvictionPolicy.CLOCK:
+            return self.lru.peek_victim()
+        # CLOCK: sweep from the tail; referenced entries get a second
+        # chance (bit cleared, moved to the front).
+        while True:
+            candidate = self.lru.peek_victim()
+            if not candidate.referenced:
+                return candidate
+            candidate.referenced = False
+            self.lru.move_to_front(candidate)
+
+    def _min_cached_version(self) -> int:
+        """Minimum version across the cache (policy-agnostic scan)."""
+        return min(entry.version for entry in self.lru)
+
+    def _update_in_pmem(
+        self,
+        entry: EmbeddingEntry,
+        grad: np.ndarray | None,
+        batch_id: int,
+        value_mode: bool,
+    ) -> None:
+        if value_mode:
+            __, stored = self.store.read_latest(entry.key)
+            weights = stored[: self.dim]
+            state = stored[self.dim :] if stored.size > self.dim else None
+            self.optimizer.apply(weights, state, grad)
+            packed = stored
+        else:
+            packed = None
+        self.store.put(entry.key, batch_id, packed)
+        self.metrics.pmem_flush_entries += 1
+
+    def _pack(self, entry: EmbeddingEntry) -> np.ndarray | None:
+        if entry.weights is None:
+            return None
+        if entry.opt_state is None:
+            return entry.weights
+        return np.concatenate([entry.weights, entry.opt_state])
+
+    def _unpack(self, entry: EmbeddingEntry, stored: np.ndarray | None) -> None:
+        if stored is None:
+            entry.weights = None
+            entry.opt_state = None
+            return
+        entry.weights = np.array(stored[: self.dim], copy=True)
+        if stored.size > self.dim:
+            entry.opt_state = np.array(stored[self.dim :], copy=True)
+        else:
+            entry.opt_state = None
+
+    @staticmethod
+    def _aggregate(
+        keys: Sequence[int], grads: np.ndarray | None
+    ) -> dict[int, np.ndarray | None]:
+        """Sum duplicate keys' gradients (None grads pass through)."""
+        aggregated: dict[int, np.ndarray | None] = {}
+        for i, key in enumerate(keys):
+            if grads is None:
+                aggregated[key] = None
+            elif key in aggregated:
+                aggregated[key] = aggregated[key] + grads[i]
+            else:
+                aggregated[key] = np.array(grads[i], copy=True)
+        return aggregated

@@ -1,0 +1,149 @@
+"""Embedding entries and tagged ("smart") pointers.
+
+Section V-A: the DRAM hash index stores pointers that *"use the lowest
+bit to indicate whether the target embedding entry is in DRAM or PMem"*
+(after the smart pointers of Chen et al., VLDB'21). We reproduce the
+mechanism literally: index handles are integers whose low bit is the
+location tag and whose upper bits are an arena slot.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.errors import ServerError
+
+
+class Location(enum.IntEnum):
+    """Where an entry's weights currently reside; doubles as the tag bit."""
+
+    DRAM = 0
+    PMEM = 1
+
+
+def pack_handle(slot: int, location: Location) -> int:
+    """Pack an arena slot and location tag into one index handle.
+
+    The low bit carries the location (DRAM=0 / PMem=1); the remaining
+    bits carry the slot, mirroring pointer tagging on 8-byte-aligned
+    addresses.
+    """
+    if slot < 0:
+        raise ServerError(f"slot must be non-negative, got {slot}")
+    return (slot << 1) | int(location)
+
+
+def unpack_handle(handle: int) -> tuple[int, Location]:
+    """Inverse of :func:`pack_handle`: returns ``(slot, location)``."""
+    if handle < 0:
+        raise ServerError(f"handle must be non-negative, got {handle}")
+    return handle >> 1, Location(handle & 1)
+
+
+class EmbeddingEntry:
+    """DRAM-side state of one embedding entry.
+
+    The object always exists in DRAM (it is the index's target); whether
+    the *weights* are DRAM-resident is tracked by ``location``. When the
+    entry lives in PMem, ``weights``/``opt_state`` are None and the
+    authoritative copy sits in the versioned store.
+
+    Attributes:
+        key: embedding id.
+        weights: float32 vector, or None when not DRAM-resident (or in
+            metadata-only simulation mode).
+        opt_state: PS-side optimizer state (e.g. Adagrad accumulator),
+            same residency rules as weights.
+        version: batch id of the last access (Algorithm 1 line 10 /
+            Algorithm 2 lines 16, 20).
+        location: DRAM or PMEM — the tag bit of the index handle.
+        dirty: weights were updated since the last flush (used by the
+            dirty-tracking ablation; the paper's system always flushes).
+        slot: arena slot backing this entry's handle.
+    """
+
+    __slots__ = (
+        "key",
+        "weights",
+        "opt_state",
+        "version",
+        "location",
+        "dirty",
+        "referenced",
+        "slot",
+        "lru_prev",
+        "lru_next",
+        "in_lru",
+    )
+
+    def __init__(self, key: int, version: int = -1):
+        self.key = key
+        self.weights: np.ndarray | None = None
+        self.opt_state: np.ndarray | None = None
+        self.version = version
+        self.location = Location.DRAM
+        self.dirty = False
+        self.referenced = False
+        self.slot = -1
+        self.lru_prev: EmbeddingEntry | None = None
+        self.lru_next: EmbeddingEntry | None = None
+        self.in_lru = False
+
+    @property
+    def in_dram(self) -> bool:
+        return self.location == Location.DRAM
+
+    def __repr__(self) -> str:
+        return (
+            f"EmbeddingEntry(key={self.key}, version={self.version}, "
+            f"loc={self.location.name}, dirty={self.dirty})"
+        )
+
+
+class EntryArena:
+    """Slab of entries addressed by slot, backing the tagged handles.
+
+    Models the PS node's entry allocator: the hash index never stores
+    object references, only integer handles; resolving a handle goes
+    through the arena, exactly like dereferencing a tagged pointer.
+    """
+
+    def __init__(self) -> None:
+        self._slots: list[EmbeddingEntry | None] = []
+        self._free: list[int] = []
+
+    def alloc(self, entry: EmbeddingEntry) -> int:
+        """Place ``entry`` in the arena and return its slot."""
+        if self._free:
+            slot = self._free.pop()
+            self._slots[slot] = entry
+        else:
+            slot = len(self._slots)
+            self._slots.append(entry)
+        entry.slot = slot
+        return slot
+
+    def get(self, slot: int) -> EmbeddingEntry:
+        """Resolve a slot to its entry.
+
+        Raises:
+            ServerError: the slot is invalid or was freed.
+        """
+        if slot < 0 or slot >= len(self._slots):
+            raise ServerError(f"invalid arena slot {slot}")
+        entry = self._slots[slot]
+        if entry is None:
+            raise ServerError(f"arena slot {slot} is free (dangling handle)")
+        return entry
+
+    def free(self, slot: int) -> None:
+        """Release a slot (the entry is gone from the node entirely)."""
+        entry = self.get(slot)
+        entry.slot = -1
+        self._slots[slot] = None
+        self._free.append(slot)
+
+    def __len__(self) -> int:
+        return len(self._slots) - len(self._free)

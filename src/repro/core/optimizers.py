@@ -1,0 +1,98 @@
+"""PS-side optimizers for sparse embedding updates.
+
+In a DLRM parameter server the optimizer for the sparse features runs on
+the PS: workers push raw gradients and the PS applies the update rule
+(the paper's ``UpdateWeights`` operator). SGD is stateless; Adagrad
+keeps a per-entry accumulator that must live, persist and recover with
+the entry, so entries carry an ``opt_state`` vector of
+``optimizer.state_width(dim)`` floats.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+class PSOptimizer(abc.ABC):
+    """Update rule applied by the PS when gradients are pushed."""
+
+    @abc.abstractmethod
+    def state_width(self, dim: int) -> int:
+        """Floats of per-entry state for a ``dim``-wide embedding."""
+
+    @abc.abstractmethod
+    def init_state(self, dim: int) -> np.ndarray | None:
+        """Fresh per-entry state (None when stateless)."""
+
+    @abc.abstractmethod
+    def apply(
+        self, weights: np.ndarray, state: np.ndarray | None, grad: np.ndarray
+    ) -> None:
+        """Apply one aggregated gradient in place to ``weights``/``state``."""
+
+
+class PSSGD(PSOptimizer):
+    """Plain SGD: ``w -= lr * g``. Stateless."""
+
+    def __init__(self, lr: float = 0.01):
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def state_width(self, dim: int) -> int:
+        return 0
+
+    def init_state(self, dim: int) -> np.ndarray | None:
+        return None
+
+    def apply(
+        self, weights: np.ndarray, state: np.ndarray | None, grad: np.ndarray
+    ) -> None:
+        weights -= self.lr * grad
+
+    def __repr__(self) -> str:
+        return f"PSSGD(lr={self.lr})"
+
+
+class PSAdagrad(PSOptimizer):
+    """Adagrad: per-coordinate adaptive rate with a persistent accumulator.
+
+    ``acc += g^2; w -= lr * g / (sqrt(acc) + eps)``
+
+    The accumulator is entry state: it is cached, flushed and
+    checkpointed together with the weights, so recovery restores the
+    optimizer exactly.
+    """
+
+    def __init__(
+        self, lr: float = 0.05, eps: float = 1e-8, initial_accumulator: float = 0.1
+    ):
+        if lr <= 0:
+            raise ConfigError(f"learning rate must be positive, got {lr}")
+        if eps <= 0:
+            raise ConfigError(f"eps must be positive, got {eps}")
+        if initial_accumulator < 0:
+            raise ConfigError("initial_accumulator must be non-negative")
+        self.lr = lr
+        self.eps = eps
+        self.initial_accumulator = initial_accumulator
+
+    def state_width(self, dim: int) -> int:
+        return dim
+
+    def init_state(self, dim: int) -> np.ndarray | None:
+        return np.full(dim, self.initial_accumulator, dtype=np.float32)
+
+    def apply(
+        self, weights: np.ndarray, state: np.ndarray | None, grad: np.ndarray
+    ) -> None:
+        assert state is not None, "Adagrad requires per-entry state"
+        state += grad * grad
+        weights -= self.lr * grad / (np.sqrt(state) + self.eps)
+
+    def __repr__(self) -> str:
+        return f"PSAdagrad(lr={self.lr})"

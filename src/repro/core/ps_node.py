@@ -1,0 +1,178 @@
+"""A single OpenEmbedding parameter-server node (Figure 4).
+
+A node bundles: a PMem pool + versioned store (persistent tier), the
+pipelined DRAM cache (Algorithms 1/2), a checkpoint coordinator, and a
+deterministic per-key initializer. The node exposes the PS protocol the
+TensorFlow operators call: ``pull``, ``push`` (gradients), ``maintain``
+(the cache-maintainer round) and checkpoint control.
+
+Determinism: new entries are initialised from an RNG seeded by
+``(seed, key)``, so initial weights depend only on the key — never on
+access order, cache size or pipelining. Tests rely on this to prove the
+pipeline is semantics-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CacheConfig, ServerConfig
+from repro.core.cache import MaintainResult, PipelinedCache, PullResult
+from repro.core.checkpoint import CheckpointCoordinator
+from repro.core.optimizers import PSOptimizer, PSSGD
+from repro.errors import CheckpointError
+from repro.pmem.pool import PmemPool
+from repro.pmem.space import VersionedEntryStore
+from repro.simulation.metrics import Metrics
+
+
+class PSNode:
+    """One shard of the distributed embedding table.
+
+    Args:
+        node_id: shard index (also perturbs nothing — init is key-seeded).
+        server_config: model shape / pool size / seed.
+        cache_config: DRAM cache parameters.
+        optimizer: PS-side update rule.
+        metadata_only: run without real weight arrays (performance
+            simulations); pulls return None.
+        pool: reuse an existing pool — this is how crash recovery hands
+            the surviving PMem DIMMs to a fresh node process.
+        cluster_mode: this node is one shard of a coordinated cluster;
+            its coordinator then retains every completed checkpoint the
+            cluster-wide external barrier has not yet superseded (see
+            :meth:`CheckpointCoordinator.set_external_barrier`).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        server_config: ServerConfig,
+        cache_config: CacheConfig | None = None,
+        optimizer: PSOptimizer | None = None,
+        metadata_only: bool = False,
+        pool: PmemPool | None = None,
+        cluster_mode: bool = False,
+    ):
+        self.node_id = node_id
+        self.server_config = server_config
+        self.cache_config = cache_config or CacheConfig()
+        self.optimizer = optimizer or PSSGD()
+        self.metadata_only = metadata_only
+        self.metrics = Metrics()
+
+        dim = server_config.embedding_dim
+        stored_bytes = (dim + self.optimizer.state_width(dim)) * 4
+        # `pool or ...` would be wrong here: PmemPool defines __len__,
+        # so an EMPTY surviving pool (a shard that held no entries) is
+        # falsy and would be silently replaced by a fresh pool —
+        # discarding its durable checkpoint root during recovery.
+        self.pool = pool if pool is not None else PmemPool(
+            server_config.pmem_capacity_bytes
+        )
+        self.store = VersionedEntryStore(self.pool, entry_bytes=stored_bytes)
+        self.coordinator = CheckpointCoordinator(self.store, cluster_mode=cluster_mode)
+        initializer = None if metadata_only else self._make_initializer()
+        self.cache = PipelinedCache(
+            self.cache_config,
+            self.store,
+            self.coordinator,
+            dim=dim,
+            initializer=initializer,
+            optimizer=self.optimizer,
+            metrics=self.metrics,
+            auto_create=server_config.auto_create,
+        )
+        self.latest_completed_batch = -1
+
+    # ------------------------------------------------------------------
+    # PS protocol
+    # ------------------------------------------------------------------
+
+    def pull(self, keys, batch_id: int) -> PullResult:
+        """Serve a PullWeights request."""
+        return self.cache.pull(keys, batch_id)
+
+    def maintain(self, batch_id: int) -> MaintainResult:
+        """Run the deferred cache-maintenance round for ``batch_id``."""
+        return self.cache.maintain(batch_id)
+
+    def push(self, keys, grads: np.ndarray | None, batch_id: int) -> int:
+        """Apply a PushGradients request; marks the batch trained."""
+        updated = self.cache.update(keys, grads, batch_id)
+        self.latest_completed_batch = max(self.latest_completed_batch, batch_id)
+        return updated
+
+    # ------------------------------------------------------------------
+    # checkpoint control
+    # ------------------------------------------------------------------
+
+    def request_checkpoint(self, batch_id: int | None = None) -> int:
+        """Queue a checkpoint (manual trigger, Figure 5 right).
+
+        Defaults to the latest batch whose updates this node has seen.
+
+        Raises:
+            CheckpointError: nothing has been trained yet.
+        """
+        if batch_id is None:
+            batch_id = self.latest_completed_batch
+        if batch_id < 0:
+            raise CheckpointError("no completed batch to checkpoint")
+        self.coordinator.request(batch_id)
+        return batch_id
+
+    def barrier_checkpoint(self, batch_id: int | None = None) -> int:
+        """Request a checkpoint and force it to complete synchronously.
+
+        Unlike the opportunistic in-pipeline completion, this flushes
+        the cache — the behaviour of a clean shutdown / final epoch
+        checkpoint.
+        """
+        requested = self.request_checkpoint(batch_id)
+        self.cache.complete_pending_checkpoints()
+        return requested
+
+    # ------------------------------------------------------------------
+    # failure simulation
+    # ------------------------------------------------------------------
+
+    def crash(self) -> PmemPool:
+        """Kill the node process; only the PMem pool survives.
+
+        Returns the pool so the caller can hand it to
+        :func:`repro.core.recovery.recover_node`.
+        """
+        self.pool.crash()
+        return self.pool
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        """Distinct keys this node holds (cached or persistent)."""
+        return len(self.cache.index)
+
+    def read_weights(self, key: int) -> np.ndarray:
+        """Live weights of one key (testing/inspection)."""
+        return self.cache.read_current_weights(key)
+
+    def state_snapshot(self) -> dict[int, np.ndarray]:
+        """Copy of every key's live weights (reference-model testing)."""
+        return {
+            entry.key: np.array(self.cache.read_current_weights(entry.key), copy=True)
+            for entry in self.cache.index.entries()
+        }
+
+    def _make_initializer(self):
+        scale = self.server_config.initializer_scale
+        dim = self.server_config.embedding_dim
+        seed = self.server_config.seed
+
+        def initialize(key: int) -> np.ndarray:
+            rng = np.random.default_rng((seed, key))
+            return rng.uniform(-scale, scale, dim).astype(np.float32)
+
+        return initialize

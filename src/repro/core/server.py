@@ -1,0 +1,269 @@
+"""Distributed OpenEmbedding server: hash-partitioned PS nodes.
+
+The facade the training framework talks to. Keys are routed to shards
+with :class:`HashPartitioner`; pulls gather per-node responses back into
+request order; checkpoints are coordinated cluster-wide so recovery
+always restores a single consistent batch across all shards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CacheConfig, ServerConfig
+from repro.core.cache import MaintainResult, PullResult
+from repro.core.ps_node import PSNode
+from repro.core.optimizers import PSOptimizer, PSSGD
+from repro.core.recovery import RecoveryReport, recover_node
+from repro.core.sharding import HashPartitioner
+from repro.errors import CheckpointError, RecoveryError
+from repro.pmem.pool import PmemPool
+from repro.simulation.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.pmem.space import CHECKPOINT_ID_FIELD, NO_CHECKPOINT
+
+
+class OpenEmbeddingServer:
+    """A cluster of PS nodes behind one pull/push interface.
+
+    Args:
+        server_config: shard count, embedding dim, pool sizing, seed.
+        cache_config: per-node DRAM cache parameters.
+        optimizer: PS-side optimizer (shared rule, per-entry state).
+        metadata_only: no real weights (performance simulations).
+    """
+
+    def __init__(
+        self,
+        server_config: ServerConfig | None = None,
+        cache_config: CacheConfig | None = None,
+        optimizer: PSOptimizer | None = None,
+        metadata_only: bool = False,
+        nodes: list[PSNode] | None = None,
+        cluster_mode: bool | None = None,
+    ):
+        self.server_config = server_config or ServerConfig()
+        self.cache_config = cache_config or CacheConfig()
+        self.optimizer = optimizer or PSSGD()
+        self.metadata_only = metadata_only
+        # Cluster retention semantics are needed whenever some wider
+        # scope must agree on a common checkpoint: multiple shards here,
+        # or this server being one table of a collection (the caller
+        # passes True then).
+        if cluster_mode is None:
+            cluster_mode = self.server_config.num_nodes > 1
+        self.cluster_mode = cluster_mode
+        self.partitioner = HashPartitioner(self.server_config.num_nodes)
+        if nodes is None:
+            self.nodes = [
+                PSNode(
+                    node_id,
+                    self.server_config,
+                    self.cache_config,
+                    self.optimizer,
+                    metadata_only=metadata_only,
+                    cluster_mode=cluster_mode,
+                )
+                for node_id in range(self.server_config.num_nodes)
+            ]
+        else:
+            if len(nodes) != self.server_config.num_nodes:
+                raise RecoveryError(
+                    f"got {len(nodes)} nodes for {self.server_config.num_nodes} shards"
+                )
+            self.nodes = nodes
+
+    # ------------------------------------------------------------------
+    # PS protocol
+    # ------------------------------------------------------------------
+
+    def pull(self, keys, batch_id: int) -> PullResult:
+        """Gather weights for ``keys`` across shards, in request order."""
+        per_node_keys, per_node_positions = self.partitioner.split(keys)
+        value_mode = not self.metadata_only
+        out = (
+            np.empty((len(keys), self.server_config.embedding_dim), dtype=np.float32)
+            if value_mode
+            else None
+        )
+        hits = misses = created = 0
+        for node, node_keys, positions in zip(
+            self.nodes, per_node_keys, per_node_positions
+        ):
+            if not node_keys:
+                continue
+            result = node.pull(node_keys, batch_id)
+            hits += result.hits
+            misses += result.misses
+            created += result.created
+            if out is not None:
+                out[positions] = result.weights
+        return PullResult(weights=out, hits=hits, misses=misses, created=created)
+
+    def maintain(self, batch_id: int) -> list[MaintainResult]:
+        """Run the maintenance round on every shard."""
+        results = [node.maintain(batch_id) for node in self.nodes]
+        self._sync_external_barriers()
+        return results
+
+    def push(self, keys, grads: np.ndarray | None, batch_id: int) -> int:
+        """Scatter gradients to owning shards; returns entries updated."""
+        per_node_keys, per_node_positions = self.partitioner.split(keys)
+        updated = 0
+        for node, node_keys, positions in zip(
+            self.nodes, per_node_keys, per_node_positions
+        ):
+            if not node_keys:
+                continue
+            node_grads = grads[positions] if grads is not None else None
+            updated += node.push(node_keys, node_grads, batch_id)
+        return updated
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def request_checkpoint(self, batch_id: int | None = None) -> int:
+        """Queue a cluster-wide checkpoint on every shard.
+
+        Raises:
+            CheckpointError: no trained batch to snapshot.
+        """
+        if batch_id is None:
+            batch_id = self.latest_completed_batch
+        if batch_id < 0:
+            raise CheckpointError("no completed batch to checkpoint")
+        for node in self.nodes:
+            node.coordinator.request(batch_id)
+        return batch_id
+
+    def barrier_checkpoint(self, batch_id: int | None = None) -> int:
+        """Checkpoint and synchronously complete on every shard."""
+        requested = self.request_checkpoint(batch_id)
+        self.complete_pending_checkpoints()
+        return requested
+
+    def complete_pending_checkpoints(self) -> None:
+        """Force every shard's queued checkpoints to complete (flushes
+        each shard's cache — a training barrier, not the hot path)."""
+        for node in self.nodes:
+            node.cache.complete_pending_checkpoints()
+        self._sync_external_barriers()
+
+    @property
+    def latest_completed_batch(self) -> int:
+        """Newest batch whose updates reached every shard it touched."""
+        return max(node.latest_completed_batch for node in self.nodes)
+
+    @property
+    def global_completed_checkpoint(self) -> int:
+        """Newest checkpoint durably completed by ALL shards (-1 if none)."""
+        return min(node.coordinator.last_completed for node in self.nodes)
+
+    def _sync_external_barriers(self) -> None:
+        """Keep every shard's retention covering the global checkpoint."""
+        global_ckpt = self.global_completed_checkpoint
+        barrier = None if global_ckpt == NO_CHECKPOINT else global_ckpt
+        for node in self.nodes:
+            node.coordinator.set_external_barrier(barrier)
+
+    # ------------------------------------------------------------------
+    # failure / recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> list[PmemPool]:
+        """Kill every node process; the pools survive."""
+        return [node.crash() for node in self.nodes]
+
+    @classmethod
+    def recover(
+        cls,
+        pools: list[PmemPool],
+        server_config: ServerConfig,
+        cache_config: CacheConfig | None = None,
+        optimizer: PSOptimizer | None = None,
+        *,
+        metadata_only: bool = False,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        target_batch_id: int | None = None,
+        cluster_mode: bool | None = None,
+    ) -> tuple["OpenEmbeddingServer", list[RecoveryReport]]:
+        """Rebuild a whole cluster from surviving pools.
+
+        Every shard is restored to the newest checkpoint completed by
+        ALL shards (or to ``target_batch_id`` when a wider scope — e.g.
+        a multi-table collection — must agree on an older one), so the
+        recovered model is batch-consistent. Per-shard recoveries are
+        independent and would run in parallel on real hardware; the
+        reports' times reflect one shard each.
+        """
+        if len(pools) != server_config.num_nodes:
+            raise RecoveryError(
+                f"got {len(pools)} pools for {server_config.num_nodes} shards"
+            )
+        targets = [
+            pool.root.get(CHECKPOINT_ID_FIELD, NO_CHECKPOINT) for pool in pools
+        ]
+        global_target = min(targets)
+        if target_batch_id is not None:
+            if target_batch_id > global_target:
+                raise RecoveryError(
+                    f"target {target_batch_id} newer than durable {global_target}"
+                )
+            global_target = target_batch_id
+        if global_target < 0:
+            raise RecoveryError("some shard has no completed checkpoint")
+        if cluster_mode is None:
+            cluster_mode = server_config.num_nodes > 1
+        nodes = []
+        reports = []
+        for node_id, pool in enumerate(pools):
+            node, report = recover_node(
+                pool,
+                server_config,
+                cache_config,
+                optimizer,
+                node_id=node_id,
+                metadata_only=metadata_only,
+                target_batch_id=global_target,
+                calibration=calibration,
+                cluster_mode=cluster_mode,
+            )
+            nodes.append(node)
+            reports.append(report)
+        server = cls(
+            server_config,
+            cache_config,
+            optimizer,
+            metadata_only=metadata_only,
+            nodes=nodes,
+            cluster_mode=cluster_mode,
+        )
+        server._sync_external_barriers()
+        return server, reports
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        return sum(node.num_entries for node in self.nodes)
+
+    def read_weights(self, key: int) -> np.ndarray:
+        """Live weights of one key, routed to its shard."""
+        return self.nodes[self.partitioner.node_of(key)].read_weights(key)
+
+    def state_snapshot(self) -> dict[int, np.ndarray]:
+        """Live weights of every key across all shards."""
+        snapshot: dict[int, np.ndarray] = {}
+        for node in self.nodes:
+            snapshot.update(node.state_snapshot())
+        return snapshot
+
+    def aggregate_miss_rate(self) -> float:
+        """Cluster-wide cache miss rate."""
+        hits = sum(node.metrics.cache.hits for node in self.nodes)
+        misses = sum(node.metrics.cache.misses for node in self.nodes)
+        if hits + misses == 0:
+            return 0.0
+        return misses / (hits + misses)

@@ -1,0 +1,56 @@
+"""Key partitioning across PS nodes.
+
+Section IV: *"OpenEmbedding identifies the correct PS node by hashing
+the entry's id"*. We use a splitmix64-style integer mix so routing is
+deterministic across processes and runs (Python's builtin ``hash`` is
+salted per process and would break recovery tests).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import ConfigError
+
+_MASK64 = (1 << 64) - 1
+
+
+def mix64(value: int) -> int:
+    """splitmix64 finalizer: a fast, well-distributed 64-bit mix."""
+    value = (value + 0x9E3779B97F4A7C15) & _MASK64
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return value ^ (value >> 31)
+
+
+class HashPartitioner:
+    """Stable key -> node routing for ``num_nodes`` shards."""
+
+    def __init__(self, num_nodes: int):
+        if num_nodes <= 0:
+            raise ConfigError(f"num_nodes must be >= 1, got {num_nodes}")
+        self.num_nodes = num_nodes
+
+    def node_of(self, key: int) -> int:
+        """The shard owning ``key``."""
+        if self.num_nodes == 1:
+            return 0
+        return mix64(key) % self.num_nodes
+
+    def split(
+        self, keys: Sequence[int]
+    ) -> tuple[list[list[int]], list[list[int]]]:
+        """Partition ``keys`` by owner.
+
+        Returns ``(per_node_keys, per_node_positions)`` where
+        ``per_node_positions[n][j]`` is the index in ``keys`` of
+        ``per_node_keys[n][j]`` — used to scatter per-node responses
+        back into request order.
+        """
+        per_node_keys: list[list[int]] = [[] for __ in range(self.num_nodes)]
+        per_node_positions: list[list[int]] = [[] for __ in range(self.num_nodes)]
+        for position, key in enumerate(keys):
+            node = self.node_of(key)
+            per_node_keys[node].append(key)
+            per_node_positions[node].append(position)
+        return per_node_keys, per_node_positions

@@ -1,0 +1,121 @@
+"""Cloud instance pricing and PS deployment cost (Table V).
+
+Table V compares the parameter-server cost of the 500 GB model:
+
+=============  =============  ===========  ============  ==========
+Deployment     Instance       #Machines    $/hour (PS)   $/epoch
+=============  =============  ===========  ============  ==========
+DRAM-PS        r6e.13xlarge   2            6.07          34.9
+PMem-OE        re6p.13xlarge  1            3.80          20.3
+Ori-Cache      re6p.13xlarge  1            3.80          26.6
+=============  =============  ===========  ============  ==========
+
+(Prices are Alibaba Cloud pay-as-you-go.) The cost model reproduces
+the table from first principles: instance specs, the minimum machine
+count to hold a model, and an epoch time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import math
+
+from repro.errors import ConfigError
+
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class InstanceType:
+    """A cloud instance with its memory endowment and hourly price."""
+
+    name: str
+    cores: int
+    dram_gb: int
+    pmem_gb: int
+    dollars_per_hour: float
+
+    def usable_model_bytes(self, dram_reserved_gb: int = 32) -> int:
+        """Bytes of embedding state one machine can hold.
+
+        PMem machines store the model in PMem; DRAM machines store it in
+        DRAM minus an OS/runtime reservation.
+        """
+        if self.pmem_gb > 0:
+            return self.pmem_gb * GB
+        return max(0, self.dram_gb - dram_reserved_gb) * GB
+
+
+#: Alibaba Cloud ecs.r6e.13xlarge (Section VI-A): 52 cores, 384 GB DRAM.
+R6E_13XLARGE = InstanceType(
+    name="r6e.13xlarge", cores=52, dram_gb=384, pmem_gb=0, dollars_per_hour=6.07 / 2
+)
+
+#: Alibaba Cloud ecs.re6p.13xlarge: 52 cores, 192 GB DRAM + 756 GB PMem.
+RE6P_13XLARGE = InstanceType(
+    name="re6p.13xlarge", cores=52, dram_gb=192, pmem_gb=756, dollars_per_hour=3.80
+)
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """A PS fleet: an instance type and a machine count."""
+
+    name: str
+    instance: InstanceType
+    machines: int
+
+    def __post_init__(self) -> None:
+        if self.machines <= 0:
+            raise ConfigError("machines must be >= 1")
+
+    @property
+    def dollars_per_hour(self) -> float:
+        return self.instance.dollars_per_hour * self.machines
+
+    def capacity_bytes(self) -> int:
+        return self.instance.usable_model_bytes() * self.machines
+
+
+#: Table V's three PS fleets for the 500 GB model.
+DRAM_PS_DEPLOYMENT = Deployment("DRAM-PS", R6E_13XLARGE, 2)
+PMEM_OE_DEPLOYMENT = Deployment("PMem-OE", RE6P_13XLARGE, 1)
+ORI_CACHE_DEPLOYMENT = Deployment("Ori-Cache", RE6P_13XLARGE, 1)
+
+
+def deployment_for_model(
+    model_bytes: int, instance: InstanceType, name: str = ""
+) -> Deployment:
+    """Smallest fleet of ``instance`` that holds ``model_bytes``.
+
+    This is the paper's sizing logic: 500 GB needs two 384 GB DRAM
+    machines but a single 756 GB PMem machine.
+    """
+    if model_bytes <= 0:
+        raise ConfigError("model_bytes must be positive")
+    per_machine = instance.usable_model_bytes()
+    if per_machine <= 0:
+        raise ConfigError(f"{instance.name} has no usable model capacity")
+    return Deployment(
+        name or instance.name, instance, machines=math.ceil(model_bytes / per_machine)
+    )
+
+
+def cost_per_epoch(deployment: Deployment, epoch_hours: float) -> float:
+    """PS-only dollars for one training epoch (Table V's bottom row)."""
+    if epoch_hours <= 0:
+        raise ConfigError("epoch_hours must be positive")
+    return deployment.dollars_per_hour * epoch_hours
+
+
+def storage_saving_vs(
+    deployment: Deployment, other: Deployment, epoch_hours: float, other_hours: float
+) -> float:
+    """Fractional $/epoch saving of ``deployment`` over ``other``.
+
+    ``storage_saving_vs(PMEM_OE, DRAM_PS, 5.33, 5.75) ~= 0.42`` — the
+    paper's "saves up to 42 % storage cost" headline.
+    """
+    ours = cost_per_epoch(deployment, epoch_hours)
+    theirs = cost_per_epoch(other, other_hours)
+    return 1.0 - ours / theirs

@@ -1,0 +1,180 @@
+"""Asynchronous DLRM training (the paper's contrasted mode).
+
+Section II describes the two synchronization patterns: synchronous
+(every worker waits at batch boundaries — the paper's choice, better
+convergence) and asynchronous (workers never wait — higher throughput,
+staler gradients). This module implements the asynchronous pattern so
+the trade-off is observable in this codebase:
+
+* each worker pulls weights, computes gradients, and pushes them
+  ``staleness`` scheduler steps later — by which time other workers'
+  updates have already landed (the classic stale-gradient effect);
+* there is no global batch boundary, so checkpoints taken without
+  quiescing are NOT batch-consistent (the asynchronous-checkpoint
+  caveat the paper cites when motivating synchronous checkpoints).
+
+The scheduler is deterministic (round-robin), so runs are reproducible
+and tests can compare against synchronous training exactly.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.server import OpenEmbeddingServer
+from repro.dlrm.criteo import CriteoSynthetic
+from repro.dlrm.deepfm import DeepFM
+from repro.dlrm.optimizers import Adam, DenseOptimizer
+from repro.errors import ConfigError
+
+
+@dataclass
+class _PendingWork:
+    """A computed gradient waiting out its staleness delay."""
+
+    worker: int
+    step_computed: int
+    keys: np.ndarray
+    embedding_grads: np.ndarray
+    dense_grads: list[np.ndarray]
+    loss: float
+
+
+class AsynchronousTrainer:
+    """Round-robin asynchronous training against a shared PS.
+
+    Args:
+        server: the embedding parameter server.
+        model: the dense DeepFM (no first-order term).
+        dataset: deterministic batch source; worker ``w`` consumes the
+            global batches ``w, w + W, w + 2W, ...``.
+        num_workers: concurrent workers.
+        batch_size: samples per worker step.
+        staleness: scheduler steps between a worker computing gradients
+            and those gradients being applied. 0 applies immediately
+            (still asynchronous: no cross-worker averaging or barrier).
+        dense_optimizer: optimizer for the shared (hogwild-style) MLP.
+    """
+
+    def __init__(
+        self,
+        server: OpenEmbeddingServer,
+        model: DeepFM,
+        dataset: CriteoSynthetic,
+        num_workers: int = 2,
+        batch_size: int = 32,
+        staleness: int = 1,
+        dense_optimizer: DenseOptimizer | None = None,
+    ):
+        if num_workers <= 0 or batch_size <= 0:
+            raise ConfigError("num_workers and batch_size must be positive")
+        if staleness < 0:
+            raise ConfigError("staleness must be non-negative")
+        if model.use_first_order:
+            raise ConfigError("async trainer supports models without first-order")
+        self.server = server
+        self.model = model
+        self.dataset = dataset
+        self.num_workers = num_workers
+        self.batch_size = batch_size
+        self.staleness = staleness
+        self.dense_optimizer = dense_optimizer or Adam()
+        self.step = 0
+        self._next_batch_per_worker = list(range(num_workers))
+        self._pending: deque[_PendingWork] = deque()
+        self.loss_history: list[float] = []
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+
+    def run_steps(self, steps: int) -> list[float]:
+        """Run ``steps`` scheduler steps; returns the losses computed."""
+        losses = []
+        for __ in range(steps):
+            losses.extend(self._one_step())
+        return losses
+
+    def _one_step(self) -> list[float]:
+        """One scheduler step: apply due pushes, then one worker computes."""
+        self._apply_due_pushes()
+        worker = self.step % self.num_workers
+        loss = self._compute(worker)
+        self.step += 1
+        return [loss]
+
+    def _compute(self, worker: int) -> float:
+        batch_index = self._next_batch_per_worker[worker]
+        self._next_batch_per_worker[worker] += self.num_workers
+        batch = self.dataset.batch(self.batch_size, batch_index)
+        flat_keys = batch.keys.reshape(-1).tolist()
+        pulled = self.server.pull(flat_keys, self.step)
+        self.server.maintain(self.step)
+        embeddings = pulled.weights.reshape(
+            self.batch_size, self.model.num_fields, self.model.dim
+        )
+        self.model.zero_grad()
+        grads = self.model.train_batch(embeddings, batch.labels)
+        self._pending.append(
+            _PendingWork(
+                worker=worker,
+                step_computed=self.step,
+                keys=batch.keys,
+                embedding_grads=grads.embedding_grads,
+                dense_grads=[np.array(g, copy=True) for g in self.model.mlp.gradients()],
+                loss=grads.loss,
+            )
+        )
+        self.loss_history.append(grads.loss)
+        if self.staleness == 0:
+            self._apply_due_pushes()
+        return grads.loss
+
+    def _apply_due_pushes(self) -> None:
+        while self._pending and (
+            self.step - self._pending[0].step_computed >= self.staleness
+        ):
+            work = self._pending.popleft()
+            flat_keys = work.keys.reshape(-1).tolist()
+            flat_grads = work.embedding_grads.reshape(-1, self.model.dim)
+            self.server.push(flat_keys, flat_grads, self.step)
+            self.dense_optimizer.step(self.model.mlp.parameters(), work.dense_grads)
+
+    # ------------------------------------------------------------------
+    # checkpoints: the asynchronous caveat
+    # ------------------------------------------------------------------
+
+    def checkpoint(self, quiesce: bool = True) -> int:
+        """Take a checkpoint.
+
+        With ``quiesce=True`` all in-flight gradients are applied first
+        (training pauses — effectively a momentary synchronous barrier),
+        so the snapshot is consistent. With ``quiesce=False`` the
+        snapshot is taken while pushes are still in flight — the
+        asynchronous-checkpoint behaviour whose inconsistency the paper
+        cites; the recovered state will have absorbed some workers'
+        updates and not others'.
+
+        Returns the number of in-flight gradients NOT captured.
+        """
+        in_flight = len(self._pending)
+        if quiesce:
+            while self._pending:
+                work = self._pending.popleft()
+                flat_keys = work.keys.reshape(-1).tolist()
+                flat_grads = work.embedding_grads.reshape(-1, self.model.dim)
+                self.server.push(flat_keys, flat_grads, self.step)
+                self.dense_optimizer.step(
+                    self.model.mlp.parameters(), work.dense_grads
+                )
+            in_flight = 0
+        self.server.request_checkpoint(max(self.step - 1, 0))
+        self.server.complete_pending_checkpoints()
+        return in_flight
+
+    @property
+    def pending_pushes(self) -> int:
+        return len(self._pending)

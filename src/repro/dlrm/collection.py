@@ -1,0 +1,196 @@
+"""Multi-table embedding collections.
+
+Real DLRMs keep several embedding tables of different dimensions (e.g.
+DeepFM's dim-1 first-order weights next to its dim-64 feature vectors;
+per-field tables in other models). A :class:`EmbeddingCollection`
+manages one OpenEmbedding deployment per table and coordinates
+cluster-wide, cross-table batch-consistent checkpoints: a collection
+checkpoint of batch ``b`` is durable only when EVERY table completed
+``b``, and recovery restores every table to the same batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import CacheConfig, ServerConfig
+from repro.core.optimizers import PSOptimizer
+from repro.core.server import OpenEmbeddingServer
+from repro.dlrm.embedding import PSEmbedding
+from repro.errors import ConfigError, RecoveryError
+from repro.pmem.space import CHECKPOINT_ID_FIELD, NO_CHECKPOINT
+
+
+@dataclass(frozen=True)
+class TableSpec:
+    """Declaration of one embedding table.
+
+    Attributes:
+        dim: embedding dimension.
+        num_nodes: PS shards for this table.
+        cache: DRAM cache config per shard.
+        optimizer: PS-side update rule (None = server default SGD).
+        pmem_capacity_bytes: pool size per shard.
+        seed: initialisation seed.
+    """
+
+    dim: int
+    num_nodes: int = 1
+    cache: CacheConfig = field(default_factory=lambda: CacheConfig(capacity_bytes=1 << 20))
+    optimizer: PSOptimizer | None = None
+    pmem_capacity_bytes: int = 1 << 30
+    seed: int = 0
+
+    def server_config(self) -> ServerConfig:
+        return ServerConfig(
+            num_nodes=self.num_nodes,
+            embedding_dim=self.dim,
+            pmem_capacity_bytes=self.pmem_capacity_bytes,
+            seed=self.seed,
+        )
+
+
+class EmbeddingCollection:
+    """Named embedding tables with coordinated checkpointing."""
+
+    def __init__(self, tables: dict[str, TableSpec]):
+        if not tables:
+            raise ConfigError("collection needs at least one table")
+        self.specs = dict(tables)
+        # Every table is one member of a wider consistency scope, so
+        # even single-shard tables need cluster retention semantics.
+        self.servers: dict[str, OpenEmbeddingServer] = {
+            name: OpenEmbeddingServer(
+                spec.server_config(), spec.cache, spec.optimizer, cluster_mode=True
+            )
+            for name, spec in self.specs.items()
+        }
+        self.embeddings: dict[str, PSEmbedding] = {
+            name: PSEmbedding(server, self.specs[name].dim)
+            for name, server in self.servers.items()
+        }
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+
+    def pull(self, table: str, key_matrix: np.ndarray, batch_id: int) -> np.ndarray:
+        """(batch, fields, dim) embeddings from ``table``."""
+        return self._embedding(table).pull(key_matrix, batch_id)
+
+    def push(
+        self, table: str, key_matrix: np.ndarray, grads: np.ndarray, batch_id: int
+    ) -> int:
+        return self._embedding(table).push(key_matrix, grads, batch_id)
+
+    def maintain(self, batch_id: int) -> None:
+        """Run every table's maintenance round for ``batch_id``."""
+        for server in self.servers.values():
+            server.maintain(batch_id)
+        self._sync_collection_barriers()
+
+    # ------------------------------------------------------------------
+    # coordinated checkpoints
+    # ------------------------------------------------------------------
+
+    def request_checkpoint(self, batch_id: int) -> int:
+        """Queue the same checkpoint batch on every table."""
+        for server in self.servers.values():
+            server.request_checkpoint(batch_id)
+        return batch_id
+
+    def barrier_checkpoint(self, batch_id: int) -> int:
+        """Checkpoint every table and force completion everywhere."""
+        self.request_checkpoint(batch_id)
+        for server in self.servers.values():
+            server.complete_pending_checkpoints()
+        self._sync_collection_barriers()
+        return batch_id
+
+    def _sync_collection_barriers(self) -> None:
+        """Retention must cover the COLLECTION-wide completed checkpoint.
+
+        A table that completed a newer checkpoint than its siblings must
+        keep the versions of the collection minimum, or a crash would
+        leave no batch every table can restore. Runs after each server's
+        own (per-table) barrier sync, overriding it with the smaller
+        collection-wide id.
+        """
+        global_ckpt = self.global_completed_checkpoint
+        barrier = None if global_ckpt < 0 else global_ckpt
+        for server in self.servers.values():
+            for node in server.nodes:
+                node.coordinator.set_external_barrier(barrier)
+
+    @property
+    def global_completed_checkpoint(self) -> int:
+        """Newest checkpoint completed by EVERY table (-1 if none)."""
+        return min(
+            server.global_completed_checkpoint for server in self.servers.values()
+        )
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+
+    def crash(self) -> dict[str, list]:
+        """Kill every table's cluster; per-table pools survive."""
+        return {name: server.crash() for name, server in self.servers.items()}
+
+    @classmethod
+    def recover(
+        cls, pools: dict[str, list], tables: dict[str, TableSpec]
+    ) -> "EmbeddingCollection":
+        """Rebuild every table to the newest collection-wide checkpoint.
+
+        Raises:
+            RecoveryError: table sets differ, or the tables cannot agree
+                on a common checkpoint.
+        """
+        if set(pools) != set(tables):
+            raise RecoveryError(
+                f"pool tables {sorted(pools)} != specs {sorted(tables)}"
+            )
+        target = min(
+            pool.root.get(CHECKPOINT_ID_FIELD, NO_CHECKPOINT)
+            for table_pools in pools.values()
+            for pool in table_pools
+        )
+        if target < 0:
+            raise RecoveryError("some table has no completed checkpoint")
+        collection = cls.__new__(cls)
+        collection.specs = dict(tables)
+        servers: dict[str, OpenEmbeddingServer] = {}
+        for name, spec in tables.items():
+            server, __ = OpenEmbeddingServer.recover(
+                pools[name],
+                spec.server_config(),
+                spec.cache,
+                spec.optimizer,
+                target_batch_id=target,
+                cluster_mode=True,
+            )
+            servers[name] = server
+        collection.servers = servers
+        collection.embeddings = {
+            name: PSEmbedding(server, tables[name].dim)
+            for name, server in servers.items()
+        }
+        return collection
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def table_names(self) -> list[str]:
+        return sorted(self.specs)
+
+    def state_snapshot(self) -> dict[str, dict[int, np.ndarray]]:
+        return {name: server.state_snapshot() for name, server in self.servers.items()}
+
+    def _embedding(self, table: str) -> PSEmbedding:
+        if table not in self.embeddings:
+            raise KeyError(f"unknown table {table!r}; have {self.table_names()}")
+        return self.embeddings[table]

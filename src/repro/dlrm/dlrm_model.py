@@ -1,0 +1,193 @@
+"""The DLRM architecture (Naumov et al. 2019) on numpy.
+
+The paper's workload class is named after this model: dense features
+through a bottom MLP, sparse features through embedding tables, pairwise
+dot-product interactions among all the resulting vectors, and a top MLP
+over the concatenation:
+
+    b   = BottomMLP(x_dense)                      # (D,)
+    u   = [b, v_1, ..., v_F]                      # F+1 vectors of dim D
+    z   = [u_i . u_j for i < j]                   # pairwise interactions
+    out = TopMLP(concat(b, z))                    # logit
+
+Like :class:`~repro.dlrm.deepfm.DeepFM`, the model is stateless with
+respect to the embeddings — they stream in per batch and gradients
+stream back out to the PS — so it runs on any backend. Gradient
+correctness is covered by numeric checks in the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dlrm.layers import MLP, binary_cross_entropy, stable_sigmoid
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class DLRMGradients:
+    """Backward-pass outputs of one DLRM batch."""
+
+    loss: float
+    #: gradient wrt each field embedding, shape (batch, fields, dim)
+    embedding_grads: np.ndarray
+
+
+class DLRM:
+    """Deep Learning Recommendation Model: bottom MLP + interactions + top MLP.
+
+    Args:
+        num_fields: categorical fields (embedding lookups per sample).
+        dim: embedding dimension; the bottom MLP projects the dense
+            features to the same width so they can interact.
+        num_dense: continuous features per sample (Criteo has 13).
+        bottom_hidden / top_hidden: MLP layer sizes.
+        seed: dense-parameter init seed.
+    """
+
+    uses_dense_features = True
+
+    def __init__(
+        self,
+        num_fields: int,
+        dim: int,
+        num_dense: int = 13,
+        bottom_hidden: tuple[int, ...] = (32,),
+        top_hidden: tuple[int, ...] = (64, 32),
+        seed: int = 0,
+    ):
+        if num_fields <= 0 or dim <= 0 or num_dense <= 0:
+            raise ConfigError("num_fields, dim and num_dense must be positive")
+        self.num_fields = num_fields
+        self.dim = dim
+        self.num_dense = num_dense
+        self.num_vectors = num_fields + 1  # embeddings + the bottom output
+        self.num_pairs = self.num_vectors * (self.num_vectors - 1) // 2
+        rng = np.random.default_rng((seed, 0xD12A))
+        self.bottom = MLP([num_dense, *bottom_hidden, dim], rng=rng)
+        self.top = MLP([dim + self.num_pairs, *top_hidden, 1], rng=rng)
+        self._pair_i, self._pair_j = np.triu_indices(self.num_vectors, k=1)
+        self._cache: dict | None = None
+
+    # ------------------------------------------------------------------
+    # forward / backward
+    # ------------------------------------------------------------------
+
+    def forward(self, embeddings: np.ndarray, dense: np.ndarray) -> np.ndarray:
+        """Logits for a batch.
+
+        Args:
+            embeddings: (batch, fields, dim).
+            dense: (batch, num_dense) continuous features.
+        """
+        batch = self._check_shapes(embeddings, dense)
+        bottom_out = self.bottom.forward(dense.astype(np.float32))  # (B, D)
+        vectors = np.concatenate(
+            [bottom_out[:, None, :], embeddings], axis=1
+        )  # (B, F+1, D)
+        # z[b, p] = vectors[b, i_p] . vectors[b, j_p]
+        interactions = np.einsum(
+            "bpd,bpd->bp", vectors[:, self._pair_i, :], vectors[:, self._pair_j, :]
+        )
+        top_in = np.concatenate([bottom_out, interactions], axis=1).astype(np.float32)
+        logits = self.top.forward(top_in).reshape(-1)
+        self._cache = {"vectors": vectors, "batch": batch}
+        return logits.astype(np.float32)
+
+    def backward(self, grad_logits: np.ndarray) -> np.ndarray:
+        """Backprop; returns embedding grads (B, F, D) and accumulates
+        both MLPs' parameter gradients."""
+        if self._cache is None:
+            raise ConfigError("backward called before forward")
+        vectors = self._cache["vectors"]
+        batch = self._cache["batch"]
+        grad_top_in = self.top.backward(
+            grad_logits.reshape(batch, 1).astype(np.float32)
+        )  # (B, D + P)
+        grad_bottom_direct = grad_top_in[:, : self.dim]
+        grad_z = grad_top_in[:, self.dim :]  # (B, P)
+
+        # d z_p / d u_{i_p} = u_{j_p} and vice versa: scatter-add both.
+        grad_vectors = np.zeros_like(vectors)
+        weighted_j = grad_z[:, :, None] * vectors[:, self._pair_j, :]
+        weighted_i = grad_z[:, :, None] * vectors[:, self._pair_i, :]
+        np.add.at(grad_vectors, (slice(None), self._pair_i), weighted_j)
+        np.add.at(grad_vectors, (slice(None), self._pair_j), weighted_i)
+
+        grad_bottom_out = grad_vectors[:, 0, :] + grad_bottom_direct
+        self.bottom.backward(grad_bottom_out.astype(np.float32))
+        return grad_vectors[:, 1:, :].astype(np.float32)
+
+    def train_batch(
+        self,
+        embeddings: np.ndarray,
+        labels: np.ndarray,
+        dense: np.ndarray,
+    ) -> DLRMGradients:
+        """One forward+backward; parameters are NOT updated here."""
+        logits = self.forward(embeddings, dense)
+        loss, grad_logits = binary_cross_entropy(logits, labels)
+        embedding_grads = self.backward(grad_logits)
+        return DLRMGradients(loss=loss, embedding_grads=embedding_grads)
+
+    def predict_proba(self, embeddings: np.ndarray, dense: np.ndarray) -> np.ndarray:
+        """Click probabilities for a batch."""
+        return stable_sigmoid(self.forward(embeddings, dense))
+
+    def zero_grad(self) -> None:
+        self.bottom.zero_grad()
+        self.top.zero_grad()
+
+    # ------------------------------------------------------------------
+    # dense-parameter access (checkpointing / optimizers)
+    # ------------------------------------------------------------------
+
+    @property
+    def mlp(self) -> "_JointParams":
+        """Both MLPs' parameters behind the trainer's ``model.mlp``
+        interface (parameters / gradients / zero_grad / state)."""
+        return _JointParams(self)
+
+    def dense_state(self) -> list[np.ndarray]:
+        return self.bottom.state() + self.top.state()
+
+    def load_dense_state(self, state: list[np.ndarray]) -> None:
+        split = len(self.bottom.parameters())
+        self.bottom.load_state(state[:split])
+        self.top.load_state(state[split:])
+
+    @property
+    def dense_parameter_count(self) -> int:
+        return self.bottom.num_parameters + self.top.num_parameters
+
+    def _check_shapes(self, embeddings: np.ndarray, dense: np.ndarray) -> int:
+        if embeddings.ndim != 3 or embeddings.shape[1:] != (self.num_fields, self.dim):
+            raise ConfigError(
+                f"embeddings shape {embeddings.shape}, want "
+                f"(B, {self.num_fields}, {self.dim})"
+            )
+        if dense.ndim != 2 or dense.shape[1] != self.num_dense:
+            raise ConfigError(
+                f"dense shape {dense.shape}, want (B, {self.num_dense})"
+            )
+        if embeddings.shape[0] != dense.shape[0]:
+            raise ConfigError("embeddings and dense batch sizes differ")
+        return embeddings.shape[0]
+
+
+class _JointParams:
+    """Adapter exposing both MLPs as one parameter group."""
+
+    def __init__(self, model: DLRM):
+        self._model = model
+
+    def parameters(self) -> list[np.ndarray]:
+        return self._model.bottom.parameters() + self._model.top.parameters()
+
+    def gradients(self) -> list[np.ndarray]:
+        return self._model.bottom.gradients() + self._model.top.gradients()
+
+    def zero_grad(self) -> None:
+        self._model.zero_grad()

@@ -1,0 +1,166 @@
+"""A Keras-like model API (the paper's framework integration).
+
+Section V-C: *"We have our own embedding class that inherits from
+Keras's embedding layer, and replace the embedding related operators
+with our own"*. This module mirrors that developer experience: you
+declare a :class:`PSEmbeddingLayer` inside a :class:`Model`, call
+``compile`` and ``fit``, and the embedding traffic transparently goes
+through OpenEmbedding's pull/maintain/push operators.
+
+It is a thin veneer over :class:`repro.dlrm.trainer.SynchronousTrainer`
+— the examples use it; the heavy lifting and the tests live below it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import CacheConfig, ServerConfig
+from repro.core.optimizers import PSAdagrad, PSOptimizer
+from repro.core.server import OpenEmbeddingServer
+from repro.dlrm.criteo import CriteoSynthetic
+from repro.dlrm.deepfm import DeepFM
+from repro.dlrm.optimizers import Adam, DenseOptimizer
+from repro.dlrm.trainer import SynchronousTrainer
+from repro.errors import ConfigError
+
+
+class PSEmbeddingLayer:
+    """Declarative embedding layer backed by an OpenEmbedding server.
+
+    Args:
+        num_fields: categorical fields the layer embeds.
+        dim: embedding dimension.
+        num_nodes: PS shards to deploy.
+        cache: DRAM cache config for each shard.
+        ps_optimizer: PS-side update rule (default Adagrad, the common
+            choice for sparse CTR features).
+    """
+
+    def __init__(
+        self,
+        num_fields: int,
+        dim: int,
+        num_nodes: int = 1,
+        cache: CacheConfig | None = None,
+        ps_optimizer: PSOptimizer | None = None,
+        pmem_capacity_bytes: int = 1 << 30,
+        seed: int = 0,
+    ):
+        self.num_fields = num_fields
+        self.dim = dim
+        self.server_config = ServerConfig(
+            num_nodes=num_nodes,
+            embedding_dim=dim,
+            pmem_capacity_bytes=pmem_capacity_bytes,
+            seed=seed,
+        )
+        self.cache_config = cache or CacheConfig(capacity_bytes=1 << 20)
+        self.ps_optimizer = ps_optimizer or PSAdagrad()
+        self.server = OpenEmbeddingServer(
+            self.server_config, self.cache_config, self.ps_optimizer
+        )
+
+
+@dataclass
+class FitHistory:
+    """Per-batch training losses, Keras-``History``-style."""
+
+    losses: list[float]
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")
+
+    def mean_loss(self, last_n: int | None = None) -> float:
+        window = self.losses[-last_n:] if last_n else self.losses
+        return float(np.mean(window)) if window else float("nan")
+
+
+class Model:
+    """A DeepFM with a PS-backed embedding layer, Keras-style.
+
+    Usage::
+
+        layer = PSEmbeddingLayer(num_fields=26, dim=16, num_nodes=2)
+        model = Model(layer, hidden=(64, 32))
+        model.compile(optimizer=Adam(1e-3))
+        history = model.fit(dataset, batches=200, batch_size=64, workers=2)
+        model.save_checkpoint()
+    """
+
+    def __init__(
+        self,
+        embedding_layer: PSEmbeddingLayer,
+        hidden: tuple[int, ...] = (64, 32),
+        seed: int = 0,
+    ):
+        self.embedding_layer = embedding_layer
+        self.deepfm = DeepFM(
+            num_fields=embedding_layer.num_fields,
+            dim=embedding_layer.dim,
+            hidden=hidden,
+            use_first_order=False,
+            seed=seed,
+        )
+        self._trainer: SynchronousTrainer | None = None
+        self._optimizer: DenseOptimizer | None = None
+
+    def compile(self, optimizer: DenseOptimizer | None = None) -> None:
+        """Attach the dense optimizer (loss is BCE-with-logits)."""
+        self._optimizer = optimizer or Adam()
+
+    def fit(
+        self,
+        dataset: CriteoSynthetic,
+        batches: int,
+        batch_size: int = 64,
+        workers: int = 2,
+        checkpoint_every: int | None = None,
+    ) -> FitHistory:
+        """Train for ``batches`` synchronous steps.
+
+        Repeated calls continue training where the previous call left
+        off (same trainer, advancing batch ids).
+        """
+        if self._optimizer is None:
+            raise ConfigError("call compile() before fit()")
+        if self._trainer is None:
+            self._trainer = SynchronousTrainer(
+                self.embedding_layer.server,
+                self.deepfm,
+                dataset,
+                num_workers=workers,
+                batch_size=batch_size,
+                dense_optimizer=self._optimizer,
+                checkpoint_every=checkpoint_every,
+            )
+        results = self._trainer.train(batches)
+        return FitHistory(losses=[r.loss for r in results])
+
+    def predict_proba(self, keys: np.ndarray) -> np.ndarray:
+        """Click probabilities for a (batch, fields) key matrix.
+
+        Inference pulls read-only through the same cache path (version
+        bookkeeping uses the last trained batch id).
+        """
+        trainer = self._require_trainer()
+        batch_id = max(trainer.next_batch - 1, 0)
+        embeddings = trainer.embedding.pull(keys, batch_id)
+        self.embedding_layer.server.maintain(batch_id)
+        return self.deepfm.predict_proba(embeddings)
+
+    def save_checkpoint(self) -> int:
+        """Synchronous checkpoint of dense + sparse state."""
+        return self._require_trainer().barrier_checkpoint()
+
+    @property
+    def trainer(self) -> SynchronousTrainer:
+        return self._require_trainer()
+
+    def _require_trainer(self) -> SynchronousTrainer:
+        if self._trainer is None:
+            raise ConfigError("model has not been fit yet")
+        return self._trainer

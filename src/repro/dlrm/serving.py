@@ -1,0 +1,164 @@
+"""Model export and read-only serving.
+
+Production DLRM deployments (the paper's 4Paradigm scenarios serve
+real-time recommendations) separate *training* — the PS with its cache,
+versions and checkpoints — from *serving* — an immutable snapshot
+answering lookups. This module provides that boundary:
+
+* :func:`export_model` — freeze a trained model (all embedding entries
+  + dense parameters) into one ``.npz`` artifact;
+* :class:`InferenceSession` — load an artifact and serve predictions
+  with no PS, no versions and no training machinery.
+
+The export round-trip is exact: a session's predictions equal the live
+trainer's for the same inputs (tested bitwise).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import numpy as np
+
+from repro.errors import ConfigError, ServerError
+
+_FORMAT_VERSION = 1
+
+
+def export_model(
+    path: str | pathlib.Path,
+    server,
+    model,
+) -> int:
+    """Freeze ``server``'s embeddings and ``model``'s dense state.
+
+    Args:
+        path: destination ``.npz``.
+        server: any PS exposing ``state_snapshot()`` (OpenEmbedding or a
+            baseline).
+        model: a DeepFM/DLRM exposing ``dense_state()``.
+
+    Returns the number of embedding entries exported.
+
+    Raises:
+        ServerError: the server holds no entries (nothing was trained).
+    """
+    snapshot = server.state_snapshot()
+    if not snapshot:
+        raise ServerError("server holds no embedding entries to export")
+    keys = np.array(sorted(snapshot), dtype=np.int64)
+    dim = len(next(iter(snapshot.values())))
+    weights = np.stack([snapshot[int(k)] for k in keys]).astype(np.float32)
+    arrays = {
+        "version": np.int64(_FORMAT_VERSION),
+        "keys": keys,
+        "weights": weights,
+        "dim": np.int64(dim),
+        "model_kind": np.bytes_(type(model).__name__.encode()),
+    }
+    # Cold-start metadata: initialisation is key-seeded, so a serving
+    # session can reproduce the exact vector any unseen key would get.
+    server_config = getattr(server, "server_config", None)
+    if server_config is not None:
+        arrays["init_seed"] = np.int64(server_config.seed)
+        arrays["init_scale"] = np.float64(server_config.initializer_scale)
+    for i, tensor in enumerate(model.dense_state()):
+        arrays[f"dense_{i}"] = tensor
+    arrays["dense_count"] = np.int64(len(model.dense_state()))
+    np.savez_compressed(path, **arrays)
+    return len(keys)
+
+
+class InferenceSession:
+    """Read-only serving over an exported artifact.
+
+    Args:
+        path: artifact from :func:`export_model`.
+        model: a fresh model instance of the same architecture; its
+            dense parameters are overwritten from the artifact.
+        default_weight: embedding returned for keys absent from the
+            export (a cold-start key). By default the session
+            regenerates the trainer's deterministic key-seeded
+            initialisation (stored in the artifact), so serving matches
+            the live PS even on unseen ids; pass an explicit vector
+            (e.g. zeros) to override.
+    """
+
+    def __init__(self, path: str | pathlib.Path, model, default_weight=None):
+        with np.load(path) as data:
+            try:
+                version = int(data["version"])
+                keys = data["keys"]
+                weights = data["weights"]
+                self.dim = int(data["dim"])
+                dense_count = int(data["dense_count"])
+                dense_state = [data[f"dense_{i}"] for i in range(dense_count)]
+                exported_kind = bytes(data["model_kind"]).decode()
+            except KeyError as missing:
+                raise ConfigError(
+                    f"not a model artifact: missing field {missing}"
+                ) from None
+            self._init_seed = int(data["init_seed"]) if "init_seed" in data else None
+            self._init_scale = (
+                float(data["init_scale"]) if "init_scale" in data else 0.0
+            )
+        if version != _FORMAT_VERSION:
+            raise ConfigError(f"unsupported artifact version {version}")
+        if exported_kind != type(model).__name__:
+            raise ConfigError(
+                f"artifact holds a {exported_kind}, got a {type(model).__name__}"
+            )
+        self.model = model
+        model.load_dense_state([np.array(t, copy=True) for t in dense_state])
+        self._table: dict[int, np.ndarray] = {
+            int(k): weights[i] for i, k in enumerate(keys)
+        }
+        self.default_weight = None
+        if default_weight is not None:
+            self.default_weight = np.asarray(default_weight, dtype=np.float32)
+            if self.default_weight.shape != (self.dim,):
+                raise ConfigError(
+                    f"default weight shape {self.default_weight.shape}, "
+                    f"want ({self.dim},)"
+                )
+        elif self._init_seed is None:
+            self.default_weight = np.zeros(self.dim, dtype=np.float32)
+        self.cold_lookups = 0
+
+    def _cold_weight(self, key: int) -> np.ndarray:
+        """The vector an unseen key would have on the live PS."""
+        if self.default_weight is not None:
+            return self.default_weight
+        rng = np.random.default_rng((self._init_seed, key))
+        return rng.uniform(-self._init_scale, self._init_scale, self.dim).astype(
+            np.float32
+        )
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._table)
+
+    def lookup(self, key_matrix: np.ndarray) -> np.ndarray:
+        """(batch, fields, dim) embeddings; unseen keys get the default."""
+        key_matrix = np.asarray(key_matrix)
+        if key_matrix.ndim != 2:
+            raise ConfigError(f"key matrix must be 2-D, got {key_matrix.shape}")
+        out = np.empty((*key_matrix.shape, self.dim), dtype=np.float32)
+        for index, key in np.ndenumerate(key_matrix):
+            weight = self._table.get(int(key))
+            if weight is None:
+                weight = self._cold_weight(int(key))
+                self.cold_lookups += 1
+            out[index] = weight
+        return out
+
+    def predict_proba(
+        self, key_matrix: np.ndarray, dense: np.ndarray | None = None
+    ) -> np.ndarray:
+        """Click probabilities for a batch of key rows."""
+        embeddings = self.lookup(key_matrix)
+        if getattr(self.model, "uses_dense_features", False):
+            if dense is None:
+                raise ConfigError("this model requires dense features")
+            return self.model.predict_proba(embeddings, dense)
+        return self.model.predict_proba(embeddings)

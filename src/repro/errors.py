@@ -1,0 +1,76 @@
+"""Exception hierarchy for the OpenEmbedding reproduction.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is invalid or inconsistent."""
+
+
+class PMemError(ReproError):
+    """Base class for persistent-memory substrate errors."""
+
+
+class OutOfSpaceError(PMemError):
+    """The persistent pool has no room for a requested allocation."""
+
+
+class PoolClosedError(PMemError):
+    """An operation was attempted on a closed or crashed pool."""
+
+
+class TornWriteError(PMemError):
+    """A crash left a torn (partially persisted) object behind.
+
+    Recovery code treats torn objects as absent; tests use this error to
+    assert the pool detected the tear.
+    """
+
+
+class ServerError(ReproError):
+    """Base class for parameter-server errors."""
+
+
+class KeyNotFoundError(ServerError, KeyError):
+    """A pull referenced a key that does not exist and auto-create is off."""
+
+
+class ShardRoutingError(ServerError):
+    """A request was routed to a node that does not own the key."""
+
+
+class CheckpointError(ServerError):
+    """Checkpointing failed or was invoked in an invalid state."""
+
+
+class RecoveryError(ServerError):
+    """Recovery from persistent state failed."""
+
+
+class CrashError(ReproError):
+    """Raised by failure injection when a simulated crash fires.
+
+    The trainer catches this to emulate a process death; everything not
+    durably persisted at raise time is discarded by the substrate.
+    """
+
+    def __init__(self, message: str = "injected crash", *, batch_id: int | None = None):
+        super().__init__(message)
+        self.batch_id = batch_id
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ClockError(SimulationError):
+    """Simulated time was advanced backwards or misused."""

@@ -1,0 +1,18 @@
+"""Failure injection and checkpoint-interval planning.
+
+* :mod:`repro.failure.injection` — deterministic and random crash
+  schedules for end-to-end recovery testing.
+* :mod:`repro.failure.mttf` — Young's formula (the paper's Section
+  VI-A basis for the 20-minute default interval) and expected lost-work
+  accounting.
+"""
+
+from repro.failure.injection import CrashSchedule, FailureInjector
+from repro.failure.mttf import expected_lost_work_seconds, young_interval_seconds
+
+__all__ = [
+    "FailureInjector",
+    "CrashSchedule",
+    "young_interval_seconds",
+    "expected_lost_work_seconds",
+]

@@ -1,0 +1,43 @@
+"""RPC layer between training workers and PS nodes.
+
+Section V-C: the TensorFlow operators (``PullWeights`` /
+``PushGradients`` / ``UpdateWeights``) talk to the PS backend over a
+low-overhead RPC on RDMA. This package reproduces that boundary with
+real wire messages:
+
+* :mod:`repro.network.messages` — binary encode/decode of every
+  request/response (numpy payloads, fixed little-endian headers);
+* :mod:`repro.network.rpc` — a channel that moves encoded bytes over
+  the simulated link, charging transfer time, plus a server-side
+  dispatcher;
+* :mod:`repro.network.frontend` — ``RemotePSClient``, a drop-in for
+  :class:`~repro.core.server.OpenEmbeddingServer` whose every operation
+  round-trips through encoded messages, so byte counts and wire timing
+  are real.
+"""
+
+from repro.network.frontend import PSNodeService, RemotePSClient
+from repro.network.messages import (
+    CheckpointRequest,
+    MessageError,
+    PullRequest,
+    PullResponse,
+    PushRequest,
+    StatusResponse,
+    decode_message,
+)
+from repro.network.rpc import RpcChannel, RpcServer
+
+__all__ = [
+    "PullRequest",
+    "PullResponse",
+    "PushRequest",
+    "CheckpointRequest",
+    "StatusResponse",
+    "MessageError",
+    "decode_message",
+    "RpcChannel",
+    "RpcServer",
+    "RemotePSClient",
+    "PSNodeService",
+]

@@ -1,0 +1,183 @@
+"""Remote PS frontend: the server protocol over wire messages.
+
+:class:`PSNodeService` wraps one :class:`~repro.core.ps_node.PSNode`
+behind an :class:`~repro.network.rpc.RpcServer`; :class:`RemotePSClient`
+exposes the familiar ``pull`` / ``maintain`` / ``push`` /
+``request_checkpoint`` surface, but every operation round-trips through
+encoded bytes on a simulated link — a faithful stand-in for the paper's
+TensorFlow-operator <-> PS RPC.
+
+``RemotePSClient`` is protocol-compatible with
+:class:`~repro.core.server.OpenEmbeddingServer`, so the functional
+trainer runs over it unchanged; tests assert the trained weights are
+identical to the in-process path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import CacheConfig, ServerConfig
+from repro.core.cache import PullResult
+from repro.core.ps_node import PSNode
+from repro.core.optimizers import PSOptimizer
+from repro.core.sharding import HashPartitioner
+from repro.errors import ServerError
+from repro.network.messages import (
+    CheckpointRequest,
+    PullRequest,
+    PullResponse,
+    PushRequest,
+    StatusResponse,
+)
+from repro.network.rpc import RpcChannel, RpcServer
+from repro.simulation.clock import SimClock
+from repro.simulation.network import NetworkModel
+
+
+class PSNodeService:
+    """One PS node's RPC surface."""
+
+    def __init__(self, node: PSNode):
+        self.node = node
+        self.server = RpcServer()
+        self.server.register(PullRequest.TYPE, self._handle_pull)
+        self.server.register(PushRequest.TYPE, self._handle_push)
+        self.server.register(CheckpointRequest.TYPE, self._handle_checkpoint)
+
+    def _handle_pull(self, request: PullRequest) -> PullResponse:
+        result = self.node.pull(
+            [int(k) for k in request.keys], int(request.batch_id)
+        )
+        if result.weights is None:
+            raise ServerError("remote pull requires a value-mode node")
+        return PullResponse(batch_id=request.batch_id, weights=result.weights)
+
+    def _handle_push(self, request: PushRequest) -> StatusResponse:
+        updated = self.node.push(
+            [int(k) for k in request.keys], request.grads, int(request.batch_id)
+        )
+        return StatusResponse(code=StatusResponse.OK, value=updated)
+
+    def _handle_checkpoint(self, request: CheckpointRequest) -> StatusResponse:
+        self.node.request_checkpoint(int(request.batch_id))
+        return StatusResponse(code=StatusResponse.OK, value=request.batch_id)
+
+
+class RemotePSClient:
+    """Sharded PS access over RPC channels, one per node.
+
+    Drop-in for :class:`OpenEmbeddingServer`'s training-path protocol
+    (pull / maintain / push / request_checkpoint /
+    complete_pending_checkpoints / state_snapshot). ``maintain`` runs
+    node-side directly: in the real system the maintainer threads live
+    in the PS process and are not an RPC.
+    """
+
+    def __init__(
+        self,
+        server_config: ServerConfig | None = None,
+        cache_config: CacheConfig | None = None,
+        optimizer: PSOptimizer | None = None,
+        network: NetworkModel | None = None,
+        clock: SimClock | None = None,
+    ):
+        self.server_config = server_config or ServerConfig()
+        self.partitioner = HashPartitioner(self.server_config.num_nodes)
+        self.clock = clock or SimClock()
+        network = network or NetworkModel()
+        self.nodes = [
+            PSNode(node_id, self.server_config, cache_config, optimizer)
+            for node_id in range(self.server_config.num_nodes)
+        ]
+        self.services = [PSNodeService(node) for node in self.nodes]
+        self.channels = [
+            RpcChannel(service.server, network, self.clock)
+            for service in self.services
+        ]
+
+    # ------------------------------------------------------------------
+    # PS protocol over the wire
+    # ------------------------------------------------------------------
+
+    def pull(self, keys, batch_id: int) -> PullResult:
+        """Pull via per-node RPC; responses gathered in request order."""
+        per_node_keys, per_node_positions = self.partitioner.split(keys)
+        dim = self.server_config.embedding_dim
+        out = np.empty((len(keys), dim), dtype=np.float32)
+        flows = sum(1 for node_keys in per_node_keys if node_keys)
+        for channel, node_keys, positions in zip(
+            self.channels, per_node_keys, per_node_positions
+        ):
+            if not node_keys:
+                continue
+            response = channel.call(
+                PullRequest(batch_id=batch_id, keys=np.asarray(node_keys)),
+                concurrent_flows=max(1, flows),
+            )
+            out[positions] = response.weights
+        return PullResult(weights=out, hits=0, misses=0, created=0)
+
+    def maintain(self, batch_id: int) -> None:
+        """Node-side maintenance round (not an RPC in the real system)."""
+        for node in self.nodes:
+            node.maintain(batch_id)
+
+    def push(self, keys, grads: np.ndarray | None, batch_id: int) -> int:
+        if grads is None:
+            raise ServerError("remote push requires gradients")
+        per_node_keys, per_node_positions = self.partitioner.split(keys)
+        flows = sum(1 for node_keys in per_node_keys if node_keys)
+        updated = 0
+        for channel, node_keys, positions in zip(
+            self.channels, per_node_keys, per_node_positions
+        ):
+            if not node_keys:
+                continue
+            response = channel.call(
+                PushRequest(
+                    batch_id=batch_id,
+                    keys=np.asarray(node_keys),
+                    grads=grads[positions],
+                ),
+                concurrent_flows=max(1, flows),
+            )
+            if not response.ok:
+                raise ServerError(f"push rejected with code {response.code}")
+            updated += response.value
+        return updated
+
+    # ------------------------------------------------------------------
+    # checkpoint control
+    # ------------------------------------------------------------------
+
+    def request_checkpoint(self, batch_id: int | None = None) -> int:
+        if batch_id is None:
+            batch_id = max(node.latest_completed_batch for node in self.nodes)
+        for channel in self.channels:
+            response = channel.call(CheckpointRequest(batch_id=batch_id))
+            if not response.ok:
+                raise ServerError("checkpoint request rejected")
+        return batch_id
+
+    def complete_pending_checkpoints(self) -> None:
+        for node in self.nodes:
+            node.cache.complete_pending_checkpoints()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def num_entries(self) -> int:
+        return sum(node.num_entries for node in self.nodes)
+
+    def state_snapshot(self) -> dict[int, np.ndarray]:
+        snapshot: dict[int, np.ndarray] = {}
+        for node in self.nodes:
+            snapshot.update(node.state_snapshot())
+        return snapshot
+
+    def wire_bytes(self) -> int:
+        """Total request+response bytes moved over all channels."""
+        return sum(channel.stats.total_bytes for channel in self.channels)

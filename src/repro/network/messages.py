@@ -1,0 +1,204 @@
+"""Binary wire messages for the PS protocol.
+
+Every message is ``[1-byte type][4-byte LE body length][body]``; bodies
+pack fixed little-endian headers followed by raw numpy buffers, so the
+byte counts the simulator charges are the byte counts a real
+implementation would move.
+
+Message catalogue:
+
+======================  ====  =======================================
+Message                 Type  Body
+======================  ====  =======================================
+PullRequest             0x01  batch_id u64, nkeys u32, keys u64[n]
+PullResponse            0x02  batch_id u64, nkeys u32, dim u32,
+                              weights f32[n*dim]
+PushRequest             0x03  batch_id u64, nkeys u32, dim u32,
+                              keys u64[n], grads f32[n*dim]
+CheckpointRequest       0x04  batch_id u64
+StatusResponse          0x05  code u8, value i64
+======================  ====  =======================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_HEADER = struct.Struct("<BI")
+
+
+class MessageError(ReproError):
+    """Malformed or unexpected wire message."""
+
+
+@dataclass(frozen=True)
+class PullRequest:
+    """Worker -> PS: fetch weights for ``keys`` at batch ``batch_id``."""
+
+    TYPE = 0x01
+
+    batch_id: int
+    keys: np.ndarray  # u64[n]
+
+    def encode_body(self) -> bytes:
+        keys = np.ascontiguousarray(self.keys, dtype="<u8")
+        return (
+            struct.pack("<QI", self.batch_id, len(keys)) + keys.tobytes()
+        )
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "PullRequest":
+        if len(body) < 12:
+            raise MessageError("truncated PullRequest")
+        batch_id, nkeys = struct.unpack_from("<QI", body)
+        expected = 12 + 8 * nkeys
+        if len(body) != expected:
+            raise MessageError(f"PullRequest length {len(body)}, want {expected}")
+        keys = np.frombuffer(body, dtype="<u8", count=nkeys, offset=12)
+        return cls(batch_id=batch_id, keys=keys.copy())
+
+
+@dataclass(frozen=True)
+class PullResponse:
+    """PS -> worker: the requested weight rows."""
+
+    TYPE = 0x02
+
+    batch_id: int
+    weights: np.ndarray  # f32[n, dim]
+
+    def encode_body(self) -> bytes:
+        weights = np.ascontiguousarray(self.weights, dtype="<f4")
+        if weights.ndim != 2:
+            raise MessageError(f"weights must be 2-D, got shape {weights.shape}")
+        n, dim = weights.shape
+        return struct.pack("<QII", self.batch_id, n, dim) + weights.tobytes()
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "PullResponse":
+        if len(body) < 16:
+            raise MessageError("truncated PullResponse")
+        batch_id, n, dim = struct.unpack_from("<QII", body)
+        expected = 16 + 4 * n * dim
+        if len(body) != expected:
+            raise MessageError(f"PullResponse length {len(body)}, want {expected}")
+        weights = np.frombuffer(body, dtype="<f4", count=n * dim, offset=16)
+        return cls(batch_id=batch_id, weights=weights.reshape(n, dim).copy())
+
+
+@dataclass(frozen=True)
+class PushRequest:
+    """Worker -> PS: gradients for ``keys`` at batch ``batch_id``."""
+
+    TYPE = 0x03
+
+    batch_id: int
+    keys: np.ndarray  # u64[n]
+    grads: np.ndarray  # f32[n, dim]
+
+    def encode_body(self) -> bytes:
+        keys = np.ascontiguousarray(self.keys, dtype="<u8")
+        grads = np.ascontiguousarray(self.grads, dtype="<f4")
+        if grads.ndim != 2 or grads.shape[0] != len(keys):
+            raise MessageError(
+                f"grads shape {grads.shape} inconsistent with {len(keys)} keys"
+            )
+        n, dim = grads.shape
+        return (
+            struct.pack("<QII", self.batch_id, n, dim)
+            + keys.tobytes()
+            + grads.tobytes()
+        )
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "PushRequest":
+        if len(body) < 16:
+            raise MessageError("truncated PushRequest")
+        batch_id, n, dim = struct.unpack_from("<QII", body)
+        expected = 16 + 8 * n + 4 * n * dim
+        if len(body) != expected:
+            raise MessageError(f"PushRequest length {len(body)}, want {expected}")
+        keys = np.frombuffer(body, dtype="<u8", count=n, offset=16)
+        grads = np.frombuffer(body, dtype="<f4", count=n * dim, offset=16 + 8 * n)
+        return cls(
+            batch_id=batch_id, keys=keys.copy(), grads=grads.reshape(n, dim).copy()
+        )
+
+
+@dataclass(frozen=True)
+class CheckpointRequest:
+    """Trainer -> PS: snapshot the state as of ``batch_id``."""
+
+    TYPE = 0x04
+
+    batch_id: int
+
+    def encode_body(self) -> bytes:
+        return struct.pack("<Q", self.batch_id)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "CheckpointRequest":
+        if len(body) != 8:
+            raise MessageError(f"CheckpointRequest length {len(body)}, want 8")
+        return cls(batch_id=struct.unpack("<Q", body)[0])
+
+
+@dataclass(frozen=True)
+class StatusResponse:
+    """PS -> caller: an ack carrying a status code and one integer."""
+
+    TYPE = 0x05
+
+    OK = 0
+    ERROR = 1
+
+    code: int
+    value: int = 0
+
+    def encode_body(self) -> bytes:
+        return struct.pack("<Bq", self.code, self.value)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "StatusResponse":
+        if len(body) != 9:
+            raise MessageError(f"StatusResponse length {len(body)}, want 9")
+        code, value = struct.unpack("<Bq", body)
+        return cls(code=code, value=value)
+
+    @property
+    def ok(self) -> bool:
+        return self.code == self.OK
+
+
+_MESSAGE_TYPES = {
+    cls.TYPE: cls
+    for cls in (PullRequest, PullResponse, PushRequest, CheckpointRequest, StatusResponse)
+}
+
+
+def encode_message(message) -> bytes:
+    """Frame a message: type byte, length, body."""
+    body = message.encode_body()
+    return _HEADER.pack(message.TYPE, len(body)) + body
+
+
+def decode_message(data: bytes):
+    """Decode one framed message.
+
+    Raises:
+        MessageError: unknown type, truncation, or trailing bytes.
+    """
+    if len(data) < _HEADER.size:
+        raise MessageError(f"frame too short: {len(data)} bytes")
+    msg_type, length = _HEADER.unpack_from(data)
+    if msg_type not in _MESSAGE_TYPES:
+        raise MessageError(f"unknown message type 0x{msg_type:02x}")
+    body = data[_HEADER.size :]
+    if len(body) != length:
+        raise MessageError(f"frame body {len(body)} bytes, header says {length}")
+    return _MESSAGE_TYPES[msg_type].decode_body(body)

@@ -1,0 +1,23 @@
+"""Persistent-memory substrate (PMDK-like, simulated).
+
+The paper builds on Intel Optane PMem via PMDK. This package provides
+the equivalents the PS core needs:
+
+* :class:`~repro.pmem.pool.PmemPool` — a byte-addressable persistent
+  object pool with explicit flush semantics, a small root region with
+  atomic 8-byte updates (for the *Checkpointed Batch ID*), capacity
+  accounting and crash simulation.
+* :class:`~repro.pmem.space.VersionedEntryStore` — the space manager of
+  Section V-C: it keeps the entry version belonging to the latest
+  successful checkpoint from being overwritten by newer flushes, and
+  recycles superseded versions once a newer checkpoint completes.
+
+Durability model: a write is durable once flushed (the default). Writes
+staged with ``flush=False`` live in the simulated CPU cache and are lost
+on :meth:`~repro.pmem.pool.PmemPool.crash`.
+"""
+
+from repro.pmem.pool import PmemPool, PoolRoot
+from repro.pmem.space import EntryVersion, VersionedEntryStore
+
+__all__ = ["PmemPool", "PoolRoot", "VersionedEntryStore", "EntryVersion"]

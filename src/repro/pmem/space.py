@@ -1,0 +1,252 @@
+"""Space manager for versioned embedding entries on PMem.
+
+Section V-C: *"we rely on the underlying space manager of PMem to
+prevent them from being overwritten by the newer versions flushed to
+PMem. The space manager will recycle the space of these entries once the
+new checkpoint is done."*
+
+Each flush of an entry creates an :class:`EntryVersion` tagged with the
+batch id it was last updated in. The store retains, per key:
+
+* the newest version overall (the running state), and
+* for every *retention barrier* (an outstanding or last-completed
+  checkpoint batch id), the newest version at or below that barrier —
+  exactly what recovery to that checkpoint needs.
+
+Everything else is recycled eagerly on flush, so steady-state footprint
+is at most ``1 + len(barriers)`` versions per key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PMemError, RecoveryError
+from repro.pmem.pool import PmemPool
+
+CHECKPOINT_ID_FIELD = "checkpointed_batch_id"
+"""Root field holding the batch id of the last completed checkpoint."""
+
+NO_CHECKPOINT = -1
+"""Sentinel checkpoint id meaning 'no checkpoint has ever completed'."""
+
+
+@dataclass(frozen=True)
+class EntryVersion:
+    """One durable snapshot of an embedding entry."""
+
+    key: int
+    batch_id: int
+
+    @property
+    def pool_key(self) -> tuple[str, int, int]:
+        return ("entry", self.key, self.batch_id)
+
+
+class VersionedEntryStore:
+    """Versioned entry storage with checkpoint-aware retention.
+
+    Args:
+        pool: the persistent pool all versions live in.
+        entry_bytes: payload size of one entry (used for metadata-only
+            writes where no weight array is supplied).
+
+    The version index (``key -> sorted batch ids``) is volatile DRAM
+    state; after a crash it is rebuilt by :meth:`rebuild_from_pool`.
+    """
+
+    def __init__(self, pool: PmemPool, entry_bytes: int):
+        if entry_bytes <= 0:
+            raise PMemError(f"entry_bytes must be positive, got {entry_bytes}")
+        self.pool = pool
+        self.entry_bytes = entry_bytes
+        self._versions: dict[int, list[int]] = {}
+        self._barriers: tuple[int, ...] = ()
+        if CHECKPOINT_ID_FIELD not in pool.root.fields():
+            pool.root.set(CHECKPOINT_ID_FIELD, NO_CHECKPOINT)
+
+    # ------------------------------------------------------------------
+    # write path
+    # ------------------------------------------------------------------
+
+    def put(self, key: int, batch_id: int, weights: np.ndarray | None) -> float:
+        """Persist a new version of ``key``; returns device write seconds.
+
+        Older versions not protected by a retention barrier are recycled
+        immediately.
+        """
+        elapsed = self.pool.write(
+            ("entry", key, batch_id), weights, nbytes=self.entry_bytes
+        )
+        versions = self._versions.setdefault(key, [])
+        if batch_id not in versions:
+            versions.append(batch_id)
+            versions.sort()
+        self._prune_key(key)
+        return elapsed
+
+    def set_retention_barriers(self, barriers: tuple[int, ...]) -> None:
+        """Declare which checkpoint batch ids must stay recoverable.
+
+        Called by the checkpoint manager whenever the set of outstanding
+        checkpoints (plus the last completed one) changes. Pruning on
+        subsequent writes honours the new barrier set; existing excess
+        versions are recycled lazily via :meth:`recycle`.
+        """
+        self._barriers = tuple(sorted(set(barriers)))
+
+    def recycle(self) -> int:
+        """Recycle all versions unprotected by the current barriers.
+
+        Returns the number of versions freed. Invoked when a checkpoint
+        completes ("the space manager will recycle the space of these
+        entries once the new checkpoint is done").
+        """
+        freed = 0
+        for key in list(self._versions):
+            freed += self._prune_key(key)
+        return freed
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def has(self, key: int) -> bool:
+        return bool(self._versions.get(key))
+
+    def latest_batch_id(self, key: int) -> int:
+        """Batch id of the newest stored version of ``key``."""
+        versions = self._require_versions(key)
+        return versions[-1]
+
+    def read_latest(self, key: int) -> tuple[int, np.ndarray | None]:
+        """Newest version of ``key`` as ``(batch_id, weights)``."""
+        versions = self._require_versions(key)
+        batch_id = versions[-1]
+        return batch_id, self.pool.read(("entry", key, batch_id))
+
+    def read_at_most(self, key: int, barrier: int) -> tuple[int, np.ndarray | None]:
+        """Newest version of ``key`` with ``batch_id <= barrier``.
+
+        Raises:
+            KeyError: no version at or below the barrier exists.
+        """
+        versions = self._require_versions(key)
+        eligible = [v for v in versions if v <= barrier]
+        if not eligible:
+            raise KeyError(f"key {key} has no version <= {barrier}")
+        batch_id = eligible[-1]
+        return batch_id, self.pool.read(("entry", key, batch_id))
+
+    def keys(self) -> list[int]:
+        """All keys with at least one stored version."""
+        return [key for key, versions in self._versions.items() if versions]
+
+    def versions_of(self, key: int) -> list[int]:
+        """Sorted batch ids currently stored for ``key`` (may be empty)."""
+        return list(self._versions.get(key, []))
+
+    def total_versions(self) -> int:
+        return sum(len(v) for v in self._versions.values())
+
+    # ------------------------------------------------------------------
+    # checkpoint id (root field)
+    # ------------------------------------------------------------------
+
+    def set_checkpointed_batch_id(self, batch_id: int) -> None:
+        """Atomically persist the *Checkpointed Batch ID* (Alg. 2 l. 25)."""
+        self.pool.root.set(CHECKPOINT_ID_FIELD, batch_id)
+
+    def checkpointed_batch_id(self) -> int:
+        """The durable last-completed checkpoint id (-1 if none)."""
+        return self.pool.root.get(CHECKPOINT_ID_FIELD, NO_CHECKPOINT)
+
+    # ------------------------------------------------------------------
+    # crash recovery
+    # ------------------------------------------------------------------
+
+    def rebuild_from_pool(self) -> None:
+        """Rebuild the volatile version index by scanning the pool.
+
+        This is recovery step 2's first half: after
+        :meth:`PmemPool.crash` the in-DRAM index is gone; scanning the
+        durable pool contents restores it.
+        """
+        self._versions = {}
+        for pool_key in self.pool.keys():
+            if not (isinstance(pool_key, tuple) and pool_key and pool_key[0] == "entry"):
+                continue
+            __, key, batch_id = pool_key
+            self._versions.setdefault(key, []).append(batch_id)
+        for versions in self._versions.values():
+            versions.sort()
+
+    def discard_newer_than(self, checkpoint_id: int) -> int:
+        """Drop all versions newer than ``checkpoint_id`` (recovery step 1).
+
+        Returns the number of versions discarded.
+
+        Raises:
+            RecoveryError: a key would lose ALL its versions — meaning a
+                post-checkpoint entry creation; such keys are legitimately
+                dropped, so this is raised only if the caller asked via a
+                strict scan (not used by default recovery).
+        """
+        discarded = 0
+        for key in list(self._versions):
+            versions = self._versions[key]
+            keep = [v for v in versions if v <= checkpoint_id]
+            for batch_id in versions:
+                if batch_id > checkpoint_id:
+                    self.pool.free(("entry", key, batch_id))
+                    discarded += 1
+            if keep:
+                self._versions[key] = keep
+            else:
+                del self._versions[key]
+        return discarded
+
+    def recover(self) -> dict[int, int]:
+        """Full recovery: scan, discard post-checkpoint versions.
+
+        Returns ``key -> recovered batch_id`` for every surviving key.
+        The caller (``repro.core.recovery``) then rebuilds the DRAM hash
+        index from this mapping.
+        """
+        self.rebuild_from_pool()
+        checkpoint_id = self.checkpointed_batch_id()
+        if checkpoint_id == NO_CHECKPOINT:
+            raise RecoveryError("no completed checkpoint recorded in PMem root")
+        self.discard_newer_than(checkpoint_id)
+        return {key: versions[-1] for key, versions in self._versions.items()}
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _require_versions(self, key: int) -> list[int]:
+        versions = self._versions.get(key)
+        if not versions:
+            raise KeyError(key)
+        return versions
+
+    def _prune_key(self, key: int) -> int:
+        """Free versions of ``key`` not needed by barriers or running state."""
+        versions = self._versions.get(key)
+        if not versions:
+            return 0
+        keep = {versions[-1]}
+        for barrier in self._barriers:
+            eligible = [v for v in versions if v <= barrier]
+            if eligible:
+                keep.add(eligible[-1])
+        freed = 0
+        for batch_id in versions:
+            if batch_id not in keep:
+                self.pool.free(("entry", key, batch_id))
+                freed += 1
+        if freed:
+            self._versions[key] = sorted(keep)
+        return freed

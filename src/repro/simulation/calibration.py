@@ -1,0 +1,110 @@
+"""Calibration constants for the performance model.
+
+The paper's absolute numbers come from a specific cloud testbed (V100
+GPU machines, ``re6p.13xlarge`` PMem servers, 30 Gb intranet). This
+reproduction's substrate is a simulator, so absolute times are not
+expected to match; these constants are chosen so the *shapes* of the
+evaluation figures hold — who wins, by roughly what factor, where gaps
+grow. Each constant documents its derivation from a paper datapoint.
+
+All times are seconds (simulated), bandwidths bytes/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GB = 1 << 30
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """Tunable cost constants of the cluster performance model.
+
+    Attributes:
+        hash_lookup_s: DRAM hash probe + response-buffer copy per entry
+            on the pull path (Algorithm 1's read-locked fast path).
+        entry_create_s: one-time cost of initialising a new entry under
+            the write lock (Algorithm 1 lines 6-12).
+        inline_maint_section_s: serialized critical section an
+            *inline*-maintained cache (Ori-Cache) pays per access: LRU
+            list splice under a global lock. The deferred maintainer
+            pays the same work but off the critical path.
+        lock_contention_factor: per-extra-contender surcharge on
+            serialized sections. Drives the Figure 3/7 scaling gap:
+            Ori-Cache's inline sections are contended by every worker's
+            request threads at the batch-boundary burst.
+        update_apply_s: per-entry optimizer application on the PS.
+        maintainer_entry_s: deferred maintainer bookkeeping per accessed
+            entry (version check, reorder) — runs on maintainer threads.
+        index_rebuild_pmem_oe_s: recovery index-rebuild cost per entry
+            for PMem-OE. Figure 14: 380.2 s for the 2.1 B-entry model,
+            of which ~13 s is the PMem scan at 39 GB/s -> ~175 ns/entry.
+        index_insert_dram_ps_s: recovery per-entry cost for DRAM-PS
+            (hash insert + entry allocation + copy). Figure 14: 751.1 s
+            from PMem = ~13 s device read + 2.1 B * ~351 ns.
+        checkpoint_ssd_read_bw: effective read bandwidth when DRAM-PS
+            loads its checkpoint file from SSD/NAS. Figure 14's
+            1512.8 s implies ~0.65 GB/s effective (cloud NAS-backed
+            volume, not a local NVMe at spec sheet speed).
+        dense_ckpt_pause_s: per-checkpoint pause for TensorFlow's dense
+            checkpoint (one GPU dumps the MLP; Figure 12/13 attribute
+            PMem-OE's entire residual overhead, ~1-2 % at 20-min
+            intervals, to this).
+        tf_ps_entry_s: per-entry service cost of the TensorFlow
+            parameter-server baseline in Section VI-F (single-process,
+            no burst-optimised path).
+    """
+
+    hash_lookup_s: float = 0.15e-6
+    entry_create_s: float = 1.0e-6
+    inline_maint_section_s: float = 3.6e-6
+    lock_contention_factor: float = 0.20
+    update_apply_s: float = 0.20e-6
+    maintainer_entry_s: float = 0.15e-6
+    #: Per-access software overhead of a PMem-resident operation on the
+    #: request path (persistent pointer chasing, fences); serialized and
+    #: contended during the batch-boundary burst.
+    pmem_op_overhead_s: float = 6.8e-6
+    #: Per-access critical section of the PMem-aware concurrent hash
+    #: (libpmemobj allocator + bucket locks + transactional metadata).
+    #: Large because it aggregates a full persistent-transaction round
+    #: trip; its contention factor is ~0 because the cost is already
+    #: fully serialized.
+    pmem_hash_section_s: float = 38e-6
+    pmem_hash_contention_factor: float = 0.0
+    #: Contention surcharge per extra worker for PMem-side sections —
+    #: worse than DRAM locks because the section itself includes fenced
+    #: PMem writes.
+    pmem_contention_factor: float = 0.20
+    index_rebuild_pmem_oe_s: float = 175e-9
+    index_insert_dram_ps_s: float = 351e-9
+    checkpoint_ssd_read_bw: float = 0.65 * GB
+    dense_ckpt_pause_s: float = 12.0
+    tf_ps_entry_s: float = 6.0e-6
+    #: Additional per-byte cost of the TensorFlow PS request path
+    #: (single-process session: extra tensor copies through protocol
+    #: buffers), which is why its gap widens at embedding dim 64
+    #: (Figure 15).
+    tf_ps_per_byte_s: float = 20e-9
+    #: Per-entry cost of an incremental checkpoint dump (allocator +
+    #: transactional metadata on the checkpoint device) on top of raw
+    #: bandwidth.
+    incremental_entry_dump_s: float = 16e-6
+    #: Slowdown multiplier when the incremental dump's writes land on
+    #: the same PMem the training system is using (Figure 12's
+    #: interference effect).
+    incremental_interference_factor: float = 2.2
+    #: Multiplier on DRAM-PS's synchronous incremental dump: the pause
+    #: includes quiescing all request threads and serializing the dirty
+    #: snapshot out of the live hash before the device write. Calibrated
+    #: against Figure 6's DRAM-PS vs PMem-OE gap (5.6-7.2 %).
+    incremental_dram_ps_factor: float = 2.7
+    #: Dense (MLP) share of the total model size; <1 % per Section VI-A.
+    dense_model_fraction: float = 0.008
+    #: Effective bandwidth of the dense checkpoint path (GPU -> network
+    #: -> backup storage).
+    dense_ckpt_bw: float = 0.08 * GB
+
+
+DEFAULT_CALIBRATION = Calibration()

@@ -1,0 +1,89 @@
+"""Deterministic simulated clock.
+
+A :class:`SimClock` is a monotone counter of simulated seconds. All
+device, network and compute costs are charged to a clock, which makes
+every benchmark deterministic and independent of host speed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ClockError
+
+
+class SimClock:
+    """Monotone simulated time in seconds.
+
+    The clock supports plain advancement plus a small convenience for
+    periodic events (used by the checkpoint scheduler).
+    """
+
+    def __init__(self, start: float = 0.0):
+        if start < 0:
+            raise ClockError(f"clock cannot start at negative time {start}")
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` and return the new time.
+
+        Raises:
+            ClockError: if ``seconds`` is negative (time is monotone).
+        """
+        if seconds < 0:
+            raise ClockError(f"cannot advance clock by negative duration {seconds}")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Move time forward to an absolute ``timestamp``.
+
+        Advancing to a timestamp in the past is an error; advancing to
+        the current time is a no-op.
+        """
+        if timestamp < self._now:
+            raise ClockError(
+                f"cannot move clock backwards from {self._now} to {timestamp}"
+            )
+        self._now = float(timestamp)
+        return self._now
+
+    def reset(self, start: float = 0.0) -> None:
+        """Reset the clock (used between benchmark repetitions)."""
+        if start < 0:
+            raise ClockError(f"clock cannot reset to negative time {start}")
+        self._now = float(start)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f}s)"
+
+
+class PeriodicTimer:
+    """Fires every ``period`` seconds of simulated time.
+
+    Used by the checkpoint manager to trigger periodic checkpoints: call
+    :meth:`due` with the current time; it returns how many periods have
+    elapsed since the last firing and advances its own phase.
+    """
+
+    def __init__(self, period: float, start: float = 0.0):
+        if period <= 0:
+            raise ClockError(f"timer period must be positive, got {period}")
+        self.period = float(period)
+        self._next_fire = start + self.period
+
+    def due(self, now: float) -> int:
+        """Return the number of firings due at ``now`` (possibly 0)."""
+        fired = 0
+        while now >= self._next_fire:
+            fired += 1
+            self._next_fire += self.period
+        return fired
+
+    @property
+    def next_fire(self) -> float:
+        """Simulated time of the next scheduled firing."""
+        return self._next_fire

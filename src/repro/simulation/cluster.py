@@ -1,0 +1,279 @@
+"""Per-phase PS service-time model for the training simulator.
+
+One :class:`PSCostModel` prices the parameter-server side of a
+synchronous training iteration for each system of Table III. All
+inputs are *per-iteration aggregate op counts* produced by the
+functional backend (hits, misses, flushes, ...); all outputs are
+simulated seconds.
+
+The phase structure of an iteration (Figure 2 / Figure 5):
+
+1. **pull burst** — all workers request their batch's keys at once:
+   network transfer + PS service (hash probes, DRAM/PMem reads, and for
+   inline-maintained systems the serialized cache-maintenance sections).
+2. **GPU compute** — dense model forward/backward; for OpenEmbedding
+   the deferred cache maintenance runs in this window.
+3. **push burst** — gradients return: network + optimizer application
+   (+ inline maintenance again for Ori-Cache).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.config import ClusterConfig, ServerConfig
+from repro.simulation.calibration import Calibration, DEFAULT_CALIBRATION
+from repro.simulation.contention import parallel_section_time, serialized_section_time
+from repro.simulation.device import DRAM_SPEC, MemoryDevice, PMEM_SPEC
+from repro.simulation.network import NetworkModel
+
+
+class SystemKind(enum.Enum):
+    """The parameter-server systems compared in the evaluation."""
+
+    DRAM_PS = "dram_ps"
+    PMEM_OE = "pmem_oe"
+    ORI_CACHE = "ori_cache"
+    PMEM_HASH = "pmem_hash"
+    TF_PS = "tf_ps"
+
+
+@dataclass(frozen=True)
+class IterationCounts:
+    """Aggregate functional op counts of one synchronous iteration."""
+
+    requests: int  # total pull requests across all workers
+    hits: int
+    misses: int
+    created: int
+    maintain_processed: int
+    maintain_loads: int
+    maintain_flushes: int
+    maintain_evictions: int
+
+
+@dataclass(frozen=True)
+class IterationTiming:
+    """Per-phase simulated seconds of one iteration."""
+
+    net_pull: float
+    pull_service: float
+    gpu: float
+    maintain_deferred: float  # runs concurrently with gpu when pipelined
+    maintain_inline: float  # charged on the critical path
+    net_push: float
+    push_service: float
+    total: float
+
+
+class PSCostModel:
+    """Prices PS phases for one deployment shape.
+
+    Args:
+        system: which Table III system's cost structure to use.
+        cluster: worker count / batch / threads / network.
+        server: embedding dim and PS node count.
+        calibration: cost constants.
+        pipelined: charge maintenance overlapped with GPU compute
+            (OpenEmbedding's pipeline) or on the critical path.
+        use_cache: False models the cache-disabled ablation of Figure 9
+            — every access goes to PMem directly.
+    """
+
+    def __init__(
+        self,
+        system: SystemKind,
+        cluster: ClusterConfig,
+        server: ServerConfig,
+        calibration: Calibration = DEFAULT_CALIBRATION,
+        *,
+        pipelined: bool = True,
+        use_cache: bool = True,
+        maintainer_threads: int = 4,
+    ):
+        self.system = system
+        self.cluster = cluster
+        self.server = server
+        self.cal = calibration
+        self.pipelined = pipelined
+        self.use_cache = use_cache
+        self.maintainer_threads = maintainer_threads
+        self.dram = MemoryDevice(DRAM_SPEC)
+        self.pmem = MemoryDevice(PMEM_SPEC)
+        self.network = NetworkModel(cluster.network)
+        self.entry_bytes = server.entry_bytes
+
+    # ------------------------------------------------------------------
+    # main entry point
+    # ------------------------------------------------------------------
+
+    def price_iteration(self, counts: IterationCounts) -> IterationTiming:
+        """Simulated time of one iteration given its op counts."""
+        workers = self.cluster.num_workers
+        nodes = self.server.num_nodes
+        per_worker_keys = max(1, counts.requests // max(1, workers))
+        payload = per_worker_keys * (self.entry_bytes + 8)
+        net_pull = self.network.burst_transfer_time(workers, payload)
+        net_push = self.network.burst_transfer_time(workers, payload)
+
+        r = -(-counts.requests // nodes)  # per-node requests (ceil)
+        pull_service, maintain_deferred, maintain_inline, push_service = (
+            self._service_times(r, counts)
+        )
+        gpu = self.cluster.gpu_batch_time_s
+        if self.pipelined:
+            middle = max(gpu, maintain_deferred)
+            inline = maintain_inline
+        else:
+            middle = gpu
+            inline = maintain_inline + maintain_deferred
+        total = net_pull + pull_service + middle + inline + net_push + push_service
+        return IterationTiming(
+            net_pull=net_pull,
+            pull_service=pull_service,
+            gpu=gpu,
+            maintain_deferred=maintain_deferred if self.pipelined else 0.0,
+            maintain_inline=inline,
+            net_push=net_push,
+            push_service=push_service,
+            total=total,
+        )
+
+    # ------------------------------------------------------------------
+    # per-system phase pricing
+    # ------------------------------------------------------------------
+
+    def _service_times(
+        self, r: int, counts: IterationCounts
+    ) -> tuple[float, float, float, float]:
+        """Returns (pull_service, maintain_deferred, maintain_inline,
+        push_service) for one PS node's share of the burst."""
+        nodes = self.server.num_nodes
+        threads = self.cluster.ps_threads_per_node
+        workers = self.cluster.num_workers
+        eb = self.entry_bytes
+        cal = self.cal
+        hits = -(-counts.hits // nodes)
+        misses = -(-counts.misses // nodes)
+        created = -(-counts.created // nodes)
+        loads = -(-counts.maintain_loads // nodes)
+        flushes = -(-counts.maintain_flushes // nodes)
+        processed = -(-counts.maintain_processed // nodes)
+
+        hash_probe = parallel_section_time(r, cal.hash_lookup_s, threads)
+        create = serialized_section_time(
+            created,
+            cal.entry_create_s,
+            contenders=workers,
+            contention_factor=cal.lock_contention_factor,
+        )
+        apply_updates = parallel_section_time(r, cal.update_apply_s, threads)
+
+        if self.system == SystemKind.DRAM_PS:
+            pull = hash_probe + create + self.dram.burst_read(r, eb, threads)
+            push = apply_updates + self.dram.burst_write(r, eb, threads)
+            return pull, 0.0, 0.0, push
+
+        if self.system == SystemKind.TF_PS:
+            # Single-process PS: a heavier per-entry path plus a
+            # serialized session/graph section contended by all workers.
+            tf_section = serialized_section_time(
+                r,
+                cal.tf_ps_entry_s + eb * cal.tf_ps_per_byte_s,
+                contenders=workers,
+                contention_factor=cal.lock_contention_factor,
+            )
+            pull = hash_probe + create + tf_section + self.dram.burst_read(r, eb, threads)
+            push = apply_updates + tf_section + self.dram.burst_write(r, eb, threads)
+            return pull, 0.0, 0.0, push
+
+        if self.system == SystemKind.PMEM_HASH:
+            # Everything on PMem, on the critical path, through a
+            # PMem-aware concurrent hash whose operations serialize on
+            # persistent-allocator and bucket-lock sections.
+            pm_section_pull = serialized_section_time(
+                r,
+                cal.pmem_hash_section_s,
+                contenders=workers,
+                contention_factor=cal.pmem_hash_contention_factor,
+            )
+            pm_section_push = pm_section_pull
+            pull = hash_probe + create + pm_section_pull + self.pmem.burst_read(
+                r, eb, threads
+            )
+            push = (
+                apply_updates
+                + pm_section_push
+                + self.pmem.burst_read(r, eb, threads)
+                + self.pmem.burst_write(r, eb, threads)
+            )
+            return pull, 0.0, 0.0, push
+
+        # Cache-based hybrids: PMEM_OE and ORI_CACHE.
+        if not self.use_cache:
+            # Figure 9 ablation: cache disabled -> every access is a
+            # contended PMem read on the pull path and a PMem
+            # write-back on the push path; with the pipeline enabled
+            # the write-back half is deferred behind GPU compute.
+            pm_ops = serialized_section_time(
+                r,
+                cal.pmem_op_overhead_s,
+                contenders=workers,
+                contention_factor=cal.pmem_contention_factor,
+            )
+            pull = hash_probe + create + pm_ops + self.pmem.burst_read(r, eb, threads)
+            writeback = pm_ops + self.pmem.burst_write(r, eb, threads)
+            push = apply_updates + self.pmem.burst_read(r, eb, threads)
+            return pull, writeback, 0.0, push
+
+        pm_miss = serialized_section_time(
+            misses,
+            cal.pmem_op_overhead_s,
+            contenders=workers,
+            contention_factor=cal.pmem_contention_factor,
+        )
+        pull_common = (
+            hash_probe
+            + create
+            + self.dram.burst_read(hits, eb, threads)
+            + pm_miss
+            + self.pmem.burst_read(misses, eb, threads)
+        )
+        push_common = apply_updates + self.dram.burst_write(r, eb, threads)
+
+        if self.system == SystemKind.PMEM_OE and self.pipelined:
+            # Deferred maintenance on dedicated threads, no request-path
+            # lock: priced into the slot that overlaps GPU compute.
+            deferred = (
+                parallel_section_time(
+                    processed, cal.maintainer_entry_s, self.maintainer_threads
+                )
+                + self.pmem.burst_read(loads, eb, self.maintainer_threads)
+                + self.pmem.burst_write(flushes, eb, self.maintainer_threads)
+            )
+            return pull_common, deferred, 0.0, push_common
+
+        # Inline maintenance (Ori-Cache, or PMem-OE with the pipeline
+        # disabled — the Figure 9 ablation): the LRU splice is a
+        # serialized, contended section per access on BOTH the pull and
+        # the push (a black-box cache treats the paired pull/update as
+        # two independent operations), and miss-fill reads plus eviction
+        # write-backs land on the pull critical path.
+        inline_pull = serialized_section_time(
+            r,
+            cal.inline_maint_section_s,
+            contenders=workers,
+            contention_factor=cal.lock_contention_factor,
+        )
+        inline_push = serialized_section_time(
+            r,
+            cal.inline_maint_section_s,
+            contenders=workers,
+            contention_factor=cal.lock_contention_factor,
+        )
+        fill_io = self.pmem.burst_read(loads, eb, threads)
+        evict_io = self.pmem.burst_write(flushes, eb, threads)
+        pull = pull_common + inline_pull + fill_io + evict_io
+        push = push_common + inline_push
+        return pull, 0.0, 0.0, push

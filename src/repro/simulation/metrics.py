@@ -1,0 +1,130 @@
+"""Metrics collection: counters, cache statistics, request traces.
+
+``RequestTrace`` records per-request timestamps on the simulated clock
+and buckets them per millisecond — the exact view of Figure 2 ("Access
+pattern in two batches"), where pull and update bursts appear in pairs
+at batch boundaries.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A named monotone counter."""
+
+    name: str
+    value: int = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for a DRAM cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    flushes: int = 0
+    loads: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of accesses that missed (0.0 when no accesses yet)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.flushes = 0
+        self.loads = 0
+
+
+class RequestTrace:
+    """Timestamped request log bucketed per millisecond.
+
+    Args:
+        enabled: tracing costs memory proportional to request count, so
+            it is off by default and switched on only by the Figure 2
+            bench and trace-analysis tests.
+    """
+
+    PULL = "pull"
+    UPDATE = "update"
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._events: list[tuple[float, str, int]] = []
+
+    def record(self, sim_time: float, op: str, count: int = 1) -> None:
+        """Log ``count`` requests of type ``op`` at ``sim_time`` seconds."""
+        if self.enabled:
+            self._events.append((sim_time, op, count))
+
+    @property
+    def events(self) -> list[tuple[float, str, int]]:
+        """All recorded (time, op, count) events, in arrival order."""
+        return list(self._events)
+
+    def per_millisecond(self, op: str | None = None) -> dict[int, int]:
+        """Request counts bucketed by integer millisecond.
+
+        Args:
+            op: restrict to one op type (``PULL``/``UPDATE``); None sums
+                everything.
+        """
+        buckets: dict[int, int] = defaultdict(int)
+        for time_s, event_op, count in self._events:
+            if op is not None and event_op != op:
+                continue
+            buckets[int(time_s * 1000)] += count
+        return dict(buckets)
+
+    def totals(self) -> dict[str, int]:
+        """Total request count per op type."""
+        totals: dict[str, int] = defaultdict(int)
+        for _, event_op, count in self._events:
+            totals[event_op] += count
+        return dict(totals)
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+@dataclass
+class Metrics:
+    """A bundle of all statistics one PS node (or run) collects."""
+
+    cache: CacheStats = field(default_factory=CacheStats)
+    trace: RequestTrace = field(default_factory=lambda: RequestTrace(enabled=False))
+    pulls: int = 0
+    updates: int = 0
+    entries_created: int = 0
+    checkpoints_completed: int = 0
+    pmem_flush_entries: int = 0
+    pmem_load_entries: int = 0
+
+    def reset(self) -> None:
+        self.cache.reset()
+        self.trace.clear()
+        self.pulls = 0
+        self.updates = 0
+        self.entries_created = 0
+        self.checkpoints_completed = 0
+        self.pmem_flush_entries = 0
+        self.pmem_load_entries = 0

@@ -1,0 +1,105 @@
+"""The scaled benchmark operating point shared by all experiments.
+
+The paper's testbed trains a 500 GB / 2.1 B-entry model with 4096-sample
+batches (~tens of thousands of unique keys per worker-batch). Running
+that verbatim through a Python functional simulation is infeasible, so
+every benchmark uses one consistent scale-down, defined here:
+
+* **model**: 500 k keys at dim 64 (128 MB of weights) — ~4000x fewer
+  keys, same Table II skew;
+* **batches**: 64 samples x 4 lookups => ~220 unique keys per
+  worker-batch, preserving the paper's ratio of cache capacity to
+  per-batch working set (a "2 GB of 500 GB" cache is ~10x one batch's
+  unique keys in both worlds);
+* **network**: bandwidth scaled down by the same ~4000x request-volume
+  factor so the network:GPU time ratio of an iteration matches the
+  testbed's;
+* **cache sizes**: specified as paper-equivalent megabytes of a 500 GB
+  model, converted by :func:`cache_bytes_for_paper_mb`.
+
+Checkpoint intervals are expressed as a fraction of the measured epoch
+(see :meth:`TrainingSimulator.interval_for_epoch_fraction`), keeping
+"every 20 minutes of a 5.3-hour epoch" meaningful at this scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CacheConfig, ClusterConfig, NetworkConfig, ServerConfig, WorkloadConfig
+
+PAPER_MODEL_GB = 500.0
+"""The real workload's model size the scaled cache sizes refer to."""
+
+PAPER_EPOCH_HOURS = 5.33
+"""PMem-OE's epoch length on the testbed (Table V)."""
+
+PAPER_CHECKPOINT_MINUTES = 20.0
+"""The default checkpoint interval (Section VI-A)."""
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """One consistent scaled configuration for the benchmark suite."""
+
+    num_keys: int = 500_000
+    embedding_dim: int = 64
+    batch_size: int = 64
+    features_per_sample: int = 4
+    workload_seed: int = 1
+    #: total worker-iterations per simulated epoch; a run with W workers
+    #: executes ``epoch_worker_iterations / W`` synchronous steps.
+    epoch_worker_iterations: int = 16 * 240
+    #: scaled interconnect (see module docstring).
+    network: NetworkConfig = field(
+        default_factory=lambda: NetworkConfig(bandwidth_bytes_per_s=60e6)
+    )
+
+    @property
+    def model_bytes(self) -> int:
+        return self.num_keys * self.embedding_dim * 4
+
+    def server_config(self, num_nodes: int = 1, **overrides) -> ServerConfig:
+        defaults = dict(
+            num_nodes=num_nodes,
+            embedding_dim=self.embedding_dim,
+            pmem_capacity_bytes=64 << 30,
+        )
+        defaults.update(overrides)
+        return ServerConfig(**defaults)
+
+    def cluster_config(self, num_workers: int, **overrides) -> ClusterConfig:
+        defaults = dict(
+            num_workers=num_workers,
+            batch_size=self.batch_size,
+            network=self.network,
+        )
+        defaults.update(overrides)
+        return ClusterConfig(**defaults)
+
+    def workload_config(self, skew: float = 1.0) -> WorkloadConfig:
+        return WorkloadConfig(
+            num_keys=self.num_keys,
+            features_per_sample=self.features_per_sample,
+            skew=skew,
+            seed=self.workload_seed,
+        )
+
+    def cache_bytes_for_paper_mb(self, paper_mb: float) -> int:
+        """Convert 'X MB of a 500 GB model' to scaled cache bytes."""
+        fraction = paper_mb / (PAPER_MODEL_GB * 1024.0)
+        return max(1, int(fraction * self.model_bytes))
+
+    def cache_config(self, paper_mb: float = 2048.0, **overrides) -> CacheConfig:
+        """Cache config at a paper-equivalent size (default: the 2 GB
+        operating point of Sections VI-C3 onward)."""
+        defaults = dict(capacity_bytes=self.cache_bytes_for_paper_mb(paper_mb))
+        defaults.update(overrides)
+        return CacheConfig(**defaults)
+
+    def iterations(self, num_workers: int) -> int:
+        """Synchronous steps for one epoch with ``num_workers`` workers."""
+        return max(1, self.epoch_worker_iterations // num_workers)
+
+
+DEFAULT_PROFILE = BenchProfile()

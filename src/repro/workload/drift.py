@@ -1,0 +1,120 @@
+"""Temporal drift in the access distribution (extension).
+
+The paper's production trace spans 147 days; real CTR hot sets rotate
+as catalogues, campaigns and user interests move. The synthetic
+generator holds its distribution fixed, which flatters any cache. A
+:class:`DriftingWorkload` rotates a configurable fraction of the
+rank->key mapping at every simulated "day" boundary, so yesterday's hot
+keys cool off and fresh keys heat up — the pattern that makes LRU's
+recency adaptation (and the paper's frequent retraining) matter.
+
+The drift is deterministic given the seed, so performance runs remain
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WorkloadConfig
+from repro.errors import ConfigError
+from repro.workload.distributions import BandedSkewDistribution, TABLE2_BANDS
+
+
+class DriftingWorkload:
+    """A skewed workload whose hot set rotates day by day.
+
+    Drop-in for :class:`~repro.workload.generator.WorkloadGenerator`
+    (the training simulator's interface). Time advances with the
+    batches drawn: every ``batches_per_day`` *worker* batches start a
+    new day, at which point ``drift_fraction`` of rank->key assignments
+    are reshuffled among themselves (the mapping stays a bijection; the
+    marginal skew is unchanged — only WHICH keys are hot moves).
+
+    Args:
+        config: base workload parameters (keys, lookups, skew, seed).
+        drift_fraction: share of the key mapping rotated per day.
+        batches_per_day: worker batches per simulated day.
+    """
+
+    def __init__(
+        self,
+        config: WorkloadConfig | None = None,
+        drift_fraction: float = 0.05,
+        batches_per_day: int = 64,
+    ):
+        if not 0.0 <= drift_fraction <= 1.0:
+            raise ConfigError(f"drift_fraction must be in [0, 1], got {drift_fraction}")
+        if batches_per_day <= 0:
+            raise ConfigError("batches_per_day must be positive")
+        self.config = config or WorkloadConfig()
+        self.drift_fraction = drift_fraction
+        self.batches_per_day = batches_per_day
+        self.distribution = BandedSkewDistribution(
+            self.config.num_keys,
+            TABLE2_BANDS,
+            temperature=self.config.skew,
+            seed=self.config.seed,
+        )
+        self._drift_rng = np.random.default_rng((self.config.seed, 0xD21F7))
+        self._batches_drawn = 0
+        self.day = 0
+        self.rotations = 0
+
+    # ------------------------------------------------------------------
+    # drift mechanics
+    # ------------------------------------------------------------------
+
+    def _advance_time(self, batches: int) -> None:
+        self._batches_drawn += batches
+        target_day = self._batches_drawn // self.batches_per_day
+        while self.day < target_day:
+            self.day += 1
+            self._rotate()
+
+    def _rotate(self) -> None:
+        """Reshuffle ``drift_fraction`` of rank->key assignments."""
+        mapping = self.distribution._permutation._rank_to_key
+        count = int(round(self.drift_fraction * len(mapping)))
+        if count < 2:
+            return
+        positions = self._drift_rng.choice(len(mapping), size=count, replace=False)
+        values = mapping[positions]
+        self._drift_rng.shuffle(values)
+        mapping[positions] = values
+        self.rotations += 1
+
+    # ------------------------------------------------------------------
+    # generator interface
+    # ------------------------------------------------------------------
+
+    def sample_batch_keys(self, batch_size: int, deduplicate: bool = True) -> np.ndarray:
+        """One worker batch; advances simulated time by one batch."""
+        if batch_size <= 0:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        raw = self.distribution.sample_keys(
+            batch_size * self.config.features_per_sample
+        )
+        self._advance_time(1)
+        if deduplicate:
+            return np.unique(raw)
+        return raw
+
+    def sample_worker_batches(
+        self, num_workers: int, batch_size: int
+    ) -> list[np.ndarray]:
+        if num_workers <= 0:
+            raise ConfigError(f"num_workers must be >= 1, got {num_workers}")
+        return [self.sample_batch_keys(batch_size) for __ in range(num_workers)]
+
+    def access_stream(self, num_batches: int, batch_size: int) -> np.ndarray:
+        chunks = [
+            self.sample_batch_keys(batch_size, deduplicate=False)
+            for __ in range(num_batches)
+        ]
+        return np.concatenate(chunks)
+
+    def current_hot_keys(self, top_ranks: int = 100) -> np.ndarray:
+        """The key ids currently holding the hottest ranks."""
+        mapping = self.distribution._permutation._rank_to_key
+        return np.array(mapping[:top_ranks], copy=True)

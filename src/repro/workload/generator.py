@@ -1,0 +1,76 @@
+"""Batch workload generation for synchronous DLRM training.
+
+Each training sample performs ``features_per_sample`` embedding lookups
+drawn from the access distribution; a worker's per-batch pull request
+carries the *deduplicated* key set (standard embedding-lookup
+batching). The generator is deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.config import WorkloadConfig
+from repro.errors import ConfigError
+from repro.workload.distributions import BandedSkewDistribution, TABLE2_BANDS
+
+
+class WorkloadGenerator:
+    """Draws per-worker, per-batch key sets from a skewed distribution.
+
+    Args:
+        config: key-space size, features per sample, skew temperature.
+        distribution: override the access distribution; defaults to the
+            Table II-calibrated banded distribution at the config's skew
+            temperature.
+    """
+
+    def __init__(
+        self,
+        config: WorkloadConfig | None = None,
+        distribution=None,
+    ):
+        self.config = config or WorkloadConfig()
+        if distribution is None:
+            distribution = BandedSkewDistribution(
+                self.config.num_keys,
+                TABLE2_BANDS,
+                temperature=self.config.skew,
+                seed=self.config.seed,
+            )
+        self.distribution = distribution
+
+    def sample_batch_keys(self, batch_size: int, deduplicate: bool = True) -> np.ndarray:
+        """Keys one worker's batch pulls.
+
+        Args:
+            batch_size: samples in the batch.
+            deduplicate: return unique keys (the PS request payload);
+                False returns the raw per-lookup stream (trace analysis).
+        """
+        if batch_size <= 0:
+            raise ConfigError(f"batch_size must be >= 1, got {batch_size}")
+        raw = self.distribution.sample_keys(
+            batch_size * self.config.features_per_sample
+        )
+        if deduplicate:
+            return np.unique(raw)
+        return raw
+
+    def sample_worker_batches(
+        self, num_workers: int, batch_size: int
+    ) -> list[np.ndarray]:
+        """One deduplicated key set per worker for a synchronous step."""
+        if num_workers <= 0:
+            raise ConfigError(f"num_workers must be >= 1, got {num_workers}")
+        return [self.sample_batch_keys(batch_size) for __ in range(num_workers)]
+
+    def access_stream(self, num_batches: int, batch_size: int) -> np.ndarray:
+        """A flat stream of raw (non-deduplicated) accesses for analysis."""
+        if num_batches <= 0:
+            raise ConfigError(f"num_batches must be >= 1, got {num_batches}")
+        chunks = [
+            self.sample_batch_keys(batch_size, deduplicate=False)
+            for __ in range(num_batches)
+        ]
+        return np.concatenate(chunks)

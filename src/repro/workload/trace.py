@@ -1,0 +1,93 @@
+"""Access-trace analysis (Section III's workload characterisation).
+
+Given a raw access stream, compute:
+
+* the Table II view — what share of accesses the top X % of entries
+  receive;
+* the Figure 10 view — sorted access frequencies and an exponential
+  fit;
+* basic dedup/burst statistics used by the motivation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.workload.distributions import fit_exponential_rate
+
+
+@dataclass(frozen=True)
+class SkewReport:
+    """Table II-style skew summary of a trace."""
+
+    total_accesses: int
+    distinct_keys: int
+    #: ``key_fraction -> access share`` for the requested fractions.
+    top_shares: dict[float, float]
+
+
+class AccessTraceAnalyzer:
+    """Computes skew statistics over a raw access stream."""
+
+    def __init__(self, accesses: np.ndarray):
+        accesses = np.asarray(accesses)
+        if accesses.ndim != 1 or len(accesses) == 0:
+            raise ConfigError("need a non-empty 1-D access stream")
+        self.accesses = accesses
+        __, counts = np.unique(accesses, return_counts=True)
+        #: Access frequencies sorted descending (Figure 10's y-axis).
+        self.sorted_frequencies = np.sort(counts)[::-1]
+
+    @property
+    def total_accesses(self) -> int:
+        return len(self.accesses)
+
+    @property
+    def distinct_keys(self) -> int:
+        return len(self.sorted_frequencies)
+
+    def top_share(self, key_fraction: float, of_keyspace: int | None = None) -> float:
+        """Share of accesses going to the hottest ``key_fraction`` of keys.
+
+        Args:
+            key_fraction: e.g. ``0.0005`` for Table II's "Top 0.05 %".
+            of_keyspace: compute the fraction over this key-space size
+                instead of the number of *distinct accessed* keys — the
+                paper's denominator is the full 2.1 B-entry table.
+        """
+        if not 0 < key_fraction <= 1:
+            raise ConfigError(f"key_fraction must be in (0, 1], got {key_fraction}")
+        base = of_keyspace if of_keyspace is not None else self.distinct_keys
+        top_n = max(1, int(round(key_fraction * base)))
+        top_n = min(top_n, self.distinct_keys)
+        return float(self.sorted_frequencies[:top_n].sum()) / self.total_accesses
+
+    def skew_report(
+        self,
+        key_fractions: tuple[float, ...] = (0.0005, 0.001, 0.01),
+        of_keyspace: int | None = None,
+    ) -> SkewReport:
+        """The Table II summary for this trace."""
+        return SkewReport(
+            total_accesses=self.total_accesses,
+            distinct_keys=self.distinct_keys,
+            top_shares={
+                fraction: self.top_share(fraction, of_keyspace)
+                for fraction in key_fractions
+            },
+        )
+
+    def fit_exponential(self) -> tuple[float, float]:
+        """Fit ``freq = a * exp(-b * rank/N)`` (Figure 10's method)."""
+        return fit_exponential_rate(self.sorted_frequencies)
+
+    def frequency_curve(self, points: int = 100) -> tuple[np.ndarray, np.ndarray]:
+        """Downsampled (rank_fraction, frequency) curve for reporting."""
+        n = self.distinct_keys
+        if points <= 0:
+            raise ConfigError(f"points must be >= 1, got {points}")
+        idx = np.unique(np.linspace(0, n - 1, min(points, n)).astype(np.int64))
+        return idx / n, self.sorted_frequencies[idx].astype(np.float64)

@@ -1,0 +1,140 @@
+"""Trace persistence and replay.
+
+The paper's analysis is built on a recorded production trace. This
+module lets users do the same with this library: record per-batch key
+sets, save them to a compact ``.npz`` file, and replay them through the
+training simulator in place of the synthetic generator.
+
+File format: one flat int64 key array plus batch offsets (ragged
+batches), a key-space size, and a format version.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Sequence
+
+import numpy as np
+
+from repro.config import WorkloadConfig
+from repro.errors import ConfigError
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(
+    path: str | pathlib.Path,
+    batches: Sequence[np.ndarray],
+    num_keys: int,
+) -> None:
+    """Persist a list of per-batch key arrays.
+
+    Args:
+        path: destination ``.npz`` file.
+        batches: one int array of keys per batch (ragged lengths fine).
+        num_keys: the key-space size the trace was drawn from.
+    """
+    if not batches:
+        raise ConfigError("cannot save an empty trace")
+    if num_keys <= 0:
+        raise ConfigError("num_keys must be positive")
+    arrays = [np.asarray(batch, dtype=np.int64) for batch in batches]
+    for array in arrays:
+        if array.ndim != 1:
+            raise ConfigError("each batch must be a 1-D key array")
+        if len(array) and (array.min() < 0 or array.max() >= num_keys):
+            raise ConfigError("trace contains keys outside [0, num_keys)")
+    flat = np.concatenate(arrays) if arrays else np.array([], dtype=np.int64)
+    offsets = np.cumsum([0] + [len(a) for a in arrays]).astype(np.int64)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        keys=flat,
+        offsets=offsets,
+        num_keys=np.int64(num_keys),
+    )
+
+
+def load_trace(path: str | pathlib.Path) -> tuple[list[np.ndarray], int]:
+    """Load a trace saved by :func:`save_trace`.
+
+    Returns ``(batches, num_keys)``.
+
+    Raises:
+        ConfigError: wrong format or version.
+    """
+    with np.load(path) as data:
+        try:
+            version = int(data["version"])
+            flat = data["keys"]
+            offsets = data["offsets"]
+            num_keys = int(data["num_keys"])
+        except KeyError as missing:
+            raise ConfigError(f"not a trace file: missing field {missing}") from None
+    if version != _FORMAT_VERSION:
+        raise ConfigError(f"unsupported trace version {version}")
+    batches = [
+        flat[offsets[i] : offsets[i + 1]].copy() for i in range(len(offsets) - 1)
+    ]
+    return batches, num_keys
+
+
+class TraceReplayGenerator:
+    """Replays a recorded trace through the workload interface.
+
+    Drop-in for :class:`~repro.workload.generator.WorkloadGenerator` in
+    the training simulator: each synchronous step consumes the next
+    ``num_workers`` recorded batches (wrapping around at the end).
+    """
+
+    def __init__(self, batches: list[np.ndarray], num_keys: int):
+        if not batches:
+            raise ConfigError("replay needs at least one batch")
+        self.batches = [np.asarray(b, dtype=np.int64) for b in batches]
+        self.config = WorkloadConfig(num_keys=num_keys)
+        self._cursor = 0
+        self.wrapped = 0
+
+    @classmethod
+    def from_file(cls, path: str | pathlib.Path) -> "TraceReplayGenerator":
+        batches, num_keys = load_trace(path)
+        return cls(batches, num_keys)
+
+    def _next_batch(self) -> np.ndarray:
+        batch = self.batches[self._cursor]
+        self._cursor += 1
+        if self._cursor == len(self.batches):
+            self._cursor = 0
+            self.wrapped += 1
+        return batch
+
+    def sample_batch_keys(self, batch_size: int, deduplicate: bool = True) -> np.ndarray:
+        """Next recorded batch (sizes come from the recording)."""
+        batch = self._next_batch()
+        if deduplicate:
+            return np.unique(batch)
+        return batch.copy()
+
+    def sample_worker_batches(
+        self, num_workers: int, batch_size: int
+    ) -> list[np.ndarray]:
+        """One recorded (deduplicated) batch per worker."""
+        return [np.unique(self._next_batch()) for __ in range(num_workers)]
+
+    def access_stream(self, num_batches: int, batch_size: int) -> np.ndarray:
+        """Flat raw stream of the next ``num_batches`` recorded batches."""
+        return np.concatenate([self._next_batch() for __ in range(num_batches)])
+
+
+def record_synthetic_trace(
+    generator,
+    num_batches: int,
+    batch_size: int,
+) -> list[np.ndarray]:
+    """Materialise a synthetic workload as a replayable trace."""
+    if num_batches <= 0:
+        raise ConfigError("num_batches must be positive")
+    return [
+        generator.sample_batch_keys(batch_size, deduplicate=False)
+        for __ in range(num_batches)
+    ]

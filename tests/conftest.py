@@ -1,0 +1,90 @@
+"""Shared fixtures: small, fast configurations for unit tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import CacheConfig, ServerConfig
+from repro.core.checkpoint import CheckpointCoordinator
+from repro.core.cache import PipelinedCache
+from repro.core.optimizers import PSSGD
+from repro.core.ps_node import PSNode
+from repro.pmem.pool import PmemPool
+from repro.pmem.space import VersionedEntryStore
+
+DIM = 4
+ENTRY_BYTES = DIM * 4
+
+
+@pytest.fixture
+def pool():
+    return PmemPool(capacity_bytes=1 << 20)
+
+
+@pytest.fixture
+def store(pool):
+    return VersionedEntryStore(pool, entry_bytes=ENTRY_BYTES)
+
+
+@pytest.fixture
+def coordinator(store):
+    return CheckpointCoordinator(store)
+
+
+def make_cache(
+    store,
+    coordinator,
+    capacity_entries: int = 4,
+    *,
+    value_mode: bool = True,
+    track_dirty: bool = False,
+) -> PipelinedCache:
+    """A small cache; capacity is given in entries for readability."""
+    config = CacheConfig(
+        capacity_bytes=capacity_entries * ENTRY_BYTES, track_dirty=track_dirty
+    )
+    initializer = (lambda key: np.full(DIM, float(key), dtype=np.float32)) if value_mode else None
+    return PipelinedCache(
+        config,
+        store,
+        coordinator,
+        dim=DIM,
+        initializer=initializer,
+        optimizer=PSSGD(lr=0.5),
+    )
+
+
+@pytest.fixture
+def cache(store, coordinator):
+    return make_cache(store, coordinator)
+
+
+def make_node(
+    capacity_entries: int = 8,
+    *,
+    num_nodes: int = 1,
+    dim: int = DIM,
+    seed: int = 0,
+    metadata_only: bool = False,
+    optimizer=None,
+) -> PSNode:
+    server_config = ServerConfig(
+        num_nodes=num_nodes,
+        embedding_dim=dim,
+        pmem_capacity_bytes=1 << 22,
+        seed=seed,
+    )
+    cache_config = CacheConfig(capacity_bytes=capacity_entries * dim * 4)
+    return PSNode(
+        0,
+        server_config,
+        cache_config,
+        optimizer or PSSGD(lr=0.5),
+        metadata_only=metadata_only,
+    )
+
+
+@pytest.fixture
+def node():
+    return make_node()

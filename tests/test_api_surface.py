@@ -1,0 +1,59 @@
+"""Public API surface: everything exported resolves and is documented."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.pmem",
+    "repro.baselines",
+    "repro.dlrm",
+    "repro.workload",
+    "repro.network",
+    "repro.simulation",
+    "repro.failure",
+    "repro.cost",
+]
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_all_exports_resolve(package_name):
+    package = importlib.import_module(package_name)
+    assert package.__doc__, f"{package_name} missing a module docstring"
+    for name in getattr(package, "__all__", []):
+        assert hasattr(package, name), f"{package_name}.{name} in __all__ but missing"
+
+
+@pytest.mark.parametrize("package_name", PACKAGES)
+def test_public_objects_documented(package_name):
+    package = importlib.import_module(package_name)
+    for name in getattr(package, "__all__", []):
+        obj = getattr(package, name)
+        if isinstance(obj, type) or callable(obj):
+            assert obj.__doc__, f"{package_name}.{name} has no docstring"
+
+
+def test_version():
+    import repro
+
+    assert repro.__version__
+
+
+def test_quickstart_snippet_from_readme():
+    """The README's core snippet must actually run."""
+    import numpy as np
+
+    from repro import CacheConfig, OpenEmbeddingServer, ServerConfig
+
+    server = OpenEmbeddingServer(
+        ServerConfig(num_nodes=2, embedding_dim=16, pmem_capacity_bytes=1 << 22),
+        CacheConfig(capacity_bytes=1 << 20),
+    )
+    keys = [3, 14, 159]
+    result = server.pull(keys, 0)
+    assert result.weights.shape == (3, 16)
+    server.maintain(0)
+    server.push(keys, np.ones((3, 16), dtype=np.float32), 0)
+    server.request_checkpoint()

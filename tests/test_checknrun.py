@@ -1,0 +1,142 @@
+"""Check-N-Run quantized checkpointing: precision bounds and size."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.checknrun import (
+    CheckNRunCheckpointer,
+    quantize,
+)
+from repro.errors import RecoveryError
+from repro.pmem.pool import PmemPool
+
+DIM = 8
+
+
+class TestQuantize:
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(0)
+        weights = rng.normal(0, 1, DIM).astype(np.float32)
+        quantized = quantize(weights)
+        restored = quantized.dequantize()
+        assert np.max(np.abs(restored - weights)) <= quantized.scale / 2 + 1e-6
+
+    def test_constant_vector_exact(self):
+        weights = np.full(DIM, 3.25, dtype=np.float32)
+        restored = quantize(weights).dequantize()
+        assert np.array_equal(restored, weights)
+
+    def test_extremes_preserved(self):
+        weights = np.array([-2.0, 0.0, 5.0], dtype=np.float32)
+        quantized = quantize(weights)
+        restored = quantized.dequantize()
+        assert restored[0] == pytest.approx(-2.0, abs=1e-5)
+        assert restored[2] == pytest.approx(5.0, abs=1e-5)
+
+    def test_size_reduction(self):
+        weights = np.random.default_rng(1).normal(0, 1, 64).astype(np.float32)
+        quantized = quantize(weights)
+        assert quantized.nbytes < weights.nbytes / 3
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=32))
+    @settings(max_examples=80, deadline=None)
+    def test_error_bound_holds_for_any_vector(self, values):
+        weights = np.array(values, dtype=np.float32)
+        quantized = quantize(weights)
+        restored = quantized.dequantize()
+        bound = quantized.scale / 2 + 1e-3 * max(1.0, float(np.abs(weights).max()))
+        assert np.max(np.abs(restored - weights)) <= bound
+
+
+class TestCheckpointer:
+    @pytest.fixture
+    def live_state(self):
+        return {}
+
+    @pytest.fixture
+    def checkpointer(self, live_state):
+        return CheckNRunCheckpointer(
+            PmemPool(1 << 20),
+            dim=DIM,
+            read_state=lambda keys: {k: live_state[k] for k in keys},
+        )
+
+    def _weights(self, seed):
+        return np.random.default_rng(seed).normal(0, 1, DIM).astype(np.float32)
+
+    def test_checkpoint_and_restore(self, checkpointer, live_state):
+        live_state.update({1: self._weights(1), 2: self._weights(2)})
+        checkpointer.mark_dirty([1, 2])
+        stats = checkpointer.checkpoint(0)
+        assert stats.entries_written == 2
+        batch_id, state = checkpointer.restore()
+        assert batch_id == 0
+        for key in (1, 2):
+            assert np.allclose(state[key], live_state[key], atol=0.02)
+
+    def test_compression_ratio_dim64(self):
+        """At the paper's dim 64, quantization shrinks dumps ~3.5x
+        (the per-entry params amortize over the vector)."""
+        dim = 64
+        state = {
+            k: np.random.default_rng(k).normal(0, 1, dim).astype(np.float32)
+            for k in range(20)
+        }
+        checkpointer = CheckNRunCheckpointer(
+            PmemPool(1 << 20), dim, lambda keys: {k: state[k] for k in keys}
+        )
+        checkpointer.mark_dirty(range(20))
+        stats = checkpointer.checkpoint(0)
+        assert stats.full_precision_bytes == 20 * dim * 4
+        assert stats.compression_ratio > 3.0
+
+    def test_incremental_delta(self, checkpointer, live_state):
+        live_state.update({1: self._weights(1), 2: self._weights(2)})
+        checkpointer.mark_dirty([1, 2])
+        checkpointer.checkpoint(0)
+        live_state[1] = self._weights(10)
+        checkpointer.mark_dirty([1])
+        stats = checkpointer.checkpoint(1)
+        assert stats.entries_written == 1
+        batch_id, state = checkpointer.restore()
+        assert batch_id == 1
+        assert np.allclose(state[1], live_state[1], atol=0.02)
+        assert np.allclose(state[2], live_state[2], atol=0.02)
+
+    def test_restore_survives_crash(self, checkpointer, live_state):
+        live_state[5] = self._weights(5)
+        checkpointer.mark_dirty([5])
+        checkpointer.checkpoint(3)
+        pool = checkpointer.pool
+        pool.crash()
+        batch_id, state = CheckNRunCheckpointer.restore_from_pool(pool, DIM)
+        assert batch_id == 3
+        assert np.allclose(state[5], live_state[5], atol=0.02)
+
+    def test_restore_without_checkpoint(self, checkpointer):
+        with pytest.raises(RecoveryError):
+            checkpointer.restore()
+
+    def test_smaller_than_full_precision_incremental(self):
+        """Head-to-head with the full-precision incremental dump at
+        the paper's dim 64."""
+        from repro.baselines.incremental import IncrementalCheckpointer
+
+        dim = 64
+        state = {
+            k: np.random.default_rng(k).normal(0, 1, dim).astype(np.float32)
+            for k in range(50)
+        }
+        quantized = CheckNRunCheckpointer(
+            PmemPool(1 << 20), dim, lambda keys: {k: state[k] for k in keys}
+        )
+        full = IncrementalCheckpointer(
+            PmemPool(1 << 20), dim * 4, lambda keys: {k: state[k] for k in keys}
+        )
+        quantized.mark_dirty(range(50))
+        full.mark_dirty(range(50))
+        q_stats = quantized.checkpoint(0)
+        f_stats = full.checkpoint(0)
+        assert q_stats.bytes_written < f_stats.bytes_written / 3

@@ -1,0 +1,122 @@
+"""CheckpointCoordinator and the periodic checkpoint thread."""
+
+import pytest
+
+from repro.core.checkpoint import CheckpointCoordinator, PeriodicCheckpointer
+from repro.errors import CheckpointError
+from repro.pmem.pool import PmemPool
+from repro.pmem.space import VersionedEntryStore
+
+
+@pytest.fixture
+def store():
+    return VersionedEntryStore(PmemPool(1 << 16), entry_bytes=16)
+
+
+@pytest.fixture
+def coordinator(store):
+    return CheckpointCoordinator(store)
+
+
+class TestCoordinator:
+    def test_initial_state(self, coordinator):
+        assert coordinator.last_completed == -1
+        assert coordinator.head() is None
+        assert not coordinator.has_completed_any
+
+    def test_request_and_head(self, coordinator):
+        coordinator.request(5)
+        assert coordinator.head() == 5
+        assert coordinator.max_pending() == 5
+
+    def test_max_pending_with_queue(self, coordinator):
+        coordinator.request(5)
+        coordinator.request(9)
+        assert coordinator.head() == 5
+        assert coordinator.max_pending() == 9
+
+    def test_request_not_newer_than_completed_rejected(self, coordinator):
+        coordinator.request(5)
+        coordinator.complete_head()
+        with pytest.raises(CheckpointError):
+            coordinator.request(5)
+
+    def test_complete_head_persists_id(self, coordinator, store):
+        coordinator.request(5)
+        assert coordinator.complete_head() == 5
+        assert coordinator.last_completed == 5
+        assert store.checkpointed_batch_id() == 5
+        assert coordinator.has_completed_any
+
+    def test_complete_all_pending(self, coordinator):
+        coordinator.request(3)
+        coordinator.request(7)
+        assert coordinator.complete_all_pending() == [3, 7]
+        assert coordinator.last_completed == 7
+
+    def test_barriers_follow_requests(self, coordinator, store):
+        coordinator.request(5)
+        store.put(1, 2, None)
+        store.put(1, 9, None)
+        assert store.versions_of(1) == [2, 9]  # 2 kept for checkpoint 5
+
+    def test_barriers_include_last_completed(self, coordinator, store):
+        coordinator.request(5)
+        coordinator.complete_head()
+        store.put(1, 4, None)
+        store.put(1, 8, None)
+        assert store.versions_of(1) == [4, 8]  # 4 recoverable for ckpt 5
+
+    def test_completion_recycles(self, coordinator, store):
+        coordinator.request(5)
+        store.put(1, 2, None)
+        store.put(1, 9, None)
+        coordinator.request(12)
+        store.put(1, 13, None)
+        coordinator.complete_head()  # ckpt 5 done; barrier moves on
+        coordinator.complete_head()  # ckpt 12 done -> only <=12 + newest
+        assert store.versions_of(1) == [9, 13]
+
+    def test_external_barrier_retains(self, coordinator, store):
+        coordinator.request(5)
+        coordinator.complete_head()
+        coordinator.set_external_barrier(5)
+        coordinator.request(10)
+        coordinator.complete_head()
+        # Own last_completed is 10 but the cluster is only at 5: both
+        # barriers hold.
+        store.put(1, 4, None)
+        store.put(1, 7, None)
+        store.put(1, 11, None)
+        assert store.versions_of(1) == [4, 7, 11]
+
+    def test_recovered_coordinator_reads_durable_id(self, store):
+        store.set_checkpointed_batch_id(7)
+        fresh = CheckpointCoordinator(store)
+        assert fresh.last_completed == 7
+
+
+class TestPeriodicCheckpointer:
+    def test_fires_on_interval(self, coordinator):
+        periodic = PeriodicCheckpointer(coordinator, interval_seconds=10.0)
+        assert not periodic.maybe_request(now=5.0, latest_completed_batch=3)
+        assert periodic.maybe_request(now=10.0, latest_completed_batch=3)
+        assert coordinator.head() == 3
+
+    def test_no_duplicate_request_for_same_batch(self, coordinator):
+        periodic = PeriodicCheckpointer(coordinator, interval_seconds=10.0)
+        periodic.maybe_request(10.0, 3)
+        assert not periodic.maybe_request(20.0, 3)
+        assert len(coordinator.queue) == 1
+
+    def test_skips_if_nothing_new_since_completion(self, coordinator):
+        periodic = PeriodicCheckpointer(coordinator, interval_seconds=10.0)
+        periodic.maybe_request(10.0, 3)
+        coordinator.complete_head()
+        assert not periodic.maybe_request(20.0, 3)
+
+    def test_multiple_intervals_collapse(self, coordinator):
+        periodic = PeriodicCheckpointer(coordinator, interval_seconds=10.0)
+        assert periodic.maybe_request(55.0, 8)
+        assert periodic.requests_issued == 1
+        assert coordinator.queue.pending() == [8]

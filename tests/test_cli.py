@@ -1,0 +1,103 @@
+"""CLI subcommands (invoked in-process)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.system == "pmem_oe"
+        assert args.workers == 16
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["simulate", "--system", "bogus"])
+
+
+class TestSimulate:
+    def test_basic_run(self, capsys):
+        code = main(["simulate", "--workers", "4", "--iterations", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "simulated epoch" in out
+        assert "miss rate" in out
+
+    def test_all_systems_run(self, capsys):
+        for system in ("dram_ps", "pmem_oe", "ori_cache", "pmem_hash", "tf_ps"):
+            assert main(
+                ["simulate", "--system", system, "--workers", "4",
+                 "--iterations", "5"]
+            ) == 0
+
+    def test_with_checkpointing(self, capsys):
+        code = main([
+            "simulate", "--workers", "4", "--iterations", "20",
+            "--checkpoint", "batch_aware", "--interval-seconds", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "checkpoints" in out
+
+
+class TestTrain:
+    def test_short_training(self, capsys):
+        code = main([
+            "train", "--batches", "8", "--fields", "4", "--vocab", "50",
+            "--dim", "8", "--checkpoint-every", "4",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loss" in out
+        assert "final" in out
+
+    def test_crash_and_recover(self, capsys):
+        code = main([
+            "train", "--batches", "12", "--fields", "4", "--vocab", "50",
+            "--dim", "8", "--checkpoint-every", "4", "--crash-at", "9",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "injected crash" in out
+        assert "resumed from checkpoint" in out or "restarting from scratch" in out
+
+
+class TestPlanAndWorkload:
+    def test_plan(self, capsys):
+        assert main(["plan", "--model-gb", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "DRAM-PS: 2 x" in out
+        assert "PMem-OE: 1 x" in out
+        assert "recovery estimate" in out
+
+    def test_workload_matches_table2(self, capsys):
+        assert main([
+            "workload", "--keys", "200000", "--batches", "40",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "85." in out  # top 0.05 % share
+        assert "exponential fit" in out
+
+
+class TestReproduce:
+    def test_list_experiments(self, capsys):
+        assert main(["reproduce", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7_pipeline" in out
+        assert "table2_skew" in out
+
+    def test_no_args_lists(self, capsys):
+        assert main(["reproduce"]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["reproduce", "not_an_experiment"]) == 2
+
+    def test_runs_one_experiment(self, capsys):
+        assert main(["reproduce", "table1"]) == 0
+        assert "reports written under" in capsys.readouterr().out

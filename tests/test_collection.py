@@ -1,0 +1,143 @@
+"""EmbeddingCollection: multi-table coordination and recovery."""
+
+import numpy as np
+import pytest
+
+from repro.config import CacheConfig
+from repro.core.optimizers import PSAdagrad
+from repro.dlrm.collection import EmbeddingCollection, TableSpec
+from repro.errors import ConfigError, RecoveryError
+
+
+def specs():
+    cache = CacheConfig(capacity_bytes=16 << 10)
+    return {
+        "features": TableSpec(
+            dim=8, num_nodes=2, cache=cache, pmem_capacity_bytes=1 << 24, seed=5
+        ),
+        "first_order": TableSpec(
+            dim=1, num_nodes=1, cache=cache, pmem_capacity_bytes=1 << 22, seed=5
+        ),
+    }
+
+
+@pytest.fixture
+def collection():
+    return EmbeddingCollection(specs())
+
+
+def train_batch(collection, batch_id, keys):
+    key_matrix = np.asarray(keys).reshape(1, -1)
+    features = collection.pull("features", key_matrix, batch_id)
+    first = collection.pull("first_order", key_matrix, batch_id)
+    collection.maintain(batch_id)
+    collection.push(
+        "features", key_matrix, np.ones_like(features) * 0.1, batch_id
+    )
+    collection.push(
+        "first_order", key_matrix, np.ones_like(first) * 0.1, batch_id
+    )
+
+
+class TestBasics:
+    def test_tables_have_independent_dims(self, collection):
+        keys = np.array([[1, 2, 3]])
+        assert collection.pull("features", keys, 0).shape == (1, 3, 8)
+        assert collection.pull("first_order", keys, 0).shape == (1, 3, 1)
+
+    def test_unknown_table(self, collection):
+        with pytest.raises(KeyError):
+            collection.pull("nope", np.array([[1]]), 0)
+
+    def test_empty_collection_rejected(self):
+        with pytest.raises(ConfigError):
+            EmbeddingCollection({})
+
+    def test_table_names(self, collection):
+        assert collection.table_names() == ["features", "first_order"]
+
+
+class TestCoordinatedCheckpoints:
+    def test_barrier_checkpoint_completes_all_tables(self, collection):
+        train_batch(collection, 0, [1, 2, 3])
+        collection.barrier_checkpoint(0)
+        assert collection.global_completed_checkpoint == 0
+
+    def test_global_checkpoint_is_cross_table_min(self, collection):
+        train_batch(collection, 0, [1, 2])
+        collection.barrier_checkpoint(0)
+        train_batch(collection, 1, [1, 2])
+        # Only one table completes a newer checkpoint.
+        collection.servers["features"].barrier_checkpoint(1)
+        assert collection.global_completed_checkpoint == 0
+
+    def test_crash_recover_roundtrip(self, collection):
+        keys = list(range(10))
+        train_batch(collection, 0, keys)
+        collection.barrier_checkpoint(0)
+        expected = collection.state_snapshot()
+        train_batch(collection, 1, keys)  # past the checkpoint
+        pools = collection.crash()
+        recovered = EmbeddingCollection.recover(pools, specs())
+        got = recovered.state_snapshot()
+        for table in expected:
+            assert set(got[table]) == set(expected[table])
+            for key, weights in expected[table].items():
+                assert np.array_equal(got[table][key], weights)
+
+    def test_recover_to_cross_table_minimum(self, collection):
+        """A table that raced ahead still recovers to the common batch."""
+        keys = list(range(6))
+        train_batch(collection, 0, keys)
+        collection.barrier_checkpoint(0)
+        snapshot_at_0 = collection.state_snapshot()
+        train_batch(collection, 1, keys)
+        collection.servers["features"].barrier_checkpoint(1)
+        collection._sync_collection_barriers()
+        train_batch(collection, 2, keys)
+        pools = collection.crash()
+        recovered = EmbeddingCollection.recover(pools, specs())
+        assert recovered.global_completed_checkpoint == 0
+        got = recovered.state_snapshot()
+        for table in snapshot_at_0:
+            for key, weights in snapshot_at_0[table].items():
+                assert np.array_equal(got[table][key], weights)
+
+    def test_recover_without_checkpoint_fails(self, collection):
+        train_batch(collection, 0, [1])
+        pools = collection.crash()
+        with pytest.raises(RecoveryError):
+            EmbeddingCollection.recover(pools, specs())
+
+    def test_recover_table_mismatch(self, collection):
+        train_batch(collection, 0, [1])
+        collection.barrier_checkpoint(0)
+        pools = collection.crash()
+        del pools["first_order"]
+        with pytest.raises(RecoveryError):
+            EmbeddingCollection.recover(pools, specs())
+
+
+class TestOptimizerPerTable:
+    def test_different_optimizers(self):
+        cache = CacheConfig(capacity_bytes=16 << 10)
+        collection = EmbeddingCollection(
+            {
+                "adagrad": TableSpec(
+                    dim=4, cache=cache, optimizer=PSAdagrad(lr=0.1),
+                    pmem_capacity_bytes=1 << 22,
+                ),
+                "sgd": TableSpec(dim=4, cache=cache, pmem_capacity_bytes=1 << 22),
+            }
+        )
+        keys = np.array([[1]])
+        a0 = collection.pull("adagrad", keys, 0).copy()
+        s0 = collection.pull("sgd", keys, 0).copy()
+        collection.maintain(0)
+        grads = np.ones((1, 1, 4), dtype=np.float32)
+        collection.push("adagrad", keys, grads, 0)
+        collection.push("sgd", keys, grads, 0)
+        a1 = collection.pull("adagrad", keys, 1)
+        s1 = collection.pull("sgd", keys, 1)
+        # Different rules -> different step sizes on identical grads.
+        assert not np.allclose(a0 - a1, s0 - s1)

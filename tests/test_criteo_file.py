@@ -1,0 +1,143 @@
+"""Real Criteo TSV parsing and training on a loaded file."""
+
+import numpy as np
+import pytest
+
+from repro.dlrm.criteo_file import NUM_CATEGORICAL, NUM_DENSE, CriteoFileDataset
+from repro.errors import ConfigError
+
+
+def write_file(tmp_path, rows):
+    path = tmp_path / "criteo.tsv"
+    path.write_text("\n".join(rows) + "\n")
+    return path
+
+
+def make_row(label=1, dense_value="3", cat_value="a9b1c3d4"):
+    dense = "\t".join([dense_value] * NUM_DENSE)
+    cats = "\t".join([cat_value] * NUM_CATEGORICAL)
+    return f"{label}\t{dense}\t{cats}"
+
+
+@pytest.fixture
+def small_file(tmp_path):
+    rng = np.random.default_rng(0)
+    rows = []
+    for i in range(40):
+        label = int(rng.random() < 0.3)
+        dense = "\t".join(
+            "" if rng.random() < 0.2 else str(int(rng.integers(0, 100)))
+            for __ in range(NUM_DENSE)
+        )
+        cats = "\t".join(
+            "" if rng.random() < 0.1 else f"{int(rng.integers(0, 2**32)):08x}"
+            for __ in range(NUM_CATEGORICAL)
+        )
+        rows.append(f"{label}\t{dense}\t{cats}")
+    return write_file(tmp_path, rows)
+
+
+class TestParsing:
+    def test_loads_all_samples(self, small_file):
+        dataset = CriteoFileDataset(small_file, hash_buckets=500)
+        assert dataset.num_samples == 40
+        assert dataset.num_keys == NUM_CATEGORICAL * 500
+
+    def test_keys_in_field_ranges(self, small_file):
+        dataset = CriteoFileDataset(small_file, hash_buckets=500)
+        batch = dataset.batch(40, 0)
+        for field in range(NUM_CATEGORICAL):
+            column = batch.keys[:, field]
+            assert np.all(column >= field * 500)
+            assert np.all(column < (field + 1) * 500)
+
+    def test_missing_categorical_hits_field_bucket_zero(self, tmp_path):
+        dense = "\t".join(["1"] * NUM_DENSE)
+        cats = "\t".join([""] * NUM_CATEGORICAL)
+        path = write_file(tmp_path, [f"0\t{dense}\t{cats}"])
+        dataset = CriteoFileDataset(path, hash_buckets=100)
+        batch = dataset.batch(1, 0)
+        assert [int(k) % 100 for k in batch.keys[0]] == [0] * NUM_CATEGORICAL
+
+    def test_dense_log_transform(self, tmp_path):
+        path = write_file(tmp_path, [make_row(dense_value="99")])
+        dataset = CriteoFileDataset(path)
+        batch = dataset.batch(1, 0)
+        assert batch.dense[0, 0] == pytest.approx(np.log1p(99))
+
+    def test_missing_dense_is_zero(self, tmp_path):
+        dense = "\t".join([""] * NUM_DENSE)
+        cats = "\t".join(["ff"] * NUM_CATEGORICAL)
+        path = write_file(tmp_path, [f"1\t{dense}\t{cats}"])
+        dataset = CriteoFileDataset(path)
+        assert np.all(dataset.batch(1, 0).dense == 0.0)
+
+    def test_same_value_same_bucket(self, tmp_path):
+        path = write_file(tmp_path, [make_row(), make_row()])
+        dataset = CriteoFileDataset(path)
+        batch = dataset.batch(2, 0)
+        assert np.array_equal(batch.keys[0], batch.keys[1])
+
+    def test_wrapping_batches(self, small_file):
+        dataset = CriteoFileDataset(small_file, hash_buckets=100)
+        wrapped = dataset.batch(16, 1_000_000)
+        assert wrapped.keys.shape == (16, NUM_CATEGORICAL)
+
+    def test_deterministic_batches(self, small_file):
+        dataset = CriteoFileDataset(small_file, hash_buckets=100)
+        a = dataset.batch(8, 3)
+        b = dataset.batch(8, 3)
+        assert np.array_equal(a.keys, b.keys)
+        assert np.array_equal(a.dense, b.dense)
+
+
+class TestValidation:
+    def test_bad_field_count(self, tmp_path):
+        path = write_file(tmp_path, ["1\t2\t3"])
+        with pytest.raises(ConfigError):
+            CriteoFileDataset(path)
+
+    def test_bad_label(self, tmp_path):
+        dense = "\t".join(["1"] * NUM_DENSE)
+        cats = "\t".join(["ff"] * NUM_CATEGORICAL)
+        path = write_file(tmp_path, [f"2\t{dense}\t{cats}"])
+        with pytest.raises(ConfigError):
+            CriteoFileDataset(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.tsv"
+        path.write_text("")
+        with pytest.raises(ConfigError):
+            CriteoFileDataset(path)
+
+    def test_bad_buckets(self, small_file):
+        with pytest.raises(ConfigError):
+            CriteoFileDataset(small_file, hash_buckets=0)
+
+
+class TestTrainingOnFile:
+    def test_dlrm_trains_on_loaded_file(self, small_file):
+        from repro.config import CacheConfig, ServerConfig
+        from repro.core.optimizers import PSAdagrad
+        from repro.core.server import OpenEmbeddingServer
+        from repro.dlrm.dlrm_model import DLRM
+        from repro.dlrm.optimizers import Adam
+        from repro.dlrm.trainer import SynchronousTrainer
+
+        dataset = CriteoFileDataset(small_file, hash_buckets=200)
+        server = OpenEmbeddingServer(
+            ServerConfig(num_nodes=2, embedding_dim=8, pmem_capacity_bytes=1 << 26),
+            CacheConfig(capacity_bytes=64 << 10),
+            PSAdagrad(lr=0.05),
+        )
+        model = DLRM(
+            NUM_CATEGORICAL, 8, num_dense=NUM_DENSE,
+            bottom_hidden=(8,), top_hidden=(16,),
+        )
+        trainer = SynchronousTrainer(
+            server, model, dataset,
+            num_workers=2, batch_size=8, dense_optimizer=Adam(1e-2),
+        )
+        results = trainer.train(6)
+        assert all(np.isfinite(r.loss) for r in results)
+        assert server.num_entries > 0

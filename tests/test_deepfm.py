@@ -1,0 +1,114 @@
+"""DeepFM: FM math, gradient checks, dense state."""
+
+import numpy as np
+import pytest
+
+from repro.dlrm.deepfm import DeepFM
+from repro.dlrm.layers import binary_cross_entropy
+from repro.errors import ConfigError
+
+FIELDS, DIM = 3, 4
+
+
+@pytest.fixture
+def model():
+    return DeepFM(num_fields=FIELDS, dim=DIM, hidden=(8,), use_first_order=False, seed=1)
+
+
+def embeddings(batch=2, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(0, 0.5, (batch, FIELDS, DIM)).astype(np.float32)
+
+
+class TestForward:
+    def test_logit_shape(self, model):
+        assert model.forward(embeddings(5)).shape == (5,)
+
+    def test_fm_second_order_value(self):
+        """With a zeroed MLP the logit is exactly the FM term."""
+        model = DeepFM(FIELDS, DIM, hidden=(4,), use_first_order=False, seed=0)
+        for layer in model.mlp.layers:
+            layer.weight[...] = 0.0
+            layer.bias[...] = 0.0
+        emb = embeddings(3, seed=2)
+        logits = model.forward(emb)
+        sum_v = emb.sum(axis=1)
+        expected = 0.5 * ((sum_v**2).sum(axis=1) - (emb**2).sum(axis=(1, 2)))
+        assert np.allclose(logits, expected, atol=1e-5)
+
+    def test_first_order_included(self):
+        model = DeepFM(FIELDS, DIM, hidden=(4,), use_first_order=True, seed=0)
+        emb = embeddings(2)
+        first = np.ones((2, FIELDS, 1), dtype=np.float32)
+        with_first = model.forward(emb, first)
+        without = model.forward(emb, np.zeros((2, FIELDS, 1), dtype=np.float32))
+        assert np.allclose(with_first - without, FIELDS, atol=1e-5)
+
+    def test_first_order_required_when_enabled(self):
+        model = DeepFM(FIELDS, DIM, use_first_order=True)
+        with pytest.raises(ConfigError):
+            model.forward(embeddings())
+
+    def test_bad_shape_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.forward(np.zeros((2, FIELDS + 1, DIM), dtype=np.float32))
+
+
+class TestBackward:
+    def test_embedding_gradient_matches_numeric(self, model):
+        emb = embeddings(2, seed=3)
+        labels = np.array([1.0, 0.0], dtype=np.float32)
+
+        def loss():
+            logits = model.forward(emb)
+            return binary_cross_entropy(logits, labels)[0]
+
+        result = model.train_batch(emb, labels)
+        eps = 1e-3
+        for idx in [(0, 0, 0), (1, 2, 3), (0, 1, 2)]:
+            orig = emb[idx]
+            emb[idx] = orig + eps
+            up = loss()
+            emb[idx] = orig - eps
+            down = loss()
+            emb[idx] = orig
+            numeric = (up - down) / (2 * eps)
+            assert result.embedding_grads[idx] == pytest.approx(numeric, abs=2e-3)
+
+    def test_backward_before_forward_rejected(self, model):
+        with pytest.raises(ConfigError):
+            model.backward(np.zeros(2, dtype=np.float32))
+
+    def test_train_batch_returns_loss(self, model):
+        result = model.train_batch(embeddings(4), np.array([0, 1, 0, 1], dtype=np.float32))
+        assert np.isfinite(result.loss)
+        assert result.embedding_grads.shape == (4, FIELDS, DIM)
+        assert result.first_order_grads is None
+
+    def test_first_order_grads_are_logit_grads(self):
+        model = DeepFM(FIELDS, DIM, use_first_order=True, seed=0)
+        emb = embeddings(2)
+        first = np.zeros((2, FIELDS, 1), dtype=np.float32)
+        result = model.train_batch(emb, np.array([1.0, 0.0], dtype=np.float32), first)
+        assert result.first_order_grads.shape == (2, FIELDS, 1)
+        # All fields of one sample share the same scalar grad.
+        assert np.allclose(
+            result.first_order_grads[0], result.first_order_grads[0, 0, 0]
+        )
+
+
+class TestDenseState:
+    def test_roundtrip(self, model):
+        state = model.dense_state()
+        for param in model.mlp.parameters():
+            param += 0.5
+        model.load_dense_state(state)
+        for param, saved in zip(model.mlp.parameters(), state):
+            assert np.array_equal(param, saved)
+
+    def test_dense_parameter_count(self, model):
+        assert model.dense_parameter_count == model.mlp.num_parameters
+
+    def test_predict_proba_range(self, model):
+        probs = model.predict_proba(embeddings(10))
+        assert np.all((probs > 0) & (probs < 1))

@@ -1,0 +1,123 @@
+"""Device models: Table I characteristics and burst arithmetic."""
+
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.simulation.device import (
+    DRAM_SPEC,
+    GB,
+    MemoryDevice,
+    PMEM_SPEC,
+    SSD_SPEC,
+    DeviceSpec,
+)
+
+
+class TestTableOneSpecs:
+    """The specs encode Table I exactly."""
+
+    def test_dram_bandwidth(self):
+        assert DRAM_SPEC.read_bw == 115 * GB
+        assert DRAM_SPEC.write_bw == 79 * GB
+
+    def test_pmem_bandwidth(self):
+        assert PMEM_SPEC.read_bw == 39 * GB
+        assert PMEM_SPEC.write_bw == 14 * GB
+
+    def test_latencies(self):
+        assert DRAM_SPEC.read_latency == pytest.approx(81e-9)
+        assert PMEM_SPEC.read_latency == pytest.approx(305e-9)
+        assert SSD_SPEC.read_latency > 10_000e-9  # ">10000 ns"
+
+    def test_pmem_read_is_about_a_third_of_dram(self):
+        # "the read and write throughput of PMem is only one-third and
+        # one-fifth of that in DRAM"
+        assert DRAM_SPEC.read_bw / PMEM_SPEC.read_bw == pytest.approx(115 / 39)
+        assert DRAM_SPEC.write_bw / PMEM_SPEC.write_bw == pytest.approx(79 / 14)
+
+    def test_device_ordering(self):
+        assert DRAM_SPEC.read_bw > PMEM_SPEC.read_bw > SSD_SPEC.read_bw
+        assert DRAM_SPEC.read_latency < PMEM_SPEC.read_latency < SSD_SPEC.read_latency
+
+
+class TestDeviceSpec:
+    def test_read_time_is_latency_plus_transfer(self):
+        spec = DeviceSpec("t", read_bw=100.0, write_bw=50.0, read_latency=1.0, write_latency=2.0)
+        assert spec.read_time(200) == pytest.approx(1.0 + 2.0)
+        assert spec.write_time(200) == pytest.approx(2.0 + 4.0)
+
+    def test_streams_share_bandwidth(self):
+        spec = DeviceSpec("t", read_bw=100.0, write_bw=50.0, read_latency=0.0, write_latency=0.0)
+        assert spec.read_time(100, streams=4) == pytest.approx(4.0)
+
+    def test_zero_bytes_costs_latency_only(self):
+        assert DRAM_SPEC.read_time(0) == pytest.approx(DRAM_SPEC.read_latency)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(SimulationError):
+            DRAM_SPEC.read_time(-1)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigError):
+            DeviceSpec("bad", read_bw=0, write_bw=1, read_latency=0, write_latency=0)
+
+
+class TestBurst:
+    def test_latency_bound_small_ops(self):
+        # 64 tiny ops on 8 threads: 8 rounds of latency dominate.
+        t = PMEM_SPEC.burst_read_time(ops=64, bytes_per_op=8, threads=8)
+        assert t == pytest.approx(8 * PMEM_SPEC.read_latency)
+
+    def test_bandwidth_bound_large_ops(self):
+        t = DRAM_SPEC.burst_read_time(ops=4, bytes_per_op=GB, threads=4)
+        assert t == pytest.approx(4 * GB / DRAM_SPEC.read_bw)
+
+    def test_zero_ops_is_free(self):
+        assert PMEM_SPEC.burst_read_time(0, 64, 4) == 0.0
+        assert PMEM_SPEC.burst_write_time(0, 64, 4) == 0.0
+
+    def test_more_threads_never_slower(self):
+        t1 = PMEM_SPEC.burst_read_time(1000, 256, 1)
+        t8 = PMEM_SPEC.burst_read_time(1000, 256, 8)
+        assert t8 <= t1
+
+    def test_write_slower_than_read_on_pmem(self):
+        ops, size = 1000, 4096
+        read = PMEM_SPEC.burst_read_time(ops, size, 4)
+        write = PMEM_SPEC.burst_write_time(ops, size, 4)
+        assert write > read
+
+
+class TestMemoryDevice:
+    def test_counters_accumulate(self):
+        dev = MemoryDevice(DRAM_SPEC)
+        dev.read(100)
+        dev.read(200)
+        dev.write(50)
+        assert dev.bytes_read == 300
+        assert dev.bytes_written == 50
+        assert dev.read_ops == 2
+        assert dev.write_ops == 1
+
+    def test_burst_counts_all_ops(self):
+        dev = MemoryDevice(PMEM_SPEC)
+        dev.burst_read(10, 64, 4)
+        assert dev.read_ops == 10
+        assert dev.bytes_read == 640
+
+    def test_busy_seconds_tracks_time(self):
+        dev = MemoryDevice(PMEM_SPEC)
+        elapsed = dev.read(1 << 20)
+        assert dev.busy_seconds == pytest.approx(elapsed)
+
+    def test_effective_bandwidth_below_spec(self):
+        dev = MemoryDevice(PMEM_SPEC)
+        dev.read(4096)
+        assert 0 < dev.effective_read_bw() < PMEM_SPEC.read_bw
+
+    def test_reset_counters(self):
+        dev = MemoryDevice(DRAM_SPEC)
+        dev.read(100)
+        dev.reset_counters()
+        assert dev.bytes_read == 0
+        assert dev.busy_seconds == 0.0

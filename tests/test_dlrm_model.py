@@ -1,0 +1,196 @@
+"""The DLRM architecture: interaction math, gradient checks, training."""
+
+import numpy as np
+import pytest
+
+from repro.config import CacheConfig, ServerConfig
+from repro.core.optimizers import PSAdagrad
+from repro.core.server import OpenEmbeddingServer
+from repro.dlrm.criteo import CriteoSynthetic
+from repro.dlrm.dlrm_model import DLRM
+from repro.dlrm.layers import binary_cross_entropy
+from repro.dlrm.optimizers import Adam
+from repro.dlrm.trainer import SynchronousTrainer
+from repro.errors import ConfigError
+
+FIELDS, DIM, DENSE = 3, 4, 5
+
+
+@pytest.fixture
+def model():
+    return DLRM(
+        num_fields=FIELDS, dim=DIM, num_dense=DENSE,
+        bottom_hidden=(8,), top_hidden=(8,), seed=2,
+    )
+
+
+def inputs(batch=2, seed=0):
+    rng = np.random.default_rng(seed)
+    embeddings = rng.normal(0, 0.5, (batch, FIELDS, DIM)).astype(np.float32)
+    dense = rng.normal(0, 1, (batch, DENSE)).astype(np.float32)
+    return embeddings, dense
+
+
+class TestForward:
+    def test_logit_shape(self, model):
+        embeddings, dense = inputs(5)
+        assert model.forward(embeddings, dense).shape == (5,)
+
+    def test_pair_count(self, model):
+        assert model.num_pairs == (FIELDS + 1) * FIELDS // 2
+
+    def test_interactions_are_pairwise_dots(self):
+        """With an identity-ish top MLP slice we can check one pair."""
+        model = DLRM(FIELDS, DIM, DENSE, bottom_hidden=(8,), top_hidden=(4,), seed=1)
+        embeddings, dense = inputs(1, seed=3)
+        # Recompute the interaction vector independently.
+        bottom = model.bottom.forward(dense)
+        vectors = np.concatenate([bottom[:, None, :], embeddings], axis=1)
+        expected = np.array(
+            [
+                vectors[0, i] @ vectors[0, j]
+                for i in range(FIELDS + 1)
+                for j in range(i + 1, FIELDS + 1)
+            ]
+        )
+        got = np.einsum(
+            "bpd,bpd->bp",
+            vectors[:, model._pair_i, :],
+            vectors[:, model._pair_j, :],
+        )[0]
+        assert np.allclose(got, expected, atol=1e-5)
+
+    def test_dense_features_matter(self, model):
+        embeddings, dense = inputs(2, seed=4)
+        a = model.forward(embeddings, dense)
+        b = model.forward(embeddings, dense + 1.0)
+        assert not np.allclose(a, b)
+
+    def test_shape_validation(self, model):
+        embeddings, dense = inputs()
+        with pytest.raises(ConfigError):
+            model.forward(embeddings[:, :1, :], dense)
+        with pytest.raises(ConfigError):
+            model.forward(embeddings, dense[:, :1])
+        with pytest.raises(ConfigError):
+            model.forward(embeddings[:1], dense)
+
+
+class TestBackward:
+    def test_embedding_gradient_matches_numeric(self, model):
+        embeddings, dense = inputs(2, seed=5)
+        labels = np.array([1.0, 0.0], dtype=np.float32)
+
+        def loss():
+            logits = model.forward(embeddings, dense)
+            return binary_cross_entropy(logits, labels)[0]
+
+        result = model.train_batch(embeddings, labels, dense)
+        eps = 1e-3
+        for idx in [(0, 0, 0), (1, 2, 3), (0, 1, 2), (1, 0, 1)]:
+            orig = embeddings[idx]
+            embeddings[idx] = orig + eps
+            up = loss()
+            embeddings[idx] = orig - eps
+            down = loss()
+            embeddings[idx] = orig
+            numeric = (up - down) / (2 * eps)
+            assert result.embedding_grads[idx] == pytest.approx(numeric, abs=3e-3)
+
+    def test_bottom_mlp_gradient_matches_numeric(self, model):
+        embeddings, dense = inputs(2, seed=6)
+        labels = np.array([0.0, 1.0], dtype=np.float32)
+
+        def loss():
+            logits = model.forward(embeddings, dense)
+            return binary_cross_entropy(logits, labels)[0]
+
+        model.zero_grad()
+        model.train_batch(embeddings, labels, dense)
+        weight = model.bottom.layers[0].weight
+        grad = model.bottom.layers[0].grad_weight
+        eps = 1e-3
+        for idx in [(0, 0), (2, 3), (4, 1)]:
+            orig = weight[idx]
+            weight[idx] = orig + eps
+            up = loss()
+            weight[idx] = orig - eps
+            down = loss()
+            weight[idx] = orig
+            numeric = (up - down) / (2 * eps)
+            assert grad[idx] == pytest.approx(numeric, abs=3e-3)
+
+    def test_backward_before_forward(self, model):
+        with pytest.raises(ConfigError):
+            model.backward(np.zeros(2, dtype=np.float32))
+
+
+class TestDenseState:
+    def test_roundtrip_covers_both_mlps(self, model):
+        state = model.dense_state()
+        for param in model.mlp.parameters():
+            param += 0.25
+        model.load_dense_state(state)
+        for param, saved in zip(model.mlp.parameters(), state):
+            assert np.array_equal(param, saved)
+
+    def test_parameter_count(self, model):
+        assert model.dense_parameter_count == (
+            model.bottom.num_parameters + model.top.num_parameters
+        )
+
+    def test_predict_proba(self, model):
+        embeddings, dense = inputs(6)
+        probs = model.predict_proba(embeddings, dense)
+        assert np.all((probs > 0) & (probs < 1))
+
+
+class TestEndToEndTraining:
+    def _build(self):
+        dataset = CriteoSynthetic(
+            num_fields=FIELDS, vocab_per_field=80, num_dense=DENSE, seed=4
+        )
+        server = OpenEmbeddingServer(
+            ServerConfig(
+                num_nodes=2, embedding_dim=DIM, pmem_capacity_bytes=1 << 26, seed=2
+            ),
+            # Small enough (~64 entries of 240 keys) that evictions are
+            # frequent and checkpoints complete opportunistically.
+            CacheConfig(capacity_bytes=2 << 10),
+            PSAdagrad(lr=0.05),
+        )
+        model = DLRM(
+            FIELDS, DIM, num_dense=DENSE, bottom_hidden=(8,), top_hidden=(16,), seed=2
+        )
+        trainer = SynchronousTrainer(
+            server, model, dataset,
+            num_workers=2, batch_size=16, dense_optimizer=Adam(1e-2),
+        )
+        return trainer, server, model, dataset
+
+    def test_loss_decreases(self):
+        trainer, *_ = self._build()
+        results = trainer.train(60)
+        early = np.mean([r.loss for r in results[:10]])
+        late = np.mean([r.loss for r in results[-10:]])
+        assert late < early
+
+    def test_checkpoint_recovery_with_dlrm(self):
+        trainer, server, model, dataset = self._build()
+        trainer.train(10)
+        trainer.barrier_checkpoint()
+        trainer.train(5)
+        pools, __, dense_ckpts = trainer.crash()
+        fresh_model = DLRM(
+            FIELDS, DIM, num_dense=DENSE, bottom_hidden=(8,), top_hidden=(16,), seed=2
+        )
+        recovered = SynchronousTrainer.recover(
+            pools, dense_ckpts,
+            model=fresh_model, dataset=dataset,
+            server_config=server.server_config, cache_config=server.cache_config,
+            ps_optimizer=PSAdagrad(lr=0.05),
+            num_workers=2, batch_size=16, dense_optimizer=Adam(1e-2),
+        )
+        assert recovered.next_batch == 10
+        results = recovered.train(5)
+        assert all(np.isfinite(r.loss) for r in results)

@@ -1,0 +1,135 @@
+"""Failure injection, Young's formula, and the Table V cost model."""
+
+import pytest
+
+from repro.cost.pricing import (
+    DRAM_PS_DEPLOYMENT,
+    ORI_CACHE_DEPLOYMENT,
+    PMEM_OE_DEPLOYMENT,
+    R6E_13XLARGE,
+    RE6P_13XLARGE,
+    cost_per_epoch,
+    deployment_for_model,
+    storage_saving_vs,
+)
+from repro.errors import ConfigError, CrashError
+from repro.failure.injection import CrashSchedule, FailureInjector
+from repro.failure.mttf import (
+    expected_lost_work_seconds,
+    expected_total_overhead_seconds,
+    young_interval_seconds,
+)
+
+GB = 1 << 30
+
+
+class TestCrashSchedule:
+    def test_sorted_and_validated(self):
+        schedule = CrashSchedule((5, 2, 9))
+        assert schedule.crash_after_batches == (2, 5, 9)
+        with pytest.raises(ConfigError):
+            CrashSchedule((-1,))
+
+    def test_random_deterministic(self):
+        a = CrashSchedule.random(100, 5, seed=1)
+        b = CrashSchedule.random(100, 5, seed=1)
+        assert a == b
+        assert len(a.crash_after_batches) == 5
+
+    def test_poisson_respects_bounds(self):
+        schedule = CrashSchedule.poisson(1000, mttf_batches=100, seed=2)
+        assert all(0 <= b < 1000 for b in schedule.crash_after_batches)
+        # Around 10 failures expected; allow wide slack.
+        assert 2 <= len(schedule.crash_after_batches) <= 30
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigError):
+            CrashSchedule.random(0, 1)
+        with pytest.raises(ConfigError):
+            CrashSchedule.random(10, 11)
+        with pytest.raises(ConfigError):
+            CrashSchedule.poisson(10, 0)
+
+
+class TestFailureInjector:
+    def test_fires_once_per_point(self):
+        injector = FailureInjector(CrashSchedule((3,)))
+        fired = [b for b in range(6) if injector.should_crash(b)]
+        assert fired == [3]
+        assert injector.crashes_fired == 1
+        assert injector.remaining == 0
+
+    def test_multiple_points(self):
+        injector = FailureInjector(CrashSchedule((1, 4)))
+        fired = [b for b in range(6) if injector.should_crash(b)]
+        assert fired == [1, 4]
+
+    def test_raise_style(self):
+        injector = FailureInjector(CrashSchedule((0,)))
+        with pytest.raises(CrashError) as excinfo:
+            injector.raise_if_scheduled(0)
+        assert excinfo.value.batch_id == 0
+
+
+class TestYoung:
+    def test_formula(self):
+        assert young_interval_seconds(30.0, 6 * 3600) == pytest.approx(
+            (2 * 30 * 6 * 3600) ** 0.5
+        )
+
+    def test_paper_ballpark(self):
+        """With minute-scale checkpoint costs and Facebook-scale MTTF the
+        optimum lands near tens of minutes — the paper's 20-min pick."""
+        interval = young_interval_seconds(60.0, 12 * 3600)
+        assert 10 * 60 < interval < 60 * 60
+
+    def test_lost_work(self):
+        assert expected_lost_work_seconds(1200, 3600) == 600
+
+    def test_total_overhead_tradeoff(self):
+        """Too-frequent and too-rare checkpointing both cost more than a
+        sensible middle."""
+        run, mttf, cost, recovery = 24 * 3600.0, 6 * 3600.0, 30.0, 380.0
+        best = young_interval_seconds(cost, mttf)
+        mid = expected_total_overhead_seconds(run, best, cost, mttf, recovery)
+        frequent = expected_total_overhead_seconds(run, best / 20, cost, mttf, recovery)
+        rare = expected_total_overhead_seconds(run, best * 20, cost, mttf, recovery)
+        assert mid < frequent
+        assert mid < rare
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            young_interval_seconds(0, 1)
+
+
+class TestTableV:
+    def test_hourly_prices(self):
+        assert DRAM_PS_DEPLOYMENT.dollars_per_hour == pytest.approx(6.07)
+        assert PMEM_OE_DEPLOYMENT.dollars_per_hour == pytest.approx(3.80)
+
+    def test_epoch_costs(self):
+        assert cost_per_epoch(DRAM_PS_DEPLOYMENT, 5.75) == pytest.approx(34.9, abs=0.1)
+        assert cost_per_epoch(PMEM_OE_DEPLOYMENT, 5.33) == pytest.approx(20.3, abs=0.1)
+        assert cost_per_epoch(ORI_CACHE_DEPLOYMENT, 7.01) == pytest.approx(26.6, abs=0.1)
+
+    def test_headline_savings(self):
+        assert storage_saving_vs(
+            PMEM_OE_DEPLOYMENT, DRAM_PS_DEPLOYMENT, 5.33, 5.75
+        ) == pytest.approx(0.42, abs=0.01)
+        assert storage_saving_vs(
+            PMEM_OE_DEPLOYMENT, ORI_CACHE_DEPLOYMENT, 5.33, 7.01
+        ) == pytest.approx(0.24, abs=0.01)
+
+    def test_sizing_logic(self):
+        assert deployment_for_model(500 * GB, R6E_13XLARGE).machines == 2
+        assert deployment_for_model(500 * GB, RE6P_13XLARGE).machines == 1
+
+    def test_capacity(self):
+        assert RE6P_13XLARGE.usable_model_bytes() == 756 * GB
+        assert R6E_13XLARGE.usable_model_bytes() == (384 - 32) * GB
+
+    def test_invalid(self):
+        with pytest.raises(ConfigError):
+            cost_per_epoch(PMEM_OE_DEPLOYMENT, 0)
+        with pytest.raises(ConfigError):
+            deployment_for_model(0, R6E_13XLARGE)

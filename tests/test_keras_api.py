@@ -1,0 +1,78 @@
+"""Keras-like API over the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.config import CacheConfig
+from repro.dlrm.criteo import CriteoSynthetic
+from repro.dlrm.keras_api import Model, PSEmbeddingLayer
+from repro.dlrm.optimizers import Adam
+from repro.errors import ConfigError
+
+FIELDS = 4
+
+
+@pytest.fixture
+def dataset():
+    return CriteoSynthetic(num_fields=FIELDS, vocab_per_field=50, seed=2)
+
+
+def make_model():
+    layer = PSEmbeddingLayer(
+        num_fields=FIELDS,
+        dim=8,
+        num_nodes=2,
+        cache=CacheConfig(capacity_bytes=1 << 16),
+        pmem_capacity_bytes=1 << 24,
+    )
+    model = Model(layer, hidden=(16,))
+    model.compile(optimizer=Adam(1e-2))
+    return model
+
+
+class TestModel:
+    def test_fit_returns_history(self, dataset):
+        model = make_model()
+        history = model.fit(dataset, batches=10, batch_size=16, workers=2)
+        assert len(history.losses) == 10
+        assert np.isfinite(history.final_loss)
+
+    def test_fit_continues_across_calls(self, dataset):
+        model = make_model()
+        model.fit(dataset, batches=3, batch_size=16)
+        model.fit(dataset, batches=2, batch_size=16)
+        assert model.trainer.next_batch == 5
+
+    def test_fit_without_compile_rejected(self, dataset):
+        layer = PSEmbeddingLayer(num_fields=FIELDS, dim=8, pmem_capacity_bytes=1 << 24)
+        model = Model(layer)
+        with pytest.raises(ConfigError):
+            model.fit(dataset, batches=1)
+
+    def test_predict_proba(self, dataset):
+        model = make_model()
+        model.fit(dataset, batches=5, batch_size=16)
+        keys = dataset.batch(8, 100).keys
+        probs = model.predict_proba(keys)
+        assert probs.shape == (8,)
+        assert np.all((probs > 0) & (probs < 1))
+
+    def test_predict_before_fit_rejected(self, dataset):
+        model = make_model()
+        with pytest.raises(ConfigError):
+            model.predict_proba(dataset.batch(4, 0).keys)
+
+    def test_save_checkpoint(self, dataset):
+        model = make_model()
+        model.fit(dataset, batches=4, batch_size=16)
+        batch_id = model.save_checkpoint()
+        assert batch_id == 3
+        assert model.embedding_layer.server.global_completed_checkpoint == 3
+
+    def test_history_helpers(self):
+        from repro.dlrm.keras_api import FitHistory
+
+        history = FitHistory(losses=[3.0, 2.0, 1.0])
+        assert history.final_loss == 1.0
+        assert history.mean_loss(last_n=2) == pytest.approx(1.5)
+        assert np.isnan(FitHistory(losses=[]).final_loss)

@@ -1,0 +1,170 @@
+"""Dense layers and MLP: numeric gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.dlrm.layers import MLP, Dense, binary_cross_entropy
+from repro.errors import ConfigError
+
+
+def numeric_grad(f, x, eps=1e-4):
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        up = f()
+        x[idx] = orig - eps
+        down = f()
+        x[idx] = orig
+        grad[idx] = (up - down) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestDense:
+    def test_forward_linear(self):
+        layer = Dense(2, 1, activation="linear")
+        layer.weight[...] = np.array([[1.0], [2.0]], dtype=np.float32)
+        layer.bias[...] = 0.5
+        out = layer.forward(np.array([[1.0, 1.0]], dtype=np.float32))
+        assert out[0, 0] == pytest.approx(3.5)
+
+    def test_relu_clips(self):
+        layer = Dense(1, 1, activation="relu")
+        layer.weight[...] = -1.0
+        layer.bias[...] = 0.0
+        out = layer.forward(np.array([[2.0]], dtype=np.float32))
+        assert out[0, 0] == 0.0
+
+    def test_sigmoid_range(self):
+        layer = Dense(3, 2, activation="sigmoid", rng=np.random.default_rng(0))
+        out = layer.forward(np.random.default_rng(1).normal(size=(5, 3)).astype(np.float32))
+        assert np.all((out > 0) & (out < 1))
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(ConfigError):
+            Dense(2, 2).backward(np.zeros((1, 2), dtype=np.float32))
+
+    def test_weight_gradient_matches_numeric(self):
+        rng = np.random.default_rng(2)
+        layer = Dense(3, 2, activation="relu", rng=rng)
+        x = rng.normal(size=(4, 3)).astype(np.float32)
+        target_grad = rng.normal(size=(4, 2)).astype(np.float32)
+
+        def loss():
+            return float((layer.forward(x) * target_grad).sum())
+
+        layer.zero_grad()
+        layer.forward(x)
+        layer.backward(target_grad)
+        numeric = numeric_grad(loss, layer.weight)
+        assert np.allclose(layer.grad_weight, numeric, atol=1e-2)
+
+    def test_input_gradient_matches_numeric(self):
+        rng = np.random.default_rng(3)
+        layer = Dense(3, 2, activation="linear", rng=rng)
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+        target_grad = rng.normal(size=(2, 2)).astype(np.float32)
+
+        def loss():
+            return float((layer.forward(x) * target_grad).sum())
+
+        layer.forward(x)
+        grad_x = layer.backward(target_grad)
+        numeric = numeric_grad(loss, x)
+        assert np.allclose(grad_x, numeric, atol=1e-2)
+
+    def test_invalid_activation(self):
+        with pytest.raises(ConfigError):
+            Dense(1, 1, activation="tanh")
+
+
+class TestMLP:
+    def test_shapes(self):
+        mlp = MLP([8, 16, 4, 1])
+        out = mlp.forward(np.zeros((5, 8), dtype=np.float32))
+        assert out.shape == (5, 1)
+
+    def test_parameter_count(self):
+        mlp = MLP([2, 3, 1])
+        assert mlp.num_parameters == (2 * 3 + 3) + (3 * 1 + 1)
+
+    def test_state_roundtrip(self):
+        mlp = MLP([2, 3, 1], rng=np.random.default_rng(1))
+        state = mlp.state()
+        for param in mlp.parameters():
+            param += 1.0
+        mlp.load_state(state)
+        for param, saved in zip(mlp.parameters(), state):
+            assert np.array_equal(param, saved)
+
+    def test_state_is_a_copy(self):
+        mlp = MLP([2, 1])
+        state = mlp.state()
+        mlp.parameters()[0][...] += 1.0
+        assert not np.array_equal(state[0], mlp.parameters()[0])
+
+    def test_load_state_shape_mismatch(self):
+        mlp = MLP([2, 1])
+        other = MLP([3, 1])
+        with pytest.raises(ConfigError):
+            mlp.load_state(other.state())
+
+    def test_full_backprop_matches_numeric(self):
+        rng = np.random.default_rng(4)
+        mlp = MLP([3, 4, 1], rng=rng)
+        x = rng.normal(size=(2, 3)).astype(np.float32)
+
+        def loss():
+            return float(mlp.forward(x).sum())
+
+        mlp.zero_grad()
+        mlp.forward(x)
+        mlp.backward(np.ones((2, 1), dtype=np.float32))
+        first_weight = mlp.layers[0].weight
+        numeric = numeric_grad(loss, first_weight)
+        assert np.allclose(mlp.layers[0].grad_weight, numeric, atol=1e-2)
+
+    def test_too_few_sizes(self):
+        with pytest.raises(ConfigError):
+            MLP([4])
+
+
+class TestBCE:
+    def test_loss_at_zero_logit(self):
+        loss, __ = binary_cross_entropy(
+            np.zeros(4, dtype=np.float32), np.array([0, 1, 0, 1])
+        )
+        assert loss == pytest.approx(np.log(2), rel=1e-5)
+
+    def test_gradient_sign(self):
+        __, grad = binary_cross_entropy(
+            np.zeros(2, dtype=np.float32), np.array([1.0, 0.0])
+        )
+        assert grad[0] < 0  # push logit up for positive label
+        assert grad[1] > 0
+
+    def test_gradient_matches_numeric(self):
+        rng = np.random.default_rng(5)
+        logits = rng.normal(size=6).astype(np.float32)
+        labels = (rng.random(6) < 0.5).astype(np.float32)
+
+        def loss():
+            return binary_cross_entropy(logits, labels)[0]
+
+        __, grad = binary_cross_entropy(logits, labels)
+        numeric = numeric_grad(loss, logits)
+        assert np.allclose(grad, numeric, atol=1e-3)
+
+    def test_extreme_logits_stable(self):
+        loss, grad = binary_cross_entropy(
+            np.array([500.0, -500.0], dtype=np.float32), np.array([1.0, 0.0])
+        )
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(grad))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigError):
+            binary_cross_entropy(np.zeros(2), np.zeros(3))

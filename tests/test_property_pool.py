@@ -1,0 +1,93 @@
+"""Property-based durability model for PmemPool (hypothesis).
+
+A reference model tracks what SHOULD be durable/visible after any
+sequence of writes (flushed or staged), drains, frees and crashes; the
+pool must agree exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pmem.pool import PmemPool
+
+KEYS = list(range(6))
+
+
+def operations():
+    write = st.tuples(
+        st.just("write"),
+        st.sampled_from(KEYS),
+        st.integers(0, 100),
+        st.booleans(),  # flush?
+    )
+    free = st.tuples(st.just("free"), st.sampled_from(KEYS), st.just(0), st.just(False))
+    drain = st.tuples(st.just("drain"), st.just(0), st.just(0), st.just(False))
+    crash = st.tuples(st.just("crash"), st.just(0), st.just(0), st.just(False))
+    return st.lists(
+        st.one_of(write, free, drain, crash), min_size=1, max_size=40
+    )
+
+
+class Reference:
+    """Oracle for pool visibility and durability."""
+
+    def __init__(self):
+        self.durable: dict[int, int] = {}
+        self.staged: dict[int, int] = {}
+
+    def write(self, key, value, flush):
+        if flush:
+            self.durable[key] = value
+            self.staged.pop(key, None)
+        else:
+            self.staged[key] = value
+
+    def free(self, key):
+        existed = key in self.staged or key in self.durable
+        self.staged.pop(key, None)
+        self.durable.pop(key, None)
+        return existed
+
+    def drain(self):
+        self.durable.update(self.staged)
+        self.staged.clear()
+
+    def crash(self):
+        self.staged.clear()
+
+    def visible(self):
+        merged = dict(self.durable)
+        merged.update(self.staged)
+        return merged
+
+
+@given(ops=operations())
+@settings(max_examples=120, deadline=None)
+def test_pool_matches_reference_model(ops):
+    pool = PmemPool(1 << 16)
+    reference = Reference()
+    for op, key, value, flush in ops:
+        if op == "write":
+            pool.write(key, np.array([value], dtype=np.float32), flush=flush)
+            reference.write(key, value, flush)
+        elif op == "free":
+            if reference.free(key):
+                pool.free(key)
+        elif op == "drain":
+            pool.drain()
+            reference.drain()
+        elif op == "crash":
+            pool.crash()
+            reference.crash()
+        # Invariant: visible contents match the oracle at every step.
+        visible = reference.visible()
+        assert set(pool.keys()) == set(visible)
+        for k, v in visible.items():
+            assert pool.read(k)[0] == v
+    # Final crash: only durable contents remain.
+    pool.crash()
+    reference.crash()
+    assert set(pool.keys()) == set(reference.visible())
+    # Space accounting is consistent with the contents.
+    assert pool.used_bytes == 4 * len(reference.visible())

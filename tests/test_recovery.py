@@ -1,0 +1,150 @@
+"""Node recovery: scan, discard, rebuild — Section V-C / Figure 14."""
+
+import numpy as np
+import pytest
+
+from repro.config import CacheConfig, ServerConfig
+from repro.core.entry import Location
+from repro.core.recovery import estimate_recovery_seconds, recover_node
+from repro.errors import RecoveryError
+
+from tests.conftest import DIM, make_node
+
+
+def grads(n, value=1.0):
+    return np.full((n, DIM), value, dtype=np.float32)
+
+
+def train(node, keys, batch):
+    node.pull(keys, batch)
+    node.maintain(batch)
+    node.push(keys, grads(len(keys)), batch)
+
+
+def node_configs(node):
+    return node.server_config, node.cache_config
+
+
+class TestRecoverNode:
+    def test_roundtrip_restores_checkpoint_state(self):
+        node = make_node()
+        keys = list(range(10))
+        train(node, keys, 0)
+        node.barrier_checkpoint()
+        snapshot = node.state_snapshot()
+        train(node, keys, 1)  # post-checkpoint updates to discard
+        pool = node.crash()
+        server_config, cache_config = node_configs(node)
+        recovered, report = recover_node(pool, server_config, cache_config)
+        assert report.checkpoint_batch_id == 0
+        assert report.entries_recovered == 10
+        restored = recovered.state_snapshot()
+        for key, weights in snapshot.items():
+            assert np.array_equal(restored[key], weights)
+
+    def test_recovered_entries_are_pmem_resident(self):
+        node = make_node()
+        train(node, [1, 2], 0)
+        node.barrier_checkpoint()
+        pool = node.crash()
+        recovered, __ = recover_node(pool, *node_configs(node))
+        assert recovered.cache.cached_entries == 0
+        for key in (1, 2):
+            assert recovered.cache.index.location_of(key) == Location.PMEM
+
+    def test_keys_created_after_checkpoint_dropped(self):
+        node = make_node()
+        train(node, [1, 2], 0)
+        node.barrier_checkpoint()
+        train(node, [1, 2, 3], 1)
+        node.cache.flush_all()  # key 3 is durable but post-checkpoint
+        pool = node.crash()
+        recovered, report = recover_node(pool, *node_configs(node))
+        assert 3 not in recovered.cache.index
+        assert report.versions_discarded > 0
+
+    def test_recovery_without_checkpoint_fails(self):
+        node = make_node()
+        train(node, [1], 0)
+        pool = node.crash()
+        with pytest.raises(RecoveryError):
+            recover_node(pool, *node_configs(node))
+
+    def test_target_newer_than_durable_rejected(self):
+        node = make_node()
+        train(node, [1], 0)
+        node.barrier_checkpoint()
+        pool = node.crash()
+        with pytest.raises(RecoveryError):
+            recover_node(pool, *node_configs(node), target_batch_id=5)
+
+    def test_recover_to_older_target(self):
+        node = make_node()
+        keys = [1, 2]
+        train(node, keys, 0)
+        node.barrier_checkpoint()
+        state_at_0 = node.state_snapshot()
+        train(node, keys, 1)
+        node.coordinator.set_external_barrier(0)  # cluster held at 0
+        node.request_checkpoint(1)
+        node.cache.complete_pending_checkpoints()
+        pool = node.crash()
+        recovered, report = recover_node(
+            pool, *node_configs(node), target_batch_id=0
+        )
+        assert report.checkpoint_batch_id == 0
+        restored = recovered.state_snapshot()
+        for key in keys:
+            assert np.array_equal(restored[key], state_at_0[key])
+
+    def test_training_continues_after_recovery(self):
+        node = make_node()
+        train(node, [1, 2], 0)
+        node.barrier_checkpoint()
+        pool = node.crash()
+        recovered, __ = recover_node(pool, *node_configs(node))
+        train(recovered, [1, 2, 3], 1)
+        assert recovered.num_entries == 3
+
+    def test_coordinator_state_after_recovery(self):
+        node = make_node()
+        train(node, [1], 0)
+        node.barrier_checkpoint()
+        pool = node.crash()
+        recovered, __ = recover_node(pool, *node_configs(node))
+        assert recovered.coordinator.last_completed == 0
+        assert recovered.latest_completed_batch == 0
+        # A fresh checkpoint request for a newer batch must work.
+        train(recovered, [1], 1)
+        recovered.barrier_checkpoint()
+        assert recovered.coordinator.last_completed == 1
+
+
+class TestRecoveryTiming:
+    def test_time_scales_with_entries(self):
+        small = estimate_recovery_seconds(entries=1000, versions=1000, entry_bytes=256)
+        large = estimate_recovery_seconds(entries=10_000, versions=10_000, entry_bytes=256)
+        assert large > small
+
+    def test_parallelism_divides_time(self):
+        solo = estimate_recovery_seconds(entries=10_000, versions=10_000, entry_bytes=256)
+        sharded = estimate_recovery_seconds(
+            entries=10_000, versions=10_000, entry_bytes=256, parallelism=4
+        )
+        assert sharded == pytest.approx(solo / 4)
+
+    def test_paper_scale_matches_figure_14(self):
+        """At the paper's scale (2.1 B entries, 256 B each) the model
+        should land near the reported 380.2 s."""
+        seconds = estimate_recovery_seconds(
+            entries=2_100_000_000, versions=2_100_000_000, entry_bytes=256
+        )
+        assert 330 < seconds < 430
+
+    def test_invalid_parallelism(self):
+        node = make_node()
+        train(node, [1], 0)
+        node.barrier_checkpoint()
+        pool = node.crash()
+        with pytest.raises(RecoveryError):
+            recover_node(pool, *node_configs(node), parallelism=0)

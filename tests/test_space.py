@@ -1,0 +1,147 @@
+"""VersionedEntryStore: retention barriers, recycling, recovery scan."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RecoveryError
+from repro.pmem.pool import PmemPool
+from repro.pmem.space import NO_CHECKPOINT, VersionedEntryStore
+
+
+@pytest.fixture
+def store():
+    return VersionedEntryStore(PmemPool(1 << 16), entry_bytes=16)
+
+
+def w(v):
+    return np.full(4, float(v), dtype=np.float32)
+
+
+class TestVersioning:
+    def test_put_and_read_latest(self, store):
+        store.put(1, 5, w(5))
+        batch, value = store.read_latest(1)
+        assert batch == 5
+        assert value[0] == 5.0
+
+    def test_latest_wins(self, store):
+        store.put(1, 5, w(5))
+        store.put(1, 9, w(9))
+        batch, value = store.read_latest(1)
+        assert batch == 9
+        assert value[0] == 9.0
+
+    def test_without_barriers_only_newest_kept(self, store):
+        store.put(1, 5, w(5))
+        store.put(1, 9, w(9))
+        assert store.versions_of(1) == [9]
+
+    def test_read_at_most(self, store):
+        store.set_retention_barriers((5,))
+        store.put(1, 3, w(3))
+        store.put(1, 9, w(9))
+        batch, value = store.read_at_most(1, 5)
+        assert batch == 3
+        assert value[0] == 3.0
+
+    def test_read_at_most_no_eligible(self, store):
+        store.put(1, 9, w(9))
+        with pytest.raises(KeyError):
+            store.read_at_most(1, 5)
+
+    def test_missing_key(self, store):
+        assert not store.has(1)
+        with pytest.raises(KeyError):
+            store.read_latest(1)
+
+
+class TestRetention:
+    def test_barrier_protects_old_version(self, store):
+        store.set_retention_barriers((5,))
+        store.put(1, 3, w(3))
+        store.put(1, 9, w(9))
+        assert store.versions_of(1) == [3, 9]
+
+    def test_multiple_barriers(self, store):
+        store.set_retention_barriers((4, 8))
+        for batch in (2, 6, 10):
+            store.put(1, batch, w(batch))
+        # newest <= 4 is 2; newest <= 8 is 6; newest overall is 10.
+        assert store.versions_of(1) == [2, 6, 10]
+
+    def test_recycle_after_barrier_moves(self, store):
+        store.set_retention_barriers((5,))
+        store.put(1, 3, w(3))
+        store.put(1, 9, w(9))
+        store.set_retention_barriers((9,))
+        freed = store.recycle()
+        assert freed == 1
+        assert store.versions_of(1) == [9]
+
+    def test_footprint_bounded_by_barriers(self, store):
+        store.set_retention_barriers((50,))
+        for batch in range(100):
+            store.put(1, batch, w(batch))
+        assert len(store.versions_of(1)) <= 2
+
+    def test_idempotent_put_same_version(self, store):
+        store.put(1, 5, w(5))
+        store.put(1, 5, w(6))
+        assert store.versions_of(1) == [5]
+        assert store.read_latest(1)[1][0] == 6.0
+
+
+class TestCheckpointId:
+    def test_default_is_no_checkpoint(self, store):
+        assert store.checkpointed_batch_id() == NO_CHECKPOINT
+
+    def test_set_and_survive_crash(self, store):
+        store.set_checkpointed_batch_id(7)
+        store.pool.crash()
+        assert store.checkpointed_batch_id() == 7
+
+
+class TestRecovery:
+    def test_rebuild_from_pool(self, store):
+        store.set_retention_barriers((5,))
+        store.put(1, 3, w(3))
+        store.put(1, 9, w(9))
+        store.put(2, 4, w(4))
+        fresh = VersionedEntryStore(store.pool, entry_bytes=16)
+        fresh.rebuild_from_pool()
+        assert fresh.versions_of(1) == [3, 9]
+        assert fresh.versions_of(2) == [4]
+
+    def test_discard_newer_than(self, store):
+        store.set_retention_barriers((5,))
+        store.put(1, 3, w(3))
+        store.put(1, 9, w(9))
+        store.put(2, 8, w(8))
+        discarded = store.discard_newer_than(5)
+        assert discarded == 2
+        assert store.versions_of(1) == [3]
+        assert not store.versions_of(2)  # created after the checkpoint
+
+    def test_full_recover(self, store):
+        store.set_retention_barriers((5,))
+        store.put(1, 3, w(3))
+        store.put(1, 9, w(9))
+        store.set_checkpointed_batch_id(5)
+        store.pool.crash()
+        recovered = store.recover()
+        assert recovered == {1: 3}
+        assert store.read_latest(1)[1][0] == 3.0
+
+    def test_recover_without_checkpoint_fails(self, store):
+        store.put(1, 3, w(3))
+        with pytest.raises(RecoveryError):
+            store.recover()
+
+    def test_staged_writes_invisible_to_recovery(self, store):
+        store.put(1, 3, w(3))
+        store.set_checkpointed_batch_id(3)
+        # A write that never got flushed (simulates in-flight IO).
+        store.pool.write(("entry", 2, 4), w(4), nbytes=16, flush=False)
+        store.pool.crash()
+        recovered = store.recover()
+        assert 2 not in recovered

@@ -1,0 +1,143 @@
+"""Stateful property testing of a PS node (hypothesis RuleBasedStateMachine).
+
+The machine interleaves every operation a node supports — pulls,
+maintenance, pushes, checkpoint requests, forced completions, crashes
+with recovery — against a plain-dict reference model, checking after
+every step that:
+
+* live weights match the reference exactly,
+* structural invariants (index/LRU/tag bits) hold,
+* after any crash, recovery lands on the exact reference snapshot of
+  the last completed checkpoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.config import CacheConfig, ServerConfig
+from repro.core.ps_node import PSNode
+from repro.core.optimizers import PSSGD
+from repro.core.recovery import recover_node
+
+DIM = 2
+KEYS = st.lists(st.integers(0, 9), min_size=1, max_size=4, unique=True)
+SERVER_CONFIG = ServerConfig(embedding_dim=DIM, pmem_capacity_bytes=1 << 22, seed=23)
+CACHE_CONFIG = CacheConfig(capacity_bytes=3 * DIM * 4)
+LR = 0.25
+
+
+def initial_weights(key: int) -> np.ndarray:
+    rng = np.random.default_rng((SERVER_CONFIG.seed, key))
+    return rng.uniform(-0.01, 0.01, DIM).astype(np.float32)
+
+
+class NodeMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.node = PSNode(0, SERVER_CONFIG, CACHE_CONFIG, PSSGD(lr=LR))
+        self.reference: dict[int, np.ndarray] = {}
+        self.snapshots: dict[int, dict[int, np.ndarray]] = {}
+        self.batch = 0
+        self.pulled_this_batch: list[int] | None = None
+
+    # ------------------------------------------------------------------
+    # rules
+    # ------------------------------------------------------------------
+
+    @precondition(lambda self: self.pulled_this_batch is None)
+    @rule(keys=KEYS)
+    def pull_and_maintain(self, keys):
+        self.node.pull(keys, self.batch)
+        self.node.maintain(self.batch)
+        for key in keys:
+            if key not in self.reference:
+                self.reference[key] = initial_weights(key)
+        self.pulled_this_batch = keys
+
+    @precondition(lambda self: self.pulled_this_batch is not None)
+    @rule(grad=st.floats(-1.0, 1.0, allow_nan=False, width=32))
+    def push(self, grad):
+        keys = self.pulled_this_batch
+        grads = np.full((len(keys), DIM), grad, dtype=np.float32)
+        self.node.push(keys, grads, self.batch)
+        for key in keys:
+            self.reference[key] = self.reference[key] - np.float32(LR) * grads[0]
+        self.batch += 1
+        self.pulled_this_batch = None
+
+    @precondition(
+        lambda self: self.pulled_this_batch is None
+        and self.batch - 1 > self.node.coordinator.last_completed
+        and (
+            not self.node.coordinator.queue.pending()
+            or self.node.coordinator.queue.pending()[-1] < self.batch - 1
+        )
+    )
+    @rule()
+    def request_checkpoint(self):
+        batch_id = self.batch - 1
+        self.node.coordinator.request(batch_id)
+        self.snapshots[batch_id] = {
+            key: np.array(weights, copy=True)
+            for key, weights in self.reference.items()
+        }
+
+    @precondition(lambda self: self.node.coordinator.head() is not None)
+    @rule()
+    def force_complete(self):
+        self.node.cache.complete_pending_checkpoints()
+
+    @precondition(lambda self: self.pulled_this_batch is None)
+    @rule()
+    def crash_and_recover(self):
+        durable = self.node.store.checkpointed_batch_id()
+        pool = self.node.crash()
+        if durable < 0:
+            # No completed checkpoint: a real deployment restarts from
+            # scratch; the machine rebuilds both sides.
+            self.node = PSNode(0, SERVER_CONFIG, CACHE_CONFIG, PSSGD(lr=LR))
+            self.reference = {}
+            self.snapshots = {}
+            self.batch = 0
+            return
+        self.node, report = recover_node(
+            pool, SERVER_CONFIG, CACHE_CONFIG, PSSGD(lr=LR)
+        )
+        assert report.checkpoint_batch_id == durable
+        expected = self.snapshots[durable]
+        got = self.node.state_snapshot()
+        assert set(got) == set(expected)
+        for key, weights in expected.items():
+            assert np.array_equal(got[key], weights)
+        self.reference = {
+            key: np.array(weights, copy=True) for key, weights in expected.items()
+        }
+        self.batch = durable + 1
+        self.snapshots = {
+            b: snap for b, snap in self.snapshots.items() if b <= durable
+        }
+
+    # ------------------------------------------------------------------
+    # invariants
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def weights_match_reference(self):
+        for key, expected in self.reference.items():
+            got = self.node.read_weights(key)
+            assert np.array_equal(got, expected), key
+
+    @invariant()
+    def structures_consistent(self):
+        self.node.cache.validate()
+        assert self.node.cache.cached_entries <= self.node.cache.capacity_entries
+
+
+NodeMachine.TestCase.settings = settings(
+    max_examples=40, stateful_step_count=30, deadline=None
+)
+TestNodeMachine = NodeMachine.TestCase

@@ -1,0 +1,128 @@
+"""Trace persistence and replay through the simulator."""
+
+import numpy as np
+import pytest
+
+from repro.config import WorkloadConfig
+from repro.errors import ConfigError
+from repro.workload.generator import WorkloadGenerator
+from repro.workload.trace_io import (
+    TraceReplayGenerator,
+    load_trace,
+    record_synthetic_trace,
+    save_trace,
+)
+
+
+@pytest.fixture
+def batches():
+    rng = np.random.default_rng(0)
+    return [rng.integers(0, 1000, size=rng.integers(5, 30)) for __ in range(12)]
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path, batches):
+        path = tmp_path / "trace.npz"
+        save_trace(path, batches, num_keys=1000)
+        loaded, num_keys = load_trace(path)
+        assert num_keys == 1000
+        assert len(loaded) == len(batches)
+        for original, restored in zip(batches, loaded):
+            assert np.array_equal(original, restored)
+
+    def test_ragged_batches(self, tmp_path):
+        batches = [np.array([1]), np.array([2, 3, 4]), np.array([], dtype=np.int64)]
+        path = tmp_path / "trace.npz"
+        save_trace(path, batches, num_keys=10)
+        loaded, __ = load_trace(path)
+        assert [len(b) for b in loaded] == [1, 3, 0]
+
+    def test_empty_trace_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            save_trace(tmp_path / "t.npz", [], num_keys=10)
+
+    def test_out_of_range_keys_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            save_trace(tmp_path / "t.npz", [np.array([99])], num_keys=10)
+
+    def test_not_a_trace_file(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, unrelated=np.arange(3))
+        with pytest.raises(ConfigError):
+            load_trace(path)
+
+
+class TestReplay:
+    def test_replays_in_order(self, batches):
+        replay = TraceReplayGenerator(batches, num_keys=1000)
+        first = replay.sample_batch_keys(0, deduplicate=False)
+        assert np.array_equal(first, batches[0])
+
+    def test_wraps_around(self, batches):
+        replay = TraceReplayGenerator(batches, num_keys=1000)
+        for __ in range(len(batches) + 1):
+            replay.sample_batch_keys(0, deduplicate=False)
+        assert replay.wrapped == 1
+
+    def test_worker_batches_consume_sequentially(self, batches):
+        replay = TraceReplayGenerator(batches, num_keys=1000)
+        worker_batches = replay.sample_worker_batches(3, 0)
+        assert len(worker_batches) == 3
+        assert np.array_equal(worker_batches[1], np.unique(batches[1]))
+
+    def test_from_file(self, tmp_path, batches):
+        path = tmp_path / "trace.npz"
+        save_trace(path, batches, num_keys=1000)
+        replay = TraceReplayGenerator.from_file(path)
+        assert replay.config.num_keys == 1000
+
+    def test_replay_drives_simulator(self, tmp_path):
+        """A recorded synthetic trace replayed through the simulator
+        produces the same functional counts as the live generator."""
+        from repro.config import (
+            CacheConfig,
+            CheckpointConfig,
+            ClusterConfig,
+            ServerConfig,
+        )
+        from repro.simulation.cluster import SystemKind
+        from repro.simulation.trainer_sim import TrainingSimulator
+
+        workload_config = WorkloadConfig(
+            num_keys=5000, features_per_sample=4, seed=9
+        )
+        recorded = record_synthetic_trace(
+            WorkloadGenerator(workload_config), num_batches=24, batch_size=16
+        )
+        path = tmp_path / "trace.npz"
+        save_trace(path, recorded, num_keys=5000)
+
+        def run(workload):
+            sim = TrainingSimulator(
+                SystemKind.PMEM_OE,
+                ClusterConfig(num_workers=2, batch_size=16),
+                ServerConfig(embedding_dim=8, pmem_capacity_bytes=1 << 24),
+                CacheConfig(capacity_bytes=64 * 8 * 4),
+                CheckpointConfig.none(),
+                workload,
+            )
+            return sim.run(10)
+
+        live = run(TraceReplayGenerator(recorded, 5000))
+        replayed = run(TraceReplayGenerator.from_file(path))
+        assert live.total_requests == replayed.total_requests
+        assert live.miss_rate == replayed.miss_rate
+        assert live.sim_seconds == pytest.approx(replayed.sim_seconds)
+
+
+class TestRecord:
+    def test_record_synthetic(self):
+        generator = WorkloadGenerator(WorkloadConfig(num_keys=100, features_per_sample=2))
+        trace = record_synthetic_trace(generator, num_batches=5, batch_size=8)
+        assert len(trace) == 5
+        assert all(len(batch) == 16 for batch in trace)
+
+    def test_invalid_count(self):
+        generator = WorkloadGenerator()
+        with pytest.raises(ConfigError):
+            record_synthetic_trace(generator, 0, 8)

@@ -1,0 +1,148 @@
+"""TrainingSimulator: end-to-end simulated epochs (small scale)."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    CheckpointConfig,
+    CheckpointMode,
+    ClusterConfig,
+    NetworkConfig,
+    ServerConfig,
+    WorkloadConfig,
+)
+from repro.errors import ConfigError
+from repro.simulation.cluster import SystemKind
+from repro.simulation.trainer_sim import TrainingSimulator
+from repro.workload.generator import WorkloadGenerator
+
+NUM_KEYS = 20_000
+DIM = 16
+
+
+def make_sim(system, workers=4, ckpt=None, cache_entries=200, **kwargs):
+    server = ServerConfig(embedding_dim=DIM, pmem_capacity_bytes=1 << 26)
+    cache = CacheConfig(capacity_bytes=cache_entries * DIM * 4)
+    cluster = ClusterConfig(
+        num_workers=workers,
+        batch_size=32,
+        network=NetworkConfig(bandwidth_bytes_per_s=60e6),
+    )
+    workload = WorkloadGenerator(
+        WorkloadConfig(num_keys=NUM_KEYS, features_per_sample=4, seed=1)
+    )
+    return TrainingSimulator(
+        system, cluster, server, cache, ckpt or CheckpointConfig.none(), workload,
+        **kwargs,
+    )
+
+
+class TestBasics:
+    def test_run_advances_clock(self):
+        sim = make_sim(SystemKind.PMEM_OE)
+        result = sim.run(10)
+        assert result.sim_seconds > 0
+        assert result.iterations == 10
+        assert result.total_requests > 0
+
+    def test_miss_rate_in_range(self):
+        result = make_sim(SystemKind.PMEM_OE).run(20)
+        assert 0.0 <= result.miss_rate <= 1.0
+
+    def test_dram_ps_never_misses(self):
+        result = make_sim(SystemKind.DRAM_PS).run(10)
+        assert result.miss_rate == 0.0
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ConfigError):
+            make_sim(SystemKind.PMEM_OE).run(0)
+
+    def test_batch_aware_requires_pmem_oe(self):
+        with pytest.raises(ConfigError):
+            make_sim(
+                SystemKind.DRAM_PS,
+                ckpt=CheckpointConfig(CheckpointMode.BATCH_AWARE, 1.0),
+            )
+
+    def test_phase_totals_consistent(self):
+        result = make_sim(SystemKind.PMEM_OE).run(10)
+        reconstructed = (
+            result.net_seconds
+            + result.pull_service_seconds
+            + result.push_service_seconds
+            + result.maintain_inline_seconds
+        )
+        # gpu and deferred overlap, so total >= parts without them.
+        assert result.sim_seconds >= reconstructed
+
+
+class TestSystemComparisons:
+    def test_pmem_oe_close_to_dram_ps(self):
+        dram = make_sim(SystemKind.DRAM_PS).run(30).sim_seconds
+        oe = make_sim(SystemKind.PMEM_OE).run(30).sim_seconds
+        assert dram <= oe < dram * 1.35
+
+    def test_ori_cache_slower_than_oe(self):
+        oe = make_sim(SystemKind.PMEM_OE).run(30).sim_seconds
+        ori = make_sim(SystemKind.ORI_CACHE).run(30).sim_seconds
+        assert ori > oe
+
+    def test_pmem_hash_slowest(self):
+        ori = make_sim(SystemKind.ORI_CACHE).run(30).sim_seconds
+        ph = make_sim(SystemKind.PMEM_HASH).run(30).sim_seconds
+        assert ph > ori
+
+    def test_bigger_cache_not_slower(self):
+        small = make_sim(SystemKind.PMEM_OE, cache_entries=20).run(30)
+        large = make_sim(SystemKind.PMEM_OE, cache_entries=2000).run(30)
+        assert large.miss_rate < small.miss_rate
+        assert large.sim_seconds <= small.sim_seconds
+
+
+class TestCheckpointing:
+    def _epoch(self, ckpt=None):
+        return make_sim(SystemKind.PMEM_OE, ckpt=ckpt).run(40)
+
+    def test_batch_aware_near_zero_overhead(self):
+        base = self._epoch()
+        interval = base.sim_seconds / 4
+        with_ckpt = self._epoch(
+            CheckpointConfig(CheckpointMode.SPARSE_ONLY, interval, include_dense=False)
+        )
+        assert with_ckpt.checkpoints_completed >= 3
+        overhead = with_ckpt.sim_seconds / base.sim_seconds - 1
+        assert overhead < 0.02
+
+    def test_incremental_costs_more_than_batch_aware(self):
+        base = self._epoch()
+        interval = base.sim_seconds / 4
+        batch_aware = self._epoch(
+            CheckpointConfig(CheckpointMode.BATCH_AWARE, interval)
+        )
+        incremental = self._epoch(
+            CheckpointConfig(CheckpointMode.INCREMENTAL, interval)
+        )
+        assert incremental.sim_seconds > batch_aware.sim_seconds
+        assert incremental.checkpoint_pause_seconds > 0
+
+    def test_interval_scaling_helper(self):
+        interval = TrainingSimulator.interval_for_epoch_fraction(100.0, 20, 5.0)
+        assert interval == pytest.approx(100.0 * (20 / 60) / 5.0)
+        with pytest.raises(ConfigError):
+            TrainingSimulator.interval_for_epoch_fraction(0, 20, 5)
+
+
+class TestTrace:
+    def test_figure2_pattern(self):
+        """Pulls and updates appear in equal-sized paired bursts."""
+        sim = make_sim(SystemKind.PMEM_OE, record_trace=True)
+        result = sim.run(5)
+        totals = result.trace.totals()
+        assert totals["pull"] == totals["update"] == result.total_requests
+        # Bursts are instants: few distinct milliseconds carry traffic.
+        buckets = result.trace.per_millisecond()
+        assert len(buckets) <= 2 * 5
+
+    def test_trace_disabled_by_default(self):
+        result = make_sim(SystemKind.PMEM_OE).run(3)
+        assert result.trace is None
