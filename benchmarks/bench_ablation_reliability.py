@@ -12,10 +12,27 @@ using this repo's measured epoch times (20-min-equivalent checkpoints)
 and each system's recovery model at paper scale, scaled into the
 simulated epoch. PMem-OE wins on all three terms at once: cheaper
 checkpoints, same lost work, and ~4x faster recovery.
+
+A second ablation makes the *network* the failure domain: the same
+functional training is run over ``RemotePSClient`` under seeded
+message drop/duplicate/delay/corrupt schedules, reporting the retry,
+timeout and wire-byte overhead the fault-tolerant RPC layer pays —
+while asserting the trained weights stay bit-identical to a clean
+wire (retries and dedup are semantics-free).
 """
 
+import numpy as np
+
 from benchmarks.conftest import run_once, simulate_epoch
-from repro.config import CheckpointConfig, CheckpointMode
+from repro.config import (
+    CacheConfig,
+    CheckpointConfig,
+    CheckpointMode,
+    NetworkFaultConfig,
+    RetryConfig,
+    ServerConfig,
+)
+from repro.network.frontend import RemotePSClient
 from repro.core.recovery import (
     estimate_dram_ps_recovery_seconds,
     estimate_recovery_seconds,
@@ -106,3 +123,105 @@ def test_ablation_reliability_composite(benchmark, report):
     ckpt_only = 1 - data["epochs"]["PMem-OE"] / data["epochs"]["DRAM-PS"]
     assert data["recovery"]["PMem-OE"] < data["recovery"]["DRAM-PS"]
     assert advantage >= ckpt_only - 1e-6
+
+
+# ----------------------------------------------------------------------
+# network-fault ablation
+# ----------------------------------------------------------------------
+
+FAULT_DIM = 8
+FAULT_BATCHES = 25
+FAULT_LEVELS = (0.0, 0.02, 0.08)
+
+
+def _remote_training_run(fault_rate: float):
+    """Functional remote training under a seeded fault schedule."""
+    server_config = ServerConfig(
+        num_nodes=2, embedding_dim=FAULT_DIM, pmem_capacity_bytes=1 << 24, seed=4
+    )
+    cache_config = CacheConfig(capacity_bytes=32 * FAULT_DIM * 4)
+    faults = (
+        NetworkFaultConfig(
+            drop_rate=fault_rate,
+            duplicate_rate=fault_rate / 2,
+            corrupt_rate=fault_rate / 2,
+            delay_rate=fault_rate,
+            delay_mean_s=2e-3,
+            seed=13,
+        )
+        if fault_rate > 0
+        else None
+    )
+    client = RemotePSClient(
+        server_config,
+        cache_config,
+        faults=faults,
+        retry=RetryConfig(
+            max_attempts=12, attempt_timeout_s=0.02, call_timeout_s=2.0, seed=1
+        ),
+    )
+    rng = np.random.default_rng(0)
+    for batch in range(FAULT_BATCHES):
+        keys = sorted(rng.choice(200, size=10, replace=False).tolist())
+        grads = rng.normal(0, 0.1, (10, FAULT_DIM)).astype(np.float32)
+        client.pull(keys, batch)
+        client.maintain(batch)
+        client.push(keys, grads, batch)
+    return client
+
+
+def test_ablation_network_faults(benchmark, report):
+    def run():
+        rows = {}
+        baseline_state = None
+        for rate in FAULT_LEVELS:
+            client = _remote_training_run(rate)
+            state = client.state_snapshot()
+            if baseline_state is None:
+                baseline_state = state
+            identical = set(state) == set(baseline_state) and all(
+                np.array_equal(state[key], baseline_state[key])
+                for key in baseline_state
+            )
+            reliability = client.reliability()
+            rows[rate] = {
+                "retries": reliability.retries,
+                "timeouts": reliability.timeouts,
+                "dup_suppressed": reliability.dup_suppressed,
+                "faults": reliability.faults_injected,
+                "wire_bytes": client.wire_bytes(),
+                "sim_seconds": client.clock.now,
+                "identical": identical,
+            }
+        return rows
+
+    data = run_once(benchmark, run)
+    report.title(
+        "ablation_network_faults",
+        f"Extension: RPC fault tolerance, {FAULT_BATCHES} remote batches "
+        "(drop/dup/corrupt/delay schedule, seeded)",
+    )
+    clean = data[0.0]
+    for rate, row in data.items():
+        overhead = row["wire_bytes"] / clean["wire_bytes"] - 1
+        report.row(
+            f"fault rate {rate:.0%}",
+            "bit-identical",
+            f"retries {row['retries']:3d}, dedup {row['dup_suppressed']:2d}, "
+            f"wire +{overhead:.1%}, {row['sim_seconds'] * 1e3:.1f} ms",
+        )
+    report.line()
+    report.row(
+        "weights vs clean wire",
+        "identical at every fault level",
+        str(all(row["identical"] for row in data.values())),
+    )
+
+    # Retries are semantics-free at every fault level, and a lossy wire
+    # must actually cost retries + bytes + time.
+    assert all(row["identical"] for row in data.values())
+    assert all(row["timeouts"] == 0 for row in data.values())
+    worst = data[max(FAULT_LEVELS)]
+    assert worst["retries"] > 0
+    assert worst["wire_bytes"] > clean["wire_bytes"]
+    assert worst["sim_seconds"] > clean["sim_seconds"]

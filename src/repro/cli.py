@@ -1,11 +1,12 @@
 """Command-line interface.
 
-Five subcommands::
+Six subcommands::
 
     repro simulate  --system pmem_oe --workers 16 ...   # one simulated epoch
     repro train     --batches 200 --crash-at 120 ...    # functional DeepFM demo
     repro plan      --model-gb 500 --mttf-hours 12      # sizing & intervals
     repro workload  --keys 500000 ...                   # Table II skew check
+    repro faults    --drop 0.05 --duplicate 0.03 ...    # lossy-wire RPC demo
     repro reproduce fig7 table2 ...                     # run paper experiments
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
@@ -184,6 +185,78 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_faults(args: argparse.Namespace) -> int:
+    """Train over a lossy wire and prove retries are semantics-free."""
+    from repro.config import NetworkFaultConfig, RetryConfig
+    from repro.network.frontend import RemotePSClient
+
+    server_config = ServerConfig(
+        num_nodes=args.nodes,
+        embedding_dim=args.dim,
+        pmem_capacity_bytes=1 << 26,
+        seed=args.seed,
+    )
+    cache_config = CacheConfig(capacity_bytes=args.cache_kb << 10)
+    faults = NetworkFaultConfig(
+        drop_rate=args.drop,
+        duplicate_rate=args.duplicate,
+        corrupt_rate=args.corrupt,
+        delay_rate=args.delay,
+        delay_mean_s=args.delay_mean_ms * 1e-3,
+        seed=args.seed,
+    )
+    retry = RetryConfig(
+        max_attempts=args.max_attempts,
+        attempt_timeout_s=args.attempt_timeout_ms * 1e-3,
+        call_timeout_s=args.call_timeout_s,
+        seed=args.seed,
+    )
+
+    def run(fault_config):
+        client = RemotePSClient(
+            server_config, cache_config,
+            faults=fault_config, retry=retry,
+        )
+        rng = np.random.default_rng(args.seed)
+        for batch in range(args.batches):
+            keys = sorted(
+                rng.choice(args.keys, size=args.batch_keys, replace=False).tolist()
+            )
+            grads = rng.normal(0, 0.1, (args.batch_keys, args.dim)).astype(
+                np.float32
+            )
+            client.pull(keys, batch)
+            client.maintain(batch)
+            client.push(keys, grads, batch)
+        return client
+
+    clean = run(None)
+    faulty = run(faults)
+    clean_state, faulty_state = clean.state_snapshot(), faulty.state_snapshot()
+    identical = set(clean_state) == set(faulty_state) and all(
+        np.array_equal(clean_state[key], faulty_state[key]) for key in clean_state
+    )
+    reliability = faulty.reliability()
+    injected = faulty.fault_stats()
+    print(f"batches           : {args.batches} ({args.batch_keys} keys each)")
+    print(f"fault schedule    : drop {args.drop:.1%}, dup {args.duplicate:.1%}, "
+          f"corrupt {args.corrupt:.1%}, delay {args.delay:.1%} "
+          f"(seed {args.seed})")
+    print(f"injected faults   : {injected.total} {injected.summary()}")
+    print(f"retries           : {reliability.retries}")
+    print(f"timeouts          : {reliability.timeouts}")
+    print(f"wire errors       : {reliability.wire_errors}")
+    print(f"dup-suppressed    : {reliability.dup_suppressed}")
+    print(f"backoff time      : {reliability.backoff_seconds * 1e3:.2f} ms")
+    print(f"wire bytes        : clean {clean.wire_bytes()}, "
+          f"faulty {faulty.wire_bytes()} "
+          f"(+{faulty.wire_bytes() - clean.wire_bytes()})")
+    print(f"simulated time    : clean {clean.clock.now * 1e3:.2f} ms, "
+          f"faulty {faulty.clock.now * 1e3:.2f} ms")
+    print(f"weights identical : {identical}")
+    return 0 if identical else 1
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     """Run the named experiments' benchmarks via pytest."""
     import pathlib
@@ -278,6 +351,31 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument("--batch-size", type=int, default=256)
     workload.add_argument("--seed", type=int, default=1)
     workload.set_defaults(handler=_cmd_workload)
+
+    faults = sub.add_parser(
+        "faults", help="RPC fault-injection demo: lossy wire, identical weights"
+    )
+    faults.add_argument("--batches", type=int, default=20)
+    faults.add_argument("--keys", type=int, default=500,
+                        help="distinct embedding ids in the demo workload")
+    faults.add_argument("--batch-keys", type=int, default=8)
+    faults.add_argument("--dim", type=int, default=8)
+    faults.add_argument("--nodes", type=int, default=2)
+    faults.add_argument("--cache-kb", type=int, default=64)
+    faults.add_argument("--drop", type=float, default=0.05,
+                        help="message drop probability")
+    faults.add_argument("--duplicate", type=float, default=0.03,
+                        help="message duplication probability")
+    faults.add_argument("--corrupt", type=float, default=0.02,
+                        help="byte-flip probability (CRC-detected)")
+    faults.add_argument("--delay", type=float, default=0.05,
+                        help="extra-delay probability")
+    faults.add_argument("--delay-mean-ms", type=float, default=5.0)
+    faults.add_argument("--max-attempts", type=int, default=10)
+    faults.add_argument("--attempt-timeout-ms", type=float, default=50.0)
+    faults.add_argument("--call-timeout-s", type=float, default=5.0)
+    faults.add_argument("--seed", type=int, default=7)
+    faults.set_defaults(handler=_cmd_faults)
 
     reproduce = sub.add_parser(
         "reproduce", help="re-run paper experiments (tables/figures/ablations)"

@@ -171,6 +171,116 @@ class NetworkConfig:
 
 
 @dataclass(frozen=True)
+class RetryConfig:
+    """Client-side RPC retry policy (exponential backoff with jitter).
+
+    Every :class:`~repro.network.rpc.RpcChannel` call gets a total
+    simulated-time budget (``call_timeout_s``); each attempt waits at
+    most ``attempt_timeout_s`` for a response before declaring the
+    message lost and backing off. All waiting — wire time, loss
+    timeouts and backoff — is charged to the shared
+    :class:`~repro.simulation.clock.SimClock`, so retries are visible
+    in every simulated-time measurement.
+
+    Attributes:
+        max_attempts: total tries per call (first attempt included).
+        attempt_timeout_s: patience per attempt before a retry.
+        call_timeout_s: total per-call budget; exhausting it raises
+            :class:`~repro.errors.RpcTimeoutError`.
+        base_backoff_s: backoff before the second attempt.
+        backoff_multiplier: exponential growth factor per retry.
+        max_backoff_s: backoff ceiling.
+        jitter: symmetric +/- fraction randomizing each backoff
+            (0 disables jitter; draws come from a seeded per-channel
+            RNG so retry traces are deterministic).
+        seed: base RNG seed for jitter; channel ``i`` derives
+            ``(seed, i)``.
+    """
+
+    max_attempts: int = 6
+    attempt_timeout_s: float = 0.05
+    call_timeout_s: float = 2.0
+    base_backoff_s: float = 1e-3
+    backoff_multiplier: float = 2.0
+    max_backoff_s: float = 0.1
+    jitter: float = 0.2
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigError("max_attempts must be >= 1")
+        if self.attempt_timeout_s <= 0:
+            raise ConfigError("attempt_timeout_s must be positive")
+        if self.call_timeout_s < self.attempt_timeout_s:
+            raise ConfigError("call_timeout_s must be >= attempt_timeout_s")
+        if self.base_backoff_s < 0 or self.max_backoff_s < self.base_backoff_s:
+            raise ConfigError("need 0 <= base_backoff_s <= max_backoff_s")
+        if self.backoff_multiplier < 1.0:
+            raise ConfigError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ConfigError("jitter must be in [0, 1]")
+
+    def backoff_for_attempt(self, attempt: int) -> float:
+        """Deterministic (un-jittered) backoff after ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ConfigError(f"attempt must be >= 1, got {attempt}")
+        raw = self.base_backoff_s * self.backoff_multiplier ** (attempt - 1)
+        return min(self.max_backoff_s, raw)
+
+
+@dataclass(frozen=True)
+class NetworkFaultConfig:
+    """Seeded fault injection on the simulated link.
+
+    Extends the crash-only failure model of :mod:`repro.failure` to the
+    network: a :class:`~repro.failure.network_faults.FaultyLink` wraps
+    the :class:`~repro.simulation.network.NetworkModel` and flips a
+    seeded coin per message per fault class. All rates are independent
+    probabilities in ``[0, 1]``.
+
+    Attributes:
+        drop_rate: message silently lost (receiver sees nothing).
+        duplicate_rate: message delivered twice.
+        corrupt_rate: one byte of the frame is flipped in flight; the
+            frame checksum makes this always detectable, so corruption
+            degrades to a retryable error, never silent damage.
+        delay_rate: probability of an extra in-flight delay.
+        delay_mean_s: mean of the exponential extra delay.
+        seed: RNG seed; the whole fault schedule is a deterministic
+            function of it.
+        on_request: inject on the worker -> PS direction.
+        on_response: inject on the PS -> worker direction.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_mean_s: float = 1e-3
+    seed: int = 0
+    on_request: bool = True
+    on_response: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "corrupt_rate", "delay_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {rate}")
+        if self.delay_mean_s < 0:
+            raise ConfigError("delay_mean_s must be non-negative")
+
+    @property
+    def any_faults(self) -> bool:
+        """True when at least one fault class can fire."""
+        return (
+            self.drop_rate > 0
+            or self.duplicate_rate > 0
+            or self.corrupt_rate > 0
+            or self.delay_rate > 0
+        )
+
+
+@dataclass(frozen=True)
 class ClusterConfig:
     """Training cluster shape (Section VI-A hardware setup).
 

@@ -68,6 +68,31 @@ class CrashError(ReproError):
         self.batch_id = batch_id
 
 
+class RpcError(ReproError):
+    """Base class for RPC transport errors on the simulated wire."""
+
+
+class RpcTimeoutError(RpcError):
+    """A call's retry budget was exhausted without a successful reply.
+
+    Attributes:
+        attempts: how many attempts were made before giving up.
+        spent_seconds: simulated time charged to the call (wire time,
+            loss timeouts and backoff) before it was abandoned.
+    """
+
+    def __init__(
+        self,
+        message: str = "rpc call timed out",
+        *,
+        attempts: int = 0,
+        spent_seconds: float = 0.0,
+    ):
+        super().__init__(message)
+        self.attempts = attempts
+        self.spent_seconds = spent_seconds
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 

@@ -2,6 +2,9 @@
 
 * :mod:`repro.failure.injection` — deterministic and random crash
   schedules for end-to-end recovery testing.
+* :mod:`repro.failure.network_faults` — seeded message drop /
+  duplicate / corrupt / delay injection on the simulated link (the
+  network as a failure domain, not just processes).
 * :mod:`repro.failure.mttf` — Young's formula (the paper's Section
   VI-A basis for the 20-minute default interval) and expected lost-work
   accounting.
@@ -9,10 +12,13 @@
 
 from repro.failure.injection import CrashSchedule, FailureInjector
 from repro.failure.mttf import expected_lost_work_seconds, young_interval_seconds
+from repro.failure.network_faults import FaultyLink, LinkFaultStats
 
 __all__ = [
     "FailureInjector",
     "CrashSchedule",
+    "FaultyLink",
+    "LinkFaultStats",
     "young_interval_seconds",
     "expected_lost_work_seconds",
 ]

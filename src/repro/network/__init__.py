@@ -6,14 +6,21 @@ low-overhead RPC on RDMA. This package reproduces that boundary with
 real wire messages:
 
 * :mod:`repro.network.messages` — binary encode/decode of every
-  request/response (numpy payloads, fixed little-endian headers);
+  request/response (numpy payloads, fixed little-endian headers, CRC32
+  frame checksums);
 * :mod:`repro.network.rpc` — a channel that moves encoded bytes over
-  the simulated link, charging transfer time, plus a server-side
-  dispatcher;
+  the simulated link, charging transfer time, with retry + exponential
+  backoff + per-call timeout budgets and wire-error discipline
+  (server-side exceptions arrive as error-coded status frames and are
+  re-raised as typed errors), plus a server-side dispatcher;
 * :mod:`repro.network.frontend` — ``RemotePSClient``, a drop-in for
   :class:`~repro.core.server.OpenEmbeddingServer` whose every operation
   round-trips through encoded messages, so byte counts and wire timing
-  are real.
+  are real; pushes carry ``(worker_id, seq)`` dedup headers so retries
+  never double-apply gradients.
+
+Fault injection on this boundary lives in
+:mod:`repro.failure.network_faults`.
 """
 
 from repro.network.frontend import PSNodeService, RemotePSClient
@@ -26,7 +33,13 @@ from repro.network.messages import (
     StatusResponse,
     decode_message,
 )
-from repro.network.rpc import RpcChannel, RpcServer
+from repro.network.rpc import (
+    Delivery,
+    PerfectLink,
+    RpcChannel,
+    RpcServer,
+    RpcStats,
+)
 
 __all__ = [
     "PullRequest",
@@ -36,8 +49,11 @@ __all__ = [
     "StatusResponse",
     "MessageError",
     "decode_message",
+    "Delivery",
+    "PerfectLink",
     "RpcChannel",
     "RpcServer",
+    "RpcStats",
     "RemotePSClient",
     "PSNodeService",
 ]

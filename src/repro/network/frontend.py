@@ -11,18 +11,31 @@ TensorFlow-operator <-> PS RPC.
 :class:`~repro.core.server.OpenEmbeddingServer`, so the functional
 trainer runs over it unchanged; tests assert the trained weights are
 identical to the in-process path.
+
+Fault tolerance: pass a :class:`~repro.config.NetworkFaultConfig` and
+the client's channels ride a
+:class:`~repro.failure.network_faults.FaultyLink` — dropped, delayed,
+duplicated and corrupted frames are retried transparently. Pushes are
+non-idempotent, so each carries a ``(worker_id, seq)`` header and the
+service keeps a dedup window: a retried push whose first copy actually
+applied is absorbed, never double-applied. Retries and dedup are
+therefore *semantics-free* — trained weights are bit-identical to a
+clean wire.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
-from repro.config import CacheConfig, ServerConfig
+from repro.config import CacheConfig, NetworkFaultConfig, RetryConfig, ServerConfig
 from repro.core.cache import PullResult
 from repro.core.ps_node import PSNode
 from repro.core.optimizers import PSOptimizer
 from repro.core.sharding import HashPartitioner
 from repro.errors import ServerError
+from repro.failure.network_faults import FaultyLink, LinkFaultStats
 from repro.network.messages import (
     CheckpointRequest,
     PullRequest,
@@ -32,14 +45,34 @@ from repro.network.messages import (
 )
 from repro.network.rpc import RpcChannel, RpcServer
 from repro.simulation.clock import SimClock
+from repro.simulation.metrics import RpcReliabilityStats
 from repro.simulation.network import NetworkModel
+
+DEFAULT_DEDUP_WINDOW = 1024
+"""Replayed pushes older than this many pushes are no longer absorbed."""
 
 
 class PSNodeService:
-    """One PS node's RPC surface."""
+    """One PS node's RPC surface.
 
-    def __init__(self, node: PSNode):
+    Args:
+        node: the wrapped shard.
+        dedup_window: how many recent ``(worker_id, seq)`` push
+            identities to remember (and whose cached replies to
+            replay). A retried push inside the window is suppressed —
+            at-most-once gradient application; its original reply is
+            returned verbatim.
+    """
+
+    def __init__(self, node: PSNode, dedup_window: int = DEFAULT_DEDUP_WINDOW):
+        if dedup_window < 1:
+            raise ServerError(f"dedup_window must be >= 1, got {dedup_window}")
         self.node = node
+        self.dedup_window = dedup_window
+        self.dup_suppressed = 0
+        self._push_replies: OrderedDict[tuple[int, int], StatusResponse] = (
+            OrderedDict()
+        )
         self.server = RpcServer()
         self.server.register(PullRequest.TYPE, self._handle_pull)
         self.server.register(PushRequest.TYPE, self._handle_push)
@@ -51,13 +84,31 @@ class PSNodeService:
         )
         if result.weights is None:
             raise ServerError("remote pull requires a value-mode node")
-        return PullResponse(batch_id=request.batch_id, weights=result.weights)
+        return PullResponse(
+            batch_id=request.batch_id,
+            weights=result.weights,
+            hits=result.hits,
+            misses=result.misses,
+            created=result.created,
+        )
 
     def _handle_push(self, request: PushRequest) -> StatusResponse:
+        dedup_key = request.dedup_key
+        if dedup_key is not None:
+            cached = self._push_replies.get(dedup_key)
+            if cached is not None:
+                self.dup_suppressed += 1
+                self.node.metrics.rpc.dup_suppressed += 1
+                return cached
         updated = self.node.push(
             [int(k) for k in request.keys], request.grads, int(request.batch_id)
         )
-        return StatusResponse(code=StatusResponse.OK, value=updated)
+        response = StatusResponse(code=StatusResponse.OK, value=updated)
+        if dedup_key is not None:
+            self._push_replies[dedup_key] = response
+            while len(self._push_replies) > self.dedup_window:
+                self._push_replies.popitem(last=False)
+        return response
 
     def _handle_checkpoint(self, request: CheckpointRequest) -> StatusResponse:
         self.node.request_checkpoint(int(request.batch_id))
@@ -72,6 +123,14 @@ class RemotePSClient:
     complete_pending_checkpoints / state_snapshot). ``maintain`` runs
     node-side directly: in the real system the maintainer threads live
     in the PS process and are not an RPC.
+
+    Args:
+        retry: channel retry/timeout policy (defaults applied when
+            None).
+        faults: when given, all channels share one seeded
+            :class:`FaultyLink` over ``network``.
+        worker_id: this client's identity in push dedup headers.
+        dedup_window: per-node service replay window.
     """
 
     def __init__(
@@ -81,31 +140,57 @@ class RemotePSClient:
         optimizer: PSOptimizer | None = None,
         network: NetworkModel | None = None,
         clock: SimClock | None = None,
+        retry: RetryConfig | None = None,
+        faults: NetworkFaultConfig | None = None,
+        worker_id: int = 0,
+        dedup_window: int = DEFAULT_DEDUP_WINDOW,
     ):
         self.server_config = server_config or ServerConfig()
         self.partitioner = HashPartitioner(self.server_config.num_nodes)
         self.clock = clock or SimClock()
+        self.worker_id = worker_id
         network = network or NetworkModel()
+        self.link = (
+            FaultyLink(network, faults)
+            if faults is not None and faults.any_faults
+            else network
+        )
         self.nodes = [
             PSNode(node_id, self.server_config, cache_config, optimizer)
             for node_id in range(self.server_config.num_nodes)
         ]
-        self.services = [PSNodeService(node) for node in self.nodes]
-        self.channels = [
-            RpcChannel(service.server, network, self.clock)
-            for service in self.services
+        self.services = [
+            PSNodeService(node, dedup_window=dedup_window) for node in self.nodes
         ]
+        self.channels = [
+            RpcChannel(
+                service.server,
+                self.link,
+                self.clock,
+                retry=retry,
+                channel_id=node_id,
+            )
+            for node_id, service in enumerate(self.services)
+        ]
+        self._push_seq = 0
 
     # ------------------------------------------------------------------
     # PS protocol over the wire
     # ------------------------------------------------------------------
 
     def pull(self, keys, batch_id: int) -> PullResult:
-        """Pull via per-node RPC; responses gathered in request order."""
+        """Pull via per-node RPC; responses gathered in request order.
+
+        Per-shard cache statistics travel back in each
+        :class:`PullResponse` and are aggregated here, so the remote
+        path reports the same hit/miss/created accounting as the
+        in-process server.
+        """
         per_node_keys, per_node_positions = self.partitioner.split(keys)
         dim = self.server_config.embedding_dim
         out = np.empty((len(keys), dim), dtype=np.float32)
         flows = sum(1 for node_keys in per_node_keys if node_keys)
+        hits = misses = created = 0
         for channel, node_keys, positions in zip(
             self.channels, per_node_keys, per_node_positions
         ):
@@ -116,7 +201,10 @@ class RemotePSClient:
                 concurrent_flows=max(1, flows),
             )
             out[positions] = response.weights
-        return PullResult(weights=out, hits=0, misses=0, created=0)
+            hits += response.hits
+            misses += response.misses
+            created += response.created
+        return PullResult(weights=out, hits=hits, misses=misses, created=created)
 
     def maintain(self, batch_id: int) -> None:
         """Node-side maintenance round (not an RPC in the real system)."""
@@ -134,11 +222,14 @@ class RemotePSClient:
         ):
             if not node_keys:
                 continue
+            self._push_seq += 1
             response = channel.call(
                 PushRequest(
                     batch_id=batch_id,
                     keys=np.asarray(node_keys),
                     grads=grads[positions],
+                    worker_id=self.worker_id,
+                    seq=self._push_seq,
                 ),
                 concurrent_flows=max(1, flows),
             )
@@ -152,6 +243,14 @@ class RemotePSClient:
     # ------------------------------------------------------------------
 
     def request_checkpoint(self, batch_id: int | None = None) -> int:
+        """Checkpoint every shard as of ``batch_id``.
+
+        On an untrained cluster the derived batch id is ``-1``; the
+        server rejects it with a typed
+        :class:`~repro.errors.CheckpointError` through the error-coded
+        response path (regression: this used to escape the dispatcher
+        as a raw in-process exception).
+        """
         if batch_id is None:
             batch_id = max(node.latest_completed_batch for node in self.nodes)
         for channel in self.channels:
@@ -179,5 +278,34 @@ class RemotePSClient:
         return snapshot
 
     def wire_bytes(self) -> int:
-        """Total request+response bytes moved over all channels."""
+        """Total request+response bytes moved over all channels.
+
+        Counts both successful and failed exchanges — a request whose
+        reply was lost still crossed the wire.
+        """
         return sum(channel.stats.total_bytes for channel in self.channels)
+
+    def reliability(self) -> RpcReliabilityStats:
+        """Aggregate retry/timeout/dedup counters across the client.
+
+        Channel-side: retries, timeouts, wire errors and backoff time.
+        Server-side: dedup-window suppressions. Link-side: total
+        injected faults (zero on a perfect wire).
+        """
+        total = RpcReliabilityStats()
+        for channel in self.channels:
+            total.retries += channel.stats.retries
+            total.timeouts += channel.stats.timeouts
+            total.wire_errors += channel.stats.wire_errors
+            total.backoff_seconds += channel.stats.backoff_seconds
+        total.dup_suppressed = sum(
+            service.dup_suppressed for service in self.services
+        )
+        total.faults_injected = self.fault_stats().total
+        return total
+
+    def fault_stats(self) -> LinkFaultStats:
+        """Injected-fault counters (all zero when no faults configured)."""
+        if isinstance(self.link, FaultyLink):
+            return self.link.stats
+        return LinkFaultStats()

@@ -1,9 +1,12 @@
 """Binary wire messages for the PS protocol.
 
-Every message is ``[1-byte type][4-byte LE body length][body]``; bodies
-pack fixed little-endian headers followed by raw numpy buffers, so the
-byte counts the simulator charges are the byte counts a real
-implementation would move.
+Every message is ``[1-byte type][4-byte LE body length][4-byte CRC32 of
+body][body]``; bodies pack fixed little-endian headers followed by raw
+numpy buffers, so the byte counts the simulator charges are the byte
+counts a real implementation would move. The checksum makes in-flight
+corruption (see :class:`~repro.failure.network_faults.FaultyLink`)
+always detectable: a corrupt frame decodes to :class:`MessageError`,
+never to silently wrong weights.
 
 Message catalogue:
 
@@ -12,24 +15,38 @@ Message                 Type  Body
 ======================  ====  =======================================
 PullRequest             0x01  batch_id u64, nkeys u32, keys u64[n]
 PullResponse            0x02  batch_id u64, nkeys u32, dim u32,
+                              hits u32, misses u32, created u32,
                               weights f32[n*dim]
-PushRequest             0x03  batch_id u64, nkeys u32, dim u32,
+PushRequest             0x03  batch_id u64, worker_id u32, seq u64,
+                              nkeys u32, dim u32,
                               keys u64[n], grads f32[n*dim]
-CheckpointRequest       0x04  batch_id u64
-StatusResponse          0x05  code u8, value i64
+CheckpointRequest       0x04  batch_id i64
+StatusResponse          0x05  code u8, value i64, detail_len u16,
+                              detail utf-8[detail_len]
 ======================  ====  =======================================
+
+``PushRequest``'s ``(worker_id, seq)`` header gives the server a dedup
+identity: a retried push (the client never learned whether its first
+copy applied) carries the same header, and
+:class:`~repro.network.frontend.PSNodeService` suppresses the replay —
+at-most-once gradient application under at-least-once delivery.
+``seq == 0`` means "no dedup identity" (raw protocol users).
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.errors import ReproError
 
-_HEADER = struct.Struct("<BI")
+_HEADER = struct.Struct("<BII")
+
+_MAX_DETAIL_BYTES = 512
+"""Status detail strings are truncated to keep error frames bounded."""
 
 
 class MessageError(ReproError):
@@ -65,41 +82,68 @@ class PullRequest:
 
 @dataclass(frozen=True)
 class PullResponse:
-    """PS -> worker: the requested weight rows."""
+    """PS -> worker: the requested weight rows plus cache statistics.
+
+    The per-request ``hits`` / ``misses`` / ``created`` counters let the
+    client aggregate real cache behaviour across shards instead of
+    losing it at the wire boundary.
+    """
 
     TYPE = 0x02
 
     batch_id: int
     weights: np.ndarray  # f32[n, dim]
+    hits: int = 0
+    misses: int = 0
+    created: int = 0
 
     def encode_body(self) -> bytes:
         weights = np.ascontiguousarray(self.weights, dtype="<f4")
         if weights.ndim != 2:
             raise MessageError(f"weights must be 2-D, got shape {weights.shape}")
         n, dim = weights.shape
-        return struct.pack("<QII", self.batch_id, n, dim) + weights.tobytes()
+        return (
+            struct.pack(
+                "<QIIIII", self.batch_id, n, dim,
+                self.hits, self.misses, self.created,
+            )
+            + weights.tobytes()
+        )
 
     @classmethod
     def decode_body(cls, body: bytes) -> "PullResponse":
-        if len(body) < 16:
+        if len(body) < 28:
             raise MessageError("truncated PullResponse")
-        batch_id, n, dim = struct.unpack_from("<QII", body)
-        expected = 16 + 4 * n * dim
+        batch_id, n, dim, hits, misses, created = struct.unpack_from("<QIIIII", body)
+        expected = 28 + 4 * n * dim
         if len(body) != expected:
             raise MessageError(f"PullResponse length {len(body)}, want {expected}")
-        weights = np.frombuffer(body, dtype="<f4", count=n * dim, offset=16)
-        return cls(batch_id=batch_id, weights=weights.reshape(n, dim).copy())
+        weights = np.frombuffer(body, dtype="<f4", count=n * dim, offset=28)
+        return cls(
+            batch_id=batch_id,
+            weights=weights.reshape(n, dim).copy(),
+            hits=hits,
+            misses=misses,
+            created=created,
+        )
 
 
 @dataclass(frozen=True)
 class PushRequest:
-    """Worker -> PS: gradients for ``keys`` at batch ``batch_id``."""
+    """Worker -> PS: gradients for ``keys`` at batch ``batch_id``.
+
+    ``(worker_id, seq)`` is the at-most-once dedup identity: retried
+    copies of one logical push carry the same header. ``seq == 0``
+    opts out of dedup (callers that never retry).
+    """
 
     TYPE = 0x03
 
     batch_id: int
     keys: np.ndarray  # u64[n]
     grads: np.ndarray  # f32[n, dim]
+    worker_id: int = 0
+    seq: int = 0
 
     def encode_body(self) -> bytes:
         keys = np.ascontiguousarray(self.keys, dtype="<u8")
@@ -110,69 +154,116 @@ class PushRequest:
             )
         n, dim = grads.shape
         return (
-            struct.pack("<QII", self.batch_id, n, dim)
+            struct.pack(
+                "<QIQII", self.batch_id, self.worker_id, self.seq, n, dim
+            )
             + keys.tobytes()
             + grads.tobytes()
         )
 
     @classmethod
     def decode_body(cls, body: bytes) -> "PushRequest":
-        if len(body) < 16:
+        if len(body) < 28:
             raise MessageError("truncated PushRequest")
-        batch_id, n, dim = struct.unpack_from("<QII", body)
-        expected = 16 + 8 * n + 4 * n * dim
+        batch_id, worker_id, seq, n, dim = struct.unpack_from("<QIQII", body)
+        expected = 28 + 8 * n + 4 * n * dim
         if len(body) != expected:
             raise MessageError(f"PushRequest length {len(body)}, want {expected}")
-        keys = np.frombuffer(body, dtype="<u8", count=n, offset=16)
-        grads = np.frombuffer(body, dtype="<f4", count=n * dim, offset=16 + 8 * n)
+        keys = np.frombuffer(body, dtype="<u8", count=n, offset=28)
+        grads = np.frombuffer(body, dtype="<f4", count=n * dim, offset=28 + 8 * n)
         return cls(
-            batch_id=batch_id, keys=keys.copy(), grads=grads.reshape(n, dim).copy()
+            batch_id=batch_id,
+            keys=keys.copy(),
+            grads=grads.reshape(n, dim).copy(),
+            worker_id=worker_id,
+            seq=seq,
         )
+
+    @property
+    def dedup_key(self) -> tuple[int, int] | None:
+        """The at-most-once identity, or None when dedup is opted out."""
+        if self.seq == 0:
+            return None
+        return (self.worker_id, self.seq)
 
 
 @dataclass(frozen=True)
 class CheckpointRequest:
-    """Trainer -> PS: snapshot the state as of ``batch_id``."""
+    """Trainer -> PS: snapshot the state as of ``batch_id``.
+
+    ``batch_id`` is signed on the wire so an untrained cluster's ``-1``
+    travels to the server and comes back as a typed
+    :class:`~repro.errors.CheckpointError` through the error-coded
+    response path instead of failing opaquely client-side.
+    """
 
     TYPE = 0x04
 
     batch_id: int
 
     def encode_body(self) -> bytes:
-        return struct.pack("<Q", self.batch_id)
+        return struct.pack("<q", self.batch_id)
 
     @classmethod
     def decode_body(cls, body: bytes) -> "CheckpointRequest":
         if len(body) != 8:
             raise MessageError(f"CheckpointRequest length {len(body)}, want 8")
-        return cls(batch_id=struct.unpack("<Q", body)[0])
+        return cls(batch_id=struct.unpack("<q", body)[0])
 
 
 @dataclass(frozen=True)
 class StatusResponse:
-    """PS -> caller: an ack carrying a status code and one integer."""
+    """PS -> caller: an ack carrying a status code, integer and detail.
+
+    Non-``OK`` codes are the wire-error discipline: server-side
+    exceptions never cross the link as raw Python exceptions — they
+    arrive as one of these codes plus a human-readable ``detail``, and
+    :class:`~repro.network.rpc.RpcChannel` re-raises the matching typed
+    error client-side. ``ERR_MESSAGE`` (the frame was damaged in
+    flight) is the one *retryable* code: the client still holds the
+    pristine frame, so resending can succeed.
+    """
 
     TYPE = 0x05
 
     OK = 0
+    ERR_INTERNAL = 1
+    #: Backwards-compatible alias for the generic error code.
     ERROR = 1
+    ERR_SERVER = 2
+    ERR_CHECKPOINT = 3
+    ERR_KEY_NOT_FOUND = 4
+    ERR_ROUTING = 5
+    ERR_MESSAGE = 6
+    ERR_UNHANDLED = 7
 
     code: int
     value: int = 0
+    detail: str = ""
 
     def encode_body(self) -> bytes:
-        return struct.pack("<Bq", self.code, self.value)
+        detail = self.detail.encode("utf-8")[:_MAX_DETAIL_BYTES]
+        return struct.pack("<BqH", self.code, self.value, len(detail)) + detail
 
     @classmethod
     def decode_body(cls, body: bytes) -> "StatusResponse":
-        if len(body) != 9:
-            raise MessageError(f"StatusResponse length {len(body)}, want 9")
-        code, value = struct.unpack("<Bq", body)
-        return cls(code=code, value=value)
+        if len(body) < 11:
+            raise MessageError(f"StatusResponse length {len(body)}, want >= 11")
+        code, value, detail_len = struct.unpack_from("<BqH", body)
+        expected = 11 + detail_len
+        if len(body) != expected:
+            raise MessageError(f"StatusResponse length {len(body)}, want {expected}")
+        detail = body[11:].decode("utf-8", errors="replace")
+        return cls(code=code, value=value, detail=detail)
 
     @property
     def ok(self) -> bool:
         return self.code == self.OK
+
+    @property
+    def retryable(self) -> bool:
+        """True when resending the same (pristine) frame can succeed."""
+        return self.code == self.ERR_MESSAGE
 
 
 _MESSAGE_TYPES = {
@@ -182,23 +273,28 @@ _MESSAGE_TYPES = {
 
 
 def encode_message(message) -> bytes:
-    """Frame a message: type byte, length, body."""
+    """Frame a message: type byte, length, body CRC32, body."""
     body = message.encode_body()
-    return _HEADER.pack(message.TYPE, len(body)) + body
+    return _HEADER.pack(message.TYPE, len(body), zlib.crc32(body)) + body
 
 
 def decode_message(data: bytes):
     """Decode one framed message.
 
     Raises:
-        MessageError: unknown type, truncation, or trailing bytes.
+        MessageError: unknown type, truncation, trailing bytes, or a
+            checksum mismatch (the frame was corrupted in flight).
     """
     if len(data) < _HEADER.size:
         raise MessageError(f"frame too short: {len(data)} bytes")
-    msg_type, length = _HEADER.unpack_from(data)
-    if msg_type not in _MESSAGE_TYPES:
-        raise MessageError(f"unknown message type 0x{msg_type:02x}")
+    msg_type, length, crc = _HEADER.unpack_from(data)
     body = data[_HEADER.size :]
     if len(body) != length:
         raise MessageError(f"frame body {len(body)} bytes, header says {length}")
+    if zlib.crc32(body) != crc:
+        raise MessageError(
+            f"frame checksum mismatch (type 0x{msg_type:02x}, {length} bytes)"
+        )
+    if msg_type not in _MESSAGE_TYPES:
+        raise MessageError(f"unknown message type 0x{msg_type:02x}")
     return _MESSAGE_TYPES[msg_type].decode_body(body)

@@ -1,30 +1,142 @@
 """RPC channel and server dispatcher over the simulated link.
 
-A :class:`RpcChannel` is one worker's connection to one PS node: it
-frames a request, charges the link for the request bytes, invokes the
-server's handler, charges the link for the response bytes, and advances
-the shared simulated clock. Traffic statistics accumulate per channel
-so benchmarks can report real wire bytes.
+A :class:`RpcChannel` is one worker's connection to one PS node. The
+link is a first-class failure domain: the channel frames a request,
+moves it over a (possibly faulty) link, waits up to a per-attempt
+timeout for the reply, and retries with exponential backoff + jitter
+under a per-call budget — all charged to the shared simulated clock.
+Budget exhaustion raises :class:`~repro.errors.RpcTimeoutError`.
+
+Wire-error discipline: :meth:`RpcServer.dispatch` never lets a handler
+exception cross the link as a raw Python exception. Failures become
+error-coded :class:`~repro.network.messages.StatusResponse` frames,
+and the channel re-raises them client-side as the matching typed error
+(:class:`CheckpointError`, :class:`KeyNotFoundError`, ...). Damaged
+frames (``ERR_MESSAGE``) are the one retryable wire error — the client
+still holds the pristine frame.
+
+Traffic statistics accumulate per channel on *both* success and
+failure paths, so benchmarks report the bytes a lossy deployment would
+actually move.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
-from repro.errors import ReproError
-from repro.network.messages import MessageError, decode_message, encode_message
+import numpy as np
+
+from repro.config import RetryConfig
+from repro.errors import (
+    CheckpointError,
+    KeyNotFoundError,
+    ReproError,
+    RpcTimeoutError,
+    ServerError,
+    ShardRoutingError,
+)
+from repro.network.messages import (
+    MessageError,
+    StatusResponse,
+    decode_message,
+    encode_message,
+)
 from repro.simulation.clock import SimClock
-from repro.simulation.network import NetworkModel
+from repro.simulation.network import Delivery, NetworkModel
+
+# ----------------------------------------------------------------------
+# wire-error discipline: exception <-> status-code mapping
+# ----------------------------------------------------------------------
+
+#: Ordered (class, code) pairs; the first isinstance match wins, so
+#: subclasses must precede their bases.
+_CODE_FOR_ERROR: tuple[tuple[type, int], ...] = (
+    (CheckpointError, StatusResponse.ERR_CHECKPOINT),
+    (KeyNotFoundError, StatusResponse.ERR_KEY_NOT_FOUND),
+    (ShardRoutingError, StatusResponse.ERR_ROUTING),
+    (MessageError, StatusResponse.ERR_MESSAGE),
+    (ServerError, StatusResponse.ERR_SERVER),
+    (ReproError, StatusResponse.ERR_INTERNAL),
+)
+
+_ERROR_FOR_CODE: dict[int, type] = {
+    StatusResponse.ERR_CHECKPOINT: CheckpointError,
+    StatusResponse.ERR_KEY_NOT_FOUND: KeyNotFoundError,
+    StatusResponse.ERR_ROUTING: ShardRoutingError,
+    StatusResponse.ERR_MESSAGE: MessageError,
+    StatusResponse.ERR_UNHANDLED: MessageError,
+    StatusResponse.ERR_SERVER: ServerError,
+    StatusResponse.ERR_INTERNAL: ServerError,
+}
+
+
+def status_for_exception(exc: ReproError) -> StatusResponse:
+    """Fold a handler exception into an error-coded response frame."""
+    for cls, code in _CODE_FOR_ERROR:
+        if isinstance(exc, cls):
+            return StatusResponse(code=code, detail=str(exc))
+    return StatusResponse(code=StatusResponse.ERR_INTERNAL, detail=str(exc))
+
+
+def error_for_status(response: StatusResponse) -> ReproError:
+    """The typed client-side error for a non-OK status response."""
+    error_cls = _ERROR_FOR_CODE.get(response.code, ServerError)
+    return error_cls(f"remote error (code {response.code}): {response.detail}")
+
+
+# ----------------------------------------------------------------------
+# link abstraction
+# ----------------------------------------------------------------------
+
+
+class PerfectLink:
+    """Adapter giving a plain :class:`NetworkModel` the link API.
+
+    Always delivers exactly one pristine copy; used whenever no fault
+    injection is configured, so the clean path stays byte- and
+    time-identical to a fault-free wire.
+    """
+
+    def __init__(self, network: NetworkModel):
+        self.network = network
+
+    def transfer(
+        self, frame: bytes, direction: str, concurrent_flows: int = 1
+    ) -> Delivery:
+        """Move ``frame`` one way; never drops, duplicates or delays."""
+        elapsed = self.network.transfer_time(len(frame), concurrent_flows)
+        return Delivery(copies=(frame,), elapsed=elapsed)
+
+
+def as_link(network) -> "PerfectLink":
+    """Coerce a :class:`NetworkModel` (or any link) to the link API."""
+    if hasattr(network, "transfer"):
+        return network
+    return PerfectLink(network)
+
+
+# ----------------------------------------------------------------------
+# channel + server
+# ----------------------------------------------------------------------
 
 
 @dataclass
 class RpcStats:
-    """Per-channel traffic counters."""
+    """Per-channel traffic and reliability counters.
+
+    Byte counters accumulate on success *and* failure paths: a request
+    whose reply is lost still moved its bytes over the wire.
+    """
 
     calls: int = 0
+    attempts: int = 0
     request_bytes: int = 0
     response_bytes: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    wire_errors: int = 0
+    backoff_seconds: float = 0.0
 
     @property
     def total_bytes(self) -> int:
@@ -35,10 +147,16 @@ class RpcServer:
     """Server-side dispatch: message type -> handler.
 
     Handlers receive the decoded request and return a response message.
+    Handler exceptions deriving from :class:`ReproError` are folded
+    into error-coded :class:`StatusResponse` frames (wire-error
+    discipline); anything else is a server bug and propagates.
     """
 
     def __init__(self) -> None:
         self._handlers: dict[int, Callable] = {}
+        self.dispatches = 0
+        self.handler_errors = 0
+        self.rejected_frames = 0
 
     def register(self, message_type: int, handler: Callable) -> None:
         if message_type in self._handlers:
@@ -46,25 +164,50 @@ class RpcServer:
         self._handlers[message_type] = handler
 
     def dispatch(self, frame: bytes) -> bytes:
-        """Decode one request frame, run its handler, encode the reply."""
-        request = decode_message(frame)
+        """Decode one request frame, run its handler, encode the reply.
+
+        Never raises for frame damage or handler-level
+        :class:`ReproError` failures — those become error-coded
+        responses the client re-raises as typed errors.
+        """
+        self.dispatches += 1
+        try:
+            request = decode_message(frame)
+        except MessageError as exc:
+            self.rejected_frames += 1
+            return encode_message(
+                StatusResponse(code=StatusResponse.ERR_MESSAGE, detail=str(exc))
+            )
         handler = self._handlers.get(type(request).TYPE)
         if handler is None:
-            raise MessageError(
-                f"no handler registered for {type(request).__name__}"
+            self.rejected_frames += 1
+            return encode_message(
+                StatusResponse(
+                    code=StatusResponse.ERR_UNHANDLED,
+                    detail=f"no handler registered for {type(request).__name__}",
+                )
             )
-        response = handler(request)
+        try:
+            response = handler(request)
+        except ReproError as exc:
+            self.handler_errors += 1
+            return encode_message(status_for_exception(exc))
         return encode_message(response)
 
 
 class RpcChannel:
-    """A worker's connection to one PS node.
+    """A worker's connection to one PS node, with retry semantics.
 
     Args:
         server: the node-side dispatcher.
-        network: the shared link model (bytes -> seconds).
-        clock: simulated clock advanced by each call's wire time; pass
-            None to skip timing (pure-functional use).
+        network: the shared link model — either a plain
+            :class:`NetworkModel` (perfect wire) or a
+            :class:`~repro.failure.network_faults.FaultyLink`.
+        clock: simulated clock advanced by wire time, loss timeouts and
+            backoff; pass None to skip timing (pure-functional use).
+        retry: retry/timeout policy; defaults to :class:`RetryConfig`.
+        channel_id: perturbs the jitter RNG so channels don't share a
+            backoff schedule.
     """
 
     def __init__(
@@ -72,21 +215,124 @@ class RpcChannel:
         server: RpcServer,
         network: NetworkModel | None = None,
         clock: SimClock | None = None,
+        retry: RetryConfig | None = None,
+        channel_id: int = 0,
     ):
         self.server = server
-        self.network = network or NetworkModel()
+        self.link = as_link(network if network is not None else NetworkModel())
         self.clock = clock
+        self.retry = retry or RetryConfig()
+        self.channel_id = channel_id
         self.stats = RpcStats()
+        self._jitter_rng = np.random.default_rng((self.retry.seed, channel_id))
+
+    @property
+    def network(self) -> NetworkModel:
+        """The underlying byte-timing model (through any fault wrapper)."""
+        return self.link.network
 
     def call(self, request, concurrent_flows: int = 1):
-        """Round-trip one request; returns the decoded response."""
+        """Round-trip one request; returns the decoded response.
+
+        Retries lost/damaged deliveries with exponential backoff under
+        the per-call budget. Raises the typed server error for non-OK
+        status responses and :class:`RpcTimeoutError` when the budget
+        is exhausted.
+        """
         frame = encode_message(request)
-        elapsed = self.network.transfer_time(len(frame), concurrent_flows)
-        reply = self.server.dispatch(frame)
-        elapsed += self.network.transfer_time(len(reply), concurrent_flows)
-        if self.clock is not None:
-            self.clock.advance(elapsed)
+        retry = self.retry
         self.stats.calls += 1
+        spent = 0.0
+        failure = "no attempt made"
+        attempt = 0
+        while attempt < retry.max_attempts:
+            patience = min(retry.attempt_timeout_s, retry.call_timeout_s - spent)
+            if patience <= 0:
+                break
+            attempt += 1
+            if attempt > 1:
+                self.stats.retries += 1
+            self.stats.attempts += 1
+            reply_frame, elapsed = self._attempt(frame, concurrent_flows, patience)
+            spent += elapsed
+            self._advance(elapsed)
+            if reply_frame is None:
+                failure = "message lost (no reply within attempt timeout)"
+            else:
+                try:
+                    response = decode_message(reply_frame)
+                except MessageError as exc:
+                    failure = f"reply damaged in flight: {exc}"
+                else:
+                    if isinstance(response, StatusResponse) and not response.ok:
+                        self.stats.wire_errors += 1
+                        if response.retryable:
+                            failure = (
+                                "request damaged in flight "
+                                f"(server says: {response.detail})"
+                            )
+                        else:
+                            raise error_for_status(response)
+                    else:
+                        return response
+            if attempt < retry.max_attempts and spent < retry.call_timeout_s:
+                backoff = min(
+                    self._jittered_backoff(attempt),
+                    retry.call_timeout_s - spent,
+                )
+                spent += backoff
+                self.stats.backoff_seconds += backoff
+                self._advance(backoff)
+        self.stats.timeouts += 1
+        raise RpcTimeoutError(
+            f"call abandoned after {attempt} attempt(s) / "
+            f"{spent:.6f}s of a {retry.call_timeout_s:.6f}s budget: {failure}",
+            attempts=attempt,
+            spent_seconds=spent,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _attempt(
+        self, frame: bytes, concurrent_flows: int, patience: float
+    ) -> tuple[bytes | None, float]:
+        """One request/response exchange.
+
+        Returns ``(reply_frame, elapsed)``; ``reply_frame`` is None for
+        a lost exchange, in which case ``elapsed`` is the full
+        ``patience`` the client waited before giving up. Every
+        delivered request copy is dispatched (that is what exercises
+        server-side dedup); the first copy's reply travels back.
+        """
+        request_delivery = self.link.transfer(frame, "request", concurrent_flows)
         self.stats.request_bytes += len(frame)
+        elapsed = request_delivery.elapsed
+        if not request_delivery.copies:
+            return None, patience
+        replies = [
+            self.server.dispatch(copy) for copy in request_delivery.copies
+        ]
+        reply = replies[0]
+        response_delivery = self.link.transfer(reply, "response", concurrent_flows)
         self.stats.response_bytes += len(reply)
-        return decode_message(reply)
+        elapsed += response_delivery.elapsed
+        if not response_delivery.copies:
+            return None, patience
+        if elapsed > patience:
+            # Delivered, but after the client stopped listening: the
+            # server-side effect stands; the client retries.
+            return None, patience
+        return response_delivery.copies[0], elapsed
+
+    def _jittered_backoff(self, attempt: int) -> float:
+        backoff = self.retry.backoff_for_attempt(attempt)
+        if self.retry.jitter > 0:
+            swing = self.retry.jitter * (2.0 * self._jitter_rng.random() - 1.0)
+            backoff *= 1.0 + swing
+        return max(0.0, backoff)
+
+    def _advance(self, seconds: float) -> None:
+        if self.clock is not None and seconds > 0:
+            self.clock.advance(seconds)

@@ -14,8 +14,8 @@ the core PS package in the dependency order.
 from repro.simulation.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.simulation.clock import PeriodicTimer, SimClock
 from repro.simulation.device import DRAM_SPEC, PMEM_SPEC, SSD_SPEC, DeviceSpec, MemoryDevice
-from repro.simulation.metrics import Counter, Metrics, RequestTrace
-from repro.simulation.network import NetworkModel
+from repro.simulation.metrics import Counter, Metrics, RequestTrace, RpcReliabilityStats
+from repro.simulation.network import Delivery, NetworkModel
 from repro.simulation.contention import serialized_section_time, shared_bandwidth_time
 
 __all__ = [
@@ -31,7 +31,9 @@ __all__ = [
     "Metrics",
     "Counter",
     "RequestTrace",
+    "RpcReliabilityStats",
     "NetworkModel",
+    "Delivery",
     "serialized_section_time",
     "shared_bandwidth_time",
 ]

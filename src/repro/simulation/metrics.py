@@ -55,6 +55,41 @@ class CacheStats:
         self.loads = 0
 
 
+@dataclass
+class RpcReliabilityStats:
+    """Retry/timeout/dedup observability for the RPC path.
+
+    Channels contribute ``retries`` / ``timeouts`` / ``wire_errors`` /
+    ``backoff_seconds``; the server side contributes
+    ``dup_suppressed`` (retried pushes whose replay was absorbed by
+    the dedup window) and fault-injection totals come from the link.
+    """
+
+    retries: int = 0
+    timeouts: int = 0
+    wire_errors: int = 0
+    dup_suppressed: int = 0
+    backoff_seconds: float = 0.0
+    faults_injected: int = 0
+
+    def merge(self, other: "RpcReliabilityStats") -> None:
+        """Accumulate another stats bundle into this one."""
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.wire_errors += other.wire_errors
+        self.dup_suppressed += other.dup_suppressed
+        self.backoff_seconds += other.backoff_seconds
+        self.faults_injected += other.faults_injected
+
+    def reset(self) -> None:
+        self.retries = 0
+        self.timeouts = 0
+        self.wire_errors = 0
+        self.dup_suppressed = 0
+        self.backoff_seconds = 0.0
+        self.faults_injected = 0
+
+
 class RequestTrace:
     """Timestamped request log bucketed per millisecond.
 
@@ -111,6 +146,7 @@ class Metrics:
     """A bundle of all statistics one PS node (or run) collects."""
 
     cache: CacheStats = field(default_factory=CacheStats)
+    rpc: RpcReliabilityStats = field(default_factory=RpcReliabilityStats)
     trace: RequestTrace = field(default_factory=lambda: RequestTrace(enabled=False))
     pulls: int = 0
     updates: int = 0
@@ -121,6 +157,7 @@ class Metrics:
 
     def reset(self) -> None:
         self.cache.reset()
+        self.rpc.reset()
         self.trace.clear()
         self.pulls = 0
         self.updates = 0

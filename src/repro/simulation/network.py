@@ -9,8 +9,26 @@ bandwidth.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from repro.config import NetworkConfig
 from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """Outcome of moving one frame across a link.
+
+    Attributes:
+        copies: frames that actually arrive, in order — empty when the
+            message was dropped, two entries when it was duplicated,
+            possibly corrupted bytes.
+        elapsed: simulated seconds the transfer occupied the wire
+            (including injected delays and duplicate transmissions).
+    """
+
+    copies: tuple[bytes, ...]
+    elapsed: float
 
 
 class NetworkModel:

@@ -84,6 +84,32 @@ class TestPlanAndWorkload:
         assert "exponential fit" in out
 
 
+class TestFaults:
+    def test_lossy_wire_run(self, capsys):
+        code = main([
+            "faults", "--batches", "10", "--keys", "100", "--dim", "4",
+            "--drop", "0.1", "--duplicate", "0.05", "--corrupt", "0.03",
+            "--delay", "0.05", "--seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "weights identical : True" in out
+        assert "retries" in out
+        assert "dup-suppressed" in out
+        assert "backoff time" in out
+
+    def test_clean_wire_run(self, capsys):
+        code = main([
+            "faults", "--batches", "5", "--keys", "50", "--dim", "4",
+            "--drop", "0", "--duplicate", "0", "--corrupt", "0",
+            "--delay", "0",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "injected faults   : 0" in out
+        assert "weights identical : True" in out
+
+
 class TestReproduce:
     def test_list_experiments(self, capsys):
         assert main(["reproduce", "--list"]) == 0

@@ -42,9 +42,39 @@ class TestMessageRoundtrips:
         assert np.array_equal(decoded.keys, keys)
         assert np.array_equal(decoded.grads, grads)
 
+    def test_push_request_dedup_header(self):
+        keys = np.array([9], dtype=np.uint64)
+        grads = np.ones((1, 4), dtype=np.float32)
+        decoded = decode_message(
+            encode_message(PushRequest(5, keys, grads, worker_id=3, seq=77))
+        )
+        assert decoded.worker_id == 3
+        assert decoded.seq == 77
+        assert decoded.dedup_key == (3, 77)
+        assert PushRequest(5, keys, grads).dedup_key is None  # seq=0 opts out
+
+    def test_pull_response_cache_stats(self):
+        weights = np.zeros((2, 4), dtype=np.float32)
+        decoded = decode_message(
+            encode_message(PullResponse(1, weights, hits=5, misses=2, created=1))
+        )
+        assert (decoded.hits, decoded.misses, decoded.created) == (5, 2, 1)
+
     def test_checkpoint_request(self):
         decoded = decode_message(encode_message(CheckpointRequest(42)))
         assert decoded.batch_id == 42
+
+    def test_checkpoint_request_signed(self):
+        """-1 (untrained cluster) must travel so the server can reject it."""
+        decoded = decode_message(encode_message(CheckpointRequest(-1)))
+        assert decoded.batch_id == -1
+
+    def test_status_response_detail(self):
+        msg = StatusResponse(StatusResponse.ERR_CHECKPOINT, detail="no batch")
+        decoded = decode_message(encode_message(msg))
+        assert decoded.code == StatusResponse.ERR_CHECKPOINT
+        assert decoded.detail == "no batch"
+        assert not decoded.ok
 
     def test_status_response(self):
         decoded = decode_message(encode_message(StatusResponse(0, value=-5)))
@@ -82,6 +112,12 @@ class TestMessageValidation:
         body = msg.encode_body()[:-4]
         with pytest.raises(MessageError):
             PullRequest.decode_body(body)
+
+    def test_checksum_detects_byte_flip(self):
+        frame = bytearray(encode_message(CheckpointRequest(1)))
+        frame[-1] ^= 0xFF  # damage the body; header length still matches
+        with pytest.raises(MessageError, match="checksum"):
+            decode_message(bytes(frame))
 
     def test_grads_keys_mismatch(self):
         with pytest.raises(MessageError):
