@@ -1,0 +1,274 @@
+"""Lookahead prefetch ablation: depth x cache size x fault rate.
+
+The tentpole claim: peeking ``lookahead`` batches ahead, deduplicating
+keys across the window and overlapping the pulls (plus the deferred
+``maintain()``) with GPU compute hides nearly the whole PS round-trip —
+>= 1.3x simulated epoch throughput at lookahead >= 2 on the default
+Zipfian workload — while the weights stay bit-identical to the serial
+pull protocol, even over a faulty RPC wire.
+
+Two halves:
+
+* the **simulated** ablation sweeps lookahead depth and cache size at
+  the shared benchmark operating point and reports epoch speedups;
+* the **functional** ablation trains a real DeepFM against local and
+  remote (fault-injected) backends with and without the pipeline and
+  byte-compares every final embedding, dense parameter, and loss.
+
+Run under pytest-benchmark for the full ablation, or standalone for CI:
+
+    python benchmarks/bench_prefetch.py --smoke
+
+The smoke mode exits non-zero on any pipelined/serial divergence.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+import numpy as np
+
+from repro.config import (
+    CacheConfig,
+    NetworkFaultConfig,
+    PrefetchConfig,
+    RetryConfig,
+    ServerConfig,
+)
+from repro.core.optimizers import PSAdagrad
+from repro.core.server import OpenEmbeddingServer
+from repro.dlrm.criteo import CriteoSynthetic
+from repro.dlrm.deepfm import DeepFM
+from repro.dlrm.optimizers import Adam
+from repro.dlrm.trainer import SynchronousTrainer
+from repro.network.frontend import RemotePSClient
+
+LOOKAHEADS = (0, 1, 2, 4, 8)
+CACHE_PAPER_MB = (512.0, 2048.0, 8192.0)
+FAULT_RATES = (0.0, 0.02, 0.05)
+
+WORKERS = 16
+ITERATIONS = 80
+
+# --- functional (bit-identicality) half ---------------------------------
+
+FIELDS, DIM, BATCHES = 6, 8, 10
+
+
+def _functional_backend(kind: str, seed: int, fault_rate: float = 0.0):
+    server = ServerConfig(
+        num_nodes=2, embedding_dim=DIM, pmem_capacity_bytes=1 << 26, seed=seed
+    )
+    cache = CacheConfig(capacity_bytes=48 * DIM * 4 * 2)
+    optimizer = PSAdagrad(lr=0.05)
+    if kind == "local":
+        return OpenEmbeddingServer(server, cache, optimizer)
+    faults = None
+    retry = None
+    if fault_rate > 0.0:
+        faults = NetworkFaultConfig(
+            drop_rate=fault_rate,
+            duplicate_rate=fault_rate / 2,
+            corrupt_rate=fault_rate / 2,
+            seed=seed,
+        )
+        retry = RetryConfig(
+            max_attempts=12, attempt_timeout_s=0.05, call_timeout_s=30.0, seed=seed
+        )
+    return RemotePSClient(server, cache, optimizer, faults=faults, retry=retry)
+
+
+def _train_functional(kind: str, seed: int, prefetch, fault_rate: float = 0.0):
+    backend = _functional_backend(kind, seed, fault_rate)
+    model = DeepFM(FIELDS, DIM, hidden=(16,), use_first_order=False, seed=seed)
+    dataset = CriteoSynthetic(num_fields=FIELDS, vocab_per_field=150, seed=seed)
+    trainer = SynchronousTrainer(
+        backend,
+        model,
+        dataset,
+        num_workers=2,
+        batch_size=12,
+        dense_optimizer=Adam(1e-2),
+        checkpoint_every=4,
+        prefetch=prefetch,
+    )
+    results = trainer.train(BATCHES)
+    if trainer.pipeline is not None:
+        trainer.pipeline.validate()
+    return backend, model, [r.loss for r in results]
+
+
+def _bitwise_identical(reference, candidate) -> bool:
+    ref_backend, ref_model, ref_losses = reference
+    cand_backend, cand_model, cand_losses = candidate
+    ref_state = ref_backend.state_snapshot()
+    cand_state = cand_backend.state_snapshot()
+    if set(ref_state) != set(cand_state) or ref_losses != cand_losses:
+        return False
+    if any(
+        not np.array_equal(ref_state[key], cand_state[key]) for key in ref_state
+    ):
+        return False
+    return all(
+        np.array_equal(a, b)
+        for a, b in zip(ref_model.dense_state(), cand_model.dense_state())
+    )
+
+
+def functional_sweep(seed: int = 7):
+    """lookahead x backend x fault rate -> (identical?, faults injected)."""
+    reference = _train_functional("local", seed, None)
+    rows = []
+    for lookahead in (2, 4):
+        prefetch = PrefetchConfig(lookahead=lookahead)
+        for fault_rate in FAULT_RATES:
+            kind = "local" if fault_rate == 0.0 else "remote"
+            candidate = _train_functional(kind, seed, prefetch, fault_rate)
+            identical = _bitwise_identical(reference, candidate)
+            injected = (
+                candidate[0].reliability().faults_injected
+                if kind == "remote"
+                else 0
+            )
+            rows.append((lookahead, kind, fault_rate, identical, injected))
+    # the clean remote wire, serial vs pipelined
+    remote = _train_functional("remote", seed, PrefetchConfig(lookahead=2))
+    rows.append((2, "remote", 0.0, _bitwise_identical(reference, remote), 0))
+    return rows
+
+
+# --- simulated (throughput) half ----------------------------------------
+
+
+def simulated_sweep():
+    from benchmarks.conftest import DEFAULT_PROFILE, simulate_epoch
+    from repro.simulation.cluster import SystemKind
+
+    profile = DEFAULT_PROFILE
+    results = {}
+    for lookahead in LOOKAHEADS:
+        results[("depth", lookahead)] = simulate_epoch(
+            SystemKind.PMEM_OE,
+            WORKERS,
+            iterations=ITERATIONS,
+            prefetch=PrefetchConfig(lookahead=lookahead),
+        )
+    for paper_mb in CACHE_PAPER_MB:
+        for lookahead in (0, 2):
+            results[("cache", paper_mb, lookahead)] = simulate_epoch(
+                SystemKind.PMEM_OE,
+                WORKERS,
+                iterations=ITERATIONS,
+                cache=profile.cache_config(paper_mb=paper_mb),
+                prefetch=PrefetchConfig(lookahead=lookahead),
+            )
+    return results
+
+
+def test_prefetch_ablation(benchmark, report):
+    from benchmarks.conftest import run_once
+
+    def run():
+        return simulated_sweep(), functional_sweep()
+
+    simulated, functional = run_once(benchmark, run)
+
+    report.title(
+        "prefetch_ablation",
+        "Lookahead prefetch: depth x cache size x fault rate",
+    )
+    base = simulated[("depth", 0)].sim_seconds
+    report.line("simulated epoch speedup vs lookahead 0 "
+                f"({WORKERS} workers, default Zipfian workload):")
+    for lookahead in LOOKAHEADS:
+        result = simulated[("depth", lookahead)]
+        speedup = base / result.sim_seconds
+        report.row(
+            f"lookahead {lookahead}",
+            ">=1.3x" if lookahead >= 2 else "--",
+            f"{speedup:.3f}x",
+            f"{result.total_requests} demand / "
+            f"{result.prefetch_requests} prefetched pulls",
+        )
+    report.line()
+    report.line("cache-size sensitivity (speedup of lookahead 2 vs 0):")
+    for paper_mb in CACHE_PAPER_MB:
+        serial = simulated[("cache", paper_mb, 0)].sim_seconds
+        pipelined = simulated[("cache", paper_mb, 2)].sim_seconds
+        report.row(
+            f"cache {paper_mb:.0f} paper-MB", "--", f"{serial / pipelined:.3f}x"
+        )
+    report.line()
+    report.line("bit-identicality vs serial (DeepFM, 2 workers, 10 batches):")
+    for lookahead, kind, fault_rate, identical, injected in functional:
+        note = f"{injected} wire faults injected" if fault_rate else ""
+        report.row(
+            f"L={lookahead} {kind} faults={fault_rate:.0%}",
+            "identical",
+            "identical" if identical else "DIVERGED",
+            note,
+        )
+        assert identical, (lookahead, kind, fault_rate)
+
+    # Acceptance: >= 1.3x at every lookahead >= 2, and the faulty wire
+    # actually exercised retries.
+    for lookahead in LOOKAHEADS:
+        if lookahead >= 2:
+            speedup = base / simulated[("depth", lookahead)].sim_seconds
+            assert speedup >= 1.3, (lookahead, speedup)
+    assert any(injected > 0 for *_, injected in functional)
+
+
+# --- standalone smoke mode (CI) -----------------------------------------
+
+
+def smoke() -> int:
+    """Fast pipelined/serial divergence check + throughput floor."""
+    failures = 0
+    print("prefetch smoke: functional bit-identicality")
+    for lookahead, kind, fault_rate, identical, injected in functional_sweep():
+        status = "ok" if identical else "DIVERGED"
+        print(
+            f"  L={lookahead} {kind:<6} faults={fault_rate:.0%}: {status}"
+            + (f" ({injected} faults injected)" if injected else "")
+        )
+        failures += not identical
+
+    from benchmarks.conftest import simulate_epoch
+    from repro.simulation.cluster import SystemKind
+
+    serial = simulate_epoch(
+        SystemKind.PMEM_OE, WORKERS, iterations=40,
+        prefetch=PrefetchConfig(lookahead=0),
+    )
+    pipelined = simulate_epoch(
+        SystemKind.PMEM_OE, WORKERS, iterations=40,
+        prefetch=PrefetchConfig(lookahead=2),
+    )
+    speedup = serial.sim_seconds / pipelined.sim_seconds
+    print(f"prefetch smoke: simulated speedup at lookahead 2 = {speedup:.3f}x")
+    if speedup < 1.3:
+        print("  FAIL: below the 1.3x acceptance floor")
+        failures += 1
+    print("prefetch smoke:", "FAIL" if failures else "PASS")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fast divergence check + throughput floor (CI)",
+    )
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.error("run the full ablation via pytest; standalone supports --smoke")
+    raise SystemExit(smoke())

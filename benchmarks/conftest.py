@@ -86,6 +86,7 @@ def simulate_epoch(
     pipelined: bool = True,
     iterations: int | None = None,
     record_trace: bool = False,
+    prefetch=None,
 ) -> TrainingRunResult:
     """One simulated training epoch at the shared operating point."""
     profile = DEFAULT_PROFILE
@@ -107,6 +108,7 @@ def simulate_epoch(
         WorkloadGenerator(profile.workload_config(skew)),
         use_cache=use_cache,
         record_trace=record_trace,
+        prefetch=prefetch,
     )
     return simulator.run(iterations or bench_iterations(workers))
 

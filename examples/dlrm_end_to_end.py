@@ -5,7 +5,9 @@ The full production lifecycle on the Naumov-style DLRM architecture
 + top MLP):
 
 1. train synchronously on 4 workers against a 2-shard OpenEmbedding
-   deployment with periodic batch-aware checkpoints,
+   deployment with periodic batch-aware checkpoints, pulling through
+   the lookahead prefetch pipeline (weights are bit-identical to the
+   serial pull protocol — only request traffic changes),
 2. evaluate AUC / log-loss / calibration on held-out batches,
 3. export the trained model to a single artifact,
 4. serve predictions from the artifact with no PS — and verify they
@@ -16,7 +18,7 @@ Run:  python examples/dlrm_end_to_end.py
 
 import numpy as np
 
-from repro.config import CacheConfig, ServerConfig
+from repro.config import CacheConfig, PrefetchConfig, ServerConfig
 from repro.core.optimizers import PSAdagrad
 from repro.core.server import OpenEmbeddingServer
 from repro.dlrm.criteo import CriteoSynthetic
@@ -48,6 +50,7 @@ def main() -> None:
         server, model, dataset,
         num_workers=4, batch_size=32,
         dense_optimizer=Adam(2e-3), checkpoint_every=50,
+        prefetch=PrefetchConfig(lookahead=2),
     )
 
     print(f"training DLRM ({FIELDS} fields x dim {DIM} + {DENSE} dense features, "
@@ -57,6 +60,9 @@ def main() -> None:
     print(f"  loss {np.mean(losses[:25]):.4f} -> {np.mean(losses[-25:]):.4f}; "
           f"{server.num_entries} embedding entries, "
           f"miss rate {server.aggregate_miss_rate():.2%}")
+    stats = trainer.pipeline.stats
+    print(f"  prefetch: {stats.hit_rate:.1%} of lookups served from the "
+          f"lookahead buffer ({stats.prefetch_keys} keys pulled ahead)")
 
     metrics = evaluate_model(
         model, trainer.embedding, dataset, batches=10, batch_size=128

@@ -28,6 +28,7 @@ from repro.config import (
     ClusterConfig,
     EvictionPolicy,
     NetworkConfig,
+    PrefetchConfig,
     ServerConfig,
     WorkloadConfig,
 )
@@ -37,10 +38,13 @@ from repro.core import (
     OpenEmbeddingServer,
     PipelinedCache,
     PSAdagrad,
+    PSBackend,
     PSNode,
     PSOptimizer,
     PSSGD,
     RecoveryReport,
+    aggregate_maintain,
+    check_backend,
     recover_node,
 )
 from repro.errors import (
@@ -64,8 +68,12 @@ __all__ = [
     "ClusterConfig",
     "EvictionPolicy",
     "NetworkConfig",
+    "PrefetchConfig",
     "ServerConfig",
     "WorkloadConfig",
+    "PSBackend",
+    "aggregate_maintain",
+    "check_backend",
     "OpenEmbeddingServer",
     "PSNode",
     "PipelinedCache",

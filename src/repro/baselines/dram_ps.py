@@ -18,10 +18,15 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.config import ServerConfig
-from repro.core.cache import PullResult
+from repro.core.cache import MaintainResult, PullResult
 from repro.core.optimizers import PSOptimizer, PSSGD
 from repro.baselines.incremental import CheckpointStats, IncrementalCheckpointer
-from repro.errors import KeyNotFoundError, RecoveryError, ServerError
+from repro.errors import (
+    CheckpointError,
+    KeyNotFoundError,
+    RecoveryError,
+    ServerError,
+)
 from repro.pmem.pool import PmemPool
 from repro.simulation.device import MemoryDevice, PMEM_SPEC
 from repro.simulation.metrics import Metrics
@@ -95,8 +100,9 @@ class DRAMPSNode:
             weights=out, hits=len(keys) - created, misses=0, created=created
         )
 
-    def maintain(self, batch_id: int) -> None:
-        """No-op: a pure DRAM PS has no cache tier to maintain."""
+    def maintain(self, batch_id: int) -> list[MaintainResult]:
+        """No cache tier to maintain; returns an empty shard list."""
+        return []
 
     def push(
         self, keys: Sequence[int], grads: np.ndarray | None, batch_id: int
@@ -134,6 +140,29 @@ class DRAMPSNode:
         stats = self.checkpointer.checkpoint(batch_id)
         self.metrics.checkpoints_completed += 1
         return stats
+
+    def request_checkpoint(self, batch_id: int | None = None) -> int:
+        """PSBackend checkpoint entry point.
+
+        An incremental checkpoint has no deferred-completion machinery:
+        the dump is synchronous, so requesting IS completing.
+
+        Raises:
+            CheckpointError: no trained batch to snapshot.
+        """
+        if batch_id is None:
+            batch_id = self.latest_completed_batch
+        if batch_id < 0:
+            raise CheckpointError("no completed batch to checkpoint")
+        self.checkpoint(batch_id)
+        return batch_id
+
+    def barrier_checkpoint(self, batch_id: int | None = None) -> int:
+        """Same as :meth:`request_checkpoint` (already synchronous)."""
+        return self.request_checkpoint(batch_id)
+
+    def complete_pending_checkpoints(self) -> None:
+        """No-op: incremental checkpoints complete synchronously."""
 
     def crash(self) -> PmemPool:
         """Process death: ALL live state is volatile DRAM and is lost.

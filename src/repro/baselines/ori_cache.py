@@ -31,6 +31,7 @@ from repro.core.entry import EmbeddingEntry, Location
 from repro.core.ps_node import PSNode
 from repro.core.optimizers import PSOptimizer
 from repro.baselines.incremental import CheckpointStats, IncrementalCheckpointer
+from repro.errors import CheckpointError
 from repro.pmem.pool import PmemPool
 from repro.simulation.device import MemoryDevice, PMEM_SPEC
 
@@ -87,9 +88,9 @@ class OriCacheNode:
         self.last_maintain = self._node.maintain(batch_id)
         return result
 
-    def maintain(self, batch_id: int) -> MaintainResult:
-        """No deferred work remains; returns an empty round."""
-        return self._node.maintain(batch_id)
+    def maintain(self, batch_id: int) -> list[MaintainResult]:
+        """No deferred work remains; returns the (empty) round's counts."""
+        return [self._node.maintain(batch_id)]
 
     def push(
         self, keys: Sequence[int], grads: np.ndarray | None, batch_id: int
@@ -109,6 +110,26 @@ class OriCacheNode:
         stats = self.checkpointer.checkpoint(batch_id)
         self._node.metrics.checkpoints_completed += 1
         return stats
+
+    def request_checkpoint(self, batch_id: int | None = None) -> int:
+        """PSBackend checkpoint entry point (synchronous incremental).
+
+        Raises:
+            CheckpointError: no trained batch to snapshot.
+        """
+        if batch_id is None:
+            batch_id = self._node.latest_completed_batch
+        if batch_id < 0:
+            raise CheckpointError("no completed batch to checkpoint")
+        self.checkpoint(batch_id)
+        return batch_id
+
+    def barrier_checkpoint(self, batch_id: int | None = None) -> int:
+        """Same as :meth:`request_checkpoint` (already synchronous)."""
+        return self.request_checkpoint(batch_id)
+
+    def complete_pending_checkpoints(self) -> None:
+        """No-op: incremental checkpoints complete synchronously."""
 
     def crash(self) -> PmemPool:
         """Process death; only the *checkpoint* pool is recoverable.
@@ -165,6 +186,11 @@ class OriCacheNode:
     @property
     def num_entries(self) -> int:
         return self._node.num_entries
+
+    @property
+    def latest_completed_batch(self) -> int:
+        """Newest batch whose updates fully applied (-1 before training)."""
+        return self._node.latest_completed_batch
 
     def read_weights(self, key: int) -> np.ndarray:
         return self._node.read_weights(key)

@@ -19,9 +19,9 @@ from typing import Sequence
 import numpy as np
 
 from repro.config import ServerConfig
-from repro.core.cache import PullResult
+from repro.core.cache import MaintainResult, PullResult
 from repro.core.optimizers import PSOptimizer, PSSGD
-from repro.errors import KeyNotFoundError, ServerError
+from repro.errors import CheckpointError, KeyNotFoundError, ServerError
 from repro.pmem.pool import PmemPool
 from repro.simulation.metrics import Metrics
 
@@ -77,8 +77,9 @@ class PMemHashNode:
             weights=out, hits=0, misses=len(keys) - created, created=created
         )
 
-    def maintain(self, batch_id: int) -> None:
-        """No-op: there is no cache tier."""
+    def maintain(self, batch_id: int) -> list[MaintainResult]:
+        """No cache tier; returns an empty shard list."""
+        return []
 
     def push(
         self, keys: Sequence[int], grads: np.ndarray | None, batch_id: int
@@ -112,6 +113,34 @@ class PMemHashNode:
         self.metrics.updates += len(keys)
         self.latest_completed_batch = max(self.latest_completed_batch, batch_id)
         return len(aggregated)
+
+    # ------------------------------------------------------------------
+    # checkpoint control (PSBackend surface; Observation 2's caveat)
+    # ------------------------------------------------------------------
+
+    def request_checkpoint(self, batch_id: int | None = None) -> int:
+        """Every write is already durable — but NOT batch-consistent.
+
+        This baseline has no versioning, so a "checkpoint" adds nothing:
+        the call validates its arguments and returns the batch id, and
+        what a crash leaves behind is whatever mix of batches the
+        in-place writes produced (Observation 2).
+
+        Raises:
+            CheckpointError: no trained batch to (nominally) snapshot.
+        """
+        if batch_id is None:
+            batch_id = self.latest_completed_batch
+        if batch_id < 0:
+            raise CheckpointError("no completed batch to checkpoint")
+        return batch_id
+
+    def barrier_checkpoint(self, batch_id: int | None = None) -> int:
+        """Same caveat as :meth:`request_checkpoint`."""
+        return self.request_checkpoint(batch_id)
+
+    def complete_pending_checkpoints(self) -> None:
+        """No-op: nothing is ever pending."""
 
     # ------------------------------------------------------------------
     # crash behaviour (Observation 2)

@@ -23,6 +23,7 @@ from repro.config import (
     CacheConfig,
     CheckpointConfig,
     CheckpointMode,
+    PrefetchConfig,
     ServerConfig,
 )
 from repro.simulation.cluster import SystemKind
@@ -50,6 +51,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         profile.cache_config(paper_mb=args.cache_mb),
         checkpoint,
         WorkloadGenerator(profile.workload_config(args.skew)),
+        prefetch=PrefetchConfig(lookahead=args.lookahead),
     )
     iterations = args.iterations or profile.iterations(args.workers)
     result = simulator.run(iterations)
@@ -64,6 +66,11 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"gpu / net / pull / push (s): "
           f"{result.gpu_seconds:.2f} / {result.net_seconds:.2f} / "
           f"{result.pull_service_seconds:.2f} / {result.push_service_seconds:.2f}")
+    if args.lookahead > 0:
+        print(f"prefetch          : lookahead {args.lookahead}, "
+              f"{result.prefetch_requests} overlapped pulls "
+              f"({result.prefetch_overlapped_seconds:.3f} s hidden), "
+              f"{result.total_requests} demand pulls on the critical path")
     return 0
 
 
@@ -96,6 +103,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
             server, model, dataset,
             num_workers=args.workers, batch_size=args.batch_size,
             dense_optimizer=Adam(2e-3), checkpoint_every=args.checkpoint_every,
+            prefetch=(
+                PrefetchConfig(lookahead=args.lookahead)
+                if args.lookahead > 0
+                else None
+            ),
         )
 
     trainer = build()
@@ -120,6 +132,11 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 ps_optimizer=PSAdagrad(lr=0.05),
                 num_workers=args.workers, batch_size=args.batch_size,
                 dense_optimizer=Adam(2e-3), checkpoint_every=args.checkpoint_every,
+                prefetch=(
+                    PrefetchConfig(lookahead=args.lookahead)
+                    if args.lookahead > 0
+                    else None
+                ),
             )
             print(f"-- resumed from checkpoint of batch {trainer.next_batch - 1}")
         except RecoveryError:
@@ -129,8 +146,13 @@ def _cmd_train(args: argparse.Namespace) -> int:
             if result.batch_id % 20 == 0:
                 print(f"batch {result.batch_id:5d}  loss {result.loss:.4f}")
     losses = trainer.loss_history
-    print(f"final: {trainer.server.num_entries} entries, "
+    print(f"final: {trainer.backend.num_entries} entries, "
           f"mean loss last 20 batches {np.mean(losses[-20:]):.4f}")
+    if trainer.pipeline is not None:
+        stats = trainer.pipeline.stats
+        print(f"prefetch: hit rate {stats.hit_rate:.1%}, "
+              f"{stats.demand_keys} demand / {stats.prefetch_keys} prefetched "
+              f"/ {stats.patched_keys} patched keys")
     return 0
 
 
@@ -318,6 +340,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="none",
     )
     simulate.add_argument("--interval-seconds", type=float, default=1.0)
+    simulate.add_argument("--lookahead", type=int, default=0,
+                          help="prefetch the next N batches' keys inside the "
+                               "overlap window (PMem-OE only; 0 disables)")
     simulate.set_defaults(handler=_cmd_simulate)
 
     train = sub.add_parser("train", help="functional DeepFM training demo")
@@ -332,6 +357,9 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--checkpoint-every", type=int, default=20)
     train.add_argument("--crash-at", type=int, default=None,
                        help="inject a crash after this batch and recover")
+    train.add_argument("--lookahead", type=int, default=0,
+                       help="route pulls through the lookahead prefetch "
+                            "pipeline (0 keeps the serial protocol)")
     train.add_argument("--seed", type=int, default=7)
     train.set_defaults(handler=_cmd_train)
 

@@ -313,6 +313,51 @@ class ClusterConfig:
 
 
 @dataclass(frozen=True)
+class PrefetchConfig:
+    """Lookahead prefetch pipeline (Section V-B, Figure 5; BagPipe-style).
+
+    The trainer peeks up to ``lookahead`` future batches from the
+    workload stream, deduplicates their keys against what is already
+    buffered, and issues coalesced prefetch pulls whose simulated
+    latency overlaps with GPU compute of the current batch. Cache
+    maintenance (``maintain``) is deferred into the same overlap
+    window, exactly as Algorithm 1 / Figure 5 prescribe.
+
+    Correctness: the pipeline guarantees bit-identical weights versus
+    serial execution. A buffered entry whose key is touched by an
+    in-flight push is invalidated and re-pulled ("patched") before any
+    later batch consumes it — the staleness invariant.
+
+    Attributes:
+        lookahead: how many future batches to peek. ``0`` disables the
+            pipeline (strictly serial pull -> compute -> push ->
+            maintain, the pre-pipeline behaviour).
+        patch: re-pull pushed keys that remain in the lookahead window
+            at the end of each step. Disabling this is only safe for
+            measurement runs that do not read the trained weights;
+            the equivalence tests always run with ``patch=True``.
+        max_buffer_entries: optional cap on distinct keys held in the
+            prefetch buffer; ``None`` means unbounded (the window is
+            naturally bounded by ``lookahead`` x batch keys).
+    """
+
+    lookahead: int = 0
+    patch: bool = True
+    max_buffer_entries: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.lookahead < 0:
+            raise ConfigError(f"lookahead must be >= 0, got {self.lookahead}")
+        if self.max_buffer_entries is not None and self.max_buffer_entries <= 0:
+            raise ConfigError("max_buffer_entries must be positive when set")
+
+    @property
+    def enabled(self) -> bool:
+        """True when the pipeline actually looks ahead."""
+        return self.lookahead > 0
+
+
+@dataclass(frozen=True)
 class WorkloadConfig:
     """Synthetic DLRM access workload (Section III).
 

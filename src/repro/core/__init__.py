@@ -12,6 +12,13 @@ This package implements the paper's primary contribution:
   scheduling and crash recovery.
 """
 
+from repro.core.backend import (
+    PS_BACKEND_METHODS,
+    PS_BACKEND_PROPERTIES,
+    PSBackend,
+    aggregate_maintain,
+    check_backend,
+)
 from repro.core.cache import MaintainResult, PipelinedCache, PullResult
 from repro.core.checkpoint import CheckpointCoordinator
 from repro.core.entry import EmbeddingEntry, Location, pack_handle, unpack_handle
@@ -26,6 +33,11 @@ from repro.core.server import OpenEmbeddingServer
 from repro.core.sharding import HashPartitioner
 
 __all__ = [
+    "PSBackend",
+    "PS_BACKEND_METHODS",
+    "PS_BACKEND_PROPERTIES",
+    "aggregate_maintain",
+    "check_backend",
     "EmbeddingEntry",
     "Location",
     "pack_handle",

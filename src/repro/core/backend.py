@@ -1,0 +1,163 @@
+"""The formal parameter-server backend protocol.
+
+Every embedding store a trainer can run against — the in-process
+:class:`~repro.core.server.OpenEmbeddingServer`, the wire-level
+:class:`~repro.network.frontend.RemotePSClient`, and the baselines in
+:mod:`repro.baselines` — implements :class:`PSBackend`. Trainers, the
+prefetch pipeline and the simulators accept *only* this protocol, so
+any conforming backend is interchangeable; tests assert that training
+the same model over different backends yields bit-identical weights.
+
+The protocol is structural (:class:`typing.Protocol`): backends do not
+inherit from it, they merely expose the right surface, which
+``isinstance(backend, PSBackend)`` verifies at runtime thanks to
+``@runtime_checkable``.
+
+``maintain`` returns ``list[MaintainResult]`` — one element per shard —
+on every backend. Baselines without deferred maintenance return an
+empty list (nothing was maintained), and the remote client wires the
+per-shard counts back through the Maintain RPC; use
+:func:`aggregate_maintain` to collapse any backend's return value into
+one summed :class:`~repro.core.cache.MaintainResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.core.cache import MaintainResult, PullResult
+
+#: Method names every backend must expose (used by conformance tests).
+PS_BACKEND_METHODS = (
+    "pull",
+    "push",
+    "maintain",
+    "request_checkpoint",
+    "barrier_checkpoint",
+    "complete_pending_checkpoints",
+    "state_snapshot",
+)
+
+#: Read-only attributes every backend must expose.
+PS_BACKEND_PROPERTIES = (
+    "num_entries",
+    "latest_completed_batch",
+)
+
+
+@runtime_checkable
+class PSBackend(Protocol):
+    """Structural protocol of an embedding parameter server.
+
+    The synchronous-batch contract (Figure 5):
+
+    1. ``pull(keys, b)`` for every worker of batch ``b`` — never
+       reorders the cache;
+    2. ``maintain(b)`` once all of batch ``b``'s pulls are in — the
+       deferred cache-maintenance round;
+    3. ``push(keys, grads, b)`` applies the batch's gradients.
+
+    Checkpoint control (``request_checkpoint`` queues, completion is
+    opportunistic; ``barrier_checkpoint`` forces completion) and
+    introspection (``num_entries``, ``state_snapshot``,
+    ``latest_completed_batch``) round out the surface.
+    """
+
+    def pull(self, keys: Sequence[int], batch_id: int) -> PullResult:
+        """Gather weights for ``keys``, in request order."""
+        ...
+
+    def push(
+        self, keys: Sequence[int], grads: np.ndarray | None, batch_id: int
+    ) -> int:
+        """Apply gradients for ``keys``; returns distinct entries updated."""
+        ...
+
+    def maintain(self, batch_id: int) -> list[MaintainResult]:
+        """Run the deferred maintenance round; one result per shard."""
+        ...
+
+    def request_checkpoint(self, batch_id: int | None = None) -> int:
+        """Queue a checkpoint of ``batch_id`` (default: newest trained)."""
+        ...
+
+    def barrier_checkpoint(self, batch_id: int | None = None) -> int:
+        """Checkpoint and synchronously complete (a training barrier)."""
+        ...
+
+    def complete_pending_checkpoints(self) -> None:
+        """Force every queued checkpoint to complete."""
+        ...
+
+    def state_snapshot(self) -> dict[int, np.ndarray]:
+        """Live weights of every key (testing / equivalence checks)."""
+        ...
+
+    @property
+    def num_entries(self) -> int:
+        """Distinct embedding entries stored."""
+        ...
+
+    @property
+    def latest_completed_batch(self) -> int:
+        """Newest batch whose updates fully applied (-1 before training)."""
+        ...
+
+
+_EMPTY = MaintainResult(
+    processed=0, loads=0, flushes=0, evictions=0, checkpoints_completed=0
+)
+
+
+def aggregate_maintain(
+    results: Iterable[MaintainResult] | MaintainResult | None,
+) -> MaintainResult:
+    """Collapse a backend's ``maintain`` return into one summed result.
+
+    Accepts the protocol's ``list[MaintainResult]``, a bare
+    :class:`MaintainResult` (single-shard components such as
+    :class:`~repro.core.ps_node.PSNode`), or ``None`` (legacy
+    maintenance-free backends), so callers can account maintenance work
+    uniformly without caring which backend produced it.
+    """
+    if results is None:
+        return _EMPTY
+    if isinstance(results, MaintainResult):
+        return results
+    processed = loads = flushes = evictions = completed = 0
+    for result in results:
+        processed += result.processed
+        loads += result.loads
+        flushes += result.flushes
+        evictions += result.evictions
+        completed += result.checkpoints_completed
+    return MaintainResult(
+        processed=processed,
+        loads=loads,
+        flushes=flushes,
+        evictions=evictions,
+        checkpoints_completed=completed,
+    )
+
+
+def check_backend(backend: object) -> PSBackend:
+    """Validate ``backend`` against the protocol; returns it typed.
+
+    Raises:
+        TypeError: the object is missing part of the surface, with the
+            missing names spelled out (friendlier than a bare
+            ``isinstance`` failure).
+    """
+    missing = [
+        name
+        for name in (*PS_BACKEND_METHODS, *PS_BACKEND_PROPERTIES)
+        if not hasattr(backend, name)
+    ]
+    if missing:
+        raise TypeError(
+            f"{type(backend).__name__} does not implement PSBackend; "
+            f"missing: {', '.join(sorted(missing))}"
+        )
+    return backend  # type: ignore[return-value]

@@ -241,6 +241,22 @@ class PipelinedCache:
             if entry is None:
                 raise KeyNotFoundError(key)
             if entry.in_dram:
+                if batch_id > entry.version:
+                    # Lookahead flow: this entry's pull for ``batch_id``
+                    # was served from a prefetch buffer, so no
+                    # maintenance round advanced it. Apply maintain's
+                    # flush-before-advance rule here instead — persist
+                    # the pre-update state if a pending checkpoint still
+                    # needs it, then advance the version and reorder so
+                    # the LRU keeps its version order (the one-comparison
+                    # checkpoint-completion test depends on it). In the
+                    # strictly serial flow ``batch_id == entry.version``
+                    # after maintain, so this branch never fires.
+                    flush_barrier = self.coordinator.max_pending()
+                    if flush_barrier is not None and entry.version <= flush_barrier:
+                        self._flush(entry)
+                    entry.version = batch_id
+                    self._reorder(entry)
                 if value_mode:
                     self.optimizer.apply(entry.weights, entry.opt_state, grad)
                 entry.dirty = True

@@ -4,6 +4,12 @@ The facade the training framework talks to. Keys are routed to shards
 with :class:`HashPartitioner`; pulls gather per-node responses back into
 request order; checkpoints are coordinated cluster-wide so recovery
 always restores a single consistent batch across all shards.
+
+This is the reference implementation of the
+:class:`~repro.core.backend.PSBackend` protocol — the surface the
+trainers and the lookahead :class:`~repro.dlrm.prefetch.PrefetchPipeline`
+program against. :class:`~repro.network.frontend.RemotePSClient` speaks
+the same protocol over RPC and is a drop-in replacement.
 """
 
 from __future__ import annotations
@@ -23,7 +29,8 @@ from repro.pmem.space import CHECKPOINT_ID_FIELD, NO_CHECKPOINT
 
 
 class OpenEmbeddingServer:
-    """A cluster of PS nodes behind one pull/push interface.
+    """A cluster of PS nodes behind one pull/push interface
+    (the in-process :class:`~repro.core.backend.PSBackend`).
 
     Args:
         server_config: shard count, embedding dim, pool sizing, seed.

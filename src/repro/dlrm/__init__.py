@@ -23,6 +23,7 @@ from repro.dlrm.layers import Dense, MLP
 from repro.dlrm.metrics import calibration_ratio, evaluate_model, log_loss, roc_auc
 from repro.dlrm.serving import InferenceSession, export_model
 from repro.dlrm.optimizers import Adam, DenseOptimizer, DenseSGD
+from repro.dlrm.prefetch import PrefetchPipeline
 from repro.dlrm.trainer import SynchronousTrainer, TrainerCheckpoint
 
 __all__ = [
@@ -43,6 +44,7 @@ __all__ = [
     "DenseOptimizer",
     "DenseSGD",
     "Adam",
+    "PrefetchPipeline",
     "SynchronousTrainer",
     "TrainerCheckpoint",
     "roc_auc",

@@ -19,16 +19,20 @@ and tests can compare against synchronous training exactly.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.server import OpenEmbeddingServer
+from repro.config import PrefetchConfig
+from repro.core.backend import PSBackend, check_backend
 from repro.dlrm.criteo import CriteoSynthetic
 from repro.dlrm.deepfm import DeepFM
 from repro.dlrm.optimizers import Adam, DenseOptimizer
+from repro.dlrm.prefetch import PrefetchPipeline
 from repro.errors import ConfigError
+from repro.simulation.clock import SimClock
 
 
 @dataclass
@@ -47,35 +51,66 @@ class AsynchronousTrainer:
     """Round-robin asynchronous training against a shared PS.
 
     Args:
-        server: the embedding parameter server.
+        backend: the embedding parameter server — anything implementing
+            the :class:`~repro.core.backend.PSBackend` protocol.
+            ``server=`` is accepted as a deprecated alias.
         model: the dense DeepFM (no first-order term).
         dataset: deterministic batch source; worker ``w`` consumes the
-            global batches ``w, w + W, w + 2W, ...``.
+            global batches ``w, w + W, w + 2W, ...`` — at scheduler
+            step ``s`` the computing worker trains global batch ``s``.
         num_workers: concurrent workers.
         batch_size: samples per worker step.
         staleness: scheduler steps between a worker computing gradients
             and those gradients being applied. 0 applies immediately
             (still asynchronous: no cross-worker averaging or barrier).
         dense_optimizer: optimizer for the shared (hogwild-style) MLP.
+        prefetch: optional lookahead prefetch configuration; because
+            the round-robin schedule is deterministic, future scheduler
+            steps' key sets are peekable exactly as in the synchronous
+            trainer. In-flight stale pushes invalidate buffered keys,
+            so the weights each compute step observes are identical to
+            the unprefetched schedule.
+        clock: optional simulated clock shared with the backend.
+        gpu_batch_time_s: simulated per-step compute the overlap window
+            hides PS work behind.
     """
 
     def __init__(
         self,
-        server: OpenEmbeddingServer,
-        model: DeepFM,
-        dataset: CriteoSynthetic,
+        backend: PSBackend | None = None,
+        model: DeepFM | None = None,
+        dataset: CriteoSynthetic | None = None,
         num_workers: int = 2,
         batch_size: int = 32,
         staleness: int = 1,
         dense_optimizer: DenseOptimizer | None = None,
+        *,
+        prefetch: PrefetchConfig | None = None,
+        clock: SimClock | None = None,
+        gpu_batch_time_s: float = 0.0,
+        server: PSBackend | None = None,
     ):
+        if server is not None:
+            warnings.warn(
+                "AsynchronousTrainer(server=...) is deprecated; "
+                "pass backend=... (any PSBackend)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if backend is not None:
+                raise ConfigError("pass either backend= or server=, not both")
+            backend = server
+        if backend is None or model is None or dataset is None:
+            raise ConfigError("backend, model and dataset are required")
         if num_workers <= 0 or batch_size <= 0:
             raise ConfigError("num_workers and batch_size must be positive")
         if staleness < 0:
             raise ConfigError("staleness must be non-negative")
         if model.use_first_order:
             raise ConfigError("async trainer supports models without first-order")
-        self.server = server
+        self.backend = check_backend(backend)
+        #: Deprecated alias of :attr:`backend`.
+        self.server = self.backend
         self.model = model
         self.dataset = dataset
         self.num_workers = num_workers
@@ -86,6 +121,18 @@ class AsynchronousTrainer:
         self._next_batch_per_worker = list(range(num_workers))
         self._pending: deque[_PendingWork] = deque()
         self.loss_history: list[float] = []
+        self.pipeline: PrefetchPipeline | None = None
+        if prefetch is not None:
+            self.pipeline = PrefetchPipeline(
+                backend,
+                prefetch,
+                model.dim,
+                # At scheduler step s the computing worker trains global
+                # batch s, so the peek function is the step index itself.
+                lambda s: self.dataset.batch(self.batch_size, s).keys,
+                clock=clock,
+                gpu_batch_time_s=gpu_batch_time_s,
+            )
 
     # ------------------------------------------------------------------
     # scheduling
@@ -93,6 +140,8 @@ class AsynchronousTrainer:
 
     def run_steps(self, steps: int) -> list[float]:
         """Run ``steps`` scheduler steps; returns the losses computed."""
+        if self.pipeline is not None:
+            self.pipeline.horizon = self.step + steps - 1
         losses = []
         for __ in range(steps):
             losses.extend(self._one_step())
@@ -110,12 +159,17 @@ class AsynchronousTrainer:
         batch_index = self._next_batch_per_worker[worker]
         self._next_batch_per_worker[worker] += self.num_workers
         batch = self.dataset.batch(self.batch_size, batch_index)
-        flat_keys = batch.keys.reshape(-1).tolist()
-        pulled = self.server.pull(flat_keys, self.step)
-        self.server.maintain(self.step)
-        embeddings = pulled.weights.reshape(
-            self.batch_size, self.model.num_fields, self.model.dim
-        )
+        if self.pipeline is not None:
+            self.pipeline.begin_batch(self.step, batch.keys)
+            embeddings = self.pipeline.gather(batch.keys)
+            self.pipeline.run_overlap(self.step)
+        else:
+            flat_keys = batch.keys.reshape(-1).tolist()
+            pulled = self.backend.pull(flat_keys, self.step)
+            self.backend.maintain(self.step)
+            embeddings = pulled.weights.reshape(
+                self.batch_size, self.model.num_fields, self.model.dim
+            )
         self.model.zero_grad()
         grads = self.model.train_batch(embeddings, batch.labels)
         self._pending.append(
@@ -131,17 +185,28 @@ class AsynchronousTrainer:
         self.loss_history.append(grads.loss)
         if self.staleness == 0:
             self._apply_due_pushes()
+        if self.pipeline is not None:
+            self.pipeline.end_batch(self.step)
         return grads.loss
+
+    def _push(self, work: _PendingWork) -> None:
+        """Apply one delayed gradient (through the pipeline if present)."""
+        flat_keys = work.keys.reshape(-1).tolist()
+        flat_grads = work.embedding_grads.reshape(-1, self.model.dim)
+        if self.pipeline is not None:
+            # Routing through the pipeline invalidates buffered copies
+            # of the touched keys — the staleness invariant for the
+            # async flow, where pushes land mid-schedule.
+            self.pipeline.push(flat_keys, flat_grads, self.step)
+        else:
+            self.backend.push(flat_keys, flat_grads, self.step)
+        self.dense_optimizer.step(self.model.mlp.parameters(), work.dense_grads)
 
     def _apply_due_pushes(self) -> None:
         while self._pending and (
             self.step - self._pending[0].step_computed >= self.staleness
         ):
-            work = self._pending.popleft()
-            flat_keys = work.keys.reshape(-1).tolist()
-            flat_grads = work.embedding_grads.reshape(-1, self.model.dim)
-            self.server.push(flat_keys, flat_grads, self.step)
-            self.dense_optimizer.step(self.model.mlp.parameters(), work.dense_grads)
+            self._push(self._pending.popleft())
 
     # ------------------------------------------------------------------
     # checkpoints: the asynchronous caveat
@@ -163,16 +228,10 @@ class AsynchronousTrainer:
         in_flight = len(self._pending)
         if quiesce:
             while self._pending:
-                work = self._pending.popleft()
-                flat_keys = work.keys.reshape(-1).tolist()
-                flat_grads = work.embedding_grads.reshape(-1, self.model.dim)
-                self.server.push(flat_keys, flat_grads, self.step)
-                self.dense_optimizer.step(
-                    self.model.mlp.parameters(), work.dense_grads
-                )
+                self._push(self._pending.popleft())
             in_flight = 0
-        self.server.request_checkpoint(max(self.step - 1, 0))
-        self.server.complete_pending_checkpoints()
+        self.backend.request_checkpoint(max(self.step - 1, 0))
+        self.backend.complete_pending_checkpoints()
         return in_flight
 
     @property

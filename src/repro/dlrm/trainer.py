@@ -19,18 +19,22 @@ resume deterministically — the dataset is indexed by batch id.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import CacheConfig, ServerConfig
+from repro.config import CacheConfig, PrefetchConfig, ServerConfig
+from repro.core.backend import PSBackend, check_backend
 from repro.core.optimizers import PSOptimizer
 from repro.core.server import OpenEmbeddingServer
 from repro.dlrm.criteo import CriteoSynthetic
 from repro.dlrm.deepfm import DeepFM
 from repro.dlrm.embedding import PSEmbedding
 from repro.dlrm.optimizers import Adam, DenseOptimizer
+from repro.dlrm.prefetch import PrefetchPipeline
 from repro.errors import CheckpointError, ConfigError, RecoveryError
+from repro.simulation.clock import SimClock
 
 
 @dataclass
@@ -74,11 +78,14 @@ class StepResult:
 
 
 class SynchronousTrainer:
-    """Trains a DeepFM against any PS exposing pull/maintain/push.
+    """Trains a DeepFM against any :class:`~repro.core.backend.PSBackend`.
 
     Args:
-        server: the embedding parameter server (OpenEmbedding or a
-            baseline with the same protocol).
+        backend: the embedding parameter server — anything implementing
+            the :class:`~repro.core.backend.PSBackend` protocol
+            (:class:`OpenEmbeddingServer`, a
+            :class:`~repro.network.frontend.RemotePSClient`, or a
+            baseline). ``server=`` is accepted as a deprecated alias.
         model: the dense DeepFM (built without the first-order term
             unless ``first_order_server`` is given).
         dataset: deterministic batch source.
@@ -86,35 +93,67 @@ class SynchronousTrainer:
         batch_size: samples per worker per step.
         dense_optimizer: optimizer for the MLP (default Adam).
         first_order_server: optional dim-1 PS holding the FM
-            first-order weights.
+            first-order weights (always trained on the serial path).
         checkpoint_every: request a checkpoint every N batches (None =
             manual only).
+        prefetch: lookahead prefetch configuration. ``None`` keeps the
+            classic serial protocol (pull → maintain → push, every
+            duplicate pulled). A :class:`PrefetchConfig` routes pulls
+            through a :class:`PrefetchPipeline`: demand misses on the
+            critical path, maintenance + next-window prefetch inside
+            the overlap window. Final weights are bit-identical either
+            way; only request traffic and simulated timing change.
+        clock: optional simulated clock shared with the backend, used
+            by the pipeline's overlap accounting.
+        gpu_batch_time_s: simulated per-batch GPU compute the overlap
+            window hides PS work behind (only meaningful with
+            ``prefetch`` and ``clock``).
     """
 
     def __init__(
         self,
-        server: OpenEmbeddingServer,
-        model: DeepFM,
-        dataset: CriteoSynthetic,
+        backend: PSBackend | None = None,
+        model: DeepFM | None = None,
+        dataset: CriteoSynthetic | None = None,
         num_workers: int = 2,
         batch_size: int = 64,
         dense_optimizer: DenseOptimizer | None = None,
         first_order_server: OpenEmbeddingServer | None = None,
         checkpoint_every: int | None = None,
+        *,
+        prefetch: PrefetchConfig | None = None,
+        clock: SimClock | None = None,
+        gpu_batch_time_s: float = 0.0,
+        server: PSBackend | None = None,
     ):
+        if server is not None:
+            warnings.warn(
+                "SynchronousTrainer(server=...) is deprecated; "
+                "pass backend=... (any PSBackend)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if backend is not None:
+                raise ConfigError("pass either backend= or server=, not both")
+            backend = server
+        if backend is None or model is None or dataset is None:
+            raise ConfigError("backend, model and dataset are required")
         if num_workers <= 0 or batch_size <= 0:
             raise ConfigError("num_workers and batch_size must be positive")
         if getattr(model, "use_first_order", False) and first_order_server is None:
             raise ConfigError(
                 "model uses the first-order FM term; pass first_order_server"
             )
-        self.server = server
+        self.backend = check_backend(backend)
+        #: Deprecated alias of :attr:`backend`, kept for callers that
+        #: still read ``trainer.server``.
+        self.server = self.backend
         self.model = model
         self.dataset = dataset
         self.num_workers = num_workers
         self.batch_size = batch_size
         self.dense_optimizer = dense_optimizer or Adam()
-        self.embedding = PSEmbedding(server, model.dim)
+        self.embedding = PSEmbedding(backend, model.dim)
         self.first_order_server = first_order_server
         self.first_order = (
             PSEmbedding(first_order_server, 1) if first_order_server else None
@@ -123,6 +162,22 @@ class SynchronousTrainer:
         self.dense_checkpoints = DenseCheckpointStore()
         self.next_batch = 0
         self.loss_history: list[float] = []
+        self.pipeline: PrefetchPipeline | None = None
+        if prefetch is not None:
+            self.pipeline = PrefetchPipeline(
+                backend,
+                prefetch,
+                model.dim,
+                self._keys_for_batch,
+                clock=clock,
+                gpu_batch_time_s=gpu_batch_time_s,
+            )
+
+    def _keys_for_batch(self, batch_id: int) -> np.ndarray:
+        """Deterministic peek into the global-batch key stream."""
+        return self.dataset.batch(
+            self.batch_size * self.num_workers, batch_id
+        ).keys
 
     # ------------------------------------------------------------------
     # training
@@ -144,7 +199,15 @@ class SynchronousTrainer:
         ]
 
         # Phase 1: the pull burst — every worker pulls simultaneously.
-        pulled = [self.embedding.pull(keys, batch_id) for keys, *__ in shards]
+        # On the pipelined path, demand misses are pulled once (deduped)
+        # and the shards are served from the lookahead buffer.
+        if self.pipeline is not None:
+            self.pipeline.begin_batch(batch_id, global_batch.keys)
+            pulled = [self.pipeline.gather(keys) for keys, *__ in shards]
+        else:
+            pulled = [
+                self.embedding.pull(keys, batch_id) for keys, *__ in shards
+            ]
         first_pulled = None
         if self.first_order is not None:
             first_pulled = [
@@ -155,7 +218,11 @@ class SynchronousTrainer:
         # Phase 2: the PS maintenance round, overlapped with GPU compute
         # in the performance model; functionally it runs here, between
         # the batch's pulls and its updates (Algorithm 2's lock order).
-        self.server.maintain(batch_id)
+        # The pipeline folds next-window prefetch into the same overlap.
+        if self.pipeline is not None:
+            self.pipeline.run_overlap(batch_id)
+        else:
+            self.backend.maintain(batch_id)
 
         # Phase 3: per-worker compute, then the update burst. Dense
         # gradients accumulate across workers (allreduce-sum) and are
@@ -172,7 +239,19 @@ class SynchronousTrainer:
                 grads = self.model.train_batch(pulled[w], labels, first)
             losses.append(grads.loss)
             scale = 1.0 / self.num_workers
-            self.embedding.push(keys, grads.embedding_grads * scale, batch_id)
+            if self.pipeline is not None:
+                # Identical flattening to PSEmbedding.push so the
+                # backend sees byte-for-byte the same update burst.
+                flat_grads = np.asarray(
+                    grads.embedding_grads * scale, dtype=np.float32
+                ).reshape(-1, self.model.dim)
+                self.pipeline.push(
+                    np.asarray(keys).reshape(-1).tolist(), flat_grads, batch_id
+                )
+            else:
+                self.embedding.push(
+                    keys, grads.embedding_grads * scale, batch_id
+                )
             if self.first_order is not None:
                 self.first_order.push(
                     keys, grads.first_order_grads * scale, batch_id
@@ -181,6 +260,8 @@ class SynchronousTrainer:
         params = self.model.mlp.parameters()
         grads_dense = [g / self.num_workers for g in self.model.mlp.gradients()]
         self.dense_optimizer.step(params, grads_dense)
+        if self.pipeline is not None:
+            self.pipeline.end_batch(batch_id)
 
         self.next_batch += 1
         loss = float(np.mean(losses))
@@ -193,7 +274,14 @@ class SynchronousTrainer:
         return StepResult(batch_id=batch_id, loss=loss, requests=requests)
 
     def train(self, num_batches: int) -> list[StepResult]:
-        """Run ``num_batches`` steps; returns their results."""
+        """Run ``num_batches`` steps; returns their results.
+
+        With a prefetch pipeline the lookahead horizon is clipped to
+        the last batch this call will train, so prefetch never creates
+        server entries a serial run would not have.
+        """
+        if self.pipeline is not None:
+            self.pipeline.horizon = self.next_batch + num_batches - 1
         return [self.step() for __ in range(num_batches)]
 
     # ------------------------------------------------------------------
@@ -265,6 +353,7 @@ class SynchronousTrainer:
         batch_size: int = 64,
         dense_optimizer: DenseOptimizer | None = None,
         checkpoint_every: int | None = None,
+        prefetch: PrefetchConfig | None = None,
     ) -> "SynchronousTrainer":
         """Rebuild a trainer from surviving state.
 
@@ -303,6 +392,7 @@ class SynchronousTrainer:
             dense_optimizer=dense_optimizer,
             first_order_server=first_server,
             checkpoint_every=checkpoint_every,
+            prefetch=prefetch,
         )
         trainer.dense_checkpoints = dense_checkpoints
         trainer.next_batch = checkpoint_id + 1

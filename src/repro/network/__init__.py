@@ -26,6 +26,8 @@ Fault injection on this boundary lives in
 from repro.network.frontend import PSNodeService, RemotePSClient
 from repro.network.messages import (
     CheckpointRequest,
+    MaintainRequest,
+    MaintainResponse,
     MessageError,
     PullRequest,
     PullResponse,
@@ -46,6 +48,8 @@ __all__ = [
     "PullResponse",
     "PushRequest",
     "CheckpointRequest",
+    "MaintainRequest",
+    "MaintainResponse",
     "StatusResponse",
     "MessageError",
     "decode_message",

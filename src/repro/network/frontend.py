@@ -30,7 +30,7 @@ from collections import OrderedDict
 import numpy as np
 
 from repro.config import CacheConfig, NetworkFaultConfig, RetryConfig, ServerConfig
-from repro.core.cache import PullResult
+from repro.core.cache import MaintainResult, PullResult
 from repro.core.ps_node import PSNode
 from repro.core.optimizers import PSOptimizer
 from repro.core.sharding import HashPartitioner
@@ -38,6 +38,8 @@ from repro.errors import ServerError
 from repro.failure.network_faults import FaultyLink, LinkFaultStats
 from repro.network.messages import (
     CheckpointRequest,
+    MaintainRequest,
+    MaintainResponse,
     PullRequest,
     PullResponse,
     PushRequest,
@@ -73,10 +75,13 @@ class PSNodeService:
         self._push_replies: OrderedDict[tuple[int, int], StatusResponse] = (
             OrderedDict()
         )
+        self._maintain_replies: OrderedDict[int, MaintainResponse] = OrderedDict()
+        self._checkpoint_replies: OrderedDict[int, StatusResponse] = OrderedDict()
         self.server = RpcServer()
         self.server.register(PullRequest.TYPE, self._handle_pull)
         self.server.register(PushRequest.TYPE, self._handle_push)
         self.server.register(CheckpointRequest.TYPE, self._handle_checkpoint)
+        self.server.register(MaintainRequest.TYPE, self._handle_maintain)
 
     def _handle_pull(self, request: PullRequest) -> PullResponse:
         result = self.node.pull(
@@ -111,18 +116,65 @@ class PSNodeService:
         return response
 
     def _handle_checkpoint(self, request: CheckpointRequest) -> StatusResponse:
-        self.node.request_checkpoint(int(request.batch_id))
-        return StatusResponse(code=StatusResponse.OK, value=request.batch_id)
+        """Queue a batch-aware checkpoint; idempotent per batch id.
+
+        ``request_checkpoint`` rejects re-queuing the same batch, so a
+        duplicated or retried request frame replays the cached OK
+        instead of surfacing a spurious ``CheckpointError`` to a client
+        whose first copy already landed.
+        """
+        batch_id = int(request.batch_id)
+        cached = self._checkpoint_replies.get(batch_id)
+        if cached is not None:
+            self.dup_suppressed += 1
+            self.node.metrics.rpc.dup_suppressed += 1
+            return cached
+        self.node.request_checkpoint(batch_id)
+        response = StatusResponse(code=StatusResponse.OK, value=batch_id)
+        self._checkpoint_replies[batch_id] = response
+        while len(self._checkpoint_replies) > self.dedup_window:
+            self._checkpoint_replies.popitem(last=False)
+        return response
+
+    def _handle_maintain(self, request: MaintainRequest) -> MaintainResponse:
+        """Run the deferred maintenance round for one batch.
+
+        Maintenance is state-idempotent — a retried trigger (first reply
+        lost on the wire) pops an already-drained access queue and does
+        no work — but its *counters* are not: the retry would report
+        zeros. So the last few rounds' replies are cached per batch id
+        and replayed when a re-trigger finds nothing to do, keeping the
+        client's maintenance accounting exact under retries.
+        """
+        batch_id = int(request.batch_id)
+        result = self.node.maintain(batch_id)
+        if result.processed == 0 and batch_id in self._maintain_replies:
+            self.dup_suppressed += 1
+            self.node.metrics.rpc.dup_suppressed += 1
+            return self._maintain_replies[batch_id]
+        response = MaintainResponse(
+            batch_id=batch_id,
+            processed=result.processed,
+            loads=result.loads,
+            flushes=result.flushes,
+            evictions=result.evictions,
+            checkpoints_completed=result.checkpoints_completed,
+        )
+        self._maintain_replies[batch_id] = response
+        while len(self._maintain_replies) > self.dedup_window:
+            self._maintain_replies.popitem(last=False)
+        return response
 
 
 class RemotePSClient:
     """Sharded PS access over RPC channels, one per node.
 
-    Drop-in for :class:`OpenEmbeddingServer`'s training-path protocol
-    (pull / maintain / push / request_checkpoint /
-    complete_pending_checkpoints / state_snapshot). ``maintain`` runs
-    node-side directly: in the real system the maintainer threads live
-    in the PS process and are not an RPC.
+    Implements the full :class:`~repro.core.backend.PSBackend`
+    protocol, drop-in for :class:`OpenEmbeddingServer`. ``maintain``
+    sends a :class:`MaintainRequest` trigger per shard — the work runs
+    node-side (the maintainer threads live in the PS process) but the
+    round's counters travel back over the wire, so remote and
+    in-process backends report identical ``list[MaintainResult]``.
 
     Args:
         retry: channel retry/timeout policy (defaults applied when
@@ -206,10 +258,28 @@ class RemotePSClient:
             created += response.created
         return PullResult(weights=out, hits=hits, misses=misses, created=created)
 
-    def maintain(self, batch_id: int) -> None:
-        """Node-side maintenance round (not an RPC in the real system)."""
-        for node in self.nodes:
-            node.maintain(batch_id)
+    def maintain(self, batch_id: int) -> list[MaintainResult]:
+        """Trigger the maintenance round on every shard; one result each.
+
+        The trigger is a real RPC (:class:`MaintainRequest`): the wire
+        carries the round's counters back, so the remote backend reports
+        the same per-shard :class:`MaintainResult` accounting as the
+        in-process :class:`OpenEmbeddingServer` — this used to return
+        ``None``, an API drift the protocol now forbids.
+        """
+        results: list[MaintainResult] = []
+        for channel in self.channels:
+            response = channel.call(MaintainRequest(batch_id=batch_id))
+            results.append(
+                MaintainResult(
+                    processed=response.processed,
+                    loads=response.loads,
+                    flushes=response.flushes,
+                    evictions=response.evictions,
+                    checkpoints_completed=response.checkpoints_completed,
+                )
+            )
+        return results
 
     def push(self, keys, grads: np.ndarray | None, batch_id: int) -> int:
         if grads is None:
@@ -259,6 +329,13 @@ class RemotePSClient:
                 raise ServerError("checkpoint request rejected")
         return batch_id
 
+    def barrier_checkpoint(self, batch_id: int | None = None) -> int:
+        """Checkpoint every shard and synchronously complete (parity
+        with :meth:`OpenEmbeddingServer.barrier_checkpoint`)."""
+        requested = self.request_checkpoint(batch_id)
+        self.complete_pending_checkpoints()
+        return requested
+
     def complete_pending_checkpoints(self) -> None:
         for node in self.nodes:
             node.cache.complete_pending_checkpoints()
@@ -266,6 +343,12 @@ class RemotePSClient:
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+
+    @property
+    def latest_completed_batch(self) -> int:
+        """Newest batch whose updates reached every shard it touched
+        (parity with the in-process server's property)."""
+        return max(node.latest_completed_batch for node in self.nodes)
 
     @property
     def num_entries(self) -> int:

@@ -23,6 +23,10 @@ PushRequest             0x03  batch_id u64, worker_id u32, seq u64,
 CheckpointRequest       0x04  batch_id i64
 StatusResponse          0x05  code u8, value i64, detail_len u16,
                               detail utf-8[detail_len]
+MaintainRequest         0x06  batch_id u64
+MaintainResponse        0x07  batch_id u64, processed u32, loads u32,
+                              flushes u32, evictions u32,
+                              checkpoints_completed u32
 ======================  ====  =======================================
 
 ``PushRequest``'s ``(worker_id, seq)`` header gives the server a dedup
@@ -212,6 +216,78 @@ class CheckpointRequest:
 
 
 @dataclass(frozen=True)
+class MaintainRequest:
+    """Worker -> PS: run the deferred maintenance round for a batch.
+
+    In the paper's system the maintainer threads live inside the PS
+    process; this message is the trainer's *trigger* for the round (the
+    batch boundary), so the remote client can account maintenance work
+    exactly like the in-process server does. The operation is
+    state-idempotent: a duplicate or retried trigger finds the batch's
+    access queue already drained and performs no work.
+    """
+
+    TYPE = 0x06
+
+    batch_id: int
+
+    def encode_body(self) -> bytes:
+        return struct.pack("<Q", self.batch_id)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "MaintainRequest":
+        if len(body) != 8:
+            raise MessageError(f"MaintainRequest length {len(body)}, want 8")
+        return cls(batch_id=struct.unpack("<Q", body)[0])
+
+
+@dataclass(frozen=True)
+class MaintainResponse:
+    """PS -> worker: the maintenance round's counters.
+
+    Mirrors :class:`~repro.core.cache.MaintainResult`, so the remote
+    client reports the same per-shard maintenance accounting as the
+    in-process server instead of losing it at the wire boundary.
+    """
+
+    TYPE = 0x07
+
+    batch_id: int
+    processed: int = 0
+    loads: int = 0
+    flushes: int = 0
+    evictions: int = 0
+    checkpoints_completed: int = 0
+
+    def encode_body(self) -> bytes:
+        return struct.pack(
+            "<QIIIII",
+            self.batch_id,
+            self.processed,
+            self.loads,
+            self.flushes,
+            self.evictions,
+            self.checkpoints_completed,
+        )
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "MaintainResponse":
+        if len(body) != 28:
+            raise MessageError(f"MaintainResponse length {len(body)}, want 28")
+        batch_id, processed, loads, flushes, evictions, completed = struct.unpack(
+            "<QIIIII", body
+        )
+        return cls(
+            batch_id=batch_id,
+            processed=processed,
+            loads=loads,
+            flushes=flushes,
+            evictions=evictions,
+            checkpoints_completed=completed,
+        )
+
+
+@dataclass(frozen=True)
 class StatusResponse:
     """PS -> caller: an ack carrying a status code, integer and detail.
 
@@ -268,7 +344,15 @@ class StatusResponse:
 
 _MESSAGE_TYPES = {
     cls.TYPE: cls
-    for cls in (PullRequest, PullResponse, PushRequest, CheckpointRequest, StatusResponse)
+    for cls in (
+        PullRequest,
+        PullResponse,
+        PushRequest,
+        CheckpointRequest,
+        StatusResponse,
+        MaintainRequest,
+        MaintainResponse,
+    )
 }
 
 

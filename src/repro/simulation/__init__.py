@@ -14,7 +14,13 @@ the core PS package in the dependency order.
 from repro.simulation.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.simulation.clock import PeriodicTimer, SimClock
 from repro.simulation.device import DRAM_SPEC, PMEM_SPEC, SSD_SPEC, DeviceSpec, MemoryDevice
-from repro.simulation.metrics import Counter, Metrics, RequestTrace, RpcReliabilityStats
+from repro.simulation.metrics import (
+    Counter,
+    Metrics,
+    PrefetchStats,
+    RequestTrace,
+    RpcReliabilityStats,
+)
 from repro.simulation.network import Delivery, NetworkModel
 from repro.simulation.contention import serialized_section_time, shared_bandwidth_time
 
@@ -32,6 +38,7 @@ __all__ = [
     "Counter",
     "RequestTrace",
     "RpcReliabilityStats",
+    "PrefetchStats",
     "NetworkModel",
     "Delivery",
     "serialized_section_time",

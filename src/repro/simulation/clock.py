@@ -51,6 +51,29 @@ class SimClock:
         self._now = float(timestamp)
         return self._now
 
+    def advance_overlapping(self, start: float, seconds: float) -> float:
+        """Charge ``seconds`` of work that *began* at ``start``.
+
+        The overlap primitive of the prefetch pipeline (Figure 5): work
+        that ran concurrently with whatever advanced the clock since
+        ``start`` only costs the portion extending past ``now``. If the
+        work window ``start + seconds`` is already in the past, the
+        work was fully hidden and the clock does not move.
+
+        Raises:
+            ClockError: negative duration, or ``start`` in the future.
+        """
+        if seconds < 0:
+            raise ClockError(f"cannot overlap negative duration {seconds}")
+        if start > self._now:
+            raise ClockError(
+                f"overlap window starts at {start}, after now ({self._now})"
+            )
+        end = start + seconds
+        if end > self._now:
+            self._now = float(end)
+        return self._now
+
     def reset(self, start: float = 0.0) -> None:
         """Reset the clock (used between benchmark repetitions)."""
         if start < 0:

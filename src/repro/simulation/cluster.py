@@ -41,9 +41,18 @@ class SystemKind(enum.Enum):
 
 @dataclass(frozen=True)
 class IterationCounts:
-    """Aggregate functional op counts of one synchronous iteration."""
+    """Aggregate functional op counts of one synchronous iteration.
 
-    requests: int  # total pull requests across all workers
+    ``requests`` counts the pulls on the *critical path*. Without a
+    prefetch pipeline that is every worker's every lookup; with one it
+    is only the demand misses of the lookahead buffer. The
+    ``prefetch_*`` fields count the lookahead pulls issued inside the
+    overlap window (zero when prefetch is off); pushes always carry the
+    full duplicate burst and are counted by the caller via ``requests``
+    of the unprefetched schedule, passed as ``push_requests``.
+    """
+
+    requests: int  # critical-path pull requests across all workers
     hits: int
     misses: int
     created: int
@@ -51,6 +60,11 @@ class IterationCounts:
     maintain_loads: int
     maintain_flushes: int
     maintain_evictions: int
+    prefetch_requests: int = 0
+    prefetch_hits: int = 0
+    prefetch_misses: int = 0
+    prefetch_created: int = 0
+    push_requests: int | None = None  # defaults to ``requests``
 
 
 @dataclass(frozen=True)
@@ -65,6 +79,9 @@ class IterationTiming:
     net_push: float
     push_service: float
     total: float
+    #: lookahead prefetch work (network + PS service), priced into the
+    #: overlap slot alongside deferred maintenance
+    prefetch_overlapped: float = 0.0
 
 
 class PSCostModel:
@@ -112,22 +129,42 @@ class PSCostModel:
         """Simulated time of one iteration given its op counts."""
         workers = self.cluster.num_workers
         nodes = self.server.num_nodes
-        per_worker_keys = max(1, counts.requests // max(1, workers))
-        payload = per_worker_keys * (self.entry_bytes + 8)
-        net_pull = self.network.burst_transfer_time(workers, payload)
-        net_push = self.network.burst_transfer_time(workers, payload)
-
-        r = -(-counts.requests // nodes)  # per-node requests (ceil)
-        pull_service, maintain_deferred, maintain_inline, push_service = (
-            self._service_times(r, counts)
+        push_requests = (
+            counts.requests
+            if counts.push_requests is None
+            else counts.push_requests
         )
+        per_worker_pull = max(1, counts.requests // max(1, workers))
+        per_worker_push = max(1, push_requests // max(1, workers))
+        net_pull = self.network.burst_transfer_time(
+            workers, per_worker_pull * (self.entry_bytes + 8)
+        )
+        net_push = self.network.burst_transfer_time(
+            workers, per_worker_push * (self.entry_bytes + 8)
+        )
+
+        r_pull = -(-counts.requests // nodes)  # per-node requests (ceil)
+        r_push = -(-push_requests // nodes)
+        pull_service, maintain_deferred, maintain_inline, push_service = (
+            self._service_times(r_pull, r_push, counts)
+        )
+        prefetch_work = 0.0
+        if counts.prefetch_requests > 0:
+            # Lookahead pulls: same network + cache-pull cost structure
+            # as the demand burst, but issued inside the overlap window.
+            per_worker_pf = max(1, counts.prefetch_requests // max(1, workers))
+            prefetch_work = self.network.burst_transfer_time(
+                workers, per_worker_pf * (self.entry_bytes + 8)
+            ) + self._prefetch_service(counts)
         gpu = self.cluster.gpu_batch_time_s
         if self.pipelined:
-            middle = max(gpu, maintain_deferred)
+            middle = max(gpu, maintain_deferred + prefetch_work)
             inline = maintain_inline
         else:
+            # Prefetch requires the pipeline; without it the lookahead
+            # work degenerates onto the critical path.
             middle = gpu
-            inline = maintain_inline + maintain_deferred
+            inline = maintain_inline + maintain_deferred + prefetch_work
         total = net_pull + pull_service + middle + inline + net_push + push_service
         return IterationTiming(
             net_pull=net_pull,
@@ -138,6 +175,7 @@ class PSCostModel:
             net_push=net_push,
             push_service=push_service,
             total=total,
+            prefetch_overlapped=prefetch_work if self.pipelined else 0.0,
         )
 
     # ------------------------------------------------------------------
@@ -145,10 +183,16 @@ class PSCostModel:
     # ------------------------------------------------------------------
 
     def _service_times(
-        self, r: int, counts: IterationCounts
+        self, r: int, r_push: int, counts: IterationCounts
     ) -> tuple[float, float, float, float]:
         """Returns (pull_service, maintain_deferred, maintain_inline,
-        push_service) for one PS node's share of the burst."""
+        push_service) for one PS node's share of the burst.
+
+        ``r`` is the per-node critical-path pull count, ``r_push`` the
+        per-node push count — identical without prefetch, but with a
+        lookahead buffer the pull side shrinks while pushes still carry
+        every duplicate gradient.
+        """
         nodes = self.server.num_nodes
         threads = self.cluster.ps_threads_per_node
         workers = self.cluster.num_workers
@@ -168,45 +212,57 @@ class PSCostModel:
             contenders=workers,
             contention_factor=cal.lock_contention_factor,
         )
-        apply_updates = parallel_section_time(r, cal.update_apply_s, threads)
+        apply_updates = parallel_section_time(r_push, cal.update_apply_s, threads)
 
         if self.system == SystemKind.DRAM_PS:
             pull = hash_probe + create + self.dram.burst_read(r, eb, threads)
-            push = apply_updates + self.dram.burst_write(r, eb, threads)
+            push = apply_updates + self.dram.burst_write(r_push, eb, threads)
             return pull, 0.0, 0.0, push
 
         if self.system == SystemKind.TF_PS:
             # Single-process PS: a heavier per-entry path plus a
             # serialized session/graph section contended by all workers.
-            tf_section = serialized_section_time(
-                r,
-                cal.tf_ps_entry_s + eb * cal.tf_ps_per_byte_s,
-                contenders=workers,
-                contention_factor=cal.lock_contention_factor,
+            def tf_section(n: int) -> float:
+                return serialized_section_time(
+                    n,
+                    cal.tf_ps_entry_s + eb * cal.tf_ps_per_byte_s,
+                    contenders=workers,
+                    contention_factor=cal.lock_contention_factor,
+                )
+
+            pull = (
+                hash_probe
+                + create
+                + tf_section(r)
+                + self.dram.burst_read(r, eb, threads)
             )
-            pull = hash_probe + create + tf_section + self.dram.burst_read(r, eb, threads)
-            push = apply_updates + tf_section + self.dram.burst_write(r, eb, threads)
+            push = (
+                apply_updates
+                + tf_section(r_push)
+                + self.dram.burst_write(r_push, eb, threads)
+            )
             return pull, 0.0, 0.0, push
 
         if self.system == SystemKind.PMEM_HASH:
             # Everything on PMem, on the critical path, through a
             # PMem-aware concurrent hash whose operations serialize on
             # persistent-allocator and bucket-lock sections.
-            pm_section_pull = serialized_section_time(
-                r,
-                cal.pmem_hash_section_s,
-                contenders=workers,
-                contention_factor=cal.pmem_hash_contention_factor,
-            )
-            pm_section_push = pm_section_pull
-            pull = hash_probe + create + pm_section_pull + self.pmem.burst_read(
+            def pm_section(n: int) -> float:
+                return serialized_section_time(
+                    n,
+                    cal.pmem_hash_section_s,
+                    contenders=workers,
+                    contention_factor=cal.pmem_hash_contention_factor,
+                )
+
+            pull = hash_probe + create + pm_section(r) + self.pmem.burst_read(
                 r, eb, threads
             )
             push = (
                 apply_updates
-                + pm_section_push
-                + self.pmem.burst_read(r, eb, threads)
-                + self.pmem.burst_write(r, eb, threads)
+                + pm_section(r_push)
+                + self.pmem.burst_read(r_push, eb, threads)
+                + self.pmem.burst_write(r_push, eb, threads)
             )
             return pull, 0.0, 0.0, push
 
@@ -216,15 +272,19 @@ class PSCostModel:
             # contended PMem read on the pull path and a PMem
             # write-back on the push path; with the pipeline enabled
             # the write-back half is deferred behind GPU compute.
-            pm_ops = serialized_section_time(
-                r,
-                cal.pmem_op_overhead_s,
-                contenders=workers,
-                contention_factor=cal.pmem_contention_factor,
+            def pm_ops(n: int) -> float:
+                return serialized_section_time(
+                    n,
+                    cal.pmem_op_overhead_s,
+                    contenders=workers,
+                    contention_factor=cal.pmem_contention_factor,
+                )
+
+            pull = hash_probe + create + pm_ops(r) + self.pmem.burst_read(
+                r, eb, threads
             )
-            pull = hash_probe + create + pm_ops + self.pmem.burst_read(r, eb, threads)
-            writeback = pm_ops + self.pmem.burst_write(r, eb, threads)
-            push = apply_updates + self.pmem.burst_read(r, eb, threads)
+            writeback = pm_ops(r_push) + self.pmem.burst_write(r_push, eb, threads)
+            push = apply_updates + self.pmem.burst_read(r_push, eb, threads)
             return pull, writeback, 0.0, push
 
         pm_miss = serialized_section_time(
@@ -240,7 +300,7 @@ class PSCostModel:
             + pm_miss
             + self.pmem.burst_read(misses, eb, threads)
         )
-        push_common = apply_updates + self.dram.burst_write(r, eb, threads)
+        push_common = apply_updates + self.dram.burst_write(r_push, eb, threads)
 
         if self.system == SystemKind.PMEM_OE and self.pipelined:
             # Deferred maintenance on dedicated threads, no request-path
@@ -267,7 +327,7 @@ class PSCostModel:
             contention_factor=cal.lock_contention_factor,
         )
         inline_push = serialized_section_time(
-            r,
+            r_push,
             cal.inline_maint_section_s,
             contenders=workers,
             contention_factor=cal.lock_contention_factor,
@@ -277,3 +337,41 @@ class PSCostModel:
         pull = pull_common + inline_pull + fill_io + evict_io
         push = push_common + inline_push
         return pull, 0.0, 0.0, push
+
+    def _prefetch_service(self, counts: IterationCounts) -> float:
+        """PS-side cost of the lookahead pull burst (overlap slot).
+
+        Same cache-pull cost structure as the demand burst — hash
+        probes, entry creation, DRAM hits, contended PMem misses — but
+        running on the maintenance side of the pipeline, so it never
+        touches the critical path.
+        """
+        nodes = self.server.num_nodes
+        threads = self.cluster.ps_threads_per_node
+        workers = self.cluster.num_workers
+        eb = self.entry_bytes
+        cal = self.cal
+        r = -(-counts.prefetch_requests // nodes)
+        hits = -(-counts.prefetch_hits // nodes)
+        misses = -(-counts.prefetch_misses // nodes)
+        created = -(-counts.prefetch_created // nodes)
+        hash_probe = parallel_section_time(r, cal.hash_lookup_s, threads)
+        create = serialized_section_time(
+            created,
+            cal.entry_create_s,
+            contenders=workers,
+            contention_factor=cal.lock_contention_factor,
+        )
+        pm_miss = serialized_section_time(
+            misses,
+            cal.pmem_op_overhead_s,
+            contenders=workers,
+            contention_factor=cal.pmem_contention_factor,
+        )
+        return (
+            hash_probe
+            + create
+            + self.dram.burst_read(hits, eb, threads)
+            + pm_miss
+            + self.pmem.burst_read(misses, eb, threads)
+        )

@@ -90,6 +90,64 @@ class RpcReliabilityStats:
         self.faults_injected = 0
 
 
+@dataclass
+class PrefetchStats:
+    """Observability for the lookahead prefetch pipeline.
+
+    ``demand_keys`` are pulls that had to run on the critical path
+    (batch keys not validly buffered); ``buffer_hits`` were served from
+    the lookahead buffer without touching the backend; ``prefetch_keys``
+    were pulled ahead of time in the overlap window; ``patched_keys``
+    are pushed keys re-pulled to restore the staleness invariant;
+    ``deduped_keys`` are window keys skipped because a valid buffered
+    copy already existed; ``overlap_hidden_seconds`` is simulated
+    maintenance + prefetch time hidden behind GPU compute.
+    """
+
+    demand_keys: int = 0
+    buffer_hits: int = 0
+    prefetch_keys: int = 0
+    patched_keys: int = 0
+    invalidated_keys: int = 0
+    deduped_keys: int = 0
+    batches: int = 0
+    overlap_hidden_seconds: float = 0.0
+
+    @property
+    def backend_keys(self) -> int:
+        """Keys actually pulled from the backend (all causes)."""
+        return self.demand_keys + self.prefetch_keys + self.patched_keys
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of trainer lookups served from the buffer."""
+        total = self.demand_keys + self.buffer_hits
+        if total == 0:
+            return 0.0
+        return self.buffer_hits / total
+
+    def merge(self, other: "PrefetchStats") -> None:
+        """Accumulate another stats bundle into this one."""
+        self.demand_keys += other.demand_keys
+        self.buffer_hits += other.buffer_hits
+        self.prefetch_keys += other.prefetch_keys
+        self.patched_keys += other.patched_keys
+        self.invalidated_keys += other.invalidated_keys
+        self.deduped_keys += other.deduped_keys
+        self.batches += other.batches
+        self.overlap_hidden_seconds += other.overlap_hidden_seconds
+
+    def reset(self) -> None:
+        self.demand_keys = 0
+        self.buffer_hits = 0
+        self.prefetch_keys = 0
+        self.patched_keys = 0
+        self.invalidated_keys = 0
+        self.deduped_keys = 0
+        self.batches = 0
+        self.overlap_hidden_seconds = 0.0
+
+
 class RequestTrace:
     """Timestamped request log bucketed per millisecond.
 

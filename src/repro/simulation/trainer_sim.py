@@ -27,8 +27,10 @@ from repro.config import (
     CheckpointConfig,
     CheckpointMode,
     ClusterConfig,
+    PrefetchConfig,
     ServerConfig,
 )
+from repro.core.backend import aggregate_maintain
 from repro.core.ps_node import PSNode
 from repro.baselines.dram_ps import DRAMPSNode
 from repro.baselines.pmem_hash import PMemHashNode
@@ -60,6 +62,10 @@ class TrainingRunResult:
     checkpoints_completed: int = 0
     miss_rate: float = 0.0
     total_requests: int = 0
+    #: lookahead pulls issued inside the overlap window
+    prefetch_requests: int = 0
+    #: simulated seconds of prefetch work priced into the overlap slot
+    prefetch_overlapped_seconds: float = 0.0
     trace: RequestTrace | None = None
 
     @property
@@ -78,6 +84,12 @@ class TrainingSimulator:
         checkpoint: checkpoint mode and interval in *simulated seconds*
             (use :meth:`interval_for_epoch_fraction` to scale).
         workload: key-access generator.
+        prefetch: lookahead prefetch over the pull path
+            (PMem-OE with the pipelined cache only): demand pulls on
+            the critical path shrink to buffer misses, the next
+            ``lookahead`` batches' deduplicated keys are pulled inside
+            the overlap slot, and pushed keys are invalidated/patched
+            exactly as in :class:`repro.dlrm.prefetch.PrefetchPipeline`.
         use_cache: Figure 9 ablation switch (hybrids only).
         record_trace: keep a per-request timestamp trace (Figure 2).
     """
@@ -92,6 +104,7 @@ class TrainingSimulator:
         workload: WorkloadGenerator | None = None,
         calibration: Calibration = DEFAULT_CALIBRATION,
         *,
+        prefetch: PrefetchConfig | None = None,
         use_cache: bool = True,
         record_trace: bool = False,
     ):
@@ -115,8 +128,18 @@ class TrainingSimulator:
             use_cache=use_cache,
             maintainer_threads=self.cache_config.maintainer_threads,
         )
+        self.prefetch = prefetch or PrefetchConfig()
+        if self.prefetch.enabled:
+            if system != SystemKind.PMEM_OE or not pipelined or not use_cache:
+                raise ConfigError(
+                    "prefetch requires the PMem-OE system with its "
+                    "pipelined cache enabled (the overlap slot the "
+                    "lookahead pulls hide in)"
+                )
         self.backend = self._build_backend()
         self._dirty_since_ckpt: set[int] = set()
+        self._key_stream: list[list[int]] = []
+        self._buffered: set[int] = set()
         self._validate_checkpoint_mode()
 
     # ------------------------------------------------------------------
@@ -139,18 +162,29 @@ class TrainingSimulator:
             timer = PeriodicTimer(self.checkpoint_config.interval_seconds)
 
         for batch_id in range(iterations):
-            counts = self._run_functional_iteration(batch_id)
+            counts = self._run_functional_iteration(batch_id, iterations - 1)
             timing = self.cost_model.price_iteration(counts)
             start = self.clock.now
             self.trace.record(start, RequestTrace.PULL, counts.requests)
+            overlap_at = start + timing.net_pull + timing.pull_service
+            if counts.prefetch_requests:
+                self.trace.record(
+                    overlap_at, RequestTrace.PULL, counts.prefetch_requests
+                )
             push_at = (
-                start
-                + timing.net_pull
-                + timing.pull_service
-                + max(timing.gpu, timing.maintain_deferred)
+                overlap_at
+                + max(
+                    timing.gpu,
+                    timing.maintain_deferred + timing.prefetch_overlapped,
+                )
                 + timing.maintain_inline
             )
-            self.trace.record(push_at, RequestTrace.UPDATE, counts.requests)
+            push_requests = (
+                counts.requests
+                if counts.push_requests is None
+                else counts.push_requests
+            )
+            self.trace.record(push_at, RequestTrace.UPDATE, push_requests)
             self.clock.advance(timing.total)
 
             result.net_seconds += timing.net_pull + timing.net_push
@@ -160,6 +194,8 @@ class TrainingSimulator:
             result.maintain_deferred_seconds += timing.maintain_deferred
             result.push_service_seconds += timing.push_service
             result.total_requests += counts.requests
+            result.prefetch_requests += counts.prefetch_requests
+            result.prefetch_overlapped_seconds += timing.prefetch_overlapped
 
             if timer is not None and timer.due(self.clock.now):
                 pause = self._execute_checkpoint(batch_id)
@@ -189,25 +225,36 @@ class TrainingSimulator:
     # functional iteration
     # ------------------------------------------------------------------
 
-    def _run_functional_iteration(self, batch_id: int) -> IterationCounts:
-        worker_batches = self.workload.sample_worker_batches(
-            self.cluster.num_workers, self.cluster.batch_size
-        )
-        keys: list[int] = []
-        for batch in worker_batches:
-            keys.extend(batch.tolist())
+    def _batch_keys(self, batch_id: int) -> list[int]:
+        """Flat key list (duplicates kept) of global batch ``batch_id``.
+
+        Batches are sampled lazily in order, so the generated stream is
+        identical whether or not future batches are peeked early.
+        """
+        while len(self._key_stream) <= batch_id:
+            keys: list[int] = []
+            for batch in self.workload.sample_worker_batches(
+                self.cluster.num_workers, self.cluster.batch_size
+            ):
+                keys.extend(batch.tolist())
+            self._key_stream.append(keys)
+        return self._key_stream[batch_id]
+
+    def _run_functional_iteration(
+        self, batch_id: int, horizon: int
+    ) -> IterationCounts:
+        keys = self._batch_keys(batch_id)
+        if self.prefetch.enabled:
+            return self._run_prefetch_iteration(batch_id, keys, horizon)
         pull = self.backend.pull(keys, batch_id)
-        maintain = self.backend.maintain(batch_id)
+        maintain = aggregate_maintain(self.backend.maintain(batch_id))
         self.backend.push(keys, None, batch_id)
         if self.checkpoint_config.mode == CheckpointMode.INCREMENTAL:
             self._dirty_since_ckpt.update(keys)
-        if maintain is None:
-            loads = flushes = evictions = processed = 0
-        else:
-            loads = maintain.loads
-            flushes = maintain.flushes
-            evictions = maintain.evictions
-            processed = maintain.processed
+        loads = maintain.loads
+        flushes = maintain.flushes
+        evictions = maintain.evictions
+        processed = maintain.processed
         if not self.use_cache and self.system in (
             SystemKind.PMEM_OE,
             SystemKind.ORI_CACHE,
@@ -233,6 +280,78 @@ class TrainingSimulator:
             maintain_loads=loads,
             maintain_flushes=flushes,
             maintain_evictions=evictions,
+        )
+
+    def _run_prefetch_iteration(
+        self, batch_id: int, keys: list[int], horizon: int
+    ) -> IterationCounts:
+        """One iteration through the lookahead-buffer discipline.
+
+        Mirrors :class:`repro.dlrm.prefetch.PrefetchPipeline` step for
+        step on the metadata backend — demand pulls tag ``batch_id``,
+        prefetch/patch pulls tag ``batch_id + 1`` after the maintenance
+        round, pushes invalidate, eager patching restores — so the
+        priced op streams are exactly the functional pipeline's.
+        """
+        unique: list[int] = []
+        seen: set[int] = set()
+        for key in keys:
+            if key not in seen:
+                seen.add(key)
+                unique.append(key)
+        demand = [k for k in unique if k not in self._buffered]
+        pull = self.backend.pull(demand, batch_id)
+        self._buffered.update(demand)
+        maintain = aggregate_maintain(self.backend.maintain(batch_id))
+
+        window: set[int] = set()
+        last = min(batch_id + self.prefetch.lookahead, horizon)
+        for future in range(batch_id + 1, last + 1):
+            window.update(self._batch_keys(future))
+        candidates = sorted(window - self._buffered)
+        cap = self.prefetch.max_buffer_entries
+        if cap is not None:
+            candidates = candidates[: max(0, cap - len(self._buffered))]
+        pf_requests = pf_hits = pf_misses = pf_created = 0
+        if candidates:
+            pf = self.backend.pull(candidates, batch_id + 1)
+            self._buffered.update(candidates)
+            pf_requests += len(candidates)
+            pf_hits += pf.hits
+            pf_misses += pf.misses
+            pf_created += pf.created
+
+        self.backend.push(keys, None, batch_id)
+        if self.checkpoint_config.mode == CheckpointMode.INCREMENTAL:
+            self._dirty_since_ckpt.update(keys)
+
+        pushed = seen
+        self._buffered -= pushed
+        if self.prefetch.patch:
+            to_patch = sorted(pushed & window)
+            if to_patch:
+                patch = self.backend.pull(to_patch, batch_id + 1)
+                self._buffered.update(to_patch)
+                pf_requests += len(to_patch)
+                pf_hits += patch.hits
+                pf_misses += patch.misses
+                pf_created += patch.created
+        self._buffered &= window
+
+        return IterationCounts(
+            requests=len(demand),
+            hits=pull.hits,
+            misses=pull.misses,
+            created=pull.created,
+            maintain_processed=maintain.processed,
+            maintain_loads=maintain.loads,
+            maintain_flushes=maintain.flushes,
+            maintain_evictions=maintain.evictions,
+            prefetch_requests=pf_requests,
+            prefetch_hits=pf_hits,
+            prefetch_misses=pf_misses,
+            prefetch_created=pf_created,
+            push_requests=len(keys),
         )
 
     # ------------------------------------------------------------------

@@ -41,6 +41,106 @@ def test_version():
     assert repro.__version__
 
 
+class TestPSBackendProtocol:
+    """Every shipped PS implementation satisfies the formal protocol."""
+
+    def _implementations(self):
+        import numpy as np
+
+        from repro.baselines.dram_ps import DRAMPSNode
+        from repro.baselines.ori_cache import OriCacheNode
+        from repro.baselines.pmem_hash import PMemHashNode
+        from repro.config import CacheConfig, ServerConfig
+        from repro.core.server import OpenEmbeddingServer
+        from repro.network.frontend import RemotePSClient
+
+        sc = ServerConfig(
+            num_nodes=2, embedding_dim=8, pmem_capacity_bytes=1 << 22
+        )
+        cc = CacheConfig(capacity_bytes=1 << 18)
+        del np
+        return [
+            OpenEmbeddingServer(sc, cc),
+            RemotePSClient(sc, cc),
+            DRAMPSNode(sc),
+            PMemHashNode(sc),
+            OriCacheNode(
+                0, sc, CacheConfig(capacity_bytes=1 << 18, pipelined=False)
+            ),
+        ]
+
+    def test_isinstance_and_check(self):
+        from repro.core.backend import PSBackend, check_backend
+
+        for backend in self._implementations():
+            assert isinstance(backend, PSBackend), type(backend).__name__
+            assert check_backend(backend) is backend
+
+    def test_check_backend_rejects_partial(self):
+        from repro.core.backend import check_backend
+
+        class Half:
+            def pull(self, keys, batch_id):
+                raise NotImplementedError
+
+        with pytest.raises(TypeError, match="push"):
+            check_backend(Half())
+
+    def test_protocol_members_exercisable(self):
+        """Each implementation runs one full protocol round-trip."""
+        import numpy as np
+
+        from repro.core.backend import aggregate_maintain
+
+        for backend in self._implementations():
+            name = type(backend).__name__
+            keys = [1, 2, 3]
+            result = backend.pull(keys, 0)
+            assert result.weights.shape == (3, 8), name
+            maintain = aggregate_maintain(backend.maintain(0))
+            assert maintain.processed >= 0, name
+            backend.push(keys, np.ones((3, 8), dtype=np.float32), 0)
+            assert backend.num_entries >= 3, name
+            assert backend.barrier_checkpoint() >= 0, name
+            backend.complete_pending_checkpoints()  # idempotent
+            assert backend.latest_completed_batch >= -1, name
+            snapshot = backend.state_snapshot()
+            assert set(snapshot) == set(keys), name
+
+    def test_maintain_returns_list(self):
+        """Satellite: maintain() is list[MaintainResult] everywhere."""
+        from repro.core.cache import MaintainResult
+
+        for backend in self._implementations():
+            backend.pull([5, 6], 0)
+            results = backend.maintain(0)
+            assert isinstance(results, list), type(backend).__name__
+            assert all(isinstance(r, MaintainResult) for r in results)
+
+
+def test_trainer_server_kwarg_deprecated():
+    """The renamed trainer kwarg still works but warns."""
+    from repro.config import CacheConfig, ServerConfig
+    from repro.core.server import OpenEmbeddingServer
+    from repro.dlrm.criteo import CriteoSynthetic
+    from repro.dlrm.deepfm import DeepFM
+    from repro.dlrm.trainer import SynchronousTrainer
+
+    server = OpenEmbeddingServer(
+        ServerConfig(num_nodes=1, embedding_dim=8, pmem_capacity_bytes=1 << 22),
+        CacheConfig(capacity_bytes=1 << 18),
+    )
+    model = DeepFM(4, 8, hidden=(8,), use_first_order=False, seed=0)
+    dataset = CriteoSynthetic(num_fields=4, vocab_per_field=50, seed=0)
+    with pytest.warns(DeprecationWarning, match="backend"):
+        trainer = SynchronousTrainer(
+            server=server, model=model, dataset=dataset, batch_size=8
+        )
+    assert trainer.backend is server
+    assert trainer.server is server  # legacy alias still readable
+    trainer.train(2)
+
+
 def test_quickstart_snippet_from_readme():
     """The README's core snippet must actually run."""
     import numpy as np

@@ -1,0 +1,230 @@
+"""Unit tests for the lookahead prefetch pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.config import CacheConfig, PrefetchConfig, ServerConfig
+from repro.core.server import OpenEmbeddingServer
+from repro.dlrm.prefetch import PrefetchPipeline
+from repro.errors import ConfigError, ServerError
+from repro.simulation.clock import SimClock
+
+DIM = 8
+
+
+def make_backend(clock=None):
+    return OpenEmbeddingServer(
+        ServerConfig(num_nodes=2, embedding_dim=DIM, pmem_capacity_bytes=1 << 22),
+        CacheConfig(capacity_bytes=1 << 18),
+    )
+
+
+def stream(batch_id: int) -> np.ndarray:
+    """Deterministic toy key stream: batch b touches keys 2b .. 2b+3."""
+    return np.arange(2 * batch_id, 2 * batch_id + 4).reshape(2, 2)
+
+
+def make_pipeline(lookahead=2, patch=True, cap=None, **kwargs):
+    backend = make_backend()
+    config = PrefetchConfig(
+        lookahead=lookahead, patch=patch, max_buffer_entries=cap
+    )
+    return PrefetchPipeline(backend, config, DIM, stream, **kwargs), backend
+
+
+class TestConfig:
+    def test_lookahead_must_be_non_negative(self):
+        with pytest.raises(ConfigError):
+            PrefetchConfig(lookahead=-1)
+
+    def test_buffer_cap_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            PrefetchConfig(lookahead=1, max_buffer_entries=0)
+
+    def test_enabled(self):
+        assert not PrefetchConfig(lookahead=0).enabled
+        assert PrefetchConfig(lookahead=1).enabled
+
+    def test_pipeline_rejects_bad_dim(self):
+        backend = make_backend()
+        with pytest.raises(ConfigError):
+            PrefetchPipeline(backend, PrefetchConfig(), 0, stream)
+
+    def test_pipeline_rejects_negative_gpu_time(self):
+        backend = make_backend()
+        with pytest.raises(ConfigError):
+            PrefetchPipeline(
+                backend, PrefetchConfig(), DIM, stream, gpu_batch_time_s=-1.0
+            )
+
+    def test_pipeline_requires_full_backend(self):
+        class NotABackend:
+            pass
+
+        with pytest.raises(TypeError):
+            PrefetchPipeline(NotABackend(), PrefetchConfig(), DIM, stream)
+
+
+class TestStepProtocol:
+    def test_gather_requires_begin_batch(self):
+        pipeline, _ = make_pipeline()
+        with pytest.raises(ServerError, match="not buffered"):
+            pipeline.gather(stream(0))
+
+    def test_gather_rejects_non_matrix(self):
+        pipeline, _ = make_pipeline()
+        pipeline.begin_batch(0, stream(0))
+        with pytest.raises(ConfigError, match="2-D"):
+            pipeline.gather(stream(0).reshape(-1))
+
+    def test_gather_matches_direct_pull(self):
+        pipeline, backend = make_pipeline()
+        reference = make_backend()
+        keys = stream(0)
+        pipeline.begin_batch(0, keys)
+        rows = pipeline.gather(keys)
+        expected = reference.pull(keys.reshape(-1).tolist(), 0).weights
+        np.testing.assert_array_equal(
+            rows, expected.reshape(*keys.shape, DIM)
+        )
+
+    def test_prefetch_fills_next_window(self):
+        pipeline, _ = make_pipeline(lookahead=2)
+        pipeline.begin_batch(0, stream(0))
+        pipeline.gather(stream(0))
+        pipeline.run_overlap(0)
+        # window = keys of batches 1 and 2 = {2..7}; {2,3} already
+        # buffered from batch 0, so only {4..7} are prefetched.
+        assert pipeline.stats.prefetch_keys == 4
+        assert pipeline.stats.deduped_keys == 2
+        pipeline.end_batch(0)
+        pipeline.begin_batch(1, stream(1))
+        assert pipeline.stats.demand_keys == 4  # batch 0 only
+
+    def test_push_invalidates_buffered_keys(self):
+        pipeline, _ = make_pipeline(lookahead=1, patch=False)
+        pipeline.begin_batch(0, stream(0))
+        pipeline.run_overlap(0)
+        grads = np.ones((4, DIM), dtype=np.float32)
+        pipeline.push([2, 3, 4, 5], grads, 0)
+        assert pipeline.stats.invalidated_keys > 0
+        pipeline.end_batch(0)
+        pipeline.validate()  # no stale key survives in the buffer
+        # lazily re-pulled on the next demand round
+        pipeline.begin_batch(1, stream(1))
+        assert pipeline.stats.demand_keys > 4
+
+    def test_eager_patch_restores_window_keys(self):
+        pipeline, _ = make_pipeline(lookahead=1, patch=True)
+        pipeline.begin_batch(0, stream(0))
+        pipeline.run_overlap(0)
+        pipeline.push([2, 3], np.ones((2, DIM), dtype=np.float32), 0)
+        pipeline.end_batch(0)
+        assert pipeline.stats.patched_keys == 2
+        pipeline.validate()
+        # batch 1 = keys {2..5}, all restored or prefetched: no demand.
+        before = pipeline.stats.demand_keys
+        pipeline.begin_batch(1, stream(1))
+        assert pipeline.stats.demand_keys == before
+
+    def test_buffer_pruned_to_window(self):
+        pipeline, _ = make_pipeline(lookahead=1)
+        pipeline.begin_batch(0, stream(0))
+        pipeline.run_overlap(0)
+        pipeline.end_batch(0)
+        # window of batch 0 is batch 1's keys {2..5}
+        assert pipeline.buffered_keys == 4
+
+    def test_buffer_cap_limits_prefetch(self):
+        pipeline, _ = make_pipeline(lookahead=4, cap=6)
+        pipeline.begin_batch(0, stream(0))
+        pipeline.run_overlap(0)
+        assert pipeline.buffered_keys <= 6
+
+    def test_horizon_clips_window(self):
+        pipeline, backend = make_pipeline(lookahead=8)
+        pipeline.horizon = 1
+        pipeline.begin_batch(0, stream(0))
+        pipeline.run_overlap(0)
+        pipeline.end_batch(0)
+        # only batch 1's keys may exist beyond batch 0's
+        assert backend.num_entries == 6
+
+    def test_lookahead_zero_is_serial(self):
+        pipeline, _ = make_pipeline(lookahead=0)
+        pipeline.begin_batch(0, stream(0))
+        pipeline.run_overlap(0)
+        pipeline.end_batch(0)
+        assert pipeline.stats.prefetch_keys == 0
+        assert pipeline.buffered_keys == 0  # nothing survives the batch
+
+    def test_validate_raises_on_stale_buffer(self):
+        pipeline, _ = make_pipeline(lookahead=1)
+        pipeline.begin_batch(0, stream(0))
+        pipeline._pushed.add(2)  # simulate a missed invalidation
+        with pytest.raises(ServerError, match="staleness"):
+            pipeline.validate()
+
+
+class TestOverlapTiming:
+    def test_overlap_charges_max_of_ps_and_gpu(self):
+        clock = SimClock()
+        backend = make_backend()
+        pipeline = PrefetchPipeline(
+            backend,
+            PrefetchConfig(lookahead=2),
+            DIM,
+            stream,
+            clock=clock,
+            gpu_batch_time_s=0.5,
+        )
+        pipeline.begin_batch(0, stream(0))
+        start = clock.now
+        pipeline.run_overlap(0)
+        # The local backend charges no clock time, so the window costs
+        # exactly the GPU slice and all PS work is "hidden".
+        assert clock.now == pytest.approx(start + 0.5)
+
+    def test_serial_mode_charges_gpu_after_maintain(self):
+        clock = SimClock()
+        backend = make_backend()
+        pipeline = PrefetchPipeline(
+            backend,
+            PrefetchConfig(lookahead=0),
+            DIM,
+            stream,
+            clock=clock,
+            gpu_batch_time_s=0.25,
+        )
+        pipeline.begin_batch(0, stream(0))
+        pipeline.run_overlap(0)
+        assert clock.now == pytest.approx(0.25)
+        assert pipeline.stats.overlap_hidden_seconds == 0.0
+
+
+class TestClockPrimitive:
+    def test_advance_overlapping_hidden(self):
+        clock = SimClock()
+        clock.advance(10.0)
+        clock.advance_overlapping(4.0, 3.0)  # ended at 7.0, in the past
+        assert clock.now == 10.0
+
+    def test_advance_overlapping_extends(self):
+        clock = SimClock()
+        clock.advance(2.0)
+        clock.advance_overlapping(1.0, 5.0)
+        assert clock.now == 6.0
+
+    def test_advance_overlapping_rejects_future_start(self):
+        from repro.errors import ClockError
+
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.advance_overlapping(1.0, 1.0)
+
+    def test_advance_overlapping_rejects_negative(self):
+        from repro.errors import ClockError
+
+        clock = SimClock()
+        with pytest.raises(ClockError):
+            clock.advance_overlapping(0.0, -1.0)

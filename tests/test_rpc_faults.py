@@ -430,6 +430,29 @@ class TestPushIdempotency:
         assert len(service._push_replies) == 4
 
 
+class TestCheckpointIdempotency:
+    def test_duplicate_checkpoint_frame_replays_ok(self):
+        """A duplicated/retried CheckpointRequest must not surface the
+        server's 'not newer than queued' rejection to the client whose
+        first copy already landed."""
+        server_config, cache_config = _configs(num_nodes=1)
+        service = PSNodeService(PSNode_like(server_config, cache_config))
+        keys = [1, 2]
+        service.node.pull(keys, 0)
+        service.node.maintain(0)
+        service.node.push(keys, np.ones((2, DIM), dtype=np.float32), 0)
+        frame = encode_message(CheckpointRequest(batch_id=0))
+        first = decode_message(service.server.dispatch(frame))
+        assert isinstance(first, StatusResponse)
+        assert first.code == StatusResponse.OK
+        replay = decode_message(service.server.dispatch(frame))
+        assert replay == first  # cached OK, not a CheckpointError frame
+        assert service.dup_suppressed == 1
+        # exactly one checkpoint is queued and completes
+        assert service.node.cache.complete_pending_checkpoints() == [0]
+        assert service.node.cache.complete_pending_checkpoints() == []
+
+
 class TestFaultyTrainingEquivalence:
     def test_training_under_faults_matches_in_process_server(self):
         """Acceptance: drop+duplicate+delay+corrupt, bit-identical state."""

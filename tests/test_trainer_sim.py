@@ -146,3 +146,98 @@ class TestTrace:
     def test_trace_disabled_by_default(self):
         result = make_sim(SystemKind.PMEM_OE).run(3)
         assert result.trace is None
+
+
+class TestPrefetch:
+    """Satellite: simulated lookahead prefetch hides PS latency."""
+
+    def _run(self, lookahead, iters=60, **kwargs):
+        from repro.config import PrefetchConfig
+
+        prefetch = (
+            PrefetchConfig(lookahead=lookahead) if lookahead is not None else None
+        )
+        sim = make_sim(SystemKind.PMEM_OE, prefetch=prefetch, **kwargs)
+        return sim.run(iters)
+
+    @staticmethod
+    def _run_profile(lookahead, iters=80, workers=16):
+        """The paper-scale operating point, where pulls are a real cost."""
+        from repro.config import PrefetchConfig
+        from repro.simulation.profiles import DEFAULT_PROFILE as profile
+
+        sim = TrainingSimulator(
+            SystemKind.PMEM_OE,
+            profile.cluster_config(workers),
+            profile.server_config(),
+            profile.cache_config(),
+            CheckpointConfig.none(),
+            WorkloadGenerator(profile.workload_config()),
+            prefetch=PrefetchConfig(lookahead=lookahead),
+        )
+        return sim.run(iters)
+
+    def test_prefetch_hides_pull_latency(self):
+        """Acceptance floor: >= 1.3x simulated throughput at lookahead 2
+        on the default Zipfian workload."""
+        base = self._run_profile(0)
+        pipelined = self._run_profile(2)
+        assert pipelined.prefetch_requests > 0
+        assert pipelined.prefetch_overlapped_seconds > 0
+        # lookahead collapses the critical-path demand pulls ...
+        assert pipelined.total_requests < base.total_requests / 10
+        # ... which translates into end-to-end simulated speedup.
+        speedup = base.sim_seconds / pipelined.sim_seconds
+        assert speedup >= 1.3
+
+    def test_lookahead_zero_matches_baseline(self):
+        base = self._run(None)
+        serial = self._run(0)
+        assert serial.sim_seconds == pytest.approx(base.sim_seconds)
+        assert serial.prefetch_requests == 0
+
+    def test_prefetch_requires_pmem_oe(self):
+        from repro.config import PrefetchConfig
+
+        with pytest.raises(ConfigError, match="prefetch"):
+            make_sim(SystemKind.DRAM_PS, prefetch=PrefetchConfig(lookahead=2))
+
+    def test_prefetch_requires_cache(self):
+        from repro.config import PrefetchConfig
+
+        with pytest.raises(ConfigError, match="prefetch"):
+            make_sim(
+                SystemKind.PMEM_OE,
+                prefetch=PrefetchConfig(lookahead=2),
+                use_cache=False,
+            )
+
+    def test_prefetch_requires_pipelined_cache(self):
+        from repro.config import PrefetchConfig
+
+        server = ServerConfig(embedding_dim=DIM, pmem_capacity_bytes=1 << 26)
+        cache = CacheConfig(capacity_bytes=200 * DIM * 4, pipelined=False)
+        cluster = ClusterConfig(
+            num_workers=4,
+            batch_size=32,
+            network=NetworkConfig(bandwidth_bytes_per_s=60e6),
+        )
+        workload = WorkloadGenerator(
+            WorkloadConfig(num_keys=NUM_KEYS, features_per_sample=4, seed=1)
+        )
+        with pytest.raises(ConfigError, match="prefetch"):
+            TrainingSimulator(
+                SystemKind.PMEM_OE,
+                cluster,
+                server,
+                cache,
+                CheckpointConfig.none(),
+                workload,
+                prefetch=PrefetchConfig(lookahead=2),
+            )
+
+    def test_deeper_lookahead_still_valid(self):
+        shallow = self._run(2)
+        deep = self._run(6)
+        assert deep.prefetch_requests >= shallow.prefetch_requests
+        assert deep.iterations == shallow.iterations == 60
