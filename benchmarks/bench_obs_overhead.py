@@ -1,0 +1,185 @@
+"""Observability overhead: tracing must be free when off, cheap when on.
+
+Three configurations of the *same* simulated training run:
+
+* ``off``     — no tracer, no registry (the default every component
+  falls back to: the shared ``NULL_TRACER`` no-op path);
+* ``noop``    — a disabled ``Tracer`` passed explicitly, exercising the
+  no-op span context manager on every call site;
+* ``enabled`` — a live ``Tracer`` plus a ``MetricsRegistry``, recording
+  every span, instant event, and histogram observation.
+
+Two invariants are asserted:
+
+1. **Semantics**: the simulated outcome (``sim_seconds``, request
+   counts, per-phase totals) is bit-identical across all three
+   configurations.  Observability must never perturb what it observes.
+2. **Cost**: enabled tracing adds less than ``CEILING`` (5 %) to the
+   best-of-N wall time of the untraced run.
+
+Run standalone::
+
+    python benchmarks/bench_obs_overhead.py            # full, writes
+                                                       # results/obs_overhead.txt
+    python benchmarks/bench_obs_overhead.py --smoke    # fast CI check
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import sys
+import time
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from repro.config import (
+    CheckpointConfig,
+    ClusterConfig,
+    PrefetchConfig,
+    WorkloadConfig,
+)
+from repro.obs import MetricsRegistry, Tracer
+from repro.simulation.cluster import SystemKind
+from repro.simulation.trainer_sim import TrainingSimulator
+from repro.workload.generator import WorkloadGenerator
+
+CEILING = 0.05  # enabled tracing may cost at most 5% wall time
+
+ITERATIONS = 200
+REPEATS = 5
+SMOKE_ITERATIONS = 40
+SMOKE_REPEATS = 3
+
+CONFIGS = ("off", "noop", "enabled")
+
+
+def _sinks(config: str):
+    if config == "off":
+        return None, None
+    if config == "noop":
+        return Tracer(enabled=False), None
+    return Tracer(), MetricsRegistry()
+
+
+def _run(config: str, iterations: int):
+    """One simulated run; returns (result, wall_seconds, events)."""
+    tracer, registry = _sinks(config)
+    simulator = TrainingSimulator(
+        SystemKind.PMEM_OE,
+        cluster=ClusterConfig(num_workers=8, batch_size=256),
+        checkpoint=CheckpointConfig(interval_seconds=0.5),
+        workload=WorkloadGenerator(WorkloadConfig(num_keys=50_000, seed=11)),
+        prefetch=PrefetchConfig(lookahead=2),
+        tracer=tracer,
+        registry=registry,
+    )
+    start = time.perf_counter()
+    result = simulator.run(iterations)
+    wall = time.perf_counter() - start
+    events = 0
+    if tracer is not None:
+        events = len(tracer.closed_spans()) + len(tracer.instants)
+    return result, wall, events
+
+
+def _fingerprint(result) -> dict:
+    """Everything semantic in a run result (drop the trace object)."""
+    fields = dataclasses.asdict(result)
+    fields.pop("trace", None)
+    fields["system"] = result.system.value
+    return fields
+
+
+def measure(iterations: int, repeats: int):
+    """Best-of-``repeats`` wall time per configuration + identity check."""
+    _run("off", iterations)  # warm caches so config order doesn't bias
+    walls = {config: [] for config in CONFIGS}
+    events = {config: 0 for config in CONFIGS}
+    fingerprints = {}
+    for __ in range(repeats):
+        for config in CONFIGS:
+            result, wall, count = _run(config, iterations)
+            walls[config].append(wall)
+            events[config] = count
+            fingerprint = _fingerprint(result)
+            if config not in fingerprints:
+                fingerprints[config] = fingerprint
+            elif fingerprints[config] != fingerprint:
+                raise AssertionError(
+                    f"{config}: run is not deterministic across repeats"
+                )
+    reference = fingerprints["off"]
+    for config in ("noop", "enabled"):
+        if fingerprints[config] != reference:
+            diff = [
+                key
+                for key, value in fingerprints[config].items()
+                if reference[key] != value
+            ]
+            raise AssertionError(
+                f"observability perturbed the simulation: {config} "
+                f"differs from off in {diff}"
+            )
+    best = {config: min(times) for config, times in walls.items()}
+    return best, events, reference
+
+
+def report(iterations: int, repeats: int, out=None) -> int:
+    best, events, reference = measure(iterations, repeats)
+    base = best["off"]
+    lines = [
+        "obs_overhead: tracing cost on the simulated training loop",
+        f"  run: PMem-OE, 8 workers x batch 256, 50k keys, lookahead 2, "
+        f"batch-aware checkpoints, {iterations} iterations, "
+        f"best of {repeats}",
+        f"  simulated outcome identical across configs: "
+        f"sim_seconds={reference['sim_seconds']:.6f} "
+        f"requests={reference['total_requests']}",
+        "",
+        f"  {'config':<10} {'wall (s)':>10} {'overhead':>10} {'events':>8}",
+    ]
+    for config in CONFIGS:
+        overhead = (best[config] - base) / base
+        lines.append(
+            f"  {config:<10} {best[config]:>10.4f} {overhead:>+9.1%} "
+            f"{events[config]:>8}"
+        )
+    enabled_overhead = (best["enabled"] - base) / base
+    verdict = "PASS" if enabled_overhead < CEILING else "FAIL"
+    lines += [
+        "",
+        f"  ceiling: enabled < {CEILING:.0%} -> {verdict} "
+        f"({enabled_overhead:+.1%})",
+    ]
+    text = "\n".join(lines) + "\n"
+    print(text, end="")
+    if out is not None:
+        pathlib.Path(out).write_text(text)
+        print(f"wrote {out}")
+    return 0 if verdict == "PASS" else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0]
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="fast check for CI (fewer iterations/repeats, no result file)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        return report(SMOKE_ITERATIONS, SMOKE_REPEATS)
+    out = _ROOT / "benchmarks" / "results" / "obs_overhead.txt"
+    return report(ITERATIONS, REPEATS, out=str(out))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

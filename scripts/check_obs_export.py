@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Validate observability exports produced by `repro simulate/train`.
+
+Checks three artifacts against their schemas:
+
+* Chrome ``trace_event`` JSON (``--trace``): event shape, metadata
+  threads, microsecond timestamps, and — when the run used lookahead —
+  that maintenance/prefetch spans genuinely overlap a GPU span on a
+  different track (the Figure 7 property CI guards).
+* Prometheus text (``--prom``): TYPE lines, cumulative monotone
+  histogram buckets, ``_sum``/``_count`` presence.
+* JSON metrics snapshot (``--snapshot``): ``repro-metrics-v1`` schema,
+  per-entry field requirements, and that ``repro metrics`` can render
+  it.
+
+Exit code 0 = all supplied artifacts valid; 1 = any check failed.
+
+Usage::
+
+    python scripts/check_obs_export.py --trace t.json --prom m.prom \
+        --snapshot m.json [--require-overlap]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TRACE_SCHEMA = "repro-trace-v1"
+METRICS_SCHEMA = "repro-metrics-v1"
+
+_errors: list[str] = []
+
+
+def fail(message: str) -> None:
+    _errors.append(message)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+
+
+# ----------------------------------------------------------------------
+# Chrome trace
+# ----------------------------------------------------------------------
+
+
+def check_trace(path: str, require_overlap: bool) -> None:
+    with open(path) as fh:
+        trace = json.load(fh)
+    check(isinstance(trace, dict), "trace: top level must be an object")
+    check(
+        trace.get("otherData", {}).get("schema") == TRACE_SCHEMA,
+        f"trace: otherData.schema must be {TRACE_SCHEMA}",
+    )
+    events = trace.get("traceEvents")
+    check(isinstance(events, list) and events, "trace: traceEvents empty")
+    if not isinstance(events, list):
+        return
+    phases = {"X", "i", "M"}
+    for event in events:
+        ph = event.get("ph")
+        check(ph in phases, f"trace: unknown phase {ph!r}")
+        if ph == "X":
+            check(
+                isinstance(event.get("ts"), (int, float))
+                and isinstance(event.get("dur"), (int, float))
+                and event["dur"] >= 0,
+                f"trace: X event {event.get('name')!r} needs ts and dur >= 0",
+            )
+        if ph == "i":
+            check(
+                isinstance(event.get("ts"), (int, float)),
+                f"trace: instant {event.get('name')!r} needs ts",
+            )
+    threads = {
+        event["args"]["name"]
+        for event in events
+        if event.get("ph") == "M" and event.get("name") == "thread_name"
+    }
+    check(bool(threads), "trace: no thread_name metadata")
+
+    if require_overlap:
+        gpu = [e for e in events if e.get("name") == "gpu.compute"]
+        hidden = [
+            e
+            for e in events
+            if e.get("name") in ("maintain.deferred", "prefetch.pull")
+        ]
+        check(bool(gpu), "trace: --require-overlap but no gpu.compute spans")
+        check(bool(hidden), "trace: --require-overlap but no maintainer spans")
+        overlapping = any(
+            g["tid"] != h["tid"]
+            and g["ts"] <= h["ts"] < g["ts"] + g["dur"]
+            for g in gpu
+            for h in hidden
+        )
+        check(
+            overlapping,
+            "trace: no maintainer-track span overlaps a gpu.compute span "
+            "(the Figure 7 property)",
+        )
+
+
+# ----------------------------------------------------------------------
+# Prometheus text
+# ----------------------------------------------------------------------
+
+
+def check_prometheus(path: str) -> None:
+    with open(path) as fh:
+        text = fh.read()
+    lines = [line for line in text.splitlines() if line.strip()]
+    check(bool(lines), "prom: file is empty")
+    typed: dict[str, str] = {}
+    for line in lines:
+        if line.startswith("# TYPE "):
+            __, __, name, kind = line.split(" ", 3)
+            typed[name] = kind
+            continue
+        check(
+            not line.startswith("#"), f"prom: unexpected comment {line!r}"
+        )
+        metric = line.split("{", 1)[0].split(" ", 1)[0]
+        base = metric
+        for suffix in ("_bucket", "_sum", "_count", "_quantile"):
+            if metric.endswith(suffix):
+                base = metric[: -len(suffix)]
+                break
+        check(
+            base in typed,
+            f"prom: series {metric!r} has no preceding # TYPE line",
+        )
+    for name, kind in typed.items():
+        if kind != "histogram":
+            continue
+        buckets = [
+            line
+            for line in lines
+            if line.startswith(f"{name}_bucket")
+        ]
+        counts = [float(line.rsplit(" ", 1)[1]) for line in buckets]
+        check(
+            counts == sorted(counts),
+            f"prom: histogram {name!r} buckets are not cumulative-monotone",
+        )
+        check(
+            any(line.startswith(f"{name}_sum") for line in lines)
+            and any(line.startswith(f"{name}_count") for line in lines),
+            f"prom: histogram {name!r} missing _sum/_count",
+        )
+
+
+# ----------------------------------------------------------------------
+# JSON snapshot
+# ----------------------------------------------------------------------
+
+
+def check_snapshot(path: str) -> None:
+    with open(path) as fh:
+        snapshot = json.load(fh)
+    check(
+        snapshot.get("schema") == METRICS_SCHEMA,
+        f"snapshot: schema must be {METRICS_SCHEMA}",
+    )
+    metrics = snapshot.get("metrics")
+    check(isinstance(metrics, list) and metrics, "snapshot: metrics empty")
+    if not isinstance(metrics, list):
+        return
+    for entry in metrics:
+        name = entry.get("name", "?")
+        check(
+            entry.get("type") in ("counter", "gauge", "histogram"),
+            f"snapshot: {name}: bad type {entry.get('type')!r}",
+        )
+        check(
+            isinstance(entry.get("labels"), dict),
+            f"snapshot: {name}: labels must be an object",
+        )
+        if entry.get("type") == "histogram":
+            for field in ("count", "sum", "p50", "p95", "p99", "max", "buckets"):
+                check(field in entry, f"snapshot: {name}: missing {field!r}")
+        else:
+            check("value" in entry, f"snapshot: {name}: missing value")
+    # The renderer must accept what the exporter wrote.
+    try:
+        from repro.obs import render_snapshot
+
+        rendered = render_snapshot(snapshot)
+        check(bool(rendered.strip()), "snapshot: renderer produced nothing")
+    except ImportError:
+        fail("snapshot: repro.obs not importable (set PYTHONPATH=src)")
+    except ValueError as exc:
+        fail(f"snapshot: renderer rejected the file: {exc}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", help="Chrome trace_event JSON file")
+    parser.add_argument("--prom", help="Prometheus text export")
+    parser.add_argument("--snapshot", help="JSON metrics snapshot")
+    parser.add_argument(
+        "--require-overlap",
+        action="store_true",
+        help="fail unless maintainer spans overlap gpu.compute in the trace",
+    )
+    args = parser.parse_args(argv)
+    if not (args.trace or args.prom or args.snapshot):
+        parser.error("give at least one of --trace/--prom/--snapshot")
+    if args.trace:
+        check_trace(args.trace, args.require_overlap)
+    if args.prom:
+        check_prometheus(args.prom)
+    if args.snapshot:
+        check_snapshot(args.snapshot)
+    if _errors:
+        for message in _errors:
+            print(f"FAIL: {message}", file=sys.stderr)
+        return 1
+    checked = sum(bool(x) for x in (args.trace, args.prom, args.snapshot))
+    print(f"ok: {checked} artifact(s) valid")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

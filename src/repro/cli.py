@@ -1,13 +1,19 @@
 """Command-line interface.
 
-Six subcommands::
+Seven subcommands::
 
     repro simulate  --system pmem_oe --workers 16 ...   # one simulated epoch
     repro train     --batches 200 --crash-at 120 ...    # functional DeepFM demo
     repro plan      --model-gb 500 --mttf-hours 12      # sizing & intervals
     repro workload  --keys 500000 ...                   # Table II skew check
     repro faults    --drop 0.05 --duplicate 0.03 ...    # lossy-wire RPC demo
+    repro metrics   run.metrics.json                    # pretty-print a snapshot
     repro reproduce fig7 table2 ...                     # run paper experiments
+
+``simulate`` and ``train`` accept ``--trace-out FILE.json`` (Chrome
+``trace_event`` timeline, open in Perfetto / ``chrome://tracing``) and
+``--metrics-out FILE`` (``.json`` snapshot or Prometheus text; the
+``.json`` form is what ``repro metrics`` renders).
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -35,6 +41,28 @@ from repro.workload.trace import AccessTraceAnalyzer
 GB = 1 << 30
 
 
+def _obs_sinks(args: argparse.Namespace):
+    """(tracer, registry) from ``--trace-out`` / ``--metrics-out``."""
+    from repro.obs import MetricsRegistry, Tracer
+
+    tracer = Tracer() if getattr(args, "trace_out", None) else None
+    registry = MetricsRegistry() if getattr(args, "metrics_out", None) else None
+    return tracer, registry
+
+
+def _write_obs(args: argparse.Namespace, tracer, registry) -> None:
+    """Serialize whatever sinks were requested."""
+    from repro.obs import write_chrome_trace, write_metrics
+
+    if tracer is not None and args.trace_out:
+        events = write_chrome_trace(tracer, args.trace_out)
+        print(f"trace             : {events} events -> {args.trace_out}")
+    if registry is not None and args.metrics_out:
+        fmt = write_metrics(registry, args.metrics_out)
+        print(f"metrics           : {len(registry)} series ({fmt}) "
+              f"-> {args.metrics_out}")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     profile = DEFAULT_PROFILE
     system = SystemKind(args.system)
@@ -44,6 +72,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # A provisional interval from the profile's nominal epoch; the
         # simulator scales intervals in simulated seconds.
         checkpoint = CheckpointConfig(mode, interval_seconds=args.interval_seconds)
+    tracer, registry = _obs_sinks(args)
     simulator = TrainingSimulator(
         system,
         profile.cluster_config(args.workers),
@@ -52,6 +81,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         checkpoint,
         WorkloadGenerator(profile.workload_config(args.skew)),
         prefetch=PrefetchConfig(lookahead=args.lookahead),
+        tracer=tracer,
+        registry=registry,
     )
     iterations = args.iterations or profile.iterations(args.workers)
     result = simulator.run(iterations)
@@ -71,6 +102,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"{result.prefetch_requests} overlapped pulls "
               f"({result.prefetch_overlapped_seconds:.3f} s hidden), "
               f"{result.total_requests} demand pulls on the critical path")
+    _write_obs(args, tracer, registry)
     return 0
 
 
@@ -82,6 +114,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
     from repro.dlrm.optimizers import Adam
     from repro.dlrm.trainer import SynchronousTrainer
 
+    tracer, registry = _obs_sinks(args)
     dataset = CriteoSynthetic(
         num_fields=args.fields, vocab_per_field=args.vocab, seed=args.seed
     )
@@ -94,7 +127,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
     cache_config = CacheConfig(capacity_bytes=args.cache_kb << 10)
 
     def build():
-        server = OpenEmbeddingServer(server_config, cache_config, PSAdagrad(lr=0.05))
+        server = OpenEmbeddingServer(
+            server_config, cache_config, PSAdagrad(lr=0.05), tracer=tracer
+        )
         model = DeepFM(
             args.fields, args.dim, hidden=(64, 32), use_first_order=False,
             seed=args.seed,
@@ -108,6 +143,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                 if args.lookahead > 0
                 else None
             ),
+            tracer=tracer,
         )
 
     trainer = build()
@@ -137,6 +173,7 @@ def _cmd_train(args: argparse.Namespace) -> int:
                     if args.lookahead > 0
                     else None
                 ),
+                tracer=tracer,
             )
             print(f"-- resumed from checkpoint of batch {trainer.next_batch - 1}")
         except RecoveryError:
@@ -153,6 +190,9 @@ def _cmd_train(args: argparse.Namespace) -> int:
         print(f"prefetch: hit rate {stats.hit_rate:.1%}, "
               f"{stats.demand_keys} demand / {stats.prefetch_keys} prefetched "
               f"/ {stats.patched_keys} patched keys")
+    if registry is not None:
+        trainer.backend.collect_metrics(registry)
+    _write_obs(args, tracer, registry)
     return 0
 
 
@@ -279,6 +319,32 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Pretty-print a JSON metrics snapshot written by --metrics-out."""
+    import json
+    import pathlib
+
+    from repro.obs import render_snapshot
+
+    path = pathlib.Path(args.snapshot)
+    if not path.is_file():
+        print(f"error: no such snapshot file: {path}", file=sys.stderr)
+        return 2
+    try:
+        snapshot = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        print(f"error: {path} is not valid JSON ({exc}); "
+              "`repro metrics` reads the .json form of --metrics-out",
+              file=sys.stderr)
+        return 2
+    try:
+        print(render_snapshot(snapshot))
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_reproduce(args: argparse.Namespace) -> int:
     """Run the named experiments' benchmarks via pytest."""
     import pathlib
@@ -317,6 +383,19 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return int(code)
 
 
+def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-out", metavar="FILE.json", default=None,
+        help="write a Chrome trace_event timeline (open in Perfetto or "
+             "chrome://tracing); enables span tracing for the run",
+    )
+    parser.add_argument(
+        "--metrics-out", metavar="FILE", default=None,
+        help="write a metrics export: .json -> snapshot readable by "
+             "`repro metrics`, anything else -> Prometheus text format",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="OpenEmbedding reproduction toolkit"
@@ -343,6 +422,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--lookahead", type=int, default=0,
                           help="prefetch the next N batches' keys inside the "
                                "overlap window (PMem-OE only; 0 disables)")
+    _add_obs_flags(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
     train = sub.add_parser("train", help="functional DeepFM training demo")
@@ -361,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="route pulls through the lookahead prefetch "
                             "pipeline (0 keeps the serial protocol)")
     train.add_argument("--seed", type=int, default=7)
+    _add_obs_flags(train)
     train.set_defaults(handler=_cmd_train)
 
     plan = sub.add_parser("plan", help="deployment sizing and reliability planning")
@@ -404,6 +485,12 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--call-timeout-s", type=float, default=5.0)
     faults.add_argument("--seed", type=int, default=7)
     faults.set_defaults(handler=_cmd_faults)
+
+    metrics = sub.add_parser(
+        "metrics", help="pretty-print a JSON metrics snapshot (--metrics-out)"
+    )
+    metrics.add_argument("snapshot", help="snapshot file written by --metrics-out")
+    metrics.set_defaults(handler=_cmd_metrics)
 
     reproduce = sub.add_parser(
         "reproduce", help="re-run paper experiments (tables/figures/ablations)"

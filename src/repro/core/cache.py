@@ -44,6 +44,7 @@ from repro.core.lru import LRUList
 from repro.core.optimizers import PSOptimizer, PSSGD
 from repro.core.queues import AccessQueue
 from repro.errors import KeyNotFoundError, ServerError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.pmem.space import VersionedEntryStore
 from repro.simulation.metrics import Metrics
 
@@ -85,6 +86,10 @@ class PipelinedCache:
             the cache in metadata-only mode.
         optimizer: PS-side update rule (default plain SGD).
         metrics: statistics sink (a fresh one is created if omitted).
+        tracer: span/event sink — maintenance rounds become
+            ``cache.maintain`` spans, per-entry PMem traffic becomes
+            ``pmem.store`` / ``pmem.load`` instants, and opportunistic
+            checkpoint completion emits ``checkpoint.completed``.
     """
 
     def __init__(
@@ -97,6 +102,7 @@ class PipelinedCache:
         optimizer: PSOptimizer | None = None,
         metrics: Metrics | None = None,
         auto_create: bool = True,
+        tracer: Tracer | None = None,
     ):
         self.config = config
         self.store = store
@@ -105,6 +111,7 @@ class PipelinedCache:
         self.initializer = initializer
         self.optimizer = optimizer or PSSGD()
         self.metrics = metrics or Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.auto_create = auto_create
         self.index = HashIndex()
         self.lru = LRUList()
@@ -169,6 +176,17 @@ class PipelinedCache:
         the batch's updates are applied — the write lock in Algorithm 2
         enforces exactly this ordering in the real system.
         """
+        with self.tracer.span("cache.maintain", batch=batch_id) as span:
+            result = self._maintain(batch_id)
+            span.set(
+                processed=result.processed,
+                loads=result.loads,
+                flushes=result.flushes,
+                evictions=result.evictions,
+            )
+            return result
+
+    def _maintain(self, batch_id: int) -> MaintainResult:
         entries = self.access_queue.pop_batch(batch_id)
         loads = flushes = evictions = completed = 0
         for entry in entries:
@@ -279,11 +297,13 @@ class PipelinedCache:
         Used at training barriers (epoch end, clean shutdown). Returns
         the number of entries flushed.
         """
-        flushed = 0
-        for entry in self.lru:
-            self._flush(entry)
-            flushed += 1
-        return flushed
+        with self.tracer.span("cache.flush_all") as span:
+            flushed = 0
+            for entry in self.lru:
+                self._flush(entry)
+                flushed += 1
+            span.set(flushed=flushed)
+            return flushed
 
     def complete_pending_checkpoints(self) -> list[int]:
         """Flush the cache and complete every queued checkpoint.
@@ -400,6 +420,9 @@ class PipelinedCache:
         entry.dirty = False
         self.metrics.pmem_flush_entries += 1
         self.metrics.cache.flushes += 1
+        self.tracer.instant(
+            "pmem.store", track="pmem", key=entry.key, version=entry.version
+        )
 
     def _load_to_dram(self, entry: EmbeddingEntry) -> None:
         """Algorithm 2 ``loadToDRAM``: promote the newest PMem version."""
@@ -411,6 +434,7 @@ class PipelinedCache:
         entry.dirty = False
         self.metrics.pmem_load_entries += 1
         self.metrics.cache.loads += 1
+        self.tracer.instant("pmem.load", track="pmem", key=entry.key)
 
     def _demote(self, entry: EmbeddingEntry) -> None:
         self.index.set_location(entry, Location.PMEM)
@@ -449,6 +473,9 @@ class PipelinedCache:
                     self.coordinator.complete_head()
                     self.metrics.checkpoints_completed += 1
                     completed += 1
+                    self.tracer.instant(
+                        "checkpoint.completed", track="checkpoint", batch=head
+                    )
                     head = self.coordinator.head()
             self.lru.remove(victim)
             if victim.dirty or not self.config.track_dirty:

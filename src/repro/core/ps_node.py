@@ -21,6 +21,7 @@ from repro.core.cache import MaintainResult, PipelinedCache, PullResult
 from repro.core.checkpoint import CheckpointCoordinator
 from repro.core.optimizers import PSOptimizer, PSSGD
 from repro.errors import CheckpointError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.pmem.pool import PmemPool
 from repro.pmem.space import VersionedEntryStore
 from repro.simulation.metrics import Metrics
@@ -42,6 +43,8 @@ class PSNode:
             its coordinator then retains every completed checkpoint the
             cluster-wide external barrier has not yet superseded (see
             :meth:`CheckpointCoordinator.set_external_barrier`).
+        tracer: span/event sink shared with the cache (maintenance
+            rounds, PMem load/store, checkpoint completion events).
     """
 
     def __init__(
@@ -53,12 +56,14 @@ class PSNode:
         metadata_only: bool = False,
         pool: PmemPool | None = None,
         cluster_mode: bool = False,
+        tracer: Tracer | None = None,
     ):
         self.node_id = node_id
         self.server_config = server_config
         self.cache_config = cache_config or CacheConfig()
         self.optimizer = optimizer or PSSGD()
         self.metadata_only = metadata_only
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.metrics = Metrics()
 
         dim = server_config.embedding_dim
@@ -82,6 +87,7 @@ class PSNode:
             optimizer=self.optimizer,
             metrics=self.metrics,
             auto_create=server_config.auto_create,
+            tracer=self.tracer,
         )
         self.latest_completed_batch = -1
 
@@ -143,6 +149,10 @@ class PSNode:
         Returns the pool so the caller can hand it to
         :func:`repro.core.recovery.recover_node`.
         """
+        self.tracer.instant(
+            "node.crash", track="failure", node=self.node_id,
+            entries=self.num_entries,
+        )
         self.pool.crash()
         return self.pool
 

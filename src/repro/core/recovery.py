@@ -23,6 +23,7 @@ from repro.core.entry import EmbeddingEntry, Location
 from repro.core.ps_node import PSNode
 from repro.core.optimizers import PSOptimizer
 from repro.errors import RecoveryError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.pmem.pool import PmemPool
 from repro.simulation.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.simulation.device import PMEM_SPEC
@@ -52,6 +53,7 @@ def recover_node(
     calibration: Calibration = DEFAULT_CALIBRATION,
     parallelism: int = 1,
     cluster_mode: bool = False,
+    tracer: Tracer | None = None,
 ) -> tuple[PSNode, RecoveryReport]:
     """Rebuild a PS node from a crashed pool.
 
@@ -64,6 +66,8 @@ def recover_node(
         parallelism: partitions scanning/rebuilding in parallel
             (Section VI-E's "partition a single embedding table into
             several parameter server processes").
+        tracer: emits a ``recovery.node`` span covering the simulated
+            scan+rebuild time; also handed to the recovered node.
 
     Returns:
         ``(node, report)`` — the node starts with an empty, consistent
@@ -75,6 +79,7 @@ def recover_node(
     """
     if parallelism < 1:
         raise RecoveryError(f"parallelism must be >= 1, got {parallelism}")
+    tracer = tracer if tracer is not None else NULL_TRACER
     node = PSNode(
         node_id,
         server_config,
@@ -83,6 +88,7 @@ def recover_node(
         metadata_only=metadata_only,
         pool=pool,
         cluster_mode=cluster_mode,
+        tracer=tracer,
     )
     store = node.store
 
@@ -132,6 +138,18 @@ def recover_node(
         versions_scanned=versions_scanned,
         versions_discarded=discarded,
         sim_seconds=sim_seconds,
+    )
+    # The span covers the *simulated* recovery window on the recovery
+    # track, so traces show how long the shard was dark (Figure 14).
+    tracer.add_span(
+        "recovery.node",
+        start=tracer.now(),
+        duration=sim_seconds,
+        track="recovery",
+        node=node_id,
+        checkpoint=checkpoint_id,
+        entries=len(recovered),
+        discarded=discarded,
     )
     return node, report
 

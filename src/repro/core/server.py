@@ -23,6 +23,8 @@ from repro.core.optimizers import PSOptimizer, PSSGD
 from repro.core.recovery import RecoveryReport, recover_node
 from repro.core.sharding import HashPartitioner
 from repro.errors import CheckpointError, RecoveryError
+from repro.obs.registry import MetricsRegistry, collect_bundle
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.pmem.pool import PmemPool
 from repro.simulation.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.pmem.space import CHECKPOINT_ID_FIELD, NO_CHECKPOINT
@@ -37,6 +39,8 @@ class OpenEmbeddingServer:
         cache_config: per-node DRAM cache parameters.
         optimizer: PS-side optimizer (shared rule, per-entry state).
         metadata_only: no real weights (performance simulations).
+        tracer: span/event sink threaded through to every shard (cache
+            maintenance, PMem traffic, checkpoint completion).
     """
 
     def __init__(
@@ -47,11 +51,13 @@ class OpenEmbeddingServer:
         metadata_only: bool = False,
         nodes: list[PSNode] | None = None,
         cluster_mode: bool | None = None,
+        tracer: Tracer | None = None,
     ):
         self.server_config = server_config or ServerConfig()
         self.cache_config = cache_config or CacheConfig()
         self.optimizer = optimizer or PSSGD()
         self.metadata_only = metadata_only
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         # Cluster retention semantics are needed whenever some wider
         # scope must agree on a common checkpoint: multiple shards here,
         # or this server being one table of a collection (the caller
@@ -69,6 +75,7 @@ class OpenEmbeddingServer:
                     self.optimizer,
                     metadata_only=metadata_only,
                     cluster_mode=cluster_mode,
+                    tracer=self.tracer,
                 )
                 for node_id in range(self.server_config.num_nodes)
             ]
@@ -85,45 +92,57 @@ class OpenEmbeddingServer:
 
     def pull(self, keys, batch_id: int) -> PullResult:
         """Gather weights for ``keys`` across shards, in request order."""
-        per_node_keys, per_node_positions = self.partitioner.split(keys)
-        value_mode = not self.metadata_only
-        out = (
-            np.empty((len(keys), self.server_config.embedding_dim), dtype=np.float32)
-            if value_mode
-            else None
-        )
-        hits = misses = created = 0
-        for node, node_keys, positions in zip(
-            self.nodes, per_node_keys, per_node_positions
-        ):
-            if not node_keys:
-                continue
-            result = node.pull(node_keys, batch_id)
-            hits += result.hits
-            misses += result.misses
-            created += result.created
-            if out is not None:
-                out[positions] = result.weights
-        return PullResult(weights=out, hits=hits, misses=misses, created=created)
+        with self.tracer.span(
+            "server.pull", batch=batch_id, keys=len(keys)
+        ) as span:
+            per_node_keys, per_node_positions = self.partitioner.split(keys)
+            value_mode = not self.metadata_only
+            out = (
+                np.empty(
+                    (len(keys), self.server_config.embedding_dim), dtype=np.float32
+                )
+                if value_mode
+                else None
+            )
+            hits = misses = created = 0
+            for node, node_keys, positions in zip(
+                self.nodes, per_node_keys, per_node_positions
+            ):
+                if not node_keys:
+                    continue
+                result = node.pull(node_keys, batch_id)
+                hits += result.hits
+                misses += result.misses
+                created += result.created
+                if out is not None:
+                    out[positions] = result.weights
+            span.set(hits=hits, misses=misses, created=created)
+            return PullResult(weights=out, hits=hits, misses=misses, created=created)
 
     def maintain(self, batch_id: int) -> list[MaintainResult]:
         """Run the maintenance round on every shard."""
-        results = [node.maintain(batch_id) for node in self.nodes]
-        self._sync_external_barriers()
-        return results
+        with self.tracer.span("server.maintain", batch=batch_id) as span:
+            results = [node.maintain(batch_id) for node in self.nodes]
+            self._sync_external_barriers()
+            span.set(processed=sum(r.processed for r in results))
+            return results
 
     def push(self, keys, grads: np.ndarray | None, batch_id: int) -> int:
         """Scatter gradients to owning shards; returns entries updated."""
-        per_node_keys, per_node_positions = self.partitioner.split(keys)
-        updated = 0
-        for node, node_keys, positions in zip(
-            self.nodes, per_node_keys, per_node_positions
-        ):
-            if not node_keys:
-                continue
-            node_grads = grads[positions] if grads is not None else None
-            updated += node.push(node_keys, node_grads, batch_id)
-        return updated
+        with self.tracer.span(
+            "server.push", batch=batch_id, keys=len(keys)
+        ) as span:
+            per_node_keys, per_node_positions = self.partitioner.split(keys)
+            updated = 0
+            for node, node_keys, positions in zip(
+                self.nodes, per_node_keys, per_node_positions
+            ):
+                if not node_keys:
+                    continue
+                node_grads = grads[positions] if grads is not None else None
+                updated += node.push(node_keys, node_grads, batch_id)
+            span.set(updated=updated)
+            return updated
 
     # ------------------------------------------------------------------
     # checkpointing
@@ -145,9 +164,13 @@ class OpenEmbeddingServer:
 
     def barrier_checkpoint(self, batch_id: int | None = None) -> int:
         """Checkpoint and synchronously complete on every shard."""
-        requested = self.request_checkpoint(batch_id)
-        self.complete_pending_checkpoints()
-        return requested
+        with self.tracer.span(
+            "server.barrier_checkpoint", track="checkpoint"
+        ) as span:
+            requested = self.request_checkpoint(batch_id)
+            self.complete_pending_checkpoints()
+            span.set(batch=requested)
+            return requested
 
     def complete_pending_checkpoints(self) -> None:
         """Force every shard's queued checkpoints to complete (flushes
@@ -193,6 +216,7 @@ class OpenEmbeddingServer:
         calibration: Calibration = DEFAULT_CALIBRATION,
         target_batch_id: int | None = None,
         cluster_mode: bool | None = None,
+        tracer: Tracer | None = None,
     ) -> tuple["OpenEmbeddingServer", list[RecoveryReport]]:
         """Rebuild a whole cluster from surviving pools.
 
@@ -234,6 +258,7 @@ class OpenEmbeddingServer:
                 target_batch_id=global_target,
                 calibration=calibration,
                 cluster_mode=cluster_mode,
+                tracer=tracer,
             )
             nodes.append(node)
             reports.append(report)
@@ -244,6 +269,7 @@ class OpenEmbeddingServer:
             metadata_only=metadata_only,
             nodes=nodes,
             cluster_mode=cluster_mode,
+            tracer=tracer,
         )
         server._sync_external_barriers()
         return server, reports
@@ -274,3 +300,15 @@ class OpenEmbeddingServer:
         if hits + misses == 0:
             return 0.0
         return misses / (hits + misses)
+
+    def collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Hoist every shard's stat bundle into ``registry``.
+
+        Each shard contributes under a ``node=<id>`` label, so merged
+        registries keep per-shard resolution while queries can still sum
+        across the label.
+        """
+        for node in self.nodes:
+            collect_bundle(
+                registry, node.metrics, {"node": str(node.node_id)}
+            )

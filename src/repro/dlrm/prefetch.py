@@ -67,8 +67,9 @@ from repro.config import PrefetchConfig
 from repro.core.backend import PSBackend, check_backend
 from repro.core.cache import MaintainResult
 from repro.errors import ConfigError, ServerError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.clock import SimClock
-from repro.simulation.metrics import PrefetchStats
+from repro.simulation.metrics import Metrics, PrefetchStats
 
 
 class PrefetchPipeline:
@@ -96,6 +97,12 @@ class PrefetchPipeline:
             clipped to it so prefetch never creates entries for batches
             that no serial run would touch. ``None`` = unbounded
             (set by ``SynchronousTrainer.train``).
+        tracer: span sink for demand/overlap/patch phases; the overlap
+            window additionally emits a ``gpu.compute`` span on the
+            ``gpu`` track so traces show PS work hidden behind it.
+        metrics: share a :class:`~repro.simulation.metrics.Metrics`
+            bundle — the pipeline then accumulates into its
+            ``prefetch`` sub-bundle instead of a private one.
     """
 
     def __init__(
@@ -108,6 +115,8 @@ class PrefetchPipeline:
         clock: SimClock | None = None,
         gpu_batch_time_s: float = 0.0,
         horizon: int | None = None,
+        tracer: Tracer | None = None,
+        metrics: Metrics | None = None,
     ):
         if dim <= 0:
             raise ConfigError(f"dim must be positive, got {dim}")
@@ -120,7 +129,8 @@ class PrefetchPipeline:
         self.clock = clock
         self.gpu_batch_time_s = float(gpu_batch_time_s)
         self.horizon = horizon
-        self.stats = PrefetchStats()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = metrics.prefetch if metrics is not None else PrefetchStats()
         self._buffer: dict[int, np.ndarray] = {}
         self._window: set[int] = set()
         self._pushed: set[int] = set()
@@ -141,7 +151,13 @@ class PrefetchPipeline:
         self.stats.demand_keys += len(missing)
         self.stats.buffer_hits += int(flat.size) - len(missing)
         if missing:
-            self._pull_into_buffer(missing, batch_id)
+            with self.tracer.span(
+                "prefetch.demand",
+                track="prefetch",
+                batch=batch_id,
+                keys=len(missing),
+            ):
+                self._pull_into_buffer(missing, batch_id)
 
     def gather(self, key_matrix: np.ndarray) -> np.ndarray:
         """Serve a (batch, fields) lookup matrix from the buffer.
@@ -178,14 +194,28 @@ class PrefetchPipeline:
         maintain sits on the critical path and GPU time follows it.
         """
         if not self.config.enabled:
-            results = self.backend.maintain(batch_id)
+            with self.tracer.span(
+                "prefetch.maintain", track="maintainer", batch=batch_id
+            ):
+                results = self.backend.maintain(batch_id)
             self._window = set()
             if self.clock is not None and self.gpu_batch_time_s > 0:
+                gpu_start = self.clock.now
                 self.clock.advance(self.gpu_batch_time_s)
+                self.tracer.add_span(
+                    "gpu.compute",
+                    start=gpu_start,
+                    duration=self.gpu_batch_time_s,
+                    track="gpu",
+                    batch=batch_id,
+                )
             return results
 
         start = self.clock.now if self.clock is not None else 0.0
-        results = self.backend.maintain(batch_id)
+        with self.tracer.span(
+            "prefetch.maintain", track="maintainer", batch=batch_id
+        ):
+            results = self.backend.maintain(batch_id)
         window_keys = self._peek_window(batch_id)
         self._window = window_keys
         candidates = sorted(window_keys - self._buffer.keys())
@@ -195,13 +225,29 @@ class PrefetchPipeline:
             room = max(0, cap - len(self._buffer))
             candidates = candidates[:room]
         if candidates:
-            self._pull_into_buffer(candidates, batch_id + 1)
+            with self.tracer.span(
+                "prefetch.prefetch_pull",
+                track="maintainer",
+                batch=batch_id,
+                keys=len(candidates),
+            ):
+                self._pull_into_buffer(candidates, batch_id + 1)
             self.stats.prefetch_keys += len(candidates)
         if self.clock is not None and self.gpu_batch_time_s > 0:
             work = self.clock.now - start
             self.clock.advance_overlapping(start, self.gpu_batch_time_s)
             self.stats.overlap_hidden_seconds += min(
                 work, self.gpu_batch_time_s
+            )
+            # GPU compute starts when the overlap window opens — the
+            # trace shows maintainer-track work riding underneath it.
+            self.tracer.add_span(
+                "gpu.compute",
+                start=start,
+                duration=self.gpu_batch_time_s,
+                track="gpu",
+                batch=batch_id,
+                hidden_s=min(work, self.gpu_batch_time_s),
             )
         return results
 
@@ -236,7 +282,13 @@ class PrefetchPipeline:
         if self.config.patch and self.config.enabled:
             to_patch = sorted(self._pushed & self._window)
             if to_patch:
-                self._pull_into_buffer(to_patch, batch_id + 1)
+                with self.tracer.span(
+                    "prefetch.patch",
+                    track="prefetch",
+                    batch=batch_id,
+                    keys=len(to_patch),
+                ):
+                    self._pull_into_buffer(to_patch, batch_id + 1)
                 self.stats.patched_keys += len(to_patch)
         if self._window:
             self._buffer = {

@@ -34,6 +34,7 @@ from repro.dlrm.embedding import PSEmbedding
 from repro.dlrm.optimizers import Adam, DenseOptimizer
 from repro.dlrm.prefetch import PrefetchPipeline
 from repro.errors import CheckpointError, ConfigError, RecoveryError
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.clock import SimClock
 
 
@@ -108,6 +109,9 @@ class SynchronousTrainer:
         gpu_batch_time_s: simulated per-batch GPU compute the overlap
             window hides PS work behind (only meaningful with
             ``prefetch`` and ``clock``).
+        tracer: span sink for per-step phases (``train.step`` /
+            ``train.pull`` / ``train.compute`` / ``train.push`` /
+            ``train.checkpoint``); shared with the prefetch pipeline.
     """
 
     def __init__(
@@ -124,6 +128,7 @@ class SynchronousTrainer:
         prefetch: PrefetchConfig | None = None,
         clock: SimClock | None = None,
         gpu_batch_time_s: float = 0.0,
+        tracer: Tracer | None = None,
         server: PSBackend | None = None,
     ):
         if server is not None:
@@ -162,6 +167,7 @@ class SynchronousTrainer:
         self.dense_checkpoints = DenseCheckpointStore()
         self.next_batch = 0
         self.loss_history: list[float] = []
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.pipeline: PrefetchPipeline | None = None
         if prefetch is not None:
             self.pipeline = PrefetchPipeline(
@@ -171,6 +177,7 @@ class SynchronousTrainer:
                 self._keys_for_batch,
                 clock=clock,
                 gpu_batch_time_s=gpu_batch_time_s,
+                tracer=self.tracer,
             )
 
     def _keys_for_batch(self, batch_id: int) -> np.ndarray:
@@ -185,6 +192,12 @@ class SynchronousTrainer:
 
     def step(self) -> StepResult:
         """Run one synchronous step over ``num_workers`` worker shards."""
+        with self.tracer.span("train.step", batch=self.next_batch) as span:
+            result = self._step()
+            span.set(loss=result.loss, requests=result.requests)
+            return result
+
+    def _step(self) -> StepResult:
         batch_id = self.next_batch
         global_batch = self.dataset.batch(
             self.batch_size * self.num_workers, batch_id
@@ -201,19 +214,20 @@ class SynchronousTrainer:
         # Phase 1: the pull burst — every worker pulls simultaneously.
         # On the pipelined path, demand misses are pulled once (deduped)
         # and the shards are served from the lookahead buffer.
-        if self.pipeline is not None:
-            self.pipeline.begin_batch(batch_id, global_batch.keys)
-            pulled = [self.pipeline.gather(keys) for keys, *__ in shards]
-        else:
-            pulled = [
-                self.embedding.pull(keys, batch_id) for keys, *__ in shards
-            ]
-        first_pulled = None
-        if self.first_order is not None:
-            first_pulled = [
-                self.first_order.pull(keys, batch_id) for keys, *__ in shards
-            ]
-            self.first_order_server.maintain(batch_id)
+        with self.tracer.span("train.pull", batch=batch_id):
+            if self.pipeline is not None:
+                self.pipeline.begin_batch(batch_id, global_batch.keys)
+                pulled = [self.pipeline.gather(keys) for keys, *__ in shards]
+            else:
+                pulled = [
+                    self.embedding.pull(keys, batch_id) for keys, *__ in shards
+                ]
+            first_pulled = None
+            if self.first_order is not None:
+                first_pulled = [
+                    self.first_order.pull(keys, batch_id) for keys, *__ in shards
+                ]
+                self.first_order_server.maintain(batch_id)
 
         # Phase 2: the PS maintenance round, overlapped with GPU compute
         # in the performance model; functionally it runs here, between
@@ -231,37 +245,47 @@ class SynchronousTrainer:
         self.model.zero_grad()
         losses = []
         requests = 0
-        for w, (keys, labels, dense) in enumerate(shards):
-            if getattr(self.model, "uses_dense_features", False):
-                grads = self.model.train_batch(pulled[w], labels, dense)
-            else:
-                first = first_pulled[w] if first_pulled is not None else None
-                grads = self.model.train_batch(pulled[w], labels, first)
-            losses.append(grads.loss)
-            scale = 1.0 / self.num_workers
+        with self.tracer.span("train.compute", batch=batch_id):
+            worker_grads = []
+            for w, (keys, labels, dense) in enumerate(shards):
+                if getattr(self.model, "uses_dense_features", False):
+                    grads = self.model.train_batch(pulled[w], labels, dense)
+                else:
+                    first = first_pulled[w] if first_pulled is not None else None
+                    grads = self.model.train_batch(pulled[w], labels, first)
+                losses.append(grads.loss)
+                worker_grads.append(grads)
+        with self.tracer.span("train.push", batch=batch_id):
+            for w, (keys, labels, dense) in enumerate(shards):
+                grads = worker_grads[w]
+                scale = 1.0 / self.num_workers
+                if self.pipeline is not None:
+                    # Identical flattening to PSEmbedding.push so the
+                    # backend sees byte-for-byte the same update burst.
+                    flat_grads = np.asarray(
+                        grads.embedding_grads * scale, dtype=np.float32
+                    ).reshape(-1, self.model.dim)
+                    self.pipeline.push(
+                        np.asarray(keys).reshape(-1).tolist(),
+                        flat_grads,
+                        batch_id,
+                    )
+                else:
+                    self.embedding.push(
+                        keys, grads.embedding_grads * scale, batch_id
+                    )
+                if self.first_order is not None:
+                    self.first_order.push(
+                        keys, grads.first_order_grads * scale, batch_id
+                    )
+                requests += keys.size
+            params = self.model.mlp.parameters()
+            grads_dense = [
+                g / self.num_workers for g in self.model.mlp.gradients()
+            ]
+            self.dense_optimizer.step(params, grads_dense)
             if self.pipeline is not None:
-                # Identical flattening to PSEmbedding.push so the
-                # backend sees byte-for-byte the same update burst.
-                flat_grads = np.asarray(
-                    grads.embedding_grads * scale, dtype=np.float32
-                ).reshape(-1, self.model.dim)
-                self.pipeline.push(
-                    np.asarray(keys).reshape(-1).tolist(), flat_grads, batch_id
-                )
-            else:
-                self.embedding.push(
-                    keys, grads.embedding_grads * scale, batch_id
-                )
-            if self.first_order is not None:
-                self.first_order.push(
-                    keys, grads.first_order_grads * scale, batch_id
-                )
-            requests += keys.size
-        params = self.model.mlp.parameters()
-        grads_dense = [g / self.num_workers for g in self.model.mlp.gradients()]
-        self.dense_optimizer.step(params, grads_dense)
-        if self.pipeline is not None:
-            self.pipeline.end_batch(batch_id)
+                self.pipeline.end_batch(batch_id)
 
         self.next_batch += 1
         loss = float(np.mean(losses))
@@ -270,7 +294,10 @@ class SynchronousTrainer:
             self.checkpoint_every is not None
             and (batch_id + 1) % self.checkpoint_every == 0
         ):
-            self.request_checkpoint()
+            with self.tracer.span(
+                "train.checkpoint", track="checkpoint", batch=batch_id
+            ):
+                self.request_checkpoint()
         return StepResult(batch_id=batch_id, loss=loss, requests=requests)
 
     def train(self, num_batches: int) -> list[StepResult]:
@@ -354,6 +381,7 @@ class SynchronousTrainer:
         dense_optimizer: DenseOptimizer | None = None,
         checkpoint_every: int | None = None,
         prefetch: PrefetchConfig | None = None,
+        tracer: Tracer | None = None,
     ) -> "SynchronousTrainer":
         """Rebuild a trainer from surviving state.
 
@@ -364,7 +392,7 @@ class SynchronousTrainer:
         would have produced.
         """
         server, __ = OpenEmbeddingServer.recover(
-            pools, server_config, cache_config, ps_optimizer
+            pools, server_config, cache_config, ps_optimizer, tracer=tracer
         )
         checkpoint_id = server.global_completed_checkpoint
         first_server = None
@@ -393,6 +421,7 @@ class SynchronousTrainer:
             first_order_server=first_server,
             checkpoint_every=checkpoint_every,
             prefetch=prefetch,
+            tracer=tracer,
         )
         trainer.dense_checkpoints = dense_checkpoints
         trainer.next_batch = checkpoint_id + 1

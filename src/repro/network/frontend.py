@@ -46,6 +46,8 @@ from repro.network.messages import (
     StatusResponse,
 )
 from repro.network.rpc import RpcChannel, RpcServer
+from repro.obs.registry import MetricsRegistry, collect_bundle
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.clock import SimClock
 from repro.simulation.metrics import RpcReliabilityStats
 from repro.simulation.network import NetworkModel
@@ -64,12 +66,21 @@ class PSNodeService:
             replay). A retried push inside the window is suppressed —
             at-most-once gradient application; its original reply is
             returned verbatim.
+        tracer: span sink; every handler invocation becomes a
+            ``ps.pull`` / ``ps.push`` / ``ps.maintain`` /
+            ``ps.checkpoint`` span carrying its request counts.
     """
 
-    def __init__(self, node: PSNode, dedup_window: int = DEFAULT_DEDUP_WINDOW):
+    def __init__(
+        self,
+        node: PSNode,
+        dedup_window: int = DEFAULT_DEDUP_WINDOW,
+        tracer: Tracer | None = None,
+    ):
         if dedup_window < 1:
             raise ServerError(f"dedup_window must be >= 1, got {dedup_window}")
         self.node = node
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.dedup_window = dedup_window
         self.dup_suppressed = 0
         self._push_replies: OrderedDict[tuple[int, int], StatusResponse] = (
@@ -84,36 +95,45 @@ class PSNodeService:
         self.server.register(MaintainRequest.TYPE, self._handle_maintain)
 
     def _handle_pull(self, request: PullRequest) -> PullResponse:
-        result = self.node.pull(
-            [int(k) for k in request.keys], int(request.batch_id)
-        )
-        if result.weights is None:
-            raise ServerError("remote pull requires a value-mode node")
-        return PullResponse(
-            batch_id=request.batch_id,
-            weights=result.weights,
-            hits=result.hits,
-            misses=result.misses,
-            created=result.created,
-        )
+        with self.tracer.span(
+            "ps.pull", node=self.node.node_id, keys=len(request.keys)
+        ) as span:
+            result = self.node.pull(
+                [int(k) for k in request.keys], int(request.batch_id)
+            )
+            if result.weights is None:
+                raise ServerError("remote pull requires a value-mode node")
+            span.set(hits=result.hits, misses=result.misses, created=result.created)
+            return PullResponse(
+                batch_id=request.batch_id,
+                weights=result.weights,
+                hits=result.hits,
+                misses=result.misses,
+                created=result.created,
+            )
 
     def _handle_push(self, request: PushRequest) -> StatusResponse:
-        dedup_key = request.dedup_key
-        if dedup_key is not None:
-            cached = self._push_replies.get(dedup_key)
-            if cached is not None:
-                self.dup_suppressed += 1
-                self.node.metrics.rpc.dup_suppressed += 1
-                return cached
-        updated = self.node.push(
-            [int(k) for k in request.keys], request.grads, int(request.batch_id)
-        )
-        response = StatusResponse(code=StatusResponse.OK, value=updated)
-        if dedup_key is not None:
-            self._push_replies[dedup_key] = response
-            while len(self._push_replies) > self.dedup_window:
-                self._push_replies.popitem(last=False)
-        return response
+        with self.tracer.span(
+            "ps.push", node=self.node.node_id, keys=len(request.keys)
+        ) as span:
+            dedup_key = request.dedup_key
+            if dedup_key is not None:
+                cached = self._push_replies.get(dedup_key)
+                if cached is not None:
+                    self.dup_suppressed += 1
+                    self.node.metrics.rpc.dup_suppressed += 1
+                    span.set(dup_suppressed=True)
+                    return cached
+            updated = self.node.push(
+                [int(k) for k in request.keys], request.grads, int(request.batch_id)
+            )
+            span.set(updated=updated)
+            response = StatusResponse(code=StatusResponse.OK, value=updated)
+            if dedup_key is not None:
+                self._push_replies[dedup_key] = response
+                while len(self._push_replies) > self.dedup_window:
+                    self._push_replies.popitem(last=False)
+            return response
 
     def _handle_checkpoint(self, request: CheckpointRequest) -> StatusResponse:
         """Queue a batch-aware checkpoint; idempotent per batch id.
@@ -124,17 +144,21 @@ class PSNodeService:
         whose first copy already landed.
         """
         batch_id = int(request.batch_id)
-        cached = self._checkpoint_replies.get(batch_id)
-        if cached is not None:
-            self.dup_suppressed += 1
-            self.node.metrics.rpc.dup_suppressed += 1
-            return cached
-        self.node.request_checkpoint(batch_id)
-        response = StatusResponse(code=StatusResponse.OK, value=batch_id)
-        self._checkpoint_replies[batch_id] = response
-        while len(self._checkpoint_replies) > self.dedup_window:
-            self._checkpoint_replies.popitem(last=False)
-        return response
+        with self.tracer.span(
+            "ps.checkpoint", node=self.node.node_id, batch=batch_id
+        ) as span:
+            cached = self._checkpoint_replies.get(batch_id)
+            if cached is not None:
+                self.dup_suppressed += 1
+                self.node.metrics.rpc.dup_suppressed += 1
+                span.set(dup_suppressed=True)
+                return cached
+            self.node.request_checkpoint(batch_id)
+            response = StatusResponse(code=StatusResponse.OK, value=batch_id)
+            self._checkpoint_replies[batch_id] = response
+            while len(self._checkpoint_replies) > self.dedup_window:
+                self._checkpoint_replies.popitem(last=False)
+            return response
 
     def _handle_maintain(self, request: MaintainRequest) -> MaintainResponse:
         """Run the deferred maintenance round for one batch.
@@ -147,11 +171,15 @@ class PSNodeService:
         client's maintenance accounting exact under retries.
         """
         batch_id = int(request.batch_id)
-        result = self.node.maintain(batch_id)
-        if result.processed == 0 and batch_id in self._maintain_replies:
-            self.dup_suppressed += 1
-            self.node.metrics.rpc.dup_suppressed += 1
-            return self._maintain_replies[batch_id]
+        with self.tracer.span(
+            "ps.maintain", node=self.node.node_id, batch=batch_id
+        ) as span:
+            result = self.node.maintain(batch_id)
+            span.set(processed=result.processed, flushes=result.flushes)
+            if result.processed == 0 and batch_id in self._maintain_replies:
+                self.dup_suppressed += 1
+                self.node.metrics.rpc.dup_suppressed += 1
+                return self._maintain_replies[batch_id]
         response = MaintainResponse(
             batch_id=batch_id,
             processed=result.processed,
@@ -183,6 +211,11 @@ class RemotePSClient:
             :class:`FaultyLink` over ``network``.
         worker_id: this client's identity in push dedup headers.
         dedup_window: per-node service replay window.
+        tracer: span sink shared by every channel (client-side
+            call/attempt/backoff spans), every node service (handler
+            spans) and every node's cache.
+        registry: when given, channels observe per-kind RPC round-trip
+            latency histograms into it.
     """
 
     def __init__(
@@ -196,11 +229,15 @@ class RemotePSClient:
         faults: NetworkFaultConfig | None = None,
         worker_id: int = 0,
         dedup_window: int = DEFAULT_DEDUP_WINDOW,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.server_config = server_config or ServerConfig()
         self.partitioner = HashPartitioner(self.server_config.num_nodes)
         self.clock = clock or SimClock()
         self.worker_id = worker_id
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.registry = registry
         network = network or NetworkModel()
         self.link = (
             FaultyLink(network, faults)
@@ -208,11 +245,18 @@ class RemotePSClient:
             else network
         )
         self.nodes = [
-            PSNode(node_id, self.server_config, cache_config, optimizer)
+            PSNode(
+                node_id,
+                self.server_config,
+                cache_config,
+                optimizer,
+                tracer=self.tracer,
+            )
             for node_id in range(self.server_config.num_nodes)
         ]
         self.services = [
-            PSNodeService(node, dedup_window=dedup_window) for node in self.nodes
+            PSNodeService(node, dedup_window=dedup_window, tracer=self.tracer)
+            for node in self.nodes
         ]
         self.channels = [
             RpcChannel(
@@ -221,6 +265,8 @@ class RemotePSClient:
                 self.clock,
                 retry=retry,
                 channel_id=node_id,
+                tracer=self.tracer,
+                registry=registry,
             )
             for node_id, service in enumerate(self.services)
         ]
@@ -392,3 +438,26 @@ class RemotePSClient:
         if isinstance(self.link, FaultyLink):
             return self.link.stats
         return LinkFaultStats()
+
+    def collect_metrics(self, registry: MetricsRegistry) -> None:
+        """Hoist per-node bundles plus client RPC totals into ``registry``.
+
+        Mirrors :meth:`OpenEmbeddingServer.collect_metrics` — each node
+        contributes under a ``node=<id>`` label — and adds the client's
+        aggregated reliability counters under ``{"node": "client"}``
+        (channel retries/backoff are a client-side cost, not a shard's).
+        """
+        for node in self.nodes:
+            collect_bundle(registry, node.metrics, {"node": str(node.node_id)})
+        rel = self.reliability()
+        labels = {"node": "client"}
+        for name, value in (
+            ("repro_rpc_retries_total", rel.retries),
+            ("repro_rpc_timeouts_total", rel.timeouts),
+            ("repro_rpc_wire_errors_total", rel.wire_errors),
+            ("repro_rpc_dup_suppressed_total", rel.dup_suppressed),
+            ("repro_rpc_backoff_seconds_total", rel.backoff_seconds),
+            ("repro_rpc_faults_injected_total", rel.faults_injected),
+        ):
+            if value:
+                registry.counter(name, labels).add(value)

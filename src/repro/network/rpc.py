@@ -42,6 +42,8 @@ from repro.network.messages import (
     decode_message,
     encode_message,
 )
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.clock import SimClock
 from repro.simulation.network import Delivery, NetworkModel
 
@@ -208,6 +210,11 @@ class RpcChannel:
         retry: retry/timeout policy; defaults to :class:`RetryConfig`.
         channel_id: perturbs the jitter RNG so channels don't share a
             backoff schedule.
+        tracer: span sink; every call/attempt/backoff becomes a nested
+            span (no-op on the shared disabled tracer).
+        registry: when given, successful calls observe their round-trip
+            time into the ``repro_rpc_roundtrip_seconds`` histogram,
+            labeled by request kind.
     """
 
     def __init__(
@@ -217,12 +224,16 @@ class RpcChannel:
         clock: SimClock | None = None,
         retry: RetryConfig | None = None,
         channel_id: int = 0,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.server = server
         self.link = as_link(network if network is not None else NetworkModel())
         self.clock = clock
         self.retry = retry or RetryConfig()
         self.channel_id = channel_id
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.registry = registry
         self.stats = RpcStats()
         self._jitter_rng = np.random.default_rng((self.retry.seed, channel_id))
 
@@ -238,6 +249,11 @@ class RpcChannel:
         the per-call budget. Raises the typed server error for non-OK
         status responses and :class:`RpcTimeoutError` when the budget
         is exhausted.
+
+        Observability: the whole call is one ``rpc.call`` span with one
+        ``rpc.attempt`` child per exchange and an ``rpc.backoff`` child
+        per retry sleep, so a lossy wire's latency structure is visible
+        span-by-span in the trace.
         """
         frame = encode_message(request)
         retry = self.retry
@@ -245,51 +261,70 @@ class RpcChannel:
         spent = 0.0
         failure = "no attempt made"
         attempt = 0
-        while attempt < retry.max_attempts:
-            patience = min(retry.attempt_timeout_s, retry.call_timeout_s - spent)
-            if patience <= 0:
-                break
-            attempt += 1
-            if attempt > 1:
-                self.stats.retries += 1
-            self.stats.attempts += 1
-            reply_frame, elapsed = self._attempt(frame, concurrent_flows, patience)
-            spent += elapsed
-            self._advance(elapsed)
-            if reply_frame is None:
-                failure = "message lost (no reply within attempt timeout)"
-            else:
-                try:
-                    response = decode_message(reply_frame)
-                except MessageError as exc:
-                    failure = f"reply damaged in flight: {exc}"
-                else:
-                    if isinstance(response, StatusResponse) and not response.ok:
-                        self.stats.wire_errors += 1
-                        if response.retryable:
-                            failure = (
-                                "request damaged in flight "
-                                f"(server says: {response.detail})"
-                            )
-                        else:
-                            raise error_for_status(response)
-                    else:
-                        return response
-            if attempt < retry.max_attempts and spent < retry.call_timeout_s:
-                backoff = min(
-                    self._jittered_backoff(attempt),
-                    retry.call_timeout_s - spent,
+        kind = type(request).__name__
+        with self.tracer.span(
+            "rpc.call", kind=kind, channel=self.channel_id
+        ) as call_span:
+            while attempt < retry.max_attempts:
+                patience = min(
+                    retry.attempt_timeout_s, retry.call_timeout_s - spent
                 )
-                spent += backoff
-                self.stats.backoff_seconds += backoff
-                self._advance(backoff)
-        self.stats.timeouts += 1
-        raise RpcTimeoutError(
-            f"call abandoned after {attempt} attempt(s) / "
-            f"{spent:.6f}s of a {retry.call_timeout_s:.6f}s budget: {failure}",
-            attempts=attempt,
-            spent_seconds=spent,
-        )
+                if patience <= 0:
+                    break
+                attempt += 1
+                if attempt > 1:
+                    self.stats.retries += 1
+                self.stats.attempts += 1
+                with self.tracer.span("rpc.attempt", n=attempt) as attempt_span:
+                    reply_frame, elapsed = self._attempt(
+                        frame, concurrent_flows, patience
+                    )
+                    spent += elapsed
+                    self._advance(elapsed)
+                    attempt_span.set(lost=reply_frame is None)
+                if reply_frame is None:
+                    failure = "message lost (no reply within attempt timeout)"
+                else:
+                    try:
+                        response = decode_message(reply_frame)
+                    except MessageError as exc:
+                        failure = f"reply damaged in flight: {exc}"
+                    else:
+                        if isinstance(response, StatusResponse) and not response.ok:
+                            self.stats.wire_errors += 1
+                            if response.retryable:
+                                failure = (
+                                    "request damaged in flight "
+                                    f"(server says: {response.detail})"
+                                )
+                            else:
+                                call_span.set(error=response.code)
+                                raise error_for_status(response)
+                        else:
+                            call_span.set(attempts=attempt)
+                            if self.registry is not None:
+                                self.registry.histogram(
+                                    "repro_rpc_roundtrip_seconds",
+                                    {"kind": kind},
+                                ).observe(spent)
+                            return response
+                if attempt < retry.max_attempts and spent < retry.call_timeout_s:
+                    backoff = min(
+                        self._jittered_backoff(attempt),
+                        retry.call_timeout_s - spent,
+                    )
+                    spent += backoff
+                    self.stats.backoff_seconds += backoff
+                    with self.tracer.span("rpc.backoff", seconds=backoff):
+                        self._advance(backoff)
+            self.stats.timeouts += 1
+            call_span.set(timeout=True, attempts=attempt)
+            raise RpcTimeoutError(
+                f"call abandoned after {attempt} attempt(s) / "
+                f"{spent:.6f}s of a {retry.call_timeout_s:.6f}s budget: {failure}",
+                attempts=attempt,
+                spent_seconds=spent,
+            )
 
     # ------------------------------------------------------------------
     # internals

@@ -1,0 +1,48 @@
+"""Observability: span tracing, latency histograms, metrics export.
+
+The cross-layer measurement surface of the reproduction (see
+``docs/OBSERVABILITY.md``):
+
+* :class:`Tracer` — nested, clock-timestamped spans with a
+  zero-overhead disabled mode (:data:`NULL_TRACER`).
+* :class:`Histogram` — log-bucketed, mergeable latency distributions
+  (p50/p95/p99/max).
+* :class:`MetricsRegistry` — labeled, mergeable named metrics unifying
+  the per-layer stat bundles (:func:`collect_bundle`).
+* Exporters — Prometheus text, JSON snapshot, Chrome ``trace_event``
+  JSON (open in Perfetto to see the Figure 7 pipeline overlap).
+"""
+
+from repro.obs.exporters import (
+    METRICS_SCHEMA,
+    TRACE_SCHEMA,
+    render_snapshot,
+    to_chrome_trace,
+    to_json_snapshot,
+    to_prometheus,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.histogram import Histogram
+from repro.obs.registry import Counter, Gauge, MetricsRegistry, collect_bundle
+from repro.obs.tracer import NULL_TRACER, InstantEvent, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InstantEvent",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "Span",
+    "TRACE_SCHEMA",
+    "Tracer",
+    "collect_bundle",
+    "render_snapshot",
+    "to_chrome_trace",
+    "to_json_snapshot",
+    "to_prometheus",
+    "write_chrome_trace",
+    "write_metrics",
+]

@@ -1,0 +1,313 @@
+"""Exporters: Prometheus text, JSON snapshot, Chrome ``trace_event``.
+
+Three machine-readable views of one run:
+
+* :func:`to_prometheus` — the text exposition format every scrape stack
+  ingests; histograms become cumulative ``_bucket{le=...}`` series plus
+  ``_sum``/``_count`` (and quantile gauges for humans reading the raw
+  file).
+* :func:`to_json_snapshot` — a self-describing dict (schema
+  ``repro-metrics-v1``) that ``repro metrics`` pretty-prints and tests
+  diff.
+* :func:`to_chrome_trace` — Chrome ``trace_event`` JSON: load the file
+  in Perfetto (or ``chrome://tracing``) and the prefetch/maintenance
+  window visibly overlaps the GPU-compute span on its own track,
+  exactly the paper's Figure 7 timeline. Tracer *tracks* map to
+  threads; context-manager nesting is preserved by interval containment.
+
+All timestamps are exported in microseconds (the trace_event unit);
+registry metrics are unit-tagged in their names per Prometheus
+convention.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.obs.histogram import Histogram
+from repro.obs.registry import Counter, Gauge, MetricsRegistry
+from repro.obs.tracer import Tracer
+
+METRICS_SCHEMA = "repro-metrics-v1"
+TRACE_SCHEMA = "repro-trace-v1"
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+
+
+def _fmt_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    body = ",".join(
+        f'{key}="{str(val).replace(chr(92), chr(92) * 2).replace(chr(34), chr(92) + chr(34))}"'
+        for key, val in sorted(merged.items())
+    )
+    return "{" + body + "}"
+
+
+def to_prometheus(registry: MetricsRegistry) -> str:
+    """Serialize a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen_types: set[str] = set()
+    for name, labels, metric in registry.items():
+        if isinstance(metric, Counter):
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} counter")
+                seen_types.add(name)
+            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} gauge")
+                seen_types.add(name)
+            lines.append(f"{name}{_fmt_labels(labels)} {_fmt_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            if name not in seen_types:
+                lines.append(f"# TYPE {name} histogram")
+                seen_types.add(name)
+            for upper, cumulative in metric.cumulative_buckets():
+                lines.append(
+                    f"{name}_bucket"
+                    f"{_fmt_labels(labels, {'le': _fmt_value(upper)})}"
+                    f" {cumulative}"
+                )
+            lines.append(
+                f"{name}_bucket{_fmt_labels(labels, {'le': '+Inf'})} {metric.count}"
+            )
+            lines.append(f"{name}_sum{_fmt_labels(labels)} {_fmt_value(metric.sum)}")
+            lines.append(f"{name}_count{_fmt_labels(labels)} {metric.count}")
+            for q in (0.5, 0.95, 0.99):
+                lines.append(
+                    f"{name}_quantile"
+                    f"{_fmt_labels(labels, {'quantile': _fmt_value(q)})}"
+                    f" {_fmt_value(metric.quantile(q))}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# JSON snapshot
+# ----------------------------------------------------------------------
+
+
+def to_json_snapshot(registry: MetricsRegistry) -> dict:
+    """Self-describing dict snapshot of every registry metric."""
+    metrics = []
+    for name, labels, metric in registry.items():
+        entry: dict = {"name": name, "labels": labels}
+        if isinstance(metric, Counter):
+            entry["type"] = "counter"
+            entry["value"] = metric.value
+        elif isinstance(metric, Gauge):
+            entry["type"] = "gauge"
+            entry["value"] = metric.value
+        elif isinstance(metric, Histogram):
+            entry["type"] = "histogram"
+            entry.update(metric.summary())
+            entry["buckets"] = [
+                [upper, cumulative]
+                for upper, cumulative in metric.cumulative_buckets()
+            ]
+        metrics.append(entry)
+    return {"schema": METRICS_SCHEMA, "metrics": metrics}
+
+
+def write_metrics(registry: MetricsRegistry, path: str) -> str:
+    """Write a registry export; format chosen by extension.
+
+    ``.json`` gets the JSON snapshot, anything else (``.prom``,
+    ``.txt``, ...) the Prometheus text format. Returns the format used.
+    """
+    if str(path).endswith(".json"):
+        with open(path, "w") as fh:
+            json.dump(to_json_snapshot(registry), fh, indent=1)
+        return "json"
+    with open(path, "w") as fh:
+        fh.write(to_prometheus(registry))
+    return "prometheus"
+
+
+# ----------------------------------------------------------------------
+# Chrome trace_event JSON
+# ----------------------------------------------------------------------
+
+
+def to_chrome_trace(tracer: Tracer, process_name: str = "repro") -> dict:
+    """Convert a tracer's spans/instants to Chrome ``trace_event`` JSON.
+
+    Tracks become threads (deterministic tid by first appearance), with
+    ``thread_name`` metadata so Perfetto labels them. Spans are ``"X"``
+    complete events; instants are ``"i"``; attributes travel in
+    ``args``. Timestamps are microseconds.
+    """
+    events: list[dict] = []
+    tids: dict[str, int] = {}
+
+    def tid_of(track: str) -> int:
+        if track not in tids:
+            tids[track] = len(tids) + 1
+            events.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": 0,
+                    "tid": tids[track],
+                    "args": {"name": track},
+                }
+            )
+        return tids[track]
+
+    events.append(
+        {
+            "ph": "M",
+            "name": "process_name",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    )
+    for span in tracer.closed_spans():
+        events.append(
+            {
+                "ph": "X",
+                "name": span.name,
+                "cat": span.track,
+                "pid": 0,
+                "tid": tid_of(span.track),
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "args": dict(span.attrs),
+            }
+        )
+    for instant in tracer.instants:
+        events.append(
+            {
+                "ph": "i",
+                "s": "t",
+                "name": instant.name,
+                "cat": instant.track,
+                "pid": 0,
+                "tid": tid_of(instant.track),
+                "ts": instant.timestamp * 1e6,
+                "args": dict(instant.attrs),
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"schema": TRACE_SCHEMA, "dropped_events": tracer.dropped},
+    }
+
+
+def write_chrome_trace(tracer: Tracer, path: str, process_name: str = "repro") -> int:
+    """Dump the Chrome trace to ``path``; returns the event count."""
+    trace = to_chrome_trace(tracer, process_name)
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+    return len(trace["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# human rendering (the `repro metrics` subcommand)
+# ----------------------------------------------------------------------
+
+
+def _fmt_seconds(value: float) -> str:
+    if value == 0:
+        return "0"
+    if value < 1e-6:
+        return f"{value * 1e9:.1f}ns"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f}us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f}ms"
+    return f"{value:.3f}s"
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Pretty-print a :func:`to_json_snapshot` dict.
+
+    Renders (1) the histogram table with p50/p95/p99/max, (2) the
+    per-layer simulated-time breakdown from ``repro_phase_seconds_total``
+    counters, and (3) the remaining counters/gauges.
+    """
+    if snapshot.get("schema") != METRICS_SCHEMA:
+        raise ValueError(
+            f"not a {METRICS_SCHEMA} snapshot: schema={snapshot.get('schema')!r}"
+        )
+    metrics = snapshot.get("metrics", [])
+    lines: list[str] = []
+
+    def label_str(entry: dict) -> str:
+        labels = entry.get("labels") or {}
+        if not labels:
+            return ""
+        return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+    hists = [m for m in metrics if m.get("type") == "histogram"]
+    if hists:
+        lines.append("histograms")
+        header = (
+            f"  {'name':<44} {'count':>8} {'p50':>10} {'p95':>10} "
+            f"{'p99':>10} {'max':>10}"
+        )
+        lines.append(header)
+        lines.append("  " + "-" * (len(header) - 2))
+        for m in hists:
+            lines.append(
+                f"  {m['name'] + label_str(m):<44} {m['count']:>8} "
+                f"{_fmt_seconds(m['p50']):>10} {_fmt_seconds(m['p95']):>10} "
+                f"{_fmt_seconds(m['p99']):>10} {_fmt_seconds(m['max']):>10}"
+            )
+
+    phases = [
+        m
+        for m in metrics
+        if m.get("type") == "counter"
+        and m["name"] == "repro_phase_seconds_total"
+    ]
+    if phases:
+        total = sum(m["value"] for m in phases) or 1.0
+        lines.append("")
+        lines.append("per-layer time breakdown")
+        for m in sorted(phases, key=lambda m: -m["value"]):
+            phase = (m.get("labels") or {}).get("phase", "?")
+            share = m["value"] / total
+            bar = "#" * max(1, round(share * 40)) if m["value"] else ""
+            lines.append(
+                f"  {phase:<20} {_fmt_seconds(m['value']):>10}  "
+                f"{share:>6.1%}  {bar}"
+            )
+
+    scalars = [
+        m
+        for m in metrics
+        if m.get("type") in ("counter", "gauge")
+        and m["name"] != "repro_phase_seconds_total"
+    ]
+    if scalars:
+        lines.append("")
+        lines.append("counters / gauges")
+        for m in scalars:
+            value = m["value"]
+            rendered = (
+                f"{value:.6g}" if isinstance(value, float) and not float(value).is_integer()
+                else f"{int(value)}"
+            )
+            lines.append(f"  {m['name'] + label_str(m):<52} {rendered:>14}")
+    return "\n".join(lines)

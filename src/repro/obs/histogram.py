@@ -1,0 +1,175 @@
+"""Log-bucketed latency histograms with quantile estimation.
+
+Latency distributions in this repo span seven orders of magnitude —
+a DRAM cache hit is priced in tens of nanoseconds, a checkpoint pause
+in whole seconds — so fixed-width buckets are useless. A
+:class:`Histogram` uses geometric buckets (a fixed number per decade),
+stores them sparsely, and answers p50/p95/p99/max by walking the
+cumulative counts. Bucket *boundaries* are deterministic functions of
+the bucket index, so two histograms built anywhere (different PS nodes,
+different runs) merge exactly: same-index counts simply add.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+#: Geometric buckets per factor-of-10; 8 gives <= ~15 % relative
+#: quantile error, plenty for p50/p95/p99 reporting.
+BUCKETS_PER_DECADE = 8
+
+_GROWTH = 10.0 ** (1.0 / BUCKETS_PER_DECADE)
+_LOG_GROWTH = math.log(_GROWTH)
+
+
+def bucket_index(value: float) -> int:
+    """Bucket holding ``value``: the integer ``i`` with
+    ``growth**i < value <= growth**(i+1)`` (values <= 0 go to the
+    dedicated underflow bucket, index ``None`` handled by caller)."""
+    return math.ceil(math.log(value) / _LOG_GROWTH) - 1
+
+
+def bucket_upper_bound(index: int) -> float:
+    """Inclusive upper boundary of bucket ``index``."""
+    return _GROWTH ** (index + 1)
+
+
+class Histogram:
+    """A mergeable, sparsely-stored log-bucketed histogram.
+
+    Args:
+        name: metric name (exported).
+        unit: unit suffix for exporters, default seconds.
+    """
+
+    __slots__ = ("name", "unit", "count", "sum", "min", "max", "zeros", "_buckets")
+
+    def __init__(self, name: str = "", unit: str = "seconds"):
+        self.name = name
+        self.unit = unit
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.zeros = 0  # observations <= 0 (dedicated underflow bucket)
+        self._buckets: dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zeros += 1
+            return
+        index = bucket_index(value)
+        self._buckets[index] = self._buckets.get(index, 0) + 1
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` in [0, 1].
+
+        Returns the upper bound of the bucket holding the rank-``q``
+        observation, clamped to the observed max (so ``quantile(1.0)``
+        is exactly the max). Empty histograms return 0.0.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = self.zeros
+        if cumulative >= rank and self.zeros:
+            return min(0.0, self.max)
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            if cumulative >= rank:
+                return min(bucket_upper_bound(index), self.max)
+        return self.max
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def cumulative_buckets(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, Prometheus-style.
+
+        The implicit ``+Inf`` bucket is *not* included; exporters add
+        it with ``count``. Values <= 0 count toward every bucket (they
+        are below every boundary).
+        """
+        out: list[tuple[float, int]] = []
+        cumulative = self.zeros
+        for index in sorted(self._buckets):
+            cumulative += self._buckets[index]
+            out.append((bucket_upper_bound(index), cumulative))
+        return out
+
+    def summary(self) -> dict:
+        """Plain-dict snapshot used by the JSON exporter."""
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.mean,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    # ------------------------------------------------------------------
+    # algebra
+    # ------------------------------------------------------------------
+
+    def merge(self, other: "Histogram") -> None:
+        """Accumulate another histogram (exact: same bucket grid)."""
+        self.count += other.count
+        self.sum += other.sum
+        self.zeros += other.zeros
+        if other.count:
+            self.min = min(self.min, other.min)
+            self.max = max(self.max, other.max)
+        for index, n in other._buckets.items():
+            self._buckets[index] = self._buckets.get(index, 0) + n
+
+    def reset(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.zeros = 0
+        self._buckets.clear()
+
+    def __repr__(self) -> str:
+        if self.count == 0:
+            return f"Histogram({self.name!r}, empty)"
+        return (
+            f"Histogram({self.name!r}, n={self.count}, "
+            f"p50={self.p50:.3g}, p99={self.p99:.3g}, max={self.max:.3g})"
+        )

@@ -1,0 +1,278 @@
+"""Nested span tracing over the simulated (or wall) clock.
+
+A :class:`Tracer` produces :class:`Span` records — named, timestamped
+intervals with free-form attributes — that every layer of the system
+emits around its work::
+
+    with tracer.span("rpc.pull", keys=len(keys)):
+        ...
+
+Spans nest: the context-manager form tracks a stack, so a retry's
+backoff sleep becomes a child of its ``rpc.call``. Timestamps come from
+the shared :class:`~repro.simulation.clock.SimClock` when one is given
+(the performance layer), or from ``time.perf_counter`` otherwise (the
+functional layer) — one tracer never mixes the two.
+
+Concurrent work that a single monotone clock cannot express as nested
+intervals — the prefetch/maintenance window hidden behind GPU compute
+(Figure 7) — is recorded with :meth:`Tracer.add_span`: an explicit
+``(start, duration)`` interval on a named *track*. Tracks become
+Perfetto threads in the Chrome ``trace_event`` export
+(:func:`repro.obs.exporters.to_chrome_trace`), which is what makes the
+overlap visible exactly as in the paper's timeline figure.
+
+Zero-overhead discipline
+------------------------
+Tracing is opt-in. A disabled tracer's :meth:`span` returns a shared
+no-op context manager without allocating a span, and ``add_span`` /
+``instant`` return immediately, so instrumented paths cost (nearly)
+nothing when observability is off. :data:`NULL_TRACER` is the shared
+disabled instance instrumented classes default to — callers never need
+``if tracer is not None`` guards.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.simulation.clock import SimClock
+
+DEFAULT_TRACK = "main"
+
+
+@dataclass
+class Span:
+    """One named, closed interval of work.
+
+    Times are seconds on the tracer's clock domain (simulated seconds
+    with a :class:`SimClock`, wall seconds otherwise). ``parent_id`` is
+    the enclosing context-manager span (None at top level or for
+    explicit :meth:`Tracer.add_span` intervals).
+    """
+
+    name: str
+    start: float
+    end: float | None = None
+    track: str = DEFAULT_TRACK
+    span_id: int = 0
+    parent_id: int | None = None
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attrs) -> None:
+        """Attach attributes after the span opened (e.g. result counts)."""
+        self.attrs.update(attrs)
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """A zero-duration marker (crash, checkpoint completion, ...)."""
+
+    name: str
+    timestamp: float
+    track: str = DEFAULT_TRACK
+    attrs: dict = field(default_factory=dict)
+
+
+class _NullSpan:
+    """Shared no-op context manager for disabled tracers."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    def set(self, **attrs) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _OpenSpan:
+    """Context manager closing one span on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._close(self._span)
+        return None
+
+
+class Tracer:
+    """Span/event collector for one run.
+
+    Args:
+        clock: timestamp source; ``None`` uses ``time.perf_counter``
+            relative to construction (functional-layer runs).
+        enabled: disabled tracers are no-ops (see module docstring).
+        max_events: hard cap on stored spans+instants; once reached,
+            further records are dropped (counted in ``dropped``) so a
+            runaway run cannot exhaust memory.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock | None = None,
+        enabled: bool = True,
+        max_events: int = 2_000_000,
+    ):
+        if max_events <= 0:
+            raise ConfigError(f"max_events must be positive, got {max_events}")
+        self.clock = clock
+        self.enabled = enabled
+        self.max_events = max_events
+        self.spans: list[Span] = []
+        self.instants: list[InstantEvent] = []
+        self.dropped = 0
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._wall_origin = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def now(self) -> float:
+        """Current time in this tracer's clock domain (seconds)."""
+        if self.clock is not None:
+            return self.clock.now
+        return time.perf_counter() - self._wall_origin
+
+    def span(self, name: str, track: str = DEFAULT_TRACK, **attrs):
+        """Open a nested span; use as a context manager."""
+        if not self.enabled:
+            return NULL_SPAN
+        if len(self.spans) >= self.max_events:
+            self.dropped += 1
+            return NULL_SPAN
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(
+            name=name,
+            start=self.now(),
+            track=track,
+            span_id=self._next_id,
+            parent_id=parent,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stack.append(span)
+        return _OpenSpan(self, span)
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        duration: float,
+        track: str = DEFAULT_TRACK,
+        **attrs,
+    ) -> None:
+        """Record an explicit closed interval (overlap windows).
+
+        Unlike :meth:`span`, the interval need not nest inside the
+        current span stack — this is how concurrent tracks (maintainer
+        work behind GPU compute) are expressed.
+        """
+        if not self.enabled:
+            return
+        if duration < 0:
+            raise ConfigError(f"span duration must be >= 0, got {duration}")
+        if len(self.spans) >= self.max_events:
+            self.dropped += 1
+            return
+        self.spans.append(
+            Span(
+                name=name,
+                start=start,
+                end=start + duration,
+                track=track,
+                span_id=self._next_id,
+                parent_id=None,
+                attrs=attrs,
+            )
+        )
+        self._next_id += 1
+
+    def instant(self, name: str, track: str = DEFAULT_TRACK, **attrs) -> None:
+        """Record a zero-duration marker at the current time."""
+        if not self.enabled:
+            return
+        if len(self.instants) >= self.max_events:
+            self.dropped += 1
+            return
+        self.instants.append(
+            InstantEvent(name=name, timestamp=self.now(), track=track, attrs=attrs)
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def closed_spans(self) -> list[Span]:
+        """All spans whose interval is closed, start-ordered."""
+        return sorted(
+            (s for s in self.spans if s.end is not None), key=lambda s: s.start
+        )
+
+    def spans_named(self, name: str) -> list[Span]:
+        """All spans (open or closed) with exactly this name."""
+        return [s for s in self.spans if s.name == name]
+
+    def total_time(self, name: str) -> float:
+        """Summed duration of every closed span with this name."""
+        return sum(s.duration for s in self.spans if s.name == name)
+
+    def by_name(self) -> dict[str, tuple[int, float]]:
+        """``{name: (count, total_seconds)}`` over closed spans."""
+        table: dict[str, tuple[int, float]] = {}
+        for span in self.spans:
+            if span.end is None:
+                continue
+            count, total = table.get(span.name, (0, 0.0))
+            table[span.name] = (count + 1, total + span.duration)
+        return table
+
+    def clear(self) -> None:
+        """Drop every recorded span/instant (between bench repetitions)."""
+        self.spans.clear()
+        self.instants.clear()
+        self._stack.clear()
+        self.dropped = 0
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _close(self, span: Span) -> None:
+        span.end = self.now()
+        # Pop through any abandoned children (exception unwinding).
+        while self._stack:
+            top = self._stack.pop()
+            if top is span:
+                break
+            if top.end is None:
+                top.end = span.end
+
+
+#: The shared disabled tracer instrumented classes default to.
+NULL_TRACER = Tracer(enabled=False)

@@ -47,6 +47,14 @@ class CacheStats:
             return 0.0
         return self.misses / self.accesses
 
+    def merge(self, other: "CacheStats") -> None:
+        """Accumulate another stats bundle into this one."""
+        self.hits += other.hits
+        self.misses += other.misses
+        self.evictions += other.evictions
+        self.flushes += other.flushes
+        self.loads += other.loads
+
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
@@ -160,7 +168,7 @@ class RequestTrace:
     PULL = "pull"
     UPDATE = "update"
 
-    def __init__(self, enabled: bool = True):
+    def __init__(self, enabled: bool = False):
         self.enabled = enabled
         self._events: list[tuple[float, str, int]] = []
 
@@ -201,11 +209,19 @@ class RequestTrace:
 
 @dataclass
 class Metrics:
-    """A bundle of all statistics one PS node (or run) collects."""
+    """A bundle of all statistics one PS node (or run) collects.
+
+    Every sub-bundle lives here — cache, RPC reliability, prefetch
+    pipeline, request trace — so one ``Metrics`` object snapshots (and
+    one :meth:`reset` clears) a whole run. The observability layer
+    hoists the bundle into labeled registry metrics via
+    :func:`repro.obs.registry.collect_bundle`.
+    """
 
     cache: CacheStats = field(default_factory=CacheStats)
     rpc: RpcReliabilityStats = field(default_factory=RpcReliabilityStats)
-    trace: RequestTrace = field(default_factory=lambda: RequestTrace(enabled=False))
+    prefetch: PrefetchStats = field(default_factory=PrefetchStats)
+    trace: RequestTrace = field(default_factory=RequestTrace)
     pulls: int = 0
     updates: int = 0
     entries_created: int = 0
@@ -213,9 +229,26 @@ class Metrics:
     pmem_flush_entries: int = 0
     pmem_load_entries: int = 0
 
+    def merge(self, other: "Metrics") -> None:
+        """Accumulate another node's bundle (multi-node aggregation).
+
+        Request traces are not merged — they are per-run event logs,
+        not additive counters.
+        """
+        self.cache.merge(other.cache)
+        self.rpc.merge(other.rpc)
+        self.prefetch.merge(other.prefetch)
+        self.pulls += other.pulls
+        self.updates += other.updates
+        self.entries_created += other.entries_created
+        self.checkpoints_completed += other.checkpoints_completed
+        self.pmem_flush_entries += other.pmem_flush_entries
+        self.pmem_load_entries += other.pmem_load_entries
+
     def reset(self) -> None:
         self.cache.reset()
         self.rpc.reset()
+        self.prefetch.reset()
         self.trace.clear()
         self.pulls = 0
         self.updates = 0

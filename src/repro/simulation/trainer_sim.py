@@ -35,6 +35,8 @@ from repro.core.ps_node import PSNode
 from repro.baselines.dram_ps import DRAMPSNode
 from repro.baselines.pmem_hash import PMemHashNode
 from repro.errors import ConfigError
+from repro.obs.registry import MetricsRegistry, collect_bundle
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.calibration import Calibration, DEFAULT_CALIBRATION
 from repro.simulation.clock import PeriodicTimer, SimClock
 from repro.simulation.cluster import IterationCounts, PSCostModel, SystemKind
@@ -92,6 +94,17 @@ class TrainingSimulator:
             exactly as in :class:`repro.dlrm.prefetch.PrefetchPipeline`.
         use_cache: Figure 9 ablation switch (hybrids only).
         record_trace: keep a per-request timestamp trace (Figure 2).
+        tracer: span sink on the *simulated* clock. When enabled, every
+            iteration emits phase spans on per-layer tracks (worker /
+            gpu / maintainer / checkpoint), so the exported Chrome
+            trace shows deferred maintenance and prefetch riding under
+            GPU compute — Figure 7 as a timeline.
+        registry: labeled-metrics registry. When given, the simulator
+            feeds per-phase latency histograms
+            (``repro_pull_latency_seconds`` etc.), cumulative
+            ``repro_phase_seconds_total{phase=...}`` counters, and — at
+            run end — the backend's stat bundle via
+            :func:`repro.obs.registry.collect_bundle`.
     """
 
     def __init__(
@@ -107,6 +120,8 @@ class TrainingSimulator:
         prefetch: PrefetchConfig | None = None,
         use_cache: bool = True,
         record_trace: bool = False,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.system = system
         self.cluster = cluster or ClusterConfig()
@@ -118,6 +133,12 @@ class TrainingSimulator:
         self.use_cache = use_cache
         self.clock = SimClock()
         self.trace = RequestTrace(enabled=record_trace)
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if tracer is not None and tracer.clock is None:
+            # Simulated runs timestamp spans on the simulated clock so
+            # exported timelines line up with priced phase durations.
+            tracer.clock = self.clock
+        self.registry = registry
         pipelined = self.cache_config.pipelined and system == SystemKind.PMEM_OE
         self.cost_model = PSCostModel(
             system,
@@ -185,6 +206,12 @@ class TrainingSimulator:
                 else counts.push_requests
             )
             self.trace.record(push_at, RequestTrace.UPDATE, push_requests)
+            if self.tracer.enabled:
+                self._emit_iteration_spans(
+                    batch_id, counts, timing, start, overlap_at, push_at
+                )
+            if self.registry is not None:
+                self._observe_iteration(timing)
             self.clock.advance(timing.total)
 
             result.net_seconds += timing.net_pull + timing.net_push
@@ -198,14 +225,140 @@ class TrainingSimulator:
             result.prefetch_overlapped_seconds += timing.prefetch_overlapped
 
             if timer is not None and timer.due(self.clock.now):
+                ckpt_at = self.clock.now
                 pause = self._execute_checkpoint(batch_id)
                 self.clock.advance(pause)
                 result.checkpoint_pause_seconds += pause
                 result.checkpoints_completed += 1
+                if self.tracer.enabled:
+                    self.tracer.add_span(
+                        "checkpoint.pause",
+                        start=ckpt_at,
+                        duration=pause,
+                        track="checkpoint",
+                        batch=batch_id,
+                        mode=self.checkpoint_config.mode.value,
+                    )
+                if self.registry is not None:
+                    self.registry.histogram(
+                        "repro_checkpoint_pause_seconds"
+                    ).observe(pause)
+                    self.registry.counter(
+                        "repro_phase_seconds_total",
+                        {"phase": "checkpoint_pause"},
+                    ).add(pause)
 
         result.sim_seconds = self.clock.now
         result.miss_rate = self._miss_rate()
+        if self.registry is not None:
+            collect_bundle(
+                self.registry,
+                self.backend.metrics,
+                {"system": self.system.value},
+            )
         return result
+
+    def _emit_iteration_spans(
+        self, batch_id, counts, timing, start, overlap_at, push_at
+    ) -> None:
+        """Emit one iteration's phase layout as per-track spans.
+
+        The worker track carries the critical path (pull, inline
+        maintenance remainder, push); the gpu and maintainer tracks
+        carry the overlap window's concurrent work — in a Chrome-trace
+        viewer the deferred maintenance and lookahead prefetch visibly
+        ride underneath the GPU-compute span (paper Figure 7).
+        """
+        tracer = self.tracer
+        pull = timing.net_pull + timing.pull_service
+        if pull > 0:
+            tracer.add_span(
+                "iter.pull",
+                start=start,
+                duration=pull,
+                track="worker",
+                batch=batch_id,
+                requests=counts.requests,
+                hits=counts.hits,
+                misses=counts.misses,
+            )
+        if timing.gpu > 0:
+            tracer.add_span(
+                "gpu.compute",
+                start=overlap_at,
+                duration=timing.gpu,
+                track="gpu",
+                batch=batch_id,
+            )
+        if timing.maintain_deferred > 0:
+            tracer.add_span(
+                "maintain.deferred",
+                start=overlap_at,
+                duration=timing.maintain_deferred,
+                track="maintainer",
+                batch=batch_id,
+                processed=counts.maintain_processed,
+                flushes=counts.maintain_flushes,
+            )
+        if timing.prefetch_overlapped > 0:
+            tracer.add_span(
+                "prefetch.pull",
+                start=overlap_at + timing.maintain_deferred,
+                duration=timing.prefetch_overlapped,
+                track="maintainer",
+                batch=batch_id,
+                keys=counts.prefetch_requests,
+            )
+        if timing.maintain_inline > 0:
+            middle = max(
+                timing.gpu,
+                timing.maintain_deferred + timing.prefetch_overlapped,
+            )
+            tracer.add_span(
+                "maintain.inline",
+                start=overlap_at + middle,
+                duration=timing.maintain_inline,
+                track="worker",
+                batch=batch_id,
+                processed=counts.maintain_processed,
+            )
+        push = timing.net_push + timing.push_service
+        if push > 0:
+            tracer.add_span(
+                "iter.push",
+                start=push_at,
+                duration=push,
+                track="worker",
+                batch=batch_id,
+            )
+
+    def _observe_iteration(self, timing) -> None:
+        """Feed one iteration's phase prices into the registry."""
+        registry = self.registry
+        registry.histogram("repro_pull_latency_seconds").observe(
+            timing.net_pull + timing.pull_service
+        )
+        registry.histogram("repro_push_latency_seconds").observe(
+            timing.net_push + timing.push_service
+        )
+        registry.histogram("repro_maintain_latency_seconds").observe(
+            timing.maintain_deferred + timing.maintain_inline
+        )
+        registry.histogram("repro_iteration_seconds").observe(timing.total)
+        for phase, seconds in (
+            ("net_pull", timing.net_pull),
+            ("pull_service", timing.pull_service),
+            ("gpu", timing.gpu),
+            ("maintain_deferred", timing.maintain_deferred),
+            ("maintain_inline", timing.maintain_inline),
+            ("prefetch_overlapped", timing.prefetch_overlapped),
+            ("net_push", timing.net_push),
+            ("push_service", timing.push_service),
+        ):
+            if seconds:
+                registry.counter(
+                    "repro_phase_seconds_total", {"phase": phase}
+                ).add(seconds)
 
     @staticmethod
     def interval_for_epoch_fraction(

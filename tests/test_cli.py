@@ -127,3 +127,74 @@ class TestReproduce:
     def test_runs_one_experiment(self, capsys):
         assert main(["reproduce", "table1"]) == 0
         assert "reports written under" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_simulate_writes_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "run.trace.json"
+        metrics_path = tmp_path / "run.metrics.json"
+        code = main([
+            "simulate", "--workers", "4", "--iterations", "10",
+            "--lookahead", "2",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trace" in out and "metrics" in out
+        trace = json.loads(trace_path.read_text())
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert "gpu.compute" in names and "maintain.deferred" in names
+        snapshot = json.loads(metrics_path.read_text())
+        assert snapshot["schema"] == "repro-metrics-v1"
+
+    def test_simulate_prometheus_extension(self, tmp_path):
+        metrics_path = tmp_path / "run.prom"
+        assert main([
+            "simulate", "--workers", "2", "--iterations", "5",
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        text = metrics_path.read_text()
+        assert "# TYPE repro_pull_latency_seconds histogram" in text
+        assert "repro_pull_latency_seconds_quantile" in text
+
+    def test_train_writes_trace_and_metrics(self, tmp_path, capsys):
+        import json
+
+        trace_path = tmp_path / "t.json"
+        metrics_path = tmp_path / "m.json"
+        code = main([
+            "train", "--batches", "6", "--fields", "4", "--vocab", "50",
+            "--dim", "8", "--checkpoint-every", "4",
+            "--trace-out", str(trace_path),
+            "--metrics-out", str(metrics_path),
+        ])
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        names = {e.get("name") for e in trace["traceEvents"]}
+        assert "train.step" in names and "server.pull" in names
+        assert "cache.maintain" in names
+
+    def test_metrics_subcommand_renders(self, tmp_path, capsys):
+        metrics_path = tmp_path / "m.json"
+        assert main([
+            "simulate", "--workers", "2", "--iterations", "5",
+            "--metrics-out", str(metrics_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(metrics_path)]) == 0
+        out = capsys.readouterr().out
+        assert "histograms" in out
+        assert "per-layer time breakdown" in out
+
+    def test_metrics_subcommand_missing_file(self, capsys):
+        assert main(["metrics", "/nonexistent/nope.json"]) == 2
+        assert "no such snapshot" in capsys.readouterr().err
+
+    def test_metrics_subcommand_rejects_non_snapshot(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"schema": "other"}')
+        assert main(["metrics", str(bad)]) == 2
+        assert "not a repro-metrics-v1" in capsys.readouterr().err

@@ -32,13 +32,20 @@ class TestCacheStats:
 
 
 class TestRequestTrace:
+    def test_default_is_disabled(self):
+        """The constructor default matches the docstring: off by default."""
+        trace = RequestTrace()
+        assert not trace.enabled
+        trace.record(0.001, RequestTrace.PULL, 10)
+        assert trace.events == []
+
     def test_disabled_trace_records_nothing(self):
         trace = RequestTrace(enabled=False)
         trace.record(0.001, RequestTrace.PULL, 10)
         assert trace.events == []
 
     def test_per_millisecond_bucketing(self):
-        trace = RequestTrace()
+        trace = RequestTrace(enabled=True)
         trace.record(0.0001, RequestTrace.PULL, 5)
         trace.record(0.0009, RequestTrace.PULL, 3)
         trace.record(0.0021, RequestTrace.UPDATE, 7)
@@ -47,14 +54,14 @@ class TestRequestTrace:
         assert buckets[2] == 7
 
     def test_per_millisecond_filter_by_op(self):
-        trace = RequestTrace()
+        trace = RequestTrace(enabled=True)
         trace.record(0.0, RequestTrace.PULL, 5)
         trace.record(0.0, RequestTrace.UPDATE, 3)
         assert trace.per_millisecond(RequestTrace.PULL) == {0: 5}
 
     def test_pairs_property(self):
         """Pull and update totals must match — the 'in pairs' pattern."""
-        trace = RequestTrace()
+        trace = RequestTrace(enabled=True)
         for batch in range(4):
             trace.record(batch * 0.01, RequestTrace.PULL, 100)
             trace.record(batch * 0.01 + 0.005, RequestTrace.UPDATE, 100)
@@ -62,7 +69,7 @@ class TestRequestTrace:
         assert totals[RequestTrace.PULL] == totals[RequestTrace.UPDATE] == 400
 
     def test_clear(self):
-        trace = RequestTrace()
+        trace = RequestTrace(enabled=True)
         trace.record(0.0, RequestTrace.PULL)
         trace.clear()
         assert trace.events == []

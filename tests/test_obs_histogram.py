@@ -1,0 +1,111 @@
+"""Log-bucketed histogram: bucket grid, quantiles, exact merging."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.histogram import (
+    BUCKETS_PER_DECADE,
+    Histogram,
+    bucket_index,
+    bucket_upper_bound,
+)
+
+
+class TestBucketGrid:
+    def test_value_within_its_bucket_bounds(self):
+        for value in (1e-9, 3.7e-6, 0.004, 1.0, 12.5, 9_999.0):
+            index = bucket_index(value)
+            lower = bucket_upper_bound(index - 1)
+            assert lower < value <= bucket_upper_bound(index)
+
+    def test_grid_is_geometric_per_decade(self):
+        growth = bucket_upper_bound(1) / bucket_upper_bound(0)
+        assert growth == pytest.approx(10 ** (1 / BUCKETS_PER_DECADE))
+
+    def test_boundaries_deterministic(self):
+        assert bucket_index(0.001) == bucket_index(0.001)
+        assert bucket_upper_bound(5) == bucket_upper_bound(5)
+
+
+class TestQuantiles:
+    def test_empty_histogram(self):
+        hist = Histogram("h")
+        assert hist.p50 == 0.0 and hist.mean == 0.0
+        assert hist.summary()["max"] == 0.0
+
+    def test_single_value_all_quantiles_equal_it(self):
+        hist = Histogram("h")
+        hist.observe(0.25)
+        # Clamped to observed max -> exact for a single sample.
+        assert hist.p50 == hist.p99 == hist.quantile(1.0) == 0.25
+
+    def test_quantile_relative_error_bounded(self):
+        rng = random.Random(7)
+        values = [rng.lognormvariate(-7, 2) for __ in range(5000)]
+        hist = Histogram("h")
+        for v in values:
+            hist.observe(v)
+        values.sort()
+        for q in (0.5, 0.95, 0.99):
+            exact = values[min(len(values) - 1, int(q * len(values)))]
+            estimate = hist.quantile(q)
+            # One geometric bucket of slack either way.
+            growth = 10 ** (1 / BUCKETS_PER_DECADE)
+            assert exact / growth <= estimate <= exact * growth * 1.05
+
+    def test_zero_observations_underflow_bucket(self):
+        hist = Histogram("h")
+        hist.observe(0.0)
+        hist.observe(1.0)
+        assert hist.count == 2 and hist.zeros == 1
+        assert hist.quantile(0.25) == 0.0
+        assert hist.quantile(1.0) == 1.0
+
+    def test_invalid_quantile_raises(self):
+        hist = Histogram("h")
+        with pytest.raises(ConfigError):
+            hist.quantile(1.5)
+
+    def test_min_max_mean(self):
+        hist = Histogram("h")
+        for v in (0.1, 0.2, 0.3):
+            hist.observe(v)
+        assert hist.min == pytest.approx(0.1)
+        assert hist.max == pytest.approx(0.3)
+        assert hist.mean == pytest.approx(0.2)
+
+
+class TestAlgebra:
+    def test_merge_is_exact(self):
+        """Split one stream across two histograms; merge == whole."""
+        rng = random.Random(13)
+        values = [rng.expovariate(500) for __ in range(2000)]
+        whole, a, b = Histogram("h"), Histogram("h"), Histogram("h")
+        for i, v in enumerate(values):
+            whole.observe(v)
+            (a if i % 2 else b).observe(v)
+        a.merge(b)
+        assert a.count == whole.count
+        assert a.sum == pytest.approx(whole.sum)
+        assert a.cumulative_buckets() == whole.cumulative_buckets()
+        for q in (0.5, 0.95, 0.99):
+            assert a.quantile(q) == whole.quantile(q)
+
+    def test_merge_empty_is_identity(self):
+        hist = Histogram("h")
+        hist.observe(0.5)
+        before = hist.summary()
+        hist.merge(Histogram("h"))
+        assert hist.summary() == before
+
+    def test_reset_roundtrip(self):
+        hist = Histogram("h")
+        for v in (0.0, 1e-6, 3.0):
+            hist.observe(v)
+        hist.reset()
+        assert hist.count == 0 and hist.zeros == 0
+        assert hist.cumulative_buckets() == []
+        assert hist.min == math.inf and hist.max == -math.inf

@@ -1,0 +1,123 @@
+"""Tracer: nesting, clock domains, zero-overhead disabled mode."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.tracer import NULL_SPAN, NULL_TRACER, Tracer
+from repro.simulation.clock import SimClock
+
+
+class TestSpans:
+    def test_span_records_interval(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with tracer.span("work", keys=3) as span:
+            clock.advance(0.5)
+        assert span.end is not None
+        assert span.duration == pytest.approx(0.5)
+        assert span.attrs == {"keys": 3}
+
+    def test_nesting_sets_parent(self):
+        tracer = Tracer(clock=SimClock())
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_set_attaches_result_attrs(self):
+        tracer = Tracer(clock=SimClock())
+        with tracer.span("pull") as span:
+            span.set(hits=7, misses=1)
+        assert span.attrs["hits"] == 7
+
+    def test_exception_closes_abandoned_children(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                tracer.span("leaked").__enter__()  # never exited
+                clock.advance(1.0)
+                raise RuntimeError("boom")
+        leaked = tracer.spans_named("leaked")[0]
+        assert leaked.end is not None
+        assert tracer._stack == []
+
+    def test_add_span_explicit_interval_on_track(self):
+        tracer = Tracer(clock=SimClock())
+        tracer.add_span("gpu.compute", start=1.0, duration=2.0, track="gpu")
+        (span,) = tracer.spans_named("gpu.compute")
+        assert span.track == "gpu"
+        assert span.start == 1.0 and span.end == 3.0
+        assert span.parent_id is None
+
+    def test_add_span_rejects_negative_duration(self):
+        tracer = Tracer(clock=SimClock())
+        with pytest.raises(ConfigError):
+            tracer.add_span("bad", start=0.0, duration=-1.0)
+
+    def test_instant_recorded_at_now(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        clock.advance(4.0)
+        tracer.instant("node.crash", track="failure", node=1)
+        (event,) = tracer.instants
+        assert event.timestamp == pytest.approx(4.0)
+        assert event.track == "failure"
+
+    def test_wall_clock_domain_is_monotone(self):
+        tracer = Tracer()  # no SimClock -> perf_counter
+        with tracer.span("a"):
+            pass
+        (span,) = tracer.closed_spans()
+        assert span.end >= span.start >= 0.0
+
+
+class TestIntrospection:
+    def test_by_name_and_total_time(self):
+        clock = SimClock()
+        tracer = Tracer(clock=clock)
+        for __ in range(3):
+            with tracer.span("round"):
+                clock.advance(0.25)
+        count, total = tracer.by_name()["round"]
+        assert count == 3
+        assert total == pytest.approx(0.75)
+        assert tracer.total_time("round") == pytest.approx(0.75)
+
+    def test_clear_resets_everything(self):
+        tracer = Tracer(clock=SimClock())
+        with tracer.span("x"):
+            tracer.instant("mark")
+        tracer.clear()
+        assert tracer.spans == [] and tracer.instants == []
+
+
+class TestDisabledMode:
+    def test_disabled_span_is_shared_null(self):
+        tracer = Tracer(enabled=False)
+        assert tracer.span("anything") is NULL_SPAN
+        with tracer.span("anything") as span:
+            span.set(ignored=True)  # must be a no-op, not an error
+        assert tracer.spans == []
+
+    def test_disabled_add_span_and_instant_record_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.add_span("x", start=0.0, duration=1.0)
+        tracer.instant("y")
+        assert tracer.spans == [] and tracer.instants == []
+
+    def test_null_tracer_singleton_disabled(self):
+        assert NULL_TRACER.enabled is False
+
+    def test_event_cap_drops_and_counts(self):
+        tracer = Tracer(clock=SimClock(), max_events=2)
+        for __ in range(4):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.spans) == 2
+        assert tracer.dropped == 2
+
+    def test_zero_cap_rejected(self):
+        with pytest.raises(ConfigError):
+            Tracer(max_events=0)
