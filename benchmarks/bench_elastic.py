@@ -1,0 +1,159 @@
+"""Elasticity ablation: consistent-hash ring vs static modulo partition.
+
+The paper's PS routes a key with ``hash(id) % num_nodes`` (Section IV),
+which remaps ~n/(n+1) of all keys when a node joins — effectively a
+full restart. The :class:`~repro.core.sharding.ConsistentHashRing`
+bounds the remap at the theoretical minimum ``1/(n+1)`` (keys only move
+*onto* the new node). This bench measures three things:
+
+* **keys moved** on a sampled keyspace, ring vs modulo, across node
+  counts — the ring must stay within 2x of the theoretical minimum
+  while modulo moves the near-total ~n/(n+1);
+* **throughput dip**: the simulated migration pause of a mid-epoch
+  reshard (``TrainingSimulator(reshard_at=...)``), ring vs modulo —
+  the pause scales with keys moved, so the ring's dip is a fraction of
+  modulo's;
+* a **live migration demo** on a real 3-node cluster: scale out, then
+  in, and verify the weights never change by a bit.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.config import CacheConfig, ServerConfig
+from repro.core.migration import ShardMigrator
+from repro.core.optimizers import PSAdagrad
+from repro.core.server import OpenEmbeddingServer
+from repro.core.sharding import ConsistentHashRing, HashPartitioner
+from repro.simulation.cluster import SystemKind
+from repro.simulation.trainer_sim import TrainingSimulator
+from repro.workload.generator import WorkloadGenerator
+
+SAMPLE_KEYS = 200_000
+NODE_COUNTS = (2, 4, 8)
+VNODES = 64
+DIM = 8
+
+
+def moved_fractions(num_nodes: int) -> tuple[float, float]:
+    """(ring, modulo) fraction of a sampled keyspace that changes owner
+    when the cluster grows ``num_nodes -> num_nodes + 1``."""
+    keys = range(SAMPLE_KEYS)
+    ring = ConsistentHashRing(num_nodes, VNODES)
+    ring_moved = len(ring.moved_keys(ring.with_nodes(num_nodes + 1), keys))
+    old = HashPartitioner(num_nodes)
+    new = HashPartitioner(num_nodes + 1)
+    modulo_moved = sum(1 for k in keys if old.node_of(k) != new.node_of(k))
+    return ring_moved / SAMPLE_KEYS, modulo_moved / SAMPLE_KEYS
+
+
+def throughput_dip(partitioner: str, profile) -> tuple[float, float, int]:
+    """(migration pause s, epoch s, keys moved) of a mid-epoch reshard
+    4 -> 5 nodes under ``partitioner`` in the training simulator."""
+    import dataclasses
+
+    simulator = TrainingSimulator(
+        SystemKind.PMEM_OE,
+        profile.cluster_config(8),
+        dataclasses.replace(
+            profile.server_config(4), partitioner=partitioner, ring_vnodes=VNODES
+        ),
+        profile.cache_config(paper_mb=2048.0),
+        workload=WorkloadGenerator(profile.workload_config(1.0)),
+        reshard_at=40,
+    )
+    result = simulator.run(80)
+    return (
+        result.migration_pause_seconds,
+        result.sim_seconds,
+        result.migration_keys_moved,
+    )
+
+
+def live_demo() -> tuple[float, float, bool]:
+    """Scale a real 3-node cluster out then back in; return the two
+    moved fractions and whether every weight stayed bit-identical."""
+    config = ServerConfig(
+        num_nodes=3,
+        embedding_dim=DIM,
+        pmem_capacity_bytes=1 << 26,
+        partitioner="ring",
+        ring_vnodes=VNODES,
+        seed=11,
+    )
+    server = OpenEmbeddingServer(
+        config, CacheConfig(capacity_bytes=64 * DIM * 4), PSAdagrad(lr=0.05)
+    )
+    rng = np.random.default_rng(11)
+    for batch in range(6):
+        keys = sorted(rng.choice(600, size=48, replace=False).tolist())
+        server.pull(keys, batch)
+        server.maintain(batch)
+        server.push(
+            keys, rng.normal(0, 0.1, (48, DIM)).astype(np.float32), batch
+        )
+    before = server.state_snapshot()
+    out = ShardMigrator(server).scale_out()
+    in_ = ShardMigrator(server).scale_in()
+    after = server.state_snapshot()
+    identical = set(before) == set(after) and all(
+        np.array_equal(before[k], after[k]) for k in before
+    )
+    return out.moved_fraction, in_.moved_fraction, identical
+
+
+def test_elastic_ring_vs_modulo(benchmark, report, profile):
+    def run():
+        fractions = {n: moved_fractions(n) for n in NODE_COUNTS}
+        dips = {p: throughput_dip(p, profile) for p in ("ring", "modulo")}
+        return fractions, dips, live_demo()
+
+    fractions, dips, (out_frac, in_frac, identical) = run_once(benchmark, run)
+
+    report.title(
+        "elastic",
+        "Elasticity: consistent-hash ring vs modulo partition (scale-out by 1)",
+    )
+    for n in NODE_COUNTS:
+        ring_frac, modulo_frac = fractions[n]
+        minimum = 1 / (n + 1)
+        report.row(
+            f"keys moved, {n} -> {n + 1} nodes",
+            f"min {minimum:.1%} / mod ~{n / (n + 1):.0%}",
+            f"ring {ring_frac:.1%} / mod {modulo_frac:.1%}",
+            f"ring = {ring_frac / minimum:.2f}x min",
+        )
+    report.line()
+    ring_pause, ring_epoch, ring_moved = dips["ring"]
+    mod_pause, mod_epoch, mod_moved = dips["modulo"]
+    report.row(
+        "reshard pause (sim, 4 -> 5)",
+        "scales w/ moved",
+        f"ring {ring_pause * 1e3:.2f} ms / mod {mod_pause * 1e3:.2f} ms",
+        f"{mod_pause / ring_pause:.1f}x dip saved",
+    )
+    report.row(
+        "keys moved mid-epoch",
+        "-",
+        f"ring {ring_moved} / mod {mod_moved}",
+    )
+    report.row(
+        "epoch time w/ reshard",
+        "-",
+        f"ring {ring_epoch:.3f} s / mod {mod_epoch:.3f} s",
+    )
+    report.line()
+    report.line(
+        f"  live 3-node demo: scale-out moved {out_frac:.1%} of resident keys, "
+        f"scale-in moved {in_frac:.1%}; weights bit-identical: {identical}"
+    )
+
+    # Acceptance: ring within 2x of the theoretical minimum at every
+    # node count; modulo near-total; the live reshard touches no value.
+    for n in NODE_COUNTS:
+        ring_frac, modulo_frac = fractions[n]
+        assert ring_frac <= 2 * (1 / (n + 1)), (n, ring_frac)
+        assert modulo_frac >= 0.9 * (n / (n + 1)), (n, modulo_frac)
+    assert ring_moved < mod_moved
+    assert ring_pause < mod_pause
+    assert identical

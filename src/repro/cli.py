@@ -64,6 +64,8 @@ def _write_obs(args: argparse.Namespace, tracer, registry) -> None:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    import dataclasses
+
     profile = DEFAULT_PROFILE
     system = SystemKind(args.system)
     checkpoint = CheckpointConfig.none()
@@ -73,14 +75,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         # simulator scales intervals in simulated seconds.
         checkpoint = CheckpointConfig(mode, interval_seconds=args.interval_seconds)
     tracer, registry = _obs_sinks(args)
+    server_config = dataclasses.replace(
+        profile.server_config(args.nodes),
+        partitioner=args.partitioner,
+        ring_vnodes=args.ring_vnodes,
+    )
     simulator = TrainingSimulator(
         system,
         profile.cluster_config(args.workers),
-        profile.server_config(),
+        server_config,
         profile.cache_config(paper_mb=args.cache_mb),
         checkpoint,
         WorkloadGenerator(profile.workload_config(args.skew)),
         prefetch=PrefetchConfig(lookahead=args.lookahead),
+        reshard_at=args.reshard_at,
+        reshard_to=args.reshard_to,
         tracer=tracer,
         registry=registry,
     )
@@ -102,6 +111,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"{result.prefetch_requests} overlapped pulls "
               f"({result.prefetch_overlapped_seconds:.3f} s hidden), "
               f"{result.total_requests} demand pulls on the critical path")
+    if result.migrations_completed:
+        moved = result.migration_keys_moved
+        total = result.migration_keys_total or 1
+        print(f"reshard           : {args.partitioner} partitioner, "
+              f"{moved}/{result.migration_keys_total} keys moved "
+              f"({moved / total:.1%}), "
+              f"pause {result.migration_pause_seconds * 1e3:.3f} ms")
     _write_obs(args, tracer, registry)
     return 0
 
@@ -422,6 +438,21 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--lookahead", type=int, default=0,
                           help="prefetch the next N batches' keys inside the "
                                "overlap window (PMem-OE only; 0 disables)")
+    simulate.add_argument("--nodes", type=int, default=1,
+                          help="PS node count the run starts with")
+    simulate.add_argument("--partitioner", choices=["modulo", "ring"],
+                          default="modulo",
+                          help="key -> PS node placement: static modulo hash "
+                               "or consistent-hash ring (elastic)")
+    simulate.add_argument("--ring-vnodes", type=int, default=64,
+                          help="virtual nodes per PS node on the ring")
+    simulate.add_argument("--reshard-at", type=int, default=None,
+                          help="live-reshard the PS after this many "
+                               "iterations; prices the migration pause and "
+                               "continues on the new node count")
+    simulate.add_argument("--reshard-to", type=int, default=None,
+                          help="target PS node count for --reshard-at "
+                               "(default: one more node)")
     _add_obs_flags(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 

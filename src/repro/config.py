@@ -128,6 +128,13 @@ class ServerConfig:
         seed: base RNG seed; node ``i`` derives ``seed + i``.
         auto_create: initialise unseen keys on first pull (Algorithm 1
             lines 6-12); when False unseen keys raise KeyNotFoundError.
+        partitioner: key -> node routing scheme. ``"modulo"`` is the
+            paper's static ``mix64(key) % num_nodes``; ``"ring"`` is a
+            consistent-hash ring with virtual nodes that supports live
+            scale-out/scale-in (``repro.core.migration``) with minimal
+            key movement.
+        ring_vnodes: virtual nodes per physical node when
+            ``partitioner == "ring"`` (ignored for ``"modulo"``).
     """
 
     num_nodes: int = 1
@@ -136,6 +143,8 @@ class ServerConfig:
     initializer_scale: float = 0.01
     seed: int = 0
     auto_create: bool = True
+    partitioner: str = "modulo"
+    ring_vnodes: int = 64
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -144,6 +153,12 @@ class ServerConfig:
             raise ConfigError("embedding_dim must be >= 1")
         if self.pmem_capacity_bytes <= 0:
             raise ConfigError("pmem_capacity_bytes must be positive")
+        if self.partitioner not in ("modulo", "ring"):
+            raise ConfigError(
+                f"partitioner must be 'modulo' or 'ring', got {self.partitioner!r}"
+            )
+        if self.ring_vnodes <= 0:
+            raise ConfigError("ring_vnodes must be >= 1")
 
     @property
     def entry_bytes(self) -> int:

@@ -1,0 +1,448 @@
+"""Live shard migration: elastic scale-out / scale-in of a PS cluster.
+
+The paper scales synchronous DLRM training by hashing each embedding id
+to a PS node (Section IV), but a static ``mix64(key) % num_nodes``
+partition remaps almost every key when the node count changes. This
+module pairs the :class:`~repro.core.sharding.ConsistentHashRing`
+(minimal movement) with a :class:`ShardMigrator` that re-shards a
+*running* cluster without losing or duplicating a single update.
+
+Protocol (labels in :data:`MIGRATION_STEPS`, in execution order):
+
+========== ==========================================================
+Step        What happens
+========== ==========================================================
+barrier     Quiesce at a batch barrier: a cluster-wide barrier
+            checkpoint at batch ``B`` flushes every DRAM cache, so
+            each shard's newest durable version *is* its live state.
+provision   Scale-out: build the empty new node (highest id).
+            Scale-in: pick the surviving owners of the leaving
+            node's keys under the target ring.
+transfer    Copy (not move) every retained version of each moved key
+            — weights, optimizer state and version tags travel
+            together — to its new owner. ``mid_transfer`` labels the
+            partially-copied state for the crash-point harness.
+seal        Persist the barrier's *Checkpointed Batch ID* on the new
+            node's pool, so cluster-min recovery on the target ring
+            is well-defined. (No-op for scale-in: survivors sealed
+            at the barrier.)
+commit      ONE atomic root-field write of the packed ring state
+            (epoch, num_nodes, vnodes) on the coordinator pool.
+            This is the point of no return: recovery lands on the
+            old ring before it and on the new ring after it.
+cleanup     End the dual-ownership window: sources drop the moved
+            keys from every tier. Until then both copies exist and
+            the source keeps serving stale-ring clients.
+done        Migration complete; training resumes.
+========== ==========================================================
+
+Crash consistency: every step is labelled and the
+``tests/harness/crashpoints.py`` scheduler kills the cluster at each
+label. Because transfer copies and the ring commit is a single
+untearable word, :func:`recover_elastic` always lands on a consistent
+pre- or post-migration ring, then purges any dual-ownership leftovers
+the crash stranded on non-owner shards. The crash-point sweep asserts
+the recovered-and-replayed weights are *bitwise* identical to an
+unsharded reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Protocol
+
+from repro.config import CacheConfig, ServerConfig
+from repro.core.ps_node import PSNode
+from repro.core.recovery import RecoveryReport
+from repro.core.server import OpenEmbeddingServer
+from repro.core.sharding import (
+    RING_STATE_FIELD,
+    ConsistentHashRing,
+    unpack_ring_state,
+)
+from repro.core.optimizers import PSOptimizer
+from repro.errors import RecoveryError, ServerError
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.pmem.pool import PmemPool
+from repro.simulation.calibration import Calibration, DEFAULT_CALIBRATION
+
+MIGRATION_STEPS = (
+    "barrier",
+    "provision",
+    "transfer",
+    "mid_transfer",
+    "seal",
+    "commit",
+    "cleanup",
+    "done",
+)
+"""Every labelled step of the migration protocol, in execution order.
+
+The crash-point sweep (``tests/test_migration_crashpoints.py``) derives
+its schedule from this tuple, so adding a step here automatically adds
+it to the crash matrix.
+"""
+
+Entries = list[tuple[int, list[tuple[int, object]]]]
+"""``[(key, [(batch_id, stored_array_or_None), ...]), ...]``"""
+
+
+class MigrationTransport(Protocol):
+    """How entry data moves between shards during a migration.
+
+    Two implementations exist: the in-process one below (direct node
+    method calls, used by :class:`~repro.core.server.OpenEmbeddingServer`)
+    and :class:`~repro.network.frontend.RpcMigrationTransport`, which
+    moves the same payloads through framed ``MigrateRequest`` RPCs with
+    the client's usual retry + dedup discipline.
+    """
+
+    def provision(self, node_id: int, server_config: ServerConfig) -> PSNode:
+        """Create the empty node joining the cluster (scale-out)."""
+        ...
+
+    def export(self, node: PSNode, keys: list[int]) -> Entries:
+        """Read all retained versions of ``keys`` from ``node``."""
+        ...
+
+    def put(self, node: PSNode, entries: Entries) -> int:
+        """Ingest transferred entries on ``node``; idempotent."""
+        ...
+
+    def delete(self, node: PSNode, keys: list[int]) -> int:
+        """Drop ``keys`` from ``node`` (cleanup); idempotent."""
+        ...
+
+
+class InProcessTransport:
+    """Direct node-object transport for the in-process server."""
+
+    def __init__(self, cluster: OpenEmbeddingServer):
+        self.cluster = cluster
+
+    def provision(self, node_id: int, server_config: ServerConfig) -> PSNode:
+        return self.cluster.provision_node(node_id, server_config)
+
+    def export(self, node: PSNode, keys: list[int]) -> Entries:
+        return node.export_entries(keys)
+
+    def put(self, node: PSNode, entries: Entries) -> int:
+        return node.ingest_entries(entries)
+
+    def delete(self, node: PSNode, keys: list[int]) -> int:
+        return node.drop_keys(keys)
+
+
+@dataclass(frozen=True)
+class MigrationReport:
+    """What one migration did (functional accounting, not timing)."""
+
+    direction: str  # "scale_out" | "scale_in"
+    from_nodes: int
+    to_nodes: int
+    barrier_batch: int
+    ring_epoch: int
+    keys_moved: int
+    versions_moved: int
+    bytes_moved: int
+    keys_total: int
+
+    @property
+    def moved_fraction(self) -> float:
+        """Fraction of the resident keyspace that changed owner."""
+        if self.keys_total == 0:
+            return 0.0
+        return self.keys_moved / self.keys_total
+
+
+class ShardMigrator:
+    """Executes live scale-out / scale-in against a running cluster.
+
+    Args:
+        cluster: an :class:`OpenEmbeddingServer` or any object with the
+            same elastic surface (``nodes``, ``partitioner``,
+            ``server_config``, ``barrier_checkpoint``, ``commit_ring``,
+            ``provision_node``) — :class:`RemotePSClient` qualifies.
+        transport: how entries move (defaults to direct node calls).
+        on_step: hook invoked with each label *before* the step runs —
+            the crash-point scheduler plugs in here.
+        tracer: each step emits a ``migration.<label>`` instant on the
+            ``migration`` track, and the whole run is a
+            ``migration.run`` span.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        transport: MigrationTransport | None = None,
+        on_step: Callable[[str], None] | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.cluster = cluster
+        self.transport = transport or InProcessTransport(cluster)
+        self.on_step = on_step
+        self.tracer = tracer if tracer is not None else getattr(
+            cluster, "tracer", NULL_TRACER
+        )
+        #: The node being provisioned by an in-flight scale-out; a crash
+        #: handler collects its pool alongside the cluster's so
+        #: :func:`recover_elastic` sees every surviving DIMM.
+        self.pending_target: PSNode | None = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def scale_out(self) -> MigrationReport:
+        """Grow the cluster by one node (ids stay contiguous)."""
+        ring = self._require_ring()
+        n = self.cluster.server_config.num_nodes
+        new_cfg = dataclasses.replace(self.cluster.server_config, num_nodes=n + 1)
+        new_ring = ring.with_nodes(n + 1)
+        with self.tracer.span(
+            "migration.run", track="migration", direction="scale_out",
+            from_nodes=n, to_nodes=n + 1,
+        ):
+            return self._migrate("scale_out", new_cfg, new_ring)
+
+    def scale_in(self) -> MigrationReport:
+        """Shrink the cluster by one node (the highest id leaves)."""
+        ring = self._require_ring()
+        n = self.cluster.server_config.num_nodes
+        if n < 2:
+            raise ServerError("cannot scale in a single-node cluster")
+        new_cfg = dataclasses.replace(self.cluster.server_config, num_nodes=n - 1)
+        new_ring = ring.with_nodes(n - 1)
+        with self.tracer.span(
+            "migration.run", track="migration", direction="scale_in",
+            from_nodes=n, to_nodes=n - 1,
+        ):
+            return self._migrate("scale_in", new_cfg, new_ring)
+
+    # ------------------------------------------------------------------
+    # the protocol
+    # ------------------------------------------------------------------
+
+    def _migrate(
+        self,
+        direction: str,
+        new_cfg: ServerConfig,
+        new_ring: ConsistentHashRing,
+    ) -> MigrationReport:
+        cluster = self.cluster
+        old_n = cluster.server_config.num_nodes
+        new_n = new_cfg.num_nodes
+        scale_out = new_n > old_n
+
+        # -- barrier: quiesce training at a batch boundary ------------
+        self._step("barrier")
+        latest = cluster.latest_completed_batch
+        completed = cluster.global_completed_checkpoint
+        if latest >= 0 and completed == latest:
+            # Already quiesced at a durable barrier (e.g. back-to-back
+            # migrations): every cache was flushed when that checkpoint
+            # completed and no push has landed since, so the stores
+            # already hold the live state.
+            barrier_batch = completed
+        else:
+            barrier_batch = cluster.barrier_checkpoint()
+
+        # -- provision ------------------------------------------------
+        self._step("provision")
+        if scale_out:
+            target = self.transport.provision(old_n, new_cfg)
+            self.pending_target = target
+            node_for = lambda nid: target if nid == old_n else cluster.nodes[nid]
+        else:
+            node_for = lambda nid: cluster.nodes[nid]
+
+        # Plan the moves: (source node, new owner id, keys).
+        moves: list[tuple[PSNode, int, list[int]]] = []
+        keys_total = 0
+        if scale_out:
+            for node in cluster.nodes:
+                owned = node.owned_keys()
+                keys_total += len(owned)
+                moved = [k for k in owned if new_ring.node_of(k) == old_n]
+                if moved:
+                    moves.append((node, old_n, moved))
+        else:
+            leaving = cluster.nodes[-1]
+            for node in cluster.nodes:
+                keys_total += len(node.owned_keys())
+            per_owner: dict[int, list[int]] = {}
+            for key in leaving.owned_keys():
+                per_owner.setdefault(new_ring.node_of(key), []).append(key)
+            for owner in sorted(per_owner):
+                moves.append((leaving, owner, per_owner[owner]))
+
+        # -- transfer: copy, never move -------------------------------
+        self._step("transfer")
+        keys_moved = versions_moved = 0
+        for i, (source, owner, keys) in enumerate(moves):
+            entries = self.transport.export(source, keys)
+            self.transport.put(node_for(owner), entries)
+            keys_moved += len(keys)
+            versions_moved += sum(len(v) for __, v in entries)
+            if i == 0:
+                # Label the partially-transferred state exactly once so
+                # the crash sweep exercises a half-copied cluster.
+                self._step("mid_transfer")
+
+        # -- seal: make the target recoverable at the barrier ---------
+        self._step("seal")
+        if scale_out:
+            target.store.set_checkpointed_batch_id(barrier_batch)
+            target.coordinator.last_completed = barrier_batch
+            target.coordinator._sync_barriers()
+            target.latest_completed_batch = barrier_batch
+
+        # -- commit: ONE atomic ring-state write ----------------------
+        self._step("commit")
+        if scale_out:
+            new_nodes = list(cluster.nodes) + [target]
+        else:
+            new_nodes = list(cluster.nodes[:-1])
+        epoch = cluster.commit_ring(new_ring, new_cfg, new_nodes)
+        self.pending_target = None
+
+        # -- cleanup: end the dual-ownership window -------------------
+        self._step("cleanup")
+        member_ids = {node.node_id for node in new_nodes}
+        for source, __, keys in moves:
+            if source.node_id in member_ids:
+                self.transport.delete(source, keys)
+            else:
+                # Scale-in: the source left the membership at commit, so
+                # releasing its copies is a local decommission wipe, not
+                # an RPC to a cluster member.
+                source.drop_keys(keys)
+
+        self._step("done")
+        entry_bytes = new_nodes[0].store.entry_bytes if new_nodes else 0
+        return MigrationReport(
+            direction=direction,
+            from_nodes=old_n,
+            to_nodes=new_n,
+            barrier_batch=barrier_batch,
+            ring_epoch=epoch,
+            keys_moved=keys_moved,
+            versions_moved=versions_moved,
+            bytes_moved=versions_moved * entry_bytes,
+            keys_total=keys_total,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _require_ring(self) -> ConsistentHashRing:
+        partitioner = self.cluster.partitioner
+        if not isinstance(partitioner, ConsistentHashRing):
+            raise ServerError(
+                "live migration requires the consistent-hash ring "
+                "(ServerConfig.partitioner='ring'); the modulo partitioner "
+                "would remap ~(n-1)/n of all keys"
+            )
+        return partitioner
+
+    def _step(self, label: str, **info) -> None:
+        if self.on_step is not None:
+            self.on_step(label)
+        self.tracer.instant(f"migration.{label}", track="migration", **info)
+
+    def crash(self) -> list[PmemPool]:
+        """Kill the cluster mid-migration; every pool survives.
+
+        Returns pools in node-id order, including a pending (not yet
+        committed) scale-out target's pool as the last element — the
+        exact list :func:`recover_elastic` expects.
+        """
+        pools = self.cluster.crash()
+        if self.pending_target is not None:
+            pools.append(self.pending_target.crash())
+            self.pending_target = None
+        return pools
+
+
+def recover_elastic(
+    pools: list[PmemPool],
+    server_config: ServerConfig,
+    cache_config: CacheConfig | None = None,
+    optimizer: PSOptimizer | None = None,
+    *,
+    metadata_only: bool = False,
+    calibration: Calibration = DEFAULT_CALIBRATION,
+    tracer: Tracer | None = None,
+) -> tuple[OpenEmbeddingServer, list[RecoveryReport], int]:
+    """Recover a ring-partitioned cluster, even from a mid-migration crash.
+
+    The committed ring state (epoch, num_nodes, vnodes) is read from the
+    coordinator pool (node 0) — whatever the single-word commit said
+    last. Exactly ``num_nodes`` pools are recovered; surplus pools (a
+    scale-out target whose migration never committed, or a scaled-in
+    node's abandoned DIMMs) are discarded. Finally any key a shard holds
+    but the committed ring routes elsewhere — the stranded half of a
+    dual-ownership window — is purged, so every key has exactly one
+    owner.
+
+    Args:
+        pools: ALL surviving pools in node-id order (see
+            :meth:`ShardMigrator.crash`).
+        server_config: shape config; ``num_nodes``/``ring_vnodes`` are
+            overridden by the durable ring state.
+
+    Returns:
+        ``(server, per-shard recovery reports, purged_keys)``.
+
+    Raises:
+        RecoveryError: no pools, no durable ring state, or fewer pools
+            than the committed ring needs.
+    """
+    if not pools:
+        raise RecoveryError("no surviving pools")
+    tracer = tracer if tracer is not None else NULL_TRACER
+    if RING_STATE_FIELD not in pools[0].root.fields():
+        raise RecoveryError(
+            "coordinator pool has no durable ring state; was the cluster "
+            "built with ServerConfig.partitioner='ring'?"
+        )
+    epoch, num_nodes, vnodes = unpack_ring_state(
+        pools[0].root.get(RING_STATE_FIELD)
+    )
+    if len(pools) < num_nodes:
+        raise RecoveryError(
+            f"committed ring needs {num_nodes} pools, only {len(pools)} survived"
+        )
+    cfg = dataclasses.replace(
+        server_config,
+        num_nodes=num_nodes,
+        partitioner="ring",
+        ring_vnodes=vnodes,
+    )
+    server, reports = OpenEmbeddingServer.recover(
+        pools[:num_nodes],
+        cfg,
+        cache_config,
+        optimizer,
+        metadata_only=metadata_only,
+        calibration=calibration,
+        cluster_mode=True,
+        tracer=tracer,
+    )
+    purged = 0
+    for node in server.nodes:
+        stale = [
+            k for k in node.owned_keys()
+            if server.partitioner.node_of(k) != node.node_id
+        ]
+        purged += node.drop_keys(stale)
+    tracer.instant(
+        "migration.recovered",
+        track="migration",
+        epoch=epoch,
+        nodes=num_nodes,
+        purged=purged,
+    )
+    return server, reports, purged

@@ -19,6 +19,7 @@ import numpy as np
 from repro.config import CacheConfig, ServerConfig
 from repro.core.cache import MaintainResult, PipelinedCache, PullResult
 from repro.core.checkpoint import CheckpointCoordinator
+from repro.core.entry import EmbeddingEntry, Location
 from repro.core.optimizers import PSOptimizer, PSSGD
 from repro.errors import CheckpointError
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -138,6 +139,81 @@ class PSNode:
         requested = self.request_checkpoint(batch_id)
         self.cache.complete_pending_checkpoints()
         return requested
+
+    # ------------------------------------------------------------------
+    # shard migration (repro.core.migration)
+    # ------------------------------------------------------------------
+
+    def owned_keys(self) -> list[int]:
+        """Every key this shard currently holds (any tier)."""
+        return list(self.cache.index.keys())
+
+    def export_entries(
+        self, keys
+    ) -> list[tuple[int, list[tuple[int, np.ndarray | None]]]]:
+        """Read all retained durable versions of ``keys`` for transfer.
+
+        Must be called after a barrier checkpoint (``barrier_checkpoint``)
+        so the store's newest version of every key equals its live
+        state. Returns ``[(key, [(batch_id, stored), ...]), ...]`` where
+        ``stored`` is the packed weights+optimizer-state array (None in
+        metadata-only mode).
+        """
+        out: list[tuple[int, list[tuple[int, np.ndarray | None]]]] = []
+        for key in keys:
+            versions: list[tuple[int, np.ndarray | None]] = []
+            for batch_id in self.store.versions_of(key):
+                stored = self.pool.read(("entry", key, batch_id))
+                versions.append((batch_id, stored))
+            out.append((key, versions))
+        return out
+
+    def ingest_entries(
+        self, entries: list[tuple[int, list[tuple[int, np.ndarray | None]]]]
+    ) -> int:
+        """Adopt transferred entries as PMem-resident keys.
+
+        Idempotent: a key that already exists (a retried transfer after
+        a partial earlier attempt) is dropped and re-ingested, so the
+        result is always exactly the sender's versions. Returns the
+        number of keys ingested.
+        """
+        ingested = 0
+        for key, versions in entries:
+            if not versions:
+                continue
+            existing = self.cache.index.find(key)
+            if existing is not None:
+                self._drop_key(existing)
+            for batch_id, stored in versions:
+                self.store.ingest(key, batch_id, stored)
+            entry = EmbeddingEntry(key, version=max(b for b, __ in versions))
+            entry.location = Location.PMEM
+            self.cache.index.insert(entry)
+            ingested += 1
+        return ingested
+
+    def drop_keys(self, keys) -> int:
+        """Relinquish ownership: remove ``keys`` from every tier.
+
+        Called on the source shard after the ring epoch has committed
+        (end of the dual-ownership window). Unknown keys are ignored so
+        the call is idempotent under RPC retry. Returns keys dropped.
+        """
+        dropped = 0
+        for key in keys:
+            entry = self.cache.index.find(key)
+            if entry is None:
+                continue
+            self._drop_key(entry)
+            dropped += 1
+        return dropped
+
+    def _drop_key(self, entry) -> None:
+        if entry.in_lru:
+            self.cache.lru.remove(entry)
+        self.cache.index.remove(entry.key)
+        self.store.drop_key(entry.key)
 
     # ------------------------------------------------------------------
     # failure simulation

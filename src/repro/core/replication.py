@@ -46,6 +46,7 @@ class ReplicatedPSNode:
         optimizer: PSOptimizer | None = None,
         metadata_only: bool = False,
     ):
+        self.node_id = node_id
         self.server_config = server_config
         self.primary = PSNode(
             node_id, server_config, cache_config, optimizer,
@@ -56,6 +57,7 @@ class ReplicatedPSNode:
             metadata_only=metadata_only,
         )
         self.failovers = 0
+        self.ring_epoch = 0
         self._primary_dead = False
 
     # ------------------------------------------------------------------
@@ -95,6 +97,52 @@ class ReplicatedPSNode:
             self.backup.request_checkpoint(requested)
             self.backup.cache.complete_pending_checkpoints()
         return requested
+
+    # ------------------------------------------------------------------
+    # shard migration — replicas follow the ring epoch
+    # ------------------------------------------------------------------
+
+    def follow_ring(self, epoch: int) -> None:
+        """Adopt a committed ring epoch.
+
+        Epochs are monotone; both replicas serve the same epoch, so a
+        failover never resurrects pre-migration routing.
+
+        Raises:
+            ServerError: the epoch moves backwards.
+        """
+        if epoch < self.ring_epoch:
+            raise ServerError(
+                f"ring epoch must be monotone: {epoch} < {self.ring_epoch}"
+            )
+        self.ring_epoch = epoch
+
+    def owned_keys(self) -> list[int]:
+        return self.primary.owned_keys()
+
+    def export_entries(self, keys):
+        """Transfer reads come from the primary (replicas are bitwise
+        identical, which :meth:`verify_replicas_identical` checks)."""
+        return self.primary.export_entries(keys)
+
+    def ingest_entries(self, entries) -> int:
+        """Adopt migrated entries on primary AND backup.
+
+        Mirroring the ingest keeps the replicas bitwise identical across
+        a ring-epoch change — a failover after a migration must serve
+        exactly the post-migration shard.
+        """
+        count = self.primary.ingest_entries(entries)
+        if self.backup is not None:
+            self.backup.ingest_entries(entries)
+        return count
+
+    def drop_keys(self, keys) -> int:
+        """Relinquish migrated-away keys on primary AND backup."""
+        dropped = self.primary.drop_keys(keys)
+        if self.backup is not None:
+            self.backup.drop_keys(keys)
+        return dropped
 
     # ------------------------------------------------------------------
     # failure handling

@@ -21,7 +21,13 @@ from repro.core.cache import MaintainResult, PullResult
 from repro.core.ps_node import PSNode
 from repro.core.optimizers import PSOptimizer, PSSGD
 from repro.core.recovery import RecoveryReport, recover_node
-from repro.core.sharding import HashPartitioner
+from repro.core.sharding import (
+    RING_STATE_FIELD,
+    HashPartitioner,
+    make_partitioner,
+    pack_ring_state,
+    unpack_ring_state,
+)
 from repro.errors import CheckpointError, RecoveryError
 from repro.obs.registry import MetricsRegistry, collect_bundle
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -65,7 +71,12 @@ class OpenEmbeddingServer:
         if cluster_mode is None:
             cluster_mode = self.server_config.num_nodes > 1
         self.cluster_mode = cluster_mode
-        self.partitioner = HashPartitioner(self.server_config.num_nodes)
+        self.partitioner = make_partitioner(
+            self.server_config.partitioner,
+            self.server_config.num_nodes,
+            self.server_config.ring_vnodes,
+        )
+        self.ring_epoch = 0
         if nodes is None:
             self.nodes = [
                 PSNode(
@@ -85,6 +96,8 @@ class OpenEmbeddingServer:
                     f"got {len(nodes)} nodes for {self.server_config.num_nodes} shards"
                 )
             self.nodes = nodes
+        if self.server_config.partitioner == "ring":
+            self._restore_or_seed_ring_state()
 
     # ------------------------------------------------------------------
     # PS protocol
@@ -195,6 +208,97 @@ class OpenEmbeddingServer:
         barrier = None if global_ckpt == NO_CHECKPOINT else global_ckpt
         for node in self.nodes:
             node.coordinator.set_external_barrier(barrier)
+
+    # ------------------------------------------------------------------
+    # elasticity (repro.core.migration drives these)
+    # ------------------------------------------------------------------
+
+    @property
+    def coordinator_pool(self) -> PmemPool:
+        """Node 0's pool — where the committed ring state lives."""
+        return self.nodes[0].pool
+
+    def _restore_or_seed_ring_state(self) -> None:
+        """Adopt the durable ring state, or persist epoch 0 on first boot.
+
+        The ring state lives in a single root field of the coordinator
+        pool, so a fresh cluster seeds it once and a recovered cluster
+        (whose config already matches the committed ring — see
+        :func:`repro.core.migration.recover_elastic`) adopts the durable
+        epoch instead of clobbering it.
+        """
+        if RING_STATE_FIELD not in self.coordinator_pool.root.fields():
+            self.coordinator_pool.root.set(
+                RING_STATE_FIELD,
+                pack_ring_state(
+                    0,
+                    self.server_config.num_nodes,
+                    self.server_config.ring_vnodes,
+                ),
+            )
+            return
+        epoch, num_nodes, vnodes = unpack_ring_state(
+            self.coordinator_pool.root.get(RING_STATE_FIELD)
+        )
+        if (
+            num_nodes != self.server_config.num_nodes
+            or vnodes != self.server_config.ring_vnodes
+        ):
+            raise RecoveryError(
+                f"durable ring ({num_nodes} nodes, {vnodes} vnodes) does not "
+                f"match config ({self.server_config.num_nodes} nodes, "
+                f"{self.server_config.ring_vnodes} vnodes); recover via "
+                "repro.core.migration.recover_elastic"
+            )
+        self.ring_epoch = epoch
+
+    def commit_ring(
+        self,
+        partitioner: HashPartitioner,
+        server_config: ServerConfig,
+        nodes: list[PSNode],
+    ) -> int:
+        """Atomically commit a new ring epoch and switch routing to it.
+
+        The single root-field write below is the migration's commit
+        point: a crash before it recovers on the old ring, a crash
+        after it recovers on the new one. Returns the new epoch.
+        """
+        new_epoch = self.ring_epoch + 1
+        # NOTE: write through the OLD coordinator pool first — for
+        # scale-in the coordinator never changes (node 0 survives), and
+        # for scale-out it is also node 0. One atomic set, never torn.
+        self.coordinator_pool.root.set(
+            RING_STATE_FIELD,
+            pack_ring_state(
+                new_epoch, server_config.num_nodes, server_config.ring_vnodes
+            ),
+        )
+        self.partitioner = partitioner
+        self.server_config = server_config
+        self.nodes = nodes
+        self.cluster_mode = True
+        self.ring_epoch = new_epoch
+        self._sync_external_barriers()
+        self.tracer.instant(
+            "migration.ring_commit",
+            track="migration",
+            epoch=new_epoch,
+            nodes=server_config.num_nodes,
+        )
+        return new_epoch
+
+    def provision_node(self, node_id: int, server_config: ServerConfig) -> PSNode:
+        """Build an empty PS node for scale-out (same stack as __init__)."""
+        return PSNode(
+            node_id,
+            server_config,
+            self.cache_config,
+            self.optimizer,
+            metadata_only=self.metadata_only,
+            cluster_mode=True,
+            tracer=self.tracer,
+        )
 
     # ------------------------------------------------------------------
     # failure / recovery

@@ -8,6 +8,7 @@ salted per process and would break recovery tests).
 
 from __future__ import annotations
 
+import bisect
 from typing import Sequence
 
 from repro.errors import ConfigError
@@ -54,3 +55,108 @@ class HashPartitioner:
             per_node_keys[node].append(key)
             per_node_positions[node].append(position)
         return per_node_keys, per_node_positions
+
+
+DEFAULT_VNODES = 64
+"""Virtual nodes per physical PS node (elasticity vs ring-build cost)."""
+
+
+class ConsistentHashRing(HashPartitioner):
+    """Consistent-hash routing with virtual nodes.
+
+    Same ``num_nodes`` / ``node_of`` / ``split`` interface as
+    :class:`HashPartitioner`, but changing the node count only remaps
+    the *minimal* fraction of keys: growing ``n -> n+1`` moves roughly
+    ``1/(n+1)`` of the keyspace — and moves it exclusively onto the new
+    node — while shrinking ``n -> n-1`` exactly restores the assignment
+    the ring had at ``n-1`` nodes. This is the property that makes live
+    shard migration (``repro.core.migration``) cheap.
+
+    Construction is deterministic: vnode ``j`` of node ``i`` sits at
+    position ``mix64((i << 32) | j)`` on a 64-bit ring, and a key
+    ``k`` is owned by the first vnode clockwise of ``mix64(k)``. No
+    process-salted hashing is involved, so routing is identical across
+    processes and runs (required by the recovery and crash-point
+    tests).
+
+    Physical nodes are always the contiguous range ``0..num_nodes-1``
+    — scale-out adds node ``n``, scale-in removes node ``n-1`` — which
+    matches how the server indexes its shard list.
+    """
+
+    def __init__(self, num_nodes: int, vnodes: int = DEFAULT_VNODES):
+        super().__init__(num_nodes)
+        if vnodes <= 0:
+            raise ConfigError(f"vnodes must be >= 1, got {vnodes}")
+        self.vnodes = vnodes
+        points: list[tuple[int, int]] = []
+        for node_id in range(num_nodes):
+            base = node_id << 32
+            for j in range(vnodes):
+                points.append((mix64(base | j), node_id))
+        # Ties (astronomically unlikely) break deterministically by node id.
+        points.sort()
+        self._positions = [p for p, __ in points]
+        self._owners = [owner for __, owner in points]
+
+    def node_of(self, key: int) -> int:
+        """The shard owning ``key``: first vnode clockwise of ``mix64(key)``."""
+        if self.num_nodes == 1:
+            return 0
+        point = mix64(key)
+        idx = bisect.bisect_left(self._positions, point)
+        if idx == len(self._positions):
+            idx = 0  # wrap past the top of the ring
+        return self._owners[idx]
+
+    def with_nodes(self, num_nodes: int) -> "ConsistentHashRing":
+        """A ring over ``num_nodes`` nodes with the same vnode count."""
+        return ConsistentHashRing(num_nodes, self.vnodes)
+
+    def moved_keys(self, target: "HashPartitioner", keys: Sequence[int]) -> list[int]:
+        """Subset of ``keys`` whose owner differs under ``target``."""
+        return [k for k in keys if self.node_of(k) != target.node_of(k)]
+
+
+RING_STATE_FIELD = "ring_state"
+"""PMem root field (coordinator pool, node 0) holding the committed ring.
+
+A single :meth:`~repro.pmem.pool.PoolRoot.set` of this field is the
+atomic commit point of a migration: the packed value encodes the ring
+epoch plus everything needed to rebuild the partitioner
+(``num_nodes``, ``vnodes``), so recovery after a mid-migration crash
+always lands on a consistent pre- or post-migration ring.
+"""
+
+_RING_EPOCH_SHIFT = 40
+_RING_NODES_SHIFT = 20
+_RING_FIELD_MASK = (1 << 20) - 1
+
+
+def pack_ring_state(epoch: int, num_nodes: int, vnodes: int) -> int:
+    """Encode ``(epoch, num_nodes, vnodes)`` into one root-field word."""
+    for name, value in (("epoch", epoch), ("num_nodes", num_nodes), ("vnodes", vnodes)):
+        if not 0 <= value <= _RING_FIELD_MASK and name != "epoch":
+            raise ConfigError(f"ring {name} {value} out of range")
+    if epoch < 0:
+        raise ConfigError(f"ring epoch must be >= 0, got {epoch}")
+    return (epoch << _RING_EPOCH_SHIFT) | (num_nodes << _RING_NODES_SHIFT) | vnodes
+
+
+def unpack_ring_state(packed: int) -> tuple[int, int, int]:
+    """Decode :func:`pack_ring_state`'s word into ``(epoch, num_nodes, vnodes)``."""
+    epoch = packed >> _RING_EPOCH_SHIFT
+    num_nodes = (packed >> _RING_NODES_SHIFT) & _RING_FIELD_MASK
+    vnodes = packed & _RING_FIELD_MASK
+    return epoch, num_nodes, vnodes
+
+
+def make_partitioner(
+    kind: str, num_nodes: int, vnodes: int = DEFAULT_VNODES
+) -> HashPartitioner:
+    """Build the partitioner named by ``kind`` (``modulo`` | ``ring``)."""
+    if kind == "modulo":
+        return HashPartitioner(num_nodes)
+    if kind == "ring":
+        return ConsistentHashRing(num_nodes, vnodes)
+    raise ConfigError(f"unknown partitioner kind {kind!r} (want 'modulo' or 'ring')")

@@ -33,16 +33,25 @@ from repro.config import CacheConfig, NetworkFaultConfig, RetryConfig, ServerCon
 from repro.core.cache import MaintainResult, PullResult
 from repro.core.ps_node import PSNode
 from repro.core.optimizers import PSOptimizer
-from repro.core.sharding import HashPartitioner
-from repro.errors import ServerError
+from repro.core.sharding import (
+    RING_STATE_FIELD,
+    HashPartitioner,
+    make_partitioner,
+    pack_ring_state,
+    unpack_ring_state,
+)
+from repro.errors import ServerError, ShardRoutingError
 from repro.failure.network_faults import FaultyLink, LinkFaultStats
 from repro.network.messages import (
     CheckpointRequest,
     MaintainRequest,
     MaintainResponse,
+    MigrateRequest,
+    MigrateResponse,
     PullRequest,
     PullResponse,
     PushRequest,
+    RingUpdateRequest,
     StatusResponse,
 )
 from repro.network.rpc import RpcChannel, RpcServer
@@ -88,11 +97,16 @@ class PSNodeService:
         )
         self._maintain_replies: OrderedDict[int, MaintainResponse] = OrderedDict()
         self._checkpoint_replies: OrderedDict[int, StatusResponse] = OrderedDict()
+        self._migrate_replies: OrderedDict[tuple[int, int], StatusResponse] = (
+            OrderedDict()
+        )
         self.server = RpcServer()
         self.server.register(PullRequest.TYPE, self._handle_pull)
         self.server.register(PushRequest.TYPE, self._handle_push)
         self.server.register(CheckpointRequest.TYPE, self._handle_checkpoint)
         self.server.register(MaintainRequest.TYPE, self._handle_maintain)
+        self.server.register(MigrateRequest.TYPE, self._handle_migrate)
+        self.server.register(RingUpdateRequest.TYPE, self._handle_ring_update)
 
     def _handle_pull(self, request: PullRequest) -> PullResponse:
         with self.tracer.span(
@@ -193,6 +207,144 @@ class PSNodeService:
             self._maintain_replies.popitem(last=False)
         return response
 
+    def _handle_migrate(self, request: MigrateRequest):
+        """One live-migration op against this shard.
+
+        ``EXPORT`` is read-only and replays harmlessly. ``PUT`` and
+        ``DELETE`` mutate ownership, so — exactly like pushes — they
+        carry a ``(source, seq)`` identity whose cached reply is
+        replayed when a retried frame arrives after the first copy
+        already applied. (Both ops are *also* state-idempotent at the
+        node level; the dedup cache additionally keeps the coordinator's
+        moved-key accounting exact under retries.)
+        """
+        with self.tracer.span(
+            "ps.migrate", track="migration", node=self.node.node_id, op=request.op
+        ) as span:
+            if request.op == MigrateRequest.OP_EXPORT:
+                entries = self.node.export_entries(list(request.keys))
+                width = (
+                    0 if self.node.metadata_only
+                    else self.node.store.entry_bytes // 4
+                )
+                span.set(keys=len(entries))
+                return MigrateResponse(
+                    width=width,
+                    entries=tuple((k, tuple(v)) for k, v in entries),
+                )
+            dedup_key = request.dedup_key
+            if dedup_key is not None:
+                cached = self._migrate_replies.get(dedup_key)
+                if cached is not None:
+                    self.dup_suppressed += 1
+                    self.node.metrics.rpc.dup_suppressed += 1
+                    span.set(dup_suppressed=True)
+                    return cached
+            if request.op == MigrateRequest.OP_PUT:
+                count = self.node.ingest_entries(
+                    [(k, list(v)) for k, v in request.entries]
+                )
+            elif request.op == MigrateRequest.OP_DELETE:
+                count = self.node.drop_keys(list(request.keys))
+            else:
+                raise ServerError(f"unknown migrate op {request.op}")
+            span.set(keys=count)
+            response = StatusResponse(code=StatusResponse.OK, value=count)
+            if dedup_key is not None:
+                self._migrate_replies[dedup_key] = response
+                while len(self._migrate_replies) > self.dedup_window:
+                    self._migrate_replies.popitem(last=False)
+            return response
+
+    def _handle_ring_update(self, request: RingUpdateRequest) -> StatusResponse:
+        """Serve the committed ring state (coordinator shard only).
+
+        The packed ring word travels back in ``StatusResponse.value``;
+        a shard whose pool holds no ring state answers ``ERR_ROUTING``
+        so a misdirected refresh fails typed, not silently.
+        """
+        fields = self.node.pool.root.fields()
+        if RING_STATE_FIELD not in fields:
+            raise ShardRoutingError(
+                f"node {self.node.node_id} holds no ring state "
+                "(ask the coordinator, node 0)"
+            )
+        return StatusResponse(
+            code=StatusResponse.OK, value=fields[RING_STATE_FIELD]
+        )
+
+
+class RpcMigrationTransport:
+    """Move migration payloads through framed RPCs with retry + dedup.
+
+    The :class:`~repro.core.migration.ShardMigrator` calls this instead
+    of touching node objects, so every entry transferred during a live
+    reshard crosses the (possibly faulty) simulated wire: drops,
+    duplicates and corruption are retried/absorbed by the exact same
+    discipline the training path uses — which the crash-point sweep
+    runs with fault injection enabled to prove.
+    """
+
+    def __init__(self, client: "RemotePSClient"):
+        self.client = client
+
+    def provision(self, node_id: int, server_config):
+        return self.client.provision_node(node_id, server_config)
+
+    def export(self, node, keys):
+        if not keys:
+            return []
+        response = self._call(
+            node,
+            MigrateRequest(
+                op=MigrateRequest.OP_EXPORT,
+                source=self.client.worker_id,
+                seq=self.client.next_migrate_seq(),
+                width=self._width(node),
+                keys=tuple(int(k) for k in keys),
+            ),
+        )
+        return [(key, list(versions)) for key, versions in response.entries]
+
+    def put(self, node, entries) -> int:
+        if not entries:
+            return 0
+        response = self._call(
+            node,
+            MigrateRequest(
+                op=MigrateRequest.OP_PUT,
+                source=self.client.worker_id,
+                seq=self.client.next_migrate_seq(),
+                width=self._width(node),
+                entries=tuple((k, tuple(v)) for k, v in entries),
+            ),
+        )
+        if not response.ok:
+            raise ServerError(f"migrate put rejected with code {response.code}")
+        return response.value
+
+    def delete(self, node, keys) -> int:
+        if not keys:
+            return 0
+        response = self._call(
+            node,
+            MigrateRequest(
+                op=MigrateRequest.OP_DELETE,
+                source=self.client.worker_id,
+                seq=self.client.next_migrate_seq(),
+                keys=tuple(int(k) for k in keys),
+            ),
+        )
+        if not response.ok:
+            raise ServerError(f"migrate delete rejected with code {response.code}")
+        return response.value
+
+    def _width(self, node) -> int:
+        return 0 if node.metadata_only else node.store.entry_bytes // 4
+
+    def _call(self, node, request):
+        return self.client.channel_for(node.node_id).call(request)
+
 
 class RemotePSClient:
     """Sharded PS access over RPC channels, one per node.
@@ -233,7 +385,15 @@ class RemotePSClient:
         registry: MetricsRegistry | None = None,
     ):
         self.server_config = server_config or ServerConfig()
-        self.partitioner = HashPartitioner(self.server_config.num_nodes)
+        self.partitioner = make_partitioner(
+            self.server_config.partitioner,
+            self.server_config.num_nodes,
+            self.server_config.ring_vnodes,
+        )
+        self.cache_config = cache_config
+        self.optimizer = optimizer
+        self.retry = retry
+        self.dedup_window = dedup_window
         self.clock = clock or SimClock()
         self.worker_id = worker_id
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -271,6 +431,21 @@ class RemotePSClient:
             for node_id, service in enumerate(self.services)
         ]
         self._push_seq = 0
+        self._migrate_seq = 0
+        self._pending_members: dict[int, tuple[PSNodeService, RpcChannel]] = {}
+        self.ring_epoch = 0
+        if self.server_config.partitioner == "ring":
+            # Same durable ring seeding as the in-process server: the
+            # coordinator (node 0) pool records epoch 0 so a crashed
+            # cluster can be recovered onto the committed ring.
+            self.nodes[0].pool.root.set(
+                RING_STATE_FIELD,
+                pack_ring_state(
+                    0,
+                    self.server_config.num_nodes,
+                    self.server_config.ring_vnodes,
+                ),
+            )
 
     # ------------------------------------------------------------------
     # PS protocol over the wire
@@ -385,6 +560,158 @@ class RemotePSClient:
     def complete_pending_checkpoints(self) -> None:
         for node in self.nodes:
             node.cache.complete_pending_checkpoints()
+
+    # ------------------------------------------------------------------
+    # elasticity (repro.core.migration over the wire)
+    # ------------------------------------------------------------------
+
+    @property
+    def coordinator_pool(self):
+        """Node 0's pool — where the committed ring state lives."""
+        return self.nodes[0].pool
+
+    @property
+    def global_completed_checkpoint(self) -> int:
+        """Newest checkpoint durably completed by ALL shards (-1 if none),
+        parity with :meth:`OpenEmbeddingServer.global_completed_checkpoint`."""
+        return min(node.coordinator.last_completed for node in self.nodes)
+
+    def next_migrate_seq(self) -> int:
+        """Fresh dedup sequence number for one migration RPC."""
+        self._migrate_seq += 1
+        return self._migrate_seq
+
+    def channel_for(self, node_id: int) -> RpcChannel:
+        """The RPC channel reaching ``node_id`` — including a node that
+        is being provisioned by an in-flight scale-out."""
+        pending = self._pending_members.get(node_id)
+        if pending is not None:
+            return pending[1]
+        for service, channel in zip(self.services, self.channels):
+            if service.node.node_id == node_id:
+                return channel
+        raise ShardRoutingError(f"no channel for node {node_id}")
+
+    def provision_node(self, node_id: int, server_config: ServerConfig) -> PSNode:
+        """Build the node + service + channel for a joining shard.
+
+        The artifacts stay in a pending set (reachable via
+        :meth:`channel_for`) until :meth:`commit_ring` adds them to the
+        membership — a crash before commit discards them with the
+        uncommitted migration.
+        """
+        node = PSNode(
+            node_id,
+            server_config,
+            self.cache_config,
+            self.optimizer,
+            tracer=self.tracer,
+        )
+        service = PSNodeService(
+            node, dedup_window=self.dedup_window, tracer=self.tracer
+        )
+        channel = RpcChannel(
+            service.server,
+            self.link,
+            self.clock,
+            retry=self.retry,
+            channel_id=node_id,
+            tracer=self.tracer,
+            registry=self.registry,
+        )
+        self._pending_members[node_id] = (service, channel)
+        return node
+
+    def commit_ring(
+        self,
+        partitioner: HashPartitioner,
+        server_config: ServerConfig,
+        nodes: list[PSNode],
+    ) -> int:
+        """Atomically commit a new ring epoch and re-route (see
+        :meth:`OpenEmbeddingServer.commit_ring`)."""
+        new_epoch = self.ring_epoch + 1
+        self.coordinator_pool.root.set(
+            RING_STATE_FIELD,
+            pack_ring_state(
+                new_epoch, server_config.num_nodes, server_config.ring_vnodes
+            ),
+        )
+        by_id = {
+            service.node.node_id: (service, channel)
+            for service, channel in zip(self.services, self.channels)
+        }
+        by_id.update(self._pending_members)
+        self.partitioner = partitioner
+        self.server_config = server_config
+        self.nodes = nodes
+        self.services = [by_id[node.node_id][0] for node in nodes]
+        self.channels = [by_id[node.node_id][1] for node in nodes]
+        self._pending_members = {}
+        self.ring_epoch = new_epoch
+        self.tracer.instant(
+            "migration.ring_commit",
+            track="migration",
+            epoch=new_epoch,
+            nodes=server_config.num_nodes,
+        )
+        return new_epoch
+
+    def scale_out(self, on_step=None):
+        """Live-grow the cluster by one node, entries moving over RPC."""
+        from repro.core.migration import ShardMigrator
+
+        return ShardMigrator(
+            self,
+            transport=RpcMigrationTransport(self),
+            on_step=on_step,
+            tracer=self.tracer,
+        ).scale_out()
+
+    def scale_in(self, on_step=None):
+        """Live-shrink the cluster by one node, entries moving over RPC."""
+        from repro.core.migration import ShardMigrator
+
+        return ShardMigrator(
+            self,
+            transport=RpcMigrationTransport(self),
+            on_step=on_step,
+            tracer=self.tracer,
+        ).scale_in()
+
+    def refresh_ring(self) -> int:
+        """Re-sync the partitioner with the committed ring over the wire.
+
+        Sends a :class:`RingUpdateRequest` to the coordinator (node 0)
+        and rebuilds the partitioner from the packed reply. This is the
+        stale-client path of the dual-ownership window: after a routing
+        error a worker refreshes and retries. Returns the epoch.
+
+        Raises:
+            ShardRoutingError: the committed membership differs from
+                this client's node set (the client missed a scale
+                event it cannot reconstruct locally).
+        """
+        response = self.channels[0].call(
+            RingUpdateRequest(requester=self.worker_id)
+        )
+        if not response.ok:
+            raise ServerError(f"ring update rejected with code {response.code}")
+        epoch, num_nodes, vnodes = unpack_ring_state(response.value)
+        if num_nodes != len(self.nodes):
+            raise ShardRoutingError(
+                f"committed ring has {num_nodes} nodes, client holds "
+                f"{len(self.nodes)}; rejoin via scale_out/scale_in"
+            )
+        if epoch != self.ring_epoch:
+            self.partitioner = make_partitioner("ring", num_nodes, vnodes)
+            self.ring_epoch = epoch
+        return self.ring_epoch
+
+    def crash(self):
+        """Kill every node process; the pools survive (parity with
+        :meth:`OpenEmbeddingServer.crash`)."""
+        return [node.crash() for node in self.nodes]
 
     # ------------------------------------------------------------------
     # introspection

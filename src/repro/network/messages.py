@@ -27,6 +27,13 @@ MaintainRequest         0x06  batch_id u64
 MaintainResponse        0x07  batch_id u64, processed u32, loads u32,
                               flushes u32, evictions u32,
                               checkpoints_completed u32
+MigrateRequest          0x08  op u8, source u32, seq u64, width u32,
+                              count u32, then keys u64[n] (EXPORT /
+                              DELETE) or per-key version payloads (PUT)
+MigrateResponse         0x09  width u32, count u32, per-key version
+                              payloads (EXPORT reply)
+RingUpdateRequest       0x0A  requester u32 (reply: StatusResponse
+                              whose value is the packed ring state)
 ======================  ====  =======================================
 
 ``PushRequest``'s ``(worker_id, seq)`` header gives the server a dedup
@@ -342,6 +349,187 @@ class StatusResponse:
         return self.code == self.ERR_MESSAGE
 
 
+def _encode_entries(entries, width: int) -> bytes:
+    """Pack ``[(key, [(batch_id, stored), ...]), ...]`` (migration payload).
+
+    ``width`` is the float count of each stored array (weights +
+    optimizer state); ``0`` means metadata-only (no payload floats).
+    """
+    parts = []
+    for key, versions in entries:
+        parts.append(struct.pack("<QI", int(key), len(versions)))
+        for batch_id, stored in versions:
+            parts.append(struct.pack("<q", int(batch_id)))
+            if width:
+                arr = np.ascontiguousarray(stored, dtype="<f4")
+                if arr.shape != (width,):
+                    raise MessageError(
+                        f"stored entry shape {arr.shape}, want ({width},)"
+                    )
+                parts.append(arr.tobytes())
+    return b"".join(parts)
+
+
+def _decode_entries(body: bytes, offset: int, count: int, width: int):
+    """Inverse of :func:`_encode_entries`; returns ``(entries, offset)``."""
+    entries = []
+    payload = 4 * width
+    for __ in range(count):
+        if len(body) < offset + 12:
+            raise MessageError("truncated migration entry header")
+        key, nversions = struct.unpack_from("<QI", body, offset)
+        offset += 12
+        versions = []
+        for __ in range(nversions):
+            if len(body) < offset + 8 + payload:
+                raise MessageError("truncated migration entry version")
+            (batch_id,) = struct.unpack_from("<q", body, offset)
+            offset += 8
+            if width:
+                stored = np.frombuffer(
+                    body, dtype="<f4", count=width, offset=offset
+                ).copy()
+                offset += payload
+            else:
+                stored = None
+            versions.append((batch_id, stored))
+        entries.append((int(key), versions))
+    return entries, offset
+
+
+@dataclass(frozen=True)
+class MigrateRequest:
+    """Coordinator -> PS: one step of a live shard migration.
+
+    Three ops share the frame:
+
+    * ``OP_EXPORT`` — read all retained versions of ``keys`` (reply:
+      :class:`MigrateResponse`). Read-only, naturally idempotent.
+    * ``OP_PUT`` — ingest ``entries`` on the new owner (reply:
+      :class:`StatusResponse` with ``value`` = keys ingested).
+      Node-level ingest is idempotent, and the ``(source, seq)`` header
+      additionally dedups retried frames exactly like pushes.
+    * ``OP_DELETE`` — drop ``keys`` from the old owner at cleanup
+      (reply: :class:`StatusResponse` with ``value`` = keys dropped).
+      Unknown keys are ignored, so replays are absorbed.
+
+    ``width`` is floats per stored array (weights + optimizer state);
+    ``0`` means metadata-only.
+    """
+
+    TYPE = 0x08
+
+    OP_EXPORT = 0
+    OP_PUT = 1
+    OP_DELETE = 2
+
+    op: int
+    source: int = 0
+    seq: int = 0
+    width: int = 0
+    keys: tuple = ()
+    entries: tuple = ()
+
+    def encode_body(self) -> bytes:
+        if self.op == self.OP_PUT:
+            count = len(self.entries)
+            payload = _encode_entries(self.entries, self.width)
+        elif self.op in (self.OP_EXPORT, self.OP_DELETE):
+            count = len(self.keys)
+            keys = np.ascontiguousarray(np.asarray(self.keys, dtype="<u8"))
+            payload = keys.tobytes()
+        else:
+            raise MessageError(f"unknown migrate op {self.op}")
+        return (
+            struct.pack("<BIQII", self.op, self.source, self.seq, self.width, count)
+            + payload
+        )
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "MigrateRequest":
+        if len(body) < 21:
+            raise MessageError("truncated MigrateRequest")
+        op, source, seq, width, count = struct.unpack_from("<BIQII", body)
+        offset = 21
+        if op == cls.OP_PUT:
+            entries, offset = _decode_entries(body, offset, count, width)
+            if offset != len(body):
+                raise MessageError("trailing bytes in MigrateRequest")
+            return cls(
+                op=op, source=source, seq=seq, width=width,
+                entries=tuple(entries),
+            )
+        if op in (cls.OP_EXPORT, cls.OP_DELETE):
+            expected = offset + 8 * count
+            if len(body) != expected:
+                raise MessageError(
+                    f"MigrateRequest length {len(body)}, want {expected}"
+                )
+            keys = np.frombuffer(body, dtype="<u8", count=count, offset=offset)
+            return cls(
+                op=op, source=source, seq=seq, width=width,
+                keys=tuple(int(k) for k in keys),
+            )
+        raise MessageError(f"unknown migrate op {op}")
+
+    @property
+    def dedup_key(self) -> tuple[int, int] | None:
+        """The at-most-once identity, or None when dedup is opted out."""
+        if self.seq == 0:
+            return None
+        return (self.source, self.seq)
+
+
+@dataclass(frozen=True)
+class MigrateResponse:
+    """PS -> coordinator: the exported entries (``OP_EXPORT`` reply)."""
+
+    TYPE = 0x09
+
+    width: int = 0
+    entries: tuple = ()
+
+    def encode_body(self) -> bytes:
+        return (
+            struct.pack("<II", self.width, len(self.entries))
+            + _encode_entries(self.entries, self.width)
+        )
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "MigrateResponse":
+        if len(body) < 8:
+            raise MessageError("truncated MigrateResponse")
+        width, count = struct.unpack_from("<II", body)
+        entries, offset = _decode_entries(body, 8, count, width)
+        if offset != len(body):
+            raise MessageError("trailing bytes in MigrateResponse")
+        return cls(width=width, entries=tuple(entries))
+
+
+@dataclass(frozen=True)
+class RingUpdateRequest:
+    """Worker -> coordinator PS: fetch the committed ring state.
+
+    The reply is a :class:`StatusResponse` whose ``value`` carries the
+    packed ring word (:func:`repro.core.sharding.pack_ring_state` —
+    epoch, num_nodes, vnodes). A client that hits a routing error after
+    a migration refreshes its partitioner with this and retries.
+    """
+
+    TYPE = 0x0A
+
+    requester: int = 0
+
+    def encode_body(self) -> bytes:
+        return struct.pack("<I", self.requester)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "RingUpdateRequest":
+        if len(body) != 4:
+            raise MessageError(f"RingUpdateRequest length {len(body)}, want 4")
+        return cls(requester=struct.unpack("<I", body)[0])
+
+
 _MESSAGE_TYPES = {
     cls.TYPE: cls
     for cls in (
@@ -352,6 +540,9 @@ _MESSAGE_TYPES = {
         StatusResponse,
         MaintainRequest,
         MaintainResponse,
+        MigrateRequest,
+        MigrateResponse,
+        RingUpdateRequest,
     )
 }
 

@@ -97,6 +97,38 @@ class VersionedEntryStore:
         """
         self._barriers = tuple(sorted(set(barriers)))
 
+    def ingest(self, key: int, batch_id: int, stored: np.ndarray | None) -> float:
+        """Persist a version copied from another shard, WITHOUT pruning.
+
+        Migration (``repro.core.migration``) transfers every retained
+        version of a key verbatim — including versions protected by the
+        source's barriers that this store does not know about yet — so
+        the new owner can recover to exactly the same checkpoints the
+        old owner could. Returns device write seconds.
+        """
+        elapsed = self.pool.write(
+            ("entry", key, batch_id), stored, nbytes=self.entry_bytes
+        )
+        versions = self._versions.setdefault(key, [])
+        if batch_id not in versions:
+            versions.append(batch_id)
+            versions.sort()
+        return elapsed
+
+    def drop_key(self, key: int) -> int:
+        """Free *every* stored version of ``key``; returns versions freed.
+
+        Used by live shard migration (``repro.core.migration``): after a
+        key's entries have been copied to their new owner and the ring
+        epoch has committed, the source shard drops its copies. Barriers
+        are intentionally ignored — ownership has moved, so this shard
+        will never be asked to recover the key.
+        """
+        versions = self._versions.pop(key, [])
+        for batch_id in versions:
+            self.pool.free(("entry", key, batch_id))
+        return len(versions)
+
     def recycle(self) -> int:
         """Recycle all versions unprotected by the current barriers.
 

@@ -68,6 +68,24 @@ class IterationCounts:
 
 
 @dataclass(frozen=True)
+class MigrationTiming:
+    """Per-phase simulated seconds of one live shard migration.
+
+    Training is quiesced at the batch barrier, so ``total`` is the
+    throughput dip (pause) the reshard costs — what
+    ``benchmarks/bench_elastic.py`` ablates against the modulo
+    partitioner's near-total remap.
+    """
+
+    barrier_flush: float
+    source_read: float
+    network: float
+    target_write: float
+    index_insert: float
+    total: float
+
+
+@dataclass(frozen=True)
 class IterationTiming:
     """Per-phase simulated seconds of one iteration."""
 
@@ -176,6 +194,49 @@ class PSCostModel:
             push_service=push_service,
             total=total,
             prefetch_overlapped=prefetch_work if self.pipelined else 0.0,
+        )
+
+    def price_migration(
+        self,
+        *,
+        keys_moved: int,
+        versions_moved: int | None = None,
+        flushed_entries: int = 0,
+    ) -> MigrationTiming:
+        """Simulated pause of one live reshard (quiesce -> resume).
+
+        Phases mirror the :class:`~repro.core.migration.ShardMigrator`
+        protocol: the barrier's cache flush, a sequential PMem read of
+        every transferred version on the sources, a point-to-point
+        network burst carrying the packed entries, the target's PMem
+        writes, and per-key DRAM index inserts on the new owner. The
+        atomic ring commit itself is one 8-byte word — free at this
+        resolution.
+
+        Args:
+            keys_moved: distinct keys changing owner.
+            versions_moved: stored versions transferred (defaults to
+                one per key — the steady state after a barrier).
+            flushed_entries: cache entries the barrier had to flush.
+        """
+        if versions_moved is None:
+            versions_moved = keys_moved
+        threads = self.cluster.ps_threads_per_node
+        eb = self.entry_bytes
+        barrier = self.pmem.burst_write(flushed_entries, eb, threads)
+        read = self.pmem.burst_read(versions_moved, eb, threads)
+        # Per-version wire framing: key u64 + batch i64 header.
+        net = self.network.burst_transfer_time(1, versions_moved * (eb + 16))
+        write = self.pmem.burst_write(versions_moved, eb, threads)
+        insert = keys_moved * self.cal.index_rebuild_pmem_oe_s
+        total = barrier + read + net + write + insert
+        return MigrationTiming(
+            barrier_flush=barrier,
+            source_read=read,
+            network=net,
+            target_write=write,
+            index_insert=insert,
+            total=total,
         )
 
     # ------------------------------------------------------------------

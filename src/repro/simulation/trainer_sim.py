@@ -20,7 +20,7 @@ every 20 minutes of a 5-hour epoch" keeps its meaning at any scale.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.config import (
     CacheConfig,
@@ -32,6 +32,7 @@ from repro.config import (
 )
 from repro.core.backend import aggregate_maintain
 from repro.core.ps_node import PSNode
+from repro.core.sharding import make_partitioner
 from repro.baselines.dram_ps import DRAMPSNode
 from repro.baselines.pmem_hash import PMemHashNode
 from repro.errors import ConfigError
@@ -62,6 +63,11 @@ class TrainingRunResult:
     push_service_seconds: float = 0.0
     checkpoint_pause_seconds: float = 0.0
     checkpoints_completed: int = 0
+    #: live-reshard pause(s) and volume (``--reshard-at`` runs)
+    migration_pause_seconds: float = 0.0
+    migration_keys_moved: int = 0
+    migration_keys_total: int = 0
+    migrations_completed: int = 0
     miss_rate: float = 0.0
     total_requests: int = 0
     #: lookahead pulls issued inside the overlap window
@@ -93,6 +99,16 @@ class TrainingSimulator:
             the overlap slot, and pushed keys are invalidated/patched
             exactly as in :class:`repro.dlrm.prefetch.PrefetchPipeline`.
         use_cache: Figure 9 ablation switch (hybrids only).
+        reshard_at: perform one live reshard after this many completed
+            iterations (elasticity ablation). The pause is priced by
+            :meth:`repro.simulation.cluster.PSCostModel.price_migration`
+            over the keys whose owner changes between the current and
+            target partitioner (``server.partitioner`` decides ring vs
+            modulo — the modulo run shows the near-total remap a naive
+            partitioner costs); subsequent iterations are priced on the
+            new node count.
+        reshard_to: target PS node count of the reshard (default:
+            ``server.num_nodes + 1``, i.e. scale-out by one).
         record_trace: keep a per-request timestamp trace (Figure 2).
         tracer: span sink on the *simulated* clock. When enabled, every
             iteration emits phase spans on per-layer tracks (worker /
@@ -119,6 +135,8 @@ class TrainingSimulator:
         *,
         prefetch: PrefetchConfig | None = None,
         use_cache: bool = True,
+        reshard_at: int | None = None,
+        reshard_to: int | None = None,
         record_trace: bool = False,
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
@@ -161,6 +179,28 @@ class TrainingSimulator:
         self._dirty_since_ckpt: set[int] = set()
         self._key_stream: list[list[int]] = []
         self._buffered: set[int] = set()
+        self._keys_seen: set[int] = set()
+        self.reshard_at = reshard_at
+        self.reshard_to = reshard_to
+        self._resharded = False
+        if reshard_at is not None:
+            if reshard_at < 1:
+                raise ConfigError(
+                    f"reshard_at must be >= 1, got {reshard_at}"
+                )
+            if self.reshard_to is None:
+                self.reshard_to = self.server.num_nodes + 1
+            if self.reshard_to < 1:
+                raise ConfigError(
+                    f"reshard_to must be >= 1, got {self.reshard_to}"
+                )
+            if self.reshard_to == self.server.num_nodes:
+                raise ConfigError(
+                    "reshard_to equals the current node count "
+                    f"({self.reshard_to}); nothing to migrate"
+                )
+        elif reshard_to is not None:
+            raise ConfigError("reshard_to requires reshard_at")
         self._validate_checkpoint_mode()
 
     # ------------------------------------------------------------------
@@ -184,6 +224,7 @@ class TrainingSimulator:
 
         for batch_id in range(iterations):
             counts = self._run_functional_iteration(batch_id, iterations - 1)
+            self._keys_seen.update(self._key_stream[batch_id])
             timing = self.cost_model.price_iteration(counts)
             start = self.clock.now
             self.trace.record(start, RequestTrace.PULL, counts.requests)
@@ -247,6 +288,13 @@ class TrainingSimulator:
                         "repro_phase_seconds_total",
                         {"phase": "checkpoint_pause"},
                     ).add(pause)
+
+            if (
+                self.reshard_at is not None
+                and not self._resharded
+                and batch_id + 1 >= self.reshard_at
+            ):
+                self._execute_reshard(batch_id, result)
 
         result.sim_seconds = self.clock.now
         result.miss_rate = self._miss_rate()
@@ -506,6 +554,82 @@ class TrainingSimulator:
             prefetch_created=pf_created,
             push_requests=len(keys),
         )
+
+    # ------------------------------------------------------------------
+    # live resharding
+    # ------------------------------------------------------------------
+
+    def _execute_reshard(self, batch_id: int, result: TrainingRunResult) -> None:
+        """Price one live reshard and re-shard the cost model.
+
+        Follows the quiesce-at-barrier protocol of
+        :class:`repro.core.migration.ShardMigrator`: training pauses,
+        the dirty cache is flushed (the barrier checkpoint), every key
+        whose owner changes between the old and new partitioner is read
+        from source PMem, shipped, written on the target and indexed,
+        then training resumes on the new node count. With the ring
+        partitioner the moved set is ~``1/m`` of resident keys; with
+        modulo it is ~``(m-1)/m`` — the contrast ``--reshard-at``
+        exists to show.
+        """
+        old = make_partitioner(
+            self.server.partitioner,
+            self.server.num_nodes,
+            self.server.ring_vnodes,
+        )
+        new = make_partitioner(
+            self.server.partitioner,
+            self.reshard_to,
+            self.server.ring_vnodes,
+        )
+        keys_total = len(self._keys_seen)
+        keys_moved = sum(
+            1 for key in self._keys_seen if old.node_of(key) != new.node_of(key)
+        )
+        timing = self.cost_model.price_migration(
+            keys_moved=keys_moved,
+            flushed_entries=self.backend.num_entries,
+        )
+        start = self.clock.now
+        self.clock.advance(timing.total)
+        result.migration_pause_seconds += timing.total
+        result.migration_keys_moved += keys_moved
+        result.migration_keys_total = keys_total
+        result.migrations_completed += 1
+        self._resharded = True
+        # Iterations after the reshard are priced on the new shard count.
+        self.server = replace(self.server, num_nodes=self.reshard_to)
+        self.cost_model = PSCostModel(
+            self.system,
+            self.cluster,
+            self.server,
+            self.cal,
+            pipelined=self.cost_model.pipelined,
+            use_cache=self.use_cache,
+            maintainer_threads=self.cache_config.maintainer_threads,
+        )
+        if self.tracer.enabled:
+            self.tracer.add_span(
+                "migration.pause",
+                start=start,
+                duration=timing.total,
+                track="migration",
+                batch=batch_id,
+                partitioner=self.server.partitioner,
+                keys_moved=keys_moved,
+                keys_total=keys_total,
+                to_nodes=self.reshard_to,
+            )
+        if self.registry is not None:
+            self.registry.histogram(
+                "repro_migration_pause_seconds"
+            ).observe(timing.total)
+            self.registry.counter(
+                "repro_phase_seconds_total", {"phase": "migration_pause"}
+            ).add(timing.total)
+            self.registry.counter("repro_migration_keys_moved_total").add(
+                keys_moved
+            )
 
     # ------------------------------------------------------------------
     # checkpointing

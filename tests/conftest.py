@@ -2,8 +2,24 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+from hypothesis import settings as hypothesis_settings
+
+# Deterministic hypothesis profile: property tests replay the same
+# example stream on every run (derandomize fixes the PRNG seed) and
+# never flake on wall-clock (deadline=None — CI machines are noisy).
+# CI exports HYPOTHESIS_PROFILE=deterministic explicitly; developers
+# can opt into fresh examples with HYPOTHESIS_PROFILE=explore.
+hypothesis_settings.register_profile(
+    "deterministic", derandomize=True, deadline=None, print_blob=True
+)
+hypothesis_settings.register_profile("explore", deadline=None)
+hypothesis_settings.load_profile(
+    os.environ.get("HYPOTHESIS_PROFILE", "deterministic")
+)
 
 from repro.config import CacheConfig, ServerConfig
 from repro.core.checkpoint import CheckpointCoordinator

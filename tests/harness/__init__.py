@@ -1,0 +1,1 @@
+"""Reusable test harnesses (deterministic fault/crash drivers)."""

@@ -117,6 +117,67 @@ class TestDoubleFault:
             assert np.array_equal(got[key], weights)
 
 
+class TestRingFollowing:
+    """Replicas follow the committed ring epoch and mirror migrations
+    (docs/ELASTICITY.md: a failover must never resurrect pre-migration
+    routing or serve a pre-migration shard)."""
+
+    def test_epoch_monotone(self):
+        node = make_node()
+        node.follow_ring(1)
+        node.follow_ring(1)  # re-announcement is fine
+        node.follow_ring(3)
+        assert node.ring_epoch == 3
+        with pytest.raises(ServerError, match="monotone"):
+            node.follow_ring(2)
+
+    def test_epoch_survives_failover(self):
+        node = make_node()
+        node.follow_ring(2)
+        node.fail_primary()
+        node.failover()
+        assert node.ring_epoch == 2
+        with pytest.raises(ServerError, match="monotone"):
+            node.follow_ring(1)
+
+    def test_ingest_and_drop_mirror_to_backup(self):
+        donor = make_node()
+        for batch in range(4):
+            cycle(donor, [1, 2, 3], batch)
+        donor.barrier_checkpoint(3)  # make the live state durable
+        entries = donor.export_entries([1, 2])
+
+        node = make_node()
+        for batch in range(4):
+            cycle(node, [7, 8], batch)
+        assert node.ingest_entries(entries) == 2
+        node.verify_replicas_identical()
+        assert {1, 2} <= set(node.owned_keys())
+
+        assert node.drop_keys([1, 7]) == 2
+        node.verify_replicas_identical()
+        assert set(node.owned_keys()) == {2, 8}
+
+    def test_failover_serves_post_migration_shard(self):
+        """After a mirrored ingest, the promoted backup holds the
+        migrated entries bitwise."""
+        donor = make_node()
+        for batch in range(4):
+            cycle(donor, [1, 2, 3], batch)
+        donor.barrier_checkpoint(3)  # make the live state durable
+        entries = donor.export_entries([1, 2, 3])
+        expected = {k: v.copy() for k, v in donor.state_snapshot().items()}
+
+        node = make_node()
+        node.ingest_entries(entries)
+        node.follow_ring(1)
+        node.fail_primary()
+        node.failover()
+        got = node.state_snapshot()
+        for key, weights in expected.items():
+            assert np.array_equal(got[key], weights)
+
+
 class TestTradeoff:
     def test_failover_constant_recovery_scales(self):
         small_fo, small_rec = replication_vs_recovery_seconds(

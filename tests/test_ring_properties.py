@@ -1,0 +1,193 @@
+"""Property tests for the consistent-hash ring (hypothesis).
+
+The elasticity layer leans on four guarantees of
+:class:`repro.core.sharding.ConsistentHashRing`:
+
+1. routing is a pure function of ``(key, num_nodes, vnodes)`` —
+   identical across runs AND across processes (no salted hashing);
+2. growing ``n -> n+1`` moves at most ``(1/(n+1))·(1+ε)`` of a sampled
+   keyspace, and everything that moves lands on the new node;
+3. shrinking ``n+1 -> n`` restores the *exact* assignment the ring had
+   at ``n`` nodes (scale-in is scale-out played backwards);
+4. ``split()`` scatter positions always invert back to request order.
+
+Each is a hypothesis property here; the deterministic profile pinned in
+``conftest.py`` keeps the example stream reproducible.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.sharding import (
+    ConsistentHashRing,
+    HashPartitioner,
+    make_partitioner,
+    mix64,
+    pack_ring_state,
+    unpack_ring_state,
+)
+from repro.errors import ConfigError
+
+#: Slack on the minimal-movement bound. With v vnodes per node the ring
+#: balances like v·n samples of a uniform partition; ε covers that
+#: sampling noise for the vnode counts tested here.
+EPSILON = 0.75
+
+keys_strategy = st.lists(
+    st.integers(min_value=0, max_value=2**63 - 1),
+    min_size=50,
+    max_size=400,
+    unique=True,
+)
+
+
+class TestDeterminism:
+    @given(
+        keys=keys_strategy,
+        num_nodes=st.integers(1, 8),
+        vnodes=st.sampled_from([8, 64, 128]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_rebuilt_ring_routes_identically(self, keys, num_nodes, vnodes):
+        first = ConsistentHashRing(num_nodes, vnodes)
+        second = ConsistentHashRing(num_nodes, vnodes)
+        assert [first.node_of(k) for k in keys] == [
+            second.node_of(k) for k in keys
+        ]
+
+    def test_routing_identical_across_processes(self):
+        """A fresh interpreter computes the same routes (no per-process
+        hash salting anywhere on the path) — the invariant recovery
+        depends on: the recovering process must agree with the crashed
+        one about which shard owned every key."""
+        keys = [mix64(i) % (2**61) for i in range(200)]
+        here = [ConsistentHashRing(5, 48).node_of(k) for k in keys]
+        script = (
+            "from repro.core.sharding import ConsistentHashRing;"
+            f"ring = ConsistentHashRing(5, 48);"
+            f"print([ring.node_of(k) for k in {keys!r}])"
+        )
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        assert eval(output.strip()) == here  # noqa: S307 - our own repr
+
+    @given(data=st.integers(min_value=0, max_value=2**64 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_mix64_stays_in_range(self, data):
+        assert 0 <= mix64(data) < 2**64
+
+
+class TestMinimalMovement:
+    @given(
+        keys=keys_strategy,
+        num_nodes=st.integers(2, 8),
+        vnodes=st.sampled_from([64, 128]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scale_out_moves_at_most_one_share(self, keys, num_nodes, vnodes):
+        ring = ConsistentHashRing(num_nodes, vnodes)
+        grown = ring.with_nodes(num_nodes + 1)
+        moved = ring.moved_keys(grown, keys)
+        bound = (len(keys) / (num_nodes + 1)) * (1 + EPSILON)
+        assert len(moved) <= bound, (
+            f"{len(moved)}/{len(keys)} moved, bound {bound:.1f} "
+            f"(n={num_nodes}, vnodes={vnodes})"
+        )
+
+    @given(
+        keys=keys_strategy,
+        num_nodes=st.integers(2, 8),
+        vnodes=st.sampled_from([64, 128]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_moved_keys_land_only_on_the_new_node(self, keys, num_nodes, vnodes):
+        ring = ConsistentHashRing(num_nodes, vnodes)
+        grown = ring.with_nodes(num_nodes + 1)
+        for key in ring.moved_keys(grown, keys):
+            assert grown.node_of(key) == num_nodes  # the joining node
+
+    @given(
+        keys=keys_strategy,
+        num_nodes=st.integers(1, 8),
+        vnodes=st.sampled_from([16, 64]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_scale_in_restores_prior_assignment_exactly(
+        self, keys, num_nodes, vnodes
+    ):
+        """Removing the node that just joined is a perfect undo."""
+        ring = ConsistentHashRing(num_nodes, vnodes)
+        round_trip = ring.with_nodes(num_nodes + 1).with_nodes(num_nodes)
+        assert [ring.node_of(k) for k in keys] == [
+            round_trip.node_of(k) for k in keys
+        ]
+
+    @given(keys=keys_strategy, num_nodes=st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_modulo_remaps_most_keys(self, keys, num_nodes):
+        """The contrast the ring exists for: under modulo hashing a
+        grow step moves ~(n)/(n+1) of all keys."""
+        old = HashPartitioner(num_nodes)
+        new = HashPartitioner(num_nodes + 1)
+        moved = sum(1 for k in keys if old.node_of(k) != new.node_of(k))
+        # Strictly more than the ring's worst tested bound.
+        assert moved / len(keys) > 0.5
+
+
+class TestSplitInversion:
+    @given(
+        keys=st.lists(  # duplicates allowed: split must preserve them
+            st.integers(min_value=0, max_value=2**63 - 1),
+            min_size=1,
+            max_size=300,
+        ),
+        num_nodes=st.integers(1, 8),
+        kind=st.sampled_from(["modulo", "ring"]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_scatter_positions_invert(self, keys, num_nodes, kind):
+        partitioner = make_partitioner(kind, num_nodes, vnodes=32)
+        per_node_keys, per_node_positions = partitioner.split(keys)
+        rebuilt = [None] * len(keys)
+        seen_positions = []
+        for node, (node_keys, positions) in enumerate(
+            zip(per_node_keys, per_node_positions)
+        ):
+            assert len(node_keys) == len(positions)
+            for key, position in zip(node_keys, positions):
+                assert partitioner.node_of(key) == node
+                rebuilt[position] = key
+                seen_positions.append(position)
+        assert rebuilt == list(keys)
+        assert sorted(seen_positions) == list(range(len(keys)))
+
+
+class TestRingStateWord:
+    @given(
+        epoch=st.integers(0, 2**20 - 1),
+        num_nodes=st.integers(0, 2**20 - 1),
+        vnodes=st.integers(0, 2**20 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_pack_unpack_round_trips(self, epoch, num_nodes, vnodes):
+        assert unpack_ring_state(pack_ring_state(epoch, num_nodes, vnodes)) == (
+            epoch,
+            num_nodes,
+            vnodes,
+        )
+
+    def test_pack_rejects_out_of_range(self):
+        with np.testing.assert_raises(ConfigError):
+            pack_ring_state(-1, 2, 64)
+        with np.testing.assert_raises(ConfigError):
+            pack_ring_state(0, 2**20, 64)

@@ -4,7 +4,12 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.sharding import HashPartitioner, mix64
+from repro.core.sharding import (
+    ConsistentHashRing,
+    HashPartitioner,
+    make_partitioner,
+    mix64,
+)
 from repro.errors import ConfigError
 
 
@@ -68,3 +73,49 @@ class TestPartitioner:
             for key, position in zip(node_keys, positions):
                 assert keys[position] == key
                 assert part.node_of(key) == node
+
+
+class TestConsistentHashRing:
+    """Interface-level ring checks; the movement/determinism properties
+    live in ``tests/test_ring_properties.py``."""
+
+    def test_same_interface_as_modulo(self):
+        ring = ConsistentHashRing(4, vnodes=32)
+        assert all(0 <= ring.node_of(k) < 4 for k in range(1000))
+        keys = [5, 17, 5, 99, 3]
+        per_node_keys, per_node_positions = ring.split(keys)
+        reassembled = [None] * len(keys)
+        for node_keys, positions in zip(per_node_keys, per_node_positions):
+            for key, position in zip(node_keys, positions):
+                reassembled[position] = key
+        assert reassembled == keys
+
+    def test_single_node_takes_everything(self):
+        ring = ConsistentHashRing(1, vnodes=8)
+        assert all(ring.node_of(k) == 0 for k in range(200))
+
+    def test_roughly_balanced_with_enough_vnodes(self):
+        ring = ConsistentHashRing(4, vnodes=128)
+        counts = [0] * 4
+        for key in range(40_000):
+            counts[ring.node_of(key)] += 1
+        for count in counts:
+            assert abs(count - 10_000) < 2_500  # within ~25 %
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            ConsistentHashRing(0, vnodes=8)
+        with pytest.raises(ConfigError):
+            ConsistentHashRing(3, vnodes=0)
+
+
+class TestMakePartitioner:
+    def test_dispatch(self):
+        assert type(make_partitioner("modulo", 3)) is HashPartitioner
+        ring = make_partitioner("ring", 3, vnodes=16)
+        assert isinstance(ring, ConsistentHashRing)
+        assert ring.vnodes == 16
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigError, match="unknown partitioner"):
+            make_partitioner("rendezvous", 3)
