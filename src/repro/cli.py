@@ -79,6 +79,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         profile.server_config(args.nodes),
         partitioner=args.partitioner,
         ring_vnodes=args.ring_vnodes,
+        replicas=args.replicas,
+        lease_s=args.lease_ms * 1e-3,
     )
     simulator = TrainingSimulator(
         system,
@@ -90,6 +92,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         prefetch=PrefetchConfig(lookahead=args.lookahead),
         reshard_at=args.reshard_at,
         reshard_to=args.reshard_to,
+        mttf_s=args.mttf,
         tracer=tracer,
         registry=registry,
     )
@@ -118,6 +121,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
               f"{moved}/{result.migration_keys_total} keys moved "
               f"({moved / total:.1%}), "
               f"pause {result.migration_pause_seconds * 1e3:.3f} ms")
+    if result.failures_injected:
+        print(f"failures          : {result.failures_injected} node kills "
+              f"(MTTF {args.mttf:.1f} s, {args.replicas} replica(s))")
+        if result.failovers_completed:
+            print(f"failover pause    : {result.failover_pause_seconds:.3f} s "
+                  f"client-visible ({result.failovers_completed} promotions, "
+                  f"lease {args.lease_ms:.0f} ms), "
+                  f"{result.rereplication_seconds:.3f} s re-replication "
+                  f"in background")
+        if result.recovery_pause_seconds:
+            print(f"recovery pause    : {result.recovery_pause_seconds:.3f} s "
+                  f"(no replica; checkpoint-recovery rebuild)")
     _write_obs(args, tracer, registry)
     return 0
 
@@ -332,6 +347,20 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     print(f"simulated time    : clean {clean.clock.now * 1e3:.2f} ms, "
           f"faulty {faulty.clock.now * 1e3:.2f} ms")
     print(f"weights identical : {identical}")
+    if args.mttf is not None:
+        from repro.failure.mttf import (
+            expected_lost_work_seconds,
+            young_interval_seconds,
+        )
+
+        interval = young_interval_seconds(args.checkpoint_cost, args.mttf)
+        lost = expected_lost_work_seconds(interval, args.mttf)
+        print(f"-- failure planning (Young 1974) --")
+        print(f"MTTF              : {args.mttf:.1f} s")
+        print(f"checkpoint cost   : {args.checkpoint_cost:.3f} s")
+        print(f"optimal interval  : {interval:.3f} s  (sqrt(2*C*MTTF))")
+        print(f"expected lost work: {lost:.3f} s per failure "
+              f"(interval/2; recovery accounted separately)")
     return 0 if identical else 1
 
 
@@ -453,6 +482,16 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--reshard-to", type=int, default=None,
                           help="target PS node count for --reshard-at "
                                "(default: one more node)")
+    simulate.add_argument("--mttf", type=float, default=None,
+                          help="mean time to failure in simulated seconds; "
+                               "samples a Poisson kill schedule and prices "
+                               "each node death (failover or recovery)")
+    simulate.add_argument("--replicas", type=int, default=1,
+                          help="replicas per shard: 2 answers kills with "
+                               "hot failover, 1 with checkpoint recovery")
+    simulate.add_argument("--lease-ms", type=float, default=500.0,
+                          help="failure-detector lease in milliseconds "
+                               "(bounds detection latency)")
     _add_obs_flags(simulate)
     simulate.set_defaults(handler=_cmd_simulate)
 
@@ -515,6 +554,13 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--attempt-timeout-ms", type=float, default=50.0)
     faults.add_argument("--call-timeout-s", type=float, default=5.0)
     faults.add_argument("--seed", type=int, default=7)
+    faults.add_argument("--mttf", type=float, default=None,
+                        help="mean time to failure in seconds; prints the "
+                             "Young-optimal checkpoint interval and the "
+                             "expected lost work per failure")
+    faults.add_argument("--checkpoint-cost", type=float, default=1.0,
+                        help="cost of one checkpoint in seconds (C in "
+                             "Young's sqrt(2*C*MTTF); used with --mttf)")
     faults.set_defaults(handler=_cmd_faults)
 
     metrics = sub.add_parser(

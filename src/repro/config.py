@@ -135,6 +135,19 @@ class ServerConfig:
             key movement.
         ring_vnodes: virtual nodes per physical node when
             ``partitioner == "ring"`` (ignored for ``"modulo"``).
+        replicas: replicas per shard. ``1`` is the paper's
+            checkpoint-recovery-only deployment; ``2`` runs a hot
+            backup (:class:`~repro.core.replication.ReplicatedPSNode`)
+            that failure detection can promote in
+            :data:`~repro.core.replication.FAILOVER_SECONDS` instead of
+            the ~380 s PMem rescan (Section V-C).
+        lease_s: failure-detection lease duration. A shard whose
+            heartbeats stop is declared dead only once its lease
+            expires, which bounds both false positives and the
+            detection half of the unavailability window.
+        heartbeat_interval_s: how often the detector probes each shard
+            and renews its lease; must be strictly less than
+            ``lease_s`` or healthy nodes would flap dead.
     """
 
     num_nodes: int = 1
@@ -145,6 +158,9 @@ class ServerConfig:
     auto_create: bool = True
     partitioner: str = "modulo"
     ring_vnodes: int = 64
+    replicas: int = 1
+    lease_s: float = 0.5
+    heartbeat_interval_s: float = 0.1
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -159,6 +175,19 @@ class ServerConfig:
             )
         if self.ring_vnodes <= 0:
             raise ConfigError("ring_vnodes must be >= 1")
+        if self.replicas not in (1, 2):
+            raise ConfigError(
+                f"replicas must be 1 (none) or 2 (hot backup), got {self.replicas}"
+            )
+        if self.lease_s <= 0:
+            raise ConfigError("lease_s must be positive")
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigError("heartbeat_interval_s must be positive")
+        if self.heartbeat_interval_s >= self.lease_s:
+            raise ConfigError(
+                "heartbeat_interval_s must be < lease_s "
+                f"({self.heartbeat_interval_s} >= {self.lease_s})"
+            )
 
     @property
     def entry_bytes(self) -> int:

@@ -22,13 +22,20 @@ from repro.core.backend import (
 from repro.core.cache import MaintainResult, PipelinedCache, PullResult
 from repro.core.checkpoint import CheckpointCoordinator
 from repro.core.entry import EmbeddingEntry, Location, pack_handle, unpack_handle
+from repro.core.failover import (
+    FailoverManager,
+    FailureDetector,
+    LocalFailoverTransport,
+    NodeState,
+    PromotionReport,
+)
 from repro.core.hash_index import HashIndex
 from repro.core.lru import LRUList
 from repro.core.optimizers import PSAdagrad, PSOptimizer, PSSGD
 from repro.core.ps_node import PSNode
 from repro.core.queues import AccessQueue, CheckpointRequestQueue
 from repro.core.recovery import RecoveryReport, recover_node
-from repro.core.replication import ReplicatedPSNode
+from repro.core.replication import RebuildReport, ReplicatedPSNode
 from repro.core.server import OpenEmbeddingServer
 from repro.core.sharding import HashPartitioner
 
@@ -59,4 +66,10 @@ __all__ = [
     "RecoveryReport",
     "recover_node",
     "ReplicatedPSNode",
+    "RebuildReport",
+    "FailureDetector",
+    "FailoverManager",
+    "LocalFailoverTransport",
+    "NodeState",
+    "PromotionReport",
 ]

@@ -1,0 +1,427 @@
+"""Lease-based failure detection and client-driven hot failover.
+
+The paper's only failure answer is offline recovery: rescan PMem,
+discard versions past the Checkpointed Batch ID, rebuild the index
+(~380 s at 2.1 B entries, Section V-C / Figure 14). Production PS
+systems (Kraken SC'20, Check-N-Run NSDI'22) instead detect a dead node
+automatically and fail over to a hot replica in seconds. This module
+supplies the detection and orchestration half of that availability
+layer; :class:`~repro.core.replication.ReplicatedPSNode` supplies the
+replica.
+
+Three pieces:
+
+* :class:`FailureDetector` — a pure, SimClock-driven lease table. Each
+  watched node holds a lease of ``ServerConfig.lease_s`` seconds that a
+  successful heartbeat renews. A node whose lease has expired is DEAD;
+  one past the suspect threshold but inside its lease is SUSPECT (do
+  not reroute yet — the wire may just be slow).
+* ``FailoverTransport`` — how the manager talks to the cluster. The
+  in-process :class:`LocalFailoverTransport` is defined here; the RPC
+  one (heartbeat probes over dedicated channels, promotion via a
+  ``Promote`` message) lives in :mod:`repro.network.frontend` so core
+  stays import-light.
+* :class:`FailoverManager` — the policy loop. ``beat()`` probes every
+  shard, renews leases and advances background re-replication;
+  ``handle_timeout(node)`` is the client's reaction to an unanswered
+  call: re-probe, wait out the remaining lease on the shared clock
+  (detection latency is therefore *bounded by the lease*), promote the
+  backup, publish the committed ring epoch to the promoted node, and
+  account the whole unavailability window in ``repro_failover_*``
+  metrics and ``failover.*`` spans.
+
+Exactly-once across promotion: the manager never re-issues requests
+itself — the caller retries with the SAME ``(worker_id, seq)``, and the
+service-level dedup window (logically replicated with the shard)
+suppresses duplicates, so a push that reached the replicas before the
+primary died is not applied twice after promotion.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.config import ServerConfig
+from repro.errors import FailoverError, ServerError
+from repro.obs.registry import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.simulation.clock import SimClock
+
+
+class NodeState(enum.Enum):
+    """Detector's belief about one shard."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+@dataclass
+class _Lease:
+    last_beat: float
+    deadline: float
+    dead: bool = False
+
+
+class FailureDetector:
+    """A lease table over the shared simulated clock.
+
+    Deliberately mechanism-free: it never probes anything. Callers feed
+    it evidence (:meth:`heartbeat`) and ask for beliefs
+    (:meth:`state_of`). Because leases live on the same
+    :class:`SimClock` that prices training, detection latency shows up
+    in every simulated-time measurement, exactly like retries do.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        lease_s: float,
+        suspect_after_s: float | None = None,
+    ):
+        if lease_s <= 0:
+            raise ServerError(f"lease_s must be positive, got {lease_s}")
+        if suspect_after_s is None:
+            suspect_after_s = lease_s / 2.0
+        if not 0 < suspect_after_s <= lease_s:
+            raise ServerError(
+                f"need 0 < suspect_after_s <= lease_s, got {suspect_after_s}"
+            )
+        self.clock = clock
+        self.lease_s = lease_s
+        self.suspect_after_s = suspect_after_s
+        self._leases: dict[int, _Lease] = {}
+
+    def watch(self, node_id: int) -> None:
+        """Start tracking ``node_id`` with a fresh lease from now."""
+        now = self.clock.now
+        self._leases[node_id] = _Lease(now, now + self.lease_s)
+
+    def watched(self) -> list[int]:
+        return sorted(self._leases)
+
+    def _lease(self, node_id: int) -> _Lease:
+        try:
+            return self._leases[node_id]
+        except KeyError:
+            raise ServerError(f"node {node_id} is not watched") from None
+
+    def heartbeat(self, node_id: int) -> None:
+        """Record evidence of life; renews the lease.
+
+        A heartbeat from a node already *declared* dead is ignored —
+        promotion is a one-way door (the old primary's pool is crashed);
+        the slot is re-armed with :meth:`reset` after the new primary
+        takes over.
+        """
+        lease = self._lease(node_id)
+        if lease.dead:
+            return
+        now = self.clock.now
+        lease.last_beat = now
+        lease.deadline = now + self.lease_s
+
+    def state_of(self, node_id: int) -> NodeState:
+        lease = self._lease(node_id)
+        if lease.dead:
+            return NodeState.DEAD
+        now = self.clock.now
+        if now >= lease.deadline:
+            return NodeState.DEAD
+        if now - lease.last_beat >= self.suspect_after_s:
+            return NodeState.SUSPECT
+        return NodeState.ALIVE
+
+    def lease_deadline(self, node_id: int) -> float:
+        """Instant after which the node may be declared dead."""
+        return self._lease(node_id).deadline
+
+    def last_heartbeat(self, node_id: int) -> float:
+        return self._lease(node_id).last_beat
+
+    def declared_dead(self, node_id: int) -> bool:
+        """True only after :meth:`declare_dead` committed the verdict.
+
+        Distinct from ``state_of(...) is DEAD``: an *expired* lease
+        means the node MAY be declared dead, not that it was. Fresh
+        evidence of life (a successful probe) still rescues an expired
+        lease; nothing rescues a declared one until :meth:`reset`.
+        """
+        return self._lease(node_id).dead
+
+    def declare_dead(self, node_id: int) -> None:
+        """Commit to the death verdict (no resurrection until reset).
+
+        Raises:
+            ServerError: the lease has not expired yet — declaring a
+                node dead early would break the lease safety argument.
+        """
+        lease = self._lease(node_id)
+        if not lease.dead and self.clock.now < lease.deadline:
+            raise ServerError(
+                f"node {node_id} lease runs to {lease.deadline:.6f}, "
+                f"now is {self.clock.now:.6f}: cannot declare dead early"
+            )
+        lease.dead = True
+
+    def reset(self, node_id: int) -> None:
+        """Re-arm the slot after a successful promotion."""
+        self.watch(node_id)
+
+    def dead_nodes(self) -> list[int]:
+        return [n for n in sorted(self._leases) if self.state_of(n) is NodeState.DEAD]
+
+
+@runtime_checkable
+class FailoverTransport(Protocol):
+    """How the manager observes and operates one cluster."""
+
+    def num_nodes(self) -> int:
+        """Shard count under watch."""
+
+    def probe(self, node_id: int) -> bool:
+        """One liveness check; True iff the primary answered."""
+
+    def committed_epoch(self) -> int:
+        """The durably committed ring epoch (0 for modulo routing)."""
+
+    def promote(self, node_id: int, committed_epoch: int) -> float:
+        """Promote the shard's backup; returns simulated seconds.
+
+        Raises:
+            FailoverError: double fault — no backup survives.
+        """
+
+    def rebuild_tick(self, node_id: int, max_keys: int) -> str:
+        """Advance the shard's background re-replication one increment."""
+
+    def rebuild_progress(self, node_id: int) -> float:
+        """Fraction of the census copied (1.0 = fully replicated)."""
+
+
+class LocalFailoverTransport:
+    """In-process transport over an :class:`OpenEmbeddingServer` whose
+    shards are :class:`~repro.core.replication.ReplicatedPSNode`."""
+
+    def __init__(self, server):
+        self.server = server
+
+    def num_nodes(self) -> int:
+        return len(self.server.nodes)
+
+    def probe(self, node_id: int) -> bool:
+        node = self.server.nodes[node_id]
+        return bool(getattr(node, "primary_alive", True))
+
+    def committed_epoch(self) -> int:
+        return self.server.ring_epoch
+
+    def promote(self, node_id: int, committed_epoch: int) -> float:
+        node = self.server.nodes[node_id]
+        if getattr(node, "primary_alive", True):
+            # False positive (e.g. probes lost, lease lapsed while the
+            # node lived): promotion must be an acknowledged no-op.
+            return 0.0
+        return node.failover(committed_epoch=committed_epoch)
+
+    def rebuild_tick(self, node_id: int, max_keys: int) -> str:
+        node = self.server.nodes[node_id]
+        tick = getattr(node, "rebuild_tick", None)
+        return tick(max_keys) if tick is not None else "idle"
+
+    def rebuild_progress(self, node_id: int) -> float:
+        node = self.server.nodes[node_id]
+        report = getattr(node, "rebuild_report", None)
+        if report is None:
+            return 1.0
+        return 1.0 if report.finished else report.progress
+
+
+@dataclass
+class PromotionReport:
+    """One detection → promotion episode, fully accounted."""
+
+    node_id: int
+    #: Simulated instant the client first noticed trouble (timeout).
+    noticed_at: float
+    #: Seconds from last evidence of life to the death declaration.
+    detection_seconds: float
+    #: Seconds the promotion itself took (FAILOVER_SECONDS).
+    promotion_seconds: float
+    #: noticed -> serving again: the client-visible outage.
+    unavailability_seconds: float
+    #: Ring epoch published to the promoted primary.
+    committed_epoch: int
+
+
+class FailoverManager:
+    """Detection + promotion + re-replication policy over one transport.
+
+    The same manager drives the local server, the RPC client, and the
+    RPC-client-over-FaultyLink — only the transport differs, which is
+    what lets the chaos soak run all three against one schedule.
+    """
+
+    def __init__(
+        self,
+        transport: FailoverTransport,
+        clock: SimClock,
+        config: ServerConfig,
+        *,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+        rebuild_chunk: int = 64,
+    ):
+        self.transport = transport
+        self.clock = clock
+        self.config = config
+        self.registry = registry
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.rebuild_chunk = rebuild_chunk
+        self.detector = FailureDetector(clock, config.lease_s)
+        for node_id in range(transport.num_nodes()):
+            self.detector.watch(node_id)
+        self.promotions: list[PromotionReport] = []
+        self.double_faults = 0
+
+    # ------------------------------------------------------------------
+    # periodic heartbeat round
+    # ------------------------------------------------------------------
+
+    def beat(self) -> dict[int, NodeState]:
+        """Probe every shard, renew leases, advance rebuilds.
+
+        Returns each shard's post-round state. Heartbeats ride the
+        background (off the request critical path), so the round itself
+        charges no clock time beyond what the transport's probes do.
+        """
+        states: dict[int, NodeState] = {}
+        for node_id in range(self.transport.num_nodes()):
+            if not self.detector.declared_dead(node_id):
+                # An expired-but-undeclared lease is exactly what a
+                # probe is for: a live answer renews it.
+                if self.transport.probe(node_id):
+                    self.detector.heartbeat(node_id)
+                    self._tick_rebuild(node_id)
+            states[node_id] = self.detector.state_of(node_id)
+        return states
+
+    def _tick_rebuild(self, node_id: int) -> None:
+        state = self.transport.rebuild_tick(node_id, self.rebuild_chunk)
+        if state == "idle":
+            return
+        progress = self.transport.rebuild_progress(node_id)
+        if self.registry is not None:
+            self.registry.gauge(
+                "repro_failover_rereplication_progress",
+                {"node": str(node_id)},
+            ).set(progress)
+            self.registry.counter(
+                "repro_failover_rereplication_ticks_total",
+                {"node": str(node_id)},
+            ).add(1)
+        if state == "done":
+            self.tracer.instant(
+                "failover.rereplicated", track="failure", node=node_id
+            )
+
+    # ------------------------------------------------------------------
+    # the client's unanswered-call path
+    # ------------------------------------------------------------------
+
+    def handle_timeout(self, node_id: int) -> str:
+        """React to an unanswered call on ``node_id``.
+
+        Returns ``"retry"`` when a re-probe finds the node alive (the
+        wire ate the message — retry the same endpoint) or
+        ``"promoted"`` after a completed failover (re-issue the call
+        with the same ``(worker_id, seq)``; the dedup window keeps it
+        exactly-once).
+
+        The death verdict waits out the node's lease on the shared
+        clock: detection latency is bounded by ``lease_s`` plus
+        whatever the caller already spent timing out, which is exactly
+        the bound the chaos soak asserts on p99 unavailability.
+
+        Raises:
+            FailoverError: double fault — no backup left; fall back to
+                checkpoint recovery.
+        """
+        noticed = self.clock.now
+        if not self.detector.declared_dead(node_id):
+            # Even an expired lease yields to fresh evidence of life —
+            # the one-way door is declare_dead, not expiry.
+            if self.transport.probe(node_id):
+                self.detector.heartbeat(node_id)
+                return "retry"
+            deadline = self.detector.lease_deadline(node_id)
+            if self.clock.now < deadline:
+                # Cannot declare death before the lease runs out — the
+                # client sits out the remainder (charged!).
+                self.clock.advance(deadline - self.clock.now)
+        last_beat = self.detector.last_heartbeat(node_id)
+        self.detector.declare_dead(node_id)
+        detection_s = self.clock.now - last_beat
+        epoch = self.transport.committed_epoch()
+        with self.tracer.span(
+            "failover.promote", track="failure", node=node_id, epoch=epoch
+        ) as span:
+            try:
+                promotion_s = self.transport.promote(node_id, epoch)
+            except FailoverError:
+                self.double_faults += 1
+                if self.registry is not None:
+                    self.registry.counter(
+                        "repro_failover_double_faults_total"
+                    ).add(1)
+                span.set(outcome="double_fault")
+                raise
+            self.clock.advance(promotion_s)
+            span.set(outcome="promoted", seconds=promotion_s)
+        self.detector.reset(node_id)
+        report = PromotionReport(
+            node_id=node_id,
+            noticed_at=noticed,
+            detection_seconds=detection_s,
+            promotion_seconds=promotion_s,
+            unavailability_seconds=self.clock.now - noticed,
+            committed_epoch=epoch,
+        )
+        self.promotions.append(report)
+        self._record(report)
+        return "promoted"
+
+    def _record(self, report: PromotionReport) -> None:
+        if self.registry is None:
+            return
+        labels = {"node": str(report.node_id)}
+        self.registry.counter("repro_failover_promotions_total", labels).add(1)
+        self.registry.histogram(
+            "repro_failover_detection_seconds"
+        ).observe(report.detection_seconds)
+        self.registry.histogram(
+            "repro_failover_unavailability_seconds"
+        ).observe(report.unavailability_seconds)
+
+    # ------------------------------------------------------------------
+    # bounds & introspection
+    # ------------------------------------------------------------------
+
+    def unavailability_bound_s(self, call_timeout_s: float = 0.0) -> float:
+        """The promised ceiling on one outage window.
+
+        noticed -> promoted is at most: the remaining lease (full
+        ``lease_s`` in the worst case) + one probe round trip (absorbed
+        in ``call_timeout_s`` for RPC transports) + the promotion cost
+        itself. The chaos soak asserts p99 under this.
+        """
+        from repro.core.replication import FAILOVER_SECONDS
+
+        return self.config.lease_s + call_timeout_s + FAILOVER_SECONDS
+
+    def max_unavailability_s(self) -> float:
+        if not self.promotions:
+            return 0.0
+        return max(p.unavailability_seconds for p in self.promotions)

@@ -293,10 +293,9 @@ class ShardMigrator:
         # -- seal: make the target recoverable at the barrier ---------
         self._step("seal")
         if scale_out:
-            target.store.set_checkpointed_batch_id(barrier_batch)
-            target.coordinator.last_completed = barrier_batch
-            target.coordinator._sync_barriers()
-            target.latest_completed_batch = barrier_batch
+            # One node-level call (mirrored to a replicated target's
+            # backup) instead of reaching into store/coordinator guts.
+            target.seal_at(barrier_batch)
 
         # -- commit: ONE atomic ring-state write ----------------------
         self._step("commit")

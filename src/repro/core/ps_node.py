@@ -140,6 +140,42 @@ class PSNode:
         self.cache.complete_pending_checkpoints()
         return requested
 
+    def complete_pending_checkpoints(self) -> None:
+        """Force queued checkpoints to complete (flushes the cache)."""
+        self.cache.complete_pending_checkpoints()
+
+    def set_external_barrier(self, batch_id: int | None) -> None:
+        """Pin version retention to a cluster-wide barrier (see
+        :meth:`CheckpointCoordinator.set_external_barrier`)."""
+        self.coordinator.set_external_barrier(batch_id)
+
+    def seal_at(self, batch_id: int) -> None:
+        """Declare this node durably consistent at ``batch_id``.
+
+        Used when a node's content was installed wholesale from outside
+        the training path — a migration transfer (the ``seal`` step in
+        :mod:`repro.core.migration`) or a replica rebuild
+        (:meth:`repro.core.replication.ReplicatedPSNode.finish_rebuild`):
+        the ingested versions ARE the checkpoint, so the store's durable
+        checkpoint id, the coordinator's completed watermark and the
+        trained-batch high-water mark all jump to ``batch_id`` at once.
+        """
+        self.store.set_checkpointed_batch_id(batch_id)
+        self.coordinator.last_completed = batch_id
+        self.coordinator._sync_barriers()
+        self.latest_completed_batch = batch_id
+
+    def set_root_field(self, field: str, value) -> None:
+        """Durably write one named field of the pool root (atomic).
+
+        Exists so cluster-level facts stored in a pool root — the
+        committed ring word on the coordinator node — go through the
+        node, letting :class:`~repro.core.replication.ReplicatedPSNode`
+        mirror the write onto the backup's pool too (a promoted backup
+        must still know the committed ring epoch after a fault).
+        """
+        self.pool.root.set(field, value)
+
     # ------------------------------------------------------------------
     # shard migration (repro.core.migration)
     # ------------------------------------------------------------------

@@ -22,20 +22,58 @@ deterministic — an invariant the tests check directly.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.config import CacheConfig, ServerConfig
 from repro.core.cache import MaintainResult, PullResult
 from repro.core.ps_node import PSNode
 from repro.core.optimizers import PSOptimizer
-from repro.errors import ServerError
+from repro.errors import FailoverError, NodeDeadError, ServerError
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.pmem.pool import PmemPool
 from repro.simulation.calibration import Calibration, DEFAULT_CALIBRATION
+
+
+@dataclass
+class RebuildReport:
+    """Progress/outcome of one background re-replication."""
+
+    keys_total: int = 0
+    keys_copied: int = 0
+    keys_patched: int = 0
+    sealed_batch: int = -1
+    finished: bool = False
+
+    @property
+    def progress(self) -> float:
+        """Fraction of the initial key census copied (0..1)."""
+        if self.keys_total == 0:
+            return 1.0
+        return min(1.0, self.keys_copied / self.keys_total)
 
 
 class ReplicatedPSNode:
     """A PS node mirrored onto a synchronous backup replica.
 
-    Protocol-compatible with :class:`PSNode` for the training path.
+    Protocol-compatible with :class:`PSNode` for the training path,
+    including the shard-migration surface, so
+    :class:`~repro.core.server.OpenEmbeddingServer` and the RPC frontend
+    can host replicated shards transparently
+    (``ServerConfig(replicas=2)``).
+
+    Failure semantics: once :meth:`fail_primary` / :meth:`kill_primary`
+    crashed the primary, every data-plane operation raises
+    :class:`~repro.errors.NodeDeadError` (over RPC the node simply goes
+    *silent* — see :class:`~repro.network.frontend.PSNodeService`).
+    :meth:`failover` promotes the backup; afterwards the node is
+    *degraded* until :meth:`finish_rebuild` (or the step-wise
+    :meth:`rebuild_tick`) re-replicates a fresh backup in the
+    background, restoring tolerance of a second fault. A double fault
+    (:meth:`crash`) leaves only pools; recover with
+    :func:`repro.core.recovery.recover_node` /
+    :func:`repro.core.migration.recover_elastic`.
     """
 
     def __init__(
@@ -45,58 +83,139 @@ class ReplicatedPSNode:
         cache_config: CacheConfig | None = None,
         optimizer: PSOptimizer | None = None,
         metadata_only: bool = False,
+        pool: PmemPool | None = None,
+        cluster_mode: bool = False,
+        tracer: Tracer | None = None,
     ):
         self.node_id = node_id
         self.server_config = server_config
+        self.cluster_mode = cluster_mode
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.primary = PSNode(
             node_id, server_config, cache_config, optimizer,
-            metadata_only=metadata_only,
+            metadata_only=metadata_only, pool=pool,
+            cluster_mode=cluster_mode, tracer=tracer,
         )
+        # Normalized by PSNode — reuse for replica (re)provisioning so a
+        # rebuilt backup runs the exact same optimizer/cache parameters.
+        self.cache_config = self.primary.cache_config
+        self.optimizer = self.primary.optimizer
         self.backup: PSNode | None = PSNode(
             node_id, server_config, cache_config, optimizer,
             metadata_only=metadata_only,
+            cluster_mode=cluster_mode, tracer=tracer,
         )
         self.failovers = 0
         self.ring_epoch = 0
         self._primary_dead = False
+        self._reset_rebuild()
+
+    @classmethod
+    def from_primary(cls, primary: PSNode) -> "ReplicatedPSNode":
+        """Wrap an existing (e.g. freshly recovered) node as a degraded
+        replicated shard — no backup yet; run :meth:`rebuild_backup` (or
+        tick the background rebuild) to regain fault tolerance."""
+        node = cls.__new__(cls)
+        node.node_id = primary.node_id
+        node.server_config = primary.server_config
+        node.cache_config = primary.cache_config
+        node.optimizer = primary.optimizer
+        node.cluster_mode = primary.coordinator.cluster_mode
+        node.tracer = primary.tracer
+        node.primary = primary
+        node.backup = None
+        node.failovers = 0
+        node.ring_epoch = 0
+        node._primary_dead = False
+        node._reset_rebuild()
+        return node
+
+    # ------------------------------------------------------------------
+    # liveness guard
+    # ------------------------------------------------------------------
+
+    def _check_alive(self) -> None:
+        if self._primary_dead:
+            raise NodeDeadError(
+                f"node {self.node_id}: primary replica is dead",
+                node_id=self.node_id,
+            )
 
     # ------------------------------------------------------------------
     # PS protocol — reads from the primary, writes to both
     # ------------------------------------------------------------------
 
     def pull(self, keys, batch_id: int) -> PullResult:
+        self._check_alive()
         result = self.primary.pull(keys, batch_id)
         if self.backup is not None:
             # The backup replays the access stream so its cache state
             # (and therefore its checkpoint pipeline) tracks the
             # primary exactly.
             self.backup.pull(keys, batch_id)
+        elif self._rebuilding:
+            # Auto-create may have made new keys; the catch-up copy must
+            # re-read them after the finish barrier.
+            self._rebuild_touched.update(keys)
         return result
 
     def maintain(self, batch_id: int) -> MaintainResult:
+        self._check_alive()
         result = self.primary.maintain(batch_id)
         if self.backup is not None:
             self.backup.maintain(batch_id)
         return result
 
     def push(self, keys, grads: np.ndarray | None, batch_id: int) -> int:
+        self._check_alive()
         updated = self.primary.push(keys, grads, batch_id)
         if self.backup is not None:
             self.backup.push(keys, grads, batch_id)
+        elif self._rebuilding:
+            # Weights changed after the rebuild census: re-copy at finish.
+            self._rebuild_touched.update(keys)
         return updated
 
     def request_checkpoint(self, batch_id: int | None = None) -> int:
+        self._check_alive()
         requested = self.primary.request_checkpoint(batch_id)
         if self.backup is not None:
             self.backup.request_checkpoint(requested)
         return requested
 
     def barrier_checkpoint(self, batch_id: int | None = None) -> int:
+        self._check_alive()
         requested = self.primary.barrier_checkpoint(batch_id)
         if self.backup is not None:
             self.backup.request_checkpoint(requested)
             self.backup.cache.complete_pending_checkpoints()
         return requested
+
+    def complete_pending_checkpoints(self) -> None:
+        self._check_alive()
+        self.primary.complete_pending_checkpoints()
+        if self.backup is not None:
+            self.backup.complete_pending_checkpoints()
+
+    def set_external_barrier(self, batch_id: int | None) -> None:
+        self.primary.set_external_barrier(batch_id)
+        if self.backup is not None:
+            self.backup.set_external_barrier(batch_id)
+
+    def seal_at(self, batch_id: int) -> None:
+        self.primary.seal_at(batch_id)
+        if self.backup is not None:
+            self.backup.seal_at(batch_id)
+
+    def set_root_field(self, field: str, value) -> None:
+        """Durable root-field write, mirrored to BOTH replica pools so a
+        promoted backup still carries cluster facts like the committed
+        ring word (and double-fault recovery can read them from the
+        surviving pool)."""
+        self._check_alive()
+        self.primary.set_root_field(field, value)
+        if self.backup is not None:
+            self.backup.set_root_field(field, value)
 
     # ------------------------------------------------------------------
     # shard migration — replicas follow the ring epoch
@@ -123,6 +242,7 @@ class ReplicatedPSNode:
     def export_entries(self, keys):
         """Transfer reads come from the primary (replicas are bitwise
         identical, which :meth:`verify_replicas_identical` checks)."""
+        self._check_alive()
         return self.primary.export_entries(keys)
 
     def ingest_entries(self, entries) -> int:
@@ -132,16 +252,27 @@ class ReplicatedPSNode:
         a ring-epoch change — a failover after a migration must serve
         exactly the post-migration shard.
         """
+        self._check_alive()
         count = self.primary.ingest_entries(entries)
         if self.backup is not None:
             self.backup.ingest_entries(entries)
+        elif self._rebuilding:
+            self._rebuild_touched.update(key for key, __ in entries)
         return count
 
     def drop_keys(self, keys) -> int:
         """Relinquish migrated-away keys on primary AND backup."""
+        self._check_alive()
         dropped = self.primary.drop_keys(keys)
         if self.backup is not None:
             self.backup.drop_keys(keys)
+        elif self._rebuilding:
+            keys = set(keys)
+            self._rebuild_target.drop_keys(list(keys))
+            self._rebuild_pending = [
+                k for k in self._rebuild_pending if k not in keys
+            ]
+            self._rebuild_touched -= keys
         return dropped
 
     # ------------------------------------------------------------------
@@ -161,28 +292,224 @@ class ReplicatedPSNode:
         self.primary.crash()
         self._primary_dead = True
 
-    def failover(self) -> float:
+    def kill_primary(self) -> None:
+        """Unconditional primary kill — the failure injector's view.
+
+        Unlike :meth:`fail_primary` this never refuses: killing the
+        primary of an already-degraded shard is exactly the double
+        fault, and the injector's job is to create it, not to be told
+        it is inconvenient. Idempotent (a dead primary stays dead).
+        """
+        if self._primary_dead:
+            return
+        self.primary.crash()
+        self._primary_dead = True
+
+    @property
+    def primary_alive(self) -> bool:
+        """False once the primary has crashed (heartbeats go silent)."""
+        return not self._primary_dead
+
+    def failover(self, committed_epoch: int | None = None) -> float:
         """Promote the backup; returns the simulated failover seconds.
 
         Nothing is scanned or rebuilt — the backup's DRAM structures are
         already live — so the cost is a role switch plus client
         redirection, orders of magnitude below checkpoint recovery.
 
+        Args:
+            committed_epoch: the coordinator's durable ring epoch at
+                promotion time. If the primary died mid-migration the
+                replica's last ``follow_ring`` announcement can lag the
+                committed ring word; promotion re-reads the commit so a
+                promoted backup never serves stale routing (epochs stay
+                monotone — an older value is ignored).
+
         Raises:
             ServerError: no failed primary to replace.
+            FailoverError: the backup is gone too (double fault) —
+                fall back to checkpoint recovery.
         """
         if not self._primary_dead:
             raise ServerError("failover without a failed primary")
+        if self.backup is None:
+            raise FailoverError(
+                f"node {self.node_id}: double fault — no backup to promote",
+                node_id=self.node_id,
+            )
         self.primary = self.backup
         self.backup = None
         self._primary_dead = False
         self.failovers += 1
+        self._reset_rebuild()
+        if committed_epoch is not None and committed_epoch > self.ring_epoch:
+            # Satellite fix: reconcile with the durable ring word so a
+            # fail_primary() interleaved with a migration cannot leave
+            # the promoted node on pre-commit routing.
+            self.ring_epoch = committed_epoch
+        self.tracer.instant(
+            "failover.promote", track="failure", node=self.node_id,
+            epoch=self.ring_epoch,
+        )
         return FAILOVER_SECONDS
+
+    def crash(self) -> PmemPool:
+        """Double fault: kill whatever replicas remain.
+
+        Returns the primary's pool — the surviving durable state the
+        checkpoint-recovery ladder (:func:`~repro.core.recovery.recover_node`
+        or :func:`~repro.core.migration.recover_elastic`) rebuilds from.
+        """
+        if self.backup is not None:
+            self.backup.crash()
+        if not self._primary_dead:
+            self.primary.crash()
+        self._primary_dead = True
+        self._reset_rebuild()
+        return self.primary.pool
 
     @property
     def degraded(self) -> bool:
         """True after a failover consumed the backup."""
         return self.backup is None
+
+    # ------------------------------------------------------------------
+    # background re-replication (after a failover consumed the backup)
+    # ------------------------------------------------------------------
+
+    def _reset_rebuild(self) -> None:
+        self._rebuilding = False
+        self._rebuild_target: PSNode | None = None
+        self._rebuild_pending: list[int] = []
+        self._rebuild_touched: set[int] = set()
+        self.rebuild_report = RebuildReport(finished=not getattr(self, "degraded", False))
+
+    def begin_rebuild(self) -> int:
+        """Start re-replicating a fresh backup; returns keys to copy.
+
+        Takes a barrier checkpoint so the store's newest version of
+        every key equals its live state, provisions an empty replica,
+        and records the key census. Copying happens incrementally via
+        :meth:`rebuild_step` while training continues; any key touched
+        after this barrier is re-copied by :meth:`finish_rebuild`.
+        """
+        self._check_alive()
+        if not self.degraded:
+            raise ServerError("rebuild only applies to a degraded node")
+        if self._rebuilding:
+            raise ServerError("rebuild already in progress")
+        if self.primary.latest_completed_batch > self.primary.coordinator.last_completed:
+            self.primary.barrier_checkpoint()
+        self._rebuild_target = PSNode(
+            self.node_id, self.server_config, self.cache_config,
+            self.optimizer, metadata_only=self.primary.metadata_only,
+            cluster_mode=self.cluster_mode, tracer=self.tracer,
+        )
+        self._rebuild_pending = sorted(self.primary.owned_keys())
+        self._rebuild_touched = set()
+        self._rebuilding = True
+        self.rebuild_report = RebuildReport(keys_total=len(self._rebuild_pending))
+        self.tracer.instant(
+            "failover.rebuild_begin", track="failure", node=self.node_id,
+            keys=len(self._rebuild_pending),
+        )
+        return len(self._rebuild_pending)
+
+    def rebuild_step(self, max_keys: int = 64) -> int:
+        """Copy up to ``max_keys`` pending keys onto the new backup.
+
+        Returns keys copied this step (0 once the census is drained —
+        call :meth:`finish_rebuild` then).
+        """
+        self._check_alive()
+        if not self._rebuilding:
+            raise ServerError("no rebuild in progress")
+        if max_keys <= 0:
+            raise ServerError(f"max_keys must be positive, got {max_keys}")
+        chunk = self._rebuild_pending[:max_keys]
+        self._rebuild_pending = self._rebuild_pending[max_keys:]
+        if chunk:
+            entries = self.primary.export_entries(chunk)
+            self._rebuild_target.ingest_entries(entries)
+            self.rebuild_report.keys_copied += len(chunk)
+        return len(chunk)
+
+    def finish_rebuild(self) -> RebuildReport:
+        """Catch up and install the new backup; ends degraded mode.
+
+        Takes a fresh barrier (the *seal batch*), re-copies every key
+        touched since :meth:`begin_rebuild` plus any census remainder,
+        seals the replica at the barrier batch, and installs it. From
+        here on the normal synchronous mirroring keeps the pair
+        bitwise identical — which the caller can check with
+        :meth:`verify_replicas_identical`.
+        """
+        self._check_alive()
+        if not self._rebuilding:
+            raise ServerError("no rebuild in progress")
+        sealed = self.primary.coordinator.last_completed
+        if self.primary.latest_completed_batch > sealed:
+            sealed = self.primary.barrier_checkpoint()
+        patch = sorted(
+            (set(self._rebuild_pending) | self._rebuild_touched)
+            & set(self.primary.owned_keys())
+        )
+        if patch:
+            self._rebuild_target.ingest_entries(self.primary.export_entries(patch))
+        if sealed >= 0:
+            self._rebuild_target.seal_at(sealed)
+        # Mirror cluster facts (the committed ring word) onto the fresh
+        # replica pool so a *future* promotion of this backup still
+        # serves — and can durably recover — the committed routing.
+        from repro.core.sharding import RING_STATE_FIELD
+
+        primary_fields = self.primary.pool.root.fields()
+        if RING_STATE_FIELD in primary_fields:
+            self._rebuild_target.set_root_field(
+                RING_STATE_FIELD, primary_fields[RING_STATE_FIELD]
+            )
+        self.backup = self._rebuild_target
+        report = self.rebuild_report
+        report.keys_copied += len(patch)
+        report.keys_patched = len(patch)
+        report.sealed_batch = sealed
+        report.finished = True
+        self._rebuilding = False
+        self._rebuild_target = None
+        self._rebuild_pending = []
+        self._rebuild_touched = set()
+        self.tracer.instant(
+            "failover.rebuild_done", track="failure", node=self.node_id,
+            patched=report.keys_patched, sealed=sealed,
+        )
+        return report
+
+    def rebuild_tick(self, max_keys: int = 64) -> str:
+        """Advance background re-replication by one increment.
+
+        State machine the serving path can poke between requests:
+        ``"idle"`` (nothing to do), ``"started"`` (census taken),
+        ``"copying"`` (one chunk moved), ``"done"`` (backup installed
+        this tick). Safe to call anytime; never raises for liveness —
+        a dead primary simply reports ``"idle"``.
+        """
+        if self._primary_dead or (not self.degraded and not self._rebuilding):
+            return "idle"
+        if not self._rebuilding:
+            self.begin_rebuild()
+            return "started"
+        if self._rebuild_pending:
+            self.rebuild_step(max_keys)
+            return "copying"
+        self.finish_rebuild()
+        return "done"
+
+    def rebuild_backup(self, max_keys: int = 64) -> RebuildReport:
+        """Run a whole rebuild to completion (synchronous convenience)."""
+        self.begin_rebuild()
+        while self._rebuild_pending:
+            self.rebuild_step(max_keys)
+        return self.finish_rebuild()
 
     # ------------------------------------------------------------------
     # introspection
@@ -191,6 +518,38 @@ class ReplicatedPSNode:
     @property
     def num_entries(self) -> int:
         return self.primary.num_entries
+
+    @property
+    def latest_completed_batch(self) -> int:
+        """Newest trained batch (primary's view; replicas agree)."""
+        return self.primary.latest_completed_batch
+
+    @property
+    def metrics(self):
+        """Primary's stat bundle (what the cluster aggregates)."""
+        return self.primary.metrics
+
+    @property
+    def metadata_only(self) -> bool:
+        return self.primary.metadata_only
+
+    @property
+    def pool(self):
+        """The primary's PMem pool (coordinator-pool reads, recovery)."""
+        return self.primary.pool
+
+    @property
+    def store(self):
+        """The primary's versioned store — read-only use (entry sizes);
+        mutations must go through mirrored node methods."""
+        return self.primary.store
+
+    @property
+    def coordinator(self):
+        """The primary's checkpoint coordinator — read-only use
+        (``last_completed``); mutations must go through mirrored node
+        methods (:meth:`set_external_barrier`, :meth:`seal_at`, …)."""
+        return self.primary.coordinator
 
     def read_weights(self, key: int) -> np.ndarray:
         return self.primary.read_weights(key)

@@ -79,15 +79,7 @@ class OpenEmbeddingServer:
         self.ring_epoch = 0
         if nodes is None:
             self.nodes = [
-                PSNode(
-                    node_id,
-                    self.server_config,
-                    self.cache_config,
-                    self.optimizer,
-                    metadata_only=metadata_only,
-                    cluster_mode=cluster_mode,
-                    tracer=self.tracer,
-                )
+                self._build_node(node_id, self.server_config)
                 for node_id in range(self.server_config.num_nodes)
             ]
         else:
@@ -98,6 +90,33 @@ class OpenEmbeddingServer:
             self.nodes = nodes
         if self.server_config.partitioner == "ring":
             self._restore_or_seed_ring_state()
+
+    def _build_node(self, node_id: int, server_config: ServerConfig):
+        """One shard: plain for ``replicas=1``; a synchronously-mirrored
+        primary/backup pair (:class:`ReplicatedPSNode`) for
+        ``replicas=2``, enabling hot failover instead of ~380 s
+        checkpoint recovery."""
+        if server_config.replicas == 2:
+            from repro.core.replication import ReplicatedPSNode
+
+            return ReplicatedPSNode(
+                node_id,
+                server_config,
+                self.cache_config,
+                self.optimizer,
+                metadata_only=self.metadata_only,
+                cluster_mode=self.cluster_mode,
+                tracer=self.tracer,
+            )
+        return PSNode(
+            node_id,
+            server_config,
+            self.cache_config,
+            self.optimizer,
+            metadata_only=self.metadata_only,
+            cluster_mode=self.cluster_mode,
+            tracer=self.tracer,
+        )
 
     # ------------------------------------------------------------------
     # PS protocol
@@ -172,7 +191,7 @@ class OpenEmbeddingServer:
         if batch_id < 0:
             raise CheckpointError("no completed batch to checkpoint")
         for node in self.nodes:
-            node.coordinator.request(batch_id)
+            node.request_checkpoint(batch_id)
         return batch_id
 
     def barrier_checkpoint(self, batch_id: int | None = None) -> int:
@@ -189,7 +208,7 @@ class OpenEmbeddingServer:
         """Force every shard's queued checkpoints to complete (flushes
         each shard's cache — a training barrier, not the hot path)."""
         for node in self.nodes:
-            node.cache.complete_pending_checkpoints()
+            node.complete_pending_checkpoints()
         self._sync_external_barriers()
 
     @property
@@ -207,7 +226,7 @@ class OpenEmbeddingServer:
         global_ckpt = self.global_completed_checkpoint
         barrier = None if global_ckpt == NO_CHECKPOINT else global_ckpt
         for node in self.nodes:
-            node.coordinator.set_external_barrier(barrier)
+            node.set_external_barrier(barrier)
 
     # ------------------------------------------------------------------
     # elasticity (repro.core.migration drives these)
@@ -228,7 +247,9 @@ class OpenEmbeddingServer:
         epoch instead of clobbering it.
         """
         if RING_STATE_FIELD not in self.coordinator_pool.root.fields():
-            self.coordinator_pool.root.set(
+            # Write through the node (not the pool) so a replicated
+            # coordinator mirrors the ring word onto both replica pools.
+            self.nodes[0].set_root_field(
                 RING_STATE_FIELD,
                 pack_ring_state(
                     0,
@@ -265,10 +286,11 @@ class OpenEmbeddingServer:
         after it recovers on the new one. Returns the new epoch.
         """
         new_epoch = self.ring_epoch + 1
-        # NOTE: write through the OLD coordinator pool first — for
+        # NOTE: write through the OLD coordinator node first — for
         # scale-in the coordinator never changes (node 0 survives), and
-        # for scale-out it is also node 0. One atomic set, never torn.
-        self.coordinator_pool.root.set(
+        # for scale-out it is also node 0. One atomic set, never torn;
+        # a replicated coordinator mirrors it onto both replica pools.
+        self.nodes[0].set_root_field(
             RING_STATE_FIELD,
             pack_ring_state(
                 new_epoch, server_config.num_nodes, server_config.ring_vnodes
@@ -279,6 +301,12 @@ class OpenEmbeddingServer:
         self.nodes = nodes
         self.cluster_mode = True
         self.ring_epoch = new_epoch
+        for node in nodes:
+            follow = getattr(node, "follow_ring", None)
+            if follow is not None:
+                # Replicated shards track the committed epoch so a later
+                # failover never resurrects pre-migration routing.
+                follow(new_epoch)
         self._sync_external_barriers()
         self.tracer.instant(
             "migration.ring_commit",
@@ -289,7 +317,20 @@ class OpenEmbeddingServer:
         return new_epoch
 
     def provision_node(self, node_id: int, server_config: ServerConfig) -> PSNode:
-        """Build an empty PS node for scale-out (same stack as __init__)."""
+        """Build an empty PS node for scale-out (same stack as __init__,
+        replicated when ``replicas=2``)."""
+        if server_config.replicas == 2:
+            from repro.core.replication import ReplicatedPSNode
+
+            return ReplicatedPSNode(
+                node_id,
+                server_config,
+                self.cache_config,
+                self.optimizer,
+                metadata_only=self.metadata_only,
+                cluster_mode=True,
+                tracer=self.tracer,
+            )
         return PSNode(
             node_id,
             server_config,
@@ -366,6 +407,18 @@ class OpenEmbeddingServer:
             )
             nodes.append(node)
             reports.append(report)
+        if server_config.replicas == 2:
+            # Recovered shards come back replicated: wrap each fresh
+            # node as a degraded pair and re-replicate synchronously so
+            # the cluster regains single-fault tolerance before serving.
+            from repro.core.replication import ReplicatedPSNode
+
+            wrapped = []
+            for node in nodes:
+                replicated = ReplicatedPSNode.from_primary(node)
+                replicated.rebuild_backup()
+                wrapped.append(replicated)
+            nodes = wrapped
         server = cls(
             server_config,
             cache_config,

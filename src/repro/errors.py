@@ -72,6 +72,45 @@ class RpcError(ReproError):
     """Base class for RPC transport errors on the simulated wire."""
 
 
+class NodeDeadError(RpcError):
+    """The target PS node has been declared dead by failure detection.
+
+    Distinct from :class:`RpcTimeoutError` on purpose: a timeout means
+    "the wire may have eaten the message, retry the same endpoint",
+    while this error means "the node's lease expired (or its primary
+    replica crashed) — stop retrying, reroute to the promoted backup".
+    Clients catching it should consult the
+    :class:`~repro.core.failover.FailoverManager` and re-issue the call
+    with the *same* ``(worker_id, seq)`` so the dedup window keeps the
+    retried push exactly-once across the promotion.
+
+    Attributes:
+        node_id: the shard whose primary is dead (``None`` if unknown).
+        attempts: RPC attempts made before the declaration, when the
+            error was raised by a channel rather than the detector.
+    """
+
+    def __init__(
+        self,
+        message: str = "ps node declared dead",
+        *,
+        node_id: int | None = None,
+        attempts: int = 0,
+    ):
+        super().__init__(message)
+        self.node_id = node_id
+        self.attempts = attempts
+
+
+class FailoverError(ServerError):
+    """Promotion is impossible (e.g. a double fault killed the backup
+    too); callers must fall back to checkpoint recovery."""
+
+    def __init__(self, message: str = "failover impossible", *, node_id: int | None = None):
+        super().__init__(message)
+        self.node_id = node_id
+
+
 class RpcTimeoutError(RpcError):
     """A call's retry budget was exhausted without a successful reply.
 

@@ -10,15 +10,27 @@
   accounting.
 """
 
-from repro.failure.injection import CrashSchedule, FailureInjector
-from repro.failure.mttf import expected_lost_work_seconds, young_interval_seconds
+from repro.failure.injection import (
+    CrashSchedule,
+    FailureInjector,
+    NodeKillInjector,
+    NodeKillSchedule,
+)
+from repro.failure.mttf import (
+    expected_lost_work_seconds,
+    sample_failure_times,
+    young_interval_seconds,
+)
 from repro.failure.network_faults import FaultyLink, LinkFaultStats
 
 __all__ = [
     "FailureInjector",
     "CrashSchedule",
+    "NodeKillSchedule",
+    "NodeKillInjector",
     "FaultyLink",
     "LinkFaultStats",
     "young_interval_seconds",
     "expected_lost_work_seconds",
+    "sample_failure_times",
 ]

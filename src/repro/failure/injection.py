@@ -94,3 +94,108 @@ class FailureInjector:
     @property
     def remaining(self) -> int:
         return len(self._pending)
+
+
+@dataclass(frozen=True)
+class NodeKillSchedule:
+    """Simulated-time instants at which one PS node dies.
+
+    Unlike :class:`CrashSchedule` (whole-process deaths at batch
+    boundaries), this targets *single PS shards* at arbitrary points in
+    continuous simulated time — the chaos soak polls
+    :class:`NodeKillInjector` between protocol operations, so a kill
+    lands mid-batch: after a pull but before the matching push, or
+    between the push hitting the primary and the reply reaching the
+    worker.
+
+    ``kill_times`` are seconds on the shared
+    :class:`~repro.simulation.clock.SimClock`; ``victims`` names the
+    shard that dies at each instant (same length).
+    """
+
+    kill_times: tuple[float, ...]
+    victims: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.kill_times) != len(self.victims):
+            raise ConfigError("kill_times and victims must have equal length")
+        if any(t < 0 for t in self.kill_times):
+            raise ConfigError("kill times must be non-negative")
+        if any(v < 0 for v in self.victims):
+            raise ConfigError("victim node ids must be non-negative")
+        order = sorted(range(len(self.kill_times)), key=lambda i: self.kill_times[i])
+        object.__setattr__(
+            self, "kill_times", tuple(self.kill_times[i] for i in order)
+        )
+        object.__setattr__(self, "victims", tuple(self.victims[i] for i in order))
+
+    @classmethod
+    def poisson(
+        cls,
+        mttf_seconds: float,
+        horizon_seconds: float,
+        num_nodes: int,
+        seed: int = 0,
+        max_kills: int | None = None,
+    ) -> "NodeKillSchedule":
+        """MTTF-driven kills with seeded uniform victim choice."""
+        from repro.failure.mttf import sample_failure_times
+
+        if num_nodes <= 0:
+            raise ConfigError("num_nodes must be positive")
+        times = sample_failure_times(mttf_seconds, horizon_seconds, seed)
+        if max_kills is not None:
+            times = times[:max_kills]
+        rng = np.random.default_rng((seed, 0xFA44))
+        victims = tuple(int(rng.integers(0, num_nodes)) for _ in times)
+        return cls(times, victims)
+
+    def __len__(self) -> int:
+        return len(self.kill_times)
+
+
+class NodeKillInjector:
+    """Clock-polled dispenser of due node kills.
+
+    The soak calls :meth:`due` with the current simulated time between
+    operations; each scheduled kill is returned exactly once, in time
+    order. The injector never touches the cluster itself — the caller
+    owns the kill (``node.fail_primary()`` or a full ``crash()``) so
+    local, remote, and faulty-wire soaks share one schedule.
+    """
+
+    def __init__(self, schedule: NodeKillSchedule):
+        self.schedule = schedule
+        self._next = 0
+        self.kills_fired = 0
+
+    def due(self, now: float) -> list[tuple[float, int]]:
+        """All ``(kill_time, victim)`` pairs with ``kill_time <= now``
+        not yet dispensed."""
+        fired: list[tuple[float, int]] = []
+        while (
+            self._next < len(self.schedule.kill_times)
+            and self.schedule.kill_times[self._next] <= now
+        ):
+            fired.append(
+                (
+                    self.schedule.kill_times[self._next],
+                    self.schedule.victims[self._next],
+                )
+            )
+            self._next += 1
+            self.kills_fired += 1
+        return fired
+
+    def peek_next(self) -> tuple[float, int] | None:
+        """The next scheduled kill, or ``None`` when exhausted."""
+        if self._next >= len(self.schedule.kill_times):
+            return None
+        return (
+            self.schedule.kill_times[self._next],
+            self.schedule.victims[self._next],
+        )
+
+    @property
+    def remaining(self) -> int:
+        return len(self.schedule.kill_times) - self._next

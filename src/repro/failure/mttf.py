@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import math
 
+import numpy as np
+
 from repro.errors import ConfigError
 
 
@@ -62,3 +64,31 @@ def expected_total_overhead_seconds(
     return checkpoints * checkpoint_cost_seconds + failures * (
         lost + recovery_seconds
     )
+
+
+def sample_failure_times(
+    mttf_seconds: float, horizon_seconds: float, seed: int = 0
+) -> tuple[float, ...]:
+    """Poisson-process failure instants on ``[0, horizon_seconds)``.
+
+    Inter-arrival gaps are exponential with mean ``mttf_seconds``
+    (memoryless — a node that just survived a kill is no safer than a
+    fresh one). The whole schedule is a deterministic function of
+    ``seed``, so a chaos soak and its fault-free reference replay agree
+    on *when* the faults would have fired even though only one of them
+    actually injects the kills. Failure times land anywhere in
+    continuous simulated time, i.e. mid-batch, not at tidy barriers.
+    """
+    if mttf_seconds <= 0:
+        raise ConfigError("MTTF must be positive")
+    if horizon_seconds <= 0:
+        raise ConfigError("horizon must be positive")
+    rng = np.random.default_rng((seed, 0xFA33))
+    times: list[float] = []
+    t = 0.0
+    while True:
+        t += float(rng.exponential(mttf_seconds))
+        if t >= horizon_seconds:
+            break
+        times.append(t)
+    return tuple(times)

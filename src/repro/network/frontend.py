@@ -31,8 +31,10 @@ import numpy as np
 
 from repro.config import CacheConfig, NetworkFaultConfig, RetryConfig, ServerConfig
 from repro.core.cache import MaintainResult, PullResult
+from repro.core.failover import FailoverManager, NodeState
 from repro.core.ps_node import PSNode
 from repro.core.optimizers import PSOptimizer
+from repro.core.replication import ReplicatedPSNode
 from repro.core.sharding import (
     RING_STATE_FIELD,
     HashPartitioner,
@@ -40,21 +42,29 @@ from repro.core.sharding import (
     pack_ring_state,
     unpack_ring_state,
 )
-from repro.errors import ServerError, ShardRoutingError
+from repro.errors import (
+    NodeDeadError,
+    PoolClosedError,
+    RpcTimeoutError,
+    ServerError,
+    ShardRoutingError,
+)
 from repro.failure.network_faults import FaultyLink, LinkFaultStats
 from repro.network.messages import (
     CheckpointRequest,
+    HeartbeatRequest,
     MaintainRequest,
     MaintainResponse,
     MigrateRequest,
     MigrateResponse,
+    PromoteRequest,
     PullRequest,
     PullResponse,
     PushRequest,
     RingUpdateRequest,
     StatusResponse,
 )
-from repro.network.rpc import RpcChannel, RpcServer
+from repro.network.rpc import RpcChannel, RpcServer, Unresponsive
 from repro.obs.registry import MetricsRegistry, collect_bundle
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.simulation.clock import SimClock
@@ -107,8 +117,76 @@ class PSNodeService:
         self.server.register(MaintainRequest.TYPE, self._handle_maintain)
         self.server.register(MigrateRequest.TYPE, self._handle_migrate)
         self.server.register(RingUpdateRequest.TYPE, self._handle_ring_update)
+        self.server.register(HeartbeatRequest.TYPE, self._handle_heartbeat)
+        self.server.register(PromoteRequest.TYPE, self._handle_promote)
+
+    def _check_alive(self) -> None:
+        """A dead primary answers nothing, not an error frame.
+
+        When the wrapped shard is a :class:`ReplicatedPSNode` whose
+        primary was killed, every data-plane handler raises
+        :class:`~repro.network.rpc.Unresponsive` — the dispatcher drops
+        the request silently, so from the client's side the node looks
+        exactly like a vanished machine: the attempt times out, the
+        retry ladder runs dry, and only the failure detector (via the
+        lease table) can say *why*.
+        """
+        if isinstance(self.node, ReplicatedPSNode) and not self.node.primary_alive:
+            raise Unresponsive(f"node {self.node.node_id} primary is dead")
+
+    def _handle_heartbeat(self, request: HeartbeatRequest) -> StatusResponse:
+        """Answer a lease-renewal probe (silence when the primary died).
+
+        The reply carries the node's newest completed batch so the
+        detector doubles as a liveness *and* progress probe. While a
+        promoted node is re-replicating, each heartbeat also advances
+        the background rebuild one chunk — re-replication literally
+        rides the heartbeat cadence, the way the paper's asynchronous
+        recovery rides training traffic.
+        """
+        self._check_alive()
+        if isinstance(self.node, ReplicatedPSNode) and self.node.degraded:
+            self.node.rebuild_tick()
+        return StatusResponse(
+            code=StatusResponse.OK, value=self.node.latest_completed_batch
+        )
+
+    def _handle_promote(self, request: PromoteRequest) -> StatusResponse:
+        """Client-driven replica promotion; idempotent on a live primary.
+
+        A client whose lease on this node expired asks the replica pair
+        to fail over. If the primary is in fact alive (a false positive:
+        the probe frames were dropped, not the node), the request is an
+        acknowledged no-op — promotion must be safe to request twice or
+        on mere suspicion. A genuinely dead primary hands the shard to
+        its synchronously-maintained backup; with no backup standing
+        (double fault) a typed :class:`~repro.errors.FailoverError`
+        travels back as ``ERR_FAILOVER`` and the client falls through to
+        checkpoint recovery.
+        """
+        if not isinstance(self.node, ReplicatedPSNode):
+            raise ServerError(
+                f"node {self.node.node_id} is unreplicated; promotion "
+                "requires replicas=2"
+            )
+        with self.tracer.span(
+            "ps.promote", track="failover", node=self.node.node_id
+        ) as span:
+            if self.node.primary_alive:
+                span.set(noop=True)
+                return StatusResponse(
+                    code=StatusResponse.OK,
+                    value=self.node.latest_completed_batch,
+                )
+            committed = int(request.committed_epoch)
+            self.node.failover(committed_epoch=committed if committed >= 0 else None)
+            span.set(epoch=self.node.ring_epoch)
+            return StatusResponse(
+                code=StatusResponse.OK, value=self.node.latest_completed_batch
+            )
 
     def _handle_pull(self, request: PullRequest) -> PullResponse:
+        self._check_alive()
         with self.tracer.span(
             "ps.pull", node=self.node.node_id, keys=len(request.keys)
         ) as span:
@@ -127,6 +205,7 @@ class PSNodeService:
             )
 
     def _handle_push(self, request: PushRequest) -> StatusResponse:
+        self._check_alive()
         with self.tracer.span(
             "ps.push", node=self.node.node_id, keys=len(request.keys)
         ) as span:
@@ -158,6 +237,7 @@ class PSNodeService:
         whose first copy already landed.
         """
         batch_id = int(request.batch_id)
+        self._check_alive()
         with self.tracer.span(
             "ps.checkpoint", node=self.node.node_id, batch=batch_id
         ) as span:
@@ -185,6 +265,7 @@ class PSNodeService:
         client's maintenance accounting exact under retries.
         """
         batch_id = int(request.batch_id)
+        self._check_alive()
         with self.tracer.span(
             "ps.maintain", node=self.node.node_id, batch=batch_id
         ) as span:
@@ -218,6 +299,7 @@ class PSNodeService:
         node level; the dedup cache additionally keeps the coordinator's
         moved-key accounting exact under retries.)
         """
+        self._check_alive()
         with self.tracer.span(
             "ps.migrate", track="migration", node=self.node.node_id, op=request.op
         ) as span:
@@ -263,6 +345,7 @@ class PSNodeService:
         a shard whose pool holds no ring state answers ``ERR_ROUTING``
         so a misdirected refresh fails typed, not silently.
         """
+        self._check_alive()
         fields = self.node.pool.root.fields()
         if RING_STATE_FIELD not in fields:
             raise ShardRoutingError(
@@ -346,6 +429,130 @@ class RpcMigrationTransport:
         return self.client.channel_for(node.node_id).call(request)
 
 
+PROBE_CHANNEL_BASE = 1000
+"""Probe channels get ``PROBE_CHANNEL_BASE + node_id`` identities so
+their RPC spans/metrics never collide with the data-plane channels."""
+
+PROBE_RETRY = RetryConfig(
+    max_attempts=3,
+    attempt_timeout_s=0.05,
+    call_timeout_s=0.5,
+    base_backoff_s=1e-3,
+    max_backoff_s=0.02,
+    jitter=0.0,
+)
+"""Short-fused policy for heartbeats and promotions.
+
+A probe exists to *measure* liveness, so it must not hide death behind
+a long retry ladder: three quick attempts, then the prober reports the
+silence to the failure detector and lets the lease decide.
+"""
+
+
+class RpcFailoverTransport:
+    """Failure detection + promotion over the wire, for
+    :class:`~repro.core.failover.FailoverManager`.
+
+    Satisfies :class:`~repro.core.failover.FailoverTransport` with real
+    framed RPCs: probes are :class:`HeartbeatRequest` frames on
+    dedicated short-retry channels (sharing the client's — possibly
+    faulty — link), promotion is a :class:`PromoteRequest` whose
+    ``ERR_FAILOVER`` reply decodes back into a typed
+    :class:`~repro.errors.FailoverError` on a double fault.
+
+    The probe channels deliberately have **no** ``node_dead`` callback:
+    they must keep reaching a node the detector already declared dead —
+    that is how an idempotent promotion (or a false-positive recheck)
+    gets through.
+    """
+
+    def __init__(self, client: "RemotePSClient"):
+        self.client = client
+        self._probe_channels: dict[int, RpcChannel] = {}
+
+    def num_nodes(self) -> int:
+        return len(self.client.nodes)
+
+    def probe_channel(self, node_id: int) -> RpcChannel:
+        """The (lazily built) dedicated heartbeat channel to ``node_id``."""
+        channel = self._probe_channels.get(node_id)
+        if channel is None:
+            service = None
+            for candidate in self.client.services:
+                if candidate.node.node_id == node_id:
+                    service = candidate
+                    break
+            if service is None:
+                raise ShardRoutingError(f"no service for node {node_id}")
+            channel = RpcChannel(
+                service.server,
+                self.client.link,
+                self.client.clock,
+                retry=PROBE_RETRY,
+                channel_id=PROBE_CHANNEL_BASE + node_id,
+                tracer=self.client.tracer,
+                registry=self.client.registry,
+            )
+            self._probe_channels[node_id] = channel
+        return channel
+
+    def probe(self, node_id: int) -> bool:
+        """One heartbeat round-trip; ``False`` means *silence*, which the
+        detector converts into lease expiry, never directly into death."""
+        try:
+            response = self.probe_channel(node_id).call(
+                HeartbeatRequest(node_id=node_id, requester=self.client.worker_id)
+            )
+        except RpcTimeoutError:
+            return False
+        return response.ok
+
+    def committed_epoch(self) -> int:
+        """The durably committed ring epoch, read from the coordinator
+        shard's surviving replica pool (promotion must install the
+        *committed* routing state, not the client's possibly-stale
+        view). Falls back to the client's epoch for modulo clusters."""
+        for pool in self.client.ring_pools():
+            try:
+                fields = pool.root.fields()
+            except PoolClosedError:
+                continue
+            if RING_STATE_FIELD in fields:
+                epoch, _, _ = unpack_ring_state(fields[RING_STATE_FIELD])
+                return epoch
+        return self.client.ring_epoch
+
+    def promote(self, node_id: int, committed_epoch: int) -> float:
+        """Ask ``node_id`` to fail over; returns the modeled promotion
+        cost. :class:`~repro.errors.FailoverError` (double fault)
+        propagates to the caller after crossing the wire as
+        ``ERR_FAILOVER``."""
+        from repro.core.replication import FAILOVER_SECONDS
+
+        response = self.probe_channel(node_id).call(
+            PromoteRequest(
+                node_id=node_id,
+                committed_epoch=committed_epoch,
+                requester=self.client.worker_id,
+            )
+        )
+        if not response.ok:
+            raise ServerError(f"promotion rejected with code {response.code}")
+        return FAILOVER_SECONDS
+
+    def rebuild_tick(self, node_id: int, max_keys: int = 64) -> str:
+        node = self.client.node_for(node_id)
+        tick = getattr(node, "rebuild_tick", None)
+        return tick(max_keys) if tick is not None else "idle"
+
+    def rebuild_progress(self, node_id: int) -> float:
+        node = self.client.node_for(node_id)
+        report = getattr(node, "rebuild_report", None)
+        if report is None:
+            return 1.0
+        return 1.0 if report.finished else report.progress
+
+
 class RemotePSClient:
     """Sharded PS access over RPC channels, one per node.
 
@@ -405,13 +612,7 @@ class RemotePSClient:
             else network
         )
         self.nodes = [
-            PSNode(
-                node_id,
-                self.server_config,
-                cache_config,
-                optimizer,
-                tracer=self.tracer,
-            )
+            self._build_node(node_id, self.server_config)
             for node_id in range(self.server_config.num_nodes)
         ]
         self.services = [
@@ -434,11 +635,14 @@ class RemotePSClient:
         self._migrate_seq = 0
         self._pending_members: dict[int, tuple[PSNodeService, RpcChannel]] = {}
         self.ring_epoch = 0
+        self.failover: FailoverManager | None = None
         if self.server_config.partitioner == "ring":
             # Same durable ring seeding as the in-process server: the
             # coordinator (node 0) pool records epoch 0 so a crashed
-            # cluster can be recovered onto the committed ring.
-            self.nodes[0].pool.root.set(
+            # cluster can be recovered onto the committed ring. Writing
+            # through the node (not the pool) mirrors the word onto both
+            # replica pools when the shard is replicated.
+            self.nodes[0].set_root_field(
                 RING_STATE_FIELD,
                 pack_ring_state(
                     0,
@@ -446,6 +650,114 @@ class RemotePSClient:
                     self.server_config.ring_vnodes,
                 ),
             )
+
+    def _build_node(
+        self, node_id: int, server_config: ServerConfig
+    ) -> PSNode | ReplicatedPSNode:
+        """One shard: plain when ``replicas=1``, primary/backup pair when
+        ``replicas=2`` (hot failover instead of checkpoint recovery)."""
+        if server_config.replicas == 2:
+            return ReplicatedPSNode(
+                node_id,
+                server_config,
+                self.cache_config,
+                self.optimizer,
+                tracer=self.tracer,
+            )
+        return PSNode(
+            node_id,
+            server_config,
+            self.cache_config,
+            self.optimizer,
+            tracer=self.tracer,
+        )
+
+    # ------------------------------------------------------------------
+    # failure detection + hot failover
+    # ------------------------------------------------------------------
+
+    def enable_failover(
+        self,
+        registry: MetricsRegistry | None = None,
+    ) -> FailoverManager:
+        """Arm lease-based failure detection and client-driven promotion.
+
+        Builds a :class:`~repro.core.failover.FailoverManager` over an
+        :class:`RpcFailoverTransport` and hooks every data channel's
+        ``node_dead`` callback into the detector's lease table: once a
+        lease expired and the node was declared dead, in-flight calls
+        fail *fast* with :class:`~repro.errors.NodeDeadError` instead of
+        burning their whole retry budget against a corpse. Data-plane
+        calls then reroute through :meth:`_ha_call`.
+        """
+        manager = FailoverManager(
+            RpcFailoverTransport(self),
+            self.clock,
+            self.server_config,
+            registry=registry if registry is not None else self.registry,
+            tracer=self.tracer,
+        )
+        self.failover = manager
+        self._arm_channel_death_checks()
+        return manager
+
+    def _arm_channel_death_checks(self) -> None:
+        if self.failover is None:
+            return
+        detector = self.failover.detector
+        for channel in self.channels:
+            node_id = channel.channel_id
+            channel.node_dead = (
+                lambda nid=node_id: detector.state_of(nid) is NodeState.DEAD
+            )
+
+    def node_for(self, node_id: int) -> PSNode | ReplicatedPSNode:
+        """The shard object with ``node_id`` (pending members included)."""
+        pending = self._pending_members.get(node_id)
+        if pending is not None:
+            return pending[0].node
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise ShardRoutingError(f"no node {node_id}")
+
+    def ring_pools(self):
+        """Every pool that may hold the durable ring word, in preference
+        order: the coordinator shard's primary pool first, then — when
+        replicated — its backup's (the mirror that survives a primary
+        kill)."""
+        coordinator = self.nodes[0]
+        pools = [coordinator.pool]
+        backup = getattr(coordinator, "backup", None)
+        if backup is not None:
+            pools.append(backup.pool)
+        return pools
+
+    def _ha_call(self, channel: RpcChannel, request, concurrent_flows: int = 1):
+        """One data-plane RPC with failover-aware rerouting.
+
+        Without a manager this is a plain ``channel.call``. With one, a
+        silent shard (``RpcTimeoutError`` after the retry budget, or a
+        fast-fail ``NodeDeadError`` from the channel's death check) is
+        reported to :meth:`FailoverManager.handle_timeout`: the manager
+        re-probes, waits out the lease on the shared clock, declares the
+        node dead and promotes its backup — after which the *same*
+        request (same ``(worker_id, seq)`` identity) is re-issued, so
+        the service dedup window keeps retried mutations exactly-once
+        across the promotion. A double fault surfaces as
+        :class:`~repro.errors.FailoverError` for checkpoint recovery.
+        """
+        if self.failover is None:
+            return channel.call(request, concurrent_flows=concurrent_flows)
+        attempts = 0
+        while True:
+            try:
+                return channel.call(request, concurrent_flows=concurrent_flows)
+            except (RpcTimeoutError, NodeDeadError):
+                attempts += 1
+                if attempts > 3:
+                    raise
+                self.failover.handle_timeout(channel.channel_id)
 
     # ------------------------------------------------------------------
     # PS protocol over the wire
@@ -469,7 +781,8 @@ class RemotePSClient:
         ):
             if not node_keys:
                 continue
-            response = channel.call(
+            response = self._ha_call(
+                channel,
                 PullRequest(batch_id=batch_id, keys=np.asarray(node_keys)),
                 concurrent_flows=max(1, flows),
             )
@@ -490,7 +803,7 @@ class RemotePSClient:
         """
         results: list[MaintainResult] = []
         for channel in self.channels:
-            response = channel.call(MaintainRequest(batch_id=batch_id))
+            response = self._ha_call(channel, MaintainRequest(batch_id=batch_id))
             results.append(
                 MaintainResult(
                     processed=response.processed,
@@ -514,7 +827,8 @@ class RemotePSClient:
             if not node_keys:
                 continue
             self._push_seq += 1
-            response = channel.call(
+            response = self._ha_call(
+                channel,
                 PushRequest(
                     batch_id=batch_id,
                     keys=np.asarray(node_keys),
@@ -545,7 +859,7 @@ class RemotePSClient:
         if batch_id is None:
             batch_id = max(node.latest_completed_batch for node in self.nodes)
         for channel in self.channels:
-            response = channel.call(CheckpointRequest(batch_id=batch_id))
+            response = self._ha_call(channel, CheckpointRequest(batch_id=batch_id))
             if not response.ok:
                 raise ServerError("checkpoint request rejected")
         return batch_id
@@ -559,7 +873,7 @@ class RemotePSClient:
 
     def complete_pending_checkpoints(self) -> None:
         for node in self.nodes:
-            node.cache.complete_pending_checkpoints()
+            node.complete_pending_checkpoints()
 
     # ------------------------------------------------------------------
     # elasticity (repro.core.migration over the wire)
@@ -600,13 +914,7 @@ class RemotePSClient:
         membership — a crash before commit discards them with the
         uncommitted migration.
         """
-        node = PSNode(
-            node_id,
-            server_config,
-            self.cache_config,
-            self.optimizer,
-            tracer=self.tracer,
-        )
+        node = self._build_node(node_id, server_config)
         service = PSNodeService(
             node, dedup_window=self.dedup_window, tracer=self.tracer
         )
@@ -631,7 +939,7 @@ class RemotePSClient:
         """Atomically commit a new ring epoch and re-route (see
         :meth:`OpenEmbeddingServer.commit_ring`)."""
         new_epoch = self.ring_epoch + 1
-        self.coordinator_pool.root.set(
+        self.nodes[0].set_root_field(
             RING_STATE_FIELD,
             pack_ring_state(
                 new_epoch, server_config.num_nodes, server_config.ring_vnodes
@@ -649,6 +957,17 @@ class RemotePSClient:
         self.channels = [by_id[node.node_id][1] for node in nodes]
         self._pending_members = {}
         self.ring_epoch = new_epoch
+        for node in nodes:
+            follow = getattr(node, "follow_ring", None)
+            if follow is not None:
+                follow(new_epoch)
+        if self.failover is not None:
+            # New members enter the lease table; channel death checks
+            # re-arm over the post-commit membership.
+            for node in nodes:
+                if node.node_id not in self.failover.detector.watched():
+                    self.failover.detector.watch(node.node_id)
+            self._arm_channel_death_checks()
         self.tracer.instant(
             "migration.ring_commit",
             track="migration",

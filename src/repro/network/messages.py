@@ -34,6 +34,12 @@ MigrateResponse         0x09  width u32, count u32, per-key version
                               payloads (EXPORT reply)
 RingUpdateRequest       0x0A  requester u32 (reply: StatusResponse
                               whose value is the packed ring state)
+HeartbeatRequest        0x0B  node_id u32, requester u32 (reply:
+                              StatusResponse, value = latest batch;
+                              a dead primary answers with silence)
+PromoteRequest          0x0C  node_id u32, committed_epoch i64,
+                              requester u32 (reply: StatusResponse,
+                              value = latest batch after promotion)
 ======================  ====  =======================================
 
 ``PushRequest``'s ``(worker_id, seq)`` header gives the server a dedup
@@ -319,6 +325,9 @@ class StatusResponse:
     ERR_ROUTING = 5
     ERR_MESSAGE = 6
     ERR_UNHANDLED = 7
+    #: Promotion impossible: double fault — both replicas of the shard
+    #: are gone; the caller must fall back to checkpoint recovery.
+    ERR_FAILOVER = 8
 
     code: int
     value: int = 0
@@ -507,6 +516,71 @@ class MigrateResponse:
 
 
 @dataclass(frozen=True)
+class HeartbeatRequest:
+    """Detector -> PS: prove you are alive.
+
+    The reply is a :class:`StatusResponse` whose ``value`` is the
+    shard's ``latest_completed_batch`` (free liveness + progress in one
+    round trip). A shard whose primary replica has crashed answers with
+    *silence* — the service raises
+    :class:`~repro.network.rpc.Unresponsive`, the dispatcher delivers
+    no reply, and the probe times out exactly like a dead process's
+    socket would.
+    """
+
+    TYPE = 0x0B
+
+    node_id: int
+    requester: int = 0
+
+    def encode_body(self) -> bytes:
+        return struct.pack("<II", self.node_id, self.requester)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "HeartbeatRequest":
+        if len(body) != 8:
+            raise MessageError(f"HeartbeatRequest length {len(body)}, want 8")
+        node_id, requester = struct.unpack("<II", body)
+        return cls(node_id=node_id, requester=requester)
+
+
+@dataclass(frozen=True)
+class PromoteRequest:
+    """Detector -> PS: promote the backup replica to primary.
+
+    Carries the coordinator's ``committed_epoch`` (the durable ring
+    word's epoch) so the promoted replica reconciles its routing epoch
+    at the commit point — a primary that died mid-migration cannot
+    leave the promoted backup serving stale routing.
+
+    The reply is a :class:`StatusResponse`: ``value`` = the shard's
+    ``latest_completed_batch`` after promotion. Idempotent: promoting a
+    shard whose primary is already alive (a duplicate or retried frame
+    after a successful promotion) is a no-op acknowledged with
+    ``value`` = current batch. A *double fault* (backup gone too)
+    raises server-side and arrives as a typed wire error.
+    """
+
+    TYPE = 0x0C
+
+    node_id: int
+    committed_epoch: int = 0
+    requester: int = 0
+
+    def encode_body(self) -> bytes:
+        return struct.pack("<IqI", self.node_id, self.committed_epoch, self.requester)
+
+    @classmethod
+    def decode_body(cls, body: bytes) -> "PromoteRequest":
+        if len(body) != 16:
+            raise MessageError(f"PromoteRequest length {len(body)}, want 16")
+        node_id, committed_epoch, requester = struct.unpack("<IqI", body)
+        return cls(
+            node_id=node_id, committed_epoch=committed_epoch, requester=requester
+        )
+
+
+@dataclass(frozen=True)
 class RingUpdateRequest:
     """Worker -> coordinator PS: fetch the committed ring state.
 
@@ -543,6 +617,8 @@ _MESSAGE_TYPES = {
         MigrateRequest,
         MigrateResponse,
         RingUpdateRequest,
+        HeartbeatRequest,
+        PromoteRequest,
     )
 }
 

@@ -30,7 +30,9 @@ import numpy as np
 from repro.config import RetryConfig
 from repro.errors import (
     CheckpointError,
+    FailoverError,
     KeyNotFoundError,
+    NodeDeadError,
     ReproError,
     RpcTimeoutError,
     ServerError,
@@ -58,6 +60,7 @@ _CODE_FOR_ERROR: tuple[tuple[type, int], ...] = (
     (KeyNotFoundError, StatusResponse.ERR_KEY_NOT_FOUND),
     (ShardRoutingError, StatusResponse.ERR_ROUTING),
     (MessageError, StatusResponse.ERR_MESSAGE),
+    (FailoverError, StatusResponse.ERR_FAILOVER),
     (ServerError, StatusResponse.ERR_SERVER),
     (ReproError, StatusResponse.ERR_INTERNAL),
 )
@@ -68,9 +71,22 @@ _ERROR_FOR_CODE: dict[int, type] = {
     StatusResponse.ERR_ROUTING: ShardRoutingError,
     StatusResponse.ERR_MESSAGE: MessageError,
     StatusResponse.ERR_UNHANDLED: MessageError,
+    StatusResponse.ERR_FAILOVER: FailoverError,
     StatusResponse.ERR_SERVER: ServerError,
     StatusResponse.ERR_INTERNAL: ServerError,
 }
+
+
+class Unresponsive(Exception):
+    """Raised by a service handler to simulate a *dead process*.
+
+    Deliberately NOT a :class:`ReproError`: the wire-error discipline
+    folds library errors into status frames, but a dead process sends
+    nothing at all. :meth:`RpcServer.dispatch` converts this into
+    silence (no reply frame), so the client's attempt times out exactly
+    as if the machine had vanished — which is what lease-based failure
+    detection must observe to do its job.
+    """
 
 
 def status_for_exception(exc: ReproError) -> StatusResponse:
@@ -139,6 +155,8 @@ class RpcStats:
     timeouts: int = 0
     wire_errors: int = 0
     backoff_seconds: float = 0.0
+    #: Calls abandoned because the node was declared dead (rerouted).
+    dead_fails: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -159,18 +177,23 @@ class RpcServer:
         self.dispatches = 0
         self.handler_errors = 0
         self.rejected_frames = 0
+        #: Requests answered with silence (dead-process simulation).
+        self.silent_drops = 0
 
     def register(self, message_type: int, handler: Callable) -> None:
         if message_type in self._handlers:
             raise ReproError(f"handler for type 0x{message_type:02x} already set")
         self._handlers[message_type] = handler
 
-    def dispatch(self, frame: bytes) -> bytes:
+    def dispatch(self, frame: bytes) -> bytes | None:
         """Decode one request frame, run its handler, encode the reply.
 
         Never raises for frame damage or handler-level
         :class:`ReproError` failures — those become error-coded
-        responses the client re-raises as typed errors.
+        responses the client re-raises as typed errors. A handler
+        raising :class:`Unresponsive` produces ``None``: the node is
+        (simulated-)dead and sends nothing; the client's attempt will
+        time out.
         """
         self.dispatches += 1
         try:
@@ -191,6 +214,9 @@ class RpcServer:
             )
         try:
             response = handler(request)
+        except Unresponsive:
+            self.silent_drops += 1
+            return None
         except ReproError as exc:
             self.handler_errors += 1
             return encode_message(status_for_exception(exc))
@@ -215,6 +241,15 @@ class RpcChannel:
         registry: when given, successful calls observe their round-trip
             time into the ``repro_rpc_roundtrip_seconds`` histogram,
             labeled by request kind.
+        node_dead: optional predicate consulted before each attempt and
+            at budget exhaustion. When it returns True the channel
+            raises :class:`~repro.errors.NodeDeadError` ("stop
+            retrying, reroute") instead of burning attempts or raising
+            :class:`~repro.errors.RpcTimeoutError` ("the wire may have
+            eaten it, retry"). Wired by
+            :class:`~repro.network.frontend.RemotePSClient` to the
+            failure detector's verdict so no client ever spins on a
+            corpse during a promotion window.
     """
 
     def __init__(
@@ -226,6 +261,7 @@ class RpcChannel:
         channel_id: int = 0,
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
+        node_dead: Callable[[], bool] | None = None,
     ):
         self.server = server
         self.link = as_link(network if network is not None else NetworkModel())
@@ -234,6 +270,7 @@ class RpcChannel:
         self.channel_id = channel_id
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.registry = registry
+        self.node_dead = node_dead
         self.stats = RpcStats()
         self._jitter_rng = np.random.default_rng((self.retry.seed, channel_id))
 
@@ -266,6 +303,17 @@ class RpcChannel:
             "rpc.call", kind=kind, channel=self.channel_id
         ) as call_span:
             while attempt < retry.max_attempts:
+                if self.node_dead is not None and self.node_dead():
+                    # Declared dead: fail fast and typed instead of
+                    # burning the remaining retry budget on a corpse.
+                    self.stats.dead_fails += 1
+                    call_span.set(dead=True, attempts=attempt)
+                    raise NodeDeadError(
+                        f"node behind channel {self.channel_id} declared dead "
+                        f"after {attempt} attempt(s)",
+                        node_id=self.channel_id,
+                        attempts=attempt,
+                    )
                 patience = min(
                     retry.attempt_timeout_s, retry.call_timeout_s - spent
                 )
@@ -317,6 +365,15 @@ class RpcChannel:
                     self.stats.backoff_seconds += backoff
                     with self.tracer.span("rpc.backoff", seconds=backoff):
                         self._advance(backoff)
+            if self.node_dead is not None and self.node_dead():
+                self.stats.dead_fails += 1
+                call_span.set(dead=True, attempts=attempt)
+                raise NodeDeadError(
+                    f"node behind channel {self.channel_id} declared dead "
+                    f"after {attempt} attempt(s)",
+                    node_id=self.channel_id,
+                    attempts=attempt,
+                )
             self.stats.timeouts += 1
             call_span.set(timeout=True, attempts=attempt)
             raise RpcTimeoutError(
@@ -350,6 +407,10 @@ class RpcChannel:
             self.server.dispatch(copy) for copy in request_delivery.copies
         ]
         reply = replies[0]
+        if reply is None:
+            # Dead-process silence: the request was consumed but nothing
+            # comes back — the client waits out its full patience.
+            return None, patience
         response_delivery = self.link.transfer(reply, "response", concurrent_flows)
         self.stats.response_bytes += len(reply)
         elapsed += response_delivery.elapsed

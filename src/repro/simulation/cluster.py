@@ -86,6 +86,26 @@ class MigrationTiming:
 
 
 @dataclass(frozen=True)
+class FailoverTiming:
+    """Per-phase simulated seconds of one detected failure + failover.
+
+    ``unavailability`` is the client-visible outage (lease wait-out +
+    role switch); ``rereplication`` is the background copy restoring a
+    fresh backup — off the critical path, like deferred maintenance.
+    ``recovery_alternative`` prices what the same failure would cost
+    without a replica (the paper's checkpoint-recovery path, ~380 s at
+    2.1 B entries), so every failover report carries its own ablation.
+    """
+
+    detection: float
+    promotion: float
+    unavailability: float
+    rereplication: float
+    recovery_alternative: float
+    total: float
+
+
+@dataclass(frozen=True)
 class IterationTiming:
     """Per-phase simulated seconds of one iteration."""
 
@@ -237,6 +257,58 @@ class PSCostModel:
             target_write=write,
             index_insert=insert,
             total=total,
+        )
+
+    def price_failover(
+        self,
+        *,
+        resident_entries: int,
+        lease_s: float,
+        promotion_s: float | None = None,
+    ) -> FailoverTiming:
+        """Simulated cost of one PS-node failure under hot failover.
+
+        Detection is bounded by the lease (the client waits out the
+        remainder before it may declare death — worst case the full
+        ``lease_s``); promotion is a role switch, independent of model
+        size. Re-replicating a fresh backup moves the shard once —
+        same read/wire/write/insert structure as a migration transfer —
+        but runs in the background behind training, so only
+        ``unavailability`` pauses the run.
+
+        Args:
+            resident_entries: entries resident on the failed shard.
+            lease_s: the detector's lease (``ServerConfig.lease_s``).
+            promotion_s: role-switch cost; defaults to
+                :data:`repro.core.replication.FAILOVER_SECONDS`.
+        """
+        from repro.core.recovery import estimate_recovery_seconds
+
+        if promotion_s is None:
+            from repro.core.replication import FAILOVER_SECONDS
+
+            promotion_s = FAILOVER_SECONDS
+        threads = self.cluster.ps_threads_per_node
+        eb = self.entry_bytes
+        read = self.pmem.burst_read(resident_entries, eb, threads)
+        net = self.network.burst_transfer_time(1, resident_entries * (eb + 16))
+        write = self.pmem.burst_write(resident_entries, eb, threads)
+        insert = resident_entries * self.cal.index_rebuild_pmem_oe_s
+        rereplication = read + net + write + insert
+        unavailability = lease_s + promotion_s
+        recovery = estimate_recovery_seconds(
+            entries=resident_entries,
+            versions=resident_entries,
+            entry_bytes=eb,
+            calibration=self.cal,
+        )
+        return FailoverTiming(
+            detection=lease_s,
+            promotion=promotion_s,
+            unavailability=unavailability,
+            rereplication=rereplication,
+            recovery_alternative=recovery,
+            total=unavailability,
         )
 
     # ------------------------------------------------------------------

@@ -74,6 +74,16 @@ class TrainingRunResult:
     prefetch_requests: int = 0
     #: simulated seconds of prefetch work priced into the overlap slot
     prefetch_overlapped_seconds: float = 0.0
+    #: MTTF-driven node kills that fired during the run
+    failures_injected: int = 0
+    #: kills answered by hot failover (``replicas=2``)
+    failovers_completed: int = 0
+    #: client-visible outage time across all failovers (lease + switch)
+    failover_pause_seconds: float = 0.0
+    #: background re-replication work (overlapped, not a pause)
+    rereplication_seconds: float = 0.0
+    #: kills answered by checkpoint recovery (``replicas=1``)
+    recovery_pause_seconds: float = 0.0
     trace: RequestTrace | None = None
 
     @property
@@ -137,6 +147,8 @@ class TrainingSimulator:
         use_cache: bool = True,
         reshard_at: int | None = None,
         reshard_to: int | None = None,
+        mttf_s: float | None = None,
+        mttf_seed: int = 0,
         record_trace: bool = False,
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
@@ -201,6 +213,11 @@ class TrainingSimulator:
                 )
         elif reshard_to is not None:
             raise ConfigError("reshard_to requires reshard_at")
+        if mttf_s is not None and mttf_s <= 0:
+            raise ConfigError(f"mttf_s must be positive, got {mttf_s}")
+        self.mttf_s = mttf_s
+        self.mttf_seed = mttf_seed
+        self._kill_injector = None
         self._validate_checkpoint_mode()
 
     # ------------------------------------------------------------------
@@ -295,6 +312,9 @@ class TrainingSimulator:
                 and batch_id + 1 >= self.reshard_at
             ):
                 self._execute_reshard(batch_id, result)
+
+            if self.mttf_s is not None:
+                self._poll_failures(batch_id, iterations, result)
 
         result.sim_seconds = self.clock.now
         result.miss_rate = self._miss_rate()
@@ -634,6 +654,83 @@ class TrainingSimulator:
     # ------------------------------------------------------------------
     # checkpointing
     # ------------------------------------------------------------------
+
+    def _poll_failures(
+        self, batch_id: int, iterations: int, result: TrainingRunResult
+    ) -> None:
+        """Fire any MTTF-scheduled node kills that are now due.
+
+        The Poisson schedule is sampled lazily after the first priced
+        iteration (the horizon needs an iteration-time estimate) and
+        polled between iterations — a kill therefore lands mid-run,
+        exactly where the chaos soak drops them on the functional path.
+        """
+        from repro.failure.injection import NodeKillInjector, NodeKillSchedule
+
+        if self._kill_injector is None:
+            per_iter = self.clock.now / (batch_id + 1)
+            horizon = max(per_iter * iterations * 3.0, self.mttf_s * 3.0)
+            self._kill_injector = NodeKillInjector(
+                NodeKillSchedule.poisson(
+                    self.mttf_s,
+                    horizon,
+                    self.server.num_nodes,
+                    seed=self.mttf_seed,
+                )
+            )
+        for __, victim in self._kill_injector.due(self.clock.now):
+            self._execute_failure(victim, result)
+
+    def _execute_failure(self, victim: int, result: TrainingRunResult) -> None:
+        """Price one node death: hot failover or checkpoint recovery.
+
+        ``replicas=2`` pays the bounded unavailability window (lease
+        wait-out + role switch) and queues background re-replication;
+        ``replicas=1`` pays the full checkpoint-recovery rebuild — the
+        paper's ~380 s at 2.1 B entries, scaled to this run's residency.
+        """
+        result.failures_injected += 1
+        entries = max(1, len(self._keys_seen) // max(1, self.server.num_nodes))
+        at = self.clock.now
+        if self.server.replicas == 2:
+            timing = self.cost_model.price_failover(
+                resident_entries=entries, lease_s=self.server.lease_s
+            )
+            pause = timing.unavailability
+            result.failovers_completed += 1
+            result.failover_pause_seconds += pause
+            result.rereplication_seconds += timing.rereplication
+            kind = "failover"
+        else:
+            from repro.core.recovery import estimate_recovery_seconds
+
+            pause = estimate_recovery_seconds(
+                entries=entries,
+                versions=entries,
+                entry_bytes=self.server.entry_bytes,
+                calibration=self.cal,
+            )
+            result.recovery_pause_seconds += pause
+            kind = "recovery"
+        self.clock.advance(pause)
+        if self.tracer.enabled:
+            self.tracer.add_span(
+                f"failure.{kind}",
+                start=at,
+                duration=pause,
+                track="failure",
+                node=victim,
+            )
+        if self.registry is not None:
+            name = (
+                "repro_failover_unavailability_seconds"
+                if kind == "failover"
+                else "repro_recovery_pause_seconds"
+            )
+            self.registry.histogram(name).observe(pause)
+            self.registry.counter(
+                "repro_failures_injected_total", {"node": str(victim)}
+            ).add(1)
 
     def _execute_checkpoint(self, batch_id: int) -> float:
         """Fire one checkpoint; returns the training pause in seconds."""

@@ -89,12 +89,25 @@ class TestDeterminism:
 
 class TestMinimalMovement:
     @given(
-        keys=keys_strategy,
+        seed=st.integers(0, 2**32 - 1),
+        num_keys=st.integers(200, 2000),
         num_nodes=st.integers(2, 8),
         vnodes=st.sampled_from([64, 128]),
     )
     @settings(max_examples=40, deadline=None)
-    def test_scale_out_moves_at_most_one_share(self, keys, num_nodes, vnodes):
+    def test_scale_out_moves_at_most_one_share(
+        self, seed, num_keys, num_nodes, vnodes
+    ):
+        """The ``1/(n+1)`` movement bound is a statement about *sampled*
+        keyspaces — it holds (within ε of vnode sampling noise) over
+        uniform keys, not for adversarially chosen lists, where a
+        shrunk 50-key example can concentrate just past the bound. So
+        the keys come from a seeded uniform draw and hypothesis
+        explores seeds and shapes instead of hand-picking the keys."""
+        rng = np.random.default_rng(seed)
+        keys = np.unique(
+            rng.integers(0, 2**63 - 1, size=num_keys, dtype=np.uint64)
+        ).tolist()
         ring = ConsistentHashRing(num_nodes, vnodes)
         grown = ring.with_nodes(num_nodes + 1)
         moved = ring.moved_keys(grown, keys)
