@@ -125,7 +125,9 @@ class DRAMPSNode:
             if value_mode:
                 self.optimizer.apply(self._weights[key], self._opt_state[key], grad)
         self.checkpointer.mark_dirty(aggregated)
-        self.metrics.updates += len(keys)
+        # Distinct entries updated, matching the return value (duplicate
+        # keys in one push aggregate into a single update).
+        self.metrics.updates += len(aggregated)
         self.latest_completed_batch = max(self.latest_completed_batch, batch_id)
         return len(aggregated)
 

@@ -110,7 +110,9 @@ class PMemHashNode:
             else:
                 self.pool.write(pool_key, None, nbytes=self.entry_bytes)
             self.metrics.pmem_flush_entries += 1
-        self.metrics.updates += len(keys)
+        # Distinct entries updated, matching the return value (duplicate
+        # keys in one push aggregate into a single update).
+        self.metrics.updates += len(aggregated)
         self.latest_completed_batch = max(self.latest_completed_batch, batch_id)
         return len(aggregated)
 

@@ -1,0 +1,116 @@
+"""Contiguous float32 embedding arena backing the DRAM cache.
+
+The hot path of a parameter server is memory-bandwidth-bound: a pull is
+a gather of ``n`` rows, a push is a scatter of ``n`` aggregated
+gradients. Per-entry Python objects holding their own little numpy
+arrays defeat that — every access pays interpreter and allocator
+overhead instead of one contiguous memcpy.
+
+The arena stores every DRAM-resident entry's payload as one row of a
+single ``(capacity, dim + state_width)`` float32 matrix: weights in
+``[:dim]``, optimizer state in ``[dim:]``. The cache keeps a
+``key -> row`` map next to its hash index, so
+
+* a batched pull is one fancy-index gather ``data[rows, :dim]``,
+* a batched push gathers ``data[rows]``, applies the vectorized
+  optimizer, and scatters the block back, and
+* flushing an entry hands the store its packed row view directly (the
+  pool copies on write).
+
+Rows are recycled through a free list on eviction. When the arena is
+full it doubles (amortized O(1)); growth replaces the backing matrix,
+which invalidates any live row *views* — the cache watches
+:attr:`generation` and rebinds the views of resident entries after a
+growth (see ``PipelinedCache._arena_alloc``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ServerError
+
+INITIAL_ROWS = 256
+"""Starting row count; the arena doubles on demand up to the cache's
+working set, so a huge configured capacity costs no upfront memory."""
+
+
+class EmbeddingArena:
+    """Slab of packed embedding rows (weights + optimizer state).
+
+    Args:
+        dim: embedding dimension (floats of weights per row).
+        state_width: floats of optimizer state per row (0 when the
+            optimizer is stateless).
+        initial_rows: starting capacity; grows by doubling.
+    """
+
+    def __init__(self, dim: int, state_width: int, initial_rows: int = INITIAL_ROWS):
+        if dim <= 0:
+            raise ServerError(f"dim must be positive, got {dim}")
+        if state_width < 0:
+            raise ServerError(f"state_width must be >= 0, got {state_width}")
+        if initial_rows <= 0:
+            raise ServerError(f"initial_rows must be positive, got {initial_rows}")
+        self.dim = dim
+        self.state_width = state_width
+        self.row_width = dim + state_width
+        self.data = np.zeros((initial_rows, self.row_width), dtype=np.float32)
+        # Popping from the end hands out low rows first.
+        self._free: list[int] = list(range(initial_rows - 1, -1, -1))
+        self.generation = 0
+
+    # ------------------------------------------------------------------
+    # allocation
+    # ------------------------------------------------------------------
+
+    def alloc(self) -> int:
+        """Reserve a row; grows (bumping :attr:`generation`) when full."""
+        if not self._free:
+            self._grow()
+        return self._free.pop()
+
+    def free(self, row: int) -> None:
+        """Return ``row`` to the free list (its contents are garbage now)."""
+        if row < 0 or row >= len(self.data):
+            raise ServerError(f"invalid arena row {row}")
+        self._free.append(row)
+
+    def _grow(self) -> None:
+        old = self.data
+        new_capacity = len(old) * 2
+        grown = np.zeros((new_capacity, self.row_width), dtype=np.float32)
+        grown[: len(old)] = old
+        self.data = grown
+        self._free.extend(range(new_capacity - 1, len(old) - 1, -1))
+        self.generation += 1
+
+    # ------------------------------------------------------------------
+    # views
+    # ------------------------------------------------------------------
+
+    def row_view(self, row: int) -> np.ndarray:
+        """The packed ``weights || state`` view of one row."""
+        return self.data[row]
+
+    def weights_view(self, row: int) -> np.ndarray:
+        """The weights slice of one row (a live view)."""
+        return self.data[row, : self.dim]
+
+    def state_view(self, row: int) -> np.ndarray | None:
+        """The optimizer-state slice of one row, or None when stateless."""
+        if self.state_width == 0:
+            return None
+        return self.data[row, self.dim :]
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return len(self.data)
+
+    def __len__(self) -> int:
+        """Rows currently allocated."""
+        return len(self.data) - len(self._free)

@@ -26,10 +26,21 @@ entries carry no weight arrays: all bookkeeping, versioning, eviction
 and checkpoint logic runs identically, but pulls return None. The
 performance benchmarks run in this mode to simulate billions-scale
 models cheaply.
+
+**Vectorized hot path** (``CacheConfig.arena``, the default): resident
+payloads live in a contiguous :class:`~repro.core.arena.EmbeddingArena`
+and the all-hits common case of pull/maintain/update runs batched —
+one ``itemgetter`` residency probe, one fancy-index gather or
+``np.add.at`` segment-sum, one vectorized optimizer application —
+falling back to the per-key reference loop whenever a key is missing,
+cold, or checkpoint/eviction work is due. The two paths are
+bit-identical (the equivalence and Hypothesis suites compare them);
+``arena=False`` keeps the reference path for comparison benchmarks.
 """
 
 from __future__ import annotations
 
+import operator
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -37,11 +48,12 @@ import numpy as np
 
 from repro.config import CacheConfig, EvictionPolicy
 from repro.core.admission import FrequencyAdmission
+from repro.core.arena import EmbeddingArena
 from repro.core.checkpoint import CheckpointCoordinator
 from repro.core.entry import EmbeddingEntry, Location
 from repro.core.hash_index import HashIndex
 from repro.core.lru import LRUList
-from repro.core.optimizers import PSOptimizer, PSSGD
+from repro.core.optimizers import PSOptimizer, PSSGD, coerce_f32
 from repro.core.queues import AccessQueue
 from repro.errors import KeyNotFoundError, ServerError
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -78,7 +90,7 @@ class PipelinedCache:
     """DRAM cache over a versioned PMem store (Figures 4 and 5).
 
     Args:
-        config: capacity / policy / pipelining flags.
+        config: capacity / policy / pipelining / arena flags.
         store: the PMem-side versioned entry store.
         coordinator: checkpoint request/completion tracking.
         dim: embedding dimension.
@@ -122,6 +134,22 @@ class PipelinedCache:
             if config.admission_threshold > 0
             else None
         )
+        self.state_width = self.optimizer.state_width(dim)
+        # Vectorized fast paths apply in both value and metadata modes;
+        # the arena itself only exists when there are real payloads.
+        self.vectorized = config.arena
+        self.arena = (
+            EmbeddingArena(dim, self.state_width)
+            if (config.arena and initializer is not None)
+            else None
+        )
+        self._arena_generation = 0
+        # DRAM-residency maps: every entry whose weights are resident is
+        # in ``_dram``; every arena-backed one also maps to its row in
+        # ``_rows``. These mirror ``index``/``lru`` state and exist so
+        # the fast paths can probe a whole batch with one itemgetter.
+        self._dram: dict[int, EmbeddingEntry] = {}
+        self._rows: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # Algorithm 1: pull
@@ -139,6 +167,12 @@ class PipelinedCache:
             KeyNotFoundError: unseen key with ``auto_create`` disabled.
         """
         value_mode = self.initializer is not None
+        if isinstance(keys, np.ndarray):
+            keys = keys.tolist()
+        if self.vectorized and len(keys) > 0:
+            fast = self._pull_fast(keys, batch_id, value_mode)
+            if fast is not None:
+                return fast
         out = (
             np.empty((len(keys), self.dim), dtype=np.float32) if value_mode else None
         )
@@ -165,6 +199,38 @@ class PipelinedCache:
         self.metrics.entries_created += created
         return PullResult(weights=out, hits=hits, misses=misses, created=created)
 
+    def _pull_fast(
+        self, keys: Sequence[int], batch_id: int, value_mode: bool
+    ) -> PullResult | None:
+        """All-hits batched pull: one residency probe, one gather.
+
+        Returns None (no state mutated) when any key is not
+        DRAM-resident with an arena row — the per-key path then handles
+        creation, PMem reads and miss accounting.
+        """
+        try:
+            if len(keys) == 1:
+                entries = [self._dram[keys[0]]]
+            else:
+                entries = list(operator.itemgetter(*keys)(self._dram))
+        except KeyError:
+            return None
+        out = None
+        if value_mode:
+            try:
+                if len(keys) == 1:
+                    rows = [self._rows[keys[0]]]
+                else:
+                    rows = operator.itemgetter(*keys)(self._rows)
+            except KeyError:
+                return None
+            out = self.arena.data[np.asarray(rows, dtype=np.intp), : self.dim]
+        n = len(keys)
+        self.access_queue.append(batch_id, entries)
+        self.metrics.pulls += n
+        self.metrics.cache.hits += n
+        return PullResult(weights=out, hits=n, misses=0, created=0)
+
     # ------------------------------------------------------------------
     # Algorithm 2: deferred cache maintenance + checkpointing
     # ------------------------------------------------------------------
@@ -188,6 +254,15 @@ class PipelinedCache:
 
     def _maintain(self, batch_id: int) -> MaintainResult:
         entries = self.access_queue.pop_batch(batch_id)
+        if (
+            self.vectorized
+            and entries
+            and self.config.policy == EvictionPolicy.LRU
+            and self.coordinator.max_pending() is None
+        ):
+            fast = self._maintain_fast(entries, batch_id)
+            if fast is not None:
+                return fast
         loads = flushes = evictions = completed = 0
         for entry in entries:
             flush_barrier = self.coordinator.max_pending()
@@ -225,6 +300,42 @@ class PipelinedCache:
             checkpoints_completed=completed,
         )
 
+    def _maintain_fast(
+        self, entries: list[EmbeddingEntry], batch_id: int
+    ) -> MaintainResult | None:
+        """All-resident LRU round with no checkpoint or eviction work.
+
+        Under those preconditions the per-entry loop degenerates to
+        "advance version, move to front" per occurrence; processing only
+        each entry's LAST occurrence (most recent first in reverse)
+        lands on the identical final LRU order in one pass per entry.
+        Returns None (no state mutated) when any accessed entry is
+        cold or the round could evict.
+        """
+        # C-level dedup: first-seen in the reversed sequence is each
+        # entry's last occurrence, newest first.
+        uniq = list(dict.fromkeys(reversed(entries)))
+        dram = Location.DRAM
+        fresh = 0
+        for entry in uniq:
+            if entry.location is not dram:
+                return None
+            if not entry.in_lru:
+                fresh += 1
+        # The resident set only grows during a round, so its maximum is
+        # the final size: no intermediate eviction is possible either.
+        if len(self.lru) + fresh > self.capacity_entries:
+            return None
+        uniq.reverse()  # process oldest last-occurrence first
+        self.lru.move_many_to_front(uniq, version=batch_id)
+        return MaintainResult(
+            processed=len(entries),
+            loads=0,
+            flushes=0,
+            evictions=0,
+            checkpoints_completed=0,
+        )
+
     # ------------------------------------------------------------------
     # update (push) path
     # ------------------------------------------------------------------
@@ -239,21 +350,47 @@ class PipelinedCache:
 
         Duplicate keys within one push have their gradients summed
         before a single optimizer application — standard sparse-gradient
-        aggregation. Returns the number of distinct entries updated.
+        aggregation. Returns the number of distinct entries updated;
+        ``metrics.updates`` counts the same distinct entries (duplicate
+        keys in one push are one update, not several).
+
+        Gradients are coerced to float32 here, at the aggregation
+        boundary, so a float64 gradient cannot change the arithmetic
+        (and the trained bits) relative to the float32 path. Decoded
+        wire gradients may be read-only views; this path never mutates
+        them (aggregation copies).
 
         Raises:
             KeyNotFoundError: a key that was never pulled.
             ServerError: gradient shape mismatch.
         """
         value_mode = self.initializer is not None
+        is_array = isinstance(keys, np.ndarray)
+        n = len(keys)
         if value_mode:
             if grads is None:
                 raise ServerError("value-mode cache requires gradients on update")
-            if grads.shape != (len(keys), self.dim):
+            grads = np.asarray(grads)
+            if grads.shape != (n, self.dim):
                 raise ServerError(
-                    f"gradient shape {grads.shape} != ({len(keys)}, {self.dim})"
+                    f"gradient shape {grads.shape} != ({n}, {self.dim})"
                 )
-        aggregated = self._aggregate(keys, grads if value_mode else None)
+            grads = coerce_f32(grads)
+        else:
+            grads = None
+        if self.vectorized and n > 0:
+            key_arr = (
+                keys
+                if is_array and keys.dtype == np.uint64
+                else np.asarray(keys, dtype=np.uint64)
+            )
+            updated = self._update_fast(key_arr, grads, batch_id, value_mode)
+            if updated is not None:
+                self.metrics.updates += updated
+                return updated
+        if is_array:
+            keys = keys.tolist()
+        aggregated = self._aggregate(keys, grads)
         for key, grad in aggregated.items():
             entry = self.index.find(key)
             if entry is None:
@@ -284,8 +421,84 @@ class PipelinedCache:
                 # kept for robustness: read-modify-write through the
                 # store, which retains checkpoint-protected versions.
                 self._update_in_pmem(entry, grad, batch_id, value_mode)
-        self.metrics.updates += len(keys)
+        self.metrics.updates += len(aggregated)
         return len(aggregated)
+
+    def _update_fast(
+        self,
+        key_arr: np.ndarray,
+        grads: np.ndarray | None,
+        batch_id: int,
+        value_mode: bool,
+    ) -> int | None:
+        """All-resident batched update: segment-sum + one optimizer call.
+
+        Aggregation mirrors the dict path exactly: the first occurrence
+        of each key seeds its row, later duplicates accumulate in
+        occurrence order, so the float sums are bit-identical. Returns
+        None (no state mutated) when any distinct key lacks a resident
+        arena row — the per-key path then handles PMem read-modify-write
+        and unknown keys.
+        """
+        uniq, first_idx, inverse = np.unique(
+            key_arr, return_index=True, return_inverse=True
+        )
+        key_list = uniq.tolist()
+        try:
+            if len(key_list) == 1:
+                entries = [self._dram[key_list[0]]]
+            else:
+                entries = list(operator.itemgetter(*key_list)(self._dram))
+        except KeyError:
+            return None
+        rows = None
+        if value_mode:
+            try:
+                if len(key_list) == 1:
+                    rows = [self._rows[key_list[0]]]
+                else:
+                    rows = operator.itemgetter(*key_list)(self._rows)
+            except KeyError:
+                return None
+        # Per-entry bookkeeping. In the strictly serial flow maintain
+        # already advanced every entry to ``batch_id``, so this is one
+        # flag per entry; only the lookahead flow needs the ordered
+        # second pass.
+        advance = False
+        for entry in entries:
+            entry.dirty = True
+            if batch_id > entry.version:
+                advance = True
+        if advance:
+            # Lookahead flow, identical to the per-key path: flush the
+            # pre-update state if a pending checkpoint needs it, then
+            # advance and reorder — in first-occurrence order, the same
+            # iteration order as the dict path, which the LRU reorder
+            # sequence (and therefore eviction order) depends on.
+            for i in np.argsort(first_idx, kind="stable").tolist():
+                entry = entries[i]
+                if batch_id > entry.version:
+                    flush_barrier = self.coordinator.max_pending()
+                    if flush_barrier is not None and entry.version <= flush_barrier:
+                        self._flush(entry)
+                    entry.version = batch_id
+                    self._reorder(entry)
+                    entry.dirty = True  # _flush clears it; final state is dirty
+        if value_mode:
+            agg = grads[first_idx]  # copy: first occurrence seeds each row
+            if len(key_arr) != len(uniq):
+                dup = np.ones(len(key_arr), dtype=bool)
+                dup[first_idx] = False
+                np.add.at(agg, inverse[dup], grads[dup])
+            rows_arr = np.asarray(rows, dtype=np.intp)
+            block = self.arena.data[rows_arr]
+            self.optimizer.apply_batch(
+                block[:, : self.dim],
+                block[:, self.dim :] if self.state_width else None,
+                agg,
+            )
+            self.arena.data[rows_arr] = block
+        return len(key_list)
 
     # ------------------------------------------------------------------
     # barriers / draining
@@ -328,6 +541,25 @@ class PipelinedCache:
             dropped += 1
         return dropped
 
+    def drop_entry(self, entry: EmbeddingEntry) -> None:
+        """Remove ``entry`` from every cache structure (ownership drop).
+
+        Used when a key leaves the node entirely (shard migration): the
+        LRU link, residency maps, arena row and index handle all go at
+        once, so the fast-path maps can never resolve a departed key.
+        The caller drops the durable versions from the store.
+        """
+        if entry.in_lru:
+            self.lru.remove(entry)
+        if entry.row >= 0:
+            self.arena.free(entry.row)
+            self._rows.pop(entry.key, None)
+            entry.row = -1
+        self._dram.pop(entry.key, None)
+        self.index.remove(entry.key)
+        entry.weights = None
+        entry.opt_state = None
+
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
@@ -365,6 +597,17 @@ class PipelinedCache:
             raise ServerError(
                 f"{dram_count} DRAM entries but {len(self.lru)} listed in LRU"
             )
+        if len(self._dram) != dram_count:
+            raise ServerError(
+                f"{dram_count} DRAM entries but {len(self._dram)} in residency map"
+            )
+        for key, entry in self._dram.items():
+            if not entry.in_dram or entry.key != key:
+                raise ServerError(f"stale residency-map entry for key {key}")
+        for key, row in self._rows.items():
+            entry = self._dram.get(key)
+            if entry is None or entry.row != row:
+                raise ServerError(f"stale arena-row mapping for key {key}")
 
     # ------------------------------------------------------------------
     # internals
@@ -375,6 +618,29 @@ class PipelinedCache:
         width = self.dim + self.optimizer.state_width(self.dim)
         return max(1, width) * 4
 
+    def _arena_alloc(self) -> int:
+        """Reserve an arena row, rebinding live views after a growth.
+
+        Growing replaces the arena's backing matrix, which orphans every
+        resident entry's ``weights``/``opt_state`` view — they must be
+        re-pointed at the new matrix (contents were copied over, so the
+        values are unchanged).
+        """
+        row = self.arena.alloc()
+        if self.arena.generation != self._arena_generation:
+            self._arena_generation = self.arena.generation
+            for key, existing in self._rows.items():
+                entry = self._dram[key]
+                entry.weights = self.arena.weights_view(existing)
+                entry.opt_state = self.arena.state_view(existing)
+        return row
+
+    def _bind_row(self, entry: EmbeddingEntry, row: int) -> None:
+        entry.row = row
+        entry.weights = self.arena.weights_view(row)
+        entry.opt_state = self.arena.state_view(row)
+        self._rows[entry.key] = row
+
     def _create_entry(self, key: int, batch_id: int) -> EmbeddingEntry:
         entry = EmbeddingEntry(key, version=batch_id)
         if self.initializer is not None:
@@ -383,11 +649,23 @@ class PipelinedCache:
                 raise ServerError(
                     f"initializer returned shape {weights.shape}, want ({self.dim},)"
                 )
-            entry.weights = weights
-            entry.opt_state = self.optimizer.init_state(self.dim)
+            if self.arena is not None:
+                row = self._arena_alloc()
+                packed = self.arena.data[row]
+                packed[: self.dim] = weights
+                state = self.optimizer.init_state(self.dim)
+                if state is not None:
+                    packed[self.dim :] = state
+                elif self.state_width:
+                    packed[self.dim :] = 0.0
+                self._bind_row(entry, row)
+            else:
+                entry.weights = weights
+                entry.opt_state = self.optimizer.init_state(self.dim)
         entry.location = Location.DRAM
         entry.dirty = True
         self.index.insert(entry)
+        self._dram[key] = entry
         return entry
 
     def _read_weights(self, entry: EmbeddingEntry) -> np.ndarray | None:
@@ -429,15 +707,30 @@ class PipelinedCache:
         if entry.in_dram:
             raise ServerError(f"entry {entry.key} already resident")
         __, stored = self.store.read_latest(entry.key)
-        self._unpack(entry, stored)
+        if (
+            self.arena is not None
+            and stored is not None
+            and stored.size == self.arena.row_width
+        ):
+            row = self._arena_alloc()
+            self.arena.data[row] = stored
+            self._bind_row(entry, row)
+        else:
+            self._unpack(entry, stored)
         self.index.set_location(entry, Location.DRAM)
         entry.dirty = False
+        self._dram[entry.key] = entry
         self.metrics.pmem_load_entries += 1
         self.metrics.cache.loads += 1
         self.tracer.instant("pmem.load", track="pmem", key=entry.key)
 
     def _demote(self, entry: EmbeddingEntry) -> None:
         self.index.set_location(entry, Location.PMEM)
+        self._dram.pop(entry.key, None)
+        if entry.row >= 0:
+            self.arena.free(entry.row)
+            self._rows.pop(entry.key, None)
+            entry.row = -1
         entry.weights = None
         entry.opt_state = None
 
@@ -522,6 +815,10 @@ class PipelinedCache:
         self.metrics.pmem_flush_entries += 1
 
     def _pack(self, entry: EmbeddingEntry) -> np.ndarray | None:
+        if entry.row >= 0:
+            # Arena-backed: the row IS the packed layout; the pool
+            # copies on write, so handing out the live view is safe.
+            return self.arena.data[entry.row]
         if entry.weights is None:
             return None
         if entry.opt_state is None:

@@ -62,6 +62,10 @@ class EmbeddingEntry:
         dirty: weights were updated since the last flush (used by the
             dirty-tracking ablation; the paper's system always flushes).
         slot: arena slot backing this entry's handle.
+        row: row of the cache's embedding arena holding this entry's
+            packed weights+state while DRAM-resident (``-1`` otherwise,
+            and always ``-1`` in the non-arena reference path). When
+            set, ``weights``/``opt_state`` are live views into that row.
     """
 
     __slots__ = (
@@ -73,6 +77,7 @@ class EmbeddingEntry:
         "dirty",
         "referenced",
         "slot",
+        "row",
         "lru_prev",
         "lru_next",
         "in_lru",
@@ -87,6 +92,7 @@ class EmbeddingEntry:
         self.dirty = False
         self.referenced = False
         self.slot = -1
+        self.row = -1
         self.lru_prev: EmbeddingEntry | None = None
         self.lru_next: EmbeddingEntry | None = None
         self.in_lru = False

@@ -5,11 +5,19 @@ locate an entry in either DRAM or PMem; the stored value is a tagged
 pointer whose low bit is the location. The index itself is volatile —
 after a crash it is reconstructed from the PMem scan
 (:mod:`repro.core.recovery`).
+
+The tagged-handle map is the paper's mechanism and stays authoritative
+for location tags; alongside it the index keeps a direct
+``key -> entry`` dict so single lookups skip the handle unpack and bulk
+lookups (:meth:`find_many`) run at C speed through
+:func:`operator.itemgetter` — the entry point of the vectorized
+pull/push fast paths.
 """
 
 from __future__ import annotations
 
-from typing import Iterator
+import operator
+from typing import Iterator, Sequence
 
 from repro.core.entry import EmbeddingEntry, EntryArena, Location, pack_handle, unpack_handle
 from repro.errors import ServerError
@@ -25,6 +33,7 @@ class HashIndex:
     def __init__(self) -> None:
         self._handles: dict[int, int] = {}
         self._arena = EntryArena()
+        self._entries: dict[int, EmbeddingEntry] = {}
 
     def __len__(self) -> int:
         return len(self._handles)
@@ -34,11 +43,24 @@ class HashIndex:
 
     def find(self, key: int) -> EmbeddingEntry | None:
         """Look up ``key``; returns None when absent (Algorithm 1 ``find``)."""
-        handle = self._handles.get(key)
-        if handle is None:
+        return self._entries.get(key)
+
+    def find_many(self, keys: Sequence[int]) -> tuple[EmbeddingEntry, ...] | None:
+        """All entries for ``keys`` at once, or None if ANY key is absent.
+
+        The all-or-nothing contract is what the vectorized fast paths
+        need: a single missing key sends the whole batch down the
+        per-key slow path, which handles creation / PMem residency.
+        """
+        if not keys:
+            return ()
+        try:
+            found = operator.itemgetter(*keys)(self._entries)
+        except KeyError:
             return None
-        slot, __ = unpack_handle(handle)
-        return self._arena.get(slot)
+        if len(keys) == 1:
+            return (found,)
+        return found
 
     def location_of(self, key: int) -> Location:
         """Read the tag bit without dereferencing the entry.
@@ -59,6 +81,7 @@ class HashIndex:
             raise ServerError(f"key {entry.key} already indexed")
         slot = self._arena.alloc(entry)
         self._handles[entry.key] = pack_handle(slot, entry.location)
+        self._entries[entry.key] = entry
 
     def set_location(self, entry: EmbeddingEntry, location: Location) -> None:
         """Flip the entry's location and its handle's tag bit together."""
@@ -74,6 +97,7 @@ class HashIndex:
             raise KeyError(key)
         slot, __ = unpack_handle(handle)
         self._arena.free(slot)
+        del self._entries[key]
 
     def entries(self) -> Iterator[EmbeddingEntry]:
         """Iterate all indexed entries (order unspecified)."""
@@ -86,6 +110,11 @@ class HashIndex:
 
     def validate(self) -> None:
         """Check tag-bit/entry consistency; used by tests."""
+        if len(self._entries) != len(self._handles):
+            raise ServerError(
+                f"direct map holds {len(self._entries)} entries, "
+                f"handle map {len(self._handles)}"
+            )
         for key, handle in self._handles.items():
             slot, location = unpack_handle(handle)
             entry = self._arena.get(slot)
@@ -96,3 +125,5 @@ class HashIndex:
                     f"tag bit {location.name} disagrees with entry location "
                     f"{entry.location.name} for key {key}"
                 )
+            if self._entries.get(key) is not entry:
+                raise ServerError(f"direct map disagrees with handle for key {key}")

@@ -6,6 +6,19 @@ the PS: workers push raw gradients and the PS applies the update rule
 keeps a per-entry accumulator that must live, persist and recover with
 the entry, so entries carry an ``opt_state`` vector of
 ``optimizer.state_width(dim)`` floats.
+
+Both rules are elementwise, so :meth:`PSOptimizer.apply_batch` applies a
+whole aggregated batch — ``(n, dim)`` weights/state/gradients — in one
+vectorized call that is bitwise-identical to ``n`` single-row
+:meth:`PSOptimizer.apply` calls. The cache's fast path depends on that
+equivalence.
+
+Dtype discipline: embedding state is float32 end to end. A float64
+gradient slipping in used to make ``state += grad * grad`` compute in
+float64 and truncate back on store — silently different results from
+the float32 path. All entry points now coerce gradients to float32
+first, so the arithmetic (and therefore the trained bits) never depends
+on the caller's gradient dtype.
 """
 
 from __future__ import annotations
@@ -15,6 +28,14 @@ import abc
 import numpy as np
 
 from repro.errors import ConfigError
+
+
+def coerce_f32(grad: np.ndarray) -> np.ndarray:
+    """Gradient as float32 (no copy when already float32)."""
+    grad = np.asarray(grad)
+    if grad.dtype != np.float32:
+        return grad.astype(np.float32)
+    return grad
 
 
 class PSOptimizer(abc.ABC):
@@ -34,6 +55,17 @@ class PSOptimizer(abc.ABC):
     ) -> None:
         """Apply one aggregated gradient in place to ``weights``/``state``."""
 
+    def apply_batch(
+        self, weights: np.ndarray, state: np.ndarray | None, grads: np.ndarray
+    ) -> None:
+        """Apply ``n`` aggregated gradients in place to ``(n, dim)`` blocks.
+
+        Must be bitwise-identical to ``n`` row-wise :meth:`apply` calls;
+        the default falls back to exactly that.
+        """
+        for i in range(len(weights)):
+            self.apply(weights[i], None if state is None else state[i], grads[i])
+
 
 class PSSGD(PSOptimizer):
     """Plain SGD: ``w -= lr * g``. Stateless."""
@@ -52,7 +84,12 @@ class PSSGD(PSOptimizer):
     def apply(
         self, weights: np.ndarray, state: np.ndarray | None, grad: np.ndarray
     ) -> None:
-        weights -= self.lr * grad
+        weights -= self.lr * coerce_f32(grad)
+
+    def apply_batch(
+        self, weights: np.ndarray, state: np.ndarray | None, grads: np.ndarray
+    ) -> None:
+        weights -= self.lr * coerce_f32(grads)
 
     def __repr__(self) -> str:
         return f"PSSGD(lr={self.lr})"
@@ -91,8 +128,24 @@ class PSAdagrad(PSOptimizer):
         self, weights: np.ndarray, state: np.ndarray | None, grad: np.ndarray
     ) -> None:
         assert state is not None, "Adagrad requires per-entry state"
+        grad = coerce_f32(grad)
         state += grad * grad
         weights -= self.lr * grad / (np.sqrt(state) + self.eps)
+
+    def apply_batch(
+        self, weights: np.ndarray, state: np.ndarray | None, grads: np.ndarray
+    ) -> None:
+        assert state is not None, "Adagrad requires per-entry state"
+        grads = coerce_f32(grads)
+        # Same arithmetic as ``apply`` with the temporaries reused:
+        # every op is elementwise, so the bits are identical.
+        sq = np.multiply(grads, grads)
+        state += sq
+        np.sqrt(state, out=sq)
+        sq += self.eps
+        step = np.multiply(grads, self.lr)
+        step /= sq
+        weights -= step
 
     def __repr__(self) -> str:
         return f"PSAdagrad(lr={self.lr})"

@@ -246,9 +246,10 @@ class PSNode:
         return dropped
 
     def _drop_key(self, entry) -> None:
-        if entry.in_lru:
-            self.cache.lru.remove(entry)
-        self.cache.index.remove(entry.key)
+        # drop_entry clears every cache structure (LRU link, residency
+        # maps, arena row, index handle) so the vectorized fast paths
+        # can never resolve a departed key.
+        self.cache.drop_entry(entry)
         self.store.drop_key(entry.key)
 
     # ------------------------------------------------------------------

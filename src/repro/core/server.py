@@ -140,7 +140,7 @@ class OpenEmbeddingServer:
             for node, node_keys, positions in zip(
                 self.nodes, per_node_keys, per_node_positions
             ):
-                if not node_keys:
+                if len(node_keys) == 0:
                     continue
                 result = node.pull(node_keys, batch_id)
                 hits += result.hits
@@ -169,7 +169,7 @@ class OpenEmbeddingServer:
             for node, node_keys, positions in zip(
                 self.nodes, per_node_keys, per_node_positions
             ):
-                if not node_keys:
+                if len(node_keys) == 0:
                     continue
                 node_grads = grads[positions] if grads is not None else None
                 updated += node.push(node_keys, node_grads, batch_id)

@@ -11,6 +11,8 @@ from __future__ import annotations
 import bisect
 from typing import Sequence
 
+import numpy as np
+
 from repro.errors import ConfigError
 
 _MASK64 = (1 << 64) - 1
@@ -18,10 +20,25 @@ _MASK64 = (1 << 64) - 1
 
 def mix64(value: int) -> int:
     """splitmix64 finalizer: a fast, well-distributed 64-bit mix."""
+    value = int(value)  # accept numpy scalars without overflow warnings
     value = (value + 0x9E3779B97F4A7C15) & _MASK64
     value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & _MASK64
     return value ^ (value >> 31)
+
+
+def mix64_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`mix64` over a uint64 array.
+
+    uint64 arithmetic wraps modulo 2^64, which is exactly the ``& MASK``
+    of the scalar version, so ``mix64_array(a)[i] == mix64(int(a[i]))``.
+    """
+    v = np.asarray(values, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        v = v + np.uint64(0x9E3779B97F4A7C15)
+        v = (v ^ (v >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+        v = (v ^ (v >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return v ^ (v >> np.uint64(31))
 
 
 class HashPartitioner:
@@ -40,21 +57,37 @@ class HashPartitioner:
 
     def split(
         self, keys: Sequence[int]
-    ) -> tuple[list[list[int]], list[list[int]]]:
-        """Partition ``keys`` by owner.
+    ) -> tuple[list[np.ndarray], list[np.ndarray]]:
+        """Partition ``keys`` by owner, vectorized.
 
         Returns ``(per_node_keys, per_node_positions)`` where
         ``per_node_positions[n][j]`` is the index in ``keys`` of
         ``per_node_keys[n][j]`` — used to scatter per-node responses
-        back into request order.
+        back into request order. Both are numpy arrays (uint64 keys,
+        intp positions); the stable owner sort preserves request order
+        within each node, matching the old append-in-scan-order lists.
         """
-        per_node_keys: list[list[int]] = [[] for __ in range(self.num_nodes)]
-        per_node_positions: list[list[int]] = [[] for __ in range(self.num_nodes)]
-        for position, key in enumerate(keys):
-            node = self.node_of(key)
-            per_node_keys[node].append(key)
-            per_node_positions[node].append(position)
+        arr = np.asarray(keys, dtype=np.uint64)
+        n = arr.size
+        if self.num_nodes == 1:
+            return [arr], [np.arange(n, dtype=np.intp)]
+        owners = self._owner_array(arr)
+        order = np.argsort(owners, kind="stable").astype(np.intp, copy=False)
+        counts = np.bincount(owners, minlength=self.num_nodes)
+        bounds = np.concatenate(([0], np.cumsum(counts)))
+        per_node_keys: list[np.ndarray] = []
+        per_node_positions: list[np.ndarray] = []
+        for node in range(self.num_nodes):
+            sel = order[bounds[node] : bounds[node + 1]]
+            per_node_keys.append(arr[sel])
+            per_node_positions.append(sel)
         return per_node_keys, per_node_positions
+
+    def _owner_array(self, arr: np.ndarray) -> np.ndarray:
+        """Owning node of every key in ``arr`` (vectorized ``node_of``)."""
+        return (mix64_array(arr) % np.uint64(self.num_nodes)).astype(
+            np.intp, copy=False
+        )
 
 
 DEFAULT_VNODES = 64
@@ -98,6 +131,8 @@ class ConsistentHashRing(HashPartitioner):
         points.sort()
         self._positions = [p for p, __ in points]
         self._owners = [owner for __, owner in points]
+        self._positions_arr = np.asarray(self._positions, dtype=np.uint64)
+        self._owners_arr = np.asarray(self._owners, dtype=np.intp)
 
     def node_of(self, key: int) -> int:
         """The shard owning ``key``: first vnode clockwise of ``mix64(key)``."""
@@ -108,6 +143,13 @@ class ConsistentHashRing(HashPartitioner):
         if idx == len(self._positions):
             idx = 0  # wrap past the top of the ring
         return self._owners[idx]
+
+    def _owner_array(self, arr: np.ndarray) -> np.ndarray:
+        points = mix64_array(arr)
+        # searchsorted(side="left") == bisect_left; wrap past the top.
+        idx = np.searchsorted(self._positions_arr, points, side="left")
+        idx[idx == len(self._positions_arr)] = 0
+        return self._owners_arr[idx]
 
     def with_nodes(self, num_nodes: int) -> "ConsistentHashRing":
         """A ring over ``num_nodes`` nodes with the same vnode count."""

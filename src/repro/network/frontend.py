@@ -190,9 +190,9 @@ class PSNodeService:
         with self.tracer.span(
             "ps.pull", node=self.node.node_id, keys=len(request.keys)
         ) as span:
-            result = self.node.pull(
-                [int(k) for k in request.keys], int(request.batch_id)
-            )
+            # The decoded key array goes straight through: the cache
+            # normalizes it once, instead of a per-key int() loop here.
+            result = self.node.pull(request.keys, int(request.batch_id))
             if result.weights is None:
                 raise ServerError("remote pull requires a value-mode node")
             span.set(hits=result.hits, misses=result.misses, created=result.created)
@@ -217,8 +217,11 @@ class PSNodeService:
                     self.node.metrics.rpc.dup_suppressed += 1
                     span.set(dup_suppressed=True)
                     return cached
+            # Keys and grads flow in as zero-copy decode views; the
+            # update path aggregates into fresh arrays, never mutating
+            # the (read-only) request payload.
             updated = self.node.push(
-                [int(k) for k in request.keys], request.grads, int(request.batch_id)
+                request.keys, request.grads, int(request.batch_id)
             )
             span.set(updated=updated)
             response = StatusResponse(code=StatusResponse.OK, value=updated)
@@ -774,12 +777,12 @@ class RemotePSClient:
         per_node_keys, per_node_positions = self.partitioner.split(keys)
         dim = self.server_config.embedding_dim
         out = np.empty((len(keys), dim), dtype=np.float32)
-        flows = sum(1 for node_keys in per_node_keys if node_keys)
+        flows = sum(1 for node_keys in per_node_keys if len(node_keys))
         hits = misses = created = 0
         for channel, node_keys, positions in zip(
             self.channels, per_node_keys, per_node_positions
         ):
-            if not node_keys:
+            if len(node_keys) == 0:
                 continue
             response = self._ha_call(
                 channel,
@@ -819,12 +822,12 @@ class RemotePSClient:
         if grads is None:
             raise ServerError("remote push requires gradients")
         per_node_keys, per_node_positions = self.partitioner.split(keys)
-        flows = sum(1 for node_keys in per_node_keys if node_keys)
+        flows = sum(1 for node_keys in per_node_keys if len(node_keys))
         updated = 0
         for channel, node_keys, positions in zip(
             self.channels, per_node_keys, per_node_positions
         ):
-            if not node_keys:
+            if len(node_keys) == 0:
                 continue
             self._push_seq += 1
             response = self._ha_call(

@@ -29,9 +29,11 @@ MaintainResponse        0x07  batch_id u64, processed u32, loads u32,
                               checkpoints_completed u32
 MigrateRequest          0x08  op u8, source u32, seq u64, width u32,
                               count u32, then keys u64[n] (EXPORT /
-                              DELETE) or per-key version payloads (PUT)
-MigrateResponse         0x09  width u32, count u32, per-key version
-                              payloads (EXPORT reply)
+                              DELETE) or the columnar entry block
+                              (PUT): keys u64[n], nversions u32[n],
+                              batch_ids i64[total], f32[total*width]
+MigrateResponse         0x09  width u32, count u32, columnar entry
+                              block (EXPORT reply)
 RingUpdateRequest       0x0A  requester u32 (reply: StatusResponse
                               whose value is the packed ring state)
 HeartbeatRequest        0x0B  node_id u32, requester u32 (reply:
@@ -48,6 +50,16 @@ copy applied) carries the same header, and
 :class:`~repro.network.frontend.PSNodeService` suppresses the replay —
 at-most-once gradient application under at-least-once delivery.
 ``seq == 0`` means "no dedup identity" (raw protocol users).
+
+Ownership contract (zero-copy decode): array fields of decoded
+messages — ``keys``, ``grads``, ``weights``, migration ``stored`` rows
+— are **read-only views into the received frame**, not fresh arrays.
+Decoding a frame costs one CRC pass and a few ``np.frombuffer`` view
+constructions, never a payload copy. Consumers that need to mutate (or
+outlive the frame) must copy explicitly; writing through a view raises
+``ValueError: assignment destination is read-only``, so a violation is
+loud, not silent. Bulk encoders likewise assemble the body in a single
+buffer with ``pack_into`` instead of concatenating per-field ``bytes``.
 """
 
 from __future__ import annotations
@@ -81,20 +93,22 @@ class PullRequest:
 
     def encode_body(self) -> bytes:
         keys = np.ascontiguousarray(self.keys, dtype="<u8")
-        return (
-            struct.pack("<QI", self.batch_id, len(keys)) + keys.tobytes()
-        )
+        body = bytearray(12 + keys.nbytes)
+        struct.pack_into("<QI", body, 0, self.batch_id, len(keys))
+        body[12:] = memoryview(keys).cast("B")
+        return body
 
     @classmethod
-    def decode_body(cls, body: bytes) -> "PullRequest":
+    def decode_body(cls, body) -> "PullRequest":
         if len(body) < 12:
             raise MessageError("truncated PullRequest")
         batch_id, nkeys = struct.unpack_from("<QI", body)
         expected = 12 + 8 * nkeys
         if len(body) != expected:
             raise MessageError(f"PullRequest length {len(body)}, want {expected}")
+        # Read-only view into the frame (ownership contract above).
         keys = np.frombuffer(body, dtype="<u8", count=nkeys, offset=12)
-        return cls(batch_id=batch_id, keys=keys.copy())
+        return cls(batch_id=batch_id, keys=keys)
 
 
 @dataclass(frozen=True)
@@ -119,26 +133,27 @@ class PullResponse:
         if weights.ndim != 2:
             raise MessageError(f"weights must be 2-D, got shape {weights.shape}")
         n, dim = weights.shape
-        return (
-            struct.pack(
-                "<QIIIII", self.batch_id, n, dim,
-                self.hits, self.misses, self.created,
-            )
-            + weights.tobytes()
+        body = bytearray(28 + weights.nbytes)
+        struct.pack_into(
+            "<QIIIII", body, 0, self.batch_id, n, dim,
+            self.hits, self.misses, self.created,
         )
+        body[28:] = memoryview(weights).cast("B")
+        return body
 
     @classmethod
-    def decode_body(cls, body: bytes) -> "PullResponse":
+    def decode_body(cls, body) -> "PullResponse":
         if len(body) < 28:
             raise MessageError("truncated PullResponse")
         batch_id, n, dim, hits, misses, created = struct.unpack_from("<QIIIII", body)
         expected = 28 + 4 * n * dim
         if len(body) != expected:
             raise MessageError(f"PullResponse length {len(body)}, want {expected}")
+        # Read-only view into the frame (ownership contract above).
         weights = np.frombuffer(body, dtype="<f4", count=n * dim, offset=28)
         return cls(
             batch_id=batch_id,
-            weights=weights.reshape(n, dim).copy(),
+            weights=weights.reshape(n, dim),
             hits=hits,
             misses=misses,
             created=created,
@@ -170,28 +185,31 @@ class PushRequest:
                 f"grads shape {grads.shape} inconsistent with {len(keys)} keys"
             )
         n, dim = grads.shape
-        return (
-            struct.pack(
-                "<QIQII", self.batch_id, self.worker_id, self.seq, n, dim
-            )
-            + keys.tobytes()
-            + grads.tobytes()
+        body = bytearray(28 + keys.nbytes + grads.nbytes)
+        struct.pack_into(
+            "<QIQII", body, 0, self.batch_id, self.worker_id, self.seq, n, dim
         )
+        body[28 : 28 + keys.nbytes] = memoryview(keys).cast("B")
+        body[28 + keys.nbytes :] = memoryview(grads).cast("B")
+        return body
 
     @classmethod
-    def decode_body(cls, body: bytes) -> "PushRequest":
+    def decode_body(cls, body) -> "PushRequest":
         if len(body) < 28:
             raise MessageError("truncated PushRequest")
         batch_id, worker_id, seq, n, dim = struct.unpack_from("<QIQII", body)
         expected = 28 + 8 * n + 4 * n * dim
         if len(body) != expected:
             raise MessageError(f"PushRequest length {len(body)}, want {expected}")
+        # Read-only views into the frame (ownership contract above): the
+        # update path aggregates into fresh arrays and never writes back
+        # through these.
         keys = np.frombuffer(body, dtype="<u8", count=n, offset=28)
         grads = np.frombuffer(body, dtype="<f4", count=n * dim, offset=28 + 8 * n)
         return cls(
             batch_id=batch_id,
-            keys=keys.copy(),
-            grads=grads.reshape(n, dim).copy(),
+            keys=keys,
+            grads=grads.reshape(n, dim),
             worker_id=worker_id,
             seq=seq,
         )
@@ -334,18 +352,28 @@ class StatusResponse:
     detail: str = ""
 
     def encode_body(self) -> bytes:
-        detail = self.detail.encode("utf-8")[:_MAX_DETAIL_BYTES]
+        detail = self.detail.encode("utf-8")
+        if len(detail) > _MAX_DETAIL_BYTES:
+            # Truncate at a character boundary: a raw byte slice can cut
+            # a multibyte UTF-8 sequence in half, making the frame decode
+            # to U+FFFD garbage. ``errors="ignore"`` drops only the
+            # trailing partial sequence (the input is valid UTF-8).
+            detail = (
+                detail[:_MAX_DETAIL_BYTES]
+                .decode("utf-8", errors="ignore")
+                .encode("utf-8")
+            )
         return struct.pack("<BqH", self.code, self.value, len(detail)) + detail
 
     @classmethod
-    def decode_body(cls, body: bytes) -> "StatusResponse":
+    def decode_body(cls, body) -> "StatusResponse":
         if len(body) < 11:
             raise MessageError(f"StatusResponse length {len(body)}, want >= 11")
         code, value, detail_len = struct.unpack_from("<BqH", body)
         expected = 11 + detail_len
         if len(body) != expected:
             raise MessageError(f"StatusResponse length {len(body)}, want {expected}")
-        detail = body[11:].decode("utf-8", errors="replace")
+        detail = bytes(body[11:]).decode("utf-8", errors="replace")
         return cls(code=code, value=value, detail=detail)
 
     @property
@@ -361,48 +389,77 @@ class StatusResponse:
 def _encode_entries(entries, width: int) -> bytes:
     """Pack ``[(key, [(batch_id, stored), ...]), ...]`` (migration payload).
 
+    Columnar layout: ``keys u64[count]``, ``nversions u32[count]``,
+    ``batch_ids i64[total]``, ``payload f32[total * width]`` — four raw
+    buffers instead of per-key-per-version struct packing, so encoding
+    a large transfer is four ``tobytes`` calls, not thousands.
+
     ``width`` is the float count of each stored array (weights +
     optimizer state); ``0`` means metadata-only (no payload floats).
     """
-    parts = []
-    for key, versions in entries:
-        parts.append(struct.pack("<QI", int(key), len(versions)))
+    count = len(entries)
+    keys = np.empty(count, dtype="<u8")
+    nversions = np.empty(count, dtype="<u4")
+    batch_ids: list[int] = []
+    payloads: list[np.ndarray] = []
+    for i, (key, versions) in enumerate(entries):
+        keys[i] = int(key)
+        nversions[i] = len(versions)
         for batch_id, stored in versions:
-            parts.append(struct.pack("<q", int(batch_id)))
+            batch_ids.append(int(batch_id))
             if width:
                 arr = np.ascontiguousarray(stored, dtype="<f4")
                 if arr.shape != (width,):
                     raise MessageError(
                         f"stored entry shape {arr.shape}, want ({width},)"
                     )
-                parts.append(arr.tobytes())
+                payloads.append(arr)
+    parts = [
+        keys.tobytes(),
+        nversions.tobytes(),
+        np.asarray(batch_ids, dtype="<i8").tobytes(),
+    ]
+    if payloads:
+        parts.append(np.concatenate(payloads).tobytes())
     return b"".join(parts)
 
 
-def _decode_entries(body: bytes, offset: int, count: int, width: int):
-    """Inverse of :func:`_encode_entries`; returns ``(entries, offset)``."""
+def _decode_entries(body, offset: int, count: int, width: int):
+    """Inverse of :func:`_encode_entries`; returns ``(entries, offset)``.
+
+    Decoded ``stored`` rows are read-only views into the frame's payload
+    block (ownership contract in the module docstring); the PMem pool
+    copies on write, so ingesting them is safe without a decode copy.
+    """
+    if len(body) < offset + 12 * count:
+        raise MessageError("truncated migration entry table")
+    keys = np.frombuffer(body, dtype="<u8", count=count, offset=offset)
+    offset += 8 * count
+    nversions = np.frombuffer(body, dtype="<u4", count=count, offset=offset)
+    offset += 4 * count
+    total = int(nversions.sum())
+    if len(body) < offset + 8 * total:
+        raise MessageError("truncated migration batch ids")
+    batch_ids = np.frombuffer(body, dtype="<i8", count=total, offset=offset)
+    offset += 8 * total
+    payload = None
+    if width:
+        if len(body) < offset + 4 * total * width:
+            raise MessageError("truncated migration payload")
+        payload = np.frombuffer(
+            body, dtype="<f4", count=total * width, offset=offset
+        ).reshape(total, width)
+        offset += 4 * total * width
     entries = []
-    payload = 4 * width
-    for __ in range(count):
-        if len(body) < offset + 12:
-            raise MessageError("truncated migration entry header")
-        key, nversions = struct.unpack_from("<QI", body, offset)
-        offset += 12
-        versions = []
-        for __ in range(nversions):
-            if len(body) < offset + 8 + payload:
-                raise MessageError("truncated migration entry version")
-            (batch_id,) = struct.unpack_from("<q", body, offset)
-            offset += 8
-            if width:
-                stored = np.frombuffer(
-                    body, dtype="<f4", count=width, offset=offset
-                ).copy()
-                offset += payload
-            else:
-                stored = None
-            versions.append((batch_id, stored))
-        entries.append((int(key), versions))
+    pos = 0
+    for i in range(count):
+        n = int(nversions[i])
+        versions = [
+            (int(batch_ids[j]), payload[j] if width else None)
+            for j in range(pos, pos + n)
+        ]
+        pos += n
+        entries.append((int(keys[i]), versions))
     return entries, offset
 
 
@@ -632,6 +689,10 @@ def encode_message(message) -> bytes:
 def decode_message(data: bytes):
     """Decode one framed message.
 
+    The body is handed to the per-message decoder as a ``memoryview``:
+    no slice copy, and array fields of the result are read-only views
+    into ``data`` (the ownership contract in the module docstring).
+
     Raises:
         MessageError: unknown type, truncation, trailing bytes, or a
             checksum mismatch (the frame was corrupted in flight).
@@ -639,7 +700,7 @@ def decode_message(data: bytes):
     if len(data) < _HEADER.size:
         raise MessageError(f"frame too short: {len(data)} bytes")
     msg_type, length, crc = _HEADER.unpack_from(data)
-    body = data[_HEADER.size :]
+    body = memoryview(data)[_HEADER.size :]
     if len(body) != length:
         raise MessageError(f"frame body {len(body)} bytes, header says {length}")
     if zlib.crc32(body) != crc:

@@ -1,0 +1,91 @@
+"""Unit tests for the contiguous embedding arena."""
+
+import numpy as np
+import pytest
+
+from repro.core.arena import EmbeddingArena
+from repro.errors import ServerError
+
+
+class TestAlloc:
+    def test_rows_are_distinct_and_in_range(self):
+        arena = EmbeddingArena(4, 0, initial_rows=8)
+        rows = [arena.alloc() for __ in range(8)]
+        assert sorted(rows) == list(range(8))
+        assert len(arena) == 8
+
+    def test_free_recycles(self):
+        arena = EmbeddingArena(4, 0, initial_rows=4)
+        row = arena.alloc()
+        arena.free(row)
+        assert len(arena) == 0
+        assert arena.alloc() == row
+
+    def test_free_rejects_bad_row(self):
+        arena = EmbeddingArena(4, 0, initial_rows=4)
+        with pytest.raises(ServerError):
+            arena.free(99)
+
+    def test_row_width_includes_state(self):
+        arena = EmbeddingArena(4, 4, initial_rows=2)
+        assert arena.row_width == 8
+        assert arena.data.shape == (2, 8)
+
+    def test_invalid_shape_rejected(self):
+        with pytest.raises(ServerError):
+            EmbeddingArena(0, 0)
+        with pytest.raises(ServerError):
+            EmbeddingArena(4, -1)
+        with pytest.raises(ServerError):
+            EmbeddingArena(4, 0, initial_rows=0)
+
+
+class TestGrowth:
+    def test_grow_preserves_contents_and_bumps_generation(self):
+        arena = EmbeddingArena(2, 0, initial_rows=2)
+        r0, r1 = arena.alloc(), arena.alloc()
+        arena.data[r0] = [1.0, 2.0]
+        arena.data[r1] = [3.0, 4.0]
+        gen = arena.generation
+        r2 = arena.alloc()  # forces a doubling
+        assert arena.generation == gen + 1
+        assert arena.capacity == 4
+        assert arena.data[r0].tolist() == [1.0, 2.0]
+        assert arena.data[r1].tolist() == [3.0, 4.0]
+        assert r2 not in (r0, r1)
+
+    def test_views_orphaned_by_growth(self):
+        """Growth replaces the backing matrix — old views keep the old
+        buffer, which is exactly why the cache rebinding exists."""
+        arena = EmbeddingArena(2, 0, initial_rows=1)
+        r0 = arena.alloc()
+        view = arena.weights_view(r0)
+        view[:] = 7.0
+        arena.alloc()  # grow
+        arena.data[r0] = 9.0
+        assert view[0] == 7.0  # the orphaned view did not follow
+        assert arena.weights_view(r0)[0] == 9.0
+
+    def test_many_allocs(self):
+        arena = EmbeddingArena(3, 1, initial_rows=2)
+        rows = [arena.alloc() for __ in range(100)]
+        assert len(set(rows)) == 100
+        assert arena.capacity >= 100
+        assert len(arena) == 100
+
+
+class TestViews:
+    def test_weights_and_state_partition_the_row(self):
+        arena = EmbeddingArena(3, 2, initial_rows=1)
+        row = arena.alloc()
+        arena.weights_view(row)[:] = 1.0
+        arena.state_view(row)[:] = 2.0
+        assert arena.data[row].tolist() == [1.0, 1.0, 1.0, 2.0, 2.0]
+
+    def test_state_view_none_when_stateless(self):
+        arena = EmbeddingArena(3, 0, initial_rows=1)
+        assert arena.state_view(arena.alloc()) is None
+
+    def test_float32(self):
+        arena = EmbeddingArena(3, 2, initial_rows=1)
+        assert arena.data.dtype == np.float32

@@ -1,0 +1,189 @@
+"""Property test: the vectorized arena hot path is bitwise-identical to
+the per-key dict-backed reference path.
+
+Two PS nodes run the SAME hypothesis-generated interleaving of
+pull/maintain/push (with duplicate keys), checkpoint requests, forced
+eviction (``drop_cache``) and a wire-framed migration roundtrip — one
+with ``CacheConfig.arena=True`` (vectorized fast paths), one with
+``arena=False`` (the legacy reference loops). Everything observable must
+match to the bit: pulled weights, live state, durable store contents
+*including optimizer state after eviction and reload*, and the metrics
+counters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig, ServerConfig
+from repro.core.optimizers import PSAdagrad, PSSGD
+from repro.core.ps_node import PSNode
+from repro.network.messages import (
+    MigrateResponse,
+    decode_message,
+    encode_message,
+)
+
+DIM = 3
+NUM_KEYS = 10
+
+
+def schedule_strategy():
+    """Per batch: keys (duplicates allowed), float64-gradient flag,
+    checkpoint-request flag, drop-cache flag."""
+    batch = st.tuples(
+        st.lists(st.integers(0, NUM_KEYS - 1), min_size=1, max_size=6),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+    )
+    return st.lists(batch, min_size=2, max_size=10)
+
+
+def make_node(arena: bool, capacity_entries: int, optimizer) -> PSNode:
+    entry_bytes = (DIM + optimizer.state_width(DIM)) * 4
+    server_config = ServerConfig(
+        embedding_dim=DIM, pmem_capacity_bytes=1 << 22, seed=7
+    )
+    cache_config = CacheConfig(
+        capacity_bytes=capacity_entries * entry_bytes, arena=arena
+    )
+    return PSNode(0, server_config, cache_config, optimizer)
+
+
+def drive(node: PSNode, schedule) -> list[np.ndarray]:
+    """Run the schedule; returns the pulled weights of every batch."""
+    pulled = []
+    for batch_id, (keys, f64, ckpt, drop) in enumerate(schedule):
+        result = node.pull(keys, batch_id)
+        pulled.append(np.array(result.weights, copy=True))
+        node.maintain(batch_id)
+        rng = np.random.default_rng((batch_id, 3))
+        grads = rng.standard_normal((len(keys), DIM)).astype(np.float32)
+        if f64:
+            # The float32 coercion at the aggregation boundary must make
+            # a float64 push arithmetically indistinguishable.
+            grads = grads.astype(np.float64)
+        node.push(keys, grads, batch_id)
+        if ckpt and batch_id > node.coordinator.last_completed:
+            pending = node.coordinator.queue.pending()
+            if not pending or pending[-1] < batch_id:
+                node.coordinator.request(batch_id)
+        if drop:
+            node.cache.drop_cache()
+        node.cache.validate()
+    return pulled
+
+
+def store_dump(node: PSNode) -> dict:
+    """Every durable (key, version) -> packed bytes (weights + state)."""
+    dump = {}
+    for key in node.cache.index.keys():
+        for version in node.store.versions_of(key):
+            __, stored = node.store.read_at_most(key, version)
+            dump[(key, version)] = None if stored is None else stored.tobytes()
+    return dump
+
+
+def metrics_tuple(node: PSNode) -> tuple:
+    m = node.metrics
+    return (
+        m.pulls,
+        m.updates,
+        m.entries_created,
+        m.cache.hits,
+        m.cache.misses,
+        m.cache.loads,
+        m.cache.flushes,
+        m.cache.evictions,
+        m.pmem_load_entries,
+        m.pmem_flush_entries,
+    )
+
+
+class TestArenaEquivalence:
+    @given(
+        schedule=schedule_strategy(),
+        capacity=st.integers(1, NUM_KEYS + 2),
+        adagrad=st.booleans(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_bitwise_equal_to_reference_path(self, schedule, capacity, adagrad):
+        make_opt = (
+            (lambda: PSAdagrad(lr=0.1)) if adagrad else (lambda: PSSGD(lr=0.25))
+        )
+        fast = make_node(arena=True, capacity_entries=capacity, optimizer=make_opt())
+        ref = make_node(arena=False, capacity_entries=capacity, optimizer=make_opt())
+
+        pulled_fast = drive(fast, schedule)
+        pulled_ref = drive(ref, schedule)
+        for batch_id, (a, b) in enumerate(zip(pulled_fast, pulled_ref)):
+            assert np.array_equal(a, b), f"pulled weights differ at batch {batch_id}"
+
+        snap_fast, snap_ref = fast.state_snapshot(), ref.state_snapshot()
+        assert set(snap_fast) == set(snap_ref)
+        for key in snap_fast:
+            assert np.array_equal(snap_fast[key], snap_ref[key]), f"key {key}"
+
+        # Durable contents — the packed bytes include optimizer state,
+        # so Adagrad accumulators surviving eviction + reload must match.
+        assert store_dump(fast) == store_dump(ref)
+        assert metrics_tuple(fast) == metrics_tuple(ref)
+
+    @given(
+        schedule=schedule_strategy(),
+        capacity=st.integers(1, 4),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_migration_roundtrip_preserves_bits(self, schedule, capacity):
+        """Export -> wire-frame -> ingest lands the identical bits on an
+        arena node, including per-version optimizer state."""
+        src = make_node(arena=False, capacity_entries=capacity, optimizer=PSAdagrad())
+        drive(src, schedule)
+        last = len(schedule) - 1
+        # The schedule may already have queued a checkpoint at ``last``;
+        # complete whatever is pending, then barrier only if needed —
+        # either way the newest durable version equals the live state.
+        src.cache.flush_all()
+        src.complete_pending_checkpoints()
+        if last > src.coordinator.last_completed:
+            src.barrier_checkpoint(last)
+        keys = sorted(src.owned_keys())
+        width = DIM + PSAdagrad().state_width(DIM)
+        frame = encode_message(
+            MigrateResponse(width=width, entries=tuple(src.export_entries(keys)))
+        )
+        decoded = decode_message(bytes(frame))
+
+        dst = make_node(arena=True, capacity_entries=capacity, optimizer=PSAdagrad())
+        assert dst.ingest_entries(list(decoded.entries)) == len(keys)
+        dst.seal_at(last)
+        snap_src, snap_dst = src.state_snapshot(), dst.state_snapshot()
+        assert set(snap_src) == set(snap_dst)
+        for key in keys:
+            assert np.array_equal(snap_src[key], snap_dst[key])
+        assert store_dump(src) == store_dump(dst)
+
+        # Training continues on the ingested node: loads promote the
+        # transferred rows into the arena and the fast path takes over.
+        extra = [(keys[:4] or [0], False, False, False)]
+        ref = make_node(arena=False, capacity_entries=capacity, optimizer=PSAdagrad())
+        assert ref.ingest_entries(list(decoded.entries)) == len(keys)
+        ref.seal_at(last)
+        for batch_id, step in enumerate(extra, start=last + 1):
+            ka = step[0]
+            a = dst.pull(ka, batch_id)
+            b = ref.pull(ka, batch_id)
+            assert np.array_equal(a.weights, b.weights)
+            dst.maintain(batch_id)
+            ref.maintain(batch_id)
+            grads = np.full((len(ka), DIM), 0.25, dtype=np.float32)
+            dst.push(ka, grads, batch_id)
+            ref.push(ka, grads, batch_id)
+        for key in keys:
+            assert np.array_equal(
+                dst.cache.read_current_weights(key),
+                ref.cache.read_current_weights(key),
+            )

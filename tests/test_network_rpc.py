@@ -86,10 +86,20 @@ class TestMessageRoundtrips:
         decoded = decode_message(encode_message(msg))
         assert len(decoded.keys) == 0
 
-    def test_decoded_arrays_are_writable_copies(self):
+    def test_decoded_arrays_are_readonly_views(self):
+        """The ownership contract: decode is zero-copy, views are frozen.
+
+        A consumer that needs to mutate must copy explicitly; writing
+        through the view must fail loudly, never silently alias the
+        received frame.
+        """
         msg = PullRequest(batch_id=0, keys=np.array([1], dtype=np.uint64))
         decoded = decode_message(encode_message(msg))
-        decoded.keys[0] = 99  # must not raise (not a frozen buffer view)
+        with pytest.raises(ValueError):
+            decoded.keys[0] = 99
+        owned = decoded.keys.copy()
+        owned[0] = 99  # the documented escape hatch
+        assert owned[0] == 99 and decoded.keys[0] == 1
 
 
 class TestMessageValidation:
