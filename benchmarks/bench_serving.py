@@ -1,0 +1,310 @@
+"""Online inference tier: hierarchical read path QPS / tail latency.
+
+The paper's deployments train *and serve* the same embedding tables
+(Section II's online scenarios). This bench prices the serving
+extension — :class:`repro.dlrm.hps.HierarchicalPS` in front of the
+replicated RPC cluster — under the paper's own Table 2 access skew
+(top 1% of keys -> 95.7% of accesses):
+
+* **uncached vs cached**: the same closed-loop request stream against
+  a tier with the hot-row cache disabled (every read pays wire + PMem)
+  and enabled (hot rows answer from a client-local DRAM probe). The
+  acceptance bar: the cached hit path's p99 must be at least 5x lower
+  than the uncached p99.
+* **flash crowd**: mid-run the hot set jumps to a disjoint key range;
+  the p99 spike and recovery are reported.
+* **train-while-serve chaos**: training pushes + checkpoint barriers
+  land on the same cluster while reads flow, then one serving
+  replica's primary is killed. Verdict: zero torn rows, zero rows
+  staler than the k-checkpoint bound, and reads keep being served
+  through the failover.
+
+Run under pytest-benchmark for the full report, or standalone for CI:
+
+    python benchmarks/bench_serving.py --smoke
+
+Headline numbers land in ``benchmarks/results/BENCH_serving.json``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+import numpy as np
+
+from repro.core.optimizers import PSAdagrad
+from repro.dlrm.hps import HierarchicalPS
+from repro.network.frontend import RemotePSClient
+from repro.obs.registry import MetricsRegistry
+from repro.simulation.clock import SimClock
+from repro.simulation.serving_sim import (
+    ServingCostModel,
+    ServingLoadDriver,
+    TrainServeSoak,
+)
+from repro.workload.distributions import TABLE2_BANDS, BandedSkewDistribution
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+NUM_KEYS = 20_000
+BATCH_KEYS = 64
+CACHE_ROWS = 512
+STALENESS_K = 1
+#: Table 2: access mass on the top 1% of keys (bands 1+2+3).
+TOP1PCT_SKEW = sum(mass for frac, mass in TABLE2_BANDS[:3])
+
+
+def build_tier(seed: int, capacity_rows: int, policy: str = "round_robin"):
+    """Replicated 3-shard RPC cluster + serving tier + closed-loop driver."""
+    from tests.harness.chaos import replicated_config
+    from tests.harness.crashpoints import cache_config
+
+    config = dataclasses.replace(
+        replicated_config(3, seed=seed, lease_s=0.5),
+        serving_replica_policy=policy,
+    )
+    clock = SimClock()
+    registry = MetricsRegistry()
+    client = RemotePSClient(
+        config, cache_config(), PSAdagrad(lr=0.05), clock=clock, registry=registry
+    )
+    client.enable_failover(registry)
+    tier = HierarchicalPS(
+        client,
+        capacity_rows=capacity_rows,
+        staleness_bound_k=STALENESS_K,
+        registry=registry,
+    )
+    distribution = BandedSkewDistribution(NUM_KEYS, seed=seed)
+    # The RPC channels charge the wire on the shared clock; the cost
+    # model adds only the device side (DRAM probe / PMem burst read).
+    driver = ServingLoadDriver(
+        tier,
+        distribution,
+        ServingCostModel(network=None),
+        clock,
+        batch_keys=BATCH_KEYS,
+        num_keys=NUM_KEYS,
+    )
+    return client, tier, driver
+
+
+def pretrain(client, batches: int, seed: int) -> None:
+    """Train the hot keys and complete one checkpoint (the serving pin)."""
+    rng = np.random.default_rng(seed)
+    dim = client.server_config.embedding_dim
+    distribution = BandedSkewDistribution(NUM_KEYS, seed=seed)
+    for batch in range(batches):
+        keys = distribution.sample_keys(256)
+        grads = rng.normal(0, 0.01, size=(len(keys), dim)).astype(np.float32)
+        client.pull(keys, batch)
+        client.maintain(batch)
+        client.push(keys, grads, batch)
+    client.barrier_checkpoint()
+
+
+def run_cached_vs_uncached(warm: int, measure: int) -> dict:
+    """The headline comparison; returns the result dict."""
+    # Uncached: every row of every request pays wire + shard device.
+    client_u, __, driver_u = build_tier(seed=11, capacity_rows=0)
+    pretrain(client_u, batches=6, seed=11)
+    uncached = driver_u.run(measure)
+
+    # Cached: identical stream; warm first, then measure steady state.
+    client_c, tier_c, driver_c = build_tier(seed=11, capacity_rows=CACHE_ROWS)
+    pretrain(client_c, batches=6, seed=11)
+    driver_c.run(warm)
+    cached = driver_c.run(measure)
+
+    speedup = (
+        uncached.latency.p99 / cached.hit_latency.p99
+        if cached.hit_latency.p99
+        else float("inf")
+    )
+    return {
+        "skew_top1pct": TOP1PCT_SKEW,
+        "uncached": uncached.summary(),
+        "cached": cached.summary(),
+        "hit_path_p99_speedup": speedup,
+    }
+
+
+def run_flash_crowd(warm: int, measure: int) -> dict:
+    """Mid-run hot-set jump: p99 while the cache re-warms."""
+    client, tier, driver = build_tier(seed=23, capacity_rows=CACHE_ROWS)
+    pretrain(client, batches=6, seed=23)
+    driver.run(warm)
+    stationary = driver.run(measure)
+    driver.key_offset = NUM_KEYS // 2  # disjoint hot set: the crowd moves
+    crowd = driver.run(measure)
+    recovered = driver.run(measure)
+    return {
+        "stationary_p99_us": stationary.latency.p99 * 1e6,
+        "crowd_p99_us": crowd.latency.p99 * 1e6,
+        "recovered_p99_us": recovered.latency.p99 * 1e6,
+        "stationary_hit_rate": stationary.hit_rate,
+    }
+
+
+def run_chaos(requests: int) -> dict:
+    """Train-while-serve soak with a mid-run primary kill."""
+    client, tier, driver = build_tier(seed=37, capacity_rows=CACHE_ROWS)
+    soak = TrainServeSoak(
+        tier,
+        client,
+        driver,
+        rng_seed=37,
+        train_every=3,
+        checkpoint_every=2,
+        kill_primary_at=requests // 2,
+        kill_node=0,
+    )
+    verdict = soak.run(requests)
+    return {
+        "requests": verdict.requests,
+        "rows_audited": verdict.rows_audited,
+        "torn_rows": verdict.torn_rows,
+        "stale_rows": verdict.stale_rows,
+        "max_staleness": verdict.max_staleness,
+        "staleness_bound_k": STALENESS_K,
+        "kills": verdict.kills,
+        "served_through_kill": verdict.served_through_kill,
+        "p99_us": verdict.report.latency.p99 * 1e6,
+    }
+
+
+def check(results: dict) -> list[str]:
+    """The acceptance bars; returns a list of failure strings."""
+    failures = []
+    headline = results["cached_vs_uncached"]
+    if headline["hit_path_p99_speedup"] < 5.0:
+        failures.append(
+            f"hit-path p99 speedup {headline['hit_path_p99_speedup']:.1f}x < 5x"
+        )
+    chaos = results["chaos"]
+    if chaos["torn_rows"]:
+        failures.append(f"{chaos['torn_rows']} torn rows served")
+    if chaos["stale_rows"]:
+        failures.append(f"{chaos['stale_rows']} rows beyond the staleness bound")
+    if chaos["kills"] and not chaos["served_through_kill"]:
+        failures.append("no reads served after the primary kill")
+    return failures
+
+
+def run_all(warm: int, measure: int, chaos_requests: int) -> tuple[dict, list[str]]:
+    results = {
+        "cached_vs_uncached": run_cached_vs_uncached(warm, measure),
+        "flash_crowd": run_flash_crowd(warm, measure),
+        "chaos": run_chaos(chaos_requests),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    headline = results["cached_vs_uncached"]
+    payload = {
+        "bench": "serving",
+        "skew_top1pct": TOP1PCT_SKEW,
+        "qps_cached": headline["cached"]["qps"],
+        "qps_uncached": headline["uncached"]["qps"],
+        "p99_us_cached": headline["cached"]["p99_us"],
+        "p99_us_uncached": headline["uncached"]["p99_us"],
+        "hit_p99_us": headline["cached"]["hit_p99_us"],
+        "hit_path_p99_speedup": headline["hit_path_p99_speedup"],
+        "hit_rate": headline["cached"]["hit_rate"],
+        "chaos": results["chaos"],
+    }
+    (RESULTS_DIR / "BENCH_serving.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    return results, check(results)
+
+
+def test_serving_tier(benchmark, report):
+    from benchmarks.conftest import run_once
+
+    results, failures = run_once(
+        benchmark, lambda: run_all(warm=100, measure=300, chaos_requests=150)
+    )
+    headline = results["cached_vs_uncached"]
+    crowd = results["flash_crowd"]
+    chaos = results["chaos"]
+    report.title(
+        "serving", "Extension: hierarchical online serving tier (HPS-style)"
+    )
+    report.row(
+        "access skew (top 1%)", "95.7% (Table 2)", f"{TOP1PCT_SKEW:.1%}"
+    )
+    report.row(
+        "uncached p99", "-", f"{headline['uncached']['p99_us']:.1f} us"
+    )
+    report.row(
+        "cached p99", "-", f"{headline['cached']['p99_us']:.1f} us",
+        f"hit rate {headline['cached']['hit_rate']:.1%}",
+    )
+    report.row(
+        "hit-path p99", ">= 5x lower",
+        f"{headline['cached']['hit_p99_us']:.2f} us "
+        f"({headline['hit_path_p99_speedup']:.0f}x)",
+    )
+    report.row(
+        "QPS cached/uncached", "-",
+        f"{headline['cached']['qps']:.0f} / {headline['uncached']['qps']:.0f}",
+    )
+    report.row(
+        "flash crowd p99", "-",
+        f"{crowd['stationary_p99_us']:.0f} -> {crowd['crowd_p99_us']:.0f} "
+        f"-> {crowd['recovered_p99_us']:.0f} us",
+    )
+    report.row(
+        "chaos torn/stale rows", "0 / 0",
+        f"{chaos['torn_rows']} / {chaos['stale_rows']} "
+        f"({chaos['rows_audited']} audited, k={chaos['staleness_bound_k']})",
+    )
+    report.row(
+        "served through kill", "yes",
+        "yes" if chaos["served_through_kill"] else "NO",
+    )
+    assert not failures, "; ".join(failures)
+
+
+def smoke() -> int:
+    """Short serving run for CI: same acceptance bars, smaller load."""
+    print("serving smoke: cached vs uncached + flash crowd + chaos soak")
+    results, failures = run_all(warm=40, measure=100, chaos_requests=100)
+    headline = results["cached_vs_uncached"]
+    chaos = results["chaos"]
+    print(
+        f"  cached p99={headline['cached']['p99_us']:.1f}us "
+        f"(hit p99={headline['cached']['hit_p99_us']:.2f}us, "
+        f"hit rate {headline['cached']['hit_rate']:.1%}) "
+        f"uncached p99={headline['uncached']['p99_us']:.1f}us "
+        f"speedup={headline['hit_path_p99_speedup']:.0f}x"
+    )
+    print(
+        f"  chaos: torn={chaos['torn_rows']} stale={chaos['stale_rows']} "
+        f"kills={chaos['kills']} served_through_kill={chaos['served_through_kill']}"
+    )
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    print("serving smoke:", "FAIL" if failures else "PASS")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="short closed-loop serving run with the full verdict (CI)",
+    )
+    args = parser.parse_args()
+    if not args.smoke:
+        parser.error("run the full report via pytest; standalone supports --smoke")
+    raise SystemExit(smoke())

@@ -35,16 +35,21 @@ from repro.config import (
 from repro.core import (
     CheckpointCoordinator,
     HashPartitioner,
+    LookupResult,
     OpenEmbeddingServer,
     PipelinedCache,
     PSAdagrad,
-    PSBackend,
     PSNode,
     PSOptimizer,
     PSSGD,
+    ReadBackend,
     RecoveryReport,
+    ReplicaSelector,
+    ServingBackend,
+    TrainBackend,
     aggregate_maintain,
     check_backend,
+    check_serving_backend,
     recover_node,
 )
 from repro.errors import (
@@ -72,6 +77,12 @@ __all__ = [
     "ServerConfig",
     "WorkloadConfig",
     "PSBackend",
+    "ReadBackend",
+    "TrainBackend",
+    "ServingBackend",
+    "LookupResult",
+    "ReplicaSelector",
+    "check_serving_backend",
     "aggregate_maintain",
     "check_backend",
     "OpenEmbeddingServer",
@@ -95,3 +106,14 @@ __all__ = [
     "RecoveryError",
     "CrashError",
 ]
+
+
+def __getattr__(name: str):
+    # PSBackend is a deprecated alias of TrainBackend (see
+    # repro.core.backend); resolve it lazily so importing repro stays
+    # warning-free while direct use still warns.
+    if name == "PSBackend":
+        from repro.core import backend as _backend
+
+        return _backend.PSBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

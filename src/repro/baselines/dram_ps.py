@@ -20,6 +20,7 @@ import numpy as np
 from repro.config import ServerConfig
 from repro.core.cache import MaintainResult, PullResult
 from repro.core.optimizers import PSOptimizer, PSSGD
+from repro.core.serving_backend import LookupResult
 from repro.baselines.incremental import CheckpointStats, IncrementalCheckpointer
 from repro.errors import (
     CheckpointError,
@@ -103,6 +104,70 @@ class DRAMPSNode:
     def maintain(self, batch_id: int) -> list[MaintainResult]:
         """No cache tier to maintain; returns an empty shard list."""
         return []
+
+    @property
+    def latest_serving_snapshot(self) -> int:
+        """Batch id of the newest durable incremental checkpoint."""
+        return self.checkpointer.last_checkpoint_batch
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Monotone count of committed checkpoints (staleness clock)."""
+        return self.checkpointer.checkpoint_epoch
+
+    def lookup(self, keys: Sequence[int], snapshot_id: int | None = None) -> LookupResult:
+        """Snapshot-pinned read from the durable checkpoint.
+
+        The incremental checkpointer retains only the *newest* committed
+        checkpoint (each dump overwrites the per-key ``("ckpt", key)``
+        entry), so the only servable pin is
+        :attr:`latest_serving_snapshot`; older pins raise. Keys never
+        checkpointed serve the deterministic key-seeded initializer.
+
+        Raises:
+            ServerError: metadata-only node.
+            CheckpointError: no committed checkpoint, or ``snapshot_id``
+                names any checkpoint other than the retained one.
+        """
+        if self.metadata_only:
+            raise ServerError("lookup requires a value-mode node")
+        latest = self.checkpointer.last_checkpoint_batch
+        if snapshot_id is None:
+            snapshot_id = latest
+        if snapshot_id < 0 or snapshot_id != latest:
+            raise CheckpointError(
+                f"snapshot {snapshot_id} is not servable (incremental "
+                f"checkpointing retains only checkpoint {latest})"
+            )
+        cfg = self.server_config
+        dim = cfg.embedding_dim
+        n = len(keys)
+        weights = np.empty((n, dim), dtype=np.float32)
+        hits = cold = 0
+        for i, key in enumerate(keys):
+            try:
+                stored = self.checkpointer.read_entry(int(key))
+            except KeyError:
+                stored = None
+            if stored is None:
+                rng = np.random.default_rng((cfg.seed, int(key)))
+                weights[i] = rng.uniform(
+                    -cfg.initializer_scale, cfg.initializer_scale, dim
+                ).astype(np.float32)
+                cold += 1
+            else:
+                weights[i] = np.asarray(stored)[:dim]
+                hits += 1
+        self.metrics.serving_lookups += 1
+        self.metrics.serving_rows += n
+        self.metrics.serving_cold_rows += cold
+        return LookupResult(
+            weights=weights,
+            snapshot_id=snapshot_id,
+            hits=hits,
+            cold=cold,
+            row_snapshots=np.full(n, snapshot_id, dtype=np.int64),
+        )
 
     def push(
         self, keys: Sequence[int], grads: np.ndarray | None, batch_id: int

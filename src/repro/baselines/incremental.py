@@ -68,6 +68,25 @@ class IncrementalCheckpointer:
         self._dirty.update(int(k) for k in keys)
 
     @property
+    def last_checkpoint_batch(self) -> int:
+        """Batch id of the latest committed checkpoint (-1 if none)."""
+        return self.pool.root.get(_CKPT_BATCH_FIELD, -1)
+
+    @property
+    def checkpoint_epoch(self) -> int:
+        """Monotone count of committed checkpoints (durable; survives
+        restore — the epoch root field advances with each commit)."""
+        return self.pool.root.get(_CKPT_EPOCH_FIELD, 0)
+
+    def read_entry(self, key: int) -> np.ndarray | None:
+        """One key's durable checkpointed payload.
+
+        Raises:
+            KeyError: the key was never checkpointed.
+        """
+        return self.pool.read(("ckpt", key))
+
+    @property
     def dirty_count(self) -> int:
         return len(self._dirty)
 

@@ -30,8 +30,9 @@ from repro.core.cache import MaintainResult, PullResult
 from repro.core.entry import EmbeddingEntry, Location
 from repro.core.ps_node import PSNode
 from repro.core.optimizers import PSOptimizer
+from repro.core.serving_backend import LookupResult
 from repro.baselines.incremental import CheckpointStats, IncrementalCheckpointer
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, ServerError
 from repro.pmem.pool import PmemPool
 from repro.simulation.device import MemoryDevice, PMEM_SPEC
 
@@ -98,6 +99,75 @@ class OriCacheNode:
         updated = self._node.push(keys, grads, batch_id)
         self.checkpointer.mark_dirty(keys)
         return updated
+
+    # ------------------------------------------------------------------
+    # serving reads — from the durable incremental checkpoint
+    # ------------------------------------------------------------------
+
+    @property
+    def latest_serving_snapshot(self) -> int:
+        """Batch id of the newest durable incremental checkpoint."""
+        return self.checkpointer.last_checkpoint_batch
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Monotone count of committed checkpoints (staleness clock)."""
+        return self.checkpointer.checkpoint_epoch
+
+    def lookup(
+        self, keys: Sequence[int], snapshot_id: int | None = None
+    ) -> LookupResult:
+        """Snapshot-pinned read from the durable checkpoint.
+
+        Like DRAM-PS, the incremental checkpointer retains only the
+        *newest* committed checkpoint, so the only servable pin is
+        :attr:`latest_serving_snapshot`. Keys never checkpointed serve
+        the deterministic key-seeded initializer.
+
+        Raises:
+            ServerError: metadata-only node.
+            CheckpointError: no committed checkpoint, or ``snapshot_id``
+                names any checkpoint other than the retained one.
+        """
+        if self._node.metadata_only:
+            raise ServerError("lookup requires a value-mode node")
+        latest = self.checkpointer.last_checkpoint_batch
+        if snapshot_id is None:
+            snapshot_id = latest
+        if snapshot_id < 0 or snapshot_id != latest:
+            raise CheckpointError(
+                f"snapshot {snapshot_id} is not servable (incremental "
+                f"checkpointing retains only checkpoint {latest})"
+            )
+        cfg = self.server_config
+        dim = cfg.embedding_dim
+        n = len(keys)
+        weights = np.empty((n, dim), dtype=np.float32)
+        hits = cold = 0
+        for i, key in enumerate(keys):
+            try:
+                stored = self.checkpointer.read_entry(int(key))
+            except KeyError:
+                stored = None
+            if stored is None:
+                rng = np.random.default_rng((cfg.seed, int(key)))
+                weights[i] = rng.uniform(
+                    -cfg.initializer_scale, cfg.initializer_scale, dim
+                ).astype(np.float32)
+                cold += 1
+            else:
+                weights[i] = np.asarray(stored)[:dim]
+                hits += 1
+        self.metrics.serving_lookups += 1
+        self.metrics.serving_rows += n
+        self.metrics.serving_cold_rows += cold
+        return LookupResult(
+            weights=weights,
+            snapshot_id=snapshot_id,
+            hits=hits,
+            cold=cold,
+            row_snapshots=np.full(n, snapshot_id, dtype=np.int64),
+        )
 
     # ------------------------------------------------------------------
     # checkpoint / recovery (incremental, like DRAM-PS)
@@ -178,6 +248,10 @@ class OriCacheNode:
     @property
     def metrics(self):
         return self._node.metrics
+
+    @property
+    def server_config(self) -> ServerConfig:
+        return self._node.server_config
 
     @property
     def cache(self):

@@ -21,6 +21,7 @@ import numpy as np
 from repro.config import ServerConfig
 from repro.core.cache import MaintainResult, PullResult
 from repro.core.optimizers import PSOptimizer, PSSGD
+from repro.core.serving_backend import LookupResult
 from repro.errors import CheckpointError, KeyNotFoundError, ServerError
 from repro.pmem.pool import PmemPool
 from repro.simulation.metrics import Metrics
@@ -80,6 +81,78 @@ class PMemHashNode:
     def maintain(self, batch_id: int) -> list[MaintainResult]:
         """No cache tier; returns an empty shard list."""
         return []
+
+    @property
+    def latest_serving_snapshot(self) -> int:
+        """Newest nominally-servable batch (Observation 2 caveat applies).
+
+        PMem-Hash has no version retention: every write is durable the
+        moment it lands, so there is nothing newer to wait for — but
+        there is also no *older* state to pin to, and concurrent pushes
+        mean a "snapshot" here is only as consistent as the in-place
+        writes happen to be. :meth:`lookup` documents the caveat.
+        """
+        return self.latest_completed_batch
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Every completed batch is immediately durable here, so the
+        "checkpoint" count is simply the number of completed batches."""
+        return self.latest_completed_batch + 1
+
+    def lookup(
+        self, keys: Sequence[int], snapshot_id: int | None = None
+    ) -> LookupResult:
+        """Read live pool state (NOT batch-consistent — Observation 2).
+
+        The snapshot pin is validated for range but cannot actually pin:
+        with in-place updates and no versioning, the rows returned are
+        whatever batch each entry last saw. This is the baseline's
+        consistency gap that OpenEmbedding's versioned store closes.
+        Missing keys serve the deterministic key-seeded initializer.
+
+        Raises:
+            ServerError: metadata-only node.
+            CheckpointError: ``snapshot_id`` is negative or newer than
+                any completed batch.
+        """
+        if self.metadata_only:
+            raise ServerError("lookup requires a value-mode node")
+        latest = self.latest_completed_batch
+        if snapshot_id is None:
+            snapshot_id = latest
+        if snapshot_id < 0 or snapshot_id > latest:
+            raise CheckpointError(
+                f"snapshot {snapshot_id} is not a completed batch "
+                f"(newest completed: {latest})"
+            )
+        cfg = self.server_config
+        dim = cfg.embedding_dim
+        n = len(keys)
+        weights = np.empty((n, dim), dtype=np.float32)
+        hits = cold = 0
+        for i, key in enumerate(keys):
+            pool_key = ("entry", int(key))
+            if pool_key in self.pool:
+                stored = self.pool.read(pool_key)
+                weights[i] = stored[:dim]
+                hits += 1
+            else:
+                rng = np.random.default_rng((cfg.seed, int(key)))
+                weights[i] = rng.uniform(
+                    -cfg.initializer_scale, cfg.initializer_scale, dim
+                ).astype(np.float32)
+                cold += 1
+        self.metrics.serving_lookups += 1
+        self.metrics.serving_rows += n
+        self.metrics.serving_cold_rows += cold
+        return LookupResult(
+            weights=weights,
+            snapshot_id=snapshot_id,
+            hits=hits,
+            cold=cold,
+            row_snapshots=np.full(n, snapshot_id, dtype=np.int64),
+        )
 
     def push(
         self, keys: Sequence[int], grads: np.ndarray | None, batch_id: int

@@ -1,14 +1,15 @@
 """Command-line interface.
 
-Seven subcommands::
+Eight subcommands::
 
-    repro simulate  --system pmem_oe --workers 16 ...   # one simulated epoch
-    repro train     --batches 200 --crash-at 120 ...    # functional DeepFM demo
-    repro plan      --model-gb 500 --mttf-hours 12      # sizing & intervals
-    repro workload  --keys 500000 ...                   # Table II skew check
-    repro faults    --drop 0.05 --duplicate 0.03 ...    # lossy-wire RPC demo
-    repro metrics   run.metrics.json                    # pretty-print a snapshot
-    repro reproduce fig7 table2 ...                     # run paper experiments
+    repro simulate   --system pmem_oe --workers 16 ...   # one simulated epoch
+    repro train      --batches 200 --crash-at 120 ...    # functional DeepFM demo
+    repro serve-bench --requests 400 --kill-at 200 ...   # online serving QPS/p99
+    repro plan       --model-gb 500 --mttf-hours 12      # sizing & intervals
+    repro workload   --keys 500000 ...                   # Table II skew check
+    repro faults     --drop 0.05 --duplicate 0.03 ...    # lossy-wire RPC demo
+    repro metrics    run.metrics.json                    # pretty-print a snapshot
+    repro reproduce  fig7 table2 ...                     # run paper experiments
 
 ``simulate`` and ``train`` accept ``--trace-out FILE.json`` (Chrome
 ``trace_event`` timeline, open in Perfetto / ``chrome://tracing``) and
@@ -364,6 +365,105 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if identical else 1
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Closed-loop online serving benchmark over the RPC cluster."""
+    import dataclasses
+
+    from repro.core.optimizers import PSAdagrad
+    from repro.dlrm.hps import HierarchicalPS
+    from repro.network.frontend import RemotePSClient
+    from repro.obs import MetricsRegistry
+    from repro.simulation.clock import SimClock
+    from repro.simulation.serving_sim import (
+        ServingCostModel,
+        ServingLoadDriver,
+        TrainServeSoak,
+    )
+    from repro.workload.distributions import BandedSkewDistribution
+
+    server_config = ServerConfig(
+        num_nodes=args.nodes,
+        embedding_dim=args.dim,
+        pmem_capacity_bytes=1 << 26,
+        seed=args.seed,
+        partitioner="ring",
+        replicas=args.replicas,
+        lease_s=0.5,
+    )
+    server_config = dataclasses.replace(
+        server_config, serving_replica_policy=args.policy
+    )
+    cache_config = CacheConfig(capacity_bytes=args.cache_kb << 10)
+    clock = SimClock()
+    registry = MetricsRegistry()
+    client = RemotePSClient(
+        server_config, cache_config, PSAdagrad(lr=0.05),
+        clock=clock, registry=registry,
+    )
+    if args.replicas == 2:
+        client.enable_failover(registry)
+    tier = HierarchicalPS(
+        client,
+        capacity_rows=args.cache_rows,
+        staleness_bound_k=args.staleness_k,
+        registry=registry,
+    )
+    distribution = BandedSkewDistribution(args.keys, seed=args.seed)
+    driver = ServingLoadDriver(
+        tier, distribution, ServingCostModel(network=None), clock,
+        batch_keys=args.batch_keys, num_keys=args.keys,
+    )
+    rng = np.random.default_rng(args.seed)
+    for batch in range(args.pretrain_batches):
+        keys = distribution.sample_keys(256)
+        grads = rng.normal(0, 0.01, (len(keys), args.dim)).astype(np.float32)
+        client.pull(keys, batch)
+        client.maintain(batch)
+        client.push(keys, grads, batch)
+    client.barrier_checkpoint()
+
+    kill_at = args.kill_at if args.kill_at and args.kill_at < args.requests else None
+    if kill_at is not None and args.replicas != 2:
+        print("error: --kill-at needs --replicas 2 (hot failover)",
+              file=sys.stderr)
+        return 2
+    driver.run(args.warm)
+    if kill_at is not None:
+        soak = TrainServeSoak(
+            tier, client, driver, rng_seed=args.seed,
+            train_every=3, checkpoint_every=2,
+            kill_primary_at=kill_at, kill_node=0,
+        )
+        verdict = soak.run(args.requests)
+        report = verdict.report
+    else:
+        verdict = None
+        report = driver.run(args.requests)
+    print(f"requests          : {report.requests} "
+          f"({args.batch_keys} keys each, {args.keys} key space)")
+    print(f"cache             : {args.cache_rows} rows, "
+          f"staleness bound k={args.staleness_k}, policy {args.policy}")
+    print(f"throughput        : {report.qps:.0f} req/s (simulated)")
+    print(f"latency p50/p95/p99: {report.latency.p50 * 1e6:.1f} / "
+          f"{report.latency.p95 * 1e6:.1f} / "
+          f"{report.latency.p99 * 1e6:.1f} us")
+    print(f"hit rate          : {tier.stats.hit_rate:.1%} "
+          f"({tier.stats.cache_hits} hits / {tier.stats.rows} rows)")
+    if report.hit_latency.count:
+        print(f"hit-path p99      : {report.hit_latency.p99 * 1e6:.2f} us")
+    if report.miss_latency.count:
+        print(f"miss-path p99     : {report.miss_latency.p99 * 1e6:.1f} us")
+    if verdict is not None:
+        print(f"chaos             : killed node 0's primary at request "
+              f"{kill_at}; served through kill: "
+              f"{verdict.served_through_kill}")
+        print(f"consistency       : {verdict.rows_audited} rows audited, "
+              f"{verdict.torn_rows} torn, {verdict.stale_rows} beyond k "
+              f"(max staleness {verdict.max_staleness})")
+        return 0 if not (verdict.torn_rows or verdict.stale_rows) else 1
+    return 0
+
+
 def _cmd_metrics(args: argparse.Namespace) -> int:
     """Pretty-print a JSON metrics snapshot written by --metrics-out."""
     import json
@@ -562,6 +662,43 @@ def build_parser() -> argparse.ArgumentParser:
                         help="cost of one checkpoint in seconds (C in "
                              "Young's sqrt(2*C*MTTF); used with --mttf)")
     faults.set_defaults(handler=_cmd_faults)
+
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        help="online serving tier: closed-loop QPS / tail latency "
+             "(optionally train-while-serve chaos with --kill-at)",
+    )
+    serve_bench.add_argument("--requests", type=int, default=400,
+                             help="measured closed-loop requests")
+    serve_bench.add_argument("--warm", type=int, default=100,
+                             help="cache warm-up requests before measuring")
+    serve_bench.add_argument("--batch-keys", type=int, default=64,
+                             help="embedding rows per request")
+    serve_bench.add_argument("--keys", type=int, default=20_000,
+                             help="key-space size (Table II banded skew)")
+    serve_bench.add_argument("--cache-rows", type=int, default=512,
+                             help="hot-row cache capacity (0 disables)")
+    serve_bench.add_argument("--staleness-k", type=int, default=1,
+                             help="max checkpoints a served row may lag")
+    serve_bench.add_argument("--policy",
+                             choices=["primary", "round_robin", "least_loaded"],
+                             default="round_robin",
+                             help="replica fan-out policy for shard reads")
+    serve_bench.add_argument("--nodes", type=int, default=3)
+    serve_bench.add_argument("--replicas", type=int, default=2,
+                             help="replicas per shard (2 enables failover)")
+    serve_bench.add_argument("--dim", type=int, default=8)
+    serve_bench.add_argument("--cache-kb", type=int, default=64,
+                             help="training-side PS cache size")
+    serve_bench.add_argument("--pretrain-batches", type=int, default=6,
+                             help="training batches before the first "
+                                  "checkpoint pin")
+    serve_bench.add_argument("--kill-at", type=int, default=None,
+                             help="kill a serving primary after this many "
+                                  "measured requests (train-while-serve "
+                                  "chaos; audits consistency)")
+    serve_bench.add_argument("--seed", type=int, default=11)
+    serve_bench.set_defaults(handler=_cmd_serve_bench)
 
     metrics = sub.add_parser(
         "metrics", help="pretty-print a JSON metrics snapshot (--metrics-out)"

@@ -155,6 +155,11 @@ class ServerConfig:
         heartbeat_interval_s: how often the detector probes each shard
             and renews its lease; must be strictly less than
             ``lease_s`` or healthy nodes would flap dead.
+        serving_replica_policy: which replica of a shard answers
+            serving lookups (see
+            :class:`~repro.core.serving_backend.ReplicaSelector`):
+            ``"round_robin"`` (default), ``"least_loaded"``, or
+            ``"primary"``. Irrelevant with ``replicas=1``.
     """
 
     num_nodes: int = 1
@@ -168,6 +173,7 @@ class ServerConfig:
     replicas: int = 1
     lease_s: float = 0.5
     heartbeat_interval_s: float = 0.1
+    serving_replica_policy: str = "round_robin"
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -194,6 +200,13 @@ class ServerConfig:
             raise ConfigError(
                 "heartbeat_interval_s must be < lease_s "
                 f"({self.heartbeat_interval_s} >= {self.lease_s})"
+            )
+        if self.serving_replica_policy not in (
+            "primary", "round_robin", "least_loaded"
+        ):
+            raise ConfigError(
+                "serving_replica_policy must be 'primary', 'round_robin' "
+                f"or 'least_loaded', got {self.serving_replica_policy!r}"
             )
 
     @property

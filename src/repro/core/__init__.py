@@ -15,11 +15,21 @@ This package implements the paper's primary contribution:
 from repro.core.backend import (
     PS_BACKEND_METHODS,
     PS_BACKEND_PROPERTIES,
-    PSBackend,
+    READ_BACKEND_METHODS,
+    READ_BACKEND_PROPERTIES,
+    TRAIN_BACKEND_METHODS,
+    ReadBackend,
+    TrainBackend,
     aggregate_maintain,
     check_backend,
 )
 from repro.core.cache import MaintainResult, PipelinedCache, PullResult
+from repro.core.serving_backend import (
+    LookupResult,
+    ReplicaSelector,
+    ServingBackend,
+    check_serving_backend,
+)
 from repro.core.checkpoint import CheckpointCoordinator
 from repro.core.entry import EmbeddingEntry, Location, pack_handle, unpack_handle
 from repro.core.failover import (
@@ -41,8 +51,17 @@ from repro.core.sharding import HashPartitioner
 
 __all__ = [
     "PSBackend",
+    "ReadBackend",
+    "TrainBackend",
     "PS_BACKEND_METHODS",
     "PS_BACKEND_PROPERTIES",
+    "READ_BACKEND_METHODS",
+    "READ_BACKEND_PROPERTIES",
+    "TRAIN_BACKEND_METHODS",
+    "ServingBackend",
+    "LookupResult",
+    "ReplicaSelector",
+    "check_serving_backend",
     "aggregate_maintain",
     "check_backend",
     "EmbeddingEntry",
@@ -73,3 +92,14 @@ __all__ = [
     "NodeState",
     "PromotionReport",
 ]
+
+
+def __getattr__(name: str):
+    # PSBackend is a deprecated alias of TrainBackend; resolving it
+    # lazily keeps `import repro.core` warning-free while still warning
+    # anyone who actually touches the old name.
+    if name == "PSBackend":
+        from repro.core import backend as _backend
+
+        return _backend.PSBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,17 +1,37 @@
-"""The formal parameter-server backend protocol.
+"""The formal parameter-server backend protocols.
 
 Every embedding store a trainer can run against — the in-process
 :class:`~repro.core.server.OpenEmbeddingServer`, the wire-level
 :class:`~repro.network.frontend.RemotePSClient`, and the baselines in
-:mod:`repro.baselines` — implements :class:`PSBackend`. Trainers, the
-prefetch pipeline and the simulators accept *only* this protocol, so
-any conforming backend is interchangeable; tests assert that training
-the same model over different backends yields bit-identical weights.
+:mod:`repro.baselines` — implements :class:`TrainBackend`. Trainers,
+the prefetch pipeline and the simulators accept *only* this protocol,
+so any conforming backend is interchangeable; tests assert that
+training the same model over different backends yields bit-identical
+weights.
 
-The protocol is structural (:class:`typing.Protocol`): backends do not
-inherit from it, they merely expose the right surface, which
-``isinstance(backend, PSBackend)`` verifies at runtime thanks to
-``@runtime_checkable``.
+The surface is split by role:
+
+* :class:`ReadBackend` — what a *reader* needs: ``pull`` (training-order
+  reads that feed the cache), ``lookup`` (snapshot-pinned serving
+  reads), and the ``num_entries`` / ``latest_completed_batch`` /
+  ``latest_serving_snapshot`` / ``checkpoints_completed``
+  introspection properties. The online
+  inference tier (:class:`~repro.dlrm.hps.HierarchicalPS`,
+  :meth:`~repro.dlrm.serving.InferenceSession.from_backend`) requires
+  only this.
+* :class:`TrainBackend` — a :class:`ReadBackend` that can also mutate:
+  ``push`` / ``maintain`` plus checkpoint control and
+  ``state_snapshot``. Trainers require this.
+
+Both protocols are structural (:class:`typing.Protocol`): backends do
+not inherit from them, they merely expose the right surface, which
+``isinstance(backend, TrainBackend)`` verifies at runtime thanks to
+``@runtime_checkable``. :func:`check_backend` validates either role
+with a friendlier error.
+
+``PSBackend`` — the pre-split name for the whole surface — remains
+importable as a deprecated alias of :class:`TrainBackend` and warns on
+first access.
 
 ``maintain`` returns ``list[MaintainResult]`` — one element per shard —
 on every backend. Baselines without deferred maintenance return an
@@ -23,15 +43,30 @@ one summed :class:`~repro.core.cache.MaintainResult`.
 
 from __future__ import annotations
 
+import warnings
 from typing import Iterable, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
 from repro.core.cache import MaintainResult, PullResult
+from repro.core.serving_backend import LookupResult
 
-#: Method names every backend must expose (used by conformance tests).
-PS_BACKEND_METHODS = (
+#: Method names every reader must expose (used by conformance tests).
+READ_BACKEND_METHODS = (
     "pull",
+    "lookup",
+)
+
+#: Read-only attributes every reader must expose.
+READ_BACKEND_PROPERTIES = (
+    "num_entries",
+    "latest_completed_batch",
+    "latest_serving_snapshot",
+    "checkpoints_completed",
+)
+
+#: Additional method names a trainable backend must expose.
+TRAIN_BACKEND_METHODS = (
     "push",
     "maintain",
     "request_checkpoint",
@@ -40,16 +75,65 @@ PS_BACKEND_METHODS = (
     "state_snapshot",
 )
 
-#: Read-only attributes every backend must expose.
-PS_BACKEND_PROPERTIES = (
-    "num_entries",
-    "latest_completed_batch",
-)
+#: The full (train-role) method surface — kept for back-compat with
+#: pre-split callers that iterated the fat-protocol tuples.
+PS_BACKEND_METHODS = READ_BACKEND_METHODS + TRAIN_BACKEND_METHODS
+
+#: The full (train-role) property surface.
+PS_BACKEND_PROPERTIES = READ_BACKEND_PROPERTIES
 
 
 @runtime_checkable
-class PSBackend(Protocol):
-    """Structural protocol of an embedding parameter server.
+class ReadBackend(Protocol):
+    """Structural protocol of a read-only embedding backend.
+
+    Two read paths with different contracts:
+
+    * ``pull(keys, b)`` — the *training* read: serves the live (newest)
+      weights and feeds the cache's access stream for batch ``b``;
+    * ``lookup(keys, snapshot_id)`` — the *serving* read: pinned to a
+      Checkpointed Batch ID so concurrent training never tears a row,
+      and side-effect-free on cache state.
+    """
+
+    def pull(self, keys: Sequence[int], batch_id: int) -> PullResult:
+        """Gather live weights for ``keys``, in request order."""
+        ...
+
+    def lookup(
+        self, keys: Sequence[int], snapshot_id: int | None = None
+    ) -> LookupResult:
+        """Snapshot-pinned serving read of ``keys``, in request order."""
+        ...
+
+    @property
+    def num_entries(self) -> int:
+        """Distinct embedding entries stored."""
+        ...
+
+    @property
+    def latest_completed_batch(self) -> int:
+        """Newest batch whose updates fully applied (-1 before training)."""
+        ...
+
+    @property
+    def latest_serving_snapshot(self) -> int:
+        """Newest checkpoint completed by every shard (-1 if none)."""
+        ...
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Monotone count of completed checkpoints.
+
+        Checkpoint ids are batch ids (not consecutive), so "at most k
+        checkpoints stale" can only be measured against this counter.
+        """
+        ...
+
+
+@runtime_checkable
+class TrainBackend(ReadBackend, Protocol):
+    """Structural protocol of a trainable embedding parameter server.
 
     The synchronous-batch contract (Figure 5):
 
@@ -61,13 +145,8 @@ class PSBackend(Protocol):
 
     Checkpoint control (``request_checkpoint`` queues, completion is
     opportunistic; ``barrier_checkpoint`` forces completion) and
-    introspection (``num_entries``, ``state_snapshot``,
-    ``latest_completed_batch``) round out the surface.
+    introspection (``state_snapshot``) round out the surface.
     """
-
-    def pull(self, keys: Sequence[int], batch_id: int) -> PullResult:
-        """Gather weights for ``keys``, in request order."""
-        ...
 
     def push(
         self, keys: Sequence[int], grads: np.ndarray | None, batch_id: int
@@ -92,17 +171,15 @@ class PSBackend(Protocol):
         ...
 
     def state_snapshot(self) -> dict[int, np.ndarray]:
-        """Live weights of every key (testing / equivalence checks)."""
-        ...
+        """Live weights of every key.
 
-    @property
-    def num_entries(self) -> int:
-        """Distinct embedding entries stored."""
-        ...
-
-    @property
-    def latest_completed_batch(self) -> int:
-        """Newest batch whose updates fully applied (-1 before training)."""
+        Training/debug-only: the result is *not* checkpoint-consistent —
+        it reads whatever each shard holds right now, so rows pushed by
+        an in-flight batch are visible. Serving and model export must go
+        through the snapshot-pinned ``lookup`` path instead (see
+        :mod:`repro.core.serving_backend` and
+        :func:`repro.dlrm.serving.export_model`).
+        """
         ...
 
 
@@ -142,22 +219,55 @@ def aggregate_maintain(
     )
 
 
-def check_backend(backend: object) -> PSBackend:
-    """Validate ``backend`` against the protocol; returns it typed.
+_ROLE_SURFACES = {
+    "read": (READ_BACKEND_METHODS, READ_BACKEND_PROPERTIES, "ReadBackend"),
+    "train": (PS_BACKEND_METHODS, PS_BACKEND_PROPERTIES, "TrainBackend"),
+}
+
+
+def check_backend(backend: object, role: str = "train"):
+    """Validate ``backend`` against the protocol for ``role``; returns it.
+
+    Args:
+        backend: the candidate object.
+        role: ``"train"`` (default) checks the full
+            :class:`TrainBackend` surface; ``"read"`` checks only the
+            :class:`ReadBackend` surface the serving tier needs.
 
     Raises:
+        ValueError: ``role`` is not ``"read"`` or ``"train"``.
         TypeError: the object is missing part of the surface, with the
             missing names spelled out (friendlier than a bare
             ``isinstance`` failure).
     """
+    try:
+        methods, properties, proto_name = _ROLE_SURFACES[role]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend role {role!r}; choose 'read' or 'train'"
+        ) from None
     missing = [
         name
-        for name in (*PS_BACKEND_METHODS, *PS_BACKEND_PROPERTIES)
+        for name in (*methods, *properties)
         if not hasattr(backend, name)
     ]
     if missing:
         raise TypeError(
-            f"{type(backend).__name__} does not implement PSBackend; "
+            f"{type(backend).__name__} does not implement {proto_name}; "
             f"missing: {', '.join(sorted(missing))}"
         )
-    return backend  # type: ignore[return-value]
+    return backend
+
+
+def __getattr__(name: str):
+    # Deprecated alias kept importable without triggering the warning at
+    # module-import time (so merely importing repro.core stays silent).
+    if name == "PSBackend":
+        warnings.warn(
+            "PSBackend is deprecated; use TrainBackend (trainer-facing) "
+            "or ReadBackend (serving-facing) from repro.core.backend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return TrainBackend
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -421,6 +421,8 @@ class PipelinedCache:
                 # kept for robustness: read-modify-write through the
                 # store, which retains checkpoint-protected versions.
                 self._update_in_pmem(entry, grad, batch_id, value_mode)
+            if batch_id > entry.updated:
+                entry.updated = batch_id
         self.metrics.updates += len(aggregated)
         return len(aggregated)
 
@@ -467,6 +469,8 @@ class PipelinedCache:
         advance = False
         for entry in entries:
             entry.dirty = True
+            if batch_id > entry.updated:
+                entry.updated = batch_id
             if batch_id > entry.version:
                 advance = True
         if advance:
@@ -514,6 +518,7 @@ class PipelinedCache:
             flushed = 0
             for entry in self.lru:
                 self._flush(entry)
+                self._backfill_pending(entry)
                 flushed += 1
             span.set(flushed=flushed)
             return flushed
@@ -537,6 +542,7 @@ class PipelinedCache:
         while len(self.lru) > 0:
             victim = self.lru.pop_victim()
             self._flush(victim)
+            self._backfill_pending(victim)
             self._demote(victim)
             dropped += 1
         return dropped
@@ -690,6 +696,27 @@ class PipelinedCache:
         elif self.config.policy == EvictionPolicy.CLOCK:
             entry.referenced = True
 
+    def _backfill_pending(self, entry: EmbeddingEntry) -> None:
+        """Give pending checkpoints a durable row despite read-advances.
+
+        Read-only traffic (evaluation pulls, serving warm-up) advances
+        ``entry.version`` without changing state. A checkpoint then
+        requested at a barrier ``B < entry.version`` finds the flush
+        stamped too new — ``read_at_most(key, B)`` misses the row even
+        though the bytes *are* the state at ``B``, because nothing
+        updated the entry since ``entry.updated <= B``. Write one extra
+        version at the smallest such barrier; reads pinned to every
+        higher pending barrier resolve to it too. Barriers below
+        ``entry.updated`` were already served by flush-before-advance
+        when the update landed.
+        """
+        for barrier in self.coordinator.queue.pending():
+            if barrier >= entry.version:
+                return
+            if barrier >= entry.updated:
+                self.store.put(entry.key, barrier, self._pack(entry))
+                return
+
     def _flush(self, entry: EmbeddingEntry) -> None:
         """Persist the entry's current state under its current version."""
         if not entry.in_dram:
@@ -774,6 +801,7 @@ class PipelinedCache:
             if victim.dirty or not self.config.track_dirty:
                 self._flush(victim)
                 flushes += 1
+            self._backfill_pending(victim)
             self._demote(victim)
             evictions += 1
             self.metrics.cache.evictions += 1

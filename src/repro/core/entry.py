@@ -58,6 +58,11 @@ class EmbeddingEntry:
             same residency rules as weights.
         version: batch id of the last access (Algorithm 1 line 10 /
             Algorithm 2 lines 16, 20).
+        updated: batch id at which the entry's *state* last changed
+            (creation, gradient update, or the durable version it was
+            loaded from). Read-only traffic advances ``version`` but not
+            ``updated``; the gap tells a flush that the current bytes
+            still equal the state at any barrier in between.
         location: DRAM or PMEM — the tag bit of the index handle.
         dirty: weights were updated since the last flush (used by the
             dirty-tracking ablation; the paper's system always flushes).
@@ -73,6 +78,7 @@ class EmbeddingEntry:
         "weights",
         "opt_state",
         "version",
+        "updated",
         "location",
         "dirty",
         "referenced",
@@ -88,6 +94,7 @@ class EmbeddingEntry:
         self.weights: np.ndarray | None = None
         self.opt_state: np.ndarray | None = None
         self.version = version
+        self.updated = version
         self.location = Location.DRAM
         self.dirty = False
         self.referenced = False

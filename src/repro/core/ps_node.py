@@ -21,7 +21,8 @@ from repro.core.cache import MaintainResult, PipelinedCache, PullResult
 from repro.core.checkpoint import CheckpointCoordinator
 from repro.core.entry import EmbeddingEntry, Location
 from repro.core.optimizers import PSOptimizer, PSSGD
-from repro.errors import CheckpointError
+from repro.core.serving_backend import LookupResult
+from repro.errors import CheckpointError, ServerError
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.pmem.pool import PmemPool
 from repro.pmem.space import VersionedEntryStore
@@ -109,6 +110,84 @@ class PSNode:
         updated = self.cache.update(keys, grads, batch_id)
         self.latest_completed_batch = max(self.latest_completed_batch, batch_id)
         return updated
+
+    # ------------------------------------------------------------------
+    # serving reads
+    # ------------------------------------------------------------------
+
+    @property
+    def latest_serving_snapshot(self) -> int:
+        """Newest completed checkpoint — the only valid serving pin.
+
+        Intermediate batch ids are NOT safe snapshot points: between
+        barriers the version store prunes versions no retention barrier
+        protects, so reading "at most batch b" for an uncheckpointed b
+        could silently resolve to an older row. Serving therefore pins
+        exclusively to completed checkpoint ids.
+        """
+        return self.coordinator.last_completed
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Monotone count of checkpoints completed by this node.
+
+        Checkpoint *ids* are batch ids, so consecutive completed
+        checkpoints are not numerically adjacent — a staleness bound of
+        "at most k checkpoints behind" can only be enforced against this
+        counter, never by subtracting snapshot ids.
+        """
+        return self.coordinator.completed_count
+
+    def lookup(self, keys, snapshot_id: int | None = None) -> LookupResult:
+        """Serve a snapshot-pinned batched read (the inference path).
+
+        Unlike :meth:`pull`, a lookup never perturbs cache state — no
+        access-stream append, no LRU touch, no entry creation — and
+        reads durable versions ``<= snapshot_id`` straight from the
+        store, so concurrent training cannot tear a row. Keys with no
+        durable version at the snapshot (created later, or never seen)
+        serve the deterministic key-seeded initializer: exactly the
+        weights they had (virtually) at snapshot time.
+
+        Raises:
+            ServerError: metadata-only node (no real weights to serve).
+            CheckpointError: ``snapshot_id`` is newer than the newest
+                completed checkpoint (or no checkpoint exists yet).
+        """
+        if self.metadata_only:
+            raise ServerError("lookup requires a value-mode node")
+        latest = self.coordinator.last_completed
+        if snapshot_id is None:
+            snapshot_id = latest
+        if snapshot_id < 0 or snapshot_id > latest:
+            raise CheckpointError(
+                f"snapshot {snapshot_id} is not a completed checkpoint "
+                f"(newest completed: {latest})"
+            )
+        dim = self.server_config.embedding_dim
+        initializer = self.cache.initializer
+        n = len(keys)
+        weights = np.empty((n, dim), dtype=np.float32)
+        hits = cold = 0
+        for i, key in enumerate(keys):
+            try:
+                __, stored = self.store.read_at_most(int(key), snapshot_id)
+            except KeyError:
+                weights[i] = initializer(int(key))
+                cold += 1
+            else:
+                weights[i] = stored[:dim]
+                hits += 1
+        self.metrics.serving_lookups += 1
+        self.metrics.serving_rows += n
+        self.metrics.serving_cold_rows += cold
+        return LookupResult(
+            weights=weights,
+            snapshot_id=snapshot_id,
+            hits=hits,
+            cold=cold,
+            row_snapshots=np.full(n, snapshot_id, dtype=np.int64),
+        )
 
     # ------------------------------------------------------------------
     # checkpoint control

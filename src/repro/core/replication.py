@@ -159,6 +159,33 @@ class ReplicatedPSNode:
             self._rebuild_touched.update(keys)
         return result
 
+    def lookup(self, keys, snapshot_id: int | None = None, replica: int = 0):
+        """Serve a snapshot-pinned read from a chosen replica.
+
+        Reads never mutate, so — unlike ``pull`` — they are NOT
+        mirrored: the serving tier exploits this to fan lookups out
+        across primary AND backup (``replica=1`` targets the backup,
+        which holds bitwise-identical durable state). A degraded shard
+        transparently collapses every replica index onto the primary,
+        so a mid-stream failover only shrinks the fan-out.
+        """
+        self._check_alive()
+        target = self.backup if (replica == 1 and self.backup is not None) else self.primary
+        return target.lookup(keys, snapshot_id)
+
+    @property
+    def latest_serving_snapshot(self) -> int:
+        """Newest completed checkpoint (primary's view; replicas agree)."""
+        return self.primary.latest_serving_snapshot
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Monotone completed-checkpoint count (primary's view). After a
+        failover the promoted backup's counter may lag the dead
+        primary's — a regression the serving tier treats as a full cache
+        invalidation, which is safe (never under-counts staleness)."""
+        return self.primary.checkpoints_completed
+
     def maintain(self, batch_id: int) -> MaintainResult:
         self._check_alive()
         result = self.primary.maintain(batch_id)

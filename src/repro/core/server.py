@@ -21,6 +21,7 @@ from repro.core.cache import MaintainResult, PullResult
 from repro.core.ps_node import PSNode
 from repro.core.optimizers import PSOptimizer, PSSGD
 from repro.core.recovery import RecoveryReport, recover_node
+from repro.core.serving_backend import LookupResult, ReplicaSelector
 from repro.core.sharding import (
     RING_STATE_FIELD,
     HashPartitioner,
@@ -77,6 +78,12 @@ class OpenEmbeddingServer:
             self.server_config.ring_vnodes,
         )
         self.ring_epoch = 0
+        # Serving reads fan out across a replicated shard's primary +
+        # backup (reads never mutate, so the hot-standby doubles as a
+        # serving replica).
+        self.replica_selector = ReplicaSelector(
+            policy=self.server_config.serving_replica_policy
+        )
         if nodes is None:
             self.nodes = [
                 self._build_node(node_id, self.server_config)
@@ -150,6 +157,67 @@ class OpenEmbeddingServer:
                     out[positions] = result.weights
             span.set(hits=hits, misses=misses, created=created)
             return PullResult(weights=out, hits=hits, misses=misses, created=created)
+
+    def lookup(self, keys, snapshot_id: int | None = None) -> LookupResult:
+        """Serve a snapshot-pinned batched read across shards.
+
+        The serving read path: pinned to a cluster-wide Checkpointed
+        Batch ID (defaults to :attr:`latest_serving_snapshot`), routed
+        by the partitioner, and — on replicated shards — fanned out
+        across primary/backup replicas by the configured
+        :class:`~repro.core.serving_backend.ReplicaSelector` policy.
+        Never perturbs cache or LRU state.
+        """
+        with self.tracer.span(
+            "server.lookup", track="serving", keys=len(keys)
+        ) as span:
+            if snapshot_id is None:
+                snapshot_id = self.global_completed_checkpoint
+            per_node_keys, per_node_positions = self.partitioner.split(keys)
+            out = np.empty(
+                (len(keys), self.server_config.embedding_dim), dtype=np.float32
+            )
+            row_snapshots = np.empty(len(keys), dtype=np.int64)
+            hits = cold = 0
+            for node, node_keys, positions in zip(
+                self.nodes, per_node_keys, per_node_positions
+            ):
+                if len(node_keys) == 0:
+                    continue
+                replicas = ReplicaSelector.replica_count(node)
+                if replicas > 1:
+                    replica = self.replica_selector.pick(node.node_id, replicas)
+                    result = node.lookup(node_keys, snapshot_id, replica=replica)
+                else:
+                    result = node.lookup(node_keys, snapshot_id)
+                hits += result.hits
+                cold += result.cold
+                out[positions] = result.weights
+                row_snapshots[positions] = (
+                    result.row_snapshots
+                    if result.row_snapshots is not None
+                    else result.snapshot_id
+                )
+            span.set(snapshot=snapshot_id, hits=hits, cold=cold)
+            return LookupResult(
+                weights=out,
+                snapshot_id=snapshot_id,
+                hits=hits,
+                cold=cold,
+                row_snapshots=row_snapshots,
+            )
+
+    @property
+    def latest_serving_snapshot(self) -> int:
+        """Newest checkpoint completed by ALL shards — the serving pin."""
+        return self.global_completed_checkpoint
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Monotone count of checkpoints completed by ALL shards (the
+        serving tier's staleness clock — checkpoint ids are batch ids,
+        so lag in checkpoints cannot be derived from id arithmetic)."""
+        return min(node.checkpoints_completed for node in self.nodes)
 
     def maintain(self, batch_id: int) -> list[MaintainResult]:
         """Run the maintenance round on every shard."""
@@ -439,12 +507,24 @@ class OpenEmbeddingServer:
     def num_entries(self) -> int:
         return sum(node.num_entries for node in self.nodes)
 
+    def owned_keys(self) -> list[int]:
+        """Every key the cluster currently holds, across all shards."""
+        keys: list[int] = []
+        for node in self.nodes:
+            keys.extend(node.owned_keys())
+        return keys
+
     def read_weights(self, key: int) -> np.ndarray:
         """Live weights of one key, routed to its shard."""
         return self.nodes[self.partitioner.node_of(key)].read_weights(key)
 
     def state_snapshot(self) -> dict[int, np.ndarray]:
-        """Live weights of every key across all shards."""
+        """Live weights of every key across all shards.
+
+        Training/debug-only: not checkpoint-consistent (in-flight batch
+        updates are visible). Serving and export go through the pinned
+        :meth:`lookup` path instead.
+        """
         snapshot: dict[int, np.ndarray] = {}
         for node in self.nodes:
             snapshot.update(node.state_snapshot())

@@ -1,0 +1,206 @@
+"""The serving-side read protocol: snapshot-pinned batched lookups.
+
+Training talks to the PS through
+:class:`~repro.core.backend.TrainBackend`; *serving* needs far less —
+and far stricter reads. This module defines that contract:
+
+* :class:`LookupResult` — the return of one batched ``lookup``: a dense
+  ``(n, dim)`` weight matrix plus the snapshot every row was read at;
+* :class:`ServingBackend` — the structural protocol of anything the
+  online inference tier can read from: the in-process
+  :class:`~repro.core.server.OpenEmbeddingServer`, the wire-level
+  :class:`~repro.network.frontend.RemotePSClient`, the baselines, and
+  the hierarchical :class:`~repro.dlrm.hps.HierarchicalPS` client cache
+  itself;
+* :class:`ReplicaSelector` — read fan-out policy across a shard's
+  primary + backup replicas (round-robin / least-loaded / primary).
+
+Consistency contract (the tentpole invariant): every lookup is pinned
+to a **Checkpointed Batch ID** — a checkpoint that has durably
+completed on every shard. Rows are read with
+:meth:`~repro.pmem.space.VersionedEntryStore.read_at_most` against that
+barrier, so a train-while-serve cluster can keep pushing gradients and
+completing newer checkpoints without a reader ever observing a torn
+row (half of batch ``b``, half of batch ``b+1``). Keys created after
+the pinned snapshot serve the deterministic key-seeded initializer —
+exactly the vector they had (virtually) at snapshot time.
+
+Only *completed* checkpoint ids are valid snapshots: between barriers
+the version store is free to recycle intermediate versions, so pinning
+to an arbitrary batch id could silently read an older row. Backends
+enforce ``snapshot_id <= latest_serving_snapshot`` and the serving tier
+only ever pins to values it observed from ``latest_serving_snapshot``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+#: Methods every serving-capable backend must expose.
+SERVING_BACKEND_METHODS = ("lookup",)
+
+#: Read-only attributes every serving-capable backend must expose.
+SERVING_BACKEND_PROPERTIES = (
+    "latest_serving_snapshot",
+    "checkpoints_completed",
+    "num_entries",
+)
+
+#: Replica fan-out policies understood by :class:`ReplicaSelector`.
+REPLICA_POLICIES = ("primary", "round_robin", "least_loaded")
+
+
+@dataclass
+class LookupResult:
+    """One batched serving read.
+
+    Attributes:
+        weights: ``(n, dim)`` float32 matrix, one row per requested key,
+            in request order. Rows are fresh arrays (never views into a
+            store or a wire frame).
+        snapshot_id: the Checkpointed Batch ID the read was pinned to.
+            For a hierarchical read some rows may come from an older
+            (still staleness-bounded) snapshot; ``row_snapshots`` then
+            carries the per-row provenance.
+        hits: rows served from a durable version at or below the
+            snapshot.
+        cold: rows whose key had no durable version at the snapshot
+            (created later, or never created) — served the
+            deterministic key-seeded initializer.
+        row_snapshots: optional ``(n,)`` int64 array of the snapshot
+            each row was actually read at (consistency audits); when
+            None, every row is at ``snapshot_id``.
+    """
+
+    weights: np.ndarray
+    snapshot_id: int
+    hits: int = 0
+    cold: int = 0
+    row_snapshots: np.ndarray | None = None
+
+
+@runtime_checkable
+class ServingBackend(Protocol):
+    """Structural protocol of a snapshot-consistent embedding reader.
+
+    ``lookup(keys, snapshot_id)`` must return every requested row as it
+    stood at the pinned Checkpointed Batch ID (``snapshot_id=None``
+    means "the newest one"), never a torn or partially-updated row.
+    ``latest_serving_snapshot`` is the newest checkpoint durably
+    completed by every shard (-1 before the first checkpoint).
+    """
+
+    def lookup(
+        self, keys: Sequence[int], snapshot_id: int | None = None
+    ) -> LookupResult:
+        """Batched snapshot-pinned read of ``keys``, in request order."""
+        ...
+
+    @property
+    def latest_serving_snapshot(self) -> int:
+        """Newest cluster-wide completed checkpoint id (-1 if none)."""
+        ...
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Monotone count of completed checkpoints (staleness clock)."""
+        ...
+
+    @property
+    def num_entries(self) -> int:
+        """Distinct embedding entries stored."""
+        ...
+
+
+def check_serving_backend(backend: object) -> ServingBackend:
+    """Validate ``backend`` against the serving protocol; returns it typed.
+
+    Raises:
+        TypeError: the object is missing part of the surface, with the
+            missing names spelled out.
+    """
+    missing = [
+        name
+        for name in (*SERVING_BACKEND_METHODS, *SERVING_BACKEND_PROPERTIES)
+        if not hasattr(backend, name)
+    ]
+    if missing:
+        raise TypeError(
+            f"{type(backend).__name__} does not implement ServingBackend; "
+            f"missing: {', '.join(sorted(missing))}"
+        )
+    return backend  # type: ignore[return-value]
+
+
+@dataclass
+class ReplicaSelector:
+    """Pick which replica of a shard serves the next read.
+
+    PR-5's :class:`~repro.core.replication.ReplicatedPSNode` keeps the
+    backup bitwise identical to the primary, so *reads* (which never
+    mutate) can fan out across both — the paper's hot-standby doubles as
+    a serving replica for free. The selector is deliberately tiny and
+    deterministic:
+
+    * ``primary`` — all reads on the primary (writes-only backup);
+    * ``round_robin`` — alternate primary/backup per request;
+    * ``least_loaded`` — pick the replica with the fewest reads served
+      so far (degenerates to round-robin under uniform service times,
+      but skews toward the idler replica when one replica also absorbs
+      training mirroring).
+
+    ``replicas(shard)`` asks the shard how many live replicas it has
+    (1 for a plain or degraded node); the selection is always taken
+    modulo that count, so a failover mid-stream transparently collapses
+    the fan-out back onto the surviving replica.
+    """
+
+    policy: str = "round_robin"
+    _rr: dict[int, int] = field(default_factory=dict)
+    _served: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.policy not in REPLICA_POLICIES:
+            raise ConfigError(
+                f"unknown replica policy {self.policy!r}; "
+                f"choose from {REPLICA_POLICIES}"
+            )
+
+    @staticmethod
+    def replica_count(shard) -> int:
+        """Live replicas of ``shard`` (1 unless a healthy replicated pair)."""
+        backup = getattr(shard, "backup", None)
+        return 2 if backup is not None else 1
+
+    def pick(self, node_id: int, replicas: int) -> int:
+        """The replica index (0 = primary) for the next read on a shard."""
+        if replicas <= 1:
+            return 0
+        if self.policy == "primary":
+            return 0
+        if self.policy == "round_robin":
+            turn = self._rr.get(node_id, 0)
+            self._rr[node_id] = turn + 1
+            choice = turn % replicas
+        else:  # least_loaded
+            loads = [
+                self._served.get((node_id, r), 0) for r in range(replicas)
+            ]
+            choice = int(np.argmin(loads))
+        self._served[(node_id, choice)] = (
+            self._served.get((node_id, choice), 0) + 1
+        )
+        return choice
+
+    def loads(self, node_id: int) -> dict[int, int]:
+        """Reads served per replica of ``node_id`` (introspection)."""
+        return {
+            replica: count
+            for (nid, replica), count in sorted(self._served.items())
+            if nid == node_id
+        }

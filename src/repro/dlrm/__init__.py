@@ -18,6 +18,7 @@ from repro.dlrm.criteo_file import CriteoFileDataset
 from repro.dlrm.deepfm import DeepFM, DeepFMGradients
 from repro.dlrm.dlrm_model import DLRM, DLRMGradients
 from repro.dlrm.embedding import PSEmbedding
+from repro.dlrm.hps import HierarchicalPS, ServingStats
 from repro.dlrm.keras_api import Model, PSEmbeddingLayer
 from repro.dlrm.layers import Dense, MLP
 from repro.dlrm.metrics import calibration_ratio, evaluate_model, log_loss, roc_auc
@@ -53,4 +54,6 @@ __all__ = [
     "evaluate_model",
     "export_model",
     "InferenceSession",
+    "HierarchicalPS",
+    "ServingStats",
 ]

@@ -26,7 +26,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import PrefetchConfig
-from repro.core.backend import PSBackend, check_backend
+from repro.core.backend import TrainBackend, check_backend
 from repro.dlrm.criteo import CriteoSynthetic
 from repro.dlrm.deepfm import DeepFM
 from repro.dlrm.optimizers import Adam, DenseOptimizer
@@ -52,7 +52,7 @@ class AsynchronousTrainer:
 
     Args:
         backend: the embedding parameter server — anything implementing
-            the :class:`~repro.core.backend.PSBackend` protocol.
+            the :class:`~repro.core.backend.TrainBackend` protocol.
             ``server=`` is accepted as a deprecated alias.
         model: the dense DeepFM (no first-order term).
         dataset: deterministic batch source; worker ``w`` consumes the
@@ -77,7 +77,7 @@ class AsynchronousTrainer:
 
     def __init__(
         self,
-        backend: PSBackend | None = None,
+        backend: TrainBackend | None = None,
         model: DeepFM | None = None,
         dataset: CriteoSynthetic | None = None,
         num_workers: int = 2,
@@ -88,12 +88,12 @@ class AsynchronousTrainer:
         prefetch: PrefetchConfig | None = None,
         clock: SimClock | None = None,
         gpu_batch_time_s: float = 0.0,
-        server: PSBackend | None = None,
+        server: TrainBackend | None = None,
     ):
         if server is not None:
             warnings.warn(
                 "AsynchronousTrainer(server=...) is deprecated; "
-                "pass backend=... (any PSBackend)",
+                "pass backend=... (any TrainBackend)",
                 DeprecationWarning,
                 stacklevel=2,
             )
@@ -108,7 +108,7 @@ class AsynchronousTrainer:
             raise ConfigError("staleness must be non-negative")
         if model.use_first_order:
             raise ConfigError("async trainer supports models without first-order")
-        self.backend = check_backend(backend)
+        self.backend = check_backend(backend, role="train")
         #: Deprecated alias of :attr:`backend`.
         self.server = self.backend
         self.model = model

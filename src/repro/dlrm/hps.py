@@ -1,0 +1,317 @@
+"""Hierarchical inference parameter server (the online serving tier).
+
+Production DLRM deployments serve recommendations from the *same*
+embedding tables that training keeps mutating. NVIDIA's HPS and the
+paper's 4Paradigm scenarios both converge on the same read-path shape,
+reproduced here as a client-side tier over any
+:class:`~repro.core.backend.ReadBackend`:
+
+1. **Per-client hot-row cache** — a small LRU (optionally
+   frequency-gated) of the hottest embedding rows. Under the paper's
+   Table-2 power-law skew, a cache holding ~1% of keys absorbs the
+   vast majority of row reads without any network or device traffic.
+2. **Replica fan-out** — misses go to the backend, which (for a
+   replicated cluster) spreads them across the primary *and* backup of
+   each shard (:class:`~repro.core.serving_backend.ReplicaSelector`).
+3. **Authoritative shard** — the versioned store answers with rows
+   pinned to a completed checkpoint.
+
+Consistency contract (the part a cache can silently break):
+
+* Every row this tier returns is stamped with the **Checkpointed Batch
+  ID** it was read at (``LookupResult.row_snapshots``). Rows are never
+  served from a torn, mid-push state — backends only serve completed
+  checkpoint barriers.
+* Cached rows may be *older* than the backend's newest checkpoint, but
+  never older than ``staleness_bound_k`` **completed checkpoints**
+  behind it. Checkpoint ids are batch ids — not consecutive — so the
+  bound is enforced against the backend's monotone
+  ``checkpoints_completed`` counter: each cached row remembers the
+  counter value at admission, and on every request the tier re-reads
+  the counter and invalidates (lazily) any row admitted more than ``k``
+  completions ago — even when several checkpoints landed between two
+  lookups. ``staleness_bound_k=0`` makes every row current.
+* An explicitly pinned ``lookup(keys, snapshot_id=...)`` bypasses the
+  cache entirely and reads the backend at that pin.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.backend import check_backend
+from repro.core.serving_backend import LookupResult
+from repro.errors import ConfigError
+from repro.obs import NULL_TRACER
+
+
+@dataclass
+class ServingStats:
+    """One hierarchical client's serving counters."""
+
+    requests: int = 0
+    rows: int = 0
+    cache_hits: int = 0
+    remote_rows: int = 0
+    cold_rows: int = 0
+    invalidated: int = 0
+    refreshes: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.cache_hits / self.rows if self.rows else 0.0
+
+
+@dataclass
+class _CachedRow:
+    weights: np.ndarray
+    snapshot_id: int
+    #: Backend ``checkpoints_completed`` at admission — the row's
+    #: staleness clock reading (lag = current count - this).
+    ckpt_count: int
+    touches: int = field(default=1)
+
+
+class HierarchicalPS:
+    """Hot-row cache → replica fan-out → authoritative shard.
+
+    Args:
+        backend: any :class:`~repro.core.backend.ReadBackend` — an
+            in-process :class:`~repro.core.server.PSServer`, a
+            :class:`~repro.network.frontend.RemotePSClient` (which adds
+            the replica fan-out and the simulated wire), or a baseline.
+        capacity_rows: hot-row cache size in rows; 0 disables caching
+            (every lookup goes to the backend).
+        staleness_bound_k: max checkpoints a served row may lag the
+            backend's newest completed checkpoint. 0 = always current.
+        freq_admission: admit a row into the cache only on its second
+            touch (CacheEmbedding-style frequency gating) so one-off
+            tail keys don't evict the hot set.
+        registry: optional :class:`~repro.obs.MetricsRegistry`; serving
+            counters are published as ``repro_serving_*`` series.
+        tracer: optional :class:`~repro.obs.Tracer` for ``serving.*``
+            spans on the ``serving`` track.
+    """
+
+    def __init__(
+        self,
+        backend,
+        capacity_rows: int = 4096,
+        staleness_bound_k: int = 1,
+        freq_admission: bool = False,
+        registry=None,
+        tracer=None,
+    ):
+        self.backend = check_backend(backend, role="read")
+        if capacity_rows < 0:
+            raise ConfigError(f"capacity_rows must be >= 0, got {capacity_rows}")
+        if staleness_bound_k < 0:
+            raise ConfigError(
+                f"staleness_bound_k must be >= 0, got {staleness_bound_k}"
+            )
+        self.capacity_rows = capacity_rows
+        self.staleness_bound_k = staleness_bound_k
+        self.freq_admission = freq_admission
+        self.registry = registry
+        self.tracer = tracer or NULL_TRACER
+        self.stats = ServingStats()
+        self._cache: OrderedDict[int, _CachedRow] = OrderedDict()
+        self._touched: OrderedDict[int, int] = OrderedDict()
+        # Staleness clock: the backend's newest completed checkpoint id
+        # and its monotone checkpoints_completed counter, as of the last
+        # refresh. A cached row is servable iff the counter has advanced
+        # at most staleness_bound_k since the row was admitted.
+        self._snapshot: int = -1
+        self._ckpt_count: int = -1
+
+    # ------------------------------------------------------------------
+    # staleness clock
+    # ------------------------------------------------------------------
+
+    @property
+    def current_snapshot(self) -> int:
+        """Newest completed checkpoint seen (-1 before any refresh)."""
+        return self._snapshot
+
+    def refresh(self) -> int:
+        """Re-read the backend's checkpoint watermark and counter.
+
+        Advancing the counter implicitly invalidates cached rows
+        admitted more than ``staleness_bound_k`` completions ago (they
+        are dropped lazily on their next touch). A counter *regression*
+        — the backend was rebuilt or failed over to a replica whose
+        counter restarted — drops the whole cache: admission clocks are
+        no longer comparable, and serving conservatively is always safe.
+        Called automatically at the start of every unpinned lookup.
+        """
+        latest = self.backend.latest_serving_snapshot
+        count = self.backend.checkpoints_completed
+        if count < self._ckpt_count or latest < self._snapshot:
+            self.invalidate()
+        if latest > self._snapshot or self._ckpt_count < 0:
+            self.stats.refreshes += 1
+            if self.registry is not None:
+                self.registry.counter("repro_serving_refreshes_total").add(1)
+        self._snapshot = latest
+        self._ckpt_count = count
+        return latest
+
+    def invalidate(self) -> int:
+        """Drop every cached row; returns how many were dropped."""
+        dropped = len(self._cache)
+        self._cache.clear()
+        self._touched.clear()
+        self.stats.invalidated += dropped
+        return dropped
+
+    # ------------------------------------------------------------------
+    # the read path
+    # ------------------------------------------------------------------
+
+    def lookup(
+        self, keys: Sequence[int], snapshot_id: int | None = None
+    ) -> LookupResult:
+        """Batched hierarchical read.
+
+        Unpinned (``snapshot_id=None``): refresh the staleness clock,
+        serve cached rows still within the bound, fetch the rest from
+        the backend at the newest checkpoint, and admit the fetched
+        rows.
+
+        Pinned: bypass the cache and read the backend at exactly that
+        checkpoint (used by snapshot-consistent export).
+        """
+        if snapshot_id is not None:
+            # Pinned reads must be exact — the cache may hold rows at
+            # other pins, so it cannot serve any part of the request.
+            return self.backend.lookup(keys, snapshot_id)
+        n = len(keys)
+        with self.tracer.span("serving.lookup", track="serving", rows=n) as span:
+            current = self.refresh()
+            count = self._ckpt_count
+            dim_hint = None
+            hits: list[tuple[int, _CachedRow]] = []
+            miss_keys: list[int] = []
+            miss_positions: list[int] = []
+            for i, key in enumerate(keys):
+                key = int(key)
+                row = self._cache.get(key)
+                if (
+                    row is not None
+                    and count - row.ckpt_count <= self.staleness_bound_k
+                ):
+                    self._cache.move_to_end(key)
+                    row.touches += 1
+                    hits.append((i, row))
+                    dim_hint = row.weights.shape[0]
+                else:
+                    if row is not None:
+                        # Pinned below the staleness bound: stale.
+                        del self._cache[key]
+                        self.stats.invalidated += 1
+                    miss_keys.append(key)
+                    miss_positions.append(i)
+            fetched: LookupResult | None = None
+            if miss_keys:
+                fetched = self.backend.lookup(miss_keys, current)
+                dim_hint = fetched.weights.shape[1]
+            weights = np.empty((n, dim_hint or 0), dtype=np.float32)
+            row_snapshots = np.empty(n, dtype=np.int64)
+            for i, row in hits:
+                weights[i] = row.weights
+                row_snapshots[i] = row.snapshot_id
+            cold = 0
+            if fetched is not None:
+                positions = np.asarray(miss_positions, dtype=np.intp)
+                weights[positions] = fetched.weights
+                if fetched.row_snapshots is not None:
+                    row_snapshots[positions] = fetched.row_snapshots
+                else:
+                    row_snapshots[positions] = fetched.snapshot_id
+                cold = fetched.cold
+                self._admit(miss_keys, fetched, count)
+            self._note(n, len(hits), len(miss_keys), cold)
+            span.set(
+                snapshot=current, hits=len(hits), remote=len(miss_keys), cold=cold
+            )
+        return LookupResult(
+            weights=weights,
+            snapshot_id=current,
+            hits=len(hits) + (fetched.hits if fetched is not None else 0),
+            cold=cold,
+            row_snapshots=row_snapshots,
+        )
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _admit(
+        self, miss_keys: list[int], fetched: LookupResult, ckpt_count: int
+    ) -> None:
+        if self.capacity_rows == 0:
+            return
+        for j, key in enumerate(miss_keys):
+            if self.freq_admission:
+                seen = self._touched.get(key, 0) + 1
+                self._touched[key] = seen
+                self._touched.move_to_end(key)
+                if len(self._touched) > 8 * max(1, self.capacity_rows):
+                    self._touched.popitem(last=False)
+                if seen < 2:
+                    continue
+            pin = (
+                int(fetched.row_snapshots[j])
+                if fetched.row_snapshots is not None
+                else fetched.snapshot_id
+            )
+            self._cache[key] = _CachedRow(
+                weights=np.array(fetched.weights[j], copy=True),
+                snapshot_id=pin,
+                ckpt_count=ckpt_count,
+            )
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.capacity_rows:
+                self._cache.popitem(last=False)
+
+    def _note(self, rows: int, hits: int, remote: int, cold: int) -> None:
+        self.stats.requests += 1
+        self.stats.rows += rows
+        self.stats.cache_hits += hits
+        self.stats.remote_rows += remote
+        self.stats.cold_rows += cold
+        if self.registry is not None:
+            self.registry.counter("repro_serving_requests_total").add(1)
+            self.registry.counter("repro_serving_rows_total").add(rows)
+            if hits:
+                self.registry.counter("repro_serving_cache_hits_total").add(hits)
+            if remote:
+                self.registry.counter("repro_serving_remote_rows_total").add(remote)
+            if cold:
+                self.registry.counter("repro_serving_cold_rows_total").add(cold)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def cached_rows(self) -> int:
+        return len(self._cache)
+
+    @property
+    def latest_serving_snapshot(self) -> int:
+        """Delegates to the backend (this tier adds no snapshots)."""
+        return self.backend.latest_serving_snapshot
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Delegates to the backend (this tier adds no checkpoints)."""
+        return self.backend.checkpoints_completed
+
+    @property
+    def num_entries(self) -> int:
+        return self.backend.num_entries

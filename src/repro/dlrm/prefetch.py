@@ -1,4 +1,4 @@
-"""Lookahead prefetch pipeline over a :class:`PSBackend`.
+"""Lookahead prefetch pipeline over a :class:`TrainBackend`.
 
 The paper's central performance claim (Section V-B, Figure 5) is that
 cache/PMem maintenance can be deferred off the pull critical path and
@@ -64,7 +64,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.config import PrefetchConfig
-from repro.core.backend import PSBackend, check_backend
+from repro.core.backend import TrainBackend, check_backend
 from repro.core.cache import MaintainResult
 from repro.errors import ConfigError, ServerError
 from repro.obs.tracer import NULL_TRACER, Tracer
@@ -73,7 +73,7 @@ from repro.simulation.metrics import Metrics, PrefetchStats
 
 
 class PrefetchPipeline:
-    """Client-side lookahead buffer in front of a :class:`PSBackend`.
+    """Client-side lookahead buffer in front of a :class:`TrainBackend`.
 
     One trainer step drives the pipeline through four calls::
 
@@ -84,7 +84,7 @@ class PrefetchPipeline:
         pipeline.end_batch(b)                 # patch (tag b+1) + prune
 
     Args:
-        backend: any :class:`PSBackend` (in-process server, remote RPC
+        backend: any :class:`TrainBackend` (in-process server, remote RPC
             client, or a baseline).
         config: lookahead depth / patching / buffer cap.
         dim: embedding dimension of the buffered rows.
@@ -107,7 +107,7 @@ class PrefetchPipeline:
 
     def __init__(
         self,
-        backend: PSBackend,
+        backend: TrainBackend,
         config: PrefetchConfig,
         dim: int,
         keys_for_batch: Callable[[int], np.ndarray],
@@ -122,7 +122,7 @@ class PrefetchPipeline:
             raise ConfigError(f"dim must be positive, got {dim}")
         if gpu_batch_time_s < 0:
             raise ConfigError("gpu_batch_time_s must be non-negative")
-        self.backend = check_backend(backend)
+        self.backend = check_backend(backend, role="train")
         self.config = config
         self.dim = dim
         self.keys_for_batch = keys_for_batch

@@ -25,6 +25,31 @@ from repro.errors import ConfigError, ServerError
 _FORMAT_VERSION = 1
 
 
+def _pinned_snapshot(server) -> dict[int, np.ndarray] | None:
+    """Checkpoint-pinned embedding table, or None if unsupported.
+
+    The preferred export path: barrier-checkpoint the server (bitwise
+    flush of any cached dirty rows), then read every owned key through
+    the snapshot-pinned ``lookup`` API — the same torn-row-free read
+    path online serving uses. Falls back to None when the server lacks
+    the serving surface or has not trained any batch yet.
+    """
+    required = ("lookup", "owned_keys", "barrier_checkpoint")
+    if any(not callable(getattr(server, name, None)) for name in required):
+        return None
+    latest_batch = getattr(server, "latest_completed_batch", -1)
+    if latest_batch < 0:
+        return None
+    snapshot_id = getattr(server, "latest_serving_snapshot", -1)
+    if snapshot_id < latest_batch:
+        # There is trained state newer than the newest checkpoint:
+        # barrier so the export pin captures it bitwise.
+        snapshot_id = server.barrier_checkpoint()
+    keys = sorted(server.owned_keys())
+    result = server.lookup(keys, snapshot_id)
+    return {int(k): result.weights[i] for i, k in enumerate(keys)}
+
+
 def export_model(
     path: str | pathlib.Path,
     server,
@@ -32,10 +57,16 @@ def export_model(
 ) -> int:
     """Freeze ``server``'s embeddings and ``model``'s dense state.
 
+    Servers with the serving read surface (``lookup`` / ``owned_keys``)
+    are exported *checkpoint-pinned*: a barrier checkpoint is taken and
+    every row is read at that pin, so the artifact is snapshot-
+    consistent even if training keeps running. Servers without it fall
+    back to ``state_snapshot()`` (training/debug-only, assumes the
+    server is quiescent).
+
     Args:
         path: destination ``.npz``.
-        server: any PS exposing ``state_snapshot()`` (OpenEmbedding or a
-            baseline).
+        server: any PS backend (OpenEmbedding or a baseline).
         model: a DeepFM/DLRM exposing ``dense_state()``.
 
     Returns the number of embedding entries exported.
@@ -43,7 +74,11 @@ def export_model(
     Raises:
         ServerError: the server holds no entries (nothing was trained).
     """
-    snapshot = server.state_snapshot()
+    if getattr(server, "num_entries", 0) == 0:
+        raise ServerError("server holds no embedding entries to export")
+    snapshot = _pinned_snapshot(server)
+    if snapshot is None:
+        snapshot = server.state_snapshot()
     if not snapshot:
         raise ServerError("server holds no embedding entries to export")
     keys = np.array(sorted(snapshot), dtype=np.int64)
@@ -56,8 +91,10 @@ def export_model(
         "dim": np.int64(dim),
         "model_kind": np.bytes_(type(model).__name__.encode()),
     }
-    # Cold-start metadata: initialisation is key-seeded, so a serving
-    # session can reproduce the exact vector any unseen key would get.
+    # Cold-start metadata: initialisation is seeded by (server seed,
+    # key), so a serving session can regenerate the exact vector any
+    # unseen key would get on the live PS — the same contract the
+    # online lookup path uses for cold rows.
     server_config = getattr(server, "server_config", None)
     if server_config is not None:
         arrays["init_seed"] = np.int64(server_config.seed)
@@ -124,6 +161,74 @@ class InferenceSession:
         elif self._init_seed is None:
             self.default_weight = np.zeros(self.dim, dtype=np.float32)
         self.cold_lookups = 0
+        self.snapshot_id = None  # artifact sessions are not pinned
+
+    @classmethod
+    def from_backend(cls, backend, model, default_weight=None) -> "InferenceSession":
+        """Build a session directly from a live backend, no artifact.
+
+        Reads every owned key through the snapshot-pinned ``lookup``
+        API at the backend's newest completed checkpoint — the same
+        torn-row-free path online serving uses — so the session is a
+        consistent cut even while training continues. The model's dense
+        parameters are used as-is (it is the live, trained model).
+
+        Args:
+            backend: any :class:`~repro.core.backend.ReadBackend` that
+                also exposes ``owned_keys()``.
+            model: the trained DeepFM/DLRM to serve with.
+            default_weight: override for cold keys (see ``__init__``).
+
+        Raises:
+            ServerError: the backend holds no entries, or has no
+                completed checkpoint to pin to.
+        """
+        from repro.core.backend import check_backend
+
+        check_backend(backend, role="read")
+        if not callable(getattr(backend, "owned_keys", None)):
+            raise ServerError(
+                f"{type(backend).__name__} does not expose owned_keys(); "
+                "use export_model with a file artifact instead"
+            )
+        if backend.num_entries == 0:
+            raise ServerError("backend holds no embedding entries to serve")
+        snapshot_id = backend.latest_serving_snapshot
+        if snapshot_id < 0:
+            raise ServerError(
+                "backend has no completed checkpoint to pin the session to"
+            )
+        keys = sorted(backend.owned_keys())
+        result = backend.lookup(keys, snapshot_id)
+        session = cls.__new__(cls)
+        session.dim = int(result.weights.shape[1])
+        session.model = model
+        session._table = {
+            int(k): np.array(result.weights[i], copy=True)
+            for i, k in enumerate(keys)
+        }
+        server_config = getattr(backend, "server_config", None)
+        session._init_seed = (
+            int(server_config.seed) if server_config is not None else None
+        )
+        session._init_scale = (
+            float(server_config.initializer_scale)
+            if server_config is not None
+            else 0.0
+        )
+        session.default_weight = None
+        if default_weight is not None:
+            session.default_weight = np.asarray(default_weight, dtype=np.float32)
+            if session.default_weight.shape != (session.dim,):
+                raise ConfigError(
+                    f"default weight shape {session.default_weight.shape}, "
+                    f"want ({session.dim},)"
+                )
+        elif session._init_seed is None:
+            session.default_weight = np.zeros(session.dim, dtype=np.float32)
+        session.cold_lookups = 0
+        session.snapshot_id = snapshot_id
+        return session
 
     def _cold_weight(self, key: int) -> np.ndarray:
         """The vector an unseen key would have on the live PS."""

@@ -25,7 +25,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import CacheConfig, PrefetchConfig, ServerConfig
-from repro.core.backend import PSBackend, check_backend
+from repro.core.backend import TrainBackend, check_backend
 from repro.core.optimizers import PSOptimizer
 from repro.core.server import OpenEmbeddingServer
 from repro.dlrm.criteo import CriteoSynthetic
@@ -79,11 +79,11 @@ class StepResult:
 
 
 class SynchronousTrainer:
-    """Trains a DeepFM against any :class:`~repro.core.backend.PSBackend`.
+    """Trains a DeepFM against any :class:`~repro.core.backend.TrainBackend`.
 
     Args:
         backend: the embedding parameter server — anything implementing
-            the :class:`~repro.core.backend.PSBackend` protocol
+            the :class:`~repro.core.backend.TrainBackend` protocol
             (:class:`OpenEmbeddingServer`, a
             :class:`~repro.network.frontend.RemotePSClient`, or a
             baseline). ``server=`` is accepted as a deprecated alias.
@@ -116,7 +116,7 @@ class SynchronousTrainer:
 
     def __init__(
         self,
-        backend: PSBackend | None = None,
+        backend: TrainBackend | None = None,
         model: DeepFM | None = None,
         dataset: CriteoSynthetic | None = None,
         num_workers: int = 2,
@@ -129,12 +129,12 @@ class SynchronousTrainer:
         clock: SimClock | None = None,
         gpu_batch_time_s: float = 0.0,
         tracer: Tracer | None = None,
-        server: PSBackend | None = None,
+        server: TrainBackend | None = None,
     ):
         if server is not None:
             warnings.warn(
                 "SynchronousTrainer(server=...) is deprecated; "
-                "pass backend=... (any PSBackend)",
+                "pass backend=... (any TrainBackend)",
                 DeprecationWarning,
                 stacklevel=2,
             )
@@ -149,7 +149,7 @@ class SynchronousTrainer:
             raise ConfigError(
                 "model uses the first-order FM term; pass first_order_server"
             )
-        self.backend = check_backend(backend)
+        self.backend = check_backend(backend, role="train")
         #: Deprecated alias of :attr:`backend`, kept for callers that
         #: still read ``trainer.server``.
         self.server = self.backend

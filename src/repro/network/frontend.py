@@ -50,9 +50,12 @@ from repro.errors import (
     ShardRoutingError,
 )
 from repro.failure.network_faults import FaultyLink, LinkFaultStats
+from repro.core.serving_backend import LookupResult, ReplicaSelector
 from repro.network.messages import (
     CheckpointRequest,
     HeartbeatRequest,
+    LookupRequest,
+    LookupResponse,
     MaintainRequest,
     MaintainResponse,
     MigrateRequest,
@@ -119,6 +122,7 @@ class PSNodeService:
         self.server.register(RingUpdateRequest.TYPE, self._handle_ring_update)
         self.server.register(HeartbeatRequest.TYPE, self._handle_heartbeat)
         self.server.register(PromoteRequest.TYPE, self._handle_promote)
+        self.server.register(LookupRequest.TYPE, self._handle_lookup)
 
     def _check_alive(self) -> None:
         """A dead primary answers nothing, not an error frame.
@@ -202,6 +206,41 @@ class PSNodeService:
                 hits=result.hits,
                 misses=result.misses,
                 created=result.created,
+            )
+
+    def _handle_lookup(self, request: LookupRequest) -> LookupResponse:
+        """Serve a snapshot-pinned batched read (the inference path).
+
+        Lookups are pure reads — idempotent by construction, so unlike
+        pushes they carry no dedup identity and need no replay cache: a
+        retried frame reads the same snapshot again. A dead primary
+        answers with silence (the failover machinery reroutes the
+        reader); a ``-1`` request pin resolves to the shard's newest
+        completed checkpoint, echoed back in the response.
+        """
+        self._check_alive()
+        with self.tracer.span(
+            "ps.lookup",
+            track="serving",
+            node=self.node.node_id,
+            keys=len(request.keys),
+        ) as span:
+            snapshot = int(request.snapshot_id)
+            pin = None if snapshot < 0 else snapshot
+            if isinstance(self.node, ReplicatedPSNode):
+                result = self.node.lookup(
+                    request.keys, pin, replica=int(request.replica)
+                )
+            else:
+                result = self.node.lookup(request.keys, pin)
+            span.set(
+                snapshot=result.snapshot_id, hits=result.hits, cold=result.cold
+            )
+            return LookupResponse(
+                snapshot_id=result.snapshot_id,
+                weights=result.weights,
+                hits=result.hits,
+                cold=result.cold,
             )
 
     def _handle_push(self, request: PushRequest) -> StatusResponse:
@@ -559,8 +598,9 @@ class RpcFailoverTransport:
 class RemotePSClient:
     """Sharded PS access over RPC channels, one per node.
 
-    Implements the full :class:`~repro.core.backend.PSBackend`
-    protocol, drop-in for :class:`OpenEmbeddingServer`. ``maintain``
+    Implements both :class:`~repro.core.backend.TrainBackend` and
+    :class:`~repro.core.backend.ReadBackend`, drop-in for
+    :class:`OpenEmbeddingServer`. ``maintain``
     sends a :class:`MaintainRequest` trigger per shard — the work runs
     node-side (the maintainer threads live in the PS process) but the
     round's counters travel back over the wire, so remote and
@@ -636,6 +676,10 @@ class RemotePSClient:
         ]
         self._push_seq = 0
         self._migrate_seq = 0
+        # Serving lookups fan out across replicated shards' replicas.
+        self.replica_selector = ReplicaSelector(
+            policy=self.server_config.serving_replica_policy
+        )
         self._pending_members: dict[int, tuple[PSNodeService, RpcChannel]] = {}
         self.ring_epoch = 0
         self.failover: FailoverManager | None = None
@@ -794,6 +838,60 @@ class RemotePSClient:
             misses += response.misses
             created += response.created
         return PullResult(weights=out, hits=hits, misses=misses, created=created)
+
+    def lookup(self, keys, snapshot_id: int | None = None) -> LookupResult:
+        """Snapshot-pinned batched read over the wire (the serving path).
+
+        Every per-shard :class:`LookupRequest` carries the same pinned
+        Checkpointed Batch ID (default: the cluster-wide
+        :attr:`latest_serving_snapshot`), so a multi-shard read is
+        consistent even while training pushes land between the RPCs. On
+        replicated shards the request's ``replica`` field fans reads out
+        across primary/backup per the configured selector policy; a
+        shard whose primary died answers with silence and the read
+        reroutes through the standard failover machinery
+        (:meth:`_ha_call`) — the re-issued request is idempotent, so no
+        dedup identity is needed.
+        """
+        if snapshot_id is None:
+            snapshot_id = self.latest_serving_snapshot
+        per_node_keys, per_node_positions = self.partitioner.split(keys)
+        dim = self.server_config.embedding_dim
+        out = np.empty((len(keys), dim), dtype=np.float32)
+        row_snapshots = np.empty(len(keys), dtype=np.int64)
+        flows = sum(1 for node_keys in per_node_keys if len(node_keys))
+        hits = cold = 0
+        for node, channel, node_keys, positions in zip(
+            self.nodes, self.channels, per_node_keys, per_node_positions
+        ):
+            if len(node_keys) == 0:
+                continue
+            replicas = ReplicaSelector.replica_count(node)
+            replica = (
+                self.replica_selector.pick(node.node_id, replicas)
+                if replicas > 1
+                else 0
+            )
+            response = self._ha_call(
+                channel,
+                LookupRequest(
+                    snapshot_id=snapshot_id,
+                    keys=np.asarray(node_keys),
+                    replica=replica,
+                ),
+                concurrent_flows=max(1, flows),
+            )
+            out[positions] = response.weights
+            row_snapshots[positions] = response.snapshot_id
+            hits += response.hits
+            cold += response.cold
+        return LookupResult(
+            weights=out,
+            snapshot_id=snapshot_id,
+            hits=hits,
+            cold=cold,
+            row_snapshots=row_snapshots,
+        )
 
     def maintain(self, batch_id: int) -> list[MaintainResult]:
         """Trigger the maintenance round on every shard; one result each.
@@ -1046,10 +1144,32 @@ class RemotePSClient:
         return max(node.latest_completed_batch for node in self.nodes)
 
     @property
+    def latest_serving_snapshot(self) -> int:
+        """Newest checkpoint completed by ALL shards — the serving pin
+        (parity with the in-process server's property). Read from the
+        local node objects, like the other watermark properties."""
+        return self.global_completed_checkpoint
+
+    @property
+    def checkpoints_completed(self) -> int:
+        """Monotone count of checkpoints completed by ALL shards (parity
+        with :attr:`OpenEmbeddingServer.checkpoints_completed`)."""
+        return min(node.checkpoints_completed for node in self.nodes)
+
+    @property
     def num_entries(self) -> int:
         return sum(node.num_entries for node in self.nodes)
 
+    def owned_keys(self) -> list[int]:
+        """Every key the cluster currently holds, across all shards."""
+        keys: list[int] = []
+        for node in self.nodes:
+            keys.extend(node.owned_keys())
+        return keys
+
     def state_snapshot(self) -> dict[int, np.ndarray]:
+        """Live weights of every key (training/debug-only — not
+        checkpoint-consistent; serving uses :meth:`lookup`)."""
         snapshot: dict[int, np.ndarray] = {}
         for node in self.nodes:
             snapshot.update(node.state_snapshot())

@@ -42,6 +42,10 @@ HeartbeatRequest        0x0B  node_id u32, requester u32 (reply:
 PromoteRequest          0x0C  node_id u32, committed_epoch i64,
                               requester u32 (reply: StatusResponse,
                               value = latest batch after promotion)
+LookupRequest           0x0D  snapshot_id i64, replica u8, pad[3],
+                              nkeys u32, keys u64[n]
+LookupResponse          0x0E  snapshot_id i64, nkeys u32, dim u32,
+                              hits u32, cold u32, weights f32[n*dim]
 ======================  ====  =======================================
 
 ``PushRequest``'s ``(worker_id, seq)`` header gives the server a dedup
@@ -661,6 +665,94 @@ class RingUpdateRequest:
         return cls(requester=struct.unpack("<I", body)[0])
 
 
+@dataclass(frozen=True)
+class LookupRequest:
+    """Serving client -> PS: snapshot-pinned batched read (inference).
+
+    ``snapshot_id`` is the Checkpointed Batch ID the read is pinned to
+    (``-1`` asks the shard to pin to its newest completed checkpoint and
+    report the pin back in the response). ``replica`` picks the serving
+    replica on a replicated shard (0 = primary, 1 = backup); plain
+    shards ignore it. Lookups are pure reads — naturally idempotent, so
+    unlike pushes they need no dedup identity: a retried frame simply
+    reads the same snapshot again.
+    """
+
+    TYPE = 0x0D
+
+    snapshot_id: int
+    keys: np.ndarray  # u64[n]
+    replica: int = 0
+
+    def encode_body(self) -> bytes:
+        keys = np.ascontiguousarray(self.keys, dtype="<u8")
+        body = bytearray(16 + keys.nbytes)
+        struct.pack_into(
+            "<qBxxxI", body, 0, self.snapshot_id, self.replica, len(keys)
+        )
+        body[16:] = memoryview(keys).cast("B")
+        return body
+
+    @classmethod
+    def decode_body(cls, body) -> "LookupRequest":
+        if len(body) < 16:
+            raise MessageError("truncated LookupRequest")
+        snapshot_id, replica, nkeys = struct.unpack_from("<qBxxxI", body)
+        expected = 16 + 8 * nkeys
+        if len(body) != expected:
+            raise MessageError(f"LookupRequest length {len(body)}, want {expected}")
+        # Read-only view into the frame (ownership contract above).
+        keys = np.frombuffer(body, dtype="<u8", count=nkeys, offset=16)
+        return cls(snapshot_id=snapshot_id, keys=keys, replica=replica)
+
+
+@dataclass(frozen=True)
+class LookupResponse:
+    """PS -> serving client: the snapshot-pinned weight rows.
+
+    ``snapshot_id`` echoes the pin the shard actually served (resolving
+    a ``-1`` request pin), so the client can enforce its staleness bound
+    and record per-row provenance. ``hits`` / ``cold`` split rows served
+    from durable versions vs the deterministic cold-key initializer.
+    """
+
+    TYPE = 0x0E
+
+    snapshot_id: int
+    weights: np.ndarray  # f32[n, dim]
+    hits: int = 0
+    cold: int = 0
+
+    def encode_body(self) -> bytes:
+        weights = np.ascontiguousarray(self.weights, dtype="<f4")
+        if weights.ndim != 2:
+            raise MessageError(f"weights must be 2-D, got shape {weights.shape}")
+        n, dim = weights.shape
+        body = bytearray(24 + weights.nbytes)
+        struct.pack_into(
+            "<qIIII", body, 0, self.snapshot_id, n, dim, self.hits, self.cold
+        )
+        body[24:] = memoryview(weights).cast("B")
+        return body
+
+    @classmethod
+    def decode_body(cls, body) -> "LookupResponse":
+        if len(body) < 24:
+            raise MessageError("truncated LookupResponse")
+        snapshot_id, n, dim, hits, cold = struct.unpack_from("<qIIII", body)
+        expected = 24 + 4 * n * dim
+        if len(body) != expected:
+            raise MessageError(f"LookupResponse length {len(body)}, want {expected}")
+        # Read-only view into the frame (ownership contract above).
+        weights = np.frombuffer(body, dtype="<f4", count=n * dim, offset=24)
+        return cls(
+            snapshot_id=snapshot_id,
+            weights=weights.reshape(n, dim),
+            hits=hits,
+            cold=cold,
+        )
+
+
 _MESSAGE_TYPES = {
     cls.TYPE: cls
     for cls in (
@@ -676,6 +768,8 @@ _MESSAGE_TYPES = {
         RingUpdateRequest,
         HeartbeatRequest,
         PromoteRequest,
+        LookupRequest,
+        LookupResponse,
     )
 }
 

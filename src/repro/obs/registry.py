@@ -197,6 +197,9 @@ _BUNDLE_COUNTERS: tuple[tuple[str, str], ...] = (
     ("repro_prefetch_deduped_keys_total", "prefetch.deduped_keys"),
     ("repro_prefetch_batches_total", "prefetch.batches"),
     ("repro_prefetch_overlap_hidden_seconds_total", "prefetch.overlap_hidden_seconds"),
+    ("repro_serving_lookups_total", "serving_lookups"),
+    ("repro_serving_rows_total", "serving_rows"),
+    ("repro_serving_cold_rows_total", "serving_cold_rows"),
 )
 
 

@@ -228,6 +228,9 @@ class Metrics:
     checkpoints_completed: int = 0
     pmem_flush_entries: int = 0
     pmem_load_entries: int = 0
+    serving_lookups: int = 0
+    serving_rows: int = 0
+    serving_cold_rows: int = 0
 
     def merge(self, other: "Metrics") -> None:
         """Accumulate another node's bundle (multi-node aggregation).
@@ -244,6 +247,9 @@ class Metrics:
         self.checkpoints_completed += other.checkpoints_completed
         self.pmem_flush_entries += other.pmem_flush_entries
         self.pmem_load_entries += other.pmem_load_entries
+        self.serving_lookups += other.serving_lookups
+        self.serving_rows += other.serving_rows
+        self.serving_cold_rows += other.serving_cold_rows
 
     def reset(self) -> None:
         self.cache.reset()
@@ -256,3 +262,6 @@ class Metrics:
         self.checkpoints_completed = 0
         self.pmem_flush_entries = 0
         self.pmem_load_entries = 0
+        self.serving_lookups = 0
+        self.serving_rows = 0
+        self.serving_cold_rows = 0

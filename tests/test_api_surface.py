@@ -70,11 +70,76 @@ class TestPSBackendProtocol:
         ]
 
     def test_isinstance_and_check(self):
-        from repro.core.backend import PSBackend, check_backend
+        with pytest.warns(DeprecationWarning, match="PSBackend"):
+            from repro.core.backend import PSBackend
+        from repro.core.backend import check_backend
 
         for backend in self._implementations():
             assert isinstance(backend, PSBackend), type(backend).__name__
             assert check_backend(backend) is backend
+
+    def test_every_implementation_is_a_read_backend(self):
+        """The serving role: every shipped PS also satisfies ReadBackend."""
+        from repro.core.backend import ReadBackend, TrainBackend, check_backend
+
+        for backend in self._implementations():
+            name = type(backend).__name__
+            assert isinstance(backend, ReadBackend), name
+            assert isinstance(backend, TrainBackend), name
+            assert check_backend(backend, role="read") is backend
+
+    def test_read_surface_is_pinned(self):
+        """The ReadBackend surface is a compatibility contract: adding a
+        member is a breaking change for every external backend, so the
+        tuples are pinned here and may only grow deliberately."""
+        from repro.core import backend as backend_module
+
+        assert backend_module.READ_BACKEND_METHODS == ("pull", "lookup")
+        assert backend_module.READ_BACKEND_PROPERTIES == (
+            "num_entries",
+            "latest_completed_batch",
+            "latest_serving_snapshot",
+            "checkpoints_completed",
+        )
+        assert backend_module.PS_BACKEND_METHODS == (
+            "pull",
+            "lookup",
+            "push",
+            "maintain",
+            "request_checkpoint",
+            "barrier_checkpoint",
+            "complete_pending_checkpoints",
+            "state_snapshot",
+        )
+
+    def test_lookup_round_trip_everywhere(self):
+        """Each implementation serves a snapshot-pinned read after one
+        train step + checkpoint (the serving-role protocol member)."""
+        import numpy as np
+
+        for backend in self._implementations():
+            name = type(backend).__name__
+            keys = [1, 2, 3]
+            backend.pull(keys, 0)
+            backend.maintain(0)
+            backend.push(keys, np.ones((3, 8), dtype=np.float32), 0)
+            pin = backend.barrier_checkpoint()
+            assert backend.latest_serving_snapshot == pin, name
+            assert backend.checkpoints_completed >= 1, name
+            result = backend.lookup(keys)
+            assert result.weights.shape == (3, 8), name
+            assert result.snapshot_id == pin, name
+
+    def test_deprecated_alias_reexported_at_top_level(self):
+        """`from repro import PSBackend` still works (and warns)."""
+        import repro
+        import repro.core
+        from repro.core.backend import TrainBackend
+
+        for module in (repro, repro.core):
+            with pytest.warns(DeprecationWarning, match="PSBackend"):
+                alias = module.PSBackend
+            assert alias is TrainBackend
 
     def test_check_backend_rejects_partial(self):
         from repro.core.backend import check_backend

@@ -110,6 +110,38 @@ class TestFaults:
         assert "weights identical : True" in out
 
 
+class TestServeBench:
+    def test_closed_loop_run(self, capsys):
+        code = main([
+            "serve-bench", "--requests", "60", "--warm", "20",
+            "--keys", "2000", "--batch-keys", "16",
+            "--pretrain-batches", "3", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "latency p50/p95/p99" in out
+        assert "hit rate" in out
+
+    def test_chaos_variant_audits_consistency(self, capsys):
+        code = main([
+            "serve-bench", "--requests", "80", "--warm", "20",
+            "--keys", "2000", "--batch-keys", "16",
+            "--pretrain-batches", "3", "--kill-at", "40", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "served through kill: True" in out
+        assert "0 torn, 0 beyond k" in out
+
+    def test_kill_requires_replicas(self, capsys):
+        code = main([
+            "serve-bench", "--requests", "20", "--warm", "0",
+            "--keys", "500", "--replicas", "1", "--kill-at", "10",
+        ])
+        assert code == 2
+        assert "--replicas 2" in capsys.readouterr().err
+
+
 class TestReproduce:
     def test_list_experiments(self, capsys):
         assert main(["reproduce", "--list"]) == 0

@@ -1,0 +1,205 @@
+"""Property-based serving consistency: no torn rows, bounded staleness.
+
+The serving contract (docs/SERVING.md): every row a
+:class:`~repro.dlrm.hps.HierarchicalPS` returns is (a) bitwise equal to
+the authoritative state at the Checkpointed Batch ID the row reports —
+never a torn mix of checkpoints — and (b) pinned at most
+``staleness_bound_k`` completed checkpoints behind the newest.
+
+We drive hypothesis-generated interleavings of training pushes,
+checkpoint barriers and concurrent serving lookups, over all three
+transports (in-process server, RPC, RPC over a lossy wire), replaying
+the training stream into per-checkpoint reference snapshots and
+auditing every served row against the reference its pin names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig, ServerConfig
+from repro.core.optimizers import PSAdagrad
+from repro.core.server import OpenEmbeddingServer
+from repro.dlrm.hps import HierarchicalPS
+from repro.network.frontend import RemotePSClient
+from repro.simulation.clock import SimClock
+
+from tests.harness.crashpoints import FAULTS, RETRY
+
+DIM = 4
+NUM_KEYS = 12
+STALENESS_K = 1
+
+
+def make_backend(transport: str):
+    config = ServerConfig(
+        num_nodes=2,
+        embedding_dim=DIM,
+        pmem_capacity_bytes=1 << 22,
+        seed=9,
+    )
+    cache = CacheConfig(capacity_bytes=1 << 18)
+    if transport == "local":
+        return OpenEmbeddingServer(config, cache, PSAdagrad(lr=0.1))
+    faults = FAULTS if transport == "faulty" else None
+    return RemotePSClient(
+        config,
+        cache,
+        PSAdagrad(lr=0.1),
+        clock=SimClock(),
+        faults=faults,
+        retry=RETRY if faults else None,
+    )
+
+
+def op_strategy():
+    """One interleaved op: train a key set, checkpoint, or read."""
+    keys = st.lists(
+        st.integers(0, NUM_KEYS - 1), min_size=1, max_size=4, unique=True
+    )
+    return st.lists(
+        st.one_of(
+            st.tuples(st.just("train"), keys),
+            st.tuples(st.just("ckpt"), st.just([])),
+            st.tuples(st.just("read"), keys),
+        ),
+        min_size=3,
+        max_size=16,
+    )
+
+
+def cold_init(config: ServerConfig, key: int) -> np.ndarray:
+    rng = np.random.default_rng((config.seed, key))
+    return rng.uniform(
+        -config.initializer_scale, config.initializer_scale, DIM
+    ).astype(np.float32)
+
+
+def audit(tier, backend, references, keys) -> None:
+    """One audited lookup: torn-row + staleness-bound assertions."""
+    result = tier.lookup(keys)
+    completed = sorted(references)
+    newest = completed[-1]
+    for j, key in enumerate(keys):
+        pin = int(result.row_snapshots[j])
+        lag = sum(1 for s in completed if pin < s <= newest)
+        assert lag <= STALENESS_K, (
+            f"row {key} pinned at {pin}, {lag} checkpoints behind {newest} "
+            f"(bound {STALENESS_K})"
+        )
+        assert pin in references, f"row {key} pinned at unknown snapshot {pin}"
+        expected = references[pin].get(int(key))
+        if expected is None:
+            expected = cold_init(backend.server_config, int(key))
+        assert np.array_equal(result.weights[j], expected), (
+            f"torn row: key {key} at pin {pin} does not match the "
+            f"checkpointed reference"
+        )
+
+
+def run_interleaving(transport: str, schedule) -> None:
+    backend = make_backend(transport)
+    tier = HierarchicalPS(
+        backend, capacity_rows=8, staleness_bound_k=STALENESS_K
+    )
+    #: Checkpointed Batch ID -> {key: weights at that checkpoint}.
+    references: dict[int, dict[int, np.ndarray]] = {}
+    batch = 0
+    trained_since_ckpt = False
+    for op, keys in schedule:
+        if op == "train":
+            backend.pull(keys, batch)
+            backend.maintain(batch)
+            grads = np.full((len(keys), DIM), 0.05, dtype=np.float32)
+            backend.push(keys, grads, batch)
+            batch += 1
+            trained_since_ckpt = True
+        elif op == "ckpt":
+            if not trained_since_ckpt:
+                continue
+            snapshot_id = backend.barrier_checkpoint()
+            references[snapshot_id] = {
+                int(k): np.array(v, copy=True)
+                for k, v in backend.state_snapshot().items()
+            }
+            trained_since_ckpt = False
+        else:  # read
+            if not references:
+                continue  # nothing servable yet — no checkpoint
+            audit(tier, backend, references, keys)
+
+
+@pytest.mark.parametrize("transport", ["local", "remote", "faulty"])
+@settings(max_examples=25)
+@given(schedule=op_strategy())
+def test_no_torn_rows_bounded_staleness(transport, schedule):
+    run_interleaving(transport, schedule)
+
+
+def test_lookup_before_any_checkpoint_is_rejected():
+    """Serving must refuse rather than serve an inconsistent cut."""
+    from repro.errors import CheckpointError
+
+    backend = make_backend("local")
+    tier = HierarchicalPS(backend, capacity_rows=8)
+    backend.pull([1], 0)
+    backend.maintain(0)
+    backend.push([1], np.ones((1, DIM), dtype=np.float32), 0)
+    with pytest.raises(CheckpointError):
+        tier.lookup([1])
+
+
+def test_read_only_traffic_cannot_break_a_pin():
+    """A barrier taken after read-only traffic still reads trained rows.
+
+    Held-out evaluation and serving warm-up pull + maintain WITHOUT
+    pushing, at batch ids far past the trained watermark. That advances
+    entries' access versions while the next checkpoint still pins at
+    the trained watermark — the barrier flush must leave a durable row
+    at the pin (not only at the read-advanced version), otherwise a
+    checkpoint-pinned export would serve cold initializers for every
+    trained key.
+    """
+    backend = make_backend("local")
+    keys = list(range(NUM_KEYS))
+    for batch in range(3):
+        backend.pull(keys, batch)
+        backend.maintain(batch)
+        backend.push(keys, np.full((len(keys), DIM), 0.1, np.float32), batch)
+    live = {
+        int(k): np.array(v, copy=True)
+        for k, v in backend.state_snapshot().items()
+    }
+    for i in range(4):  # held-out evaluation: reads only, no pushes
+        backend.pull(keys, 1_000_000 + i)
+        backend.maintain(1_000_000 + i)
+    pin = backend.barrier_checkpoint()
+    assert pin == 2  # the trained watermark, not a read-only batch id
+    result = backend.lookup(keys, pin)
+    assert result.cold == 0
+    for j, key in enumerate(keys):
+        assert np.array_equal(result.weights[j], live[key])
+
+
+def test_cache_never_leaks_across_pins():
+    """A cached row must keep the weights of ITS pin, not the newest."""
+    backend = make_backend("local")
+    tier = HierarchicalPS(backend, capacity_rows=8, staleness_bound_k=1)
+    for batch in range(2):
+        backend.pull([1, 2], batch)
+        backend.maintain(batch)
+        backend.push([1, 2], np.full((2, DIM), 0.1, np.float32), batch)
+    backend.barrier_checkpoint()
+    cached = tier.lookup([1])  # admitted at checkpoint 1
+    backend.pull([1, 2], 2)
+    backend.maintain(2)
+    backend.push([1, 2], np.full((2, DIM), 0.3, np.float32), 2)
+    backend.barrier_checkpoint()
+    lagging = tier.lookup([1])  # still inside the k=1 window
+    assert int(lagging.row_snapshots[0]) == int(cached.row_snapshots[0])
+    assert np.array_equal(lagging.weights, cached.weights)
+    authoritative = backend.lookup([1], int(lagging.row_snapshots[0]))
+    assert np.array_equal(lagging.weights, authoritative.weights)
