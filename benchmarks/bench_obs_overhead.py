@@ -6,8 +6,11 @@ Three configurations of the *same* simulated training run:
   falls back to: the shared ``NULL_TRACER`` no-op path);
 * ``noop``    — a disabled ``Tracer`` passed explicitly, exercising the
   no-op span context manager on every call site;
-* ``enabled`` — a live ``Tracer`` plus a ``MetricsRegistry``, recording
-  every span, instant event, and histogram observation.
+* ``enabled`` — a live ``Tracer`` plus a ``MetricsRegistry``, with a
+  ``FlightRecorder`` tapped into the tracer, recording every span,
+  instant event, and histogram observation (and ringing each into the
+  bounded postmortem buffer). Context propagation rides the same
+  switch: a live tracer stamps trace context onto every RPC frame.
 
 Two invariants are asserted:
 
@@ -42,7 +45,7 @@ from repro.config import (
     PrefetchConfig,
     WorkloadConfig,
 )
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import FlightRecorder, MetricsRegistry, Tracer
 from repro.simulation.cluster import SystemKind
 from repro.simulation.trainer_sim import TrainingSimulator
 from repro.workload.generator import WorkloadGenerator
@@ -62,7 +65,7 @@ def _sinks(config: str):
         return None, None
     if config == "noop":
         return Tracer(enabled=False), None
-    return Tracer(), MetricsRegistry()
+    return Tracer(recorder=FlightRecorder()), MetricsRegistry()
 
 
 def _run(config: str, iterations: int):

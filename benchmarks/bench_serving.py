@@ -44,6 +44,7 @@ from repro.core.optimizers import PSAdagrad
 from repro.dlrm.hps import HierarchicalPS
 from repro.network.frontend import RemotePSClient
 from repro.obs.registry import MetricsRegistry
+from repro.obs.slo import SLOTracker
 from repro.simulation.clock import SimClock
 from repro.simulation.serving_sim import (
     ServingCostModel,
@@ -58,11 +59,17 @@ NUM_KEYS = 20_000
 BATCH_KEYS = 64
 CACHE_ROWS = 512
 STALENESS_K = 1
+#: Chaos-soak SLO targets: the failover window (one lease, 0.5 s) may
+#: push a couple of requests past the latency threshold, so the budget
+#: leaves room for the kill without masking a systemic regression.
+SLO_P99_THRESHOLD_S = 0.05
+SLO_P99_BUDGET = 0.02
+SLO_AVAILABILITY_BUDGET = 0.001
 #: Table 2: access mass on the top 1% of keys (bands 1+2+3).
 TOP1PCT_SKEW = sum(mass for frac, mass in TABLE2_BANDS[:3])
 
 
-def build_tier(seed: int, capacity_rows: int, policy: str = "round_robin"):
+def build_tier(seed: int, capacity_rows: int, policy: str = "round_robin", slo=None):
     """Replicated 3-shard RPC cluster + serving tier + closed-loop driver."""
     from tests.harness.chaos import replicated_config
     from tests.harness.crashpoints import cache_config
@@ -82,6 +89,7 @@ def build_tier(seed: int, capacity_rows: int, policy: str = "round_robin"):
         capacity_rows=capacity_rows,
         staleness_bound_k=STALENESS_K,
         registry=registry,
+        slo=slo,
     )
     distribution = BandedSkewDistribution(NUM_KEYS, seed=seed)
     # The RPC channels charge the wire on the shared clock; the cost
@@ -93,8 +101,18 @@ def build_tier(seed: int, capacity_rows: int, policy: str = "round_robin"):
         clock,
         batch_keys=BATCH_KEYS,
         num_keys=NUM_KEYS,
+        slo=slo,
     )
     return client, tier, driver
+
+
+def build_slo_tracker() -> SLOTracker:
+    """The serving objectives the chaos soak is gated on."""
+    tracker = SLOTracker()
+    tracker.latency("serving_p99", SLO_P99_THRESHOLD_S, budget=SLO_P99_BUDGET)
+    tracker.availability("serving_availability", budget=SLO_AVAILABILITY_BUDGET)
+    tracker.staleness("serving_staleness", STALENESS_K, budget=0.0)
+    return tracker
 
 
 def pretrain(client, batches: int, seed: int) -> None:
@@ -155,8 +173,9 @@ def run_flash_crowd(warm: int, measure: int) -> dict:
 
 
 def run_chaos(requests: int) -> dict:
-    """Train-while-serve soak with a mid-run primary kill."""
-    client, tier, driver = build_tier(seed=37, capacity_rows=CACHE_ROWS)
+    """Train-while-serve soak with a mid-run primary kill, SLO-gated."""
+    slo = build_slo_tracker()
+    client, tier, driver = build_tier(seed=37, capacity_rows=CACHE_ROWS, slo=slo)
     soak = TrainServeSoak(
         tier,
         client,
@@ -166,6 +185,7 @@ def run_chaos(requests: int) -> dict:
         checkpoint_every=2,
         kill_primary_at=requests // 2,
         kill_node=0,
+        slo=slo,
     )
     verdict = soak.run(requests)
     return {
@@ -178,6 +198,7 @@ def run_chaos(requests: int) -> dict:
         "kills": verdict.kills,
         "served_through_kill": verdict.served_through_kill,
         "p99_us": verdict.report.latency.p99 * 1e6,
+        "slo": slo.verdict(),
     }
 
 
@@ -196,6 +217,12 @@ def check(results: dict) -> list[str]:
         failures.append(f"{chaos['stale_rows']} rows beyond the staleness bound")
     if chaos["kills"] and not chaos["served_through_kill"]:
         failures.append("no reads served after the primary kill")
+    for row in chaos["slo"]["objectives"]:
+        if not row["ok"]:
+            failures.append(
+                f"SLO {row['name']} error budget exhausted "
+                f"(burn {row['burn_rate']:.2f})"
+            )
     return failures
 
 
@@ -221,6 +248,10 @@ def run_all(warm: int, measure: int, chaos_requests: int) -> tuple[dict, list[st
     }
     (RESULTS_DIR / "BENCH_serving.json").write_text(
         json.dumps(payload, indent=2) + "\n"
+    )
+    # Standalone machine-readable SLO verdict; render with `repro slo`.
+    (RESULTS_DIR / "slo_serving.json").write_text(
+        json.dumps(results["chaos"]["slo"], indent=2) + "\n"
     )
     return results, check(results)
 
@@ -270,6 +301,10 @@ def test_serving_tier(benchmark, report):
         "served through kill", "yes",
         "yes" if chaos["served_through_kill"] else "NO",
     )
+    report.row(
+        "SLO error budgets", "all within budget",
+        "ok" if chaos["slo"]["ok"] else "EXHAUSTED",
+    )
     assert not failures, "; ".join(failures)
 
 
@@ -290,6 +325,7 @@ def smoke() -> int:
         f"  chaos: torn={chaos['torn_rows']} stale={chaos['stale_rows']} "
         f"kills={chaos['kills']} served_through_kill={chaos['served_through_kill']}"
     )
+    print("  slo:", "ok" if chaos["slo"]["ok"] else "BUDGET EXHAUSTED")
     for failure in failures:
         print(f"  FAIL: {failure}")
     print("serving smoke:", "FAIL" if failures else "PASS")

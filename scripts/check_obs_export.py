@@ -1,7 +1,7 @@
 #!/usr/bin/env python
 """Validate observability exports produced by `repro simulate/train`.
 
-Checks three artifacts against their schemas:
+Checks five artifact kinds against their schemas:
 
 * Chrome ``trace_event`` JSON (``--trace``): event shape, metadata
   threads, microsecond timestamps, and — when the run used lookahead —
@@ -12,13 +12,21 @@ Checks three artifacts against their schemas:
 * JSON metrics snapshot (``--snapshot``): ``repro-metrics-v1`` schema,
   per-entry field requirements, and that ``repro metrics`` can render
   it.
+* Merged multi-node trace (``--merged``): ``repro-trace-merged-v1``
+  schema from ``repro trace merge`` — at least two process tracks,
+  each named, and every cross-node flow arrow fully paired (an ``f``
+  finish for every ``s`` start and vice versa).
+* Flight-recorder dump (``--flightrec``): ``repro-flightrec-v1``
+  postmortem record — trigger/node identity, well-formed events in
+  non-decreasing time order.
 
 Exit code 0 = all supplied artifacts valid; 1 = any check failed.
 
 Usage::
 
     python scripts/check_obs_export.py --trace t.json --prom m.prom \
-        --snapshot m.json [--require-overlap]
+        --snapshot m.json [--require-overlap] \
+        --merged merged.json --flightrec flightrec_promotion_1.json
 """
 
 from __future__ import annotations
@@ -29,6 +37,8 @@ import sys
 
 TRACE_SCHEMA = "repro-trace-v1"
 METRICS_SCHEMA = "repro-metrics-v1"
+MERGED_TRACE_SCHEMA = "repro-trace-merged-v1"
+FLIGHTREC_SCHEMA = "repro-flightrec-v1"
 
 _errors: list[str] = []
 
@@ -196,6 +206,110 @@ def check_snapshot(path: str) -> None:
         fail(f"snapshot: renderer rejected the file: {exc}")
 
 
+# ----------------------------------------------------------------------
+# Merged multi-node trace
+# ----------------------------------------------------------------------
+
+
+def check_merged(path: str) -> None:
+    with open(path) as fh:
+        trace = json.load(fh)
+    check(isinstance(trace, dict), "merged: top level must be an object")
+    other = trace.get("otherData", {})
+    check(
+        other.get("schema") == MERGED_TRACE_SCHEMA,
+        f"merged: otherData.schema must be {MERGED_TRACE_SCHEMA}",
+    )
+    check(
+        isinstance(other.get("sources"), list) and len(other["sources"]) >= 1,
+        "merged: otherData.sources missing",
+    )
+    events = trace.get("traceEvents")
+    check(isinstance(events, list) and events, "merged: traceEvents empty")
+    if not isinstance(events, list):
+        return
+    pids = {e.get("pid") for e in events}
+    check(len(pids) >= 2, "merged: fewer than two process tracks (pids)")
+    named = {
+        e.get("pid")
+        for e in events
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+    }
+    check(
+        pids <= named,
+        f"merged: pids without a process_name: {sorted(pids - named)}",
+    )
+    starts = {
+        e.get("id") for e in events if e.get("ph") == "s"
+    }
+    finishes = {
+        e.get("id") for e in events if e.get("ph") == "f"
+    }
+    check(
+        starts == finishes,
+        f"merged: unpaired flow events (starts only: "
+        f"{sorted(starts - finishes)}, finishes only: "
+        f"{sorted(finishes - starts)})",
+    )
+    declared = other.get("flows")
+    check(
+        declared == len(starts),
+        f"merged: otherData.flows={declared} but {len(starts)} flow ids",
+    )
+    for event in events:
+        if event.get("ph") in ("s", "f"):
+            check(
+                isinstance(event.get("ts"), (int, float))
+                and event.get("id"),
+                "merged: flow event needs ts and id",
+            )
+
+
+# ----------------------------------------------------------------------
+# Flight-recorder dump
+# ----------------------------------------------------------------------
+
+
+def check_flightrec(path: str) -> None:
+    with open(path) as fh:
+        dump = json.load(fh)
+    check(isinstance(dump, dict), "flightrec: top level must be an object")
+    check(
+        dump.get("schema") == FLIGHTREC_SCHEMA,
+        f"flightrec: schema must be {FLIGHTREC_SCHEMA}",
+    )
+    for field in ("node", "trigger"):
+        check(
+            isinstance(dump.get(field), str) and dump[field],
+            f"flightrec: missing {field!r}",
+        )
+    check(isinstance(dump.get("t"), (int, float)), "flightrec: missing t")
+    for field in ("recorded", "dropped"):
+        check(
+            isinstance(dump.get(field), int) and dump[field] >= 0,
+            f"flightrec: {field!r} must be a non-negative integer",
+        )
+    events = dump.get("events")
+    check(isinstance(events, list) and events, "flightrec: events empty")
+    if not isinstance(events, list):
+        return
+    last_t = float("-inf")
+    for event in events:
+        check(
+            isinstance(event.get("t"), (int, float))
+            and isinstance(event.get("kind"), str)
+            and isinstance(event.get("name"), str),
+            f"flightrec: malformed event {event!r}",
+        )
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            check(
+                t >= last_t,
+                f"flightrec: events out of time order at t={t}",
+            )
+            last_t = t
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", help="Chrome trace_event JSON file")
@@ -206,20 +320,33 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="fail unless maintainer spans overlap gpu.compute in the trace",
     )
+    parser.add_argument(
+        "--merged", help="merged multi-node trace from `repro trace merge`"
+    )
+    parser.add_argument(
+        "--flightrec", help="flight-recorder postmortem dump JSON"
+    )
     args = parser.parse_args(argv)
-    if not (args.trace or args.prom or args.snapshot):
-        parser.error("give at least one of --trace/--prom/--snapshot")
+    artifacts = (args.trace, args.prom, args.snapshot, args.merged, args.flightrec)
+    if not any(artifacts):
+        parser.error(
+            "give at least one of --trace/--prom/--snapshot/--merged/--flightrec"
+        )
     if args.trace:
         check_trace(args.trace, args.require_overlap)
     if args.prom:
         check_prometheus(args.prom)
     if args.snapshot:
         check_snapshot(args.snapshot)
+    if args.merged:
+        check_merged(args.merged)
+    if args.flightrec:
+        check_flightrec(args.flightrec)
     if _errors:
         for message in _errors:
             print(f"FAIL: {message}", file=sys.stderr)
         return 1
-    checked = sum(bool(x) for x in (args.trace, args.prom, args.snapshot))
+    checked = sum(bool(x) for x in artifacts)
     print(f"ok: {checked} artifact(s) valid")
     return 0
 

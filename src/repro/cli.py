@@ -1,20 +1,26 @@
 """Command-line interface.
 
-Eight subcommands::
+Ten subcommands::
 
     repro simulate   --system pmem_oe --workers 16 ...   # one simulated epoch
     repro train      --batches 200 --crash-at 120 ...    # functional DeepFM demo
-    repro serve-bench --requests 400 --kill-at 200 ...   # online serving QPS/p99
+    repro serve-bench --requests 400 --chaos ...         # online serving QPS/p99
     repro plan       --model-gb 500 --mttf-hours 12      # sizing & intervals
     repro workload   --keys 500000 ...                   # Table II skew check
     repro faults     --drop 0.05 --duplicate 0.03 ...    # lossy-wire RPC demo
     repro metrics    run.metrics.json                    # pretty-print a snapshot
+    repro trace      merge node0.json node1.json -o m.json  # multi-node timeline
+    repro slo        slo_serving.json                    # render an SLO verdict
     repro reproduce  fig7 table2 ...                     # run paper experiments
 
 ``simulate`` and ``train`` accept ``--trace-out FILE.json`` (Chrome
 ``trace_event`` timeline, open in Perfetto / ``chrome://tracing``) and
 ``--metrics-out FILE`` (``.json`` snapshot or Prometheus text; the
-``.json`` form is what ``repro metrics`` renders).
+``.json`` form is what ``repro metrics`` renders). ``repro trace
+merge`` stitches per-node trace files into one causally flow-linked
+timeline; ``repro trace show`` summarizes any trace file in the
+terminal. ``repro slo`` renders the machine-readable SLO verdict that
+``serve-bench --chaos`` and ``bench_serving.py`` emit.
 
 Run ``python -m repro.cli <subcommand> --help`` for options.
 """
@@ -372,7 +378,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.core.optimizers import PSAdagrad
     from repro.dlrm.hps import HierarchicalPS
     from repro.network.frontend import RemotePSClient
-    from repro.obs import MetricsRegistry
+    from repro.obs import MetricsRegistry, SLOTracker, render_verdict
     from repro.simulation.clock import SimClock
     from repro.simulation.serving_sim import (
         ServingCostModel,
@@ -396,6 +402,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     cache_config = CacheConfig(capacity_bytes=args.cache_kb << 10)
     clock = SimClock()
     registry = MetricsRegistry()
+    slo = None
+    if args.chaos:
+        # SLO-gated chaos: the run fails on error-budget exhaustion,
+        # not only on torn/stale rows.
+        slo = SLOTracker()
+        slo.latency("serving_p99", args.slo_p99_ms * 1e-3, budget=args.slo_budget)
+        slo.availability("serving_availability")
+        slo.staleness("serving_staleness", args.staleness_k, budget=0.0)
     client = RemotePSClient(
         server_config, cache_config, PSAdagrad(lr=0.05),
         clock=clock, registry=registry,
@@ -407,11 +421,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         capacity_rows=args.cache_rows,
         staleness_bound_k=args.staleness_k,
         registry=registry,
+        slo=slo,
     )
     distribution = BandedSkewDistribution(args.keys, seed=args.seed)
     driver = ServingLoadDriver(
         tier, distribution, ServingCostModel(network=None), clock,
-        batch_keys=args.batch_keys, num_keys=args.keys,
+        batch_keys=args.batch_keys, num_keys=args.keys, slo=slo,
     )
     rng = np.random.default_rng(args.seed)
     for batch in range(args.pretrain_batches):
@@ -423,8 +438,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     client.barrier_checkpoint()
 
     kill_at = args.kill_at if args.kill_at and args.kill_at < args.requests else None
+    if args.chaos and kill_at is None:
+        kill_at = args.requests // 2
     if kill_at is not None and args.replicas != 2:
-        print("error: --kill-at needs --replicas 2 (hot failover)",
+        print("error: --kill-at/--chaos needs --replicas 2 (hot failover)",
               file=sys.stderr)
         return 2
     driver.run(args.warm)
@@ -432,7 +449,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         soak = TrainServeSoak(
             tier, client, driver, rng_seed=args.seed,
             train_every=3, checkpoint_every=2,
-            kill_primary_at=kill_at, kill_node=0,
+            kill_primary_at=kill_at, kill_node=0, slo=slo,
         )
         verdict = soak.run(args.requests)
         report = verdict.report
@@ -460,8 +477,83 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"consistency       : {verdict.rows_audited} rows audited, "
               f"{verdict.torn_rows} torn, {verdict.stale_rows} beyond k "
               f"(max staleness {verdict.max_staleness})")
-        return 0 if not (verdict.torn_rows or verdict.stale_rows) else 1
+        failed = bool(verdict.torn_rows or verdict.stale_rows)
+        if slo is not None:
+            slo_verdict = slo.verdict()
+            print()
+            print(render_verdict(slo_verdict))
+            if args.slo_out:
+                import json
+
+                with open(args.slo_out, "w") as handle:
+                    json.dump(slo_verdict, handle, indent=2)
+                    handle.write("\n")
+                print(f"slo verdict       -> {args.slo_out}")
+            failed = failed or bool(slo.exhausted())
+        return 1 if failed else 0
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Merge per-node traces / summarize a trace file."""
+    import json
+    import pathlib
+
+    from repro.errors import ConfigError
+    from repro.obs import merge_trace_files, summarize_trace
+
+    if args.action == "merge":
+        paths = [pathlib.Path(p) for p in args.files]
+        for path in paths:
+            if not path.is_file():
+                print(f"error: no such trace file: {path}", file=sys.stderr)
+                return 2
+        try:
+            merged = merge_trace_files(paths, out=args.out)
+        except (ConfigError, json.JSONDecodeError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        flows = merged["otherData"]["flows"]
+        print(f"merged {len(paths)} trace(s), {len(merged['traceEvents'])} "
+              f"events, {flows} cross-node flow link(s) -> {args.out}")
+        return 0
+    # show
+    path = pathlib.Path(args.file)
+    if not path.is_file():
+        print(f"error: no such trace file: {path}", file=sys.stderr)
+        return 2
+    try:
+        trace = json.loads(path.read_text())
+        print(summarize_trace(trace))
+    except (ConfigError, json.JSONDecodeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Summaries are routinely piped into `head` / a pager; a closed
+        # pipe is a normal exit, not a traceback.
+        sys.stderr.close()
+    return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    """Render a machine-readable repro-slo-v1 verdict file."""
+    import json
+    import pathlib
+
+    from repro.errors import ConfigError
+    from repro.obs import render_verdict
+
+    path = pathlib.Path(args.verdict)
+    if not path.is_file():
+        print(f"error: no such verdict file: {path}", file=sys.stderr)
+        return 2
+    try:
+        verdict = json.loads(path.read_text())
+        print(render_verdict(verdict))
+    except (ConfigError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0 if verdict.get("ok") else 1
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -697,6 +789,21 @@ def build_parser() -> argparse.ArgumentParser:
                              help="kill a serving primary after this many "
                                   "measured requests (train-while-serve "
                                   "chaos; audits consistency)")
+    serve_bench.add_argument("--chaos", action="store_true",
+                             help="SLO-gated chaos run: kill a primary "
+                                  "mid-run (at --kill-at, default the "
+                                  "midpoint) and fail on error-budget "
+                                  "exhaustion as well as torn/stale rows")
+    serve_bench.add_argument("--slo-p99-ms", type=float, default=50.0,
+                             help="latency SLO threshold for --chaos "
+                                  "(milliseconds)")
+    serve_bench.add_argument("--slo-budget", type=float, default=0.02,
+                             help="latency error budget for --chaos "
+                                  "(fraction of requests allowed over "
+                                  "the threshold)")
+    serve_bench.add_argument("--slo-out", metavar="FILE.json", default=None,
+                             help="write the machine-readable SLO verdict "
+                                  "(render with `repro slo`)")
     serve_bench.add_argument("--seed", type=int, default=11)
     serve_bench.set_defaults(handler=_cmd_serve_bench)
 
@@ -705,6 +812,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     metrics.add_argument("snapshot", help="snapshot file written by --metrics-out")
     metrics.set_defaults(handler=_cmd_metrics)
+
+    trace = sub.add_parser(
+        "trace", help="merge / summarize Chrome trace_event files"
+    )
+    trace_sub = trace.add_subparsers(dest="action", required=True)
+    trace_merge = trace_sub.add_parser(
+        "merge",
+        help="stitch per-node --trace-out files into one flow-linked timeline",
+    )
+    trace_merge.add_argument("files", nargs="+",
+                             help="per-node trace files (client first reads best)")
+    trace_merge.add_argument("-o", "--out", required=True, metavar="FILE.json",
+                             help="merged trace output (open in Perfetto)")
+    trace_merge.set_defaults(handler=_cmd_trace)
+    trace_show = trace_sub.add_parser(
+        "show", help="terminal summary of a (merged or single-node) trace"
+    )
+    trace_show.add_argument("file", help="trace file to summarize")
+    trace_show.set_defaults(handler=_cmd_trace)
+
+    slo = sub.add_parser(
+        "slo", help="render a machine-readable SLO verdict (repro-slo-v1)"
+    )
+    slo.add_argument("verdict",
+                     help="verdict file from serve-bench --slo-out or "
+                          "benchmarks/results/slo_serving.json")
+    slo.set_defaults(handler=_cmd_slo)
 
     reproduce = sub.add_parser(
         "reproduce", help="re-run paper experiments (tables/figures/ablations)"

@@ -273,12 +273,19 @@ class FailoverManager:
         registry: MetricsRegistry | None = None,
         tracer: Tracer | None = None,
         rebuild_chunk: int = 64,
+        recorder=None,
     ):
         self.transport = transport
         self.clock = clock
         self.config = config
         self.registry = registry
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Optional :class:`~repro.obs.flightrec.FlightRecorder`. Every
+        #: failover state transition lands in its ring, and the window
+        #: is dumped on declare-dead, after a promotion, and on a
+        #: double fault — the postmortem record of what the detector
+        #: saw in the seconds around the outage.
+        self.recorder = recorder
         self.rebuild_chunk = rebuild_chunk
         self.detector = FailureDetector(clock, config.lease_s)
         for node_id in range(transport.num_nodes()):
@@ -350,20 +357,27 @@ class FailoverManager:
                 checkpoint recovery.
         """
         noticed = self.clock.now
+        self._rec("timeout_noticed", node=node_id)
         if not self.detector.declared_dead(node_id):
             # Even an expired lease yields to fresh evidence of life —
             # the one-way door is declare_dead, not expiry.
             if self.transport.probe(node_id):
                 self.detector.heartbeat(node_id)
+                self._rec("probe_alive", node=node_id)
                 return "retry"
             deadline = self.detector.lease_deadline(node_id)
             if self.clock.now < deadline:
                 # Cannot declare death before the lease runs out — the
                 # client sits out the remainder (charged!).
+                self._rec("lease_wait", node=node_id, deadline=deadline)
                 self.clock.advance(deadline - self.clock.now)
+            self._rec("lease_expired", node=node_id, deadline=deadline)
         last_beat = self.detector.last_heartbeat(node_id)
         self.detector.declare_dead(node_id)
         detection_s = self.clock.now - last_beat
+        self._rec("declared_dead", node=node_id, detection_s=detection_s)
+        if self.recorder is not None:
+            self.recorder.dump("declare_dead", node=node_id)
         epoch = self.transport.committed_epoch()
         with self.tracer.span(
             "failover.promote", track="failure", node=node_id, epoch=epoch
@@ -377,9 +391,13 @@ class FailoverManager:
                         "repro_failover_double_faults_total"
                     ).add(1)
                 span.set(outcome="double_fault")
+                self._rec("double_fault", node=node_id, epoch=epoch)
+                if self.recorder is not None:
+                    self.recorder.dump("double_fault", node=node_id)
                 raise
             self.clock.advance(promotion_s)
             span.set(outcome="promoted", seconds=promotion_s)
+        self._rec("promoted", node=node_id, seconds=promotion_s, epoch=epoch)
         self.detector.reset(node_id)
         report = PromotionReport(
             node_id=node_id,
@@ -391,7 +409,19 @@ class FailoverManager:
         )
         self.promotions.append(report)
         self._record(report)
+        if self.recorder is not None:
+            # This dump's window covers the whole episode: lease
+            # expiry -> declare-dead -> promotion.
+            self.recorder.dump(
+                "promotion",
+                node=node_id,
+                unavailability_s=report.unavailability_seconds,
+            )
         return "promoted"
+
+    def _rec(self, name: str, **attrs) -> None:
+        if self.recorder is not None:
+            self.recorder.record("failover", name, **attrs)
 
     def _record(self, report: PromotionReport) -> None:
         if self.registry is None:

@@ -170,6 +170,13 @@ class ShardMigrator:
         tracer: each step emits a ``migration.<label>`` instant on the
             ``migration`` track, and the whole run is a
             ``migration.run`` span.
+        recorder: optional
+            :class:`~repro.obs.flightrec.FlightRecorder`; every step
+            lands in its ring and an aborted migration (any exception
+            out of a step, including a crash-point kill) dumps the
+            window with trigger ``migration_abort`` naming the step
+            that was executing. Defaults to the cluster's ``recorder``
+            attribute when it has one.
     """
 
     def __init__(
@@ -178,6 +185,7 @@ class ShardMigrator:
         transport: MigrationTransport | None = None,
         on_step: Callable[[str], None] | None = None,
         tracer: Tracer | None = None,
+        recorder=None,
     ):
         self.cluster = cluster
         self.transport = transport or InProcessTransport(cluster)
@@ -185,6 +193,10 @@ class ShardMigrator:
         self.tracer = tracer if tracer is not None else getattr(
             cluster, "tracer", NULL_TRACER
         )
+        self.recorder = recorder if recorder is not None else getattr(
+            cluster, "recorder", None
+        )
+        self._current_step: str | None = None
         #: The node being provisioned by an in-flight scale-out; a crash
         #: handler collects its pool alongside the cluster's so
         #: :func:`recover_elastic` sees every surviving DIMM.
@@ -225,6 +237,32 @@ class ShardMigrator:
     # ------------------------------------------------------------------
 
     def _migrate(
+        self,
+        direction: str,
+        new_cfg: ServerConfig,
+        new_ring: ConsistentHashRing,
+    ) -> MigrationReport:
+        try:
+            return self._migrate_steps(direction, new_cfg, new_ring)
+        except BaseException:
+            # An aborted migration (crash-point kill, transport error,
+            # routing bug) is exactly what the flight recorder exists
+            # for: dump the window naming the step that was executing.
+            if self.recorder is not None:
+                self.recorder.record(
+                    "migration",
+                    "abort",
+                    direction=direction,
+                    step=self._current_step,
+                )
+                self.recorder.dump(
+                    "migration_abort",
+                    direction=direction,
+                    step=self._current_step,
+                )
+            raise
+
+    def _migrate_steps(
         self,
         direction: str,
         new_cfg: ServerConfig,
@@ -347,6 +385,9 @@ class ShardMigrator:
         return partitioner
 
     def _step(self, label: str, **info) -> None:
+        self._current_step = label
+        if self.recorder is not None:
+            self.recorder.record("migration", label, **info)
         if self.on_step is not None:
             self.on_step(label)
         self.tracer.instant(f"migration.{label}", track="migration", **info)

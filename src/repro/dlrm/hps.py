@@ -95,6 +95,12 @@ class HierarchicalPS:
             counters are published as ``repro_serving_*`` series.
         tracer: optional :class:`~repro.obs.Tracer` for ``serving.*``
             spans on the ``serving`` track.
+        slo: optional :class:`~repro.obs.SLOTracker`. The tier
+            registers (get-or-create) its two intrinsic objectives —
+            ``serving_availability`` (a lookup that raises is a bad
+            event) and ``serving_staleness`` (the bound the cache
+            enforces; violations are fed by the soak auditor) — and
+            records an availability event per unpinned lookup.
     """
 
     def __init__(
@@ -105,6 +111,7 @@ class HierarchicalPS:
         freq_admission: bool = False,
         registry=None,
         tracer=None,
+        slo=None,
     ):
         self.backend = check_backend(backend, role="read")
         if capacity_rows < 0:
@@ -118,6 +125,10 @@ class HierarchicalPS:
         self.freq_admission = freq_admission
         self.registry = registry
         self.tracer = tracer or NULL_TRACER
+        self.slo = slo
+        if slo is not None:
+            slo.availability("serving_availability")
+            slo.staleness("serving_staleness", staleness_bound_k)
         self.stats = ServingStats()
         self._cache: OrderedDict[int, _CachedRow] = OrderedDict()
         self._touched: OrderedDict[int, int] = OrderedDict()
@@ -189,6 +200,17 @@ class HierarchicalPS:
             # Pinned reads must be exact — the cache may hold rows at
             # other pins, so it cannot serve any part of the request.
             return self.backend.lookup(keys, snapshot_id)
+        if self.slo is None:
+            return self._lookup_unpinned(keys)
+        try:
+            result = self._lookup_unpinned(keys)
+        except Exception:
+            self.slo.record("serving_availability", bad=1)
+            raise
+        self.slo.record("serving_availability", good=1)
+        return result
+
+    def _lookup_unpinned(self, keys: Sequence[int]) -> LookupResult:
         n = len(keys)
         with self.tracer.span("serving.lookup", track="serving", rows=n) as span:
             current = self.refresh()

@@ -124,6 +124,21 @@ class PSNodeService:
         self.server.register(PromoteRequest.TYPE, self._handle_promote)
         self.server.register(LookupRequest.TYPE, self._handle_lookup)
 
+    def _span(self, name: str, track: str = "main", **attrs):
+        """Open a handler span parented to the requesting client.
+
+        When the dispatched frame carried a wire
+        :class:`~repro.network.messages.TraceContext`, the span is
+        stamped with ``trace_id``/``parent_span_id`` so
+        :mod:`repro.obs.merge` can flow-link it back to the exact
+        client attempt that caused it.
+        """
+        context = self.server.current_context
+        if context is not None and context.sampled:
+            attrs["trace_id"] = context.trace_id
+            attrs["parent_span_id"] = context.parent_span_id
+        return self.tracer.span(name, track=track, **attrs)
+
     def _check_alive(self) -> None:
         """A dead primary answers nothing, not an error frame.
 
@@ -173,7 +188,7 @@ class PSNodeService:
                 f"node {self.node.node_id} is unreplicated; promotion "
                 "requires replicas=2"
             )
-        with self.tracer.span(
+        with self._span(
             "ps.promote", track="failover", node=self.node.node_id
         ) as span:
             if self.node.primary_alive:
@@ -191,7 +206,7 @@ class PSNodeService:
 
     def _handle_pull(self, request: PullRequest) -> PullResponse:
         self._check_alive()
-        with self.tracer.span(
+        with self._span(
             "ps.pull", node=self.node.node_id, keys=len(request.keys)
         ) as span:
             # The decoded key array goes straight through: the cache
@@ -219,7 +234,7 @@ class PSNodeService:
         completed checkpoint, echoed back in the response.
         """
         self._check_alive()
-        with self.tracer.span(
+        with self._span(
             "ps.lookup",
             track="serving",
             node=self.node.node_id,
@@ -245,7 +260,7 @@ class PSNodeService:
 
     def _handle_push(self, request: PushRequest) -> StatusResponse:
         self._check_alive()
-        with self.tracer.span(
+        with self._span(
             "ps.push", node=self.node.node_id, keys=len(request.keys)
         ) as span:
             dedup_key = request.dedup_key
@@ -280,7 +295,7 @@ class PSNodeService:
         """
         batch_id = int(request.batch_id)
         self._check_alive()
-        with self.tracer.span(
+        with self._span(
             "ps.checkpoint", node=self.node.node_id, batch=batch_id
         ) as span:
             cached = self._checkpoint_replies.get(batch_id)
@@ -308,7 +323,7 @@ class PSNodeService:
         """
         batch_id = int(request.batch_id)
         self._check_alive()
-        with self.tracer.span(
+        with self._span(
             "ps.maintain", node=self.node.node_id, batch=batch_id
         ) as span:
             result = self.node.maintain(batch_id)
@@ -342,7 +357,7 @@ class PSNodeService:
         moved-key accounting exact under retries.)
         """
         self._check_alive()
-        with self.tracer.span(
+        with self._span(
             "ps.migrate", track="migration", node=self.node.node_id, op=request.op
         ) as span:
             if request.op == MigrateRequest.OP_EXPORT:
@@ -618,6 +633,16 @@ class RemotePSClient:
             spans) and every node's cache.
         registry: when given, channels observe per-kind RPC round-trip
             latency histograms into it.
+        node_tracers: optional per-node span sinks, indexed by node id.
+            When given, each node's service handlers and cache write to
+            *its own* tracer — one Chrome trace per node, mergeable
+            into a causally-linked multi-process timeline via
+            :mod:`repro.obs.merge`. Nodes beyond the list (elastic
+            growth) fall back to the shared ``tracer``.
+        recorder: optional
+            :class:`~repro.obs.flightrec.FlightRecorder`; picked up by
+            :meth:`enable_failover` and the shard migrator so failure
+            windows are dumped automatically.
     """
 
     def __init__(
@@ -633,6 +658,8 @@ class RemotePSClient:
         dedup_window: int = DEFAULT_DEDUP_WINDOW,
         tracer: Tracer | None = None,
         registry: MetricsRegistry | None = None,
+        node_tracers: list[Tracer] | None = None,
+        recorder=None,
     ):
         self.server_config = server_config or ServerConfig()
         self.partitioner = make_partitioner(
@@ -647,7 +674,10 @@ class RemotePSClient:
         self.clock = clock or SimClock()
         self.worker_id = worker_id
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.node_tracers = node_tracers
+        self.recorder = recorder
         self.registry = registry
+        self._op_seq = 0
         network = network or NetworkModel()
         self.link = (
             FaultyLink(network, faults)
@@ -659,7 +689,11 @@ class RemotePSClient:
             for node_id in range(self.server_config.num_nodes)
         ]
         self.services = [
-            PSNodeService(node, dedup_window=dedup_window, tracer=self.tracer)
+            PSNodeService(
+                node,
+                dedup_window=dedup_window,
+                tracer=self._node_tracer(node.node_id),
+            )
             for node in self.nodes
         ]
         self.channels = [
@@ -698,6 +732,13 @@ class RemotePSClient:
                 ),
             )
 
+    def _node_tracer(self, node_id: int) -> Tracer:
+        """The span sink for one node: its own tracer when per-node
+        tracing is on, else the shared one."""
+        if self.node_tracers is not None and 0 <= node_id < len(self.node_tracers):
+            return self.node_tracers[node_id]
+        return self.tracer
+
     def _build_node(
         self, node_id: int, server_config: ServerConfig
     ) -> PSNode | ReplicatedPSNode:
@@ -709,14 +750,14 @@ class RemotePSClient:
                 server_config,
                 self.cache_config,
                 self.optimizer,
-                tracer=self.tracer,
+                tracer=self._node_tracer(node_id),
             )
         return PSNode(
             node_id,
             server_config,
             self.cache_config,
             self.optimizer,
-            tracer=self.tracer,
+            tracer=self._node_tracer(node_id),
         )
 
     # ------------------------------------------------------------------
@@ -726,6 +767,7 @@ class RemotePSClient:
     def enable_failover(
         self,
         registry: MetricsRegistry | None = None,
+        recorder=None,
     ) -> FailoverManager:
         """Arm lease-based failure detection and client-driven promotion.
 
@@ -743,6 +785,7 @@ class RemotePSClient:
             self.server_config,
             registry=registry if registry is not None else self.registry,
             tracer=self.tracer,
+            recorder=recorder if recorder is not None else self.recorder,
         )
         self.failover = manager
         self._arm_channel_death_checks()
@@ -793,18 +836,36 @@ class RemotePSClient:
         the service dedup window keeps retried mutations exactly-once
         across the promotion. A double fault surfaces as
         :class:`~repro.errors.FailoverError` for checkpoint recovery.
+
+        Tracing: the whole operation shares one trace id across every
+        re-issue, so the merged trace shows the timed-out attempts
+        against the dead primary, the promotion, and the re-routed
+        attempt that finally landed as *one* causal story.
         """
+        trace_id = self._next_trace_id()
         if self.failover is None:
-            return channel.call(request, concurrent_flows=concurrent_flows)
+            return channel.call(
+                request, concurrent_flows=concurrent_flows, trace_id=trace_id
+            )
         attempts = 0
         while True:
             try:
-                return channel.call(request, concurrent_flows=concurrent_flows)
+                return channel.call(
+                    request, concurrent_flows=concurrent_flows, trace_id=trace_id
+                )
             except (RpcTimeoutError, NodeDeadError):
                 attempts += 1
                 if attempts > 3:
                     raise
                 self.failover.handle_timeout(channel.channel_id)
+
+    def _next_trace_id(self) -> int | None:
+        """Deterministic per-operation trace id (no wall clock, no RNG):
+        high bits identify the worker, low bits count its operations."""
+        if not self.tracer.enabled:
+            return None
+        self._op_seq += 1
+        return ((self.worker_id + 1) << 40) | self._op_seq
 
     # ------------------------------------------------------------------
     # PS protocol over the wire
@@ -1017,7 +1078,7 @@ class RemotePSClient:
         """
         node = self._build_node(node_id, server_config)
         service = PSNodeService(
-            node, dedup_window=self.dedup_window, tracer=self.tracer
+            node, dedup_window=self.dedup_window, tracer=self._node_tracer(node_id)
         )
         channel = RpcChannel(
             service.server,
@@ -1086,6 +1147,7 @@ class RemotePSClient:
             transport=RpcMigrationTransport(self),
             on_step=on_step,
             tracer=self.tracer,
+            recorder=self.recorder,
         ).scale_out()
 
     def scale_in(self, on_step=None):
@@ -1097,6 +1159,7 @@ class RemotePSClient:
             transport=RpcMigrationTransport(self),
             on_step=on_step,
             tracer=self.tracer,
+            recorder=self.recorder,
         ).scale_in()
 
     def refresh_ring(self) -> int:

@@ -3,7 +3,12 @@
 Every message is ``[1-byte type][4-byte LE body length][4-byte CRC32 of
 body][body]``; bodies pack fixed little-endian headers followed by raw
 numpy buffers, so the byte counts the simulator charges are the byte
-counts a real implementation would move. The checksum makes in-flight
+counts a real implementation would move. When the high bit of the type
+byte (:data:`CONTEXT_FLAG`) is set, a 17-byte :class:`TraceContext`
+prefix (``trace_id u64, parent_span_id u64, sampled u8``) sits between
+the header and the body and is covered by the CRC — see
+:func:`decode_envelope`. Context-free frames are unchanged, so old
+decoders and obs-off traffic are unaffected. The checksum makes in-flight
 corruption (see :class:`~repro.failure.network_faults.FaultyLink`)
 always detectable: a corrupt frame decodes to :class:`MessageError`,
 never to silently wrong weights.
@@ -774,14 +779,73 @@ _MESSAGE_TYPES = {
 }
 
 
-def encode_message(message) -> bytes:
-    """Frame a message: type byte, length, body CRC32, body."""
-    body = message.encode_body()
-    return _HEADER.pack(message.TYPE, len(body), zlib.crc32(body)) + body
+CONTEXT_FLAG = 0x80
+"""High bit of the type byte: frame carries a trace context prefix.
+
+Context-bearing frames are ``[type|0x80][4-byte LE length of
+ctx+body][4-byte CRC32 of ctx+body][17-byte ctx][body]`` where ctx is
+``trace_id u64, parent_span_id u64, sampled u8``. The CRC covers the
+context bytes, so a context corrupted in flight surfaces as
+:class:`MessageError` (retryable) rather than a mis-parented span.
+Frames without the flag are the original layout byte for byte — old
+frames decode with ``context=None``, and senders only attach a context
+when tracing is enabled, so obs-off wire traffic is bit-identical to
+the pre-context protocol.
+"""
+
+_CONTEXT = struct.Struct("<QQB")
 
 
-def decode_message(data: bytes):
-    """Decode one framed message.
+@dataclass(frozen=True)
+class TraceContext:
+    """Compact causal context carried on the wire ahead of the body."""
+
+    trace_id: int
+    parent_span_id: int
+    sampled: bool = True
+
+    def pack(self) -> bytes:
+        return _CONTEXT.pack(
+            self.trace_id & 0xFFFFFFFFFFFFFFFF,
+            self.parent_span_id & 0xFFFFFFFFFFFFFFFF,
+            1 if self.sampled else 0,
+        )
+
+    @classmethod
+    def unpack(cls, raw) -> "TraceContext":
+        trace_id, parent_span_id, sampled = _CONTEXT.unpack(raw)
+        if sampled > 1:
+            # Encoders only ever write 0 or 1. Anything else means the
+            # CONTEXT_FLAG bit was set by corruption (the type byte is
+            # outside the CRC) and these 17 bytes are really body data.
+            raise MessageError(
+                f"trace context sampled byte 0x{sampled:02x} is not a flag"
+            )
+        return cls(trace_id, parent_span_id, bool(sampled))
+
+
+def encode_frame(msg_type: int, body, context: TraceContext | None = None) -> bytes:
+    """Frame an already-encoded body (lets retry loops reuse one body)."""
+    if context is None:
+        return _HEADER.pack(msg_type, len(body), zlib.crc32(body)) + body
+    payload = context.pack() + body
+    return (
+        _HEADER.pack(msg_type | CONTEXT_FLAG, len(payload), zlib.crc32(payload))
+        + payload
+    )
+
+
+def encode_message(message, context: TraceContext | None = None) -> bytes:
+    """Frame a message: type byte, length, CRC32, [context], body."""
+    return encode_frame(message.TYPE, message.encode_body(), context)
+
+
+def decode_envelope(data: bytes):
+    """Decode one framed message plus its optional trace context.
+
+    Returns ``(message, context)`` where ``context`` is ``None`` for
+    frames without the :data:`CONTEXT_FLAG` bit (all pre-context
+    senders, and context-free senders today).
 
     The body is handed to the per-message decoder as a ``memoryview``:
     no slice copy, and array fields of the result are read-only views
@@ -794,13 +858,32 @@ def decode_message(data: bytes):
     if len(data) < _HEADER.size:
         raise MessageError(f"frame too short: {len(data)} bytes")
     msg_type, length, crc = _HEADER.unpack_from(data)
-    body = memoryview(data)[_HEADER.size :]
-    if len(body) != length:
-        raise MessageError(f"frame body {len(body)} bytes, header says {length}")
-    if zlib.crc32(body) != crc:
+    payload = memoryview(data)[_HEADER.size :]
+    if len(payload) != length:
+        raise MessageError(f"frame body {len(payload)} bytes, header says {length}")
+    if zlib.crc32(payload) != crc:
         raise MessageError(
             f"frame checksum mismatch (type 0x{msg_type:02x}, {length} bytes)"
         )
+    context = None
+    body = payload
+    if msg_type & CONTEXT_FLAG:
+        msg_type &= ~CONTEXT_FLAG
+        if length < _CONTEXT.size:
+            raise MessageError(
+                f"context frame too short for trace context: {length} bytes"
+            )
+        context = TraceContext.unpack(payload[: _CONTEXT.size])
+        body = payload[_CONTEXT.size :]
     if msg_type not in _MESSAGE_TYPES:
         raise MessageError(f"unknown message type 0x{msg_type:02x}")
-    return _MESSAGE_TYPES[msg_type].decode_body(body)
+    return _MESSAGE_TYPES[msg_type].decode_body(body), context
+
+
+def decode_message(data: bytes):
+    """Decode one framed message, discarding any trace context.
+
+    See :func:`decode_envelope` for the zero-copy ownership contract
+    and the error conditions.
+    """
+    return decode_envelope(data)[0]

@@ -41,7 +41,10 @@ from repro.errors import (
 from repro.network.messages import (
     MessageError,
     StatusResponse,
+    TraceContext,
+    decode_envelope,
     decode_message,
+    encode_frame,
     encode_message,
 )
 from repro.obs.registry import MetricsRegistry
@@ -179,6 +182,10 @@ class RpcServer:
         self.rejected_frames = 0
         #: Requests answered with silence (dead-process simulation).
         self.silent_drops = 0
+        #: Trace context of the request currently being dispatched
+        #: (None for context-free frames). Handlers read this to parent
+        #: their server-side spans to the client's attempt span.
+        self.current_context: TraceContext | None = None
 
     def register(self, message_type: int, handler: Callable) -> None:
         if message_type in self._handlers:
@@ -196,13 +203,15 @@ class RpcServer:
         time out.
         """
         self.dispatches += 1
+        self.current_context = None
         try:
-            request = decode_message(frame)
+            request, context = decode_envelope(frame)
         except MessageError as exc:
             self.rejected_frames += 1
             return encode_message(
                 StatusResponse(code=StatusResponse.ERR_MESSAGE, detail=str(exc))
             )
+        self.current_context = context
         handler = self._handlers.get(type(request).TYPE)
         if handler is None:
             self.rejected_frames += 1
@@ -279,7 +288,7 @@ class RpcChannel:
         """The underlying byte-timing model (through any fault wrapper)."""
         return self.link.network
 
-    def call(self, request, concurrent_flows: int = 1):
+    def call(self, request, concurrent_flows: int = 1, trace_id: int | None = None):
         """Round-trip one request; returns the decoded response.
 
         Retries lost/damaged deliveries with exponential backoff under
@@ -290,11 +299,25 @@ class RpcChannel:
         Observability: the whole call is one ``rpc.call`` span with one
         ``rpc.attempt`` child per exchange and an ``rpc.backoff`` child
         per retry sleep, so a lossy wire's latency structure is visible
-        span-by-span in the trace.
+        span-by-span in the trace. Each attempt records ``attempt``,
+        ``reason`` (ok / lost / reply_damaged / rejected / error) and
+        ``deadline_remaining_s``, so backoff storms read differently
+        from slow servers. When the tracer is enabled, every wire frame
+        additionally carries a :class:`TraceContext` — ``trace_id``
+        (caller-supplied for multi-call operations, else derived
+        deterministically from the channel id and call count) plus the
+        attempt span's id — so server-side spans can be flow-linked
+        back to the exact attempt that caused them. With tracing off no
+        context is attached and frames are bit-identical to the
+        pre-context wire.
         """
-        frame = encode_message(request)
+        body = request.encode_body()
+        frame = encode_frame(request.TYPE, body)
         retry = self.retry
         self.stats.calls += 1
+        sampled = self.tracer.enabled
+        if sampled and trace_id is None:
+            trace_id = ((self.channel_id + 1) << 32) | self.stats.calls
         spent = 0.0
         failure = "no attempt made"
         attempt = 0
@@ -302,6 +325,8 @@ class RpcChannel:
         with self.tracer.span(
             "rpc.call", kind=kind, channel=self.channel_id
         ) as call_span:
+            if sampled:
+                call_span.set(trace_id=trace_id)
             while attempt < retry.max_attempts:
                 if self.node_dead is not None and self.node_dead():
                     # Declared dead: fail fast and typed instead of
@@ -324,19 +349,33 @@ class RpcChannel:
                     self.stats.retries += 1
                 self.stats.attempts += 1
                 with self.tracer.span("rpc.attempt", n=attempt) as attempt_span:
+                    wire_frame = frame
+                    if sampled:
+                        span_id = getattr(attempt_span, "span_id", 0)
+                        attempt_span.set(
+                            attempt=attempt,
+                            trace_id=trace_id,
+                            span_id=span_id,
+                            deadline_remaining_s=retry.call_timeout_s - spent,
+                        )
+                        wire_frame = encode_frame(
+                            request.TYPE, body, TraceContext(trace_id, span_id)
+                        )
                     reply_frame, elapsed = self._attempt(
-                        frame, concurrent_flows, patience
+                        wire_frame, concurrent_flows, patience
                     )
                     spent += elapsed
                     self._advance(elapsed)
                     attempt_span.set(lost=reply_frame is None)
                 if reply_frame is None:
                     failure = "message lost (no reply within attempt timeout)"
+                    attempt_span.set(reason="lost")
                 else:
                     try:
                         response = decode_message(reply_frame)
                     except MessageError as exc:
                         failure = f"reply damaged in flight: {exc}"
+                        attempt_span.set(reason="reply_damaged")
                     else:
                         if isinstance(response, StatusResponse) and not response.ok:
                             self.stats.wire_errors += 1
@@ -345,10 +384,13 @@ class RpcChannel:
                                     "request damaged in flight "
                                     f"(server says: {response.detail})"
                                 )
+                                attempt_span.set(reason="rejected")
                             else:
                                 call_span.set(error=response.code)
+                                attempt_span.set(reason="error")
                                 raise error_for_status(response)
                         else:
+                            attempt_span.set(reason="ok")
                             call_span.set(attempts=attempt)
                             if self.registry is not None:
                                 self.registry.histogram(

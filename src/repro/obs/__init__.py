@@ -11,6 +11,13 @@ The cross-layer measurement surface of the reproduction (see
   the per-layer stat bundles (:func:`collect_bundle`).
 * Exporters — Prometheus text, JSON snapshot, Chrome ``trace_event``
   JSON (open in Perfetto to see the Figure 7 pipeline overlap).
+* Distributed tracing — per-node traces merged into one causally
+  flow-linked timeline (:func:`merge_traces`, wire context in
+  :mod:`repro.network.messages`).
+* :class:`FlightRecorder` — bounded postmortem ring dumped on failure
+  triggers (declare-dead, promotion, migration abort, soak audit).
+* :class:`SLOTracker` — serving objectives with error-budget burn
+  rates and a machine-readable ``repro-slo-v1`` verdict.
 """
 
 from repro.obs.exporters import (
@@ -23,23 +30,41 @@ from repro.obs.exporters import (
     write_chrome_trace,
     write_metrics,
 )
+from repro.obs.flightrec import FLIGHTREC_SCHEMA, FlightRecorder
 from repro.obs.histogram import Histogram
+from repro.obs.merge import (
+    MERGED_TRACE_SCHEMA,
+    merge_trace_files,
+    merge_traces,
+    summarize_trace,
+)
 from repro.obs.registry import Counter, Gauge, MetricsRegistry, collect_bundle
+from repro.obs.slo import SLO_SCHEMA, Objective, SLOTracker, render_verdict
 from repro.obs.tracer import NULL_TRACER, InstantEvent, Span, Tracer
 
 __all__ = [
     "Counter",
+    "FLIGHTREC_SCHEMA",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "InstantEvent",
+    "MERGED_TRACE_SCHEMA",
     "METRICS_SCHEMA",
     "MetricsRegistry",
     "NULL_TRACER",
+    "Objective",
+    "SLO_SCHEMA",
+    "SLOTracker",
     "Span",
     "TRACE_SCHEMA",
     "Tracer",
     "collect_bundle",
+    "merge_trace_files",
+    "merge_traces",
     "render_snapshot",
+    "render_verdict",
+    "summarize_trace",
     "to_chrome_trace",
     "to_json_snapshot",
     "to_prometheus",

@@ -1,0 +1,141 @@
+"""Flight recorder: a per-node ring buffer of recent telemetry.
+
+Post-incident debugging of a distributed PS needs the *seconds around*
+a failure, not a full-run trace: what the failure detector saw, which
+lease expired, what the promotion did, which migration step was in
+flight. The :class:`FlightRecorder` keeps a fixed-size ring of recent
+spans/instants/state transitions that is cheap enough to leave on in
+production-shaped runs (one bounded ``deque.append`` per event), and
+:meth:`dump` snapshots the window into a schema-versioned JSON record
+when something goes wrong.
+
+Dump triggers wired across the codebase:
+
+- ``declare_dead`` / ``promotion`` — :class:`~repro.core.failover.FailoverManager`
+  dumps when the detector declares a node dead and again after the
+  promotion, so the second dump's window covers the whole
+  lease-expiry → declare-dead → promotion sequence.
+- ``double_fault`` — promotion itself failed.
+- ``migration_abort`` — a :class:`~repro.core.migration.ShardMigrator`
+  step raised; the dump names the step that was executing.
+- ``soak_audit_failed`` — a chaos-soak audit assertion failed; the
+  harness writes the dump as a postmortem artifact next to the error.
+
+A recorder can also be attached to a :class:`~repro.obs.tracer.Tracer`
+(``tracer.recorder = rec``), which feeds every closed span and instant
+into the ring — the full causal context, not just the explicit state
+transitions.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.errors import ConfigError
+
+FLIGHTREC_SCHEMA = "repro-flightrec-v1"
+
+
+class FlightRecorder:
+    """Bounded ring of recent events with snapshot-on-trigger dumps.
+
+    Args:
+        capacity: maximum events retained; older events fall off.
+        node: identity stamped into every dump (node id or role name).
+        clock: timestamp source; ``None`` uses wall ``time.monotonic``
+            relative to construction.
+        dump_dir: when given, every :meth:`dump` is also written to
+            ``<dump_dir>/flightrec_<trigger>_<n>.json``.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        node: str = "node",
+        clock=None,
+        dump_dir: str | Path | None = None,
+    ):
+        if capacity <= 0:
+            raise ConfigError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.node = node
+        self.clock = clock
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self.recorded = 0
+        #: Every dump taken, in order (each also returned by ``dump``).
+        self.dumps: list[dict] = []
+        #: Paths of dumps written to ``dump_dir``.
+        self.dump_paths: list[Path] = []
+        self._wall_origin = time.monotonic()
+
+    def now(self) -> float:
+        if self.clock is not None:
+            return self.clock.now
+        return time.monotonic() - self._wall_origin
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+
+    def record(self, kind: str, name: str, t: float | None = None, **attrs) -> None:
+        """Append one event to the ring (O(1), bounded memory)."""
+        event = {
+            "t": self.now() if t is None else t,
+            "kind": kind,
+            "name": name,
+        }
+        if attrs:
+            event["attrs"] = attrs
+        self._ring.append(event)
+        self.recorded += 1
+
+    def record_span(self, span) -> None:
+        """Ring a closed :class:`~repro.obs.tracer.Span` (tracer tap)."""
+        self.record(
+            "span",
+            span.name,
+            t=span.end if span.end is not None else span.start,
+            track=span.track,
+            duration=span.duration if span.end is not None else 0.0,
+            **span.attrs,
+        )
+
+    def events(self) -> list[dict]:
+        """Current ring contents, oldest first."""
+        return list(self._ring)
+
+    # ------------------------------------------------------------------
+    # dumping
+    # ------------------------------------------------------------------
+
+    def dump(self, trigger: str, **attrs) -> dict:
+        """Snapshot the ring into a schema-versioned postmortem record.
+
+        The ring is *not* cleared: a later trigger still sees the same
+        window (promotion dumps include the declare-dead prelude).
+        """
+        record = {
+            "schema": FLIGHTREC_SCHEMA,
+            "node": self.node,
+            "trigger": trigger,
+            "t": self.now(),
+            "attrs": attrs,
+            "recorded": self.recorded,
+            "dropped": max(0, self.recorded - len(self._ring)),
+            "events": self.events(),
+        }
+        self.dumps.append(record)
+        if self.dump_dir is not None:
+            self.dump_dir.mkdir(parents=True, exist_ok=True)
+            path = self.dump_dir / f"flightrec_{trigger}_{len(self.dumps)}.json"
+            path.write_text(json.dumps(record, indent=2, default=float))
+            self.dump_paths.append(path)
+        return record
+
+    def dumps_triggered(self, trigger: str) -> list[dict]:
+        """All dumps taken for one trigger, in order."""
+        return [d for d in self.dumps if d["trigger"] == trigger]

@@ -127,6 +127,10 @@ class Tracer:
         max_events: hard cap on stored spans+instants; once reached,
             further records are dropped (counted in ``dropped``) so a
             runaway run cannot exhaust memory.
+        recorder: optional :class:`~repro.obs.flightrec.FlightRecorder`
+            fed every closed span and instant (the bounded postmortem
+            ring); also settable as a plain attribute after
+            construction.
     """
 
     def __init__(
@@ -134,12 +138,14 @@ class Tracer:
         clock: SimClock | None = None,
         enabled: bool = True,
         max_events: int = 2_000_000,
+        recorder=None,
     ):
         if max_events <= 0:
             raise ConfigError(f"max_events must be positive, got {max_events}")
         self.clock = clock
         self.enabled = enabled
         self.max_events = max_events
+        self.recorder = recorder
         self.spans: list[Span] = []
         self.instants: list[InstantEvent] = []
         self.dropped = 0
@@ -199,18 +205,19 @@ class Tracer:
         if len(self.spans) >= self.max_events:
             self.dropped += 1
             return
-        self.spans.append(
-            Span(
-                name=name,
-                start=start,
-                end=start + duration,
-                track=track,
-                span_id=self._next_id,
-                parent_id=None,
-                attrs=attrs,
-            )
+        span = Span(
+            name=name,
+            start=start,
+            end=start + duration,
+            track=track,
+            span_id=self._next_id,
+            parent_id=None,
+            attrs=attrs,
         )
+        self.spans.append(span)
         self._next_id += 1
+        if self.recorder is not None:
+            self.recorder.record_span(span)
 
     def instant(self, name: str, track: str = DEFAULT_TRACK, **attrs) -> None:
         """Record a zero-duration marker at the current time."""
@@ -219,9 +226,10 @@ class Tracer:
         if len(self.instants) >= self.max_events:
             self.dropped += 1
             return
-        self.instants.append(
-            InstantEvent(name=name, timestamp=self.now(), track=track, attrs=attrs)
-        )
+        event = InstantEvent(name=name, timestamp=self.now(), track=track, attrs=attrs)
+        self.instants.append(event)
+        if self.recorder is not None:
+            self.recorder.record("instant", name, t=event.timestamp, track=track, **attrs)
 
     # ------------------------------------------------------------------
     # introspection
@@ -272,6 +280,10 @@ class Tracer:
                 break
             if top.end is None:
                 top.end = span.end
+                if self.recorder is not None:
+                    self.recorder.record_span(top)
+        if self.recorder is not None:
+            self.recorder.record_span(span)
 
 
 #: The shared disabled tracer instrumented classes default to.

@@ -133,6 +133,10 @@ class ServingLoadDriver:
         key_offset: added (mod ``num_keys``) to every sampled key —
             switching it mid-run re-targets the hot set, which is how
             the flash-crowd scenario is expressed.
+        slo: optional :class:`~repro.obs.SLOTracker`; every request's
+            simulated latency feeds the ``serving_p99`` latency
+            objective (registered get-or-create with a 2 ms default
+            threshold — register it first to pick your own target).
     """
 
     def __init__(
@@ -144,6 +148,7 @@ class ServingLoadDriver:
         batch_keys: int = 64,
         num_keys: int | None = None,
         key_offset: int = 0,
+        slo=None,
     ):
         if batch_keys < 1:
             raise SimulationError(f"batch_keys must be >= 1, got {batch_keys}")
@@ -154,6 +159,9 @@ class ServingLoadDriver:
         self.batch_keys = batch_keys
         self.num_keys = num_keys
         self.key_offset = key_offset
+        self.slo = slo
+        if slo is not None:
+            slo.latency("serving_p99", 2e-3)
         dim = tier.backend.server_config.embedding_dim
         self.row_bytes = dim * 4
 
@@ -193,6 +201,8 @@ class ServingLoadDriver:
                 self.clock.advance(elapsed)
             request_latency = self.clock.now - t0
             latency.observe(request_latency)
+            if self.slo is not None:
+                self.slo.observe_latency("serving_p99", request_latency)
             if remote == 0:
                 hit_latency.observe(request_latency)
             else:
@@ -249,6 +259,11 @@ class TrainServeSoak:
         train_keys_per_step: rows trained per step.
         kill_primary_at: request index at which to kill the primary of
             ``kill_node``; None disables the chaos variant.
+        slo: optional :class:`~repro.obs.SLOTracker`; every audited
+            row records a good/bad event on the ``serving_staleness``
+            objective (bad when the row's checkpoint lag exceeds the
+            tier's bound), and at the end of :meth:`run` the tracker's
+            ``repro_slo_*`` series are emitted on the tier's registry.
     """
 
     def __init__(
@@ -262,10 +277,14 @@ class TrainServeSoak:
         train_keys_per_step: int = 32,
         kill_primary_at: int | None = None,
         kill_node: int = 0,
+        slo=None,
     ):
         self.tier = tier
         self.train_backend = train_backend
         self.driver = driver
+        self.slo = slo
+        if slo is not None:
+            slo.staleness("serving_staleness", tier.staleness_bound_k)
         self.rng = np.random.default_rng(rng_seed)
         self.train_every = train_every
         self.checkpoint_every = checkpoint_every
@@ -352,8 +371,15 @@ class TrainServeSoak:
                 snapshots_seen.add(pin)
                 lag = sum(1 for s in self.references if pin < s <= newest)
                 max_staleness = max(max_staleness, lag)
-                if lag > self.tier.staleness_bound_k:
+                over_bound = lag > self.tier.staleness_bound_k
+                if over_bound:
                     stale += 1
+                if self.slo is not None:
+                    self.slo.record(
+                        "serving_staleness",
+                        good=0 if over_bound else 1,
+                        bad=1 if over_bound else 0,
+                    )
                 reference = self.references.get(pin)
                 if reference is None:
                     continue  # pin older than the audit window
@@ -372,6 +398,8 @@ class TrainServeSoak:
             report = self.driver.run(requests, on_request=self._on_request)
         finally:
             self.tier.lookup = original_lookup
+        if self.slo is not None and self.tier.registry is not None:
+            self.slo.emit_metrics(self.tier.registry)
         return SoakVerdict(
             requests=requests,
             rows_audited=audited,

@@ -48,6 +48,7 @@ from repro.core.server import OpenEmbeddingServer
 from repro.errors import FailoverError
 from repro.failure.injection import NodeKillInjector, NodeKillSchedule
 from repro.network.frontend import RemotePSClient
+from repro.obs.flightrec import FlightRecorder
 from repro.obs.registry import MetricsRegistry
 from repro.simulation.clock import SimClock
 
@@ -106,6 +107,10 @@ class SoakResult:
     #: was between death and promotion) — answered by the promotion the
     #: earlier kill triggered, not by one of their own.
     absorbed_kills: int = 0
+    #: The soak's flight recorder: dumps were taken at every
+    #: declare-dead / promotion / double-fault, and a failed audit
+    #: snapshots it into a postmortem artifact.
+    recorder: FlightRecorder | None = None
 
 
 class ChaosSoak:
@@ -158,6 +163,7 @@ class ChaosSoak:
         self.registry = MetricsRegistry()
         self.clock = SimClock()
         self.remote = remote
+        self.recorder = FlightRecorder(node="soak", clock=self.clock)
         if remote:
             backend = RemotePSClient(
                 self.config,
@@ -167,6 +173,7 @@ class ChaosSoak:
                 faults=FAULTS if faulty else None,
                 retry=RETRY,
                 registry=self.registry,
+                recorder=self.recorder,
             )
             manager = backend.enable_failover(self.registry)
             self.local_mode = False
@@ -180,6 +187,7 @@ class ChaosSoak:
                 self.clock,
                 self.config,
                 registry=self.registry,
+                recorder=self.recorder,
             )
             self.local_mode = True
             self.probe_budget_s = 0.0
@@ -260,6 +268,7 @@ class ChaosSoak:
             self.clock,
             self.config,
             registry=self.registry,
+            recorder=self.recorder,
         )
         self.local_mode = True
         self.probe_budget_s = max(self.probe_budget_s, 0.0)
@@ -337,6 +346,7 @@ class ChaosSoak:
                 p.unavailability_seconds for p in promotions
             ],
             absorbed_kills=self.absorbed_kills,
+            recorder=self.recorder,
         )
 
 
@@ -350,7 +360,9 @@ def run_chaos_soak(**kwargs) -> SoakResult:
 # ----------------------------------------------------------------------
 
 
-def assert_soak_survived(result: SoakResult, *, min_kills: int) -> None:
+def assert_soak_survived(
+    result: SoakResult, *, min_kills: int, artifact_dir=None
+) -> None:
     """The chaos soak's full verdict in one call.
 
     Bitwise equality against the fault-free unsharded replay (no update
@@ -359,7 +371,23 @@ def assert_soak_survived(result: SoakResult, *, min_kills: int) -> None:
     actually delivered, every kill answered (promotion or checkpoint
     recovery), and every promotion's unavailability under the
     lease-derived bound.
+
+    A failed audit is not a bare assert: the soak's flight recorder is
+    dumped to a postmortem JSON artifact (``artifact_dir``, default
+    ``tests/artifacts/``) and the artifact path is appended to the
+    assertion message — the seconds around the failure travel with the
+    failure.
     """
+    try:
+        _audit_soak(result, min_kills=min_kills)
+    except AssertionError as exc:
+        path = _write_postmortem(result, str(exc), artifact_dir)
+        if path is None:
+            raise
+        raise AssertionError(f"{exc}\npostmortem artifact: {path}") from None
+
+
+def _audit_soak(result: SoakResult, *, min_kills: int) -> None:
     from tests.harness.crashpoints import (
         assert_bitwise_equal,
         assert_monotone_checkpoints,
@@ -381,6 +409,35 @@ def assert_soak_survived(result: SoakResult, *, min_kills: int) -> None:
             f"unavailability {seconds:.3f}s exceeds bound "
             f"{result.unavailability_bound_s:.3f}s"
         )
+
+
+def _write_postmortem(result: SoakResult, reason: str, artifact_dir) -> str | None:
+    """Dump the soak's flight recorder next to the failure; returns the
+    artifact path (None when the soak ran without a recorder)."""
+    import json
+    from pathlib import Path
+
+    if result.recorder is None:
+        return None
+    dump = result.recorder.dump("soak_audit_failed", reason=reason)
+    artifact = {
+        "reason": reason,
+        "kills": result.kills,
+        "promotions": len(result.promotions),
+        "double_faults": result.double_faults,
+        "recoveries": result.recoveries,
+        "checkpoint_trail": result.checkpoint_trail,
+        "unavailability_seconds": result.unavailability_seconds,
+        "unavailability_bound_s": result.unavailability_bound_s,
+        "flightrec": dump,
+    }
+    directory = Path(artifact_dir) if artifact_dir is not None else (
+        Path(__file__).resolve().parent.parent / "artifacts"
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / "postmortem_chaos_soak.json"
+    path.write_text(json.dumps(artifact, indent=2, default=float))
+    return str(path)
 
 
 def percentile(values: list[float], q: float) -> float:
