@@ -6,7 +6,16 @@ the 2 GB point but grows as skew weakens (more tail churn) — a
 candidate improvement the paper leaves on the table.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 from benchmarks.conftest import run_once, simulate_epoch
+from repro.bench import Headline, Param, register
 from repro.simulation.cluster import SystemKind
 from repro.simulation.profiles import DEFAULT_PROFILE
 
@@ -57,3 +66,57 @@ def test_ablation_admission_filter(benchmark, report):
         assert (
             filtered.maintain_deferred_seconds < plain.maintain_deferred_seconds
         )
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if metrics["epoch_ratio"] > 1.02:
+        failures.append(
+            f"admission filter slowed the epoch {metrics['epoch_ratio']:.3f}x"
+        )
+    if metrics["deferred_reduction"] <= 0:
+        failures.append("filter failed to reduce deferred PMem traffic")
+    return failures
+
+
+@register(
+    "ablation_admission",
+    params=[
+        Param("skew", "float", 1.0),
+        Param("cache_mb", "float", 400.0),
+        Param("workers", "int", 16),
+    ],
+    headline={
+        "epoch_ratio": Headline(direction="lower", max_regression=0.05),
+        "deferred_reduction": Headline(direction="higher", max_regression=0.10),
+    },
+    check=_check,
+)
+def entry(*, skew, cache_mb, workers):
+    """Epoch-time and deferred-traffic effect of the TinyLFU-style
+    admission filter at one skew and cache size."""
+    plain = simulate_epoch(
+        SystemKind.PMEM_OE, workers, skew=skew,
+        cache=DEFAULT_PROFILE.cache_config(paper_mb=cache_mb),
+    )
+    filtered = simulate_epoch(
+        SystemKind.PMEM_OE, workers, skew=skew,
+        cache=DEFAULT_PROFILE.cache_config(
+            paper_mb=cache_mb, admission_threshold=1
+        ),
+    )
+    return {
+        "epoch_ratio": filtered.sim_seconds / plain.sim_seconds,
+        "deferred_reduction": 1
+        - filtered.maintain_deferred_seconds
+        / max(plain.maintain_deferred_seconds, 1e-12),
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("ablation_admission"))

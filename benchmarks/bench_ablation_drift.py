@@ -13,9 +13,18 @@ spike per rotation, not a permanent miss-rate shift — as long as the
 cache comfortably holds the (rotated) hot set.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 import numpy as np
 
 from benchmarks.conftest import run_once
+from repro.bench import Headline, Param, register
 from repro.config import CacheConfig, ServerConfig, WorkloadConfig
 from repro.core.ps_node import PSNode
 from repro.workload.drift import DriftingWorkload
@@ -25,12 +34,17 @@ DAYS = 3
 WORKERS = 8
 
 
-def run_drift_trace():
+def run_drift_trace(
+    days: int = DAYS,
+    iters_per_day: int = ITERS_PER_DAY,
+    workers: int = WORKERS,
+    drift_fraction: float = 0.6,
+):
     profile_keys = 200_000
     workload = DriftingWorkload(
         WorkloadConfig(num_keys=profile_keys, features_per_sample=4, seed=5),
-        drift_fraction=0.6,
-        batches_per_day=ITERS_PER_DAY * WORKERS,
+        drift_fraction=drift_fraction,
+        batches_per_day=iters_per_day * workers,
     )
     node = PSNode(
         0,
@@ -39,9 +53,9 @@ def run_drift_trace():
         metadata_only=True,
     )
     cold = []
-    for batch in range(DAYS * ITERS_PER_DAY):
+    for batch in range(days * iters_per_day):
         keys = []
-        for worker_batch in workload.sample_worker_batches(WORKERS, 64):
+        for worker_batch in workload.sample_worker_batches(workers, 64):
             keys.extend(worker_batch.tolist())
         result = node.pull(keys, batch)
         node.maintain(batch)
@@ -75,3 +89,58 @@ def test_ablation_temporal_drift(benchmark, report):
     # ...and LRU re-adapts well below the spike before the next day.
     assert recovered_day1 < 0.75 * spike_day1
     assert rotations in (DAYS - 1, DAYS)
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if metrics["spike_ratio"] <= 1.3:
+        failures.append(
+            f"rotation transient {metrics['spike_ratio']:.2f}x not a clear spike"
+        )
+    if metrics["recovered_cold"] >= 0.75 * metrics["spike_cold"]:
+        failures.append("LRU failed to re-adapt after the rotation")
+    return failures
+
+
+@register(
+    "ablation_drift",
+    params=[
+        Param("days", "int", DAYS),
+        Param("iters_per_day", "int", ITERS_PER_DAY),
+        Param("workers", "int", WORKERS),
+        Param("drift_fraction", "float", 0.6),
+    ],
+    smoke={"days": 2, "iters_per_day": 30},
+    headline={
+        "spike_ratio": Headline(direction="higher", max_regression=0.10),
+        "recovered_cold": Headline(direction="lower", max_regression=0.10),
+    },
+    check=_check,
+)
+def entry(*, days, iters_per_day, workers, drift_fraction):
+    """Cold-rate spike and LRU re-adaptation around daily hot-set
+    rotations of ``drift_fraction`` of the rank->key mapping."""
+    cold, rotations = run_drift_trace(days, iters_per_day, workers,
+                                      drift_fraction)
+    tail = max(iters_per_day // 4, 2)
+    steady_cold = float(cold[iters_per_day - tail : iters_per_day].mean())
+    spike_cold = float(cold[iters_per_day])
+    recovered_cold = float(
+        cold[2 * iters_per_day - tail : 2 * iters_per_day].mean()
+    )
+    return {
+        "steady_cold": steady_cold,
+        "spike_cold": spike_cold,
+        "recovered_cold": recovered_cold,
+        "spike_ratio": spike_cold / max(steady_cold, 1e-9),
+        "rotations": rotations,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("ablation_drift"))

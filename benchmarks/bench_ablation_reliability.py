@@ -21,9 +21,18 @@ while asserting the trained weights stay bit-identical to a clean
 wire (retries and dedup are semantics-free).
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 import numpy as np
 
 from benchmarks.conftest import run_once, simulate_epoch
+from repro.bench import Headline, Param, register
 from repro.config import (
     CacheConfig,
     CheckpointConfig,
@@ -134,7 +143,7 @@ FAULT_BATCHES = 25
 FAULT_LEVELS = (0.0, 0.02, 0.08)
 
 
-def _remote_training_run(fault_rate: float):
+def _remote_training_run(fault_rate: float, batches: int = FAULT_BATCHES):
     """Functional remote training under a seeded fault schedule."""
     server_config = ServerConfig(
         num_nodes=2, embedding_dim=FAULT_DIM, pmem_capacity_bytes=1 << 24, seed=4
@@ -161,7 +170,7 @@ def _remote_training_run(fault_rate: float):
         ),
     )
     rng = np.random.default_rng(0)
-    for batch in range(FAULT_BATCHES):
+    for batch in range(batches):
         keys = sorted(rng.choice(200, size=10, replace=False).tolist())
         grads = rng.normal(0, 0.1, (10, FAULT_DIM)).astype(np.float32)
         client.pull(keys, batch)
@@ -225,3 +234,56 @@ def test_ablation_network_faults(benchmark, report):
     assert worst["retries"] > 0
     assert worst["wire_bytes"] > clean["wire_bytes"]
     assert worst["sim_seconds"] > clean["sim_seconds"]
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if not metrics["identical"]:
+        failures.append("faulty-wire weights diverged from the clean wire")
+    if params["fault_rate"] > 0 and metrics["retries"] == 0:
+        failures.append("a lossy wire must cost retries")
+    return failures
+
+
+@register(
+    "ablation_reliability",
+    params=[
+        Param("fault_rate", "float", 0.08, help="drop/delay rate; dup and "
+              "corrupt run at half this"),
+        Param("batches", "int", FAULT_BATCHES),
+    ],
+    smoke={"batches": 15},
+    headline={
+        "identical": Headline(),
+        "wire_overhead_frac": Headline(direction="lower", max_regression=0.25),
+    },
+    check=_check,
+)
+def entry(*, fault_rate, batches):
+    """Retry/wire/time overhead of remote training on a lossy wire vs a
+    clean one, plus the bit-identical-weights invariant."""
+    clean = _remote_training_run(0.0, batches)
+    faulty = _remote_training_run(fault_rate, batches)
+    clean_state = clean.state_snapshot()
+    faulty_state = faulty.state_snapshot()
+    identical = set(clean_state) == set(faulty_state) and all(
+        np.array_equal(faulty_state[key], clean_state[key])
+        for key in clean_state
+    )
+    reliability = faulty.reliability()
+    return {
+        "identical": identical,
+        "retries": reliability.retries,
+        "dup_suppressed": reliability.dup_suppressed,
+        "wire_overhead_frac": faulty.wire_bytes() / clean.wire_bytes() - 1,
+        "sim_ms": faulty.clock.now * 1e3,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("ablation_reliability"))

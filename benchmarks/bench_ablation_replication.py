@@ -12,9 +12,18 @@ sides of the trade at the paper's scale:
   batches included), where recovery by design rolls back.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 import numpy as np
 
 from benchmarks.conftest import run_once
+from repro.bench import Headline, Param, register
 from repro.config import CacheConfig, ServerConfig
 from repro.core.replication import (
     FAILOVER_SECONDS,
@@ -85,3 +94,47 @@ def test_ablation_replication_vs_recovery(benchmark, report):
     assert failover == FAILOVER_SECONDS
     assert recovery / failover > 100
     assert demo_preserved
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if not metrics["demo_preserved"]:
+        failures.append("failover lost post-checkpoint work")
+    if metrics["speedup_x"] <= 100:
+        failures.append(
+            f"failover only {metrics['speedup_x']:.0f}x faster than recovery"
+        )
+    return failures
+
+
+@register(
+    "ablation_replication",
+    params=[Param("entries", "int", PAPER_ENTRIES, help="analytic scale")],
+    headline={
+        "speedup_x": Headline(direction="higher", max_regression=0.05),
+        "demo_preserved": Headline(),
+    },
+    check=_check,
+)
+def entry(*, entries):
+    """Downtime of checkpoint recovery vs hot-standby failover at the
+    analytic scale, plus the nothing-lost live failover demo."""
+    failover, recovery = replication_vs_recovery_seconds(
+        entries=entries, entry_bytes=256
+    )
+    __, demo_preserved = live_demo()
+    return {
+        "failover_s": failover,
+        "recovery_s": recovery,
+        "speedup_x": recovery / failover,
+        "demo_preserved": demo_preserved,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("ablation_replication"))

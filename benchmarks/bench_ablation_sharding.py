@@ -9,10 +9,19 @@ processes so scanning and index rebuilding parallelize. Two parts:
   is verified independent (entry counts partition the key space).
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 import numpy as np
 import pytest
 
 from benchmarks.conftest import run_once
+from repro.bench import Headline, Param, register
 from repro.config import CacheConfig, ServerConfig
 from repro.core.recovery import estimate_recovery_seconds
 from repro.core.server import OpenEmbeddingServer
@@ -21,13 +30,13 @@ ENTRIES = 2_100_000_000
 ENTRY_BYTES = 256
 
 
-def live_sharded_recovery(num_nodes: int):
+def live_sharded_recovery(num_nodes: int, num_keys: int = 3000):
     server_config = ServerConfig(
         num_nodes=num_nodes, embedding_dim=8, pmem_capacity_bytes=1 << 24, seed=2
     )
     cache_config = CacheConfig(capacity_bytes=32 << 10)
     server = OpenEmbeddingServer(server_config, cache_config)
-    keys = list(range(3000))
+    keys = list(range(num_keys))
     server.pull(keys, 0)
     server.maintain(0)
     server.push(keys, np.full((len(keys), 8), 0.1, dtype=np.float32), 0)
@@ -74,3 +83,59 @@ def test_ablation_sharded_recovery(benchmark, report):
     # Hash partitioning balances the shards reasonably.
     assert max(per_shard) < 2 * min(per_shard)
     assert recovered.num_entries == 3000
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if not metrics["linear_ok"]:
+        failures.append("sharded recovery no longer scales linearly")
+    if not metrics["live_sum_ok"]:
+        failures.append("live shards lost or duplicated entries")
+    return failures
+
+
+@register(
+    "ablation_sharding",
+    params=[
+        Param("shards", "int", 4, help="PS shard count for the live demo"),
+        Param("live_keys", "int", 3000),
+    ],
+    smoke={"live_keys": 1500},
+    headline={
+        "recovery_1shard_s": Headline(direction="lower", max_regression=0.05),
+        "linear_ok": Headline(),
+        "live_sum_ok": Headline(),
+    },
+    check=_check,
+)
+def entry(*, shards, live_keys):
+    """Analytic recovery scaling with shard count plus a live sharded
+    crash/recover verifying the shards partition the key space."""
+    one = estimate_recovery_seconds(
+        entries=ENTRIES, versions=ENTRIES, entry_bytes=ENTRY_BYTES, parallelism=1
+    )
+    sharded = estimate_recovery_seconds(
+        entries=ENTRIES, versions=ENTRIES, entry_bytes=ENTRY_BYTES,
+        parallelism=shards,
+    )
+    recovered, reports = live_sharded_recovery(shards, live_keys)
+    per_shard = [r.entries_recovered for r in reports]
+    return {
+        "recovery_1shard_s": one,
+        "recovery_sharded_s": sharded,
+        "linear_ok": abs(sharded - one / shards) < 1e-6 * one,
+        "live_sum_ok": (
+            sum(per_shard) == live_keys
+            and recovered.num_entries == live_keys
+        ),
+        "shard_imbalance": max(per_shard) / max(min(per_shard), 1),
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("ablation_sharding"))

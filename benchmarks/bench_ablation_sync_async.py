@@ -12,9 +12,18 @@ same 240 worker-batches at the same learning rate; only the staleness
 Staleness 0 is equivalent to fully synchronous sequential SGD.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 import numpy as np
 
 from benchmarks.conftest import run_once
+from repro.bench import Headline, Param, register
 from repro.config import CacheConfig, ServerConfig
 from repro.core.optimizers import PSAdagrad
 from repro.core.server import OpenEmbeddingServer
@@ -27,7 +36,7 @@ FIELDS, DIM, BATCH, STEPS = 8, 16, 32, 240
 STALENESS_LEVELS = (0, 4, 12, 24)
 
 
-def _run(staleness: int) -> list[float]:
+def _run(staleness: int, steps: int = STEPS) -> list[float]:
     server = OpenEmbeddingServer(
         ServerConfig(
             num_nodes=2, embedding_dim=DIM, pmem_capacity_bytes=1 << 28, seed=3
@@ -45,7 +54,7 @@ def _run(staleness: int) -> list[float]:
         staleness=staleness,
         dense_optimizer=Adam(3e-3),
     )
-    return trainer.run_steps(STEPS)
+    return trainer.run_steps(steps)
 
 
 def test_ablation_gradient_staleness(benchmark, report):
@@ -72,3 +81,46 @@ def test_ablation_gradient_staleness(benchmark, report):
     # in staleness — the effect the paper's design choice avoids.
     assert ordered == sorted(ordered)
     assert finals[STALENESS_LEVELS[-1]] > finals[0] + 0.01
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    if metrics["degradation"] < 0:
+        return ["stale gradients converged better than synchronous SGD"]
+    return []
+
+
+@register(
+    "ablation_sync_async",
+    params=[
+        Param("staleness", "int", 24, help="scheduler steps of staleness"),
+        Param("steps", "int", STEPS),
+    ],
+    smoke={"steps": 80},
+    headline={
+        "degradation": Headline(direction="higher", max_regression=0.25),
+        "final_loss_sync": Headline(direction="lower", max_regression=0.10),
+    },
+    check=_check,
+)
+def entry(*, staleness, steps):
+    """Final-loss gap between synchronous SGD and one asynchronous
+    staleness level on the same batch stream."""
+    window = max(steps // 5, 4)
+    sync_losses = _run(0, steps)
+    stale_losses = _run(staleness, steps)
+    final_sync = float(np.mean(sync_losses[-window:]))
+    final_stale = float(np.mean(stale_losses[-window:]))
+    return {
+        "final_loss_sync": final_sync,
+        "final_loss_stale": final_stale,
+        "degradation": final_stale - final_sync,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("ablation_sync_async"))

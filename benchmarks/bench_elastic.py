@@ -17,9 +17,18 @@ bounds the remap at the theoretical minimum ``1/(n+1)`` (keys only move
   in, and verify the weights never change by a bit.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 import numpy as np
 
 from benchmarks.conftest import run_once
+from repro.bench import Headline, Param, register
 from repro.config import CacheConfig, ServerConfig
 from repro.core.migration import ShardMigrator
 from repro.core.optimizers import PSAdagrad
@@ -35,16 +44,18 @@ VNODES = 64
 DIM = 8
 
 
-def moved_fractions(num_nodes: int) -> tuple[float, float]:
+def moved_fractions(
+    num_nodes: int, sample_keys: int = SAMPLE_KEYS
+) -> tuple[float, float]:
     """(ring, modulo) fraction of a sampled keyspace that changes owner
     when the cluster grows ``num_nodes -> num_nodes + 1``."""
-    keys = range(SAMPLE_KEYS)
+    keys = range(sample_keys)
     ring = ConsistentHashRing(num_nodes, VNODES)
     ring_moved = len(ring.moved_keys(ring.with_nodes(num_nodes + 1), keys))
     old = HashPartitioner(num_nodes)
     new = HashPartitioner(num_nodes + 1)
     modulo_moved = sum(1 for k in keys if old.node_of(k) != new.node_of(k))
-    return ring_moved / SAMPLE_KEYS, modulo_moved / SAMPLE_KEYS
+    return ring_moved / sample_keys, modulo_moved / sample_keys
 
 
 def throughput_dip(partitioner: str, profile) -> tuple[float, float, int]:
@@ -157,3 +168,53 @@ def test_elastic_ring_vs_modulo(benchmark, report, profile):
     assert ring_moved < mod_moved
     assert ring_pause < mod_pause
     assert identical
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    minimum = 1 / (params["num_nodes"] + 1)
+    if metrics["ring_moved_frac"] > 2 * minimum:
+        failures.append(
+            f"ring moved {metrics['ring_moved_frac']:.1%}, over 2x the "
+            f"{minimum:.1%} theoretical minimum"
+        )
+    if not metrics["live_identical"]:
+        failures.append("live scale-out/in changed a weight")
+    return failures
+
+
+@register(
+    "elastic",
+    params=[
+        Param("num_nodes", "int", 4, help="cluster size before scale-out"),
+        Param("sample_keys", "int", SAMPLE_KEYS),
+    ],
+    smoke={"sample_keys": 20_000},
+    headline={
+        "ring_moved_frac": Headline(direction="lower", max_regression=0.10),
+        "live_identical": Headline(),
+    },
+    check=_check,
+)
+def entry(*, num_nodes, sample_keys):
+    """Ring-vs-modulo moved-key fractions at one cluster size plus the
+    live scale-out/in bit-identicality demo."""
+    ring_frac, modulo_frac = moved_fractions(num_nodes, sample_keys)
+    out_frac, in_frac, identical = live_demo()
+    return {
+        "ring_moved_frac": ring_frac,
+        "modulo_moved_frac": modulo_frac,
+        "ring_vs_min_x": ring_frac * (num_nodes + 1),
+        "live_out_frac": out_frac,
+        "live_in_frac": in_frac,
+        "live_identical": identical,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("elastic"))

@@ -43,6 +43,7 @@ for _path in (str(_ROOT), str(_ROOT / "src")):
     if _path not in sys.path:
         sys.path.insert(0, _path)
 
+from repro.bench import Headline, Param, register
 from repro.core.replication import (
     FAILOVER_SECONDS,
     replication_vs_recovery_seconds,
@@ -126,25 +127,46 @@ def test_failover_vs_recovery(benchmark, report):
     assert failures == 0, "a chaos soak lost updates or blew its bound"
 
 
-def smoke() -> int:
-    """Short-MTTF soak for CI: 2 kills per transport, full verdict."""
-    print("failover smoke: 2-kill chaos soak over 3 transports")
-    results, failures = run_soaks(kills=2, batches=24)
-    for label, result, verdict in results:
-        print(soak_line(result, label) + f" [{verdict}]")
-    print("failover smoke:", "FAIL" if failures else "PASS")
-    return 1 if failures else 0
+# --- registry entry -------------------------------------------------------
+
+
+@register(
+    "failover",
+    params=[
+        Param("kills", "int", 3, help="Poisson kills per transport soak"),
+        Param("batches", "int", 30),
+    ],
+    smoke={"kills": 2, "batches": 24},
+    headline={
+        "all_survived": Headline(),
+        # Analytic model: deterministic, gate tightly.
+        "recovery_vs_failover_x": Headline(direction="higher", max_regression=0.05),
+    },
+    check=lambda metrics, params: (
+        []
+        if metrics["all_survived"]
+        else ["a chaos soak lost updates or blew its unavailability bound"]
+    ),
+)
+def entry(*, kills, batches):
+    """Three-transport MTTF chaos soak plus the recovery-vs-failover
+    downtime ratio from the analytic model."""
+    __, recovery = replication_vs_recovery_seconds(
+        entries=PAPER_ENTRIES, entry_bytes=4 * 64
+    )
+    unavailability = LEASE_S + FAILOVER_SECONDS
+    results, failures = run_soaks(kills=kills, batches=batches)
+    return {
+        "all_survived": failures == 0,
+        "soak_failures": failures,
+        "kills_total": sum(result.kills for __, result, __ in results),
+        "promotions": sum(len(result.promotions) for __, result, __ in results),
+        "recovery_vs_failover_x": recovery / unavailability,
+        "recovery_seconds": recovery,
+    }
 
 
 if __name__ == "__main__":
-    import argparse
+    from repro.bench.shim import main
 
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="short-MTTF 2-kill chaos soak across all transports (CI)",
-    )
-    args = parser.parse_args()
-    if not args.smoke:
-        parser.error("run the full report via pytest; standalone supports --smoke")
-    raise SystemExit(smoke())
+    raise SystemExit(main("failover"))

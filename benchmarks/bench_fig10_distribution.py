@@ -6,7 +6,16 @@ more-/less-skewed variants used by Figure 11, keeping total accesses
 fixed while the decay rate changes.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 from benchmarks.conftest import run_once
+from repro.bench import Headline, Param, register
 from repro.simulation.profiles import DEFAULT_PROFILE
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.trace import AccessTraceAnalyzer
@@ -49,3 +58,45 @@ def test_fig10_distribution_fit(benchmark, report):
     assert fits["more skew"][1] > fits["original"][1] > fits["less skew"][1]
     # The head dominates: fitted a (head frequency) far exceeds the tail.
     assert fits["original"][0] > 50
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if metrics["fit_a"] <= 50:
+        failures.append("fitted head frequency too small — skew fit collapsed")
+    if metrics["fit_b"] <= 0:
+        failures.append("fitted decay rate must be positive")
+    return failures
+
+
+@register(
+    "fig10_distribution",
+    params=[
+        Param("skew", "float", 1.0, help="skew temperature (1.0 = original)"),
+        Param("batches", "int", 150),
+        Param("batch_size", "int", 256),
+    ],
+    smoke={"batches": 60},
+    headline={
+        "fit_a": Headline(direction="higher", max_regression=0.10),
+        "fit_b": Headline(direction="higher", max_regression=0.10),
+    },
+    check=_check,
+)
+def entry(*, skew, batches, batch_size):
+    """Exponential-decay fit ``freq = a * exp(-b * rank/N)`` of the
+    access distribution at one skew temperature."""
+    generator = WorkloadGenerator(DEFAULT_PROFILE.workload_config(skew))
+    stream = generator.access_stream(num_batches=batches, batch_size=batch_size)
+    analyzer = AccessTraceAnalyzer(stream)
+    a, b = analyzer.fit_exponential()
+    return {"fit_a": a, "fit_b": b, "total_accesses": analyzer.total_accesses}
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("fig10_distribution"))

@@ -6,7 +6,16 @@ to 7 % with more skew; with less skew Ori-Cache loses >20 % more time
 while PMem-OE loses <5 %.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 from benchmarks.conftest import run_once, simulate_epoch
+from repro.bench import Headline, Param, register
 from repro.simulation.cluster import SystemKind
 
 PAPER_MISS = {"more skew": 0.1004, "original": 0.1363, "less skew": 0.1708}
@@ -68,3 +77,49 @@ def test_fig11_distribution_skews(benchmark, report):
         assert row["ori_ratio"] > 1.5
     assert rows["more skew"]["oe_ratio"] < rows["less skew"]["oe_ratio"]
     assert oe_delta > 0 and ori_delta > 0
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if metrics["oe_ratio"] >= 1.12:
+        failures.append(
+            f"PMem-OE gap to DRAM-PS {metrics['oe_ratio'] - 1:.1%} "
+            "exceeds the 12% envelope"
+        )
+    if metrics["ori_ratio"] <= 1.5:
+        failures.append("Ori-Cache should lose badly at every skew")
+    return failures
+
+
+@register(
+    "fig11_skew",
+    params=[
+        Param("skew", "float", 1.0, help="skew temperature (1.0 = original)"),
+        Param("workers", "int", 16),
+    ],
+    headline={
+        "miss_rate": Headline(direction="lower", max_regression=0.10),
+        "oe_ratio": Headline(direction="lower", max_regression=0.05),
+    },
+    check=_check,
+)
+def entry(*, skew, workers):
+    """Miss rate and training-time ratios to DRAM-PS at one skew
+    temperature."""
+    dram = simulate_epoch(SystemKind.DRAM_PS, workers, skew=skew)
+    oe = simulate_epoch(SystemKind.PMEM_OE, workers, skew=skew)
+    ori = simulate_epoch(SystemKind.ORI_CACHE, workers, skew=skew)
+    return {
+        "miss_rate": oe.miss_rate,
+        "oe_ratio": oe.sim_seconds / dram.sim_seconds,
+        "ori_ratio": ori.sim_seconds / dram.sim_seconds,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("fig11_skew"))

@@ -6,9 +6,18 @@ Paper overheads vs no-checkpoint at 10/20/30/40-minute intervals:
   PMem-OE (incremental):       21.4 / 19.6 / 17.6 / 16.5 %
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 import pytest
 
 from benchmarks.conftest import run_once, simulate_epoch
+from repro.bench import Headline, Param, register
 from repro.config import CheckpointConfig, CheckpointMode
 from repro.simulation.cluster import SystemKind
 from repro.simulation.trainer_sim import TrainingSimulator
@@ -83,3 +92,75 @@ def test_fig12_checkpoint_interval(benchmark, report):
     incremental = [rows[m]["incremental"] for m in (10, 20, 30, 40)]
     assert proposed == sorted(proposed, reverse=True)
     assert incremental == sorted(incremental, reverse=True)
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if metrics["proposed_overhead"] >= 0.05:
+        failures.append(
+            f"proposed checkpoint overhead {metrics['proposed_overhead']:+.2%} "
+            ">= 5%"
+        )
+    if abs(metrics["sparse_overhead"]) >= 0.005:
+        failures.append("sparse-only checkpointing should be free")
+    if metrics["incremental_overhead"] <= 4 * max(
+        metrics["proposed_overhead"], 0.01
+    ):
+        failures.append("incremental should cost 4x+ the proposed mode")
+    return failures
+
+
+@register(
+    "fig12_ckpt_interval",
+    params=[
+        Param("minutes", "int", 20, help="paper-equivalent ckpt interval"),
+        Param("workers", "int", 16),
+        Param("iterations", "int", 0, help="0 = profile default for workers"),
+    ],
+    headline={
+        "proposed_overhead": Headline(direction="lower", max_regression=0.10,
+                                      noise=0.005),
+        "incremental_overhead": Headline(direction="lower",
+                                         max_regression=0.10),
+    },
+    check=_check,
+)
+def entry(*, minutes, workers, iterations):
+    """Checkpoint overhead vs no-checkpoint at one interval for the
+    proposed / sparse-only / incremental modes."""
+    from repro.simulation.profiles import DEFAULT_PROFILE
+
+    iters = iterations or DEFAULT_PROFILE.iterations(workers)
+    base = simulate_epoch(SystemKind.PMEM_OE, workers, iterations=iters)
+    interval = TrainingSimulator.interval_for_epoch_fraction(
+        base.sim_seconds, minutes, PAPER_EPOCH_HOURS
+    )
+    proposed = simulate_epoch(
+        SystemKind.PMEM_OE, workers, iterations=iters,
+        checkpoint=CheckpointConfig(CheckpointMode.BATCH_AWARE, interval),
+    )
+    sparse = simulate_epoch(
+        SystemKind.PMEM_OE, workers, iterations=iters,
+        checkpoint=CheckpointConfig(
+            CheckpointMode.SPARSE_ONLY, interval, include_dense=False
+        ),
+    )
+    incremental = simulate_epoch(
+        SystemKind.PMEM_OE, workers, iterations=iters,
+        checkpoint=CheckpointConfig(CheckpointMode.INCREMENTAL, interval),
+    )
+    return {
+        "proposed_overhead": proposed.sim_seconds / base.sim_seconds - 1,
+        "sparse_overhead": sparse.sim_seconds / base.sim_seconds - 1,
+        "incremental_overhead": incremental.sim_seconds / base.sim_seconds - 1,
+        "checkpoints": proposed.checkpoints_completed,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("fig12_ckpt_interval"))

@@ -5,9 +5,18 @@ dense dump, done by ONE GPU regardless of worker count), and the
 sparse-only configuration has no overhead at any scale.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 import pytest
 
 from benchmarks.conftest import run_once, simulate_epoch
+from repro.bench import Headline, Param, register
 from repro.config import CheckpointConfig, CheckpointMode
 from repro.simulation.cluster import SystemKind
 from repro.simulation.trainer_sim import TrainingSimulator
@@ -67,3 +76,65 @@ def test_fig13_checkpoint_vs_gpus(benchmark, report):
     # Scaling GPUs does not inflate the checkpoint overhead (one GPU
     # dumps the dense model either way).
     assert max(overheads) - min(overheads) < 0.02
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if not 0.0 <= metrics["proposed_overhead"] < 0.05:
+        failures.append(
+            f"proposed overhead {metrics['proposed_overhead']:+.2%} "
+            "outside [0%, 5%)"
+        )
+    if abs(metrics["sparse_overhead"]) >= 0.005:
+        failures.append("sparse-only checkpointing should be free")
+    return failures
+
+
+@register(
+    "fig13_ckpt_gpus",
+    params=[
+        Param("workers", "int", 4),
+        Param("iterations", "int", 0, help="0 = profile default for workers"),
+    ],
+    headline={
+        "proposed_overhead": Headline(direction="lower", max_regression=0.10,
+                                      noise=0.005),
+    },
+    check=_check,
+)
+def entry(*, workers, iterations):
+    """Checkpoint overhead at one GPU count with the wall-clock 20-min
+    interval anchored to the 16-GPU epoch (as in the paper)."""
+    from repro.simulation.profiles import DEFAULT_PROFILE
+
+    anchor = simulate_epoch(
+        SystemKind.PMEM_OE, 16, iterations=DEFAULT_PROFILE.iterations(16)
+    )
+    interval = TrainingSimulator.interval_for_epoch_fraction(
+        anchor.sim_seconds, 20, PAPER_EPOCH_HOURS
+    )
+    iters = iterations or DEFAULT_PROFILE.iterations(workers)
+    base = simulate_epoch(SystemKind.PMEM_OE, workers, iterations=iters)
+    proposed = simulate_epoch(
+        SystemKind.PMEM_OE, workers, iterations=iters,
+        checkpoint=CheckpointConfig(CheckpointMode.BATCH_AWARE, interval),
+    )
+    sparse = simulate_epoch(
+        SystemKind.PMEM_OE, workers, iterations=iters,
+        checkpoint=CheckpointConfig(
+            CheckpointMode.SPARSE_ONLY, interval, include_dense=False
+        ),
+    )
+    return {
+        "proposed_overhead": proposed.sim_seconds / base.sim_seconds - 1,
+        "sparse_overhead": sparse.sim_seconds / base.sim_seconds - 1,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("fig13_ckpt_gpus"))

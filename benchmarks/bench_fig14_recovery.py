@@ -10,10 +10,19 @@ Two parts here: (a) the analytic model evaluated at the paper's scale,
 show the same ordering with real data structures.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 import pytest
 
 from benchmarks.conftest import run_once
 from repro.baselines.dram_ps import DRAMPSNode
+from repro.bench import Headline, Param, register
 from repro.config import CacheConfig, ServerConfig
 from repro.core.ps_node import PSNode
 from repro.core.recovery import (
@@ -27,7 +36,7 @@ ENTRIES = 2_100_000_000
 ENTRY_BYTES = 256
 
 
-def live_recovery_demo():
+def live_recovery_demo(num_keys: int = 5000):
     """Crash scaled-down live systems; return their recovery reports."""
     import numpy as np
 
@@ -35,7 +44,7 @@ def live_recovery_demo():
         embedding_dim=16, pmem_capacity_bytes=1 << 26, seed=1
     )
     cache_config = CacheConfig(capacity_bytes=64 << 10)
-    keys = list(range(5000))
+    keys = list(range(num_keys))
     grads = np.full((len(keys), 16), 0.1, dtype=np.float32)
 
     oe = PSNode(0, server_config, cache_config)
@@ -92,3 +101,61 @@ def test_fig14_recovery_time(benchmark, report):
         f"{dram_entries} entries to checkpoint {dram_batch}"
     )
     assert oe_report.entries_recovered == dram_entries == 5000
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if not metrics["live_recovered_equal"]:
+        failures.append("live PMem-OE and DRAM-PS recovered entry counts differ")
+    if metrics["speedup_vs_ssd"] <= 2.0:
+        failures.append(
+            f"PMem-OE recovery speedup {metrics['speedup_vs_ssd']:.2f}x "
+            "vs SSD checkpoint below 2x"
+        )
+    return failures
+
+
+@register(
+    "fig14_recovery",
+    params=[
+        Param("entries", "int", ENTRIES, help="analytic model scale"),
+        Param("live_entries", "int", 5000, help="live crash/recover demo size"),
+    ],
+    smoke={"live_entries": 2000},
+    headline={
+        "speedup_vs_ssd": Headline(direction="higher", max_regression=0.05),
+        "live_recovered_equal": Headline(),
+    },
+    check=_check,
+)
+def entry(*, entries, live_entries):
+    """Analytic recovery times at paper scale plus a live scaled-down
+    crash/recover on real data structures."""
+    dram_ssd = estimate_dram_ps_recovery_seconds(
+        entries=entries, entry_bytes=ENTRY_BYTES, checkpoint_device="ssd"
+    )
+    dram_pmem = estimate_dram_ps_recovery_seconds(
+        entries=entries, entry_bytes=ENTRY_BYTES, checkpoint_device="pmem"
+    )
+    pmem_oe = estimate_recovery_seconds(
+        entries=entries, versions=entries, entry_bytes=ENTRY_BYTES
+    )
+    oe_report, dram_entries, __ = live_recovery_demo(live_entries)
+    return {
+        "dram_ssd_s": dram_ssd,
+        "dram_pmem_s": dram_pmem,
+        "pmem_oe_s": pmem_oe,
+        "speedup_vs_ssd": dram_ssd / pmem_oe,
+        "live_recovered_equal": (
+            oe_report.entries_recovered == dram_entries == live_entries
+        ),
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("fig14_recovery"))

@@ -10,10 +10,19 @@ TensorFlow's time. Also: the 500 GB production model simply does not
 fit the TensorFlow single-server baseline.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 import pytest
 
 from benchmarks.conftest import run_once
 from repro.baselines.tensorflow_ps import TensorFlowPS
+from repro.bench import Headline, Param, register
 from repro.config import (
     CacheConfig,
     CheckpointConfig,
@@ -102,3 +111,50 @@ def test_fig15_vs_tensorflow(benchmark, report):
     assert worst_gap < 0.08
     assert worst_ph < 5.0
     assert not tf_500gb.supports_model_bytes(500 << 30)
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if metrics["reduction_vs_tf"] <= 0:
+        failures.append("PMem-OE should beat the TensorFlow baseline")
+    if metrics["gap_vs_dram"] >= 0.08:
+        failures.append(
+            f"PMem-OE gap to DRAM-PS {metrics['gap_vs_dram']:.1%} >= 8%"
+        )
+    return failures
+
+
+@register(
+    "fig15_tensorflow",
+    params=[
+        Param("dim", "int", 64, choices=[16, 64]),
+        Param("workers", "int", 4, choices=[1, 2, 4]),
+    ],
+    headline={
+        "reduction_vs_tf": Headline(direction="higher", max_regression=0.10),
+        "gap_vs_dram": Headline(direction="lower", max_regression=0.10,
+                                noise=0.01),
+    },
+    check=_check,
+)
+def entry(*, dim, workers):
+    """Criteo-scale training-time comparison against TensorFlow,
+    DRAM-PS, and PMem-Hash at one (dim, workers) point."""
+    tf = criteo_epoch(SystemKind.TF_PS, workers, dim).sim_seconds
+    oe = criteo_epoch(SystemKind.PMEM_OE, workers, dim).sim_seconds
+    dram = criteo_epoch(SystemKind.DRAM_PS, workers, dim).sim_seconds
+    ph = criteo_epoch(SystemKind.PMEM_HASH, workers, dim).sim_seconds
+    return {
+        "reduction_vs_tf": 1 - oe / tf,
+        "gap_vs_dram": oe / dram - 1,
+        "ph_vs_tf": ph / tf,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("fig15_tensorflow"))

@@ -8,7 +8,16 @@ batches and buckets them per millisecond. The figure's two signatures:
    with an idle gap (GPU compute) in between.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 from benchmarks.conftest import run_once, simulate_epoch
+from repro.bench import Headline, Param, register
 from repro.simulation.cluster import SystemKind
 from repro.simulation.metrics import RequestTrace
 
@@ -51,3 +60,54 @@ def test_fig2_burst_pattern(benchmark, report):
     # gaps separate them.
     assert busy_ms <= 2 * result.iterations
     assert busy_ms < span_ms
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if not metrics["pairs_equal"]:
+        failures.append("pull and update totals differ (requests not paired)")
+    if metrics["busy_ms"] > 2 * params["iterations"]:
+        failures.append(
+            f"traffic not bursty: {metrics['busy_ms']} busy ms for "
+            f"{params['iterations']} iterations"
+        )
+    return failures
+
+
+@register(
+    "fig2_burst",
+    params=[
+        Param("workers", "int", 4),
+        Param("iterations", "int", 4),
+    ],
+    headline={"pairs_equal": Headline()},
+    check=_check,
+)
+def entry(*, workers, iterations):
+    """Per-millisecond request trace over a few synchronous batches:
+    pull/update pairing and burst concentration."""
+    result = simulate_epoch(
+        SystemKind.PMEM_OE, workers=workers, iterations=iterations,
+        record_trace=True,
+    )
+    trace = result.trace
+    totals = trace.totals()
+    pull_buckets = trace.per_millisecond(RequestTrace.PULL)
+    update_buckets = trace.per_millisecond(RequestTrace.UPDATE)
+    busy_ms = len(set(pull_buckets) | set(update_buckets))
+    return {
+        "pairs_equal": totals["pull"] == totals["update"],
+        "pull_total": totals["pull"],
+        "update_total": totals["update"],
+        "busy_ms": busy_ms,
+        "span_ms": int(result.sim_seconds * 1000) + 1,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("fig2_burst"))

@@ -10,9 +10,18 @@ Paper numbers (training-time ratio to DRAM-PS at the same GPU count):
   PMem-Hash:    2.16 (4), 2.85 (8),  4.17 (16)
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 import pytest
 
 from benchmarks.conftest import run_once, simulate_epoch
+from repro.bench import Headline, Param, register
 from repro.simulation.cluster import SystemKind
 
 PAPER_HYBRID = {4: 1.24, 8: 1.558, 16: 2.27}
@@ -54,3 +63,42 @@ def test_fig3_motivation(benchmark, report):
     assert hashes == sorted(hashes)
     assert hybrids[2] == pytest.approx(PAPER_HYBRID[16], rel=0.25)
     assert hashes[2] == pytest.approx(PAPER_HASH[16], rel=0.25)
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if metrics["hybrid_ratio"] <= 1.0:
+        failures.append("hybrid cache shows no penalty over DRAM-PS")
+    if metrics["pmem_hash_ratio"] <= metrics["hybrid_ratio"]:
+        failures.append("PMem-Hash should degrade worse than the hybrid cache")
+    return failures
+
+
+@register(
+    "fig3_motivation",
+    params=[Param("workers", "int", 16)],
+    headline={
+        "hybrid_ratio": Headline(direction="lower", max_regression=0.10),
+        "pmem_hash_ratio": Headline(direction="lower", max_regression=0.10),
+    },
+    check=_check,
+)
+def entry(*, workers):
+    """Training-time penalty of the naive hybrid cache and PMem hash
+    relative to the DRAM parameter server at one GPU count."""
+    dram = simulate_epoch(SystemKind.DRAM_PS, workers).sim_seconds
+    hybrid = simulate_epoch(SystemKind.ORI_CACHE, workers).sim_seconds
+    pmem_hash = simulate_epoch(SystemKind.PMEM_HASH, workers).sim_seconds
+    return {
+        "hybrid_ratio": hybrid / dram,
+        "pmem_hash_ratio": pmem_hash / dram,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("fig3_motivation"))

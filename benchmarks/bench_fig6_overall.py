@@ -5,7 +5,16 @@ equivalent interval. Paper: PMem-OE is 7.2/6.4/5.6 % faster than
 DRAM-PS and 23.8/36.9/53.8 % faster than Ori-Cache at 4/8/16 GPUs.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 from benchmarks.conftest import run_once, simulate_epoch
+from repro.bench import Headline, Param, register
 from repro.config import CheckpointConfig, CheckpointMode
 from repro.simulation.cluster import SystemKind
 from repro.simulation.trainer_sim import TrainingSimulator
@@ -71,3 +80,61 @@ def test_fig6_overall_training_time(benchmark, report):
         assert vs_ori > 0.1
     ori_gaps = [rows[w][1] for w in (4, 8, 16)]
     assert ori_gaps == sorted(ori_gaps)
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if metrics["vs_dram"] <= 0.0:
+        failures.append("PMem-OE not faster than DRAM-PS with checkpoints on")
+    if metrics["vs_ori"] <= 0.1:
+        failures.append("PMem-OE advantage over Ori-Cache below 10%")
+    return failures
+
+
+@register(
+    "fig6_overall",
+    params=[
+        Param("workers", "int", 16),
+        Param("iterations", "int", 0, help="0 = profile default for workers"),
+    ],
+    headline={
+        "vs_dram": Headline(direction="higher", max_regression=0.10),
+        "vs_ori": Headline(direction="higher", max_regression=0.10),
+    },
+    check=_check,
+)
+def entry(*, workers, iterations):
+    """End-to-end training-time advantage of PMem-OE over DRAM-PS and
+    Ori-Cache with each system's checkpoint configuration active."""
+    from repro.simulation.profiles import DEFAULT_PROFILE
+
+    iters = iterations or DEFAULT_PROFILE.iterations(workers)
+    # Interval anchored to the full-profile 16-GPU epoch (see the test).
+    anchor = simulate_epoch(
+        SystemKind.PMEM_OE, 16, iterations=DEFAULT_PROFILE.iterations(16)
+    )
+    interval = TrainingSimulator.interval_for_epoch_fraction(
+        anchor.sim_seconds, PAPER_INTERVAL_MIN, PAPER_EPOCH_HOURS
+    )
+    oe = simulate_epoch(
+        SystemKind.PMEM_OE, workers, iterations=iters,
+        checkpoint=CheckpointConfig(CheckpointMode.BATCH_AWARE, interval),
+    ).sim_seconds
+    dram = simulate_epoch(
+        SystemKind.DRAM_PS, workers, iterations=iters,
+        checkpoint=CheckpointConfig(CheckpointMode.INCREMENTAL, interval),
+    ).sim_seconds
+    ori = simulate_epoch(
+        SystemKind.ORI_CACHE, workers, iterations=iters,
+        checkpoint=CheckpointConfig(CheckpointMode.INCREMENTAL, interval),
+    ).sim_seconds
+    return {"vs_dram": 1 - oe / dram, "vs_ori": 1 - oe / ori}
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("fig6_overall"))

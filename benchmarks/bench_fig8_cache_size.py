@@ -6,7 +6,16 @@ Sweeps the cache from the 10 MB-equivalent to the 20 GB-equivalent of a
 means a small cache already captures the hot set.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 from benchmarks.conftest import run_once, simulate_epoch
+from repro.bench import Headline, Param, register
 from repro.simulation.cluster import SystemKind
 from repro.simulation.profiles import DEFAULT_PROFILE
 
@@ -41,3 +50,49 @@ def test_fig8_cache_size(benchmark, report):
     assert ratios[-2] - ratios[-1] < 0.06  # 2 GB -> 20 GB nearly flat
     misses = [rows[mb].miss_rate for mb in PAPER]
     assert all(a >= b for a, b in zip(misses, misses[1:]))
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    if params["cache_mb"] > 10 and metrics["ratio_vs_10mb"] >= 1.0:
+        return [
+            f"{params['cache_mb']} MB cache no faster than the 10 MB baseline"
+        ]
+    return []
+
+
+@register(
+    "fig8_cache_size",
+    params=[
+        Param("cache_mb", "float", 2048.0, help="paper-equivalent cache size"),
+        Param("workers", "int", 16),
+    ],
+    headline={
+        "ratio_vs_10mb": Headline(direction="lower", max_regression=0.05),
+        "miss_rate": Headline(direction="lower", max_regression=0.10),
+    },
+    check=_check,
+)
+def entry(*, cache_mb, workers):
+    """Training time at one cache size normalised to the 10 MB-equivalent
+    baseline, plus the cache miss rate."""
+    base = simulate_epoch(
+        SystemKind.PMEM_OE, workers,
+        cache=DEFAULT_PROFILE.cache_config(paper_mb=10),
+    ).sim_seconds
+    result = simulate_epoch(
+        SystemKind.PMEM_OE, workers,
+        cache=DEFAULT_PROFILE.cache_config(paper_mb=cache_mb),
+    )
+    return {
+        "ratio_vs_10mb": result.sim_seconds / base,
+        "miss_rate": result.miss_rate,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("fig8_cache_size"))

@@ -6,7 +6,16 @@ cache alone cuts 42.1 % of training time, the pipeline on top of the
 cache cuts another 54.9 %, and together they remove 73.9 %.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 from benchmarks.conftest import run_once, simulate_epoch
+from repro.bench import Headline, Param, register
 from repro.simulation.cluster import SystemKind
 
 PAPER_CACHE_ONLY = 1 - 0.421  # 0.579 of the all-disabled time
@@ -50,3 +59,54 @@ def test_fig9_cache_pipeline_ablation(benchmark, report):
     assert 0.2 < cache_cut < 0.6
     assert 0.3 < pipeline_cut < 0.7
     assert 0.55 < total_cut < 0.85
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if not 0.2 < metrics["cache_cut"] < 0.6:
+        failures.append(f"cache cut {metrics['cache_cut']:.1%} outside 20-60%")
+    if not 0.55 < metrics["total_cut"] < 0.85:
+        failures.append(f"total cut {metrics['total_cut']:.1%} outside 55-85%")
+    return failures
+
+
+@register(
+    "fig9_ablation",
+    params=[Param("workers", "int", 16)],
+    headline={
+        "cache_cut": Headline(direction="higher", max_regression=0.10),
+        "pipeline_cut": Headline(direction="higher", max_regression=0.10),
+        "total_cut": Headline(direction="higher", max_regression=0.05),
+    },
+    check=_check,
+)
+def entry(*, workers):
+    """Training-time reductions attributable to the cache, the pipeline,
+    and both together (four-configuration ablation)."""
+    none = simulate_epoch(
+        SystemKind.PMEM_OE, workers, use_cache=False, pipelined=False
+    ).sim_seconds
+    cache_only = simulate_epoch(
+        SystemKind.PMEM_OE, workers, use_cache=True, pipelined=False
+    ).sim_seconds
+    pipeline_only = simulate_epoch(
+        SystemKind.PMEM_OE, workers, use_cache=False, pipelined=True
+    ).sim_seconds
+    both = simulate_epoch(
+        SystemKind.PMEM_OE, workers, use_cache=True, pipelined=True
+    ).sim_seconds
+    return {
+        "cache_cut": 1 - cache_only / none,
+        "pipeline_cut": 1 - both / cache_only,
+        "pipeline_only_cut": 1 - pipeline_only / none,
+        "total_cut": 1 - both / none,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("fig9_ablation"))

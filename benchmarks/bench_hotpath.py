@@ -41,6 +41,7 @@ for _path in (str(_ROOT), str(_ROOT / "src")):
 
 import numpy as np
 
+from repro.bench import Headline, Param, register
 from repro.config import CacheConfig, NetworkFaultConfig, RetryConfig, ServerConfig
 from repro.core.checkpoint import CheckpointCoordinator
 from repro.core.cache import PipelinedCache
@@ -270,42 +271,76 @@ def full() -> int:
     return 1 if failures else 0
 
 
-def smoke() -> int:
-    """Small sizes; the vectorized path must not be slower, and must
-    stay bit-identical across the wire."""
-    failures = 0
-    micro = microbench(batch_sizes=(1024,), iterations=8, num_keys=2048)
-    t_legacy, t_fast, equal = micro[1024]
-    speedup = t_legacy / t_fast
-    print(
-        f"hotpath smoke: batch 1024 dict {t_legacy * 1e3:.1f}ms "
-        f"arena {t_fast * 1e3:.1f}ms speedup {speedup:.2f}x "
-        f"{'equal' if equal else 'DIVERGED'}"
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if not metrics["bitwise_equal"]:
+        failures.append("arena path diverged from the dict path")
+    if not metrics["transports_identical"]:
+        failures.append("a transport diverged from the in-process reference")
+    if params["batch_size"] >= ACCEPT_BATCH:
+        if metrics["speedup"] < ACCEPT_SPEEDUP:
+            failures.append(
+                f"speedup {metrics['speedup']:.1f}x below the "
+                f"{ACCEPT_SPEEDUP:.0f}x floor at batch {params['batch_size']}"
+            )
+    elif metrics["speedup"] < 1.0:
+        failures.append("vectorized path slower than the dict path")
+    return failures
+
+
+@register(
+    "hotpath",
+    params=[
+        Param("batch_size", "int", ACCEPT_BATCH),
+        Param("iterations", "int", ITERATIONS),
+        Param("num_keys", "int", NUM_KEYS),
+        Param("repeats", "int", REPEATS, help="best-of wall-clock repeats"),
+        Param("transport_batches", "int", 30),
+    ],
+    smoke={
+        "batch_size": 1024,
+        "iterations": 8,
+        "num_keys": 2048,
+        "repeats": 2,
+        "transport_batches": 12,
+    },
+    headline={
+        # Wall-clock: gate loosely with a noise floor; the booleans are
+        # the deterministic truth the gate really guards.
+        "speedup": Headline(direction="higher", max_regression=0.60, noise=0.5),
+        "bitwise_equal": Headline(),
+        "transports_identical": Headline(),
+    },
+    check=_check,
+)
+def entry(*, batch_size, iterations, num_keys, repeats, transport_batches):
+    """Arena-vs-dict hot-path speedup at one batch size, with bitwise
+    state equality and cross-transport equivalence."""
+    micro = microbench(
+        batch_sizes=(batch_size,),
+        iterations=iterations,
+        num_keys=num_keys,
+        repeats=repeats,
     )
-    if not equal:
-        print("  FAIL: arena path diverged from the dict path")
-        failures += 1
-    if speedup < 1.0:
-        print("  FAIL: vectorized path slower than the dict path")
-        failures += 1
-    for label, identical, injected in transport_equivalence(batches=12):
-        status = "ok" if identical else "DIVERGED"
-        print(
-            f"hotpath smoke: {label}: {status}"
-            + (f" ({injected} faults injected)" if injected else "")
-        )
-        failures += not identical
-    print("hotpath smoke:", "FAIL" if failures else "PASS")
-    return 1 if failures else 0
+    t_legacy, t_fast, equal = micro[batch_size]
+    transports = transport_equivalence(batches=transport_batches)
+    return {
+        "speedup": t_legacy / t_fast,
+        "dict_ms": t_legacy * 1e3,
+        "arena_ms": t_fast * 1e3,
+        "bitwise_equal": equal,
+        "transports_identical": all(identical for __, identical, __ in transports),
+        "faults_injected": sum(injected for *__, injected in transports),
+    }
 
 
 if __name__ == "__main__":
-    import argparse
+    if not sys.argv[1:]:
+        # Bare invocation keeps the historical full report + txt artifact.
+        raise SystemExit(full())
+    from repro.bench.shim import main
 
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="small-size not-slower + bit-identicality check (CI)",
-    )
-    args = parser.parse_args()
-    raise SystemExit(smoke() if args.smoke else full())
+    raise SystemExit(main("hotpath"))

@@ -34,6 +34,7 @@ for _path in (str(_ROOT), str(_ROOT / "src")):
 
 import numpy as np
 
+from repro.bench import Headline, Param, register
 from repro.config import (
     CacheConfig,
     NetworkFaultConfig,
@@ -225,50 +226,63 @@ def test_prefetch_ablation(benchmark, report):
     assert any(injected > 0 for *_, injected in functional)
 
 
-# --- standalone smoke mode (CI) -----------------------------------------
+# --- registry entry -------------------------------------------------------
 
 
-def smoke() -> int:
-    """Fast pipelined/serial divergence check + throughput floor."""
-    failures = 0
-    print("prefetch smoke: functional bit-identicality")
-    for lookahead, kind, fault_rate, identical, injected in functional_sweep():
-        status = "ok" if identical else "DIVERGED"
-        print(
-            f"  L={lookahead} {kind:<6} faults={fault_rate:.0%}: {status}"
-            + (f" ({injected} faults injected)" if injected else "")
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if not metrics["identical"]:
+        failures.append("pipelined weights diverged from the serial protocol")
+    if params["lookahead"] >= 2 and metrics["speedup"] < 1.3:
+        failures.append(
+            f"speedup {metrics['speedup']:.3f}x below the 1.3x acceptance floor"
         )
-        failures += not identical
+    return failures
 
+
+@register(
+    "prefetch",
+    params=[
+        Param("lookahead", "int", 2, help="prefetch window depth (batches)"),
+        Param("workers", "int", WORKERS),
+        Param("iterations", "int", ITERATIONS),
+        Param("fault_rate", "float", 0.04, help="remote wire fault rate"),
+        Param("seed", "int", 7),
+    ],
+    smoke={"iterations": 40},
+    headline={
+        # SimClock-driven: the speedup is deterministic, gate it tightly.
+        "speedup": Headline(direction="higher", max_regression=0.05),
+        "identical": Headline(),
+    },
+    check=_check,
+)
+def entry(*, lookahead, workers, iterations, fault_rate, seed):
+    """Simulated epoch speedup at one lookahead depth, plus the functional
+    bit-identicality of the pipelined remote path over a faulty wire."""
     from benchmarks.conftest import simulate_epoch
     from repro.simulation.cluster import SystemKind
 
     serial = simulate_epoch(
-        SystemKind.PMEM_OE, WORKERS, iterations=40,
+        SystemKind.PMEM_OE, workers, iterations=iterations,
         prefetch=PrefetchConfig(lookahead=0),
     )
     pipelined = simulate_epoch(
-        SystemKind.PMEM_OE, WORKERS, iterations=40,
-        prefetch=PrefetchConfig(lookahead=2),
+        SystemKind.PMEM_OE, workers, iterations=iterations,
+        prefetch=PrefetchConfig(lookahead=lookahead),
     )
-    speedup = serial.sim_seconds / pipelined.sim_seconds
-    print(f"prefetch smoke: simulated speedup at lookahead 2 = {speedup:.3f}x")
-    if speedup < 1.3:
-        print("  FAIL: below the 1.3x acceptance floor")
-        failures += 1
-    print("prefetch smoke:", "FAIL" if failures else "PASS")
-    return 1 if failures else 0
+    reference = _train_functional("local", seed, None)
+    prefetch = PrefetchConfig(lookahead=lookahead) if lookahead else None
+    candidate = _train_functional("remote", seed, prefetch, fault_rate)
+    return {
+        "speedup": serial.sim_seconds / pipelined.sim_seconds,
+        "identical": _bitwise_identical(reference, candidate),
+        "faults_injected": candidate[0].reliability().faults_injected,
+        "prefetch_requests": pipelined.prefetch_requests,
+    }
 
 
 if __name__ == "__main__":
-    import argparse
+    from repro.bench.shim import main
 
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="fast divergence check + throughput floor (CI)",
-    )
-    args = parser.parse_args()
-    if not args.smoke:
-        parser.error("run the full ablation via pytest; standalone supports --smoke")
-    raise SystemExit(smoke())
+    raise SystemExit(main("prefetch"))

@@ -40,6 +40,7 @@ for _path in (str(_ROOT), str(_ROOT / "src")):
 
 import numpy as np
 
+from repro.bench import Headline, Param, register
 from repro.core.optimizers import PSAdagrad
 from repro.dlrm.hps import HierarchicalPS
 from repro.network.frontend import RemotePSClient
@@ -234,21 +235,34 @@ def run_all(warm: int, measure: int, chaos_requests: int) -> tuple[dict, list[st
     }
     RESULTS_DIR.mkdir(exist_ok=True)
     headline = results["cached_vs_uncached"]
-    payload = {
-        "bench": "serving",
-        "skew_top1pct": TOP1PCT_SKEW,
-        "qps_cached": headline["cached"]["qps"],
-        "qps_uncached": headline["uncached"]["qps"],
-        "p99_us_cached": headline["cached"]["p99_us"],
-        "p99_us_uncached": headline["uncached"]["p99_us"],
-        "hit_p99_us": headline["cached"]["hit_p99_us"],
-        "hit_path_p99_speedup": headline["hit_path_p99_speedup"],
-        "hit_rate": headline["cached"]["hit_rate"],
-        "chaos": results["chaos"],
-    }
-    (RESULTS_DIR / "BENCH_serving.json").write_text(
-        json.dumps(payload, indent=2) + "\n"
+    chaos = results["chaos"]
+    # Headline numbers land in the repro-bench-v1 trajectory (the same
+    # file the sweep runner and regression gate read).
+    from repro.bench import RunRecord, Trajectory, derive_seed, environment_info
+
+    params = {"warm": warm, "measure": measure, "chaos_requests": chaos_requests}
+    record = RunRecord(
+        bench="serving",
+        params=params,
+        seed=derive_seed(0, "serving", params),
+        scale="full",
+        env=environment_info(),
+        metrics={
+            "hit_path_p99_speedup": headline["hit_path_p99_speedup"],
+            "hit_rate": headline["cached"]["hit_rate"],
+            "qps_cached": headline["cached"]["qps"],
+            "qps_uncached": headline["uncached"]["qps"],
+            "hit_p99_us": headline["cached"]["hit_p99_us"],
+            "uncached_p99_us": headline["uncached"]["p99_us"],
+            "torn_rows": chaos["torn_rows"],
+            "stale_rows": chaos["stale_rows"],
+            "served_through_kill": bool(chaos["served_through_kill"]),
+            "slo_ok": bool(chaos["slo"]["ok"]),
+        },
     )
+    trajectory = Trajectory.load_or_create(RESULTS_DIR, "serving")
+    trajectory.append(record)
+    trajectory.save(RESULTS_DIR)
     # Standalone machine-readable SLO verdict; render with `repro slo`.
     (RESULTS_DIR / "slo_serving.json").write_text(
         json.dumps(results["chaos"]["slo"], indent=2) + "\n"
@@ -308,39 +322,64 @@ def test_serving_tier(benchmark, report):
     assert not failures, "; ".join(failures)
 
 
-def smoke() -> int:
-    """Short serving run for CI: same acceptance bars, smaller load."""
-    print("serving smoke: cached vs uncached + flash crowd + chaos soak")
-    results, failures = run_all(warm=40, measure=100, chaos_requests=100)
-    headline = results["cached_vs_uncached"]
-    chaos = results["chaos"]
-    print(
-        f"  cached p99={headline['cached']['p99_us']:.1f}us "
-        f"(hit p99={headline['cached']['hit_p99_us']:.2f}us, "
-        f"hit rate {headline['cached']['hit_rate']:.1%}) "
-        f"uncached p99={headline['uncached']['p99_us']:.1f}us "
-        f"speedup={headline['hit_path_p99_speedup']:.0f}x"
-    )
-    print(
-        f"  chaos: torn={chaos['torn_rows']} stale={chaos['stale_rows']} "
-        f"kills={chaos['kills']} served_through_kill={chaos['served_through_kill']}"
-    )
-    print("  slo:", "ok" if chaos["slo"]["ok"] else "BUDGET EXHAUSTED")
-    for failure in failures:
-        print(f"  FAIL: {failure}")
-    print("serving smoke:", "FAIL" if failures else "PASS")
-    return 1 if failures else 0
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if metrics["hit_path_p99_speedup"] < 5.0:
+        failures.append(
+            f"hit-path p99 speedup {metrics['hit_path_p99_speedup']:.1f}x < 5x"
+        )
+    if metrics["torn_rows"]:
+        failures.append(f"{metrics['torn_rows']:.0f} torn rows served")
+    if metrics["stale_rows"]:
+        failures.append(
+            f"{metrics['stale_rows']:.0f} rows beyond the staleness bound"
+        )
+    if not metrics["served_through_kill"]:
+        failures.append("no reads served after the primary kill")
+    if not metrics["slo_ok"]:
+        failures.append("an SLO error budget was exhausted")
+    return failures
+
+
+@register(
+    "serving",
+    params=[
+        Param("warm", "int", 100, help="cache warm-up requests"),
+        Param("measure", "int", 300, help="measured requests per phase"),
+        Param("chaos_requests", "int", 150),
+    ],
+    smoke={"warm": 40, "measure": 100, "chaos_requests": 100},
+    headline={
+        # All SimClock-driven latencies: deterministic, gate tightly.
+        "hit_path_p99_speedup": Headline(direction="higher", max_regression=0.10),
+        "hit_rate": Headline(direction="higher", max_regression=0.05),
+        "slo_ok": Headline(),
+    },
+    check=_check,
+)
+def entry(*, warm, measure, chaos_requests):
+    """Serving-tier headline: cached-vs-uncached p99 speedup, hit rate,
+    and the chaos soak's torn/stale/SLO verdict."""
+    headline = run_cached_vs_uncached(warm, measure)
+    chaos = run_chaos(chaos_requests)
+    return {
+        "hit_path_p99_speedup": headline["hit_path_p99_speedup"],
+        "hit_rate": headline["cached"]["hit_rate"],
+        "qps_cached": headline["cached"]["qps"],
+        "qps_uncached": headline["uncached"]["qps"],
+        "hit_p99_us": headline["cached"]["hit_p99_us"],
+        "uncached_p99_us": headline["uncached"]["p99_us"],
+        "torn_rows": chaos["torn_rows"],
+        "stale_rows": chaos["stale_rows"],
+        "served_through_kill": bool(chaos["served_through_kill"]),
+        "slo_ok": bool(chaos["slo"]["ok"]),
+    }
 
 
 if __name__ == "__main__":
-    import argparse
+    from repro.bench.shim import main
 
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument(
-        "--smoke", action="store_true",
-        help="short closed-loop serving run with the full verdict (CI)",
-    )
-    args = parser.parse_args()
-    if not args.smoke:
-        parser.error("run the full report via pytest; standalone supports --smoke")
-    raise SystemExit(smoke())
+    raise SystemExit(main("serving"))

@@ -5,7 +5,16 @@ bandwidth over large sequential transfers and per-op latency on tiny
 accesses — the same quantities the paper's microbenchmarks report.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 from benchmarks.conftest import run_once
+from repro.bench import Headline, register
 from repro.simulation.device import DRAM_SPEC, GB, MemoryDevice, PMEM_SPEC, SSD_SPEC
 
 PAPER = {
@@ -51,3 +60,51 @@ def test_table1_device_comparison(benchmark, report):
     )
     assert 2.5 < dram[0] / pmem[0] < 3.5
     assert 4.5 < dram[1] / pmem[1] < 6.5
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if not 2.5 < metrics["read_ratio"] < 3.5:
+        failures.append(
+            f"DRAM/PMem read ratio {metrics['read_ratio']:.1f} outside ~3x"
+        )
+    if not 4.5 < metrics["write_ratio"] < 6.5:
+        failures.append(
+            f"DRAM/PMem write ratio {metrics['write_ratio']:.1f} outside ~5x"
+        )
+    return failures
+
+
+@register(
+    "table1_devices",
+    params=[],
+    headline={
+        "read_ratio": Headline(direction="higher", max_regression=0.05),
+        "write_ratio": Headline(direction="higher", max_regression=0.05),
+    },
+    check=_check,
+)
+def entry():
+    """Device-model bandwidths and the DRAM/PMem throughput ratios the
+    paper's Table I reports."""
+    dram = measure(DRAM_SPEC)
+    pmem = measure(PMEM_SPEC)
+    ssd = measure(SSD_SPEC)
+    return {
+        "dram_read_gbps": dram[0],
+        "dram_write_gbps": dram[1],
+        "pmem_read_gbps": pmem[0],
+        "pmem_write_gbps": pmem[1],
+        "ssd_read_gbps": ssd[0],
+        "read_ratio": dram[0] / pmem[0],
+        "write_ratio": dram[1] / pmem[1],
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("table1_devices"))

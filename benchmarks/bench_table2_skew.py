@@ -5,7 +5,16 @@ accesses the hottest 0.05 % / 0.1 % / 1 % of the key space receives —
 the paper's 85.7 % / 89.5 % / 95.7 %.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 from benchmarks.conftest import run_once
+from repro.bench import Headline, Param, register
 from repro.simulation.profiles import DEFAULT_PROFILE
 from repro.workload.generator import WorkloadGenerator
 from repro.workload.trace import AccessTraceAnalyzer
@@ -36,3 +45,48 @@ def test_table2_access_skew(benchmark, report):
             f"{measured:.1%}",
         )
         assert abs(measured - paper_share) < 0.02
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    if not metrics["top_1pct_share"] > metrics["top_01pct_share"] > 0.5:
+        return ["skew shares lost their ordering or collapsed below 50%"]
+    return []
+
+
+@register(
+    "table2_skew",
+    params=[
+        Param("batches", "int", 200),
+        Param("batch_size", "int", 256),
+    ],
+    smoke={"batches": 80},
+    headline={
+        "top_1pct_share": Headline(direction="higher", max_regression=0.05),
+        "top_01pct_share": Headline(direction="higher", max_regression=0.05),
+    },
+    check=_check,
+)
+def entry(*, batches, batch_size):
+    """Share of accesses landing on the hottest 0.05%/0.1%/1% of the
+    keyspace in the synthetic DLRM trace."""
+    generator = WorkloadGenerator(DEFAULT_PROFILE.workload_config())
+    stream = generator.access_stream(num_batches=batches, batch_size=batch_size)
+    analyzer = AccessTraceAnalyzer(stream)
+    skew = analyzer.skew_report(
+        key_fractions=(0.0005, 0.001, 0.01), of_keyspace=DEFAULT_PROFILE.num_keys
+    )
+    return {
+        "top_005pct_share": skew.top_shares[0.0005],
+        "top_01pct_share": skew.top_shares[0.001],
+        "top_1pct_share": skew.top_shares[0.01],
+        "distinct_keys": skew.distinct_keys,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("table2_skew"))

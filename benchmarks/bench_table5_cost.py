@@ -7,7 +7,16 @@ DRAM-PS baseline with OUR measured relative epoch times, so the
 $-per-epoch column is a genuine model output, not a transcription.
 """
 
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
 from benchmarks.conftest import run_once, simulate_epoch
+from repro.bench import Headline, Param, register
 from repro.config import CheckpointConfig, CheckpointMode
 from repro.cost.pricing import (
     R6E_13XLARGE,
@@ -81,3 +90,66 @@ def test_table5_ps_cost(benchmark, report):
     report.row("PMem-OE saving vs Ori-Cache", "24%", f"{1 - oe_cost / ori_cost:.0%}")
     assert 0.30 < 1 - oe_cost / dram_cost < 0.50
     assert 0.05 < 1 - oe_cost / ori_cost < 0.35
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    failures = []
+    if not 0.30 < metrics["oe_saving_vs_dram"] < 0.50:
+        failures.append(
+            f"PMem-OE saving vs DRAM-PS "
+            f"{metrics['oe_saving_vs_dram']:.0%} outside 30-50%"
+        )
+    if metrics["dram_machines"] != 2 or metrics["oe_machines"] != 1:
+        failures.append("deployment sizing drifted from 2 DRAM / 1 PMem")
+    return failures
+
+
+@register(
+    "table5_cost",
+    params=[Param("workers", "int", 4)],
+    headline={
+        "oe_saving_vs_dram": Headline(direction="higher", max_regression=0.05),
+        "oe_saving_vs_ori": Headline(direction="higher", max_regression=0.10),
+    },
+    check=_check,
+)
+def entry(*, workers):
+    """Cost-per-epoch of the 500 GB deployment: PMem-OE's savings over
+    DRAM-PS and Ori-Cache from the pricing model + measured ratios."""
+    base = simulate_epoch(SystemKind.DRAM_PS, workers)
+    interval = TrainingSimulator.interval_for_epoch_fraction(
+        base.sim_seconds, 20, PAPER_DRAM_EPOCH_HOURS
+    )
+    dram = simulate_epoch(
+        SystemKind.DRAM_PS, workers,
+        checkpoint=CheckpointConfig(CheckpointMode.INCREMENTAL, interval),
+    ).sim_seconds
+    oe = simulate_epoch(
+        SystemKind.PMEM_OE, workers,
+        checkpoint=CheckpointConfig(CheckpointMode.BATCH_AWARE, interval),
+    ).sim_seconds
+    ori = simulate_epoch(
+        SystemKind.ORI_CACHE, workers,
+        checkpoint=CheckpointConfig(CheckpointMode.INCREMENTAL, interval),
+    ).sim_seconds
+    dram_dep = deployment_for_model(500 * GB, R6E_13XLARGE, "DRAM-PS")
+    oe_dep = deployment_for_model(500 * GB, RE6P_13XLARGE, "PMem-OE")
+    ori_dep = deployment_for_model(500 * GB, RE6P_13XLARGE, "Ori-Cache")
+    dram_cost = cost_per_epoch(dram_dep, PAPER_DRAM_EPOCH_HOURS)
+    oe_cost = cost_per_epoch(oe_dep, PAPER_DRAM_EPOCH_HOURS * oe / dram)
+    ori_cost = cost_per_epoch(ori_dep, PAPER_DRAM_EPOCH_HOURS * ori / dram)
+    return {
+        "oe_saving_vs_dram": 1 - oe_cost / dram_cost,
+        "oe_saving_vs_ori": 1 - oe_cost / ori_cost,
+        "dram_machines": dram_dep.machines,
+        "oe_machines": oe_dep.machines,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("table5_cost"))

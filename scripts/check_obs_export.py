@@ -19,6 +19,14 @@ Checks five artifact kinds against their schemas:
 * Flight-recorder dump (``--flightrec``): ``repro-flightrec-v1``
   postmortem record — trigger/node identity, well-formed events in
   non-decreasing time order.
+* BENCH trajectory (``--bench``): ``repro-bench-v1`` sweep records —
+  full schema validation via ``repro.bench.validate_trajectory``, the
+  filename matching the bench it claims, and (when the registry is
+  importable) that the bench is registered and every ok run at some
+  scale carries all of its declared headline metrics.
+* Gate verdict (``--gate``): ``repro-bench-gate-v1`` machine-readable
+  verdict from ``repro bench gate`` — check shape, self-consistent
+  counts, and ``ok`` agreeing with the regression count.
 
 Exit code 0 = all supplied artifacts valid; 1 = any check failed.
 
@@ -26,7 +34,8 @@ Usage::
 
     python scripts/check_obs_export.py --trace t.json --prom m.prom \
         --snapshot m.json [--require-overlap] \
-        --merged merged.json --flightrec flightrec_promotion_1.json
+        --merged merged.json --flightrec flightrec_promotion_1.json \
+        --bench benchmarks/results/BENCH_prefetch.json --gate verdict.json
 """
 
 from __future__ import annotations
@@ -310,6 +319,105 @@ def check_flightrec(path: str) -> None:
             last_t = t
 
 
+# ----------------------------------------------------------------------
+# BENCH trajectory
+# ----------------------------------------------------------------------
+
+BENCH_SCHEMA = "repro-bench-v1"
+GATE_SCHEMA = "repro-bench-gate-v1"
+
+
+def check_bench(path: str) -> None:
+    import pathlib
+
+    with open(path) as fh:
+        payload = json.load(fh)
+    try:
+        from repro.bench import validate_trajectory
+    except ImportError:
+        fail("bench: repro.bench not importable (set PYTHONPATH=src)")
+        return
+    for error in validate_trajectory(payload):
+        fail(f"bench: {error}")
+    bench = payload.get("bench")
+    if isinstance(bench, str) and bench:
+        expected = f"BENCH_{bench}.json"
+        actual = pathlib.Path(path).name
+        check(
+            actual == expected,
+            f"bench: file {actual!r} holds bench {bench!r} "
+            f"(expected name {expected!r})",
+        )
+    try:
+        from repro.bench import REGISTRY, discover
+
+        discover()
+    except Exception:
+        return  # no checkout next to the package: schema checks only
+    if not (isinstance(bench, str) and bench in REGISTRY):
+        fail(f"bench: {bench!r} is not a registered benchmark")
+        return
+    headline = set(REGISTRY.get(bench).headline)
+    for index, run in enumerate(payload.get("runs", [])):
+        if not isinstance(run, dict) or run.get("status") != "ok":
+            continue
+        missing = headline - set(run.get("metrics", {}))
+        check(
+            not missing,
+            f"bench: runs[{index}] missing headline metrics {sorted(missing)}",
+        )
+
+
+def check_gate(path: str) -> None:
+    with open(path) as fh:
+        verdict = json.load(fh)
+    check(isinstance(verdict, dict), "gate: top level must be an object")
+    if not isinstance(verdict, dict):
+        return
+    check(
+        verdict.get("schema") == GATE_SCHEMA,
+        f"gate: schema must be {GATE_SCHEMA}",
+    )
+    check(verdict.get("scale") in ("smoke", "full"), "gate: bad scale")
+    check(isinstance(verdict.get("ok"), bool), "gate: 'ok' must be a boolean")
+    checks = verdict.get("checks")
+    counts = verdict.get("counts")
+    check(isinstance(checks, list), "gate: 'checks' must be a list")
+    check(isinstance(counts, dict), "gate: 'counts' must be an object")
+    if not isinstance(checks, list) or not isinstance(counts, dict):
+        return
+    statuses = ("pass", "improved", "within-noise", "regression")
+    for index, entry in enumerate(checks):
+        where = f"gate: checks[{index}]"
+        if not isinstance(entry, dict):
+            fail(f"{where}: must be an object")
+            continue
+        check(entry.get("status") in statuses, f"{where}: bad status")
+        check(
+            isinstance(entry.get("bench"), str) and entry["bench"],
+            f"{where}: missing bench",
+        )
+        check("detail" in entry, f"{where}: missing detail")
+    regressions = sum(
+        1
+        for entry in checks
+        if isinstance(entry, dict) and entry.get("status") == "regression"
+    )
+    check(
+        counts.get("total") == len(checks),
+        f"gate: counts.total={counts.get('total')} but {len(checks)} checks",
+    )
+    check(
+        counts.get("regressions") == regressions,
+        f"gate: counts.regressions={counts.get('regressions')} "
+        f"but {regressions} regression checks",
+    )
+    check(
+        verdict.get("ok") == (regressions == 0),
+        "gate: 'ok' disagrees with the regression count",
+    )
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--trace", help="Chrome trace_event JSON file")
@@ -326,11 +434,23 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--flightrec", help="flight-recorder postmortem dump JSON"
     )
+    parser.add_argument(
+        "--bench",
+        action="append",
+        help="repro-bench-v1 BENCH_<name>.json trajectory (repeatable)",
+    )
+    parser.add_argument(
+        "--gate", help="repro-bench-gate-v1 verdict from `repro bench gate`"
+    )
     args = parser.parse_args(argv)
-    artifacts = (args.trace, args.prom, args.snapshot, args.merged, args.flightrec)
+    artifacts = (
+        args.trace, args.prom, args.snapshot, args.merged, args.flightrec,
+        *(args.bench or []), args.gate,
+    )
     if not any(artifacts):
         parser.error(
-            "give at least one of --trace/--prom/--snapshot/--merged/--flightrec"
+            "give at least one of --trace/--prom/--snapshot/--merged/"
+            "--flightrec/--bench/--gate"
         )
     if args.trace:
         check_trace(args.trace, args.require_overlap)
@@ -342,6 +462,10 @@ def main(argv: list[str] | None = None) -> int:
         check_merged(args.merged)
     if args.flightrec:
         check_flightrec(args.flightrec)
+    for bench_path in args.bench or []:
+        check_bench(bench_path)
+    if args.gate:
+        check_gate(args.gate)
     if _errors:
         for message in _errors:
             print(f"FAIL: {message}", file=sys.stderr)

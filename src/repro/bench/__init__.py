@@ -1,0 +1,75 @@
+"""Parallel experiment-sweep harness with machine-readable trajectories.
+
+``repro.bench`` turns the repository's ``benchmarks/bench_*.py``
+scripts into a *registry* of typed, sweepable experiment entries and
+gives them three shared services:
+
+* **Sweeps** — :class:`SweepRunner` expands a declarative parameter
+  :class:`Grid` (conditional axes included) into cells with
+  deterministic derived seeds, fans them out over a process pool with
+  per-run failure isolation, and records results.
+* **Trajectories** — every run becomes a schema-versioned
+  ``repro-bench-v1`` :class:`RunRecord` appended to
+  ``benchmarks/results/BENCH_<name>.json`` with environment and git
+  provenance (:class:`Trajectory`, :func:`validate_trajectory`).
+* **The gate** — :func:`evaluate_gate` pairs current runs against
+  committed baselines by cell fingerprint and fails on headline-metric
+  regressions beyond per-metric :class:`Headline` thresholds.
+
+CLI entry points: ``repro sweep`` and ``repro bench list|run|gate``.
+"""
+
+from repro.bench.gate import GATE_SCHEMA, evaluate_gate, render_gate
+from repro.bench.records import (
+    BENCH_SCHEMA,
+    RunRecord,
+    Trajectory,
+    cell_fingerprint,
+    derive_seed,
+    environment_info,
+    validate_trajectory,
+)
+from repro.bench.registry import (
+    REGISTRY,
+    BenchRegistry,
+    BenchSpec,
+    Headline,
+    discover,
+    register,
+)
+from repro.bench.runner import (
+    SweepCell,
+    SweepResult,
+    SweepRunner,
+    default_results_dir,
+)
+from repro.bench.space import Axis, Grid, Param, expand_grid, load_grid, parse_grid
+
+__all__ = [
+    "Axis",
+    "BENCH_SCHEMA",
+    "BenchRegistry",
+    "BenchSpec",
+    "GATE_SCHEMA",
+    "Grid",
+    "Headline",
+    "Param",
+    "REGISTRY",
+    "RunRecord",
+    "SweepCell",
+    "SweepResult",
+    "SweepRunner",
+    "Trajectory",
+    "cell_fingerprint",
+    "default_results_dir",
+    "derive_seed",
+    "discover",
+    "environment_info",
+    "evaluate_gate",
+    "expand_grid",
+    "load_grid",
+    "parse_grid",
+    "register",
+    "render_gate",
+    "validate_trajectory",
+]

@@ -1,0 +1,209 @@
+"""The perf-regression gate: committed baselines vs current runs.
+
+``evaluate_gate`` loads the baseline and current ``BENCH_<name>.json``
+trajectories, pairs runs **by cell fingerprint** (never by file order),
+and compares each headline metric declared in the registry under its
+:class:`~repro.bench.registry.Headline` policy:
+
+* the *good* direction (``higher`` / ``lower``) decides which way a
+  move counts as a regression;
+* ``max_regression`` is the tolerated fractional move the bad way;
+* ``noise`` is an absolute floor — moves smaller than it are ignored
+  regardless of the fraction (wall-clock jitter on small values);
+* boolean metrics gate exactly: any flip of a ``True`` baseline to
+  ``False`` is a regression, thresholds do not apply;
+* a headline metric present in the baseline but missing from the
+  current run **fails** (silent metric loss must not pass a gate).
+
+When a cell has repeats, the best value per side is compared
+(best-of-N absorbs one-sided noise without hiding real regressions).
+The verdict is a machine-readable ``repro-bench-gate-v1`` dict; exit
+codes are pinned: 0 pass, 1 regression, 2 usage/IO error.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench.records import Trajectory
+from repro.bench.registry import REGISTRY, BenchRegistry, Headline
+from repro.errors import ConfigError
+
+__all__ = ["GATE_SCHEMA", "evaluate_gate", "render_gate"]
+
+GATE_SCHEMA = "repro-bench-gate-v1"
+
+
+def _best(values, direction: str):
+    """Best-of across repeats: the most favourable observed value."""
+    numeric = [value for value in values if not isinstance(value, bool)]
+    booleans = [value for value in values if isinstance(value, bool)]
+    if booleans and not numeric:
+        return any(booleans)
+    if not numeric:
+        return None
+    return max(numeric) if direction == "higher" else min(numeric)
+
+
+def _collect(trajectory: Trajectory, metric: str, direction: str, scale: str):
+    """fingerprint -> (best metric value, representative params)."""
+    per_cell: dict[str, list] = {}
+    params: dict[str, dict] = {}
+    for run in trajectory.ok_runs(scale=scale):
+        if metric in run.metrics:
+            per_cell.setdefault(run.fingerprint, []).append(run.metrics[metric])
+            params.setdefault(run.fingerprint, run.params)
+    return {
+        fingerprint: (_best(values, direction), params[fingerprint])
+        for fingerprint, values in per_cell.items()
+    }
+
+
+def _compare(baseline, current, policy: Headline):
+    """One cell, one metric -> (status, detail) where status is
+    'pass' | 'regression' | 'improved' | 'within-noise'."""
+    if isinstance(baseline, bool) or isinstance(current, bool):
+        if bool(baseline) and not bool(current):
+            return "regression", "boolean metric flipped to False"
+        return "pass", "boolean metric held"
+    delta = current - baseline
+    bad = -delta if policy.direction == "higher" else delta
+    if abs(delta) <= policy.noise:
+        return "within-noise", f"|Δ|={abs(delta):.4g} <= noise {policy.noise:.4g}"
+    if bad <= 0:
+        return "improved" if bad < 0 else "pass", f"Δ={delta:+.4g}"
+    scale = abs(baseline) if baseline else 1.0
+    fraction = bad / scale
+    if fraction > policy.max_regression:
+        return (
+            "regression",
+            f"moved {fraction:.1%} the wrong way "
+            f"(limit {policy.max_regression:.1%})",
+        )
+    return "pass", f"Δ={delta:+.4g} ({fraction:.1%} <= {policy.max_regression:.1%})"
+
+
+def evaluate_gate(
+    baseline_dir,
+    current_dir,
+    registry: BenchRegistry | None = None,
+    scale: str = "smoke",
+    benches=None,
+) -> dict:
+    """Compare current trajectories against committed baselines.
+
+    Gates every registered benchmark with headline metrics whose
+    baseline trajectory exists (restrict with ``benches``). Returns the
+    ``repro-bench-gate-v1`` verdict dict; ``verdict["ok"]`` is the gate
+    outcome.
+    """
+    registry = registry if registry is not None else REGISTRY
+    baseline_dir = pathlib.Path(baseline_dir)
+    current_dir = pathlib.Path(current_dir)
+    if not baseline_dir.is_dir():
+        raise ConfigError(f"baseline dir {baseline_dir} does not exist")
+    if not current_dir.is_dir():
+        raise ConfigError(f"current dir {current_dir} does not exist")
+
+    names = list(benches) if benches else registry.names()
+    checks = []
+    gated_benches = []
+    for name in names:
+        spec = registry.get(name)
+        if not spec.headline:
+            continue
+        baseline_path = Trajectory.path_for(baseline_dir, name)
+        if not baseline_path.is_file():
+            continue
+        gated_benches.append(name)
+        baseline = Trajectory.load(baseline_path)
+        current_path = Trajectory.path_for(current_dir, name)
+        if not current_path.is_file():
+            checks.append(
+                {
+                    "bench": name,
+                    "metric": None,
+                    "cell": None,
+                    "params": None,
+                    "status": "regression",
+                    "baseline": None,
+                    "current": None,
+                    "detail": f"no current trajectory {current_path.name}",
+                }
+            )
+            continue
+        current = Trajectory.load(current_path)
+        for metric, policy in sorted(spec.headline.items()):
+            base_cells = _collect(baseline, metric, policy.direction, scale)
+            cur_cells = _collect(current, metric, policy.direction, scale)
+            if not base_cells:
+                continue  # baseline never recorded this metric at this scale
+            for fingerprint, (base_value, params) in sorted(base_cells.items()):
+                entry = {
+                    "bench": name,
+                    "metric": metric,
+                    "cell": fingerprint,
+                    "params": params,
+                    "baseline": base_value,
+                }
+                if fingerprint not in cur_cells:
+                    entry.update(
+                        status="regression",
+                        current=None,
+                        detail="cell missing from current run "
+                        "(headline metric lost or cell errored)",
+                    )
+                else:
+                    cur_value = cur_cells[fingerprint][0]
+                    status, detail = _compare(base_value, cur_value, policy)
+                    entry.update(status=status, current=cur_value, detail=detail)
+                checks.append(entry)
+
+    regressions = [check for check in checks if check["status"] == "regression"]
+    return {
+        "schema": GATE_SCHEMA,
+        "scale": scale,
+        "baseline_dir": str(baseline_dir),
+        "current_dir": str(current_dir),
+        "benches": gated_benches,
+        "checks": checks,
+        "counts": {
+            "total": len(checks),
+            "pass": sum(1 for c in checks if c["status"] == "pass"),
+            "improved": sum(1 for c in checks if c["status"] == "improved"),
+            "within_noise": sum(1 for c in checks if c["status"] == "within-noise"),
+            "regressions": len(regressions),
+        },
+        "ok": not regressions,
+    }
+
+
+def render_gate(verdict: dict) -> str:
+    """Human-readable gate report (the machine truth is the dict)."""
+    lines = [
+        f"perf gate [{verdict['scale']}] "
+        f"baseline={verdict['baseline_dir']} current={verdict['current_dir']}",
+    ]
+    if not verdict["checks"]:
+        lines.append("  no gated benchmarks matched (nothing to compare)")
+    for check in verdict["checks"]:
+        marker = {
+            "pass": "ok",
+            "improved": "up",
+            "within-noise": "~=",
+            "regression": "XX",
+        }[check["status"]]
+        metric = check["metric"] or "<trajectory>"
+        cell = (check["cell"] or "")[:8]
+        lines.append(
+            f"  [{marker}] {check['bench']}.{metric} {cell} "
+            f"{check['baseline']} -> {check['current']}: {check['detail']}"
+        )
+    counts = verdict["counts"]
+    lines.append(
+        f"  {counts['total']} checks: {counts['pass']} pass, "
+        f"{counts['improved']} improved, {counts['within_noise']} within noise, "
+        f"{counts['regressions']} regressions"
+    )
+    lines.append("PASS" if verdict["ok"] else "FAIL: performance regression")
+    return "\n".join(lines)

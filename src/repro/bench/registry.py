@@ -1,0 +1,250 @@
+"""The benchmark registry: importable, composable experiment entries.
+
+Each ``benchmarks/bench_*.py`` registers one callable entry point with
+a *typed parameter space*, optional smoke-scale overrides, optional
+*headline metrics* (what the regression gate guards, with per-metric
+thresholds), and an optional acceptance ``check``::
+
+    from repro.bench import Headline, Param, register
+
+    @register(
+        "prefetch",
+        params=[Param("lookahead", "int", 2), Param("workers", "int", 16)],
+        smoke={"workers": 8},
+        headline={"speedup": Headline(direction="higher", max_regression=0.05)},
+        check=lambda metrics, params: [] if metrics["identical"] else ["diverged"],
+    )
+    def run_prefetch(*, lookahead, workers):
+        ...
+        return {"speedup": 1.34, "identical": True}
+
+Entries return a flat ``{metric: number}`` dict; the sweep runner wraps
+them in ``repro-bench-v1`` records. :func:`discover` imports every
+``benchmarks.bench_*`` module so the global :data:`REGISTRY` is
+populated from a bare checkout.
+"""
+
+from __future__ import annotations
+
+import importlib
+import pathlib
+import sys
+from dataclasses import dataclass, field
+
+from repro.bench.space import Param
+from repro.errors import ConfigError
+
+__all__ = [
+    "REGISTRY",
+    "BenchRegistry",
+    "BenchSpec",
+    "Headline",
+    "discover",
+    "register",
+]
+
+_DIRECTIONS = ("higher", "lower")
+
+
+@dataclass(frozen=True)
+class Headline:
+    """Gate policy for one headline metric.
+
+    ``direction`` is the *good* direction; ``max_regression`` is the
+    tolerated fractional move the bad way; ``noise`` is an absolute
+    floor below which any move is ignored (wall-clock jitter).
+    """
+
+    direction: str = "higher"
+    max_regression: float = 0.10
+    noise: float = 0.0
+
+    def __post_init__(self):
+        if self.direction not in _DIRECTIONS:
+            raise ConfigError(
+                f"headline direction {self.direction!r} not in {_DIRECTIONS}"
+            )
+        if self.max_regression < 0 or self.noise < 0:
+            raise ConfigError("headline thresholds must be non-negative")
+
+
+@dataclass
+class BenchSpec:
+    """One registered benchmark: entry point + typed parameter space."""
+
+    name: str
+    fn: object
+    params: dict = field(default_factory=dict)  # name -> Param
+    smoke: dict = field(default_factory=dict)  # param overrides at smoke scale
+    headline: dict = field(default_factory=dict)  # metric -> Headline
+    check: object = None  # (metrics, params) -> list[str] of failures
+    description: str = ""
+
+    def resolve(self, overrides: dict | None = None, scale: str = "smoke") -> dict:
+        """Defaults (+ smoke overlay) + coerced overrides -> full params."""
+        resolved = {name: param.default for name, param in self.params.items()}
+        if scale == "smoke":
+            resolved.update(self.smoke)
+        for key, value in (overrides or {}).items():
+            if key not in self.params:
+                raise ConfigError(
+                    f"bench {self.name!r}: unknown param {key!r} "
+                    f"(has {sorted(self.params)})"
+                )
+            resolved[key] = value
+        return {
+            name: self.params[name].coerce(value)
+            for name, value in resolved.items()
+        }
+
+    def run(self, params: dict) -> dict:
+        """Execute the entry point; validates the returned metrics."""
+        metrics = self.fn(**params)
+        if not isinstance(metrics, dict) or not metrics:
+            raise ConfigError(
+                f"bench {self.name!r}: entry must return a non-empty metrics "
+                f"dict, got {type(metrics).__name__}"
+            )
+        bad = {
+            key: value
+            for key, value in metrics.items()
+            if not isinstance(value, (int, float, bool))
+        }
+        if bad:
+            raise ConfigError(
+                f"bench {self.name!r}: non-numeric metrics {sorted(bad)}"
+            )
+        return metrics
+
+    def failures(self, metrics: dict, params: dict) -> list:
+        """Run the acceptance check, if declared."""
+        if self.check is None:
+            return []
+        return list(self.check(metrics, params))
+
+
+class BenchRegistry:
+    """Name -> :class:`BenchSpec`, with duplicate protection."""
+
+    def __init__(self):
+        self._specs: dict[str, BenchSpec] = {}
+
+    def add(self, spec: BenchSpec) -> None:
+        existing = self._specs.get(spec.name)
+        if existing is not None:
+            # Re-import of the same module (package import after a
+            # __main__ run, importlib.reload) re-registers the same
+            # function; that is benign. A *different* function claiming
+            # a taken name is a bug.
+            same = getattr(existing.fn, "__qualname__", None) == getattr(
+                spec.fn, "__qualname__", object()
+            )
+            if not same:
+                raise ConfigError(f"benchmark {spec.name!r} already registered")
+        self._specs[spec.name] = spec
+
+    def get(self, name: str) -> BenchSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(sorted(self._specs)) or "<none>"
+            raise ConfigError(
+                f"unknown benchmark {name!r} (registered: {known})"
+            ) from None
+
+    def names(self) -> list:
+        return sorted(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+    def register(
+        self,
+        name: str,
+        *,
+        params=(),
+        smoke: dict | None = None,
+        headline: dict | None = None,
+        check=None,
+        description: str = "",
+    ):
+        """Decorator form; see module docstring for the shape."""
+
+        def decorate(fn):
+            space = {}
+            for param in params:
+                if not isinstance(param, Param):
+                    raise ConfigError(
+                        f"bench {name!r}: params must be Param instances"
+                    )
+                if param.name in space:
+                    raise ConfigError(
+                        f"bench {name!r}: duplicate param {param.name!r}"
+                    )
+                space[param.name] = param
+            for key in smoke or {}:
+                if key not in space:
+                    raise ConfigError(
+                        f"bench {name!r}: smoke override for unknown "
+                        f"param {key!r}"
+                    )
+            doc = (fn.__doc__ or "").strip()
+            spec = BenchSpec(
+                name=name,
+                fn=fn,
+                params=space,
+                smoke=dict(smoke or {}),
+                headline=dict(headline or {}),
+                check=check,
+                description=description or (doc.splitlines()[0] if doc else ""),
+            )
+            self.add(spec)
+            return fn
+
+        return decorate
+
+
+#: The process-global registry that ``discover()`` populates.
+REGISTRY = BenchRegistry()
+
+
+def register(name, **kwargs):
+    """Register into the global :data:`REGISTRY` (decorator)."""
+    return REGISTRY.register(name, **kwargs)
+
+
+def _benchmarks_dir() -> pathlib.Path | None:
+    """The repository's ``benchmarks/`` directory, if checked out."""
+    root = pathlib.Path(__file__).resolve().parents[3]
+    candidate = root / "benchmarks"
+    if (candidate / "__init__.py").is_file():
+        return candidate
+    return None
+
+
+def discover(registry: BenchRegistry | None = None) -> int:
+    """Import every ``benchmarks.bench_*`` module, populating the
+    global registry; returns the number of modules imported.
+
+    Safe to call repeatedly (imports are cached). Raises ConfigError
+    when the benchmarks package is not present (installed wheel without
+    the repository checkout).
+    """
+    del registry  # modules always register into the global REGISTRY
+    bench_dir = _benchmarks_dir()
+    if bench_dir is None:
+        raise ConfigError(
+            "benchmarks/ package not found next to the repro checkout; "
+            "the bench registry needs the repository, not an installed wheel"
+        )
+    root = str(bench_dir.parent)
+    if root not in sys.path:
+        sys.path.insert(0, root)
+    count = 0
+    for path in sorted(bench_dir.glob("bench_*.py")):
+        importlib.import_module(f"benchmarks.{path.stem}")
+        count += 1
+    return count

@@ -1,0 +1,323 @@
+"""The parallel sweep runner: grid -> cells -> records -> trajectories.
+
+``SweepRunner`` expands a declarative :class:`~repro.bench.space.Grid`
+(whose canonical ``bench`` axis names the registered benchmark each
+cell runs) into validated cells with deterministic per-cell seeds, fans
+the cells out over a ``multiprocessing`` pool, isolates per-run
+failures (a crashed run records an *error* record, it never kills the
+sweep), and appends schema-versioned ``repro-bench-v1`` records to the
+per-benchmark ``BENCH_<name>.json`` trajectories.
+
+Design invariants:
+
+* **Determinism** — cell order, fingerprints, and derived seeds depend
+  only on the grid and base seed, never on scheduling. Parallel and
+  serial sweeps produce identical records (up to wall-clock duration
+  and timestamps); a test pins this.
+* **Resume** — ``resume=True`` skips cells whose ``(fingerprint,
+  repeat)`` already has an ``ok`` record at the sweep's scale, so a
+  partially-written trajectory continues instead of restarting.
+* **Isolation** — worker exceptions are caught and serialized into the
+  record's ``error`` field with a traceback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pathlib
+import time
+import traceback
+from dataclasses import dataclass, field
+
+from repro.bench.records import (
+    RunRecord,
+    Trajectory,
+    cell_fingerprint,
+    derive_seed,
+    environment_info,
+)
+from repro.bench.registry import REGISTRY, BenchRegistry
+from repro.bench.space import Grid
+from repro.errors import ConfigError
+
+__all__ = ["SweepCell", "SweepResult", "SweepRunner", "default_results_dir"]
+
+
+def default_results_dir() -> pathlib.Path:
+    """``benchmarks/results`` of the enclosing checkout."""
+    return pathlib.Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One fully-resolved run: benchmark, params, seed, identity."""
+
+    bench: str
+    params: dict
+    seed: int
+    repeat: int
+    fingerprint: str
+
+
+@dataclass
+class SweepResult:
+    """What a sweep did: the records plus bookkeeping."""
+
+    records: list = field(default_factory=list)
+    skipped: int = 0
+    paths: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> int:
+        return sum(1 for record in self.records if record.status == "ok")
+
+    @property
+    def errors(self) -> int:
+        return sum(1 for record in self.records if record.status == "error")
+
+
+# -- worker side ---------------------------------------------------------
+
+_WORKER_REGISTRY: BenchRegistry | None = None
+
+
+def _pool_init(registry: BenchRegistry | None) -> None:
+    """Pool initializer: install the registry in the worker process."""
+    global _WORKER_REGISTRY
+    if registry is None:
+        from repro.bench.registry import discover
+
+        discover()
+        registry = REGISTRY
+    _WORKER_REGISTRY = registry
+
+
+def _run_cell(payload: dict) -> dict:
+    """Execute one cell; *always* returns a record dict, never raises.
+
+    Module-level (picklable) so a Pool can map it; failure isolation
+    lives here — any exception from the benchmark becomes an ``error``
+    record with a traceback.
+    """
+    registry = _WORKER_REGISTRY if _WORKER_REGISTRY is not None else REGISTRY
+    start = time.perf_counter()
+    base = dict(
+        bench=payload["bench"],
+        params=payload["params"],
+        seed=payload["seed"],
+        scale=payload["scale"],
+        repeat=payload["repeat"],
+        fingerprint=payload["fingerprint"],
+        env=payload["env"],
+    )
+    try:
+        spec = registry.get(payload["bench"])
+        metrics = spec.run(payload["params"])
+        record = RunRecord(
+            status="ok",
+            metrics={key: _plain(value) for key, value in metrics.items()},
+            duration_s=time.perf_counter() - start,
+            **base,
+        )
+    except KeyboardInterrupt:  # pragma: no cover - interactive only
+        raise
+    except BaseException:
+        record = RunRecord(
+            status="error",
+            error=traceback.format_exc(limit=20),
+            duration_s=time.perf_counter() - start,
+            **base,
+        )
+    return record.to_dict()
+
+
+def _plain(value):
+    """Strip numpy scalars etc. down to JSON-serializable numbers."""
+    if isinstance(value, bool):
+        return value
+    if hasattr(value, "item"):
+        value = value.item()
+    if isinstance(value, (int, float)):
+        return value
+    return float(value)
+
+
+# -- driver side ---------------------------------------------------------
+
+
+class SweepRunner:
+    """Expand grids, run cells (optionally in parallel), write records."""
+
+    def __init__(
+        self,
+        registry: BenchRegistry | None = None,
+        results_dir=None,
+        jobs: int = 1,
+        scale: str = "smoke",
+        base_seed: int = 0,
+        repeats: int = 1,
+        keep_history: bool = False,
+    ):
+        if scale not in ("smoke", "full"):
+            raise ConfigError(f"scale {scale!r} must be 'smoke' or 'full'")
+        if jobs < 1:
+            raise ConfigError("jobs must be >= 1")
+        if repeats < 1:
+            raise ConfigError("repeats must be >= 1")
+        self.registry = registry if registry is not None else REGISTRY
+        self.results_dir = pathlib.Path(
+            results_dir if results_dir is not None else default_results_dir()
+        )
+        self.jobs = jobs
+        self.scale = scale
+        self.base_seed = base_seed
+        self.repeats = repeats
+        self.keep_history = keep_history
+
+    # -- expansion -----------------------------------------------------
+
+    def expand(self, grid: Grid) -> list:
+        """Grid -> validated :class:`SweepCell` list (deterministic).
+
+        Every cell dict must carry a ``bench`` key naming a registered
+        benchmark; the remaining keys are coerced against that
+        benchmark's typed parameter space (smoke overrides applied
+        first at smoke scale). A derived seed is injected into the
+        ``seed`` param when the benchmark declares one and the grid did
+        not pin it.
+        """
+        cells = []
+        for raw in grid.cells():
+            if "bench" not in raw:
+                raise ConfigError(
+                    f"grid {grid.name!r}: every cell needs a 'bench' axis "
+                    f"(got {sorted(raw)})"
+                )
+            overrides = {key: value for key, value in raw.items() if key != "bench"}
+            spec = self.registry.get(raw["bench"])
+            params = spec.resolve(overrides, scale=self.scale)
+            for repeat in range(self.repeats):
+                seed = derive_seed(self.base_seed, spec.name, params, repeat)
+                cell_params = dict(params)
+                if "seed" in spec.params and "seed" not in overrides:
+                    cell_params["seed"] = spec.params["seed"].coerce(
+                        seed % (2**31 - 1)
+                    )
+                cells.append(
+                    SweepCell(
+                        bench=spec.name,
+                        params=cell_params,
+                        seed=seed,
+                        repeat=repeat,
+                        fingerprint=cell_fingerprint(spec.name, cell_params),
+                    )
+                )
+        return cells
+
+    # -- execution -----------------------------------------------------
+
+    def run(self, cells, resume: bool = False, progress=None) -> SweepResult:
+        """Run cells, write trajectories, return the sweep summary."""
+        cells = list(cells)
+        result = SweepResult()
+        if resume:
+            done: dict[str, set] = {}
+            for bench in {cell.bench for cell in cells}:
+                trajectory = Trajectory.load_or_create(self.results_dir, bench)
+                done[bench] = trajectory.completed_keys(self.scale)
+            remaining = []
+            for cell in cells:
+                if (cell.fingerprint, cell.repeat) in done.get(cell.bench, set()):
+                    result.skipped += 1
+                else:
+                    remaining.append(cell)
+            cells = remaining
+        if not cells:
+            return result
+
+        env = environment_info()
+        payloads = [
+            {
+                "bench": cell.bench,
+                "params": cell.params,
+                "seed": cell.seed,
+                "scale": self.scale,
+                "repeat": cell.repeat,
+                "fingerprint": cell.fingerprint,
+                "env": env,
+            }
+            for cell in cells
+        ]
+        if self.jobs == 1 or len(cells) == 1:
+            _pool_init(self.registry)
+            raws = []
+            for payload in payloads:
+                raws.append(_run_cell(payload))
+                self._report(progress, raws[-1])
+        else:
+            raws = self._run_pool(payloads, progress)
+
+        records = [RunRecord.from_dict(raw) for raw in raws]
+        result.records.extend(records)
+        by_bench: dict[str, list] = {}
+        for record in records:
+            by_bench.setdefault(record.bench, []).append(record)
+        for bench, bench_records in sorted(by_bench.items()):
+            trajectory = Trajectory.load_or_create(self.results_dir, bench)
+            for record in bench_records:
+                trajectory.append(record, keep_history=self.keep_history)
+            result.paths.append(trajectory.save(self.results_dir))
+        return result
+
+    def _run_pool(self, payloads, progress):
+        """Fan out over a process pool; falls back to in-process when
+        the platform cannot fork/pickle the registry."""
+        initargs = (None if self.registry is REGISTRY else self.registry,)
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX
+            context = multiprocessing.get_context()
+        raws = []
+        with context.Pool(
+            processes=min(self.jobs, len(payloads)),
+            initializer=_pool_init,
+            initargs=initargs,
+        ) as pool:
+            for raw in pool.imap(_run_cell, payloads):
+                raws.append(raw)
+                self._report(progress, raw)
+        return raws
+
+    @staticmethod
+    def _report(progress, raw: dict) -> None:
+        if progress is None:
+            return
+        status = raw["status"]
+        label = " ".join(
+            f"{key}={value}" for key, value in sorted(raw["params"].items())
+        )
+        progress(
+            f"  [{status:>5}] {raw['bench']} {label} "
+            f"({raw['duration_s']:.2f}s)"
+        )
+
+    # -- one-shot convenience ------------------------------------------
+
+    def run_single(self, bench: str, overrides: dict | None = None) -> RunRecord:
+        """Resolve + run one benchmark in-process; returns the record."""
+        spec = self.registry.get(bench)
+        params = spec.resolve(overrides or {}, scale=self.scale)
+        seed = derive_seed(self.base_seed, bench, params, 0)
+        if "seed" in spec.params and "seed" not in (overrides or {}):
+            params["seed"] = spec.params["seed"].coerce(seed % (2**31 - 1))
+        payload = {
+            "bench": bench,
+            "params": params,
+            "seed": seed,
+            "scale": self.scale,
+            "repeat": 0,
+            "fingerprint": cell_fingerprint(bench, params),
+            "env": environment_info(),
+        }
+        _pool_init(self.registry)
+        return RunRecord.from_dict(_run_cell(payload))

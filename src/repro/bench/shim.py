@@ -1,0 +1,107 @@
+"""Back-compat ``__main__`` shim for ``benchmarks/bench_*.py`` scripts.
+
+Historically every bench script hand-rolled a ``--smoke`` argv parser in
+its ``__main__`` block. Registered benchmarks now delegate to::
+
+    if __name__ == "__main__":
+        from repro.bench.shim import main
+        raise SystemExit(main("prefetch"))
+
+which keeps the long-standing invocation ``python benchmarks/bench_X.py
+[--smoke]`` working while routing through the registry: typed param
+coercion, ``--set key=value`` overrides, the acceptance check, and an
+optional ``--record`` flag that appends a ``repro-bench-v1`` record to
+the benchmark's trajectory file.
+
+Exit codes: 0 ok, 1 benchmark error or failed acceptance check,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.errors import ConfigError
+
+__all__ = ["main"]
+
+
+def main(name: str, argv=None) -> int:
+    """Run registered benchmark ``name`` with script-style argv."""
+    parser = argparse.ArgumentParser(
+        prog=f"bench_{name}",
+        description=f"run the {name!r} benchmark through the repro.bench registry",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run at smoke scale (seconds, CI-friendly)",
+    )
+    parser.add_argument(
+        "--set",
+        dest="overrides",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="override one benchmark parameter (repeatable)",
+    )
+    parser.add_argument(
+        "--record",
+        metavar="DIR",
+        default=None,
+        help="append a repro-bench-v1 record to DIR/BENCH_<name>.json",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base seed for derived run seeds"
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return int(exc.code or 0)
+
+    # Imported lazily so `python benchmarks/bench_X.py --help` stays cheap.
+    from repro.bench.records import Trajectory
+    from repro.bench.registry import REGISTRY, discover
+    from repro.bench.runner import SweepRunner, default_results_dir
+
+    try:
+        discover()
+        overrides = {}
+        for item in args.overrides:
+            if "=" not in item:
+                print(f"error: --set {item!r} is not KEY=VALUE")
+                return 2
+            key, _, value = item.partition("=")
+            overrides[key.strip()] = value.strip()
+        runner = SweepRunner(
+            scale="smoke" if args.smoke else "full", base_seed=args.seed
+        )
+        record = runner.run_single(name, overrides)
+    except ConfigError as exc:
+        print(f"error: {exc}")
+        return 2
+
+    print(f"== {name} [{record.scale}] cell {record.fingerprint} ==")
+    for key, value in sorted(record.params.items()):
+        print(f"  param {key} = {value}")
+    if record.status == "error":
+        print(record.error)
+        print(f"FAIL: {name} crashed")
+        return 1
+    for key, value in sorted(record.metrics.items()):
+        print(f"  {key} = {value}")
+    print(f"  ({record.duration_s:.2f}s)")
+
+    failures = REGISTRY.get(name).failures(record.metrics, record.params)
+    if args.record is not None:
+        results_dir = args.record or str(default_results_dir())
+        trajectory = Trajectory.load_or_create(results_dir, name)
+        trajectory.append(record)
+        path = trajectory.save(results_dir)
+        print(f"  recorded -> {path}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK")
+    return 0

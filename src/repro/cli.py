@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Ten subcommands::
+Twelve subcommands::
 
     repro simulate   --system pmem_oe --workers 16 ...   # one simulated epoch
     repro train      --batches 200 --crash-at 120 ...    # functional DeepFM demo
@@ -12,6 +12,8 @@ Ten subcommands::
     repro trace      merge node0.json node1.json -o m.json  # multi-node timeline
     repro slo        slo_serving.json                    # render an SLO verdict
     repro reproduce  fig7 table2 ...                     # run paper experiments
+    repro sweep      --grid 'bench=prefetch;lookahead[bench=prefetch]=0,2' --smoke
+    repro bench      list | run NAME --smoke | gate --baseline DIR ...
 
 ``simulate`` and ``train`` accept ``--trace-out FILE.json`` (Chrome
 ``trace_event`` timeline, open in Perfetto / ``chrome://tracing``) and
@@ -28,6 +30,7 @@ Run ``python -m repro.cli <subcommand> --help`` for options.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -620,6 +623,143 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
     return int(code)
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Expand a parameter grid and fan it out across worker processes."""
+    import json
+    import pathlib
+
+    from repro.bench import (
+        SweepRunner,
+        default_results_dir,
+        discover,
+        load_grid,
+        parse_grid,
+    )
+    from repro.errors import ConfigError
+
+    try:
+        discover()
+        grid_path = pathlib.Path(args.grid)
+        if grid_path.is_file():
+            grid = load_grid(grid_path)
+        else:
+            grid = parse_grid(args.grid)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    results_dir = (
+        pathlib.Path(args.out) if args.out else default_results_dir()
+    )
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    runner = SweepRunner(
+        results_dir=results_dir,
+        jobs=jobs,
+        scale="smoke" if args.smoke else "full",
+        base_seed=args.seed,
+        repeats=args.repeats,
+    )
+    try:
+        cells = runner.expand(grid)
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    benches = sorted({cell.bench for cell in cells})
+    print(f"sweep: {len(cells)} cell(s) x {args.repeats} repeat(s) over "
+          f"{len(benches)} bench(es) [{', '.join(benches)}], "
+          f"jobs={runner.jobs}, scale={runner.scale}")
+    result = runner.run(cells, resume=args.resume, progress=print)
+    print(f"done: {result.ok} ok, {result.errors} error(s), "
+          f"{result.skipped} skipped (resume)")
+    for path in result.paths:
+        print(f"  -> {path}")
+    for record in result.records:
+        if record.status != "error":
+            continue
+        last = (record.error or "").strip().splitlines()
+        print(f"  ERROR {record.bench} {record.fingerprint}: "
+              f"{last[-1] if last else 'unknown'}", file=sys.stderr)
+    if args.verdict_out:
+        summary = {
+            "schema": "repro-bench-sweep-v1",
+            "scale": runner.scale,
+            "cells": len(cells),
+            "ok": result.ok,
+            "errors": result.errors,
+            "skipped": result.skipped,
+            "benches": benches,
+            "paths": [str(p) for p in result.paths],
+        }
+        with open(args.verdict_out, "w") as handle:
+            json.dump(summary, handle, indent=2)
+            handle.write("\n")
+    return 1 if result.errors else 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    """Registry-driven benchmark actions: list / run / gate."""
+    import json
+    import pathlib
+
+    from repro.bench import REGISTRY, discover, evaluate_gate, render_gate
+    from repro.errors import ConfigError
+
+    try:
+        discover()
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "list":
+        for name in REGISTRY.names():
+            spec = REGISTRY.get(name)
+            headlines = ", ".join(sorted(spec.headline)) or "-"
+            print(f"{name:28s} [{headlines}]")
+            if args.verbose:
+                params = ", ".join(
+                    f"{p.name}={p.default!r}" for p in spec.params.values()
+                )
+                print(f"    params: {params or '-'}")
+                if spec.description:
+                    print(f"    {spec.description}")
+        return 0
+
+    if args.action == "run":
+        from repro.bench.shim import main as shim_main
+
+        argv = []
+        if args.smoke:
+            argv.append("--smoke")
+        for assignment in args.set or []:
+            argv += ["--set", assignment]
+        if args.record:
+            argv += ["--record", args.record]
+        argv += ["--seed", str(args.seed)]
+        return shim_main(args.name, argv)
+
+    # gate
+    baseline_dir = pathlib.Path(args.baseline)
+    current_dir = pathlib.Path(args.current) if args.current else baseline_dir
+    if not baseline_dir.is_dir():
+        print(f"error: no such baseline directory: {baseline_dir}",
+              file=sys.stderr)
+        return 2
+    try:
+        verdict = evaluate_gate(
+            baseline_dir, current_dir,
+            scale=args.scale, benches=args.bench or None,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_gate(verdict))
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(verdict, handle, indent=2)
+            handle.write("\n")
+        print(f"verdict -> {args.out}")
+    return 0 if verdict["ok"] else 1
+
+
 def _add_obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace-out", metavar="FILE.json", default=None,
@@ -849,6 +989,82 @@ def build_parser() -> argparse.ArgumentParser:
     )
     reproduce.add_argument("--list", action="store_true", help="list experiments")
     reproduce.set_defaults(handler=_cmd_reproduce)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="expand a parameter grid over registered benchmarks and fan "
+             "it out across worker processes (repro-bench-v1 trajectories)",
+    )
+    sweep.add_argument(
+        "--grid", required=True, metavar="SPEC|FILE.json",
+        help="inline grid like 'bench=prefetch,hotpath; "
+             "lookahead[bench=prefetch]=0,2,4' or a JSON grid file",
+    )
+    scale_group = sweep.add_mutually_exclusive_group()
+    scale_group.add_argument("--smoke", action="store_true",
+                             help="run every cell at smoke scale (default)")
+    scale_group.add_argument("--full", dest="smoke", action="store_false",
+                             help="run every cell at full scale")
+    sweep.set_defaults(smoke=True)
+    sweep.add_argument("--jobs", type=int, default=0,
+                       help="worker processes (0 = one per available core)")
+    sweep.add_argument("--out", metavar="DIR", default=None,
+                       help="trajectory directory "
+                            "(default benchmarks/results)")
+    sweep.add_argument("--seed", type=int, default=0,
+                       help="base seed; per-cell seeds are derived from it")
+    sweep.add_argument("--repeats", type=int, default=1,
+                       help="repeats per cell (gate takes the best)")
+    sweep.add_argument("--resume", action="store_true",
+                       help="skip cells already recorded at this scale")
+    sweep.add_argument("--verdict-out", metavar="FILE.json", default=None,
+                       help="write a machine-readable sweep summary")
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    bench = sub.add_parser(
+        "bench", help="registry-driven benchmarks: list / run / gate"
+    )
+    bench_sub = bench.add_subparsers(dest="action", required=True)
+    bench_list = bench_sub.add_parser(
+        "list", help="list registered benchmarks and their gated metrics"
+    )
+    bench_list.add_argument("-v", "--verbose", action="store_true",
+                            help="also show parameters and descriptions")
+    bench_list.set_defaults(handler=_cmd_bench)
+    bench_run = bench_sub.add_parser(
+        "run", help="run one registered benchmark through the registry"
+    )
+    bench_run.add_argument("name", help="benchmark name (see `bench list`)")
+    bench_run.add_argument("--smoke", action="store_true",
+                           help="run at smoke scale")
+    bench_run.add_argument("--set", action="append", default=[],
+                           metavar="KEY=VALUE",
+                           help="override one parameter (repeatable)")
+    bench_run.add_argument("--record", metavar="DIR", default=None,
+                           help="append the record to DIR/BENCH_<name>.json")
+    bench_run.add_argument("--seed", type=int, default=0)
+    bench_run.set_defaults(handler=_cmd_bench)
+    bench_gate = bench_sub.add_parser(
+        "gate",
+        help="compare current trajectories against committed baselines; "
+             "exit 1 on any headline regression",
+    )
+    bench_gate.add_argument("--baseline", metavar="DIR",
+                            default="benchmarks/results",
+                            help="committed baseline trajectory directory")
+    bench_gate.add_argument("--current", metavar="DIR", default=None,
+                            help="freshly-swept trajectory directory "
+                                 "(default: same as --baseline, i.e. "
+                                 "self-consistency)")
+    bench_gate.add_argument("--scale", choices=["smoke", "full"],
+                            default="smoke",
+                            help="which scale's runs to compare")
+    bench_gate.add_argument("--bench", action="append", default=[],
+                            metavar="NAME",
+                            help="gate only these benchmarks (repeatable)")
+    bench_gate.add_argument("--out", metavar="FILE.json", default=None,
+                            help="write the repro-bench-gate-v1 verdict")
+    bench_gate.set_defaults(handler=_cmd_bench)
     return parser
 
 

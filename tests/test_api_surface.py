@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.simulation",
     "repro.failure",
     "repro.cost",
+    "repro.bench",
 ]
 
 

@@ -1,0 +1,262 @@
+"""The perf-regression gate: pairing, policies, verdicts, exit codes."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    GATE_SCHEMA,
+    BenchRegistry,
+    Headline,
+    Param,
+    RunRecord,
+    Trajectory,
+    evaluate_gate,
+    render_gate,
+)
+from repro.errors import ConfigError
+
+
+def toy_gate(*, x):
+    return {"value": 1.0}
+
+
+def make_registry() -> BenchRegistry:
+    registry = BenchRegistry()
+    registry.register(
+        "toy",
+        params=[Param("x", "int", 1)],
+        headline={
+            "value": Headline(direction="higher", max_regression=0.10),
+            "lat_ms": Headline(direction="lower", max_regression=0.10, noise=0.5),
+            "flag": Headline(),
+        },
+    )(toy_gate)
+    return registry
+
+
+@pytest.fixture
+def registry():
+    return make_registry()
+
+
+def write_runs(results_dir, runs, bench="toy"):
+    """runs: list of (params, metrics) or (params, metrics, repeat)."""
+    trajectory = Trajectory(bench)
+    for entry in runs:
+        params, metrics, repeat = (entry + (0,))[:3] if len(entry) == 2 else entry
+        trajectory.append(
+            RunRecord(bench, dict(params), seed=0, repeat=repeat, metrics=dict(metrics)),
+            keep_history=True,
+        )
+    return trajectory.save(results_dir)
+
+
+BASE = {"value": 100.0, "lat_ms": 10.0, "flag": True}
+
+
+class TestEvaluateGate:
+    def gate(self, registry, tmp_path, current_metrics, **kwargs):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        base.mkdir(exist_ok=True)
+        cur.mkdir(exist_ok=True)
+        write_runs(base, [({"x": 1}, BASE)])
+        write_runs(cur, [({"x": 1}, current_metrics)])
+        return evaluate_gate(base, cur, registry=registry, **kwargs)
+
+    def statuses(self, verdict):
+        return {c["metric"]: c["status"] for c in verdict["checks"]}
+
+    def test_identical_passes(self, registry, tmp_path):
+        verdict = self.gate(registry, tmp_path, dict(BASE))
+        assert verdict["ok"] is True
+        assert verdict["schema"] == GATE_SCHEMA
+        assert verdict["benches"] == ["toy"]
+        assert verdict["counts"]["regressions"] == 0
+
+    def test_regression_fails(self, registry, tmp_path):
+        verdict = self.gate(registry, tmp_path, dict(BASE, value=80.0))
+        assert verdict["ok"] is False
+        assert self.statuses(verdict)["value"] == "regression"
+        [bad] = [c for c in verdict["checks"] if c["status"] == "regression"]
+        assert bad["baseline"] == 100.0 and bad["current"] == 80.0
+        assert "20.0%" in bad["detail"]
+
+    def test_small_regression_within_threshold_passes(self, registry, tmp_path):
+        verdict = self.gate(registry, tmp_path, dict(BASE, value=95.0))
+        assert verdict["ok"] is True
+        assert self.statuses(verdict)["value"] == "pass"
+
+    def test_improvement_reported_not_failed(self, registry, tmp_path):
+        verdict = self.gate(registry, tmp_path, dict(BASE, value=150.0))
+        assert verdict["ok"] is True
+        assert self.statuses(verdict)["value"] == "improved"
+        assert verdict["counts"]["improved"] >= 1
+
+    def test_lower_is_better_direction(self, registry, tmp_path):
+        verdict = self.gate(registry, tmp_path, dict(BASE, lat_ms=14.0))
+        assert verdict["ok"] is False
+        assert self.statuses(verdict)["lat_ms"] == "regression"
+        improved = self.gate(registry, tmp_path, dict(BASE, lat_ms=5.0))
+        assert self.statuses(improved)["lat_ms"] == "improved"
+
+    def test_noise_floor_absorbs_small_moves(self, registry, tmp_path):
+        # +0.4ms is 4% (over nothing) but below the 0.5ms noise floor
+        verdict = self.gate(registry, tmp_path, dict(BASE, lat_ms=10.4))
+        assert verdict["ok"] is True
+        assert self.statuses(verdict)["lat_ms"] == "within-noise"
+
+    def test_boolean_flip_is_regression(self, registry, tmp_path):
+        verdict = self.gate(registry, tmp_path, dict(BASE, flag=False))
+        assert verdict["ok"] is False
+        assert self.statuses(verdict)["flag"] == "regression"
+
+    def test_boolean_false_to_true_passes(self, registry, tmp_path):
+        base = tmp_path / "b2"
+        cur = tmp_path / "c2"
+        base.mkdir()
+        cur.mkdir()
+        write_runs(base, [({"x": 1}, dict(BASE, flag=False))])
+        write_runs(cur, [({"x": 1}, dict(BASE, flag=True))])
+        verdict = evaluate_gate(base, cur, registry=registry)
+        assert verdict["ok"] is True
+
+    def test_missing_metric_is_regression(self, registry, tmp_path):
+        current = {k: v for k, v in BASE.items() if k != "value"}
+        verdict = self.gate(registry, tmp_path, current)
+        assert verdict["ok"] is False
+        [bad] = [c for c in verdict["checks"] if c["status"] == "regression"]
+        assert bad["metric"] == "value" and bad["current"] is None
+        assert "missing" in bad["detail"]
+
+    def test_missing_current_trajectory_is_regression(self, registry, tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        base.mkdir()
+        cur.mkdir()
+        write_runs(base, [({"x": 1}, BASE)])
+        verdict = evaluate_gate(base, cur, registry=registry)
+        assert verdict["ok"] is False
+        assert "no current trajectory" in verdict["checks"][0]["detail"]
+
+    def test_unknown_cell_in_current_ignored(self, registry, tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        base.mkdir()
+        cur.mkdir()
+        write_runs(base, [({"x": 1}, BASE)])
+        write_runs(cur, [({"x": 1}, BASE), ({"x": 9}, dict(BASE, value=1.0))])
+        # the x=9 cell has no baseline: it must not gate
+        verdict = evaluate_gate(base, cur, registry=registry)
+        assert verdict["ok"] is True
+
+    def test_cells_paired_by_fingerprint_not_order(self, registry, tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        base.mkdir()
+        cur.mkdir()
+        write_runs(base, [({"x": 1}, BASE), ({"x": 2}, dict(BASE, value=50.0))])
+        # current file lists the cells in the opposite order
+        write_runs(cur, [({"x": 2}, dict(BASE, value=50.0)), ({"x": 1}, BASE)])
+        verdict = evaluate_gate(base, cur, registry=registry)
+        assert verdict["ok"] is True
+        assert len(verdict["checks"]) == 6  # 2 cells x 3 metrics
+
+    def test_best_of_repeats(self, registry, tmp_path):
+        base = tmp_path / "base"
+        cur = tmp_path / "cur"
+        base.mkdir()
+        cur.mkdir()
+        write_runs(base, [({"x": 1}, BASE, 0), ({"x": 1}, dict(BASE, value=120.0), 1)])
+        # current's best repeat matches the baseline's best: no regression
+        write_runs(cur, [({"x": 1}, dict(BASE, value=60.0), 0),
+                         ({"x": 1}, dict(BASE, value=119.0), 1)])
+        verdict = evaluate_gate(base, cur, registry=registry)
+        assert self.statuses(verdict)["value"] == "pass"
+        [check] = [c for c in verdict["checks"] if c["metric"] == "value"]
+        assert check["baseline"] == 120.0 and check["current"] == 119.0
+
+    def test_scale_filter(self, registry, tmp_path):
+        verdict = self.gate(registry, tmp_path, dict(BASE), scale="full")
+        # everything was recorded at smoke scale -> nothing to compare
+        assert verdict["checks"] == [] and verdict["ok"] is True
+
+    def test_bench_filter_unknown_name_raises(self, registry, tmp_path):
+        base = tmp_path / "base"
+        base.mkdir()
+        write_runs(base, [({"x": 1}, BASE)])
+        with pytest.raises(ConfigError):
+            evaluate_gate(base, base, registry=registry, benches=["nope"])
+
+    def test_missing_dirs_raise(self, registry, tmp_path):
+        with pytest.raises(ConfigError):
+            evaluate_gate(tmp_path / "nope", tmp_path, registry=registry)
+        with pytest.raises(ConfigError):
+            evaluate_gate(tmp_path, tmp_path / "nope", registry=registry)
+
+    def test_render_mentions_outcome(self, registry, tmp_path):
+        good = self.gate(registry, tmp_path, dict(BASE))
+        assert "PASS" in render_gate(good)
+        bad = self.gate(registry, tmp_path, dict(BASE, value=1.0))
+        text = render_gate(bad)
+        assert "FAIL" in text and "regression" in text
+
+
+class TestGateCli:
+    """Exit codes are pinned: 0 pass, 1 regression, 2 usage/IO error."""
+
+    @pytest.fixture(scope="class")
+    def recorded(self, tmp_path_factory):
+        from repro.cli import main
+
+        results = tmp_path_factory.mktemp("results")
+        assert main(
+            ["bench", "run", "table1_devices", "--smoke",
+             "--record", str(results)]
+        ) == 0
+        return results
+
+    def test_exit_0_on_self_comparison(self, recorded, capsys):
+        from repro.cli import main
+
+        code = main(["bench", "gate", "--baseline", str(recorded)])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_exit_1_on_injected_regression(self, recorded, tmp_path, capsys):
+        from repro.cli import main
+
+        doctored = tmp_path / "current"
+        doctored.mkdir()
+        source = recorded / "BENCH_table1_devices.json"
+        payload = json.loads(source.read_text())
+        for run in payload["runs"]:
+            run["metrics"]["read_ratio"] *= 0.5  # direction=higher headline
+        (doctored / source.name).write_text(json.dumps(payload))
+        code = main([
+            "bench", "gate", "--baseline", str(recorded),
+            "--current", str(doctored),
+        ])
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_exit_2_on_missing_baseline_dir(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["bench", "gate", "--baseline", str(tmp_path / "absent")])
+        assert code == 2
+        assert "baseline" in capsys.readouterr().err
+
+    def test_verdict_json_written(self, recorded, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "verdict.json"
+        code = main([
+            "bench", "gate", "--baseline", str(recorded), "--out", str(out),
+        ])
+        assert code == 0
+        verdict = json.loads(out.read_text())
+        assert verdict["schema"] == GATE_SCHEMA
+        assert verdict["ok"] is True
+        assert verdict["counts"]["total"] == len(verdict["checks"]) > 0

@@ -1,0 +1,192 @@
+"""repro-bench-v1 run records and on-disk trajectories."""
+
+import json
+
+import pytest
+
+from repro.bench import (
+    BENCH_SCHEMA,
+    RunRecord,
+    Trajectory,
+    cell_fingerprint,
+    derive_seed,
+    environment_info,
+    validate_trajectory,
+)
+from repro.errors import ConfigError
+
+
+class TestFingerprint:
+    def test_stable_and_param_order_insensitive(self):
+        first = cell_fingerprint("prefetch", {"a": 1, "b": 2})
+        second = cell_fingerprint("prefetch", {"b": 2, "a": 1})
+        assert first == second
+        assert len(first) == 12
+        assert int(first, 16) >= 0  # hex
+
+    def test_distinguishes_bench_and_params(self):
+        base = cell_fingerprint("prefetch", {"a": 1})
+        assert cell_fingerprint("hotpath", {"a": 1}) != base
+        assert cell_fingerprint("prefetch", {"a": 2}) != base
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(0, "b", {"x": 1}, 0) == derive_seed(0, "b", {"x": 1}, 0)
+
+    def test_sensitive_to_every_component(self):
+        base = derive_seed(0, "b", {"x": 1}, 0)
+        assert derive_seed(1, "b", {"x": 1}, 0) != base
+        assert derive_seed(0, "c", {"x": 1}, 0) != base
+        assert derive_seed(0, "b", {"x": 2}, 0) != base
+        assert derive_seed(0, "b", {"x": 1}, 1) != base
+
+    def test_param_order_insensitive(self):
+        assert derive_seed(0, "b", {"a": 1, "z": 2}) == derive_seed(
+            0, "b", {"z": 2, "a": 1}
+        )
+
+
+class TestRunRecord:
+    def test_autofills_fingerprint_and_created(self):
+        record = RunRecord("b", {"x": 1}, seed=7, metrics={"m": 1.0})
+        assert record.fingerprint == cell_fingerprint("b", {"x": 1})
+        assert record.created
+
+    def test_rejects_bad_status_and_scale(self):
+        with pytest.raises(ConfigError):
+            RunRecord("b", {}, seed=0, status="flaky")
+        with pytest.raises(ConfigError):
+            RunRecord("b", {}, seed=0, scale="huge")
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ConfigError):
+            RunRecord.from_dict({"bench": "b", "params": {}, "seed": 0, "bogus": 1})
+
+    def test_from_dict_rejects_missing_identity(self):
+        with pytest.raises(ConfigError):
+            RunRecord.from_dict({"seed": 0})
+
+    def test_roundtrip(self):
+        record = RunRecord("b", {"x": 1}, seed=7, metrics={"m": 1.0}, env={"git": "x"})
+        clone = RunRecord.from_dict(record.to_dict())
+        assert clone == record
+
+
+def _record(bench="b", params=None, repeat=0, scale="smoke", status="ok", **kw):
+    kw.setdefault("metrics", {"m": 1.0} if status == "ok" else {})
+    if status == "error":
+        kw.setdefault("error", "boom")
+    return RunRecord(
+        bench, dict(params or {"x": 1}), seed=derive_seed(0, bench, params or {"x": 1}, repeat),
+        repeat=repeat, scale=scale, status=status, **kw,
+    )
+
+
+class TestTrajectory:
+    def test_replace_semantics_newest_wins(self):
+        trajectory = Trajectory("b")
+        trajectory.append(_record(metrics={"m": 1.0}))
+        trajectory.append(_record(metrics={"m": 2.0}))
+        assert len(trajectory.runs) == 1
+        assert trajectory.runs[0].metrics["m"] == 2.0
+
+    def test_replace_key_is_fingerprint_repeat_scale(self):
+        trajectory = Trajectory("b")
+        trajectory.append(_record(repeat=0))
+        trajectory.append(_record(repeat=1))
+        trajectory.append(_record(scale="full"))
+        trajectory.append(_record(params={"x": 2}))
+        assert len(trajectory.runs) == 4
+
+    def test_keep_history_retains_duplicates(self):
+        trajectory = Trajectory("b")
+        trajectory.append(_record())
+        trajectory.append(_record(), keep_history=True)
+        assert len(trajectory.runs) == 2
+
+    def test_rejects_foreign_bench(self):
+        with pytest.raises(ConfigError):
+            Trajectory("b").append(_record(bench="other"))
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trajectory = Trajectory("b")
+        trajectory.append(_record(env=environment_info()))
+        path = trajectory.save(tmp_path)
+        assert path.name == "BENCH_b.json"
+        loaded = Trajectory.load(path)
+        assert loaded.bench == "b"
+        assert loaded.runs == trajectory.runs
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == BENCH_SCHEMA
+
+    def test_load_or_create_on_empty_dir(self, tmp_path):
+        trajectory = Trajectory.load_or_create(tmp_path, "fresh")
+        assert trajectory.bench == "fresh" and trajectory.runs == []
+
+    def test_load_rejects_old_adhoc_format(self, tmp_path):
+        path = tmp_path / "BENCH_b.json"
+        path.write_text(json.dumps({"results": [1, 2, 3]}))
+        with pytest.raises(ConfigError):
+            Trajectory.load(path)
+
+    def test_load_rejects_invalid_json(self, tmp_path):
+        path = tmp_path / "BENCH_b.json"
+        path.write_text("{nope")
+        with pytest.raises(ConfigError):
+            Trajectory.load(path)
+
+    def test_completed_keys_only_ok_at_scale(self):
+        trajectory = Trajectory("b")
+        ok = _record()
+        err = _record(params={"x": 9}, status="error")
+        full = _record(params={"x": 5}, scale="full")
+        for record in (ok, err, full):
+            trajectory.append(record)
+        assert trajectory.completed_keys("smoke") == {(ok.fingerprint, 0)}
+        assert trajectory.completed_keys("full") == {(full.fingerprint, 0)}
+
+    def test_latest_ok_filters_metric(self):
+        trajectory = Trajectory("b")
+        trajectory.append(_record(metrics={"m": 1.0}))
+        trajectory.append(_record(params={"x": 2}, metrics={"other": 3.0}))
+        found = trajectory.latest_ok(metric="m")
+        assert found is not None and found.metrics == {"m": 1.0}
+        assert trajectory.latest_ok(metric="absent") is None
+
+
+class TestValidateTrajectory:
+    def _payload(self, **overrides):
+        run = _record().to_dict()
+        payload = {"schema": BENCH_SCHEMA, "bench": "b", "runs": [run]}
+        payload.update(overrides)
+        return payload
+
+    def test_accepts_good_payload(self):
+        assert validate_trajectory(self._payload()) == []
+
+    def test_rejects_non_object(self):
+        assert validate_trajectory([1, 2]) != []
+
+    def test_rejects_wrong_schema(self):
+        errors = validate_trajectory(self._payload(schema="bench-v0"))
+        assert any("schema" in e for e in errors)
+
+    def test_rejects_bench_mismatch(self):
+        errors = validate_trajectory(self._payload(bench="other"))
+        assert any("bench" in e for e in errors)
+
+    def test_rejects_non_numeric_metric(self):
+        payload = self._payload()
+        payload["runs"][0]["metrics"]["bad"] = "text"
+        assert any("numeric" in e for e in validate_trajectory(payload))
+
+    def test_rejects_ok_run_without_metrics(self):
+        payload = self._payload()
+        payload["runs"][0]["metrics"] = {}
+        assert any("no metrics" in e for e in validate_trajectory(payload))
+
+    def test_rejects_error_run_without_message(self):
+        payload = self._payload()
+        payload["runs"][0].update(status="error", error=None)
+        assert any("error" in e for e in validate_trajectory(payload))
