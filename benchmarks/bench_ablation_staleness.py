@@ -1,0 +1,192 @@
+"""Ablation: staleness bound x aggregator x hostile fraction.
+
+ISSUE 10's convergence grid: the asynchronous trainer runs the same
+seeded workload while three axes vary — the PS-side staleness bound
+``k``, the robust-aggregation fold, and the fraction of workers turned
+Byzantine (sign-flip gradients, amplified, plus duplicated and delayed
+pushes). Held-out AUC / log-loss are the headlines the perf gate
+guards: a regression here means the defense layer stopped earning its
+keep, not that a loop got slower.
+
+The report shows the two rows the paper's Section II argument needs:
+robust aggregation under a hostile minority stays inside the sync
+envelope, while plain mean under the *same* injection diverges.
+"""
+
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).resolve().parent.parent
+for _path in (str(_ROOT), str(_ROOT / "src")):
+    if _path not in sys.path:
+        sys.path.insert(0, _path)
+
+from benchmarks.conftest import run_once
+from repro.bench import Headline, Param, register
+from repro.failure.injection import hostile_fleet
+from tests.harness.async_chaos import run_async, run_sync_baseline
+
+WORKERS = 6  # n >= 3f + 2 for f = 1
+STEPS = 180
+SCALE = 6.0  # sign-flip amplification (matches the chaos soak)
+
+
+def _cell(
+    *,
+    steps: int,
+    workers: int,
+    staleness_k: int,
+    aggregator: str,
+    hostile_fraction: float,
+    seed: int,
+):
+    """One grid cell: a full hostile (or honest) async run, evaluated."""
+    byzantine = round(hostile_fraction * workers)
+    fleet = None
+    if byzantine:
+        fleet = hostile_fleet(
+            workers,
+            byzantine,
+            "sign_flip",
+            scale=SCALE,
+            duplicate_prob=0.1,
+            delay_prob=0.1,
+            seed=seed,
+        )
+    return run_async(
+        steps=steps,
+        workers=workers,
+        staleness=1,
+        staleness_bound=staleness_k,
+        aggregator=aggregator,
+        fleet=fleet,
+        seed=seed,
+    )
+
+
+def test_ablation_staleness(benchmark, report):
+    aggs = ("trimmed_mean", "median", "mean")
+
+    def grid():
+        baseline = run_sync_baseline(batches=STEPS)
+        hostile = {
+            agg: _cell(
+                steps=STEPS, workers=WORKERS, staleness_k=3,
+                aggregator=agg, hostile_fraction=1 / WORKERS, seed=7,
+            )
+            for agg in aggs
+        }
+        honest = _cell(
+            steps=STEPS, workers=WORKERS, staleness_k=3,
+            aggregator="trimmed_mean", hostile_fraction=0.0, seed=7,
+        )
+        return baseline, honest, hostile
+
+    baseline, honest, hostile = run_once(benchmark, grid)
+    report.title(
+        "ablation_staleness",
+        "Ablation: bounded-staleness async vs hostile workers "
+        f"({WORKERS} workers, {STEPS} steps, f=1 sign-flip x{SCALE:.0f})",
+    )
+    report.row(
+        "sync baseline (fault-free)",
+        "converges (Sec. II)",
+        f"auc {baseline['auc']:.3f}  logloss {baseline['logloss']:.3f}",
+    )
+    report.row(
+        "honest async, trimmed_mean",
+        "within sync envelope",
+        f"auc {honest.metrics['auc']:.3f}  "
+        f"logloss {honest.metrics['logloss']:.3f}",
+    )
+    for agg in aggs:
+        run = hostile[agg]
+        note = "defense off" if agg == "mean" else "defense on"
+        report.row(
+            f"hostile async, {agg}",
+            "survives" if agg != "mean" else "diverges",
+            f"auc {run.metrics['auc']:.3f}  "
+            f"logloss {run.metrics['logloss']:.3f}",
+            note,
+        )
+    # The defense earns its keep: robust folds hold the envelope, plain
+    # mean under the identical injection does not.
+    assert honest.metrics["auc"] >= baseline["auc"] - 0.03
+    for agg in ("trimmed_mean", "median"):
+        assert hostile[agg].metrics["auc"] >= hostile["mean"].metrics["auc"] + 0.08
+
+
+# --- registry entry -------------------------------------------------------
+
+
+def _check(metrics: dict, params: dict) -> list:
+    problems = []
+    if not 0.0 <= metrics["auc"] <= 1.0:
+        problems.append(f"auc {metrics['auc']} out of range")
+    byzantine = round(params["hostile_fraction"] * params["workers"])
+    defended = params["aggregator"] in ("trimmed_mean", "median", "krum")
+    tolerated = params["workers"] >= 3 * byzantine + 2
+    if defended and tolerated and params["steps"] >= 120:
+        if metrics["auc"] < 0.65:
+            problems.append(
+                f"robust aggregation lost convergence (auc {metrics['auc']:.3f})"
+            )
+    if byzantine and metrics["byzantine_pushes"] == 0:
+        problems.append("hostile fraction set but no Byzantine push injected")
+    return problems
+
+
+@register(
+    "ablation_staleness",
+    params=[
+        Param("staleness_k", "int", 3, help="PS-side staleness bound k"),
+        Param(
+            "aggregator", "str", "trimmed_mean",
+            choices=("mean", "trimmed_mean", "median", "krum"),
+            help="robust gradient fold at the PS",
+        ),
+        Param(
+            "hostile_fraction", "float", 0.0,
+            help="fraction of workers turned Byzantine (sign-flip)",
+        ),
+        Param("workers", "int", WORKERS),
+        Param("steps", "int", STEPS),
+        Param("seed", "int", 7),
+    ],
+    smoke={"steps": 120},
+    headline={
+        "auc": Headline(direction="higher", max_regression=0.05, noise=0.01),
+        "logloss": Headline(direction="lower", max_regression=0.10, noise=0.01),
+    },
+    check=_check,
+)
+def entry(*, staleness_k, aggregator, hostile_fraction, workers, steps, seed):
+    """Held-out AUC / log-loss of one bounded-staleness async cell."""
+    run = _cell(
+        steps=steps,
+        workers=workers,
+        staleness_k=staleness_k,
+        aggregator=aggregator,
+        hostile_fraction=hostile_fraction,
+        seed=seed,
+    )
+    pulls_rejected = sum(node.staleness.rejected for node in run.server.nodes)
+    folds = sum(
+        node.aggregation.stats.folds
+        for node in run.server.nodes
+        if node.aggregation is not None
+    )
+    return {
+        "auc": run.metrics["auc"],
+        "logloss": run.metrics["logloss"],
+        "byzantine_pushes": run.stats.byzantine_pushes,
+        "duplicate_pushes": run.stats.duplicate_pushes,
+        "pulls_rejected": pulls_rejected,
+        "aggregator_folds": folds,
+    }
+
+
+if __name__ == "__main__":
+    from repro.bench.shim import main
+
+    raise SystemExit(main("ablation_staleness"))

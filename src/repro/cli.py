@@ -159,6 +159,8 @@ def _cmd_train(args: argparse.Namespace) -> int:
     dataset = CriteoSynthetic(
         num_fields=args.fields, vocab_per_field=args.vocab, seed=args.seed
     )
+    if args.mode == "async":
+        return _train_async(args, dataset, tracer, registry)
     server_config = ServerConfig(
         num_nodes=args.nodes,
         embedding_dim=args.dim,
@@ -233,6 +235,94 @@ def _cmd_train(args: argparse.Namespace) -> int:
               f"/ {stats.patched_keys} patched keys")
     if registry is not None:
         trainer.backend.collect_metrics(registry)
+    _write_obs(args, tracer, registry)
+    return 0
+
+
+def _train_async(args: argparse.Namespace, dataset, tracer, registry) -> int:
+    """Bounded-staleness asynchronous mode of ``repro train``."""
+    from repro.core.optimizers import PSAdagrad
+    from repro.core.server import OpenEmbeddingServer
+    from repro.dlrm.async_trainer import AsynchronousTrainer
+    from repro.dlrm.deepfm import DeepFM
+    from repro.dlrm.optimizers import Adam
+    from repro.errors import ConfigError
+    from repro.failure.injection import hostile_fleet
+
+    if args.crash_at:
+        print("error: --crash-at is a sync-mode flag; async recovery runs "
+              "through `checkpoint(quiesce=True)` (see docs/ASYNC.md)",
+              file=sys.stderr)
+        return 2
+    defended = args.staleness_k is not None or args.aggregator != "none"
+    server_config = ServerConfig(
+        num_nodes=args.nodes,
+        embedding_dim=args.dim,
+        pmem_capacity_bytes=1 << 30,
+        seed=args.seed,
+        staleness_bound=args.staleness_k,
+        aggregator=args.aggregator,
+        aggregator_workers=args.workers if args.aggregator != "none" else 0,
+    )
+    cache_config = CacheConfig(capacity_bytes=args.cache_kb << 10)
+    fleet = None
+    byzantine = round(args.hostile * args.workers)
+    if args.hostile > 0:
+        fleet = hostile_fleet(
+            args.workers, byzantine, args.byzantine_mode,
+            scale=args.byzantine_scale, duplicate_prob=0.1, delay_prob=0.1,
+            seed=args.seed,
+        )
+    server = OpenEmbeddingServer(
+        server_config, cache_config, PSAdagrad(lr=0.05), tracer=tracer
+    )
+    model = DeepFM(
+        args.fields, args.dim, hidden=(64, 32), use_first_order=False,
+        seed=args.seed,
+    )
+    try:
+        trainer = AsynchronousTrainer(
+            server, model, dataset,
+            num_workers=args.workers, batch_size=args.batch_size,
+            staleness=args.staleness,
+            dense_optimizer=Adam(2e-3),
+            prefetch=(
+                PrefetchConfig(lookahead=args.lookahead)
+                if args.lookahead > 0
+                else None
+            ),
+            worker_faults=fleet,
+            track_progress=True if defended else None,
+            tracer=tracer,
+            registry=registry,
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    losses = trainer.run_steps(args.batches)
+    for step, loss in enumerate(losses):
+        if step % 20 == 0:
+            print(f"step {step:5d}  loss {loss:.4f}")
+    missed = trainer.checkpoint(quiesce=True)
+    stats = trainer.stats
+    print(f"mode              : async (staleness {args.staleness}, "
+          f"k={args.staleness_k if args.staleness_k is not None else 'off'}, "
+          f"aggregator {args.aggregator})")
+    if fleet is not None:
+        print(f"hostile fleet     : {byzantine}/{args.workers} byzantine "
+              f"({args.byzantine_mode} x{args.byzantine_scale:g}), "
+              f"{stats.byzantine_pushes} corrupted pushes injected")
+    print(f"admission         : {stats.staleness_rejects} stale pulls "
+          f"rejected, {stats.skipped_batches} batches skipped, "
+          f"{stats.straggle_skips} straggler stalls")
+    print(f"pushes            : {stats.duplicate_pushes} duplicated, "
+          f"{stats.delayed_pushes} delayed "
+          f"(dedup + quorum folds absorb both)")
+    print(f"checkpoint        : quiesced, {missed} pushes left in flight")
+    print(f"final: {server.num_entries} entries, "
+          f"mean loss last 20 steps {np.mean(losses[-20:]):.4f}")
+    if registry is not None:
+        server.collect_metrics(registry)
     _write_obs(args, tracer, registry)
     return 0
 
@@ -828,6 +918,39 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.set_defaults(handler=_cmd_simulate)
 
     train = sub.add_parser("train", help="functional DeepFM training demo")
+    train.add_argument("--mode", choices=["sync", "async"], default="sync",
+                       help="sync: lock-step workers with barrier "
+                            "checkpoints; async: bounded-staleness "
+                            "round-robin workers (see docs/ASYNC.md)")
+    train.add_argument("--staleness", type=int, default=1,
+                       help="async: scheduler steps between computing and "
+                            "applying a gradient (worker-side delay)")
+    train.add_argument("--staleness-k", type=int, default=None,
+                       metavar="K",
+                       help="async: PS-side admission bound; pulls lagging "
+                            "more than K batches behind the slowest "
+                            "admitted worker are rejected with a typed "
+                            "StalenessError (default: no bound)")
+    train.add_argument("--aggregator",
+                       choices=["none", "mean", "trimmed_mean", "median",
+                                "krum"],
+                       default="none",
+                       help="async: robust per-key gradient fold buffered "
+                            "at the PS before apply (default: none, "
+                            "apply-as-they-arrive)")
+    train.add_argument("--hostile", type=float, default=0.0,
+                       metavar="FRACTION",
+                       help="async: turn this fraction of workers "
+                            "Byzantine (seeded sign-flip/noise gradients "
+                            "plus duplicated and delayed pushes)")
+    train.add_argument("--byzantine-mode",
+                       choices=["sign_flip", "scaled_noise", "zero_drop"],
+                       default="sign_flip",
+                       help="async: gradient corruption the hostile "
+                            "workers inject")
+    train.add_argument("--byzantine-scale", type=float, default=6.0,
+                       help="async: amplification of the corrupted "
+                            "gradients")
     train.add_argument("--batches", type=int, default=100)
     train.add_argument("--workers", type=int, default=2)
     train.add_argument("--batch-size", type=int, default=32)

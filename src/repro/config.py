@@ -160,6 +160,25 @@ class ServerConfig:
             :class:`~repro.core.serving_backend.ReplicaSelector`):
             ``"round_robin"`` (default), ``"least_loaded"``, or
             ``"primary"``. Irrelevant with ``replicas=1``.
+        staleness_bound: bounded-staleness admission ``k`` for
+            asynchronous training: a pull whose reported worker
+            progress is more than ``k`` batches behind the slowest
+            *other* admitted worker is rejected with
+            :class:`~repro.errors.StalenessError`. ``None`` (default)
+            disables admission; anonymous pulls (no ``worker_id``)
+            always bypass it, so synchronous training and serving are
+            unaffected.
+        aggregator: gradient fold applied before ``apply_batch`` —
+            ``"none"`` (apply pushes directly, the synchronous-path
+            default), ``"mean"``, ``"trimmed_mean"``, ``"median"`` or
+            ``"krum"`` (see :mod:`repro.core.aggregators`). Anything
+            but ``"none"`` buffers pushes per worker and folds them
+            quorum-by-quorum.
+        aggregator_workers: expected worker count ``n`` for the
+            aggregation quorum (required when ``aggregator != "none"``).
+        aggregator_f: Byzantine tolerance ``f`` the robust folds are
+            sized for; defaults to ``max(0, (n - 2) // 3)`` — the
+            largest ``f`` with an honest majority at ``n >= 3f + 2``.
     """
 
     num_nodes: int = 1
@@ -174,6 +193,10 @@ class ServerConfig:
     lease_s: float = 0.5
     heartbeat_interval_s: float = 0.1
     serving_replica_policy: str = "round_robin"
+    staleness_bound: int | None = None
+    aggregator: str = "none"
+    aggregator_workers: int = 0
+    aggregator_f: int | None = None
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:
@@ -207,6 +230,32 @@ class ServerConfig:
             raise ConfigError(
                 "serving_replica_policy must be 'primary', 'round_robin' "
                 f"or 'least_loaded', got {self.serving_replica_policy!r}"
+            )
+        if self.staleness_bound is not None and self.staleness_bound < 0:
+            raise ConfigError(
+                f"staleness_bound must be >= 0 or None, got {self.staleness_bound}"
+            )
+        # Kept in sync with repro.core.aggregators.AGGREGATOR_NAMES
+        # (not imported here: config must stay import-cycle free).
+        if self.aggregator not in ("none", "mean", "trimmed_mean", "median", "krum"):
+            raise ConfigError(
+                "aggregator must be one of 'none', 'mean', 'trimmed_mean', "
+                f"'median', 'krum'; got {self.aggregator!r}"
+            )
+        if self.aggregator != "none" and self.aggregator_workers < 1:
+            raise ConfigError(
+                f"aggregator {self.aggregator!r} needs aggregator_workers >= 1"
+            )
+        if self.aggregator_f is not None and (
+            self.aggregator_f < 0
+            or (
+                self.aggregator != "none"
+                and self.aggregator_f >= max(1, self.aggregator_workers)
+            )
+        ):
+            raise ConfigError(
+                f"aggregator_f={self.aggregator_f} must be in "
+                f"[0, aggregator_workers)"
             )
 
     @property

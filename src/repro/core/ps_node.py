@@ -17,11 +17,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import CacheConfig, ServerConfig
+from repro.core.aggregators import (
+    AggregationBuffer,
+    default_byzantine_tolerance,
+    make_aggregator,
+)
 from repro.core.cache import MaintainResult, PipelinedCache, PullResult
 from repro.core.checkpoint import CheckpointCoordinator
 from repro.core.entry import EmbeddingEntry, Location
 from repro.core.optimizers import PSOptimizer, PSSGD
 from repro.core.serving_backend import LookupResult
+from repro.core.staleness import StalenessController
 from repro.errors import CheckpointError, ServerError
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.pmem.pool import PmemPool
@@ -92,23 +98,100 @@ class PSNode:
             tracer=self.tracer,
         )
         self.latest_completed_batch = -1
+        #: Bounded-staleness admission (async training). Always present
+        #: so progress vectors are observable; admission only rejects
+        #: when the config sets a bound.
+        self.staleness = StalenessController(server_config.staleness_bound)
+        #: Robust-aggregation buffer, or None for the direct-apply path.
+        self.aggregation: AggregationBuffer | None = None
+        if server_config.aggregator != "none":
+            workers = server_config.aggregator_workers
+            f = server_config.aggregator_f
+            if f is None:
+                f = default_byzantine_tolerance(workers)
+            self.aggregation = AggregationBuffer(
+                make_aggregator(server_config.aggregator, f),
+                num_workers=workers,
+                f=min(f, max(0, workers - 1)),
+            )
 
     # ------------------------------------------------------------------
     # PS protocol
     # ------------------------------------------------------------------
 
-    def pull(self, keys, batch_id: int) -> PullResult:
-        """Serve a PullWeights request."""
+    def pull(
+        self,
+        keys,
+        batch_id: int,
+        *,
+        worker_id: int | None = None,
+        progress: int | None = None,
+    ) -> PullResult:
+        """Serve a PullWeights request.
+
+        ``worker_id`` / ``progress`` feed the bounded-staleness
+        admission check (:class:`~repro.core.staleness.StalenessController`);
+        anonymous pulls (the default) bypass it.
+
+        Raises:
+            StalenessError: the caller is more than the configured bound
+                behind the slowest other admitted worker. Raised before
+                any cache state is touched.
+        """
+        self.staleness.admit_pull(worker_id, progress)
         return self.cache.pull(keys, batch_id)
 
     def maintain(self, batch_id: int) -> MaintainResult:
         """Run the deferred cache-maintenance round for ``batch_id``."""
         return self.cache.maintain(batch_id)
 
-    def push(self, keys, grads: np.ndarray | None, batch_id: int) -> int:
-        """Apply a PushGradients request; marks the batch trained."""
+    def push(
+        self,
+        keys,
+        grads: np.ndarray | None,
+        batch_id: int,
+        *,
+        worker_id: int | None = None,
+        seq: int = 0,
+    ) -> int:
+        """Apply a PushGradients request; marks the batch trained.
+
+        With an aggregation buffer configured the push is folded with
+        the other workers' contributions (quorum-triggered) before any
+        gradient reaches ``apply_batch``; without one it applies
+        directly (the synchronous path, bit-identical to before the
+        defense layer existed).
+        """
+        self.staleness.record_push(worker_id, batch_id)
+        if self.aggregation is not None and grads is not None:
+            updated = 0
+            for fold in self.aggregation.add(
+                worker_id, keys, grads, batch_id, seq=seq
+            ):
+                updated += self.cache.update(fold.keys, fold.grads, fold.batch_id)
+                self.latest_completed_batch = max(
+                    self.latest_completed_batch, fold.batch_id
+                )
+            return updated
         updated = self.cache.update(keys, grads, batch_id)
         self.latest_completed_batch = max(self.latest_completed_batch, batch_id)
+        return updated
+
+    def flush_aggregation(self) -> int:
+        """Fold every buffered contribution now (quorum or not).
+
+        Part of quiescing: a batch-consistent checkpoint must capture
+        buffered gradients, not leave them to fold after the snapshot.
+        Returns the number of entries updated.
+        """
+        if self.aggregation is None:
+            return 0
+        updated = 0
+        for fold in self.aggregation.flush():
+            updated += self.cache.update(fold.keys, fold.grads, fold.batch_id)
+            self.latest_completed_batch = max(
+                self.latest_completed_batch, fold.batch_id
+            )
         return updated
 
     # ------------------------------------------------------------------
@@ -201,6 +284,10 @@ class PSNode:
         Raises:
             CheckpointError: nothing has been trained yet.
         """
+        # Buffered (un-folded) gradients must be part of the snapshot:
+        # fold them now so the checkpoint is batch-consistent even when
+        # the quorum never completed (stragglers, dead workers).
+        self.flush_aggregation()
         if batch_id is None:
             batch_id = self.latest_completed_batch
         if batch_id < 0:

@@ -145,14 +145,30 @@ class ReplicatedPSNode:
     # PS protocol — reads from the primary, writes to both
     # ------------------------------------------------------------------
 
-    def pull(self, keys, batch_id: int) -> PullResult:
+    def pull(
+        self,
+        keys,
+        batch_id: int,
+        *,
+        worker_id: int | None = None,
+        progress: int | None = None,
+    ) -> PullResult:
         self._check_alive()
-        result = self.primary.pull(keys, batch_id)
+        # Admission runs on the primary first: a rejected pull raises
+        # before either replica's cache is touched, so the pair stays
+        # mirrored. Admitted pulls replay identically on the backup
+        # (same progress vector -> same decision), keeping a promoted
+        # backup's staleness state consistent with the dead primary's.
+        result = self.primary.pull(
+            keys, batch_id, worker_id=worker_id, progress=progress
+        )
         if self.backup is not None:
             # The backup replays the access stream so its cache state
             # (and therefore its checkpoint pipeline) tracks the
             # primary exactly.
-            self.backup.pull(keys, batch_id)
+            self.backup.pull(
+                keys, batch_id, worker_id=worker_id, progress=progress
+            )
         elif self._rebuilding:
             # Auto-create may have made new keys; the catch-up copy must
             # re-read them after the finish barrier.
@@ -193,14 +209,45 @@ class ReplicatedPSNode:
             self.backup.maintain(batch_id)
         return result
 
-    def push(self, keys, grads: np.ndarray | None, batch_id: int) -> int:
+    def push(
+        self,
+        keys,
+        grads: np.ndarray | None,
+        batch_id: int,
+        *,
+        worker_id: int | None = None,
+        seq: int = 0,
+    ) -> int:
         self._check_alive()
-        updated = self.primary.push(keys, grads, batch_id)
+        updated = self.primary.push(
+            keys, grads, batch_id, worker_id=worker_id, seq=seq
+        )
         if self.backup is not None:
-            self.backup.push(keys, grads, batch_id)
+            self.backup.push(
+                keys, grads, batch_id, worker_id=worker_id, seq=seq
+            )
         elif self._rebuilding:
             # Weights changed after the rebuild census: re-copy at finish.
             self._rebuild_touched.update(keys)
+        return updated
+
+    @property
+    def staleness(self):
+        """The primary's bounded-staleness controller (replicas agree:
+        both see the identical admitted stream)."""
+        return self.primary.staleness
+
+    @property
+    def aggregation(self):
+        """The primary's aggregation buffer (mirrored on the backup)."""
+        return self.primary.aggregation
+
+    def flush_aggregation(self) -> int:
+        """Fold buffered contributions on both replicas (quiesce)."""
+        self._check_alive()
+        updated = self.primary.flush_aggregation()
+        if self.backup is not None:
+            self.backup.flush_aggregation()
         return updated
 
     def request_checkpoint(self, batch_id: int | None = None) -> int:

@@ -129,8 +129,21 @@ class OpenEmbeddingServer:
     # PS protocol
     # ------------------------------------------------------------------
 
-    def pull(self, keys, batch_id: int) -> PullResult:
-        """Gather weights for ``keys`` across shards, in request order."""
+    def pull(
+        self,
+        keys,
+        batch_id: int,
+        *,
+        worker_id: int | None = None,
+        progress: int | None = None,
+    ) -> PullResult:
+        """Gather weights for ``keys`` across shards, in request order.
+
+        ``worker_id`` / ``progress`` feed each touched shard's
+        bounded-staleness admission check; anonymous pulls (the
+        default) bypass it. A :class:`~repro.errors.StalenessError`
+        from any shard aborts the pull.
+        """
         with self.tracer.span(
             "server.pull", batch=batch_id, keys=len(keys)
         ) as span:
@@ -149,7 +162,10 @@ class OpenEmbeddingServer:
             ):
                 if len(node_keys) == 0:
                     continue
-                result = node.pull(node_keys, batch_id)
+                result = node.pull(
+                    node_keys, batch_id,
+                    worker_id=worker_id, progress=progress,
+                )
                 hits += result.hits
                 misses += result.misses
                 created += result.created
@@ -227,8 +243,21 @@ class OpenEmbeddingServer:
             span.set(processed=sum(r.processed for r in results))
             return results
 
-    def push(self, keys, grads: np.ndarray | None, batch_id: int) -> int:
-        """Scatter gradients to owning shards; returns entries updated."""
+    def push(
+        self,
+        keys,
+        grads: np.ndarray | None,
+        batch_id: int,
+        *,
+        worker_id: int | None = None,
+        seq: int = 0,
+    ) -> int:
+        """Scatter gradients to owning shards; returns entries updated.
+
+        ``worker_id`` / ``seq`` identify the push for the per-shard
+        aggregation buffer (robust folding + duplicate absorption);
+        both default to the anonymous direct-apply path.
+        """
         with self.tracer.span(
             "server.push", batch=batch_id, keys=len(keys)
         ) as span:
@@ -240,9 +269,16 @@ class OpenEmbeddingServer:
                 if len(node_keys) == 0:
                     continue
                 node_grads = grads[positions] if grads is not None else None
-                updated += node.push(node_keys, node_grads, batch_id)
+                updated += node.push(
+                    node_keys, node_grads, batch_id,
+                    worker_id=worker_id, seq=seq,
+                )
             span.set(updated=updated)
             return updated
+
+    def flush_aggregation(self) -> int:
+        """Fold every shard's buffered contributions now (quiesce)."""
+        return sum(node.flush_aggregation() for node in self.nodes)
 
     # ------------------------------------------------------------------
     # checkpointing
@@ -546,6 +582,27 @@ class OpenEmbeddingServer:
         across the label.
         """
         for node in self.nodes:
-            collect_bundle(
-                registry, node.metrics, {"node": str(node.node_id)}
-            )
+            labels = {"node": str(node.node_id)}
+            collect_bundle(registry, node.metrics, labels)
+            controller = getattr(node, "staleness", None)
+            if controller is not None:
+                registry.gauge(
+                    "repro_async_pulls_admitted", labels
+                ).set(controller.admitted)
+                registry.gauge(
+                    "repro_async_pulls_rejected", labels
+                ).set(controller.rejected)
+                registry.gauge(
+                    "repro_async_max_admitted_lag", labels
+                ).set(controller.max_admitted_lag())
+            buffer = getattr(node, "aggregation", None)
+            if buffer is not None:
+                registry.gauge(
+                    "repro_async_aggregator_folds", labels
+                ).set(buffer.stats.folds)
+                registry.gauge(
+                    "repro_async_aggregator_pending", labels
+                ).set(buffer.pending)
+                registry.gauge(
+                    "repro_async_duplicates_dropped", labels
+                ).set(buffer.stats.duplicates_dropped)

@@ -1,0 +1,126 @@
+"""Bounded-staleness admission control for asynchronous training.
+
+Synchronous training (the paper's choice, Section II) bounds gradient
+staleness structurally: every worker trains the same batch and waits at
+the barrier. Asynchronous training removes the barrier, so staleness
+must be bounded *at the parameter server* instead. Each PS node runs a
+:class:`StalenessController` that tracks a per-worker progress vector
+(batches completed, as reported on every pull, and batches pushed) and
+admits a pull only while the caller is within ``bound`` batches of the
+slowest *other* admitted worker:
+
+    frontier = min(progress of every other tracked worker)
+    admit    iff  frontier - caller_progress <= bound
+
+A worker that straggles past the bound gets a typed
+:class:`~repro.errors.StalenessError` — its basis is too old for the
+gradient it would eventually push to be foldable — and must
+fast-forward (abandon the stale cursor, re-sync progress) before
+retrying. Anonymous pulls (``worker_id=None`` / ``-1`` on the wire:
+the synchronous trainers, the serving tier, migration) bypass admission
+entirely, which keeps every pre-existing flow byte-identical.
+
+The controller records every admission decision in ``admitted_lags``
+(bounded ring) so property tests can assert the invariant *no pull was
+ever admitted beyond lag k* over arbitrary interleavings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigError, StalenessError
+
+__all__ = ["StalenessController"]
+
+#: How many admission records :attr:`StalenessController.admitted_lags`
+#: retains for invariant checking; old records age out FIFO.
+ADMISSION_LOG_LIMIT = 4096
+
+
+class StalenessController:
+    """Per-node progress vectors + the bounded-staleness admission check.
+
+    Args:
+        bound: max admissible lag ``k`` in batches behind the slowest
+            other tracked worker; ``None`` disables admission (progress
+            is still tracked for observability).
+    """
+
+    def __init__(self, bound: int | None = None):
+        if bound is not None and bound < 0:
+            raise ConfigError(f"staleness bound must be >= 0, got {bound}")
+        self.bound = bound
+        #: worker_id -> highest progress carried by an *admitted* pull.
+        self.last_pull: dict[int, int] = {}
+        #: worker_id -> highest batch_id folded from a push.
+        self.last_push: dict[int, int] = {}
+        self.admitted = 0
+        self.rejected = 0
+        #: ``(worker_id, lag)`` per admission, for invariant tests.
+        self.admitted_lags: deque[tuple[int, int]] = deque(
+            maxlen=ADMISSION_LOG_LIMIT
+        )
+
+    def frontier(self, worker_id: int | None = None) -> int | None:
+        """Slowest tracked progress, excluding ``worker_id``.
+
+        ``None`` while no *other* worker has been admitted — a lone
+        worker can never be stale relative to itself.
+        """
+        others = [
+            progress
+            for wid, progress in self.last_pull.items()
+            if wid != worker_id
+        ]
+        return min(others) if others else None
+
+    def admit_pull(self, worker_id: int | None, progress: int | None) -> None:
+        """Admit or reject one pull; records progress on admission.
+
+        Raises:
+            StalenessError: the caller's progress is more than
+                :attr:`bound` batches behind the slowest other tracked
+                worker.
+        """
+        if worker_id is None or worker_id < 0:
+            return  # anonymous: pre-staleness semantics
+        progress = 0 if progress is None or progress < 0 else int(progress)
+        frontier = self.frontier(worker_id)
+        lag = 0 if frontier is None else max(0, frontier - progress)
+        if self.bound is not None and lag > self.bound:
+            self.rejected += 1
+            raise StalenessError(
+                f"worker {worker_id} progress {progress} is {lag} batches "
+                f"behind the admitted frontier {frontier} (bound {self.bound})",
+                worker_id=worker_id,
+                lag=lag,
+                bound=self.bound,
+            )
+        self.admitted += 1
+        self.admitted_lags.append((int(worker_id), int(lag)))
+        known = self.last_pull.get(worker_id, -1)
+        if progress > known:
+            self.last_pull[worker_id] = progress
+
+    def record_push(self, worker_id: int | None, batch_id: int) -> None:
+        """Track the highest batch a worker has pushed (observability)."""
+        if worker_id is None or worker_id < 0:
+            return
+        known = self.last_push.get(worker_id, -1)
+        if batch_id > known:
+            self.last_push[worker_id] = int(batch_id)
+
+    def max_admitted_lag(self) -> int:
+        """Largest lag ever admitted (0 when nothing was admitted)."""
+        return max((lag for __, lag in self.admitted_lags), default=0)
+
+    def snapshot(self) -> dict:
+        """Progress vectors + counters, for checkpoints and debugging."""
+        return {
+            "bound": self.bound,
+            "last_pull": dict(self.last_pull),
+            "last_push": dict(self.last_push),
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+        }

@@ -56,6 +56,39 @@ class RecoveryError(ServerError):
     """Recovery from persistent state failed."""
 
 
+class StalenessError(ServerError):
+    """A pull was rejected by the bounded-staleness admission check.
+
+    The calling worker's progress has fallen more than the configured
+    bound ``k`` behind the slowest *other* admitted worker, so weights
+    served now would produce a gradient too stale to fold safely. The
+    worker should fast-forward (abandon its stale cursor, re-sync its
+    progress) and retry; the error is not retryable as-is because
+    resending the identical request carries the identical stale
+    progress.
+
+    Attributes:
+        worker_id: the rejected worker (``None`` when reconstructed
+            from a wire frame without structured fields).
+        lag: how many batches behind the admitted frontier the caller
+            was at rejection time.
+        bound: the configured staleness bound ``k``.
+    """
+
+    def __init__(
+        self,
+        message: str = "pull rejected: worker too far behind the admitted frontier",
+        *,
+        worker_id: int | None = None,
+        lag: int | None = None,
+        bound: int | None = None,
+    ):
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.lag = lag
+        self.bound = bound
+
+
 class CrashError(ReproError):
     """Raised by failure injection when a simulated crash fires.
 

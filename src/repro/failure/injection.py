@@ -6,6 +6,14 @@ which is where the paper's synchronous-training crash model puts
 process deaths: between two atomic simulator calls. Property-based
 tests drive it with hypothesis-generated schedules to show recovery
 restores the checkpointed batch bit-for-bit at *any* crash point.
+
+:class:`WorkerFaultProfile` widens the scenario space from *node death*
+to *worker misbehavior* (the ``blades``-style taxonomy): stragglers
+(delayed compute), delayed and duplicated gradient pushes, and
+Byzantine gradients (sign-flip, scaled noise, zero-drop). All draws are
+seeded per ``(seed, worker)`` so a hostile run is exactly reproducible,
+and the async trainer applies them at scheduler-step granularity (the
+SimClock-driven analogue of the batch-boundary crash model above).
 """
 
 from __future__ import annotations
@@ -199,3 +207,138 @@ class NodeKillInjector:
     @property
     def remaining(self) -> int:
         return len(self.schedule.kill_times) - self._next
+
+
+#: Byzantine gradient corruption modes (:class:`WorkerFaultProfile`).
+BYZANTINE_MODES = ("none", "sign_flip", "scaled_noise", "zero_drop")
+
+
+@dataclass(frozen=True)
+class WorkerFaultProfile:
+    """One worker's misbehavior model for hostile-worker chaos runs.
+
+    Attributes:
+        straggle_prob: per-turn probability the worker stalls instead
+            of computing (its scheduler turns are skipped while asleep).
+        straggle_steps: how many scheduler steps one stall lasts.
+        delay_prob: per-push probability the push waits ``delay_steps``
+            extra scheduler steps beyond the trainer's base staleness.
+        delay_steps: extra delay per delayed push.
+        duplicate_prob: per-push probability the push is sent twice
+            with the *same* ``(worker_id, seq)`` identity — the dedup
+            windows (RPC service reply cache, aggregation buffer) must
+            absorb the copy on every transport.
+        byzantine: gradient corruption mode — ``"none"``,
+            ``"sign_flip"`` (push ``-scale * g``), ``"scaled_noise"``
+            (push ``scale * g`` + seeded Gaussian noise) or
+            ``"zero_drop"`` (push zeros with probability
+            ``zero_drop_prob``, else the honest gradient). A Byzantine
+            worker corrupts only its *embedding* pushes — the PS-side
+            defense layer is what the chaos harness isolates — and its
+            dense gradients are zeroed so the shared MLP is not
+            poisoned outside the PS's jurisdiction.
+        byzantine_scale: magnitude multiplier for the corrupt modes.
+        zero_drop_prob: probability a ``zero_drop`` push is zeroed.
+        seed: base seed; the per-worker RNG is
+            ``default_rng((seed, 0xB12A, worker_id))``.
+    """
+
+    straggle_prob: float = 0.0
+    straggle_steps: int = 4
+    delay_prob: float = 0.0
+    delay_steps: int = 2
+    duplicate_prob: float = 0.0
+    byzantine: str = "none"
+    byzantine_scale: float = 1.0
+    zero_drop_prob: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("straggle_prob", "delay_prob", "duplicate_prob", "zero_drop_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1], got {value}")
+        if self.straggle_steps < 1 or self.delay_steps < 1:
+            raise ConfigError("straggle_steps and delay_steps must be >= 1")
+        if self.byzantine not in BYZANTINE_MODES:
+            raise ConfigError(
+                f"byzantine must be one of {BYZANTINE_MODES}, got {self.byzantine!r}"
+            )
+
+    def rng_for(self, worker_id: int) -> np.random.Generator:
+        """The worker's private, reproducible fault RNG."""
+        return np.random.default_rng((self.seed, 0xB12A, worker_id))
+
+    @property
+    def is_byzantine(self) -> bool:
+        return self.byzantine != "none"
+
+    @property
+    def is_hostile(self) -> bool:
+        """Any misbehavior at all (used for fleet accounting)."""
+        return (
+            self.is_byzantine
+            or self.straggle_prob > 0
+            or self.delay_prob > 0
+            or self.duplicate_prob > 0
+        )
+
+    def corrupt(
+        self, grads: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Apply the Byzantine mode to one push's embedding gradients."""
+        if self.byzantine == "sign_flip":
+            return (-self.byzantine_scale) * grads
+        if self.byzantine == "scaled_noise":
+            noise = rng.normal(0.0, 1.0, grads.shape).astype(np.float32)
+            return self.byzantine_scale * grads + noise
+        if self.byzantine == "zero_drop":
+            if rng.random() < self.zero_drop_prob:
+                return np.zeros_like(grads)
+            return grads
+        return grads
+
+
+def hostile_fleet(
+    num_workers: int,
+    byzantine_workers: int,
+    mode: str = "sign_flip",
+    *,
+    scale: float = 1.0,
+    straggler_workers: int = 0,
+    straggle_prob: float = 0.3,
+    duplicate_prob: float = 0.0,
+    delay_prob: float = 0.0,
+    seed: int = 0,
+) -> dict[int, WorkerFaultProfile]:
+    """Standard hostile-fleet layout for chaos runs and ablations.
+
+    The *first* ``byzantine_workers`` ids are Byzantine (mode/scale as
+    given); the next ``straggler_workers`` ids straggle; duplicate and
+    delay probabilities, when set, apply to every hostile worker.
+    Honest workers get no profile at all.
+    """
+    if byzantine_workers + straggler_workers > num_workers:
+        raise ConfigError(
+            f"{byzantine_workers} byzantine + {straggler_workers} stragglers "
+            f"> {num_workers} workers"
+        )
+    fleet: dict[int, WorkerFaultProfile] = {}
+    for worker in range(byzantine_workers):
+        fleet[worker] = WorkerFaultProfile(
+            byzantine=mode,
+            byzantine_scale=scale,
+            duplicate_prob=duplicate_prob,
+            delay_prob=delay_prob,
+            seed=seed,
+        )
+    for worker in range(
+        byzantine_workers, byzantine_workers + straggler_workers
+    ):
+        fleet[worker] = WorkerFaultProfile(
+            straggle_prob=straggle_prob,
+            duplicate_prob=duplicate_prob,
+            delay_prob=delay_prob,
+            seed=seed,
+        )
+    return fleet

@@ -211,7 +211,15 @@ class PSNodeService:
         ) as span:
             # The decoded key array goes straight through: the cache
             # normalizes it once, instead of a per-key int() loop here.
-            result = self.node.pull(request.keys, int(request.batch_id))
+            # worker_id/progress feed the bounded-staleness admission
+            # check; -1 on the wire means anonymous (no admission).
+            worker_id = int(request.worker_id)
+            result = self.node.pull(
+                request.keys,
+                int(request.batch_id),
+                worker_id=worker_id if worker_id >= 0 else None,
+                progress=int(request.progress),
+            )
             if result.weights is None:
                 raise ServerError("remote pull requires a value-mode node")
             span.set(hits=result.hits, misses=result.misses, created=result.created)
@@ -275,7 +283,11 @@ class PSNodeService:
             # update path aggregates into fresh arrays, never mutating
             # the (read-only) request payload.
             updated = self.node.push(
-                request.keys, request.grads, int(request.batch_id)
+                request.keys,
+                request.grads,
+                int(request.batch_id),
+                worker_id=int(request.worker_id),
+                seq=int(request.seq),
             )
             span.set(updated=updated)
             response = StatusResponse(code=StatusResponse.OK, value=updated)
@@ -871,13 +883,23 @@ class RemotePSClient:
     # PS protocol over the wire
     # ------------------------------------------------------------------
 
-    def pull(self, keys, batch_id: int) -> PullResult:
+    def pull(
+        self,
+        keys,
+        batch_id: int,
+        *,
+        worker_id: int | None = None,
+        progress: int | None = None,
+    ) -> PullResult:
         """Pull via per-node RPC; responses gathered in request order.
 
         Per-shard cache statistics travel back in each
         :class:`PullResponse` and are aggregated here, so the remote
         path reports the same hit/miss/created accounting as the
-        in-process server.
+        in-process server. ``worker_id`` / ``progress`` travel in the
+        request frame for the server-side bounded-staleness admission
+        check (``-1`` on the wire = anonymous); a rejection arrives
+        back as a typed :class:`~repro.errors.StalenessError`.
         """
         per_node_keys, per_node_positions = self.partitioner.split(keys)
         dim = self.server_config.embedding_dim
@@ -891,7 +913,12 @@ class RemotePSClient:
                 continue
             response = self._ha_call(
                 channel,
-                PullRequest(batch_id=batch_id, keys=np.asarray(node_keys)),
+                PullRequest(
+                    batch_id=batch_id,
+                    keys=np.asarray(node_keys),
+                    worker_id=-1 if worker_id is None else int(worker_id),
+                    progress=-1 if progress is None else int(progress),
+                ),
                 concurrent_flows=max(1, flows),
             )
             out[positions] = response.weights
@@ -977,7 +1004,25 @@ class RemotePSClient:
             )
         return results
 
-    def push(self, keys, grads: np.ndarray | None, batch_id: int) -> int:
+    def push(
+        self,
+        keys,
+        grads: np.ndarray | None,
+        batch_id: int,
+        *,
+        worker_id: int | None = None,
+        seq: int = 0,
+    ) -> int:
+        """Push via per-node RPC.
+
+        By default each shard RPC carries this client's ``worker_id``
+        and a fresh auto-incremented ``seq`` (the wire-retry dedup
+        identity). An async trainer simulating several logical workers
+        over one client passes explicit ``worker_id``/``seq`` overrides
+        so the server-side aggregation buffer attributes contributions
+        to the right worker — and so an *intentionally duplicated* push
+        reuses its seq and is absorbed exactly-once everywhere.
+        """
         if grads is None:
             raise ServerError("remote push requires gradients")
         per_node_keys, per_node_positions = self.partitioner.split(keys)
@@ -988,15 +1033,18 @@ class RemotePSClient:
         ):
             if len(node_keys) == 0:
                 continue
-            self._push_seq += 1
+            if worker_id is None:
+                self._push_seq += 1
             response = self._ha_call(
                 channel,
                 PushRequest(
                     batch_id=batch_id,
                     keys=np.asarray(node_keys),
                     grads=grads[positions],
-                    worker_id=self.worker_id,
-                    seq=self._push_seq,
+                    worker_id=(
+                        self.worker_id if worker_id is None else int(worker_id)
+                    ),
+                    seq=self._push_seq if worker_id is None else int(seq),
                 ),
                 concurrent_flows=max(1, flows),
             )
@@ -1036,6 +1084,16 @@ class RemotePSClient:
     def complete_pending_checkpoints(self) -> None:
         for node in self.nodes:
             node.complete_pending_checkpoints()
+
+    def flush_aggregation(self) -> int:
+        """Fold every shard's buffered contributions now (quiesce).
+
+        Like :meth:`complete_pending_checkpoints`, this is a training
+        barrier executed in-process on the shard objects, not a
+        data-plane RPC (``request_checkpoint`` over the wire also
+        flushes server-side before snapshotting).
+        """
+        return sum(node.flush_aggregation() for node in self.nodes)
 
     # ------------------------------------------------------------------
     # elasticity (repro.core.migration over the wire)

@@ -18,7 +18,8 @@ Message catalogue:
 ======================  ====  =======================================
 Message                 Type  Body
 ======================  ====  =======================================
-PullRequest             0x01  batch_id u64, nkeys u32, keys u64[n]
+PullRequest             0x01  batch_id u64, worker_id i32, progress i64,
+                              nkeys u32, keys u64[n]
 PullResponse            0x02  batch_id u64, nkeys u32, dim u32,
                               hits u32, misses u32, created u32,
                               weights f32[n*dim]
@@ -93,31 +94,56 @@ class MessageError(ReproError):
 
 @dataclass(frozen=True)
 class PullRequest:
-    """Worker -> PS: fetch weights for ``keys`` at batch ``batch_id``."""
+    """Worker -> PS: fetch weights for ``keys`` at batch ``batch_id``.
+
+    ``worker_id`` / ``progress`` identify the caller for the PS-side
+    bounded-staleness admission check: ``progress`` is the number of
+    batches the worker has completed, and the PS rejects the pull with
+    :data:`StatusResponse.ERR_STALENESS` when that progress is more
+    than the configured bound behind the slowest other admitted worker.
+    ``worker_id=-1`` (the default) means anonymous — no progress is
+    recorded and the pull is always admitted, which keeps the
+    synchronous trainers and the serving tier byte-compatible with the
+    pre-staleness wire semantics.
+    """
 
     TYPE = 0x01
 
     batch_id: int
     keys: np.ndarray  # u64[n]
+    worker_id: int = -1  # i32; -1 = anonymous (no admission tracking)
+    progress: int = -1  # i64; batches completed by the caller
+
+    _HEADER = "<QiqI"
+    _HEADER_LEN = struct.calcsize(_HEADER)  # 24, keeps keys 8-aligned
 
     def encode_body(self) -> bytes:
         keys = np.ascontiguousarray(self.keys, dtype="<u8")
-        body = bytearray(12 + keys.nbytes)
-        struct.pack_into("<QI", body, 0, self.batch_id, len(keys))
-        body[12:] = memoryview(keys).cast("B")
+        body = bytearray(self._HEADER_LEN + keys.nbytes)
+        struct.pack_into(
+            self._HEADER, body, 0,
+            self.batch_id, self.worker_id, self.progress, len(keys),
+        )
+        body[self._HEADER_LEN:] = memoryview(keys).cast("B")
         return body
 
     @classmethod
     def decode_body(cls, body) -> "PullRequest":
-        if len(body) < 12:
+        if len(body) < cls._HEADER_LEN:
             raise MessageError("truncated PullRequest")
-        batch_id, nkeys = struct.unpack_from("<QI", body)
-        expected = 12 + 8 * nkeys
+        batch_id, worker_id, progress, nkeys = struct.unpack_from(
+            cls._HEADER, body
+        )
+        expected = cls._HEADER_LEN + 8 * nkeys
         if len(body) != expected:
             raise MessageError(f"PullRequest length {len(body)}, want {expected}")
         # Read-only view into the frame (ownership contract above).
-        keys = np.frombuffer(body, dtype="<u8", count=nkeys, offset=12)
-        return cls(batch_id=batch_id, keys=keys)
+        keys = np.frombuffer(
+            body, dtype="<u8", count=nkeys, offset=cls._HEADER_LEN
+        )
+        return cls(
+            batch_id=batch_id, keys=keys, worker_id=worker_id, progress=progress
+        )
 
 
 @dataclass(frozen=True)
@@ -355,6 +381,11 @@ class StatusResponse:
     #: Promotion impossible: double fault — both replicas of the shard
     #: are gone; the caller must fall back to checkpoint recovery.
     ERR_FAILOVER = 8
+    #: Bounded-staleness admission rejected the pull: the caller's
+    #: progress is more than the configured bound behind the slowest
+    #: other admitted worker. Not retryable as-is — the same frame
+    #: carries the same stale progress; the worker must fast-forward.
+    ERR_STALENESS = 9
 
     code: int
     value: int = 0

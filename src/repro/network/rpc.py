@@ -37,6 +37,7 @@ from repro.errors import (
     RpcTimeoutError,
     ServerError,
     ShardRoutingError,
+    StalenessError,
 )
 from repro.network.messages import (
     MessageError,
@@ -64,6 +65,7 @@ _CODE_FOR_ERROR: tuple[tuple[type, int], ...] = (
     (ShardRoutingError, StatusResponse.ERR_ROUTING),
     (MessageError, StatusResponse.ERR_MESSAGE),
     (FailoverError, StatusResponse.ERR_FAILOVER),
+    (StalenessError, StatusResponse.ERR_STALENESS),
     (ServerError, StatusResponse.ERR_SERVER),
     (ReproError, StatusResponse.ERR_INTERNAL),
 )
@@ -75,6 +77,7 @@ _ERROR_FOR_CODE: dict[int, type] = {
     StatusResponse.ERR_MESSAGE: MessageError,
     StatusResponse.ERR_UNHANDLED: MessageError,
     StatusResponse.ERR_FAILOVER: FailoverError,
+    StatusResponse.ERR_STALENESS: StalenessError,
     StatusResponse.ERR_SERVER: ServerError,
     StatusResponse.ERR_INTERNAL: ServerError,
 }

@@ -1,0 +1,185 @@
+"""Hostile-worker chaos soak for first-class asynchronous training.
+
+Where :mod:`tests.harness.chaos` kills *PS nodes* mid-run, this harness
+keeps every node healthy and makes the *workers* hostile: a seeded
+:func:`~repro.failure.injection.hostile_fleet` of Byzantine gradient
+pushers, stragglers, duplicators and delayers drives the asynchronous
+trainer against a PS configured with bounded-staleness admission and a
+robust :class:`~repro.core.aggregators.AggregationBuffer`.
+
+The soak's verdict is statistical rather than bitwise (Byzantine
+defense changes the trained weights by design): held-out AUC / log-loss
+from :mod:`repro.dlrm.metrics` must sit inside a pinned envelope of the
+synchronous fault-free baseline when the defense is on (trimmed-mean or
+coordinate-median, honest majority with ``n >= 3f + 2``), and must
+visibly degrade when the defense is off (plain mean) under the *same*
+seeded injection — the ablation that shows the defense earns its keep.
+
+One builder serves every test so the model size, learning rates, data
+skew and evaluation slice stay comparable across sync baseline, honest
+async, and hostile async runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import CacheConfig, ServerConfig
+from repro.core.optimizers import PSSGD
+from repro.core.server import OpenEmbeddingServer
+from repro.dlrm.async_trainer import AsynchronousTrainer, AsyncRunStats
+from repro.dlrm.criteo import CriteoSynthetic
+from repro.dlrm.deepfm import DeepFM
+from repro.dlrm.embedding import PSEmbedding
+from repro.dlrm.metrics import evaluate_model
+from repro.dlrm.optimizers import Adam
+from repro.dlrm.trainer import SynchronousTrainer
+from repro.failure.injection import WorkerFaultProfile
+
+FIELDS = 5
+DIM = 8
+#: Small vocabulary + the dataset's exponential-rank skew concentrate
+#: gradient mass on hot keys, so most folded keys have several
+#: contributors and the per-key robust statistics have rows to work on.
+VOCAB = 40
+BATCH = 16
+SEED = 11
+DATA_SEED = 2
+LR = 0.05
+#: Held-out evaluation slice (far past any training batch id).
+EVAL_BATCHES = 8
+EVAL_BATCH_SIZE = 64
+
+
+def build_dataset(seed: int = DATA_SEED) -> CriteoSynthetic:
+    return CriteoSynthetic(num_fields=FIELDS, vocab_per_field=VOCAB, seed=seed)
+
+
+def build_server(
+    *,
+    num_nodes: int = 2,
+    seed: int = SEED,
+    staleness_bound: int | None = None,
+    aggregator: str = "none",
+    workers: int = 0,
+    f: int | None = None,
+) -> OpenEmbeddingServer:
+    return OpenEmbeddingServer(
+        ServerConfig(
+            num_nodes=num_nodes,
+            embedding_dim=DIM,
+            pmem_capacity_bytes=1 << 26,
+            seed=seed,
+            staleness_bound=staleness_bound,
+            aggregator=aggregator,
+            aggregator_workers=workers if aggregator != "none" else 0,
+            aggregator_f=f,
+        ),
+        CacheConfig(capacity_bytes=64 << 10),
+        PSSGD(lr=LR),
+    )
+
+
+def build_model(seed: int = SEED) -> DeepFM:
+    return DeepFM(FIELDS, DIM, hidden=(16,), use_first_order=False, seed=seed)
+
+
+@dataclass
+class ChaosRun:
+    """One finished run plus its held-out evaluation."""
+
+    trainer: AsynchronousTrainer
+    server: OpenEmbeddingServer
+    model: DeepFM
+    metrics: dict[str, float]
+    stats: AsyncRunStats = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.stats = self.trainer.stats
+
+
+def evaluate(server, model, dataset) -> dict[str, float]:
+    """Held-out AUC / log-loss / calibration through the PS, as serving
+    would read it."""
+    return evaluate_model(
+        model,
+        PSEmbedding(server, DIM),
+        dataset,
+        batches=EVAL_BATCHES,
+        batch_size=EVAL_BATCH_SIZE,
+    )
+
+
+def run_async(
+    *,
+    steps: int,
+    workers: int,
+    staleness: int = 1,
+    staleness_bound: int | None = None,
+    aggregator: str = "none",
+    f: int | None = None,
+    fleet: dict[int, WorkerFaultProfile] | None = None,
+    seed: int = SEED,
+    dataset: CriteoSynthetic | None = None,
+    registry=None,
+    tracer=None,
+) -> ChaosRun:
+    """Run one asynchronous soak and evaluate it held-out.
+
+    The server carries the PS-side defenses (``staleness_bound``,
+    ``aggregator``); the trainer carries the worker-side injection
+    (``fleet``). Leaving both off reproduces the plain async trainer.
+    """
+    dataset = dataset or build_dataset()
+    server = build_server(
+        staleness_bound=staleness_bound,
+        aggregator=aggregator,
+        workers=workers,
+        f=f,
+        seed=seed,
+    )
+    model = build_model(seed)
+    trainer = AsynchronousTrainer(
+        server,
+        model,
+        dataset,
+        num_workers=workers,
+        batch_size=BATCH,
+        staleness=staleness,
+        dense_optimizer=Adam(1e-2),
+        worker_faults=fleet,
+        track_progress=(
+            True
+            if (fleet or staleness_bound is not None or aggregator != "none")
+            else None
+        ),
+        registry=registry,
+        tracer=tracer,
+    )
+    trainer.run_steps(steps)
+    trainer.checkpoint(quiesce=True)
+    return ChaosRun(trainer, server, model, evaluate(server, model, dataset))
+
+
+def run_sync_baseline(
+    *, batches: int, seed: int = SEED, dataset: CriteoSynthetic | None = None
+) -> dict[str, float]:
+    """Fault-free synchronous baseline the envelope is pinned against.
+
+    Uses one worker so the trained data volume equals an async run of
+    ``steps == batches`` (the async scheduler trains one batch per
+    step).
+    """
+    dataset = dataset or build_dataset()
+    server = build_server(seed=seed)
+    model = build_model(seed)
+    trainer = SynchronousTrainer(
+        server,
+        model,
+        dataset,
+        num_workers=1,
+        batch_size=BATCH,
+        dense_optimizer=Adam(1e-2),
+    )
+    trainer.train(batches)
+    return evaluate(server, model, dataset)

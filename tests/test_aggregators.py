@@ -1,0 +1,171 @@
+"""Robust-aggregation math and the quorum-fold buffer."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregators import (
+    AGGREGATOR_NAMES,
+    AggregationBuffer,
+    Krum,
+    Mean,
+    Median,
+    TrimmedMean,
+    _segment_sum,
+    default_byzantine_tolerance,
+    make_aggregator,
+)
+from repro.errors import ConfigError
+
+DIM = 4
+
+
+def rows(*vectors):
+    return np.asarray(vectors, dtype=np.float32)
+
+
+class TestFoldMath:
+    def test_mean_is_plain_average(self):
+        out = Mean().fold(rows([1, 1, 1, 1], [3, 3, 3, 3]))
+        assert np.array_equal(out, np.full(DIM, 2, dtype=np.float32))
+
+    def test_single_row_is_bitwise_identity(self):
+        g = np.array([[0.1, -0.2, 0.3, 7e-8]], dtype=np.float32)
+        for agg in (Mean(), TrimmedMean(1), Median(), Krum(1)):
+            assert Mean().fold(g) is g[0] or np.array_equal(agg.fold(g), g[0])
+
+    def test_trimmed_mean_removes_one_outlier_per_end(self):
+        honest = rows([1, 1, 1, 1], [2, 2, 2, 2], [3, 3, 3, 3])
+        poisoned = np.vstack([honest, rows([100, -100, 100, -100])])
+        out = TrimmedMean(1).fold(poisoned)
+        # f=1 trims the max and min per coordinate; the outlier never
+        # survives regardless of its sign pattern.
+        assert np.all(np.abs(out) <= 3)
+
+    def test_trimmed_mean_clamps_trim_to_keep_rows(self):
+        two = rows([0, 0, 0, 0], [4, 4, 4, 4])
+        # trim = min(f, (m-1)//2) = 0 -> plain mean, never empty
+        assert np.array_equal(
+            TrimmedMean(3).fold(two), np.full(DIM, 2, dtype=np.float32)
+        )
+
+    def test_median_ignores_minority_corruption(self):
+        out = Median().fold(
+            rows([1, 1, 1, 1], [1, 1, 1, 1], [-50, 50, -50, 50])
+        )
+        assert np.array_equal(out, np.ones(DIM, dtype=np.float32))
+
+    def test_krum_picks_from_the_honest_cluster(self):
+        honest = [
+            np.full(DIM, 1.0 + 0.01 * i, dtype=np.float32) for i in range(4)
+        ]
+        byzantine = np.full(DIM, -40.0, dtype=np.float32)
+        out = Krum(1).fold(np.stack(honest + [byzantine]))
+        assert any(np.array_equal(out, h) for h in honest)
+
+    def test_default_byzantine_tolerance(self):
+        # largest f with n >= 3f + 2
+        assert [default_byzantine_tolerance(n) for n in (1, 2, 4, 5, 6, 8)] == [
+            0, 0, 0, 1, 1, 2,
+        ]
+
+    def test_make_aggregator_registry(self):
+        assert make_aggregator("none") is None
+        for name in AGGREGATOR_NAMES[1:]:
+            assert make_aggregator(name, f=1).name == name
+        with pytest.raises(ConfigError):
+            make_aggregator("bogus")
+
+
+class TestSegmentSum:
+    def test_occurrence_order_and_duplicate_accumulation(self):
+        keys = np.array([7, 3, 7, 9, 3], dtype=np.uint64)
+        grads = np.arange(5 * DIM, dtype=np.float32).reshape(5, DIM)
+        unique, summed = _segment_sum(keys, grads)
+        assert unique.tolist() == [7, 3, 9]  # first-occurrence order
+        assert np.array_equal(summed[0], grads[0] + grads[2])
+        assert np.array_equal(summed[1], grads[1] + grads[4])
+        assert np.array_equal(summed[2], grads[3])
+
+    def test_matches_cache_fast_path_accumulation_order(self):
+        """Seed-from-first then add-in-position-order, the exact float32
+        sequence cache._update_fast uses (bitwise transparency)."""
+        rng = np.random.default_rng(3)
+        keys = rng.integers(0, 8, size=64).astype(np.uint64)
+        grads = rng.normal(0, 1, (64, DIM)).astype(np.float32)
+        unique, summed = _segment_sum(keys, grads)
+        for row, key in enumerate(unique.tolist()):
+            positions = np.flatnonzero(keys == key)
+            acc = np.array(grads[positions[0]], copy=True)
+            for p in positions[1:]:
+                acc = acc + grads[p]
+            assert np.array_equal(summed[row], acc)
+
+
+class TestAggregationBuffer:
+    def push(self, buf, wid, keys, value, batch=0, seq=0):
+        grads = np.full((len(keys), DIM), value, dtype=np.float32)
+        return buf.add(wid, np.asarray(keys, dtype=np.uint64), grads, batch, seq=seq)
+
+    def test_no_fold_until_quorum(self):
+        buf = AggregationBuffer(Mean(), num_workers=3, f=1)  # quorum 2
+        assert self.push(buf, 0, [1, 2], 1.0) == []
+        assert buf.pending == 1
+        folds = self.push(buf, 1, [2, 3], 3.0)
+        assert len(folds) == 1 and buf.pending == 0
+
+    def test_fold_merges_key_union_and_averages_overlap(self):
+        buf = AggregationBuffer(Mean(), num_workers=2, f=0)
+        self.push(buf, 0, [1, 2], 1.0)
+        (fold,) = self.push(buf, 1, [2, 3], 3.0)
+        got = dict(zip(fold.keys.tolist(), fold.grads[:, 0].tolist()))
+        assert got == {1: 1.0, 2: 2.0, 3: 3.0}  # overlap averaged
+        assert fold.contributors == 2
+
+    def test_straggler_cannot_stall_folding(self):
+        buf = AggregationBuffer(Mean(), num_workers=4, f=1)  # quorum 3
+        self.push(buf, 0, [1], 1.0)
+        self.push(buf, 1, [1], 1.0)
+        folds = self.push(buf, 2, [1], 1.0)  # worker 3 never shows up
+        assert len(folds) == 1 and folds[0].contributors == 3
+
+    def test_single_contribution_fold_is_bitwise_identity(self):
+        buf = AggregationBuffer(TrimmedMean(1), num_workers=1, f=0)
+        keys = np.array([5, 9, 5], dtype=np.uint64)
+        grads = np.array(
+            [[0.1] * DIM, [7e-8] * DIM, [-0.3] * DIM], dtype=np.float32
+        )
+        (fold,) = buf.add(0, keys, grads, 4)
+        ref_keys, ref_grads = _segment_sum(keys, grads)
+        assert np.array_equal(fold.keys, ref_keys)
+        assert np.array_equal(fold.grads, ref_grads)
+        assert fold.batch_id == 4
+
+    def test_seq_dedup_absorbs_replays(self):
+        buf = AggregationBuffer(Mean(), num_workers=2, f=0)
+        self.push(buf, 0, [1], 1.0, seq=7)
+        assert self.push(buf, 0, [1], 1.0, seq=7) == []  # replay dropped
+        assert buf.stats.duplicates_dropped == 1
+        (fold,) = self.push(buf, 1, [1], 3.0, seq=8)
+        assert fold.grads[0, 0] == 2.0  # the duplicate did not skew it
+
+    def test_seq_zero_opts_out_of_dedup(self):
+        buf = AggregationBuffer(Mean(), num_workers=1, f=0)
+        self.push(buf, 0, [1], 1.0, seq=0)
+        self.push(buf, 0, [1], 1.0, seq=0)
+        assert buf.stats.duplicates_dropped == 0
+        assert buf.stats.folds == 2  # both applied (quorum 1)
+
+    def test_flush_folds_below_quorum(self):
+        buf = AggregationBuffer(Mean(), num_workers=4, f=0)  # quorum 4
+        self.push(buf, 0, [1], 1.0, batch=2)
+        self.push(buf, 1, [1], 3.0, batch=5)
+        folds = buf.flush()
+        assert buf.pending == 0
+        assert len(folds) == 1 and folds[0].batch_id == 5
+        assert folds[0].grads[0, 0] == 2.0
+
+    def test_invalid_tolerance_rejected(self):
+        with pytest.raises(ConfigError):
+            AggregationBuffer(Mean(), num_workers=2, f=2)
+        with pytest.raises(ConfigError):
+            AggregationBuffer(Mean(), num_workers=0)

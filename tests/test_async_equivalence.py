@@ -1,0 +1,164 @@
+"""Satellite: async == sync, bitwise, when every async knob is neutral.
+
+At ``staleness=0`` with one worker, a staleness bound of ``k=0`` and the
+``mean`` aggregator (identity for single-contribution folds), the
+asynchronous trainer performs the *exact* operation sequence of the
+synchronous trainer: pull, maintain, compute, push, dense step. The
+first-class machinery — admission checks on every pull, worker identity
+and seq on every push, the aggregation buffer — must therefore be
+bit-transparent, and must stay so over RPC and over a lossy wire with
+retries (the dedup window absorbing replays exactly-once).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    NetworkFaultConfig,
+    RetryConfig,
+    ServerConfig,
+)
+from repro.core.optimizers import PSSGD
+from repro.core.server import OpenEmbeddingServer
+from repro.dlrm.async_trainer import AsynchronousTrainer
+from repro.dlrm.criteo import CriteoSynthetic
+from repro.dlrm.deepfm import DeepFM
+from repro.dlrm.optimizers import Adam
+from repro.dlrm.trainer import SynchronousTrainer
+from repro.network.frontend import RemotePSClient
+
+FIELDS, DIM = 5, 8
+BATCH = 16
+STEPS = 30
+SEED = 11
+
+FAULTS = NetworkFaultConfig(
+    drop_rate=0.05, duplicate_rate=0.03, corrupt_rate=0.02, seed=5
+)
+RETRY = RetryConfig(
+    max_attempts=12, attempt_timeout_s=0.05, call_timeout_s=30.0, seed=5
+)
+
+TRANSPORTS = ("local", "rpc", "faulty")
+
+
+def configs(*, defended: bool):
+    server_config = ServerConfig(
+        num_nodes=2,
+        embedding_dim=DIM,
+        pmem_capacity_bytes=1 << 26,
+        seed=SEED,
+        staleness_bound=0 if defended else None,
+        aggregator="mean" if defended else "none",
+        aggregator_workers=1 if defended else 0,
+        aggregator_f=0 if defended else None,
+    )
+    return server_config, CacheConfig(capacity_bytes=64 << 10)
+
+
+def build_backend(transport: str, *, defended: bool):
+    server_config, cache_config = configs(defended=defended)
+    if transport == "local":
+        return OpenEmbeddingServer(server_config, cache_config, PSSGD(lr=0.05))
+    if transport == "rpc":
+        return RemotePSClient(server_config, cache_config, PSSGD(lr=0.05))
+    return RemotePSClient(
+        server_config, cache_config, PSSGD(lr=0.05), faults=FAULTS, retry=RETRY
+    )
+
+
+def model_and_data():
+    dataset = CriteoSynthetic(num_fields=FIELDS, vocab_per_field=60, seed=2)
+    model = DeepFM(FIELDS, DIM, hidden=(16,), use_first_order=False, seed=SEED)
+    return model, dataset
+
+
+@pytest.fixture(scope="module")
+def sync_reference():
+    """Synchronous run on an undefended in-process server."""
+    model, dataset = model_and_data()
+    backend = build_backend("local", defended=False)
+    trainer = SynchronousTrainer(
+        backend, model, dataset,
+        num_workers=1, batch_size=BATCH, dense_optimizer=Adam(1e-2),
+    )
+    trainer.train(STEPS)
+    return (
+        backend.state_snapshot(),
+        [np.array(p, copy=True) for p in model.mlp.parameters()],
+    )
+
+
+def assert_bitwise(backend, model, sync_reference):
+    ref_state, ref_params = sync_reference
+    state = backend.state_snapshot()
+    assert set(state) == set(ref_state)
+    for key in ref_state:
+        assert np.array_equal(state[key], ref_state[key]), f"key {key} differs"
+    for got, want in zip(model.mlp.parameters(), ref_params):
+        assert np.array_equal(got, want)
+
+
+class TestAsyncVsSyncBitwise:
+    @pytest.mark.parametrize("transport", TRANSPORTS)
+    def test_k0_mean_single_worker_is_bitwise_sync(
+        self, transport, sync_reference
+    ):
+        model, dataset = model_and_data()
+        backend = build_backend(transport, defended=True)
+        trainer = AsynchronousTrainer(
+            backend, model, dataset,
+            num_workers=1, batch_size=BATCH, staleness=0,
+            dense_optimizer=Adam(1e-2),
+        )
+        # The defended backend auto-enables identity tracking; every
+        # pull passes the k=0 admission gate, every push crosses the
+        # mean aggregator as an identity fold.
+        assert trainer.track_progress
+        trainer.run_steps(STEPS)
+        assert_bitwise(backend, model, sync_reference)
+        if transport == "faulty":
+            reliability = backend.reliability()
+            assert reliability.faults_injected > 0  # the wire was lossy
+
+    def test_admission_and_identity_are_bit_transparent_multiworker(self):
+        """Progress tracking alone (no aggregation) must not change a
+        single float of a multi-worker async run."""
+        model_a, dataset = model_and_data()
+        plain = build_backend("local", defended=False)
+        baseline = AsynchronousTrainer(
+            plain, model_a, dataset,
+            num_workers=3, batch_size=BATCH, staleness=2,
+            dense_optimizer=Adam(1e-2),
+        )
+        assert not baseline.track_progress
+        baseline.run_steps(STEPS)
+
+        model_b, dataset = model_and_data()
+        tracked_backend = OpenEmbeddingServer(
+            ServerConfig(
+                num_nodes=2, embedding_dim=DIM,
+                pmem_capacity_bytes=1 << 26, seed=SEED,
+                staleness_bound=10_000,  # never rejects
+            ),
+            CacheConfig(capacity_bytes=64 << 10),
+            PSSGD(lr=0.05),
+        )
+        tracked = AsynchronousTrainer(
+            tracked_backend, model_b, dataset,
+            num_workers=3, batch_size=BATCH, staleness=2,
+            dense_optimizer=Adam(1e-2),
+        )
+        assert tracked.track_progress
+        tracked.run_steps(STEPS)
+
+        a, b = plain.state_snapshot(), tracked_backend.state_snapshot()
+        assert set(a) == set(b)
+        for key in a:
+            assert np.array_equal(a[key], b[key])
+        for pa, pb in zip(model_a.mlp.parameters(), model_b.mlp.parameters()):
+            assert np.array_equal(pa, pb)
+        assert all(
+            node.staleness.admitted > 0 for node in tracked_backend.nodes
+        )

@@ -66,6 +66,41 @@ class TestTrain:
         assert "injected crash" in out
         assert "resumed from checkpoint" in out or "restarting from scratch" in out
 
+    def test_async_mode_plain(self, capsys):
+        code = main([
+            "train", "--mode", "async", "--batches", "12", "--fields", "4",
+            "--vocab", "50", "--dim", "8", "--workers", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mode              : async" in out
+        assert "quiesced" in out
+
+    def test_async_mode_defended_and_hostile(self, tmp_path, capsys):
+        metrics = tmp_path / "async.metrics.json"
+        code = main([
+            "train", "--mode", "async", "--batches", "18", "--fields", "4",
+            "--vocab", "50", "--dim", "8", "--workers", "6",
+            "--staleness-k", "3", "--aggregator", "trimmed_mean",
+            "--hostile", "0.17", "--metrics-out", str(metrics),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "k=3, aggregator trimmed_mean" in out
+        assert "1/6 byzantine" in out
+        import json
+
+        names = {m["name"] for m in json.loads(metrics.read_text())["metrics"]}
+        assert "repro_async_pulls_admitted" in names
+        assert "repro_async_aggregator_folds" in names
+
+    def test_async_mode_rejects_crash_at(self, capsys):
+        code = main([
+            "train", "--mode", "async", "--batches", "8", "--crash-at", "4",
+        ])
+        assert code == 2
+        assert "sync-mode flag" in capsys.readouterr().err
+
 
 class TestPlanAndWorkload:
     def test_plan(self, capsys):

@@ -27,6 +27,21 @@ class TestMessageRoundtrips:
         decoded = decode_message(encode_message(msg))
         assert decoded.batch_id == 7
         assert np.array_equal(decoded.keys, msg.keys)
+        # Identity defaults: anonymous pulls bypass staleness admission.
+        assert decoded.worker_id == -1
+        assert decoded.progress == -1
+
+    def test_pull_request_progress_header(self):
+        msg = PullRequest(
+            batch_id=7,
+            keys=np.array([1, 2], dtype=np.uint64),
+            worker_id=4,
+            progress=123,
+        )
+        decoded = decode_message(encode_message(msg))
+        assert decoded.worker_id == 4
+        assert decoded.progress == 123
+        assert np.array_equal(decoded.keys, msg.keys)
 
     def test_pull_response(self):
         weights = np.arange(8, dtype=np.float32).reshape(2, 4)
@@ -198,6 +213,25 @@ class TestRemotePSClient:
         remote_weights = remote.pull(keys, 0).weights
         local_weights = local.pull(keys, 0).weights
         assert np.array_equal(remote_weights, local_weights)
+
+    def test_staleness_rejection_is_typed_over_the_wire(self):
+        """ERR_STALENESS decodes back into StalenessError client-side."""
+        from repro.errors import StalenessError
+
+        __, cache_config = self._configs()
+        server_config = ServerConfig(
+            num_nodes=2,
+            embedding_dim=DIM,
+            pmem_capacity_bytes=1 << 22,
+            seed=4,
+            staleness_bound=1,
+        )
+        remote = RemotePSClient(server_config, cache_config)
+        remote.pull([1, 2], 0, worker_id=0, progress=10)
+        with pytest.raises(StalenessError):
+            remote.pull([1, 2], 1, worker_id=1, progress=0)  # lag 10 > 1
+        # Anonymous pulls keep bypassing admission entirely.
+        remote.pull([1, 2], 2)
 
     def test_training_over_rpc_matches_local(self):
         server_config, cache_config = self._configs()
